@@ -1,0 +1,78 @@
+#include "bench_common.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/log.hh"
+#include "util/str.hh"
+
+namespace ddsim::bench {
+
+Options::Options(int argc, const char *const *argv)
+    : args(argc, argv)
+{
+    scaleFactor = args.getDouble("scale", 1.0);
+    if (scaleFactor <= 0)
+        fatal("--scale must be positive");
+
+    std::vector<std::string> names;
+    if (args.has("programs")) {
+        for (auto &n : split(args.get("programs"), ','))
+            names.emplace_back(trim(n));
+    } else if (args.getBool("int")) {
+        names = workloads::integerNames();
+    } else if (args.getBool("fp")) {
+        names = workloads::fpNames();
+    } else {
+        for (const auto &w : workloads::all())
+            names.push_back(w.name);
+    }
+    for (const auto &n : names) {
+        const workloads::WorkloadInfo *info = workloads::find(n);
+        if (!info)
+            fatal("unknown workload '%s'", n.c_str());
+        programs.push_back(info);
+    }
+}
+
+prog::Program
+buildProgram(const workloads::WorkloadInfo &info, const Options &opts)
+{
+    workloads::WorkloadParams p;
+    double scaled =
+        static_cast<double>(info.defaultScale) * opts.scaleFactor;
+    p.scale = scaled < 1.0 ? 1 : static_cast<std::uint64_t>(scaled);
+    return info.factory(p);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values)
+        logSum += std::log(v);
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+void
+banner(const std::string &title, const std::string &paperShape)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    if (!paperShape.empty())
+        std::printf("Paper shape: %s\n", paperShape.c_str());
+}
+
+} // namespace ddsim::bench

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared harness for the bench binaries. Every bench regenerates one
+ * table or figure of the paper: it selects workloads, builds them at
+ * comparable dynamic lengths, sweeps machine configurations through
+ * sim::run() and prints the same rows/series the paper reports, plus
+ * a note stating what shape the paper observed.
+ *
+ * Common flags (all optional):
+ *   --scale=<f>      work multiplier (default 1.0 ~ 300 K insts/run)
+ *   --programs=a,b   comma-separated subset (short or paper names)
+ *   --int            integer programs only
+ *   --fp             floating-point programs only
+ */
+
+#ifndef DDSIM_BENCH_BENCH_COMMON_HH_
+#define DDSIM_BENCH_BENCH_COMMON_HH_
+
+#include <string>
+#include <vector>
+
+#include "config/cli.hh"
+#include "prog/program.hh"
+#include "sim/runner.hh"
+#include "sim/table.hh"
+#include "workloads/common.hh"
+
+namespace ddsim::bench {
+
+/** Parsed harness options. */
+struct Options
+{
+    double scaleFactor = 1.0;
+    std::vector<const workloads::WorkloadInfo *> programs;
+    config::CliArgs args;
+
+    Options(int argc, const char *const *argv);
+};
+
+/** Build one workload at the harness-selected length. */
+prog::Program buildProgram(const workloads::WorkloadInfo &info,
+                           const Options &opts);
+
+/** Geometric mean (of speedups/ratios). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+/** Print the standard bench banner. */
+void banner(const std::string &title, const std::string &paperShape);
+
+} // namespace ddsim::bench
+
+#endif // DDSIM_BENCH_BENCH_COMMON_HH_

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 7: performance of (N+M) configurations (no LVAQ
+ * optimizations), relative to (2+0).
+ *
+ * Paper: adding a one-port LVC degrades performance (load imbalance);
+ * a second port restores it and gains ~1-10% over (N+0); more than
+ * three LVC ports add almost nothing.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "config/presets.hh"
+
+using namespace ddsim;
+using namespace ddsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    banner("Figure 7: (N+M) performance relative to (2+0), "
+           "no optimizations",
+           "(N+1) dips below (N+0); (N+2) restores and gains 1-10%; "
+           ">=3 LVC ports ~ unlimited");
+
+    const int ns[] = {2, 3, 4};
+    const int ms[] = {0, 1, 2, 3, 16};
+
+    // Collect per-program relative performance, then print the
+    // cross-program average matrix (as the paper's figure plots).
+    std::vector<std::vector<std::vector<double>>> rel(
+        3, std::vector<std::vector<double>>(5));
+
+    sim::Table perProg({"program", "(2+0)", "(2+1)", "(2+2)", "(3+0)",
+                        "(3+1)", "(3+2)", "(4+0)", "(4+1)", "(4+2)"});
+
+    for (const auto *info : opts.programs) {
+        prog::Program program = buildProgram(*info, opts);
+        sim::SimResult base = sim::run(program, config::baseline(2));
+        std::vector<std::string> row{info->paperName};
+        for (int ni = 0; ni < 3; ++ni) {
+            for (int mi = 0; mi < 5; ++mi) {
+                config::MachineConfig cfg =
+                    ms[mi] == 0 ? config::baseline(ns[ni])
+                                : config::decoupled(ns[ni], ms[mi]);
+                sim::SimResult r = sim::run(program, cfg);
+                double relative = r.ipc / base.ipc;
+                rel[static_cast<std::size_t>(ni)]
+                   [static_cast<std::size_t>(mi)]
+                       .push_back(relative);
+                if (ms[mi] <= 2)
+                    row.push_back(sim::Table::num(relative, 3));
+            }
+        }
+        perProg.addRow(row);
+    }
+    perProg.print(std::cout);
+
+    std::printf("\nCross-program average (relative to (2+0)):\n\n");
+    sim::Table avg({"config", "M=0", "M=1", "M=2", "M=3", "M=16"});
+    for (int ni = 0; ni < 3; ++ni) {
+        std::vector<std::string> row{"N=" + std::to_string(ns[ni])};
+        for (int mi = 0; mi < 5; ++mi)
+            row.push_back(sim::Table::num(
+                geomean(rel[static_cast<std::size_t>(ni)]
+                           [static_cast<std::size_t>(mi)]),
+                3));
+        avg.addRow(row);
+    }
+    avg.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Simulator throughput measured with google-benchmark: simulated
+ * instructions per wall-clock second for representative workload and
+ * configuration pairs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "config/presets.hh"
+#include "sim/runner.hh"
+#include "workloads/common.hh"
+
+using namespace ddsim;
+
+namespace {
+
+void
+runOne(benchmark::State &state, const char *workload,
+       config::MachineConfig cfg)
+{
+    workloads::WorkloadParams p;
+    p.scale = workloads::find(workload)->defaultScale / 4;
+    prog::Program program = workloads::build(workload, p);
+
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        sim::SimResult r = sim::run(program, cfg);
+        insts += r.committed;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["Minst/s"] = benchmark::Counter(
+        static_cast<double>(insts) / 1e6, benchmark::Counter::kIsRate);
+}
+
+void
+BM_Baseline_li(benchmark::State &state)
+{
+    runOne(state, "li", config::baseline(2));
+}
+
+void
+BM_Decoupled_li(benchmark::State &state)
+{
+    runOne(state, "li", config::decoupledOptimized(3, 2));
+}
+
+void
+BM_Baseline_swim(benchmark::State &state)
+{
+    runOne(state, "swim", config::baseline(2));
+}
+
+void
+BM_Decoupled_vortex(benchmark::State &state)
+{
+    runOne(state, "vortex", config::decoupledOptimized(3, 2));
+}
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    workloads::WorkloadParams p;
+    p.scale = 50;
+    for (auto _ : state) {
+        prog::Program program = workloads::build("gcc", p);
+        benchmark::DoNotOptimize(program.textSize());
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_Baseline_li)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Decoupled_li)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Baseline_swim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Decoupled_vortex)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Port sweep: explore the (N+M) design space for one workload — the
+ * experiment at the heart of the paper, interactively.
+ *
+ * Usage: port_sweep [--workload=vortex] [--scale=1.0]
+ *                   [--opt] (enable fast forwarding + combining)
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "config/cli.hh"
+#include "config/presets.hh"
+#include "sim/runner.hh"
+#include "sim/table.hh"
+#include "workloads/common.hh"
+
+using namespace ddsim;
+
+int
+main(int argc, char **argv)
+{
+    config::CliArgs args(argc, argv);
+    std::string name = args.get("workload", "vortex");
+    bool optimized = args.getBool("opt");
+
+    const workloads::WorkloadInfo *info = workloads::find(name);
+    if (!info) {
+        std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+        return 1;
+    }
+    workloads::WorkloadParams params;
+    params.scale = static_cast<std::uint64_t>(
+        static_cast<double>(info->defaultScale) *
+        args.getDouble("scale", 1.0));
+    prog::Program program = info->factory(params);
+
+    std::printf("(N+M) IPC sweep for %s%s\n", info->paperName,
+                optimized ? " (fast forwarding + 2-way combining)"
+                          : " (no optimizations)");
+
+    sim::Table table({"", "M=0", "M=1", "M=2", "M=3", "M=4"});
+    for (int n = 1; n <= 4; ++n) {
+        std::vector<std::string> row{"N=" + std::to_string(n)};
+        for (int m = 0; m <= 4; ++m) {
+            config::MachineConfig cfg =
+                m == 0 ? config::baseline(n)
+                       : (optimized ? config::decoupledOptimized(n, m)
+                                    : config::decoupled(n, m));
+            sim::SimResult r = sim::run(program, cfg);
+            row.push_back(sim::Table::num(r.ipc, 3));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::printf("\nReading guide: N = L1 data cache ports, M = LVC "
+                "ports (M=0 disables decoupling).\n"
+                "Look for the paper's signature: a dip at M=1, "
+                "recovery at M=2, saturation by M=3.\n");
+    return 0;
+}

@@ -1,0 +1,153 @@
+#include "config/cli.hh"
+
+#include "util/log.hh"
+#include "util/str.hh"
+
+namespace ddsim::config {
+
+// GCC 12's -Wrestrict mis-fires on the std::string substr/indexing
+// sequence below (GCC PR105329); the code is well-defined.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+
+CliArgs::CliArgs(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (startsWith(arg, "--")) {
+            auto eq = arg.find('=');
+            if (eq == std::string::npos)
+                opts[arg.substr(2)] = "1";
+            else
+                opts[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        } else {
+            pos.push_back(arg);
+        }
+    }
+}
+
+#pragma GCC diagnostic pop
+
+bool
+CliArgs::has(const std::string &key) const
+{
+    return opts.count(key) != 0;
+}
+
+std::string
+CliArgs::get(const std::string &key, const std::string &def) const
+{
+    auto it = opts.find(key);
+    return it == opts.end() ? def : it->second;
+}
+
+std::int64_t
+CliArgs::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = opts.find(key);
+    if (it == opts.end())
+        return def;
+    std::int64_t v;
+    if (!parseInt(it->second, v))
+        fatal("option --%s expects an integer, got '%s'", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+double
+CliArgs::getDouble(const std::string &key, double def) const
+{
+    auto it = opts.find(key);
+    if (it == opts.end())
+        return def;
+    double v;
+    if (!parseDouble(it->second, v))
+        fatal("option --%s expects a number, got '%s'", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+bool
+CliArgs::getBool(const std::string &key, bool def) const
+{
+    auto it = opts.find(key);
+    if (it == opts.end())
+        return def;
+    std::string v = toLower(it->second);
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+namespace {
+
+ClassifierKind
+parseClassifier(const std::string &s)
+{
+    std::string v = toLower(s);
+    if (v == "none")
+        return ClassifierKind::None;
+    if (v == "annotation")
+        return ClassifierKind::Annotation;
+    if (v == "spbase")
+        return ClassifierKind::SpBase;
+    if (v == "oracle")
+        return ClassifierKind::Oracle;
+    if (v == "predictor")
+        return ClassifierKind::Predictor;
+    if (v == "replicate")
+        return ClassifierKind::Replicate;
+    fatal("unknown classifier '%s'", s.c_str());
+}
+
+} // namespace
+
+void
+applyOverrides(MachineConfig &cfg, const CliArgs &args)
+{
+    auto intOpt = [&](const char *key, auto &field) {
+        if (args.has(key))
+            field = static_cast<std::remove_reference_t<decltype(field)>>(
+                args.getInt(key, 0));
+    };
+    auto sizeOpt = [&](const char *key, std::uint32_t &field) {
+        if (args.has(key)) {
+            std::uint64_t v;
+            if (!parseSize(args.get(key), v))
+                fatal("option --%s expects a size (e.g. 2K)", key);
+            field = static_cast<std::uint32_t>(v);
+        }
+    };
+
+    intOpt("width", cfg.issueWidth);
+    if (args.has("width")) {
+        cfg.fetchWidth = cfg.issueWidth;
+        cfg.commitWidth = cfg.issueWidth;
+    }
+    intOpt("rob", cfg.robSize);
+    intOpt("lsq", cfg.lsqSize);
+    intOpt("lvaq", cfg.lvaqSize);
+    intOpt("l1.ports", cfg.l1.ports);
+    sizeOpt("l1.size", cfg.l1.sizeBytes);
+    intOpt("l1.assoc", cfg.l1.assoc);
+    intOpt("l1.lat", cfg.l1.hitLatency);
+    intOpt("l1.banks", cfg.l1.banks);
+    intOpt("l1.mshrs", cfg.l1.mshrs);
+    intOpt("lvc.ports", cfg.lvc.ports);
+    intOpt("lvc.banks", cfg.lvc.banks);
+    intOpt("lvc.mshrs", cfg.lvc.mshrs);
+    sizeOpt("lvc.size", cfg.lvc.sizeBytes);
+    intOpt("lvc.assoc", cfg.lvc.assoc);
+    intOpt("lvc.lat", cfg.lvc.hitLatency);
+    intOpt("l2.lat", cfg.l2.hitLatency);
+    intOpt("mem.lat", cfg.memLatency);
+    if (args.has("lvc"))
+        cfg.lvcEnabled = args.getBool("lvc");
+    if (args.has("classifier"))
+        cfg.classifier = parseClassifier(args.get("classifier"));
+    if (args.has("fastfwd"))
+        cfg.fastForward = args.getBool("fastfwd");
+    intOpt("combining", cfg.combining);
+
+    cfg.validate();
+}
+
+} // namespace ddsim::config

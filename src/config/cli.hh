@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Command-line parsing for the bench and example binaries: generic
+ * "--key=value" options plus MachineConfig overrides.
+ */
+
+#ifndef DDSIM_CONFIG_CLI_HH_
+#define DDSIM_CONFIG_CLI_HH_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config/machine_config.hh"
+
+namespace ddsim::config {
+
+/** Parsed command line: options plus positional arguments. */
+class CliArgs
+{
+  public:
+    /**
+     * Parse argv. Accepted forms: "--key=value", "--flag" (value "1").
+     * Anything else is positional.
+     */
+    CliArgs(int argc, const char *const *argv);
+
+    bool has(const std::string &key) const;
+    std::string get(const std::string &key,
+                    const std::string &def = "") const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def = false) const;
+
+    const std::vector<std::string> &positional() const { return pos; }
+    const std::map<std::string, std::string> &options() const
+    {
+        return opts;
+    }
+
+  private:
+    std::map<std::string, std::string> opts;
+    std::vector<std::string> pos;
+};
+
+/**
+ * Apply "--key=value" overrides to a machine configuration. Recognized
+ * keys: width, rob, lsq, lvaq, l1.ports/size/assoc/lat,
+ * lvc.ports/size/assoc/lat, l2.lat, mem.lat, classifier, fastfwd,
+ * combining. Unknown "cfg."-prefixed keys are fatal; other keys are
+ * ignored (they belong to the harness).
+ */
+void applyOverrides(MachineConfig &cfg, const CliArgs &args);
+
+} // namespace ddsim::config
+
+#endif // DDSIM_CONFIG_CLI_HH_

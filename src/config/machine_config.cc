@@ -1,0 +1,104 @@
+#include "config/machine_config.hh"
+
+#include "util/log.hh"
+
+namespace ddsim::config {
+
+const char *
+classifierName(ClassifierKind kind)
+{
+    switch (kind) {
+      case ClassifierKind::None: return "none";
+      case ClassifierKind::Annotation: return "annotation";
+      case ClassifierKind::SpBase: return "spbase";
+      case ClassifierKind::Oracle: return "oracle";
+      case ClassifierKind::Predictor: return "predictor";
+      case ClassifierKind::Replicate: return "replicate";
+    }
+    return "?";
+}
+
+std::string
+MachineConfig::notation() const
+{
+    int m = lvcEnabled ? lvc.ports : 0;
+    return format("(%d+%d)", l1.ports, m);
+}
+
+std::string
+MachineConfig::describe() const
+{
+    std::string s = notation();
+    s += format(": %d-wide, ROB %d, LSQ %d", issueWidth, robSize,
+                lsqSize);
+    s += format(", L1 %uKB/%u-way/%llu-cyc/%d-port",
+                l1.sizeBytes / 1024, l1.assoc,
+                (unsigned long long)l1.hitLatency, l1.ports);
+    if (lvcEnabled) {
+        s += format(", LVC %uKB/%u-way/%llu-cyc/%d-port, LVAQ %d",
+                    lvc.sizeBytes / 1024, lvc.assoc,
+                    (unsigned long long)lvc.hitLatency, lvc.ports,
+                    lvaqSize);
+        s += format(", classify=%s", classifierName(classifier));
+        if (fastForward)
+            s += ", fastfwd";
+        if (combining > 1)
+            s += format(", combine=%d", combining);
+    }
+    return s;
+}
+
+namespace {
+
+void
+validateCache(const char *name, const CacheParams &c)
+{
+    if (c.sizeBytes == 0 || c.lineBytes == 0 || c.assoc == 0)
+        fatal("%s: size, line size and associativity must be nonzero",
+              name);
+    if ((c.lineBytes & (c.lineBytes - 1)) != 0)
+        fatal("%s: line size %u is not a power of two", name,
+              c.lineBytes);
+    if (c.sizeBytes % (c.assoc * c.lineBytes) != 0)
+        fatal("%s: size %u is not a multiple of assoc*line", name,
+              c.sizeBytes);
+    std::uint32_t sets = c.numSets();
+    if ((sets & (sets - 1)) != 0)
+        fatal("%s: number of sets %u is not a power of two", name, sets);
+    if (c.ports < 1)
+        fatal("%s: at least one port required", name);
+    if (c.hitLatency < 1)
+        fatal("%s: hit latency must be at least 1", name);
+    if (c.banks < 0 || (c.banks > 0 && (c.banks & (c.banks - 1)) != 0))
+        fatal("%s: banks must be 0 (ideal) or a power of two", name);
+    if (c.mshrs < 1)
+        fatal("%s: at least one MSHR is required", name);
+}
+
+} // namespace
+
+void
+MachineConfig::validate() const
+{
+    if (fetchWidth < 1 || issueWidth < 1 || commitWidth < 1)
+        fatal("machine widths must be positive");
+    if (robSize < 1)
+        fatal("ROB must have at least one entry");
+    if (lsqSize < 1)
+        fatal("LSQ must have at least one entry");
+    if (numIntAlu < 1)
+        fatal("at least one integer ALU is required");
+    validateCache("l1", l1);
+    validateCache("l2", l2);
+    if (lvcEnabled) {
+        validateCache("lvc", lvc);
+        if (lvaqSize < 1)
+            fatal("LVAQ must have at least one entry");
+        if (classifier == ClassifierKind::None)
+            fatal("decoupling requires a classifier");
+    }
+    if (combining < 1)
+        fatal("combining degree must be >= 1");
+}
+
+} // namespace ddsim::config

@@ -1,0 +1,64 @@
+#include "config/presets.hh"
+
+#include "util/log.hh"
+#include "util/str.hh"
+
+namespace ddsim::config {
+
+MachineConfig
+baseline(int l1Ports)
+{
+    MachineConfig cfg;
+    cfg.l1.ports = l1Ports;
+    cfg.lvcEnabled = false;
+    cfg.classifier = ClassifierKind::None;
+    cfg.validate();
+    return cfg;
+}
+
+MachineConfig
+decoupled(int l1Ports, int lvcPorts)
+{
+    MachineConfig cfg;
+    cfg.l1.ports = l1Ports;
+    cfg.lvcEnabled = true;
+    cfg.lvc.ports = lvcPorts;
+    cfg.classifier = ClassifierKind::Oracle;
+    cfg.fastForward = false;
+    cfg.combining = 1;
+    cfg.validate();
+    return cfg;
+}
+
+MachineConfig
+decoupledOptimized(int l1Ports, int lvcPorts, int combining)
+{
+    MachineConfig cfg = decoupled(l1Ports, lvcPorts);
+    cfg.fastForward = true;
+    cfg.combining = combining;
+    cfg.validate();
+    return cfg;
+}
+
+MachineConfig
+fromNotation(const std::string &notation)
+{
+    std::string s = notation;
+    // Strip optional parentheses.
+    if (!s.empty() && s.front() == '(')
+        s.erase(0, 1);
+    if (!s.empty() && s.back() == ')')
+        s.pop_back();
+    auto parts = split(s, '+');
+    if (parts.size() != 2)
+        fatal("bad (N+M) notation '%s'", notation.c_str());
+    std::int64_t n = 0, m = 0;
+    if (!parseInt(parts[0], n) || !parseInt(parts[1], m) || n < 1 ||
+        m < 0)
+        fatal("bad (N+M) notation '%s'", notation.c_str());
+    if (m == 0)
+        return baseline(static_cast<int>(n));
+    return decoupled(static_cast<int>(n), static_cast<int>(m));
+}
+
+} // namespace ddsim::config

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The named machine configurations used in the paper's evaluation.
+ */
+
+#ifndef DDSIM_CONFIG_PRESETS_HH_
+#define DDSIM_CONFIG_PRESETS_HH_
+
+#include "config/machine_config.hh"
+
+namespace ddsim::config {
+
+/**
+ * "(N+0)": the conventional machine with an N-port unified L1 data
+ * cache and no LVC (Figure 5's configurations).
+ */
+MachineConfig baseline(int l1Ports);
+
+/**
+ * "(N+M)": decoupled machine, N-port L1 plus M-port 2 KB LVC, oracle
+ * classification, optimizations off (Figure 7's configurations).
+ */
+MachineConfig decoupled(int l1Ports, int lvcPorts);
+
+/**
+ * "(N+M)" with both proposed optimizations on: fast data forwarding
+ * and two-way access combining (Figure 9's configurations).
+ */
+MachineConfig decoupledOptimized(int l1Ports, int lvcPorts,
+                                 int combining = 2);
+
+/** Parse "(N+M)" / "N+M" notation into a config (M=0 -> baseline). */
+MachineConfig fromNotation(const std::string &notation);
+
+} // namespace ddsim::config
+
+#endif // DDSIM_CONFIG_PRESETS_HH_

@@ -1,0 +1,76 @@
+#include "core/classifier.hh"
+
+#include "util/log.hh"
+
+namespace ddsim::core {
+
+Classifier::Classifier(stats::Group *parent, config::ClassifierKind kind,
+                       int predictorEntries)
+    : stats::Group(parent, "classifier"),
+      classified(this, "classified", "memory instructions classified"),
+      toLvaq(this, "to_lvaq", "classified as local (steered to LVAQ)"),
+      verified(this, "verified", "classifications verified"),
+      mispredicted(this, "mispredicted", "wrongly steered accesses"),
+      classifierKind(kind)
+{
+    if (kind == config::ClassifierKind::Predictor)
+        predictor = std::make_unique<RegionPredictor>(predictorEntries);
+}
+
+Stream
+Classifier::classify(const vm::DynInst &di)
+{
+    ++classified;
+    bool local = false;
+    switch (classifierKind) {
+      case config::ClassifierKind::None:
+        local = false;
+        break;
+      case config::ClassifierKind::Annotation:
+        local = di.inst.localHint;
+        break;
+      case config::ClassifierKind::SpBase:
+        local = isa::isStackBase(di.inst.rs);
+        break;
+      case config::ClassifierKind::Oracle:
+        local = di.stackAccess;
+        break;
+      case config::ClassifierKind::Predictor:
+        local = predictor->predictLocal(di.pcIdx, di.inst.localHint);
+        break;
+      case config::ClassifierKind::Replicate:
+        // Replicated steering is handled in the pipeline (both queues
+        // get a copy); if asked, answer with the true region.
+        local = di.stackAccess;
+        break;
+    }
+    if (local)
+        ++toLvaq;
+    return local ? Stream::Lvaq : Stream::Lsq;
+}
+
+bool
+Classifier::verify(const vm::DynInst &di, Stream chosen)
+{
+    ++verified;
+    bool actuallyLocal = di.stackAccess;
+    bool chosenLocal = chosen == Stream::Lvaq;
+    if (predictor)
+        predictor->update(di.pcIdx, actuallyLocal);
+    if (actuallyLocal != chosenLocal) {
+        ++mispredicted;
+        return false;
+    }
+    return true;
+}
+
+double
+Classifier::accuracy() const
+{
+    if (verified.value() == 0)
+        return 1.0;
+    return 1.0 - stats::safeRatio(mispredicted.report(),
+                                  verified.report());
+}
+
+} // namespace ddsim::core

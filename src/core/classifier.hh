@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Memory-stream classification (Section 2 of the paper): at dispatch,
+ * every memory instruction is steered either to the conventional LSQ
+ * (backed by the L1 data cache) or to the LVAQ (backed by the LVC).
+ *
+ * Four classification schemes are modelled:
+ *  - Annotation: trust the compiler's per-instruction local bit
+ *    (Section 2.2.3's "a bit associated with each memory access
+ *    instruction").
+ *  - SpBase: the hardware heuristic — base register is sp or fp
+ *    (the paper notes <5% of stack references escape this rule).
+ *  - Oracle: perfect classification by the actual effective address,
+ *    the evaluation default ("this paper assumes that a processor can
+ *    accurately separate the local accesses").
+ *  - Predictor: compiler annotation for unambiguous instructions plus
+ *    a 1-bit last-region predictor for the rest, with misprediction
+ *    recovery (Section 2.1).
+ */
+
+#ifndef DDSIM_CORE_CLASSIFIER_HH_
+#define DDSIM_CORE_CLASSIFIER_HH_
+
+#include <memory>
+
+#include "config/machine_config.hh"
+#include "core/region_predictor.hh"
+#include "stats/group.hh"
+#include "stats/stat.hh"
+#include "vm/trace.hh"
+
+namespace ddsim::core {
+
+/** Which memory access queue an instruction is steered to. */
+enum class Stream : std::uint8_t
+{
+    Lsq,    ///< Non-local: conventional load/store queue + L1 D-cache.
+    Lvaq,   ///< Local: local variable access queue + LVC.
+};
+
+/** Dispatch-time memory stream classifier. */
+class Classifier : public stats::Group
+{
+  public:
+    Classifier(stats::Group *parent, config::ClassifierKind kind,
+               int predictorEntries = 2048);
+
+    /**
+     * Classify a memory instruction at dispatch. Only dispatch-time
+     * information may be used (the oracle mode "peeks" at the
+     * effective address the front end already computed, standing in
+     * for a perfectly annotated binary).
+     */
+    Stream classify(const vm::DynInst &di);
+
+    /**
+     * Resolution-time verification: once the effective address is
+     * known, was the dispatch decision correct? Updates the predictor
+     * and the accuracy statistics.
+     *
+     * @return true if the access was steered to the right queue.
+     */
+    bool verify(const vm::DynInst &di, Stream chosen);
+
+    config::ClassifierKind kind() const { return classifierKind; }
+
+    double accuracy() const;
+
+    stats::Scalar classified;
+    stats::Scalar toLvaq;
+    stats::Scalar verified;
+    stats::Scalar mispredicted;
+
+  private:
+    config::ClassifierKind classifierKind;
+    std::unique_ptr<RegionPredictor> predictor;
+};
+
+} // namespace ddsim::core
+
+#endif // DDSIM_CORE_CLASSIFIER_HH_

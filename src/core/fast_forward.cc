@@ -1,0 +1,50 @@
+#include "core/fast_forward.hh"
+
+namespace ddsim::core {
+
+namespace {
+
+/** Byte range [offset, offset+size) disjoint from the load's range? */
+bool
+disjointByOffset(const QueueEntry &store, const QueueEntry &load)
+{
+    std::int64_t sLo = store.offset;
+    std::int64_t sHi = sLo + store.size;
+    std::int64_t lLo = load.offset;
+    std::int64_t lHi = lLo + load.size;
+    return sHi <= lLo || lHi <= sLo;
+}
+
+} // namespace
+
+int
+findFastForwardStore(const std::vector<QueueEntry> &entries,
+                     const std::vector<int> &olderSlots,
+                     const QueueEntry &load)
+{
+    for (int slot : olderSlots) {
+        const QueueEntry &e = entries[static_cast<std::size_t>(slot)];
+        if (!e.valid || e.cancelled || !e.isStore)
+            continue;
+
+        bool sameBase = e.baseReg == load.baseReg &&
+                        e.baseVersion == load.baseVersion;
+        if (!sameBase) {
+            // Unknown aliasing relationship: the hardware cannot prove
+            // anything from the offset fields -- stop the scan.
+            return -1;
+        }
+        if (e.offset == load.offset && e.size == load.size) {
+            // Exact match: guaranteed same address, forward from here.
+            return slot;
+        }
+        if (!disjointByOffset(e, load)) {
+            // Partial overlap within the frame: cannot forward.
+            return -1;
+        }
+        // Provably disjoint frame slots: keep scanning older stores.
+    }
+    return -1;
+}
+
+} // namespace ddsim::core

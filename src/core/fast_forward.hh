@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fast data forwarding (Section 2.2.2): match a load to an older store
+ * in the LVAQ *by offset*, before either effective address has been
+ * computed. Within a function frame the stack pointer does not change,
+ * so two accesses with the same base register, the same version of
+ * that register's value and the same offset are guaranteed to alias —
+ * no later verification is required.
+ */
+
+#ifndef DDSIM_CORE_FAST_FORWARD_HH_
+#define DDSIM_CORE_FAST_FORWARD_HH_
+
+#include <vector>
+
+#include "core/queue_entry.hh"
+
+namespace ddsim::core {
+
+/**
+ * Scan older queue entries for a store the load can fast-forward from.
+ *
+ * @param entries Physical queue storage.
+ * @param olderSlots Slots older than the load, youngest first.
+ * @param load The just-dispatched load.
+ * @return The slot of the matched store, or -1.
+ *
+ * The scan stops conservatively at the first older store whose
+ * relationship to the load cannot be proven from static information:
+ * a store with a different base register or a different base-register
+ * version. Stores with the same base+version but a provably disjoint
+ * byte range are skipped.
+ */
+int findFastForwardStore(const std::vector<QueueEntry> &entries,
+                         const std::vector<int> &olderSlots,
+                         const QueueEntry &load);
+
+} // namespace ddsim::core
+
+#endif // DDSIM_CORE_FAST_FORWARD_HH_

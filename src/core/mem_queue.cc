@@ -1,0 +1,344 @@
+#include "core/mem_queue.hh"
+
+#include "core/fast_forward.hh"
+#include "util/log.hh"
+
+namespace ddsim::core {
+
+MemQueue::MemQueue(stats::Group *parent, const std::string &name,
+                   int size, mem::Cache *cache, mem::Cache *altCache,
+                   const QueuePolicy &policy)
+    : stats::Group(parent, name),
+      allocated(this, "allocated", "entries allocated"),
+      loadsTotal(this, "loads", "loads passed through this queue"),
+      storesTotal(this, "stores", "stores passed through this queue"),
+      loadsForwarded(this, "loads_forwarded",
+                     "loads satisfied by in-queue store forwarding"),
+      loadsFastForwarded(this, "loads_fast_forwarded",
+                         "loads satisfied by offset-matched fast "
+                         "forwarding"),
+      loadsFromCache(this, "loads_from_cache",
+                     "loads that accessed the cache"),
+      combinedAccesses(this, "combined_accesses",
+                       "accesses merged into another port grant"),
+      portDenials(this, "port_denials",
+                  "port requests denied (all ports busy)"),
+      bankConflicts(this, "bank_conflicts",
+                    "requests denied by a busy bank (banked mode)"),
+      disambiguationStalls(this, "disambiguation_stalls",
+                           "load-cycles blocked on unknown older "
+                           "store addresses"),
+      missteeredAccesses(this, "missteered",
+                         "accesses steered to the wrong queue"),
+      cancelledReplicas(this, "cancelled_replicas",
+                        "replicated copies killed at resolution"),
+      occupancyHist(this, "occupancy", "queue occupancy distribution",
+                    65, 1),
+      capacity(size),
+      cache(cache),
+      altCache(altCache),
+      policy(policy),
+      entries(static_cast<std::size_t>(size)),
+      scheduler(policy.ports, policy.combining,
+                cache->params().lineBytes, policy.banks)
+{
+    if (size < 1)
+        panic("memory queue needs at least one entry");
+}
+
+int
+MemQueue::positionOf(int slot) const
+{
+    return (slot - head + capacity) % capacity;
+}
+
+std::vector<int>
+MemQueue::olderSlots(int slot) const
+{
+    std::vector<int> out;
+    int pos = positionOf(slot);
+    out.reserve(static_cast<std::size_t>(pos));
+    for (int p = pos - 1; p >= 0; --p)
+        out.push_back((head + p) % capacity);
+    return out;
+}
+
+int
+MemQueue::allocate(InstSeq seq, int robIdx, bool isLoad,
+                   std::uint8_t accessSize, RegId baseReg,
+                   std::int32_t offset, std::uint32_t baseVersion)
+{
+    if (full())
+        panic("MemQueue::allocate on a full queue");
+
+    int slot = tail;
+    tail = (tail + 1) % capacity;
+    ++count;
+    ++allocated;
+
+    QueueEntry &e = entries[static_cast<std::size_t>(slot)];
+    e = QueueEntry{};
+    e.valid = true;
+    e.seq = seq;
+    e.robIdx = robIdx;
+    e.isLoad = isLoad;
+    e.isStore = !isLoad;
+    e.size = accessSize;
+    e.baseReg = baseReg;
+    e.offset = offset;
+    e.baseVersion = baseVersion;
+
+    if (isLoad) {
+        ++loadsTotal;
+        if (policy.fastForward) {
+            int match = findFastForwardStore(entries, olderSlots(slot), e);
+            if (match >= 0) {
+                e.fastFwdSlot = match;
+                e.fastFwdSeq =
+                    entries[static_cast<std::size_t>(match)].seq;
+            }
+        }
+    } else {
+        ++storesTotal;
+    }
+    return slot;
+}
+
+void
+MemQueue::setAddress(int slot, Addr addr, Cycle when, bool missteered)
+{
+    QueueEntry &e = entries[static_cast<std::size_t>(slot)];
+    if (!e.valid)
+        panic("setAddress on an invalid queue slot");
+    e.addr = addr;
+    e.addrKnown = true;
+    e.addrKnownAt = when;
+    if (missteered) {
+        e.missteered = true;
+        ++missteeredAccesses;
+    }
+}
+
+void
+MemQueue::setStoreData(int slot, Cycle readyAt)
+{
+    QueueEntry &e = entries[static_cast<std::size_t>(slot)];
+    if (!e.valid || !e.isStore)
+        panic("setStoreData on a non-store queue slot");
+    e.dataReady = true;
+    e.dataReadyAt = readyAt;
+}
+
+void
+MemQueue::cancel(int slot)
+{
+    QueueEntry &e = entries[static_cast<std::size_t>(slot)];
+    if (!e.valid)
+        panic("cancel of an invalid queue slot");
+    if (e.cancelled)
+        return;
+    e.cancelled = true;
+    ++cancelledReplicas;
+}
+
+bool
+MemQueue::tryCacheAccess(QueueEntry &e, int pos, Cycle now)
+{
+    auto grant = scheduler.request(e.addr, AccessKind::Load, pos);
+    if (!grant.granted) {
+        ++portDenials;
+        if (grant.bankConflict)
+            ++bankConflicts;
+        return false;
+    }
+
+    Cycle done;
+    if (grant.combined) {
+        // Ride the leader's wide access: same line, same completion.
+        ++combinedAccesses;
+        done = scheduler.groupCompletion(grant.groupId);
+    } else {
+        mem::Cache *target = e.missteered && altCache ? altCache : cache;
+        Cycle start = e.missteered ? now + policy.mispredictPenalty : now;
+        done = target->access(e.addr, false, start);
+        scheduler.setGroupCompletion(grant.groupId, done);
+    }
+    ++loadsFromCache;
+    e.issued = true;
+    e.completed = true;
+    e.completeAt = done;
+    return true;
+}
+
+void
+MemQueue::tick(Cycle now, std::vector<LoadCompletion> &completions)
+{
+    scheduler.newCycle(now);
+    if (now >= lastSampled + 64) {
+        occupancyHist.sample(static_cast<std::uint64_t>(count));
+        lastSampled = now;
+    }
+
+    // Walk the queue oldest-first. Track whether any older store still
+    // has an unknown address (conservative disambiguation barrier).
+    bool unknownStoreAddr = false;
+
+    for (int p = 0; p < count; ++p) {
+        int slot = (head + p) % capacity;
+        QueueEntry &e = entries[static_cast<std::size_t>(slot)];
+        if (!e.valid || e.cancelled)
+            continue;
+
+        if (e.isStore) {
+            if (!e.addrKnown || e.addrKnownAt > now)
+                unknownStoreAddr = true;
+            continue;
+        }
+
+        if (e.issued || e.completed)
+            continue;
+
+        // --- Fast data forwarding: may complete before addresses. ---
+        if (e.fastFwdSlot >= 0) {
+            QueueEntry &s =
+                entries[static_cast<std::size_t>(e.fastFwdSlot)];
+            if (s.valid && s.seq == e.fastFwdSeq && !s.cancelled) {
+                if (s.dataReady && s.dataReadyAt <= now) {
+                    e.issued = true;
+                    e.completed = true;
+                    e.completeAt = now + policy.forwardLatency;
+                    ++loadsFastForwarded;
+                    completions.push_back(
+                        {slot, e.robIdx, e.completeAt});
+                }
+                // Else: wait for the store's data; either way this
+                // load never consults the cache.
+                continue;
+            }
+            // The matched store left the queue (committed); its value
+            // is in the cache now -- fall through to the normal path.
+            e.fastFwdSlot = -1;
+        }
+
+        // --- Normal path: needs this load's address. ---
+        if (!e.addrKnown || e.addrKnownAt > now)
+            continue;
+
+        if (unknownStoreAddr) {
+            ++disambiguationStalls;
+            continue;
+        }
+
+        // All older store addresses are known: find the youngest
+        // matching store.
+        QueueEntry *match = nullptr;
+        bool blocked = false;
+        for (int q = p - 1; q >= 0; --q) {
+            int s2 = (head + q) % capacity;
+            QueueEntry &st = entries[static_cast<std::size_t>(s2)];
+            if (!st.valid || st.cancelled || !st.isStore ||
+                !st.overlaps(e))
+                continue;
+            if (st.committed) {
+                // Value already written to the cache.
+                break;
+            }
+            if (e.coveredBy(st)) {
+                match = &st;
+            } else {
+                // Partial overlap: wait until the store commits.
+                blocked = true;
+            }
+            break;
+        }
+        if (blocked)
+            continue;
+
+        if (match) {
+            if (match->dataReady && match->dataReadyAt <= now) {
+                // As in sim-outorder, a load satisfied by in-queue
+                // forwarding still issues through a cache port; only
+                // the latency is the 1-cycle forward. (Fast data
+                // forwarding above is what bypasses the port.)
+                auto grant =
+                    scheduler.request(e.addr, AccessKind::Forward, p);
+                if (!grant.granted) {
+                    ++portDenials;
+                    if (grant.bankConflict)
+                        ++bankConflicts;
+                    continue;
+                }
+                e.issued = true;
+                e.completed = true;
+                e.completeAt = now + policy.forwardLatency;
+                if (grant.combined)
+                    ++combinedAccesses;
+                else
+                    scheduler.setGroupCompletion(grant.groupId,
+                                                 e.completeAt);
+                ++loadsForwarded;
+                completions.push_back({slot, e.robIdx, e.completeAt});
+            }
+            // Else wait for the store's data.
+            continue;
+        }
+
+        // Cache access, subject to port availability.
+        if (tryCacheAccess(e, p, now))
+            completions.push_back({slot, e.robIdx, e.completeAt});
+    }
+}
+
+bool
+MemQueue::commitStore(int slot, Cycle now)
+{
+    scheduler.newCycle(now);
+    QueueEntry &e = entries[static_cast<std::size_t>(slot)];
+    if (!e.valid || !e.isStore)
+        panic("commitStore on a non-store queue slot");
+    if (e.committed || e.cancelled)
+        return true;
+
+    auto grant =
+        scheduler.request(e.addr, AccessKind::Store, positionOf(slot));
+    if (!grant.granted) {
+        ++portDenials;
+        if (grant.bankConflict)
+            ++bankConflicts;
+        return false;
+    }
+    if (grant.combined) {
+        ++combinedAccesses;
+    } else {
+        mem::Cache *target = e.missteered && altCache ? altCache : cache;
+        Cycle start = e.missteered ? now + policy.mispredictPenalty : now;
+        Cycle done = target->access(e.addr, true, start);
+        scheduler.setGroupCompletion(grant.groupId, done);
+    }
+    e.committed = true;
+    return true;
+}
+
+void
+MemQueue::release(int slot)
+{
+    QueueEntry &e = entries[static_cast<std::size_t>(slot)];
+    if (!e.valid)
+        panic("release of an invalid queue slot");
+    if (slot != head)
+        panic("queue entries must be released oldest-first "
+              "(slot %d, head %d)", slot, head);
+    e.valid = false;
+    head = (head + 1) % capacity;
+    --count;
+}
+
+double
+MemQueue::queueSatisfiedFrac() const
+{
+    double fwd =
+        loadsForwarded.report() + loadsFastForwarded.report();
+    return stats::safeRatio(fwd, loadsTotal.report());
+}
+
+} // namespace ddsim::core

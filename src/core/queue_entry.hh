@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The per-entry state of a memory access queue (LSQ or LVAQ).
+ */
+
+#ifndef DDSIM_CORE_QUEUE_ENTRY_HH_
+#define DDSIM_CORE_QUEUE_ENTRY_HH_
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace ddsim::core {
+
+/** One load or store resident in a memory access queue. */
+struct QueueEntry
+{
+    bool valid = false;
+    InstSeq seq = 0;            ///< Program-order sequence number.
+    int robIdx = -1;            ///< Owning ROB entry.
+    bool isLoad = false;
+    bool isStore = false;
+    std::uint8_t size = 0;      ///< Access width in bytes.
+
+    // Effective address, filled in by address generation.
+    Addr addr = 0;
+    bool addrKnown = false;
+    Cycle addrKnownAt = 0;
+
+    // Store data availability.
+    bool dataReady = false;
+    Cycle dataReadyAt = 0;
+
+    // Progress.
+    bool issued = false;        ///< Load sent to cache / forwarded.
+    bool completed = false;
+    Cycle completeAt = 0;
+    bool committed = false;     ///< Store written to its cache.
+
+    // Static addressing info used by fast data forwarding: a
+    // store/load pair with the same base register, the same version of
+    // that register's value and the same offset is guaranteed to match
+    // addresses (Section 2.2.2).
+    RegId baseReg = 0;
+    std::int32_t offset = 0;
+    std::uint32_t baseVersion = 0;
+
+    /** Fast-forward source: (slot, seq) of the matched older store. */
+    int fastFwdSlot = -1;
+    InstSeq fastFwdSeq = 0;
+
+    /** Steered into the wrong queue (Predictor classifier only). */
+    bool missteered = false;
+
+    /**
+     * Killed replica (Replicate steering, paper footnote 3): the
+     * access was inserted into both queues and this copy turned out
+     * to be in the wrong one. Cancelled entries never issue, never
+     * block disambiguation, and release normally.
+     */
+    bool cancelled = false;
+
+    /** Bytes [addr, addr+size) overlap with @p other's range? */
+    bool
+    overlaps(const QueueEntry &other) const
+    {
+        return addr < other.addr + other.size &&
+               other.addr < addr + size;
+    }
+
+    /** Does @p other (a store) fully cover this entry's bytes? */
+    bool
+    coveredBy(const QueueEntry &other) const
+    {
+        return other.addr <= addr &&
+               addr + size <= other.addr + other.size;
+    }
+};
+
+} // namespace ddsim::core
+
+#endif // DDSIM_CORE_QUEUE_ENTRY_HH_

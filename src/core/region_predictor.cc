@@ -1,0 +1,33 @@
+#include "core/region_predictor.hh"
+
+#include <bit>
+
+#include "util/log.hh"
+
+namespace ddsim::core {
+
+RegionPredictor::RegionPredictor(int entries)
+{
+    if (entries < 1)
+        fatal("region predictor needs at least one entry");
+    std::uint32_t n = std::bit_ceil(static_cast<std::uint32_t>(entries));
+    table.assign(n, Entry{});
+    mask = n - 1;
+}
+
+bool
+RegionPredictor::predictLocal(std::uint32_t pcIdx, bool compilerHint)
+{
+    const Entry &e = table[index(pcIdx)];
+    return e.trained ? e.lastLocal : compilerHint;
+}
+
+void
+RegionPredictor::update(std::uint32_t pcIdx, bool wasLocal)
+{
+    Entry &e = table[index(pcIdx)];
+    e.trained = true;
+    e.lastLocal = wasLocal;
+}
+
+} // namespace ddsim::core

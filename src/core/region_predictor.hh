@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The 1-bit access-region predictor of Section 2.2.3: a small
+ * direct-mapped table indexed by instruction address, each entry
+ * remembering whether that static memory instruction last touched the
+ * stack region. The paper reports ~99.9% of dynamic references
+ * correctly classified with this scheme.
+ */
+
+#ifndef DDSIM_CORE_REGION_PREDICTOR_HH_
+#define DDSIM_CORE_REGION_PREDICTOR_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace ddsim::core {
+
+/** Direct-mapped 1-bit last-region predictor. */
+class RegionPredictor
+{
+  public:
+    /** @param entries Table size; rounded up to a power of two. */
+    explicit RegionPredictor(int entries);
+
+    /**
+     * Predict whether the memory instruction at text index @p pcIdx
+     * accesses the stack region. @p compilerHint seeds entries that
+     * have never been trained.
+     */
+    bool predictLocal(std::uint32_t pcIdx, bool compilerHint);
+
+    /** Train with the resolved region of the access. */
+    void update(std::uint32_t pcIdx, bool wasLocal);
+
+    int size() const { return static_cast<int>(table.size()); }
+
+  private:
+    struct Entry
+    {
+        bool trained = false;
+        bool lastLocal = false;
+    };
+
+    std::vector<Entry> table;
+    std::uint32_t mask;
+
+    std::uint32_t index(std::uint32_t pcIdx) const
+    {
+        return pcIdx & mask;
+    }
+};
+
+} // namespace ddsim::core
+
+#endif // DDSIM_CORE_REGION_PREDICTOR_HH_

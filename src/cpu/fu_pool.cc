@@ -1,0 +1,61 @@
+#include "cpu/fu_pool.hh"
+
+#include "util/log.hh"
+
+namespace ddsim::cpu {
+
+using isa::FuClass;
+
+FuPool::FuPool(const config::MachineConfig &cfg)
+{
+    busyUntil[0].assign(static_cast<std::size_t>(cfg.numIntAlu), 0);
+    busyUntil[1].assign(static_cast<std::size_t>(cfg.numIntMultDiv), 0);
+    busyUntil[2].assign(static_cast<std::size_t>(cfg.numFpAlu), 0);
+    busyUntil[3].assign(static_cast<std::size_t>(cfg.numFpMultDiv), 0);
+}
+
+int
+FuPool::poolIndex(FuClass fc)
+{
+    switch (fc) {
+      case FuClass::IntAlu:
+        return 0;
+      case FuClass::IntMult:
+      case FuClass::IntDiv:
+        return 1;
+      case FuClass::FpAlu:
+        return 2;
+      case FuClass::FpMult:
+      case FuClass::FpDiv:
+        return 3;
+      case FuClass::MemPort:
+      case FuClass::NumClasses:
+        break;
+    }
+    panic("no functional unit pool for class %d", static_cast<int>(fc));
+}
+
+bool
+FuPool::tryIssue(FuClass fc, Cycle now, int latency, bool pipelined)
+{
+    auto &pool = busyUntil[static_cast<std::size_t>(poolIndex(fc))];
+    for (Cycle &busy : pool) {
+        if (busy <= now) {
+            // A pipelined unit accepts a new operation next cycle; an
+            // unpipelined one (the divides) is held for the duration.
+            busy = pipelined ? now + 1
+                             : now + static_cast<Cycle>(latency);
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+FuPool::poolSize(FuClass fc) const
+{
+    return static_cast<int>(
+        busyUntil[static_cast<std::size_t>(poolIndex(fc))].size());
+}
+
+} // namespace ddsim::cpu

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Functional unit pool: Table 1's 16 integer ALUs, 16 FP ALUs and the
+ * 4 integer + 4 FP combined MULT/DIV units. ALUs and multipliers are
+ * pipelined (one issue per unit per cycle); dividers occupy their unit
+ * for the full operation latency.
+ */
+
+#ifndef DDSIM_CPU_FU_POOL_HH_
+#define DDSIM_CPU_FU_POOL_HH_
+
+#include <array>
+#include <vector>
+
+#include "config/machine_config.hh"
+#include "isa/opcode.hh"
+#include "util/types.hh"
+
+namespace ddsim::cpu {
+
+/** Tracks functional unit availability cycle by cycle. */
+class FuPool
+{
+  public:
+    explicit FuPool(const config::MachineConfig &cfg);
+
+    /**
+     * Try to start an operation of class @p fc at cycle @p now.
+     * @return true and reserves a unit on success.
+     */
+    bool tryIssue(isa::FuClass fc, Cycle now, int latency,
+                  bool pipelined);
+
+    /** Units in the pool serving class @p fc. */
+    int poolSize(isa::FuClass fc) const;
+
+  private:
+    // Physical pools: IntAlu, IntMultDiv, FpAlu, FpMultDiv.
+    static constexpr int NumPools = 4;
+    std::array<std::vector<Cycle>, NumPools> busyUntil;
+
+    static int poolIndex(isa::FuClass fc);
+};
+
+} // namespace ddsim::cpu
+
+#endif // DDSIM_CPU_FU_POOL_HH_

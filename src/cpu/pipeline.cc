@@ -1,0 +1,499 @@
+#include "cpu/pipeline.hh"
+
+#include <ostream>
+
+#include "isa/disasm.hh"
+#include "util/log.hh"
+
+namespace ddsim::cpu {
+
+using core::QueuePolicy;
+using core::Stream;
+
+Pipeline::Pipeline(stats::Group *parent,
+                   const config::MachineConfig &cfg, vm::Executor &exec)
+    : stats::Group(parent, "cpu"),
+      numCycles(this, "cycles", "simulated cycles"),
+      committedInsts(this, "committed", "instructions committed"),
+      fetchedInsts(this, "fetched", "instructions fetched"),
+      issuedOps(this, "issued", "operations issued to FUs"),
+      agIssues(this, "agen_issues", "address generations issued"),
+      robFullStalls(this, "rob_full_stalls",
+                    "dispatch halts due to a full ROB"),
+      lsqFullStalls(this, "lsq_full_stalls",
+                    "dispatch halts due to a full LSQ"),
+      lvaqFullStalls(this, "lvaq_full_stalls",
+                     "dispatch halts due to a full LVAQ"),
+      commitPortStalls(this, "commit_port_stalls",
+                       "store commits blocked on cache ports"),
+      robOccupancy(this, "rob_occupancy",
+                   "sampled reorder buffer occupancy", 33, 4),
+      ipcStat(this, "ipc", "committed instructions per cycle",
+              [this] { return ipc(); }),
+      cfg(cfg),
+      executor(exec),
+      fuPool(cfg),
+      rob(cfg.robSize)
+{
+    cfg.validate();
+    memHier = std::make_unique<mem::Hierarchy>(this, cfg);
+    memClassifier =
+        std::make_unique<core::Classifier>(this, cfg.classifier);
+    stream = std::make_unique<vm::StreamStats>(this);
+
+    QueuePolicy lsqPolicy;
+    lsqPolicy.ports = cfg.l1.ports;
+    lsqPolicy.combining = 1;      // Combining is an LVAQ optimization.
+    lsqPolicy.banks = cfg.l1.banks;
+    lsqPolicy.fastForward = false;
+    lsqPolicy.forwardLatency = cfg.forwardLatency;
+    lsqPolicy.mispredictPenalty = cfg.mispredictPenalty;
+    lsqQueue = std::make_unique<core::MemQueue>(
+        this, "lsq", cfg.lsqSize, &memHier->l1(), memHier->lvc(),
+        lsqPolicy);
+
+    if (cfg.lvcEnabled) {
+        QueuePolicy lvaqPolicy;
+        lvaqPolicy.ports = cfg.lvc.ports;
+        lvaqPolicy.combining = cfg.combining;
+        lvaqPolicy.banks = cfg.lvc.banks;
+        lvaqPolicy.fastForward = cfg.fastForward;
+        lvaqPolicy.forwardLatency = cfg.forwardLatency;
+        lvaqPolicy.mispredictPenalty = cfg.mispredictPenalty;
+        lvaqQueue = std::make_unique<core::MemQueue>(
+            this, "lvaq", cfg.lvaqSize, memHier->lvc(), &memHier->l1(),
+            lvaqPolicy);
+    }
+
+    fetchQueueCap = static_cast<std::size_t>(cfg.fetchWidth) * 2;
+}
+
+core::MemQueue &
+Pipeline::queueOf(QueueKind kind)
+{
+    if (kind == QueueKind::Lvaq) {
+        if (!lvaqQueue)
+            panic("LVAQ access on a machine without one");
+        return *lvaqQueue;
+    }
+    return *lsqQueue;
+}
+
+bool
+Pipeline::srcReady(const ProducerTag &tag) const
+{
+    if (!tag.valid())
+        return true; // Value lives in the register file.
+    const RobEntry &p = rob[tag.robIdx];
+    if (!p.valid || p.di.seq != tag.seq)
+        return true; // Producer already committed.
+    return p.completed && p.readyAt <= curCycle;
+}
+
+Cycle
+Pipeline::srcReadyAt(const ProducerTag &tag, Cycle fallback) const
+{
+    if (!tag.valid())
+        return fallback;
+    const RobEntry &p = rob[tag.robIdx];
+    if (!p.valid || p.di.seq != tag.seq)
+        return fallback;
+    return p.readyAt;
+}
+
+// ---- Commit ---------------------------------------------------------------
+
+void
+Pipeline::commitStage()
+{
+    int n = 0;
+    while (n < cfg.commitWidth && !rob.empty()) {
+        int idx = rob.headIdx();
+        RobEntry &e = rob[idx];
+
+        if (e.isMem()) {
+            core::MemQueue &q = e.replicated && e.di.stackAccess
+                                    ? *lvaqQueue
+                                    : queueOf(e.queueKind);
+            int slot = e.replicated && e.di.stackAccess ? e.lvaqSlot
+                                                        : e.queueSlot;
+            if (e.di.isStore()) {
+                const core::QueueEntry &qe = q.entry(slot);
+                bool ready = qe.addrKnown && qe.addrKnownAt <= curCycle &&
+                             qe.dataReady && qe.dataReadyAt <= curCycle;
+                if (!ready)
+                    break;
+                if (!q.commitStore(slot, curCycle)) {
+                    ++commitPortStalls;
+                    break;
+                }
+            } else {
+                // Load completions are pushed into the ROB entry by
+                // the memory stage (from whichever copy finished).
+                if (!(e.completed && e.readyAt <= curCycle))
+                    break;
+            }
+            if (e.replicated) {
+                lsqQueue->release(e.queueSlot);
+                lvaqQueue->release(e.lvaqSlot);
+            } else {
+                queueOf(e.queueKind).release(e.queueSlot);
+            }
+        } else {
+            if (!(e.completed && e.readyAt <= curCycle))
+                break;
+        }
+
+        isa::RegRef d = isa::destReg(e.di.inst);
+        if (d.valid())
+            renameTable.clearIfProducer(d, ProducerTag{idx, e.di.seq});
+
+        if (traceOut)
+            traceCommit(e);
+        rob.releaseHead();
+        ++committedInsts;
+        ++n;
+        lastCommit = curCycle;
+    }
+}
+
+void
+Pipeline::traceCommit(const RobEntry &e)
+{
+    std::string where;
+    if (e.isMem()) {
+        if (e.replicated)
+            where = " [both]";
+        else if (e.queueKind == QueueKind::Lvaq)
+            where = " [lvaq]";
+        else
+            where = " [lsq]";
+        if (e.di.isMem())
+            where += format(" @0x%08x", e.di.effAddr);
+    }
+    *traceOut << format(
+        "%8llu  pc=%06u  D%-8llu R%-8llu C%-8llu  %s%s\n",
+        (unsigned long long)e.di.seq, e.di.pcIdx,
+        (unsigned long long)e.dispatchedAt,
+        (unsigned long long)e.readyAt, (unsigned long long)curCycle,
+        isa::disassemble(e.di.inst).c_str(), where.c_str());
+}
+
+// ---- Memory ----------------------------------------------------------------
+
+void
+Pipeline::memoryStage()
+{
+    completions.clear();
+    lsqQueue->tick(curCycle, completions);
+    if (lvaqQueue)
+        lvaqQueue->tick(curCycle, completions);
+    for (const core::LoadCompletion &c : completions) {
+        RobEntry &e = rob[c.robIdx];
+        if (!e.valid)
+            panic("load completion for an invalid ROB entry");
+        // Under Replicate steering both copies could in principle
+        // report; the first one wins.
+        if (e.completed)
+            continue;
+        e.completed = true;
+        e.readyAt = c.readyAt;
+    }
+}
+
+// ---- Issue ------------------------------------------------------------------
+
+void
+Pipeline::pushStoreData(RobEntry &e)
+{
+    // src[1] is the store's data operand (srcRegs() order); an invalid
+    // tag means the value already lives in the register file. The
+    // *time* the data becomes available is pushed to the queue as
+    // soon as the producer's completion time is known (the wakeup
+    // broadcast), so a load polling the queue in the same cycle the
+    // data arrives can still forward -- otherwise the store could
+    // commit and leave the queue one cycle before the load sees it.
+    ProducerTag data;
+    if (e.numSrc > 1)
+        data = e.src[1];
+
+    Cycle at;
+    if (!data.valid()) {
+        at = e.dispatchedAt; // value already in the register file
+    } else {
+        const RobEntry &p = rob[data.robIdx];
+        if (!p.valid || p.di.seq != data.seq)
+            at = curCycle; // producer already committed
+        else if (p.completed)
+            at = p.readyAt; // may still be in the future
+        else
+            return; // completion time not known yet
+    }
+    queueOf(e.queueKind).setStoreData(e.queueSlot, at);
+    if (e.replicated)
+        lvaqQueue->setStoreData(e.lvaqSlot, at);
+    e.storeDataSent = true;
+}
+
+void
+Pipeline::issueStage()
+{
+    int issued = 0;
+    for (int p = 0; p < rob.occupancy(); ++p) {
+        int idx = rob.nth(p);
+        RobEntry &e = rob[idx];
+        if (!e.valid)
+            continue;
+
+        // Store data readiness is tracked continuously (it costs no
+        // issue bandwidth: the value is read out of the window when
+        // the store fires).
+        if (e.isMem() && e.di.isStore() && !e.storeDataSent)
+            pushStoreData(e);
+
+        if (issued >= cfg.issueWidth)
+            continue; // Keep scanning only for store-data pushes.
+
+        if (e.isMem()) {
+            if (e.addrIssued)
+                continue;
+            // Fast-forwarded load: the value arrived through the
+            // LVAQ's offset match; no address generation needed.
+            const core::QueueEntry &fastQe =
+                e.replicated ? lvaqQueue->entry(e.lvaqSlot)
+                             : queueOf(e.queueKind).entry(e.queueSlot);
+            if (fastQe.completed && !fastQe.cancelled) {
+                e.addrIssued = true;
+                if (e.replicated)
+                    lsqQueue->cancel(e.queueSlot);
+                continue;
+            }
+            if (!srcReady(e.src[0]))
+                continue; // Base register not ready.
+            if (!fuPool.tryIssue(isa::FuClass::IntAlu, curCycle, 1,
+                                 true))
+                continue;
+            e.addrIssued = true;
+            ++issued;
+            ++agIssues;
+
+            if (e.replicated) {
+                // Replicated steering (paper footnote 3): the address
+                // resolution picks the surviving copy and kills the
+                // other -- no misprediction is possible.
+                if (e.di.stackAccess) {
+                    lvaqQueue->setAddress(e.lvaqSlot, e.di.effAddr,
+                                          curCycle + 1, false);
+                    lsqQueue->cancel(e.queueSlot);
+                } else {
+                    lsqQueue->setAddress(e.queueSlot, e.di.effAddr,
+                                         curCycle + 1, false);
+                    lvaqQueue->cancel(e.lvaqSlot);
+                }
+                continue;
+            }
+
+            bool missteered = false;
+            if (lvaqQueue && cfg.classifier !=
+                                 config::ClassifierKind::None) {
+                Stream chosen = e.queueKind == QueueKind::Lvaq
+                                    ? Stream::Lvaq
+                                    : Stream::Lsq;
+                missteered = !memClassifier->verify(e.di, chosen);
+            }
+            queueOf(e.queueKind)
+                .setAddress(e.queueSlot, e.di.effAddr, curCycle + 1,
+                            missteered);
+        } else {
+            if (e.completed)
+                continue;
+            bool ready = true;
+            for (int s = 0; s < e.numSrc; ++s) {
+                if (!srcReady(e.src[s])) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (!ready)
+                continue;
+            const isa::OpInfo &info = isa::opInfo(e.di.inst.op);
+            if (!fuPool.tryIssue(info.fu, curCycle, info.latency,
+                                 info.pipelined))
+                continue;
+            e.completed = true;
+            e.readyAt = curCycle + info.latency;
+            ++issued;
+            ++issuedOps;
+        }
+    }
+}
+
+// ---- Dispatch ---------------------------------------------------------------
+
+void
+Pipeline::dispatchStage()
+{
+    int n = 0;
+    while (n < cfg.issueWidth && !fetchQueue.empty()) {
+        const vm::DynInst &di = fetchQueue.front();
+
+        if (rob.full()) {
+            ++robFullStalls;
+            break;
+        }
+
+        bool replicate =
+            lvaqQueue &&
+            cfg.classifier == config::ClassifierKind::Replicate;
+        QueueKind kind = QueueKind::None;
+        if (di.isMem()) {
+            if (replicate) {
+                // Footnote 3: a copy goes into each queue, so both
+                // must have room.
+                kind = QueueKind::Lsq;
+                if (lsqQueue->full()) {
+                    ++lsqFullStalls;
+                    break;
+                }
+                if (lvaqQueue->full()) {
+                    ++lvaqFullStalls;
+                    break;
+                }
+            } else {
+                Stream s = Stream::Lsq;
+                if (lvaqQueue)
+                    s = memClassifier->classify(di);
+                kind = s == Stream::Lvaq ? QueueKind::Lvaq
+                                         : QueueKind::Lsq;
+                core::MemQueue &q = queueOf(kind);
+                if (q.full()) {
+                    if (kind == QueueKind::Lvaq)
+                        ++lvaqFullStalls;
+                    else
+                        ++lsqFullStalls;
+                    break;
+                }
+            }
+        }
+
+        int idx = rob.allocate();
+        RobEntry &e = rob[idx];
+        e.di = di;
+        e.dispatchedAt = curCycle;
+        e.queueKind = kind;
+
+        isa::RegRef srcs[2];
+        e.numSrc = isa::srcRegs(di.inst, srcs);
+        for (int s = 0; s < e.numSrc; ++s)
+            e.src[s] = renameTable.producer(srcs[s]);
+
+        if (kind != QueueKind::None) {
+            e.queueSlot = queueOf(kind).allocate(
+                di.seq, idx, di.isLoad(), di.accessSize, di.inst.rs,
+                di.inst.imm, di.baseVersion);
+            if (replicate) {
+                e.replicated = true;
+                e.lvaqSlot = lvaqQueue->allocate(
+                    di.seq, idx, di.isLoad(), di.accessSize,
+                    di.inst.rs, di.inst.imm, di.baseVersion);
+            }
+        }
+
+        isa::RegRef d = isa::destReg(di.inst);
+        if (d.valid())
+            renameTable.setProducer(d, ProducerTag{idx, di.seq});
+
+        fetchQueue.pop_front();
+        ++n;
+    }
+}
+
+// ---- Fetch -------------------------------------------------------------------
+
+void
+Pipeline::fetchStage()
+{
+    int n = 0;
+    while (n < cfg.fetchWidth && fetchQueue.size() < fetchQueueCap) {
+        if (executor.halted())
+            break;
+        if (fetchLimit != 0 && numFetched >= fetchLimit)
+            break;
+        vm::DynInst di = executor.step();
+        stream->record(di);
+        fetchQueue.push_back(di);
+        ++numFetched;
+        ++fetchedInsts;
+        ++n;
+    }
+}
+
+// ---- Top level ------------------------------------------------------------------
+
+void
+Pipeline::cycleOnce()
+{
+    // The memory stage runs before commit so that a load polling its
+    // queue can forward from a store in the same cycle the store
+    // retires (otherwise every store that commits the cycle its data
+    // arrives would silently steal its consumer's 1-cycle forward).
+    // A consequence is that loads take cache ports ahead of
+    // committing stores within a cycle.
+    memoryStage();
+    commitStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+    if ((curCycle & 63) == 0)
+        robOccupancy.sample(static_cast<std::uint64_t>(
+            rob.occupancy()));
+    ++curCycle;
+    ++numCycles;
+
+    if (curCycle - lastCommit > 100000 && !rob.empty()) {
+        const RobEntry &h = rob[rob.headIdx()];
+        panic("pipeline deadlock: no commit for %llu cycles; head: "
+              "seq=%llu %s",
+              (unsigned long long)(curCycle - lastCommit),
+              (unsigned long long)h.di.seq,
+              isa::disassemble(h.di.inst).c_str());
+    }
+}
+
+bool
+Pipeline::done() const
+{
+    bool streamDone = executor.halted() ||
+                      (fetchLimit != 0 && numFetched >= fetchLimit);
+    return streamDone && fetchQueue.empty() && rob.empty();
+}
+
+void
+Pipeline::run(std::uint64_t maxInsts)
+{
+    fetchLimit = maxInsts;
+    while (!done())
+        cycleOnce();
+}
+
+void
+Pipeline::runUntilFetched(std::uint64_t insts)
+{
+    fetchLimit = 0;
+    while (numFetched < insts && !executor.halted())
+        cycleOnce();
+}
+
+void
+Pipeline::resetStats()
+{
+    resetAll();
+}
+
+double
+Pipeline::ipc() const
+{
+    return stats::safeRatio(committedInsts.report(), numCycles.report());
+}
+
+} // namespace ddsim::cpu

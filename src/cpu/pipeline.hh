@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The out-of-order core: a cycle-accurate model of the paper's
+ * six-stage machine (fetch, dispatch, issue, execute, writeback,
+ * commit) with an RUU/ROB window, per-stream memory access queues and
+ * a perfect front end (Section 3.1).
+ *
+ * Each simulated cycle runs, in order: commit (stores write their
+ * cache, taking port priority), memory tick (loads issue to the
+ * caches or forward in-queue), issue (FU and address-generation
+ * selection, oldest first), dispatch (rename + steer memory ops into
+ * LSQ/LVAQ) and fetch (pull from the functional executor).
+ */
+
+#ifndef DDSIM_CPU_PIPELINE_HH_
+#define DDSIM_CPU_PIPELINE_HH_
+
+#include <deque>
+#include <iosfwd>
+#include <memory>
+
+#include "config/machine_config.hh"
+#include "core/classifier.hh"
+#include "core/mem_queue.hh"
+#include "cpu/fu_pool.hh"
+#include "cpu/rename.hh"
+#include "cpu/rob.hh"
+#include "mem/hierarchy.hh"
+#include "stats/group.hh"
+#include "stats/histogram.hh"
+#include "stats/stat.hh"
+#include "vm/executor.hh"
+
+namespace ddsim::cpu {
+
+/** The complete simulated processor. */
+class Pipeline : public stats::Group
+{
+  public:
+    /**
+     * @param parent Stats parent (the run's root group).
+     * @param cfg Machine configuration (validated by the caller).
+     * @param exec Functional executor providing the instruction
+     *        stream; not owned.
+     */
+    Pipeline(stats::Group *parent, const config::MachineConfig &cfg,
+             vm::Executor &exec);
+
+    /**
+     * Run until the program halts (or @p maxInsts instructions have
+     * been fetched) and the pipeline drains.
+     */
+    void run(std::uint64_t maxInsts = 0);
+
+    /**
+     * Advance until at least @p insts instructions have been fetched
+     * (or the stream ends) *without* draining the pipeline — the
+     * warmup phase of a sampled simulation.
+     */
+    void runUntilFetched(std::uint64_t insts);
+
+    /**
+     * Zero all statistics (cycles, committed counts, cache and queue
+     * counters) while keeping the microarchitectural state — caches
+     * stay warm, in-flight instructions stay in flight. Used after
+     * warmup.
+     */
+    void resetStats();
+
+    /** Advance one cycle (exposed for tests). */
+    void cycleOnce();
+
+    /**
+     * Stream a one-line-per-instruction timing trace (sequence, pc,
+     * disassembly, dispatch/ready/commit cycles, memory-queue
+     * placement) to @p os as instructions commit. Pass nullptr to
+     * stop tracing. Intended for small programs and debugging.
+     */
+    void setTrace(std::ostream *os) { traceOut = os; }
+
+    /** True when the stream is exhausted and the pipeline is empty. */
+    bool done() const;
+
+    Cycle now() const { return curCycle; }
+    double ipc() const;
+
+    // Component access for tests and benches.
+    mem::Hierarchy &hierarchy() { return *memHier; }
+    core::MemQueue &lsq() { return *lsqQueue; }
+    core::MemQueue *lvaq() { return lvaqQueue.get(); }
+    core::Classifier &classifier() { return *memClassifier; }
+    vm::StreamStats &streamStats() { return *stream; }
+    const config::MachineConfig &machineConfig() const { return cfg; }
+
+    // Stats.
+    stats::Scalar numCycles;
+    stats::Scalar committedInsts;
+    stats::Scalar fetchedInsts;
+    stats::Scalar issuedOps;
+    stats::Scalar agIssues;          ///< Address generations issued.
+    stats::Scalar robFullStalls;     ///< Dispatch halted: ROB full.
+    stats::Scalar lsqFullStalls;
+    stats::Scalar lvaqFullStalls;
+    stats::Scalar commitPortStalls;  ///< Store commit blocked on ports.
+    stats::Histogram robOccupancy;   ///< Sampled window occupancy.
+    stats::Formula ipcStat;          ///< committed / cycles.
+
+  private:
+    config::MachineConfig cfg;
+    vm::Executor &executor;
+
+    std::unique_ptr<mem::Hierarchy> memHier;
+    std::unique_ptr<core::Classifier> memClassifier;
+    std::unique_ptr<core::MemQueue> lsqQueue;
+    std::unique_ptr<core::MemQueue> lvaqQueue;
+    std::unique_ptr<vm::StreamStats> stream;
+    FuPool fuPool;
+    Rob rob;
+    RenameTable renameTable;
+
+    std::deque<vm::DynInst> fetchQueue;
+    std::size_t fetchQueueCap;
+    std::uint64_t fetchLimit = 0; ///< 0 = unlimited.
+    std::uint64_t numFetched = 0;
+
+    Cycle curCycle = 0;
+    Cycle lastCommit = 0;
+    std::vector<core::LoadCompletion> completions;
+    std::ostream *traceOut = nullptr;
+
+    void traceCommit(const RobEntry &e);
+
+    void commitStage();
+    void memoryStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    core::MemQueue &queueOf(QueueKind kind);
+    bool srcReady(const ProducerTag &tag) const;
+    Cycle srcReadyAt(const ProducerTag &tag, Cycle fallback) const;
+    void pushStoreData(RobEntry &e);
+};
+
+} // namespace ddsim::cpu
+
+#endif // DDSIM_CPU_PIPELINE_HH_

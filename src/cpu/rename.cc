@@ -1,0 +1,42 @@
+#include "cpu/rename.hh"
+
+#include "util/log.hh"
+
+namespace ddsim::cpu {
+
+void
+RenameTable::reset()
+{
+    table.fill(ProducerTag{});
+}
+
+int
+RenameTable::index(isa::RegRef r)
+{
+    if (r.file == isa::RegFile::None)
+        panic("rename: invalid register reference");
+    int base = r.file == isa::RegFile::Fpr ? 32 : 0;
+    return base + static_cast<int>(r.idx);
+}
+
+ProducerTag
+RenameTable::producer(isa::RegRef r) const
+{
+    return table[static_cast<std::size_t>(index(r))];
+}
+
+void
+RenameTable::setProducer(isa::RegRef r, ProducerTag tag)
+{
+    table[static_cast<std::size_t>(index(r))] = tag;
+}
+
+void
+RenameTable::clearIfProducer(isa::RegRef r, ProducerTag tag)
+{
+    auto &slot = table[static_cast<std::size_t>(index(r))];
+    if (slot.robIdx == tag.robIdx && slot.seq == tag.seq)
+        slot = ProducerTag{};
+}
+
+} // namespace ddsim::cpu

@@ -1,0 +1,37 @@
+#include "cpu/rob.hh"
+
+#include "util/log.hh"
+
+namespace ddsim::cpu {
+
+Rob::Rob(int size)
+    : entries(static_cast<std::size_t>(size)), capacity(size)
+{
+    if (size < 1)
+        panic("ROB needs at least one entry");
+}
+
+int
+Rob::allocate()
+{
+    if (full())
+        panic("Rob::allocate on a full ROB");
+    int idx = tail;
+    tail = (tail + 1) % capacity;
+    ++count;
+    entries[static_cast<std::size_t>(idx)] = RobEntry{};
+    entries[static_cast<std::size_t>(idx)].valid = true;
+    return idx;
+}
+
+void
+Rob::releaseHead()
+{
+    if (empty())
+        panic("Rob::releaseHead on an empty ROB");
+    entries[static_cast<std::size_t>(head)].valid = false;
+    head = (head + 1) % capacity;
+    --count;
+}
+
+} // namespace ddsim::cpu

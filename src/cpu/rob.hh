@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The reorder buffer (the paper's RUU): a circular window of in-flight
+ * instructions. Entries carry their producer tags and, for memory
+ * operations, a link to their queue slot.
+ */
+
+#ifndef DDSIM_CPU_ROB_HH_
+#define DDSIM_CPU_ROB_HH_
+
+#include <vector>
+
+#include "cpu/rename.hh"
+#include "util/types.hh"
+#include "vm/trace.hh"
+
+namespace ddsim::cpu {
+
+/** Which memory access queue a memory instruction lives in. */
+enum class QueueKind : std::int8_t { None = -1, Lsq = 0, Lvaq = 1 };
+
+/** One in-flight instruction. */
+struct RobEntry
+{
+    bool valid = false;
+    vm::DynInst di;
+
+    // Execution status: an entry is "completed" once its completion
+    // time is known; the result is usable from readyAt onward.
+    bool completed = false;
+    Cycle readyAt = 0;
+    Cycle dispatchedAt = 0;
+
+    // Register dependencies (producer tags; invalid = in regfile).
+    ProducerTag src[2];
+    int numSrc = 0;
+
+    // Memory operations.
+    QueueKind queueKind = QueueKind::None;
+    int queueSlot = -1;
+    /**
+     * Second queue slot under Replicate steering (paper footnote 3):
+     * queueSlot is the LSQ copy and lvaqSlot the LVAQ copy; the wrong
+     * one is cancelled when the address resolves.
+     */
+    int lvaqSlot = -1;
+    bool replicated = false;
+    bool addrIssued = false;    ///< AGU operation started.
+    bool storeDataSent = false; ///< Data readiness pushed to queue.
+
+    bool isMem() const { return queueKind != QueueKind::None; }
+};
+
+/** Circular reorder buffer. */
+class Rob
+{
+  public:
+    explicit Rob(int size);
+
+    bool full() const { return count == capacity; }
+    bool empty() const { return count == 0; }
+    int occupancy() const { return count; }
+    int size() const { return capacity; }
+
+    /** Allocate the tail entry; caller fills it in. */
+    int allocate();
+
+    /** Free the head entry (in-order commit). */
+    void releaseHead();
+
+    int headIdx() const { return head; }
+
+    RobEntry &operator[](int idx)
+    {
+        return entries[static_cast<std::size_t>(idx)];
+    }
+    const RobEntry &operator[](int idx) const
+    {
+        return entries[static_cast<std::size_t>(idx)];
+    }
+
+    /** Iterate oldest-first: index of the p-th oldest entry. */
+    int nth(int p) const { return (head + p) % capacity; }
+
+  private:
+    std::vector<RobEntry> entries;
+    int capacity;
+    int head = 0;
+    int tail = 0;
+    int count = 0;
+};
+
+} // namespace ddsim::cpu
+
+#endif // DDSIM_CPU_ROB_HH_

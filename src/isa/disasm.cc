@@ -1,0 +1,103 @@
+#include "isa/disasm.hh"
+
+#include "util/log.hh"
+
+namespace ddsim::isa {
+
+namespace {
+
+std::string
+regName(const Inst &inst, RegId idx, bool fpFile)
+{
+    (void)inst;
+    return fpFile ? fprName(idx) : std::string(gprName(idx));
+}
+
+} // namespace
+
+std::string
+disassemble(const Inst &inst)
+{
+    const OpInfo &info = opInfo(inst.op);
+    std::string out = info.mnemonic;
+    bool fp = info.fp;
+
+    auto space = [&] { out += " "; };
+
+    switch (info.fmt) {
+      case Format::None:
+        break;
+      case Format::R3: {
+        // FP compares / cvt.w.d write a GPR from FPR sources.
+        bool destFp = fp && inst.op != OpCode::C_LT_D &&
+                      inst.op != OpCode::C_LE_D &&
+                      inst.op != OpCode::C_EQ_D;
+        space();
+        out += regName(inst, inst.rd, destFp);
+        out += ", " + regName(inst, inst.rs, fp);
+        out += ", " + regName(inst, inst.rt, fp);
+        break;
+      }
+      case Format::R2: {
+        bool destFp = fp && inst.op != OpCode::CVT_W_D;
+        bool srcFp = fp && inst.op != OpCode::CVT_D_W;
+        space();
+        out += regName(inst, inst.rd, destFp);
+        out += ", " + regName(inst, inst.rs, srcFp);
+        break;
+      }
+      case Format::RShift:
+        space();
+        out += regName(inst, inst.rd, false);
+        out += ", " + regName(inst, inst.rs, false);
+        out += ", " + std::to_string(inst.imm);
+        break;
+      case Format::I2:
+        space();
+        out += regName(inst, inst.rt, false);
+        out += ", " + regName(inst, inst.rs, false);
+        out += ", " + std::to_string(inst.imm);
+        break;
+      case Format::I1:
+        space();
+        out += regName(inst, inst.rt, false);
+        out += ", " + std::to_string(inst.imm);
+        break;
+      case Format::Mem:
+        space();
+        out += regName(inst, inst.rt, fp);
+        out += ", " + std::to_string(inst.imm) + "(" +
+               regName(inst, inst.rs, false) + ")";
+        if (inst.localHint)
+            out += " !local";
+        break;
+      case Format::B2:
+        space();
+        out += regName(inst, inst.rs, false);
+        out += ", " + regName(inst, inst.rt, false);
+        out += ", " + std::to_string(inst.imm);
+        break;
+      case Format::B1:
+        space();
+        out += regName(inst, inst.rs, false);
+        out += ", " + std::to_string(inst.imm);
+        break;
+      case Format::Jmp:
+        space();
+        out += std::to_string(inst.target);
+        break;
+      case Format::JmpR:
+      case Format::Print:
+        space();
+        out += regName(inst, inst.rs, false);
+        break;
+      case Format::JmpLinkR:
+        space();
+        out += regName(inst, inst.rd, false);
+        out += ", " + regName(inst, inst.rs, false);
+        break;
+    }
+    return out;
+}
+
+} // namespace ddsim::isa

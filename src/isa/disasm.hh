@@ -1,0 +1,25 @@
+/**
+ * @file
+ * MISA disassembler: renders decoded instructions in the same textual
+ * syntax the AsmParser accepts, so round-tripping is possible.
+ */
+
+#ifndef DDSIM_ISA_DISASM_HH_
+#define DDSIM_ISA_DISASM_HH_
+
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace ddsim::isa {
+
+/**
+ * Render @p inst as assembly text, e.g. "lw t0, 8(sp) !local" or
+ * "add v0, a0, a1". Memory instructions carrying the local hint are
+ * suffixed with " !local".
+ */
+std::string disassemble(const Inst &inst);
+
+} // namespace ddsim::isa
+
+#endif // DDSIM_ISA_DISASM_HH_

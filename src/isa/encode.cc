@@ -1,0 +1,170 @@
+#include "isa/encode.hh"
+
+#include "util/log.hh"
+
+namespace ddsim::isa {
+
+namespace {
+
+std::uint32_t
+checkField(std::uint32_t value, std::uint32_t max, const char *what)
+{
+    if (value > max)
+        fatal("encode: %s field %u exceeds maximum %u", what, value, max);
+    return value;
+}
+
+// Logical immediates are zero-extended (as on MIPS) so that the
+// canonical "lui hi; ori lo" 32-bit constant idiom works. LUI's field
+// is likewise raw 16 bits.
+bool
+isLogicalImm(OpCode op)
+{
+    return op == OpCode::ANDI || op == OpCode::ORI ||
+           op == OpCode::XORI || op == OpCode::LUI;
+}
+
+std::int32_t
+signExtend(std::uint32_t value, int bits)
+{
+    std::uint32_t mask = (1u << bits) - 1;
+    value &= mask;
+    std::uint32_t sign = 1u << (bits - 1);
+    if (value & sign)
+        value |= ~mask;
+    return static_cast<std::int32_t>(value);
+}
+
+} // namespace
+
+std::uint32_t
+encode(const Inst &inst)
+{
+    const OpInfo &info = opInfo(inst.op);
+    std::uint32_t word = static_cast<std::uint32_t>(inst.op) << 26;
+    std::uint32_t rs = checkField(inst.rs, 31, "rs");
+    std::uint32_t rt = checkField(inst.rt, 31, "rt");
+    std::uint32_t rd = checkField(inst.rd, 31, "rd");
+
+    switch (info.fmt) {
+      case Format::None:
+        break;
+      case Format::R3:
+        word |= (rs << 21) | (rt << 16) | (rd << 11);
+        break;
+      case Format::R2:
+        word |= (rs << 21) | (rd << 11);
+        break;
+      case Format::RShift:
+        if (inst.imm < 0 || inst.imm > 31)
+            fatal("encode: shift amount %d out of range", inst.imm);
+        word |= (rs << 21) | (rd << 11) |
+                (static_cast<std::uint32_t>(inst.imm) << 6);
+        break;
+      case Format::I2:
+      case Format::I1:
+      case Format::B2:
+      case Format::B1:
+        if (isLogicalImm(inst.op)) {
+            if (inst.imm < 0 || inst.imm > 0xffff)
+                fatal("encode: logical immediate %d does not fit "
+                      "16 unsigned bits", inst.imm);
+        } else if (inst.imm < Imm16Min || inst.imm > Imm16Max) {
+            fatal("encode: immediate %d does not fit 16 bits", inst.imm);
+        }
+        word |= (rs << 21) | (rt << 16) |
+                (static_cast<std::uint32_t>(inst.imm) & 0xffffu);
+        break;
+      case Format::Mem:
+        if (!memOffsetFits(inst.imm))
+            fatal("encode: memory offset %d does not fit 15 bits "
+                  "(use a secondary base register for large frames)",
+                  inst.imm);
+        word |= (rs << 21) | (rt << 16);
+        if (inst.localHint)
+            word |= 1u << 15;
+        word |= static_cast<std::uint32_t>(inst.imm) & 0x7fffu;
+        break;
+      case Format::Jmp:
+        if (inst.target > JumpTargetMax)
+            fatal("encode: jump target %u does not fit 26 bits",
+                  inst.target);
+        word |= inst.target;
+        break;
+      case Format::JmpR:
+      case Format::Print:
+        word |= rs << 21;
+        break;
+      case Format::JmpLinkR:
+        word |= (rs << 21) | (rd << 11);
+        break;
+    }
+    return word;
+}
+
+Inst
+decode(std::uint32_t word)
+{
+    std::uint32_t opField = word >> 26;
+    if (opField >= static_cast<std::uint32_t>(NumOpcodesInt))
+        fatal("decode: invalid opcode %u in word 0x%08x", opField, word);
+
+    Inst inst;
+    inst.op = static_cast<OpCode>(opField);
+    const OpInfo &info = opInfo(inst.op);
+
+    std::uint32_t rs = (word >> 21) & 0x1f;
+    std::uint32_t rt = (word >> 16) & 0x1f;
+    std::uint32_t rd = (word >> 11) & 0x1f;
+    std::uint32_t shamt = (word >> 6) & 0x1f;
+
+    switch (info.fmt) {
+      case Format::None:
+        break;
+      case Format::R3:
+        inst.rs = static_cast<RegId>(rs);
+        inst.rt = static_cast<RegId>(rt);
+        inst.rd = static_cast<RegId>(rd);
+        break;
+      case Format::R2:
+        inst.rs = static_cast<RegId>(rs);
+        inst.rd = static_cast<RegId>(rd);
+        break;
+      case Format::RShift:
+        inst.rs = static_cast<RegId>(rs);
+        inst.rd = static_cast<RegId>(rd);
+        inst.imm = static_cast<std::int32_t>(shamt);
+        break;
+      case Format::I2:
+      case Format::I1:
+      case Format::B2:
+      case Format::B1:
+        inst.rs = static_cast<RegId>(rs);
+        inst.rt = static_cast<RegId>(rt);
+        if (isLogicalImm(inst.op))
+            inst.imm = static_cast<std::int32_t>(word & 0xffffu);
+        else
+            inst.imm = signExtend(word & 0xffffu, 16);
+        break;
+      case Format::Mem:
+        inst.rs = static_cast<RegId>(rs);
+        inst.rt = static_cast<RegId>(rt);
+        inst.localHint = (word >> 15) & 1;
+        inst.imm = signExtend(word & 0x7fffu, 15);
+        break;
+      case Format::Jmp:
+        inst.target = word & 0x03ff'ffffu;
+        break;
+      case Format::JmpR:
+      case Format::Print:
+        inst.rs = static_cast<RegId>(rs);
+        break;
+      case Format::JmpLinkR:
+        inst.rs = static_cast<RegId>(rs);
+        inst.rd = static_cast<RegId>(rd);
+        break;
+    }
+    return inst;
+}
+
+} // namespace ddsim::isa

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * MISA binary encoding.
+ *
+ * All instructions are 32 bits:
+ *
+ *   [31:26] opcode
+ *   R-type: [25:21] rs, [20:16] rt, [15:11] rd, [10:6] shamt
+ *   I-type: [25:21] rs, [20:16] rt, [15:0] signed imm16
+ *   M-type: [25:21] rs, [20:16] rt, [15] local, [14:0] signed imm15
+ *   J-type: [25:0] absolute word target
+ *
+ * The M-type "local" bit is the compiler classification annotation of
+ * Section 2.2.3; its 15-bit offset field reproduces the paper's
+ * footnote-6 overflow behaviour for very large frames.
+ */
+
+#ifndef DDSIM_ISA_ENCODE_HH_
+#define DDSIM_ISA_ENCODE_HH_
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+
+namespace ddsim::isa {
+
+/** Smallest/largest representable memory offset (signed 15-bit). */
+inline constexpr std::int32_t MemOffsetMin = -(1 << 14);
+inline constexpr std::int32_t MemOffsetMax = (1 << 14) - 1;
+
+/** Smallest/largest representable I-type immediate (signed 16-bit). */
+inline constexpr std::int32_t Imm16Min = -(1 << 15);
+inline constexpr std::int32_t Imm16Max = (1 << 15) - 1;
+
+/** Largest J-type word target. */
+inline constexpr std::uint32_t JumpTargetMax = (1u << 26) - 1;
+
+/**
+ * Encode a decoded instruction into its 32-bit machine form.
+ * Calls fatal() if a field does not fit (e.g. an offset overflowing
+ * 15 bits), since that is a program-construction error.
+ */
+std::uint32_t encode(const Inst &inst);
+
+/**
+ * Decode a 32-bit machine word. Calls fatal() on an invalid opcode.
+ */
+Inst decode(std::uint32_t word);
+
+/** True if @p imm fits the memory offset field. */
+inline bool
+memOffsetFits(std::int32_t imm)
+{
+    return imm >= MemOffsetMin && imm <= MemOffsetMax;
+}
+
+} // namespace ddsim::isa
+
+#endif // DDSIM_ISA_ENCODE_HH_

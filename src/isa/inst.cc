@@ -1,0 +1,117 @@
+#include "isa/inst.hh"
+
+namespace ddsim::isa {
+
+RegRef
+destReg(const Inst &inst)
+{
+    const OpInfo &info = opInfo(inst.op);
+    RegRef d;
+    switch (info.fmt) {
+      case Format::R3:
+      case Format::R2:
+        // FP compares and cvt.w.d produce a GPR; other FP ops an FPR.
+        if (info.fp && inst.op != OpCode::C_LT_D &&
+            inst.op != OpCode::C_LE_D && inst.op != OpCode::C_EQ_D &&
+            inst.op != OpCode::CVT_W_D) {
+            d = fprRef(inst.rd);
+        } else {
+            d = gprRef(inst.rd);
+        }
+        break;
+      case Format::RShift:
+        d = gprRef(inst.rd);
+        break;
+      case Format::I2:
+      case Format::I1:
+        d = gprRef(inst.rt);
+        break;
+      case Format::Mem:
+        if (info.load)
+            d = info.fp ? fprRef(inst.rt) : gprRef(inst.rt);
+        break;
+      case Format::Jmp:
+        if (inst.op == OpCode::JAL)
+            d = gprRef(reg::ra);
+        break;
+      case Format::JmpLinkR:
+        d = gprRef(inst.rd);
+        break;
+      default:
+        break;
+    }
+    // Writes to the zero register are architectural no-ops.
+    if (d.file == RegFile::Gpr && d.idx == reg::zero)
+        return {};
+    return d;
+}
+
+int
+srcRegs(const Inst &inst, RegRef out[2])
+{
+    const OpInfo &info = opInfo(inst.op);
+    int n = 0;
+    auto add = [&](RegRef r) {
+        // The zero register is always ready; skip it as a dependency.
+        if (r.file == RegFile::Gpr && r.idx == reg::zero)
+            return;
+        out[n++] = r;
+    };
+
+    switch (info.fmt) {
+      case Format::R3:
+        if (info.fp) {
+            // FP compare sources are FPRs even though the dest is a GPR.
+            add(fprRef(inst.rs));
+            add(fprRef(inst.rt));
+        } else {
+            add(gprRef(inst.rs));
+            add(gprRef(inst.rt));
+        }
+        break;
+      case Format::R2:
+        if (inst.op == OpCode::CVT_D_W)
+            add(gprRef(inst.rs));
+        else if (info.fp)
+            add(fprRef(inst.rs));
+        else
+            add(gprRef(inst.rs));
+        break;
+      case Format::RShift:
+      case Format::I2:
+        add(gprRef(inst.rs));
+        break;
+      case Format::I1:
+        break;
+      case Format::Mem:
+        // Memory operands are pushed unconditionally (even the zero
+        // register, whose producer is always "ready") so that the
+        // pipeline can rely on src[0] = base, src[1] = store data.
+        out[n++] = gprRef(inst.rs);         // base address
+        if (info.store)
+            out[n++] = storeDataReg(inst);  // data
+        break;
+      case Format::B2:
+        add(gprRef(inst.rs));
+        add(gprRef(inst.rt));
+        break;
+      case Format::B1:
+      case Format::JmpR:
+      case Format::JmpLinkR:
+      case Format::Print:
+        add(gprRef(inst.rs));
+        break;
+      default:
+        break;
+    }
+    return n;
+}
+
+bool
+writesGpr(const Inst &inst, RegId r)
+{
+    RegRef d = destReg(inst);
+    return d.file == RegFile::Gpr && d.idx == r;
+}
+
+} // namespace ddsim::isa

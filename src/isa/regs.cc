@@ -1,0 +1,76 @@
+#include "isa/regs.hh"
+
+#include <cstdlib>
+
+#include "util/log.hh"
+#include "util/str.hh"
+
+namespace ddsim::isa {
+
+namespace {
+
+const char *const gprNames[NumGprs] = {
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+};
+
+} // namespace
+
+const char *
+gprName(RegId r)
+{
+    if (r >= NumGprs)
+        panic("gprName: register index %d out of range", (int)r);
+    return gprNames[r];
+}
+
+std::string
+fprName(RegId r)
+{
+    if (r >= NumFprs)
+        panic("fprName: register index %d out of range", (int)r);
+    return "f" + std::to_string(static_cast<int>(r));
+}
+
+bool
+parseRegName(const std::string &name, RegId &idx, bool &isFpr)
+{
+    std::string s = toLower(name);
+    if (!s.empty() && s[0] == '$')
+        s.erase(0, 1);
+    if (s.empty())
+        return false;
+
+    // Numeric forms: rN (GPR), fN (FPR).
+    if ((s[0] == 'r' || s[0] == 'f') && s.size() > 1) {
+        bool digits = true;
+        for (size_t i = 1; i < s.size(); ++i) {
+            if (s[i] < '0' || s[i] > '9') {
+                digits = false;
+                break;
+            }
+        }
+        if (digits) {
+            int n = std::atoi(s.c_str() + 1);
+            if (n < 0 || n >= NumGprs)
+                return false;
+            idx = static_cast<RegId>(n);
+            isFpr = (s[0] == 'f');
+            return true;
+        }
+    }
+
+    // ABI names.
+    for (int i = 0; i < NumGprs; ++i) {
+        if (s == gprNames[i]) {
+            idx = static_cast<RegId>(i);
+            isFpr = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace ddsim::isa

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * MISA register conventions (MIPS o32-flavoured).
+ *
+ * The conventions matter to the paper's mechanisms: the stack pointer
+ * (sp, r29) and frame pointer (fp, r30) are the base registers the
+ * hardware heuristic classifier watches, and writes to them delimit the
+ * sp-epochs used by fast data forwarding.
+ */
+
+#ifndef DDSIM_ISA_REGS_HH_
+#define DDSIM_ISA_REGS_HH_
+
+#include <string>
+
+#include "util/types.hh"
+
+namespace ddsim::isa {
+
+namespace reg {
+
+inline constexpr RegId zero = 0;    ///< Hard-wired zero.
+inline constexpr RegId at = 1;      ///< Assembler temporary.
+inline constexpr RegId v0 = 2;      ///< Return values.
+inline constexpr RegId v1 = 3;
+inline constexpr RegId a0 = 4;      ///< Arguments.
+inline constexpr RegId a1 = 5;
+inline constexpr RegId a2 = 6;
+inline constexpr RegId a3 = 7;
+inline constexpr RegId t0 = 8;      ///< Caller-saved temporaries.
+inline constexpr RegId t1 = 9;
+inline constexpr RegId t2 = 10;
+inline constexpr RegId t3 = 11;
+inline constexpr RegId t4 = 12;
+inline constexpr RegId t5 = 13;
+inline constexpr RegId t6 = 14;
+inline constexpr RegId t7 = 15;
+inline constexpr RegId s0 = 16;     ///< Callee-saved.
+inline constexpr RegId s1 = 17;
+inline constexpr RegId s2 = 18;
+inline constexpr RegId s3 = 19;
+inline constexpr RegId s4 = 20;
+inline constexpr RegId s5 = 21;
+inline constexpr RegId s6 = 22;
+inline constexpr RegId s7 = 23;
+inline constexpr RegId t8 = 24;
+inline constexpr RegId t9 = 25;
+inline constexpr RegId k0 = 26;     ///< Reserved (unused by ddsim).
+inline constexpr RegId k1 = 27;
+inline constexpr RegId gp = 28;     ///< Global data pointer.
+inline constexpr RegId sp = 29;     ///< Stack pointer.
+inline constexpr RegId fp = 30;     ///< Frame pointer.
+inline constexpr RegId ra = 31;     ///< Return address.
+
+} // namespace reg
+
+/** True if @p r is a stack-frame base register (sp or fp). */
+inline bool
+isStackBase(RegId r)
+{
+    return r == reg::sp || r == reg::fp;
+}
+
+/** ABI name of GPR @p r, e.g. "sp" for 29. */
+const char *gprName(RegId r);
+
+/** Name of FPR @p r ("f0".."f31"). */
+std::string fprName(RegId r);
+
+/**
+ * Parse a register name: ABI names ("sp", "t3"), "r<N>", or "$"-
+ * prefixed forms. FPRs parse as "f<N>"/"$f<N>".
+ *
+ * @return true on success; @p idx receives the register number and
+ *         @p isFpr is set accordingly.
+ */
+bool parseRegName(const std::string &name, RegId &idx, bool &isFpr);
+
+} // namespace ddsim::isa
+
+#endif // DDSIM_ISA_REGS_HH_

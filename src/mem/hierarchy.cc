@@ -1,0 +1,30 @@
+#include "mem/hierarchy.hh"
+
+namespace ddsim::mem {
+
+Hierarchy::Hierarchy(stats::Group *parent,
+                     const config::MachineConfig &cfg)
+    : stats::Group(parent, "memhier")
+{
+    memory = std::make_unique<MainMemory>(this, cfg.memLatency);
+    l2Cache = std::make_unique<Cache>(this, "l2", cfg.l2, memory.get(),
+                                      cfg.l2.mshrs);
+    l1Cache = std::make_unique<Cache>(this, "l1d", cfg.l1,
+                                      l2Cache.get(), cfg.l1.mshrs);
+    if (cfg.lvcEnabled) {
+        lvcCache = std::make_unique<Cache>(this, "lvc", cfg.lvc,
+                                           l2Cache.get(),
+                                           cfg.lvc.mshrs);
+    }
+}
+
+void
+Hierarchy::flushAll()
+{
+    l1Cache->flush();
+    l2Cache->flush();
+    if (lvcCache)
+        lvcCache->flush();
+}
+
+} // namespace ddsim::mem

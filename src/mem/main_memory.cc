@@ -1,0 +1,26 @@
+#include "mem/main_memory.hh"
+
+namespace ddsim::mem {
+
+MainMemory::MainMemory(stats::Group *parent, Cycle latency)
+    : stats::Group(parent, "mem"),
+      accesses(this, "accesses", "main memory accesses"),
+      reads(this, "reads", "main memory reads"),
+      writes(this, "writes", "main memory writes"),
+      latency(latency)
+{
+}
+
+Cycle
+MainMemory::access(Addr addr, bool isWrite, Cycle when)
+{
+    (void)addr;
+    ++accesses;
+    if (isWrite)
+        ++writes;
+    else
+        ++reads;
+    return when + latency;
+}
+
+} // namespace ddsim::mem

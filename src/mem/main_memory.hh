@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Main memory: fixed access latency, fully interleaved (no bank
+ * contention), matching Table 1 of the paper.
+ */
+
+#ifndef DDSIM_MEM_MAIN_MEMORY_HH_
+#define DDSIM_MEM_MAIN_MEMORY_HH_
+
+#include "mem/cache.hh"
+#include "stats/group.hh"
+#include "stats/stat.hh"
+
+namespace ddsim::mem {
+
+/** The DRAM at the bottom of the hierarchy. */
+class MainMemory : public MemLevel, public stats::Group
+{
+  public:
+    MainMemory(stats::Group *parent, Cycle latency);
+
+    Cycle access(Addr addr, bool isWrite, Cycle when) override;
+
+    stats::Scalar accesses;
+    stats::Scalar reads;
+    stats::Scalar writes;
+
+  private:
+    Cycle latency;
+};
+
+} // namespace ddsim::mem
+
+#endif // DDSIM_MEM_MAIN_MEMORY_HH_

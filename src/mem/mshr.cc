@@ -1,0 +1,60 @@
+#include "mem/mshr.hh"
+
+#include "util/log.hh"
+
+namespace ddsim::mem {
+
+void
+MshrFile::expire(Cycle now)
+{
+    for (auto it = fills.begin(); it != fills.end();) {
+        if (it->second <= now)
+            it = fills.erase(it);
+        else
+            ++it;
+    }
+}
+
+Cycle
+MshrFile::earliestCompletion() const
+{
+    Cycle best = 0;
+    for (const auto &[addr, fill] : fills) {
+        if (best == 0 || fill < best)
+            best = fill;
+    }
+    return best;
+}
+
+Cycle
+MshrFile::outstandingFill(Addr lineAddr, Cycle now)
+{
+    expire(now);
+    auto it = fills.find(lineAddr);
+    return it == fills.end() ? 0 : it->second;
+}
+
+Cycle
+MshrFile::allocate(Addr lineAddr, Cycle now, Cycle fillCycle)
+{
+    expire(now);
+    if (static_cast<int>(fills.size()) >= capacity) {
+        // Structural hazard: wait for the earliest outstanding fill,
+        // pushing this one's completion back by the same amount.
+        Cycle freeAt = earliestCompletion();
+        if (freeAt > now)
+            fillCycle += freeAt - now;
+        expire(freeAt);
+    }
+    fills[lineAddr] = fillCycle;
+    return fillCycle;
+}
+
+int
+MshrFile::busy(Cycle now)
+{
+    expire(now);
+    return static_cast<int>(fills.size());
+}
+
+} // namespace ddsim::mem

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Miss Status Holding Registers: the bookkeeping that makes a cache
+ * lockup-free. Tracks outstanding line fills so that later misses to
+ * the same line merge instead of issuing duplicate requests, and
+ * models a bounded number of outstanding misses.
+ */
+
+#ifndef DDSIM_MEM_MSHR_HH_
+#define DDSIM_MEM_MSHR_HH_
+
+#include <cstdint>
+#include <map>
+
+#include "util/types.hh"
+
+namespace ddsim::mem {
+
+/** Outstanding-miss tracker for one cache. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(int capacity) : capacity(capacity) {}
+
+    /**
+     * If a fill for @p lineAddr is in flight at @p now, return its
+     * completion cycle; otherwise 0.
+     */
+    Cycle outstandingFill(Addr lineAddr, Cycle now);
+
+    /**
+     * Register a new outstanding fill completing at @p fillCycle.
+     * If all MSHRs are busy at @p now, the request is delayed until
+     * one frees; the returned cycle is the (possibly pushed-back)
+     * completion time actually recorded.
+     */
+    Cycle allocate(Addr lineAddr, Cycle now, Cycle fillCycle);
+
+    /** Number of fills still outstanding at @p now. */
+    int busy(Cycle now);
+
+    int size() const { return capacity; }
+
+  private:
+    int capacity;
+    std::map<Addr, Cycle> fills; // lineAddr -> completion cycle
+
+    void expire(Cycle now);
+    Cycle earliestCompletion() const;
+};
+
+} // namespace ddsim::mem
+
+#endif // DDSIM_MEM_MSHR_HH_

@@ -1,0 +1,461 @@
+#include "prog/asm_parser.hh"
+
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "prog/builder.hh"
+#include "util/log.hh"
+#include "util/str.hh"
+
+namespace ddsim::prog {
+
+namespace {
+
+using isa::Format;
+using isa::OpCode;
+
+/** Parser state threaded through the line handlers. */
+struct AsmState
+{
+    ProgramBuilder builder;
+    std::map<std::string, Label> textLabels;  // name -> builder label
+    std::map<std::string, Addr> dataLabels;   // name -> absolute address
+    std::string entryName = "main";
+    bool inData = false;
+    int lineNo = 0;
+
+    explicit AsmState(const std::string &name) : builder(name) {}
+
+    [[noreturn]] void
+    error(const std::string &msg) const
+    {
+        fatal("asm line %d: %s", lineNo, msg.c_str());
+    }
+
+    Label
+    textLabel(const std::string &name)
+    {
+        auto it = textLabels.find(name);
+        if (it != textLabels.end())
+            return it->second;
+        Label l = builder.newLabel(name);
+        textLabels.emplace(name, l);
+        return l;
+    }
+};
+
+/** A parsed operand. */
+struct Operand
+{
+    enum class Kind { Reg, FpReg, Imm, Mem, LabelRef } kind;
+    RegId reg = 0;
+    std::int64_t imm = 0;
+    RegId base = 0;     // Mem
+    bool local = false; // Mem
+    std::string label;  // LabelRef
+};
+
+std::optional<Operand>
+parseOperand(AsmState &st, std::string tok, bool localFlag)
+{
+    tok = std::string(trim(tok));
+    if (tok.empty())
+        return std::nullopt;
+
+    // Memory operand: off(base)
+    auto open = tok.find('(');
+    if (open != std::string::npos && tok.back() == ')') {
+        Operand op;
+        op.kind = Operand::Kind::Mem;
+        op.local = localFlag;
+        std::string offStr = tok.substr(0, open);
+        std::string baseStr =
+            tok.substr(open + 1, tok.size() - open - 2);
+        std::int64_t off = 0;
+        if (!offStr.empty() && !parseInt(offStr, off))
+            st.error("bad memory offset '" + offStr + "'");
+        op.imm = off;
+        bool isFpr = false;
+        if (!isa::parseRegName(baseStr, op.base, isFpr) || isFpr)
+            st.error("bad base register '" + baseStr + "'");
+        return op;
+    }
+
+    // Register?
+    RegId idx;
+    bool isFpr;
+    if (isa::parseRegName(tok, idx, isFpr)) {
+        Operand op;
+        op.kind = isFpr ? Operand::Kind::FpReg : Operand::Kind::Reg;
+        op.reg = idx;
+        return op;
+    }
+
+    // Immediate?
+    std::int64_t value;
+    if (parseInt(tok, value)) {
+        Operand op;
+        op.kind = Operand::Kind::Imm;
+        op.imm = value;
+        return op;
+    }
+
+    // Label reference.
+    Operand op;
+    op.kind = Operand::Kind::LabelRef;
+    op.label = tok;
+    return op;
+}
+
+/** Split "a, b, c !local" into tokens; returns (tokens, localFlag). */
+std::pair<std::vector<std::string>, bool>
+splitOperands(std::string rest)
+{
+    bool local = false;
+    auto bang = rest.find("!local");
+    if (bang != std::string::npos) {
+        local = true;
+        rest.erase(bang);
+    }
+    std::vector<std::string> out;
+    for (auto &tok : split(rest, ',')) {
+        auto t = trim(tok);
+        if (!t.empty())
+            out.emplace_back(t);
+    }
+    return {out, local};
+}
+
+RegId
+wantReg(AsmState &st, const Operand &op)
+{
+    if (op.kind != Operand::Kind::Reg)
+        st.error("expected a general-purpose register");
+    return op.reg;
+}
+
+RegId
+wantFpReg(AsmState &st, const Operand &op)
+{
+    if (op.kind != Operand::Kind::FpReg)
+        st.error("expected a floating-point register");
+    return op.reg;
+}
+
+std::int32_t
+wantImm(AsmState &st, const Operand &op)
+{
+    if (op.kind != Operand::Kind::Imm)
+        st.error("expected an immediate");
+    return static_cast<std::int32_t>(op.imm);
+}
+
+void
+handleInstruction(AsmState &st, const std::string &mnem,
+                  const std::string &rest)
+{
+    auto [toks, localFlag] = splitOperands(rest);
+    std::vector<Operand> ops;
+    for (const auto &t : toks) {
+        auto op = parseOperand(st, t, localFlag);
+        if (op)
+            ops.push_back(*op);
+    }
+    auto &b = st.builder;
+    auto need = [&](size_t n) {
+        if (ops.size() != n)
+            st.error("'" + mnem + "' expects " + std::to_string(n) +
+                     " operands, got " + std::to_string(ops.size()));
+    };
+
+    // Pseudo-instructions first.
+    if (mnem == "li") {
+        need(2);
+        b.li(wantReg(st, ops[0]), wantImm(st, ops[1]));
+        return;
+    }
+    if (mnem == "la") {
+        need(2);
+        RegId rt = wantReg(st, ops[0]);
+        if (ops[1].kind == Operand::Kind::LabelRef) {
+            auto it = st.dataLabels.find(ops[1].label);
+            if (it == st.dataLabels.end())
+                st.error("la: data label '" + ops[1].label +
+                         "' not defined yet (define data before use)");
+            b.la(rt, it->second);
+        } else {
+            b.la(rt, static_cast<Addr>(wantImm(st, ops[1])));
+        }
+        return;
+    }
+    if (mnem == "move") {
+        need(2);
+        b.move(wantReg(st, ops[0]), wantReg(st, ops[1]));
+        return;
+    }
+    if (mnem == "ret") {
+        need(0);
+        b.ret();
+        return;
+    }
+
+    OpCode op = isa::parseMnemonic(mnem.c_str());
+    if (op == OpCode::NumOpcodes)
+        st.error("unknown mnemonic '" + mnem + "'");
+    const isa::OpInfo &info = isa::opInfo(op);
+
+    switch (info.fmt) {
+      case Format::None:
+        need(0);
+        if (op == OpCode::NOP)
+            b.nop();
+        else
+            b.halt();
+        break;
+      case Format::Print:
+        need(1);
+        b.print(wantReg(st, ops[0]));
+        break;
+      case Format::R3: {
+        need(3);
+        isa::Inst i;
+        i.op = op;
+        if (info.fp) {
+            bool destGpr = op == OpCode::C_LT_D || op == OpCode::C_LE_D ||
+                           op == OpCode::C_EQ_D;
+            i.rd = destGpr ? wantReg(st, ops[0]) : wantFpReg(st, ops[0]);
+            i.rs = wantFpReg(st, ops[1]);
+            i.rt = wantFpReg(st, ops[2]);
+        } else {
+            i.rd = wantReg(st, ops[0]);
+            i.rs = wantReg(st, ops[1]);
+            i.rt = wantReg(st, ops[2]);
+        }
+        b.emit(i);
+        break;
+      }
+      case Format::R2: {
+        need(2);
+        isa::Inst i;
+        i.op = op;
+        bool destFp = info.fp && op != OpCode::CVT_W_D;
+        bool srcFp = info.fp && op != OpCode::CVT_D_W;
+        i.rd = destFp ? wantFpReg(st, ops[0]) : wantReg(st, ops[0]);
+        i.rs = srcFp ? wantFpReg(st, ops[1]) : wantReg(st, ops[1]);
+        b.emit(i);
+        break;
+      }
+      case Format::RShift: {
+        need(3);
+        isa::Inst i;
+        i.op = op;
+        i.rd = wantReg(st, ops[0]);
+        i.rs = wantReg(st, ops[1]);
+        i.imm = wantImm(st, ops[2]);
+        b.emit(i);
+        break;
+      }
+      case Format::I2: {
+        need(3);
+        isa::Inst i;
+        i.op = op;
+        i.rt = wantReg(st, ops[0]);
+        i.rs = wantReg(st, ops[1]);
+        i.imm = wantImm(st, ops[2]);
+        b.emit(i);
+        break;
+      }
+      case Format::I1: {
+        need(2);
+        b.lui(wantReg(st, ops[0]), wantImm(st, ops[1]));
+        break;
+      }
+      case Format::Mem: {
+        need(2);
+        if (ops[1].kind != Operand::Kind::Mem)
+            st.error("'" + mnem + "' expects an off(base) operand");
+        isa::Inst i;
+        i.op = op;
+        i.rt = info.fp ? wantFpReg(st, ops[0]) : wantReg(st, ops[0]);
+        i.rs = ops[1].base;
+        i.imm = static_cast<std::int32_t>(ops[1].imm);
+        i.localHint = ops[1].local;
+        b.emit(i);
+        break;
+      }
+      case Format::B2: {
+        need(3);
+        isa::Inst i;
+        i.op = op;
+        i.rs = wantReg(st, ops[0]);
+        i.rt = wantReg(st, ops[1]);
+        if (ops[2].kind == Operand::Kind::Imm) {
+            // Raw word offset (what the disassembler emits).
+            i.imm = static_cast<std::int32_t>(ops[2].imm);
+            b.emit(i);
+        } else if (ops[2].kind == Operand::Kind::LabelRef) {
+            Label l = st.textLabel(ops[2].label);
+            if (op == OpCode::BEQ)
+                b.beq(i.rs, i.rt, l);
+            else
+                b.bne(i.rs, i.rt, l);
+        } else {
+            st.error("branch target must be a label or offset");
+        }
+        break;
+      }
+      case Format::B1: {
+        need(2);
+        RegId rs = wantReg(st, ops[0]);
+        if (ops[1].kind == Operand::Kind::Imm) {
+            isa::Inst i;
+            i.op = op;
+            i.rs = rs;
+            i.imm = static_cast<std::int32_t>(ops[1].imm);
+            b.emit(i);
+            break;
+        }
+        if (ops[1].kind != Operand::Kind::LabelRef)
+            st.error("branch target must be a label or offset");
+        Label l = st.textLabel(ops[1].label);
+        switch (op) {
+          case OpCode::BLEZ: b.blez(rs, l); break;
+          case OpCode::BGTZ: b.bgtz(rs, l); break;
+          case OpCode::BLTZ: b.bltz(rs, l); break;
+          case OpCode::BGEZ: b.bgez(rs, l); break;
+          default: st.error("internal: bad B1 opcode");
+        }
+        break;
+      }
+      case Format::Jmp: {
+        need(1);
+        if (ops[0].kind == Operand::Kind::Imm) {
+            // Absolute word target (what the disassembler emits).
+            isa::Inst i;
+            i.op = op;
+            i.target = static_cast<std::uint32_t>(ops[0].imm);
+            b.emit(i);
+            break;
+        }
+        if (ops[0].kind != Operand::Kind::LabelRef)
+            st.error("jump target must be a label or word index");
+        Label l = st.textLabel(ops[0].label);
+        if (op == OpCode::J)
+            b.j(l);
+        else
+            b.jal(l);
+        break;
+      }
+      case Format::JmpR:
+        need(1);
+        b.jr(wantReg(st, ops[0]));
+        break;
+      case Format::JmpLinkR:
+        need(2);
+        b.jalr(wantReg(st, ops[0]), wantReg(st, ops[1]));
+        break;
+    }
+}
+
+void
+handleDirective(AsmState &st, const std::string &directive,
+                const std::string &rest)
+{
+    auto &b = st.builder;
+    if (directive == ".text") {
+        st.inData = false;
+    } else if (directive == ".data") {
+        st.inData = true;
+    } else if (directive == ".entry") {
+        auto name = trim(rest);
+        if (name.empty())
+            st.error(".entry requires a label name");
+        st.entryName = std::string(name);
+    } else if (directive == ".word") {
+        std::int64_t v;
+        if (!parseInt(rest, v))
+            st.error(".word requires an integer");
+        b.dataWord(static_cast<Word>(v));
+    } else if (directive == ".space") {
+        std::int64_t v;
+        if (!parseInt(rest, v) || v < 0)
+            st.error(".space requires a non-negative byte count");
+        b.dataWords((static_cast<std::size_t>(v) + 3) / 4);
+    } else if (directive == ".align") {
+        std::int64_t v;
+        if (!parseInt(rest, v) || v <= 0)
+            st.error(".align requires a positive alignment");
+        b.dataAlign(static_cast<std::size_t>(v));
+    } else if (directive == ".double") {
+        double v;
+        if (!parseDouble(rest, v))
+            st.error(".double requires a number");
+        b.dataDouble(v);
+    } else {
+        st.error("unknown directive '" + directive + "'");
+    }
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, const std::string &name)
+{
+    AsmState st(name);
+    std::istringstream in(source);
+    std::string line;
+
+    while (std::getline(in, line)) {
+        ++st.lineNo;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::string_view sv = trim(line);
+        if (sv.empty())
+            continue;
+
+        // Labels (possibly several per line).
+        while (true) {
+            auto colon = sv.find(':');
+            if (colon == std::string_view::npos)
+                break;
+            std::string label(trim(sv.substr(0, colon)));
+            if (label.empty())
+                st.error("empty label");
+            if (st.inData) {
+                // Current (word-aligned) data cursor as an address.
+                Addr addr = st.builder.dataWords(0);
+                st.dataLabels.emplace(label, addr);
+            } else {
+                Label l = st.textLabel(label);
+                st.builder.bind(l);
+            }
+            sv = trim(sv.substr(colon + 1));
+        }
+        if (sv.empty())
+            continue;
+
+        // Directive or instruction.
+        std::string text(sv);
+        auto space = text.find_first_of(" \t");
+        std::string head = text.substr(0, space);
+        std::string rest =
+            space == std::string::npos ? "" : text.substr(space + 1);
+        if (head[0] == '.') {
+            handleDirective(st, toLower(head), rest);
+        } else {
+            if (st.inData)
+                st.error("instruction in .data segment");
+            handleInstruction(st, toLower(head), rest);
+        }
+    }
+
+    Program p = st.builder.finish();
+    if (!p.hasSymbol(st.entryName))
+        fatal("asm: entry label '%s' not defined", st.entryName.c_str());
+    p.setEntry(p.symbol(st.entryName));
+    return p;
+}
+
+} // namespace ddsim::prog

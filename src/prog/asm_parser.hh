@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A small text assembler for MISA, matching the disassembler syntax.
+ *
+ * Grammar (line-oriented; '#' starts a comment):
+ *
+ *   .text                    switch to the text segment (default)
+ *   .data                    switch to the data segment
+ *   .entry <label>           set the entry point (default "main")
+ *   <label>:                 bind a label (text: word index;
+ *                            data: absolute address)
+ *   .word <int>              emit an initialized data word
+ *   .space <bytes>           reserve zeroed data bytes
+ *   .align <bytes>           align the data cursor
+ *   .double <float>          emit an 8-byte double
+ *   <mnemonic> operands...   one instruction per line
+ *
+ * Operand forms: register names (ABI, rN, fN, optionally $-prefixed),
+ * integer immediates (decimal or 0x hex), "off(base)" memory operands
+ * with an optional "!local" suffix, and label names for branch/jump
+ * targets. Branch targets may also be raw word offsets and jump
+ * targets raw word indices — the forms the disassembler emits — so
+ * disassemble/reassemble round-trips are exact. The
+ * pseudo-instructions li/la/move/ret of ProgramBuilder are accepted;
+ * li and la to a data label require the label to be defined earlier
+ * in the file.
+ */
+
+#ifndef DDSIM_PROG_ASM_PARSER_HH_
+#define DDSIM_PROG_ASM_PARSER_HH_
+
+#include <string>
+
+#include "prog/program.hh"
+
+namespace ddsim::prog {
+
+/**
+ * Assemble @p source into a Program named @p name.
+ * Calls fatal() with a line-numbered message on any syntax error.
+ */
+Program assemble(const std::string &source,
+                 const std::string &name = "asm");
+
+} // namespace ddsim::prog
+
+#endif // DDSIM_PROG_ASM_PARSER_HH_

@@ -1,0 +1,486 @@
+#include "prog/builder.hh"
+
+#include <cstring>
+
+#include "util/log.hh"
+
+namespace ddsim::prog {
+
+using isa::Inst;
+using isa::OpCode;
+
+ProgramBuilder::ProgramBuilder(std::string name)
+    : program(std::move(name))
+{
+}
+
+void
+ProgramBuilder::checkNotFinished() const
+{
+    if (finished)
+        panic("ProgramBuilder: use after finish()");
+}
+
+Label
+ProgramBuilder::newLabel(const std::string &name)
+{
+    checkNotFinished();
+    Label l{static_cast<int>(labels.size())};
+    labels.push_back(LabelInfo{name, -1, {}});
+    return l;
+}
+
+ProgramBuilder::LabelInfo &
+ProgramBuilder::labelInfo(Label l)
+{
+    if (!l.valid() || static_cast<std::size_t>(l.id) >= labels.size())
+        panic("ProgramBuilder: invalid label");
+    return labels[static_cast<std::size_t>(l.id)];
+}
+
+void
+ProgramBuilder::bind(Label l)
+{
+    checkNotFinished();
+    LabelInfo &info = labelInfo(l);
+    if (info.boundAt >= 0)
+        fatal("label '%s' bound twice", info.name.c_str());
+    info.boundAt = pc();
+    if (!info.name.empty())
+        program.defineSymbol(info.name, pc());
+}
+
+Label
+ProgramBuilder::here(const std::string &name)
+{
+    Label l = newLabel(name);
+    bind(l);
+    return l;
+}
+
+std::uint32_t
+ProgramBuilder::emit(const Inst &inst)
+{
+    checkNotFinished();
+    return program.append(isa::encode(inst));
+}
+
+std::uint32_t
+ProgramBuilder::pc() const
+{
+    return static_cast<std::uint32_t>(program.textSize());
+}
+
+namespace {
+
+Inst
+r3(OpCode op, RegId rd, RegId rs, RegId rt)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rd;
+    i.rs = rs;
+    i.rt = rt;
+    return i;
+}
+
+Inst
+r2(OpCode op, RegId rd, RegId rs)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rd;
+    i.rs = rs;
+    return i;
+}
+
+Inst
+i2(OpCode op, RegId rt, RegId rs, std::int32_t imm)
+{
+    Inst i;
+    i.op = op;
+    i.rt = rt;
+    i.rs = rs;
+    i.imm = imm;
+    return i;
+}
+
+Inst
+mem(OpCode op, RegId rt, std::int32_t off, RegId base, bool local)
+{
+    Inst i;
+    i.op = op;
+    i.rt = rt;
+    i.rs = base;
+    i.imm = off;
+    i.localHint = local;
+    return i;
+}
+
+} // namespace
+
+// ---- Integer ALU --------------------------------------------------------
+
+void ProgramBuilder::add(RegId rd, RegId rs, RegId rt)
+{ emit(r3(OpCode::ADD, rd, rs, rt)); }
+void ProgramBuilder::sub(RegId rd, RegId rs, RegId rt)
+{ emit(r3(OpCode::SUB, rd, rs, rt)); }
+void ProgramBuilder::mul(RegId rd, RegId rs, RegId rt)
+{ emit(r3(OpCode::MUL, rd, rs, rt)); }
+void ProgramBuilder::div(RegId rd, RegId rs, RegId rt)
+{ emit(r3(OpCode::DIV, rd, rs, rt)); }
+void ProgramBuilder::and_(RegId rd, RegId rs, RegId rt)
+{ emit(r3(OpCode::AND, rd, rs, rt)); }
+void ProgramBuilder::or_(RegId rd, RegId rs, RegId rt)
+{ emit(r3(OpCode::OR, rd, rs, rt)); }
+void ProgramBuilder::xor_(RegId rd, RegId rs, RegId rt)
+{ emit(r3(OpCode::XOR, rd, rs, rt)); }
+void ProgramBuilder::nor(RegId rd, RegId rs, RegId rt)
+{ emit(r3(OpCode::NOR, rd, rs, rt)); }
+void ProgramBuilder::slt(RegId rd, RegId rs, RegId rt)
+{ emit(r3(OpCode::SLT, rd, rs, rt)); }
+void ProgramBuilder::sltu(RegId rd, RegId rs, RegId rt)
+{ emit(r3(OpCode::SLTU, rd, rs, rt)); }
+void ProgramBuilder::sllv(RegId rd, RegId rs, RegId rt)
+{ emit(r3(OpCode::SLLV, rd, rs, rt)); }
+void ProgramBuilder::srlv(RegId rd, RegId rs, RegId rt)
+{ emit(r3(OpCode::SRLV, rd, rs, rt)); }
+void ProgramBuilder::srav(RegId rd, RegId rs, RegId rt)
+{ emit(r3(OpCode::SRAV, rd, rs, rt)); }
+
+void
+ProgramBuilder::sll(RegId rd, RegId rs, int shamt)
+{
+    Inst i;
+    i.op = OpCode::SLL;
+    i.rd = rd;
+    i.rs = rs;
+    i.imm = shamt;
+    emit(i);
+}
+
+void
+ProgramBuilder::srl(RegId rd, RegId rs, int shamt)
+{
+    Inst i;
+    i.op = OpCode::SRL;
+    i.rd = rd;
+    i.rs = rs;
+    i.imm = shamt;
+    emit(i);
+}
+
+void
+ProgramBuilder::sra(RegId rd, RegId rs, int shamt)
+{
+    Inst i;
+    i.op = OpCode::SRA;
+    i.rd = rd;
+    i.rs = rs;
+    i.imm = shamt;
+    emit(i);
+}
+
+void ProgramBuilder::addi(RegId rt, RegId rs, std::int32_t imm)
+{ emit(i2(OpCode::ADDI, rt, rs, imm)); }
+void ProgramBuilder::andi(RegId rt, RegId rs, std::int32_t imm)
+{ emit(i2(OpCode::ANDI, rt, rs, imm)); }
+void ProgramBuilder::ori(RegId rt, RegId rs, std::int32_t imm)
+{ emit(i2(OpCode::ORI, rt, rs, imm)); }
+void ProgramBuilder::xori(RegId rt, RegId rs, std::int32_t imm)
+{ emit(i2(OpCode::XORI, rt, rs, imm)); }
+void ProgramBuilder::slti(RegId rt, RegId rs, std::int32_t imm)
+{ emit(i2(OpCode::SLTI, rt, rs, imm)); }
+void ProgramBuilder::lui(RegId rt, std::int32_t imm)
+{ emit(i2(OpCode::LUI, rt, isa::reg::zero, imm)); }
+
+// ---- Memory ---------------------------------------------------------------
+
+void ProgramBuilder::lw(RegId rt, std::int32_t off, RegId base, bool local)
+{ emit(mem(OpCode::LW, rt, off, base, local)); }
+void ProgramBuilder::lb(RegId rt, std::int32_t off, RegId base, bool local)
+{ emit(mem(OpCode::LB, rt, off, base, local)); }
+void ProgramBuilder::lbu(RegId rt, std::int32_t off, RegId base, bool local)
+{ emit(mem(OpCode::LBU, rt, off, base, local)); }
+void ProgramBuilder::sw(RegId rt, std::int32_t off, RegId base, bool local)
+{ emit(mem(OpCode::SW, rt, off, base, local)); }
+void ProgramBuilder::sb(RegId rt, std::int32_t off, RegId base, bool local)
+{ emit(mem(OpCode::SB, rt, off, base, local)); }
+void ProgramBuilder::ld(RegId ft, std::int32_t off, RegId base, bool local)
+{ emit(mem(OpCode::LD, ft, off, base, local)); }
+void ProgramBuilder::sd(RegId ft, std::int32_t off, RegId base, bool local)
+{ emit(mem(OpCode::SD, ft, off, base, local)); }
+
+// ---- Control ----------------------------------------------------------------
+
+void
+ProgramBuilder::addFixup(Label l, std::uint32_t instIdx, bool isBranch)
+{
+    labelInfo(l).fixups.emplace_back(instIdx, isBranch);
+}
+
+void
+ProgramBuilder::emitBranch(OpCode op, RegId rs, RegId rt, Label target)
+{
+    Inst i;
+    i.op = op;
+    i.rs = rs;
+    i.rt = rt;
+    i.imm = 0; // patched at finish()
+    std::uint32_t idx = emit(i);
+    addFixup(target, idx, true);
+}
+
+void
+ProgramBuilder::emitJump(OpCode op, Label target)
+{
+    Inst i;
+    i.op = op;
+    i.target = 0; // patched at finish()
+    std::uint32_t idx = emit(i);
+    addFixup(target, idx, false);
+}
+
+void ProgramBuilder::beq(RegId rs, RegId rt, Label target)
+{ emitBranch(OpCode::BEQ, rs, rt, target); }
+void ProgramBuilder::bne(RegId rs, RegId rt, Label target)
+{ emitBranch(OpCode::BNE, rs, rt, target); }
+void ProgramBuilder::blez(RegId rs, Label target)
+{ emitBranch(OpCode::BLEZ, rs, 0, target); }
+void ProgramBuilder::bgtz(RegId rs, Label target)
+{ emitBranch(OpCode::BGTZ, rs, 0, target); }
+void ProgramBuilder::bltz(RegId rs, Label target)
+{ emitBranch(OpCode::BLTZ, rs, 0, target); }
+void ProgramBuilder::bgez(RegId rs, Label target)
+{ emitBranch(OpCode::BGEZ, rs, 0, target); }
+void ProgramBuilder::j(Label target) { emitJump(OpCode::J, target); }
+void ProgramBuilder::jal(Label target) { emitJump(OpCode::JAL, target); }
+
+void
+ProgramBuilder::jr(RegId rs)
+{
+    Inst i;
+    i.op = OpCode::JR;
+    i.rs = rs;
+    emit(i);
+}
+
+void
+ProgramBuilder::jalr(RegId rd, RegId rs)
+{
+    Inst i;
+    i.op = OpCode::JALR;
+    i.rd = rd;
+    i.rs = rs;
+    emit(i);
+}
+
+// ---- Floating point --------------------------------------------------------
+
+void ProgramBuilder::addD(RegId fd, RegId fs, RegId ft)
+{ emit(r3(OpCode::ADD_D, fd, fs, ft)); }
+void ProgramBuilder::subD(RegId fd, RegId fs, RegId ft)
+{ emit(r3(OpCode::SUB_D, fd, fs, ft)); }
+void ProgramBuilder::mulD(RegId fd, RegId fs, RegId ft)
+{ emit(r3(OpCode::MUL_D, fd, fs, ft)); }
+void ProgramBuilder::divD(RegId fd, RegId fs, RegId ft)
+{ emit(r3(OpCode::DIV_D, fd, fs, ft)); }
+void ProgramBuilder::movD(RegId fd, RegId fs)
+{ emit(r2(OpCode::MOV_D, fd, fs)); }
+void ProgramBuilder::negD(RegId fd, RegId fs)
+{ emit(r2(OpCode::NEG_D, fd, fs)); }
+void ProgramBuilder::cvtDW(RegId fd, RegId rs)
+{ emit(r2(OpCode::CVT_D_W, fd, rs)); }
+void ProgramBuilder::cvtWD(RegId rd, RegId fs)
+{ emit(r2(OpCode::CVT_W_D, rd, fs)); }
+void ProgramBuilder::cLtD(RegId rd, RegId fs, RegId ft)
+{ emit(r3(OpCode::C_LT_D, rd, fs, ft)); }
+void ProgramBuilder::cLeD(RegId rd, RegId fs, RegId ft)
+{ emit(r3(OpCode::C_LE_D, rd, fs, ft)); }
+void ProgramBuilder::cEqD(RegId rd, RegId fs, RegId ft)
+{ emit(r3(OpCode::C_EQ_D, rd, fs, ft)); }
+
+// ---- Misc --------------------------------------------------------------------
+
+void ProgramBuilder::nop() { emit(Inst{}); }
+
+void
+ProgramBuilder::halt()
+{
+    Inst i;
+    i.op = OpCode::HALT;
+    emit(i);
+}
+
+void
+ProgramBuilder::print(RegId rs)
+{
+    Inst i;
+    i.op = OpCode::PRINT;
+    i.rs = rs;
+    emit(i);
+}
+
+// ---- Pseudo-instructions --------------------------------------------------------
+
+void
+ProgramBuilder::li(RegId rt, std::int32_t value)
+{
+    if (value >= isa::Imm16Min && value <= isa::Imm16Max) {
+        addi(rt, isa::reg::zero, value);
+        return;
+    }
+    std::uint32_t uval = static_cast<std::uint32_t>(value);
+    std::int32_t hi = static_cast<std::int32_t>((uval >> 16) & 0xffffu);
+    std::int32_t lo = static_cast<std::int32_t>(uval & 0xffffu);
+    lui(rt, hi);
+    if (lo != 0)
+        ori(rt, rt, lo);
+}
+
+void
+ProgramBuilder::move(RegId rd, RegId rs)
+{
+    or_(rd, rs, isa::reg::zero);
+}
+
+void
+ProgramBuilder::ret()
+{
+    jr(isa::reg::ra);
+}
+
+// ---- Frames and calls -----------------------------------------------------------
+
+void
+ProgramBuilder::prologue(const FrameSpec &frame)
+{
+    using namespace isa::reg;
+    int bytes = frame.frameBytes();
+    if (bytes == 0)
+        return;
+    addi(sp, sp, -bytes);
+    int slot = frame.localWords;
+    if (frame.saveRa)
+        sw(ra, localOffset(slot++), sp, true);
+    for (RegId r : frame.savedRegs)
+        sw(r, localOffset(slot++), sp, true);
+}
+
+void
+ProgramBuilder::epilogue(const FrameSpec &frame)
+{
+    using namespace isa::reg;
+    int bytes = frame.frameBytes();
+    if (bytes == 0) {
+        ret();
+        return;
+    }
+    int slot = frame.localWords;
+    if (frame.saveRa)
+        lw(ra, localOffset(slot++), sp, true);
+    for (RegId r : frame.savedRegs)
+        lw(r, localOffset(slot++), sp, true);
+    addi(sp, sp, bytes);
+    ret();
+}
+
+void
+ProgramBuilder::storeLocal(RegId rt, int slot)
+{
+    sw(rt, localOffset(slot), isa::reg::sp, true);
+}
+
+void
+ProgramBuilder::loadLocal(RegId rt, int slot)
+{
+    lw(rt, localOffset(slot), isa::reg::sp, true);
+}
+
+void
+ProgramBuilder::storeLocalD(RegId ft, int slotPair)
+{
+    sd(ft, localOffset(slotPair), isa::reg::sp, true);
+}
+
+void
+ProgramBuilder::loadLocalD(RegId ft, int slotPair)
+{
+    ld(ft, localOffset(slotPair), isa::reg::sp, true);
+}
+
+// ---- Data segment -----------------------------------------------------------------
+
+Addr
+ProgramBuilder::dataWords(std::size_t n)
+{
+    dataAlign(4);
+    auto &data = program.dataSegment();
+    Addr addr = layout::DataBase + static_cast<Addr>(data.size());
+    data.resize(data.size() + n * 4, 0);
+    return addr;
+}
+
+Addr
+ProgramBuilder::dataWord(Word value)
+{
+    Addr addr = dataWords(1);
+    auto &data = program.dataSegment();
+    std::memcpy(&data[addr - layout::DataBase], &value, 4);
+    return addr;
+}
+
+Addr
+ProgramBuilder::dataDouble(double value)
+{
+    dataAlign(8);
+    auto &data = program.dataSegment();
+    Addr addr = layout::DataBase + static_cast<Addr>(data.size());
+    data.resize(data.size() + 8, 0);
+    std::memcpy(&data[addr - layout::DataBase], &value, 8);
+    return addr;
+}
+
+void
+ProgramBuilder::dataAlign(std::size_t alignment)
+{
+    auto &data = program.dataSegment();
+    while (data.size() % alignment != 0)
+        data.push_back(0);
+}
+
+// ---- Finalization -------------------------------------------------------------------
+
+Program
+ProgramBuilder::finish()
+{
+    checkNotFinished();
+    for (const LabelInfo &info : labels) {
+        if (info.boundAt < 0) {
+            if (!info.fixups.empty())
+                fatal("program '%s': label '%s' used but never bound",
+                      program.name().c_str(),
+                      info.name.empty() ? "<anon>" : info.name.c_str());
+            continue;
+        }
+        for (auto [instIdx, isBranch] : info.fixups) {
+            isa::Inst inst = isa::decode(program.fetchRaw(instIdx));
+            if (isBranch) {
+                std::int64_t off = info.boundAt -
+                                   (static_cast<std::int64_t>(instIdx) + 1);
+                if (off < isa::Imm16Min || off > isa::Imm16Max)
+                    fatal("branch at %u to label '%s': offset %lld "
+                          "out of range",
+                          instIdx, info.name.c_str(), (long long)off);
+                inst.imm = static_cast<std::int32_t>(off);
+            } else {
+                inst.target = static_cast<std::uint32_t>(info.boundAt);
+            }
+            program.patch(instIdx, isa::encode(inst));
+        }
+    }
+    finished = true;
+    return std::move(program);
+}
+
+} // namespace ddsim::prog

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * ProgramBuilder: a label-resolving code emitter with frame/call
+ * helpers, the back end all the workload generators target.
+ *
+ * The frame helpers emit the same prologue/epilogue idiom a MIPS C
+ * compiler produces — decrement sp, save ra and callee-saved registers
+ * to frame slots, restore and pop on exit — and mark every frame-slot
+ * access with the ISA's "local" annotation bit, playing the role of the
+ * compiler classification described in Section 2.2.3 of the paper.
+ */
+
+#ifndef DDSIM_PROG_BUILDER_HH_
+#define DDSIM_PROG_BUILDER_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/encode.hh"
+#include "prog/program.hh"
+
+namespace ddsim::prog {
+
+/** An abstract code location, bindable before or after use. */
+struct Label
+{
+    int id = -1;
+    bool valid() const { return id >= 0; }
+};
+
+/** Layout of one function's stack frame. */
+struct FrameSpec
+{
+    /** Number of 4-byte local variable slots. */
+    int localWords = 0;
+    /** Callee-saved registers to preserve (ra is added if saveRa). */
+    std::vector<RegId> savedRegs;
+    /** Save/restore the return address (needed by non-leaf functions). */
+    bool saveRa = true;
+
+    int frameWords() const
+    {
+        return localWords + static_cast<int>(savedRegs.size()) +
+               (saveRa ? 1 : 0);
+    }
+    int frameBytes() const { return frameWords() * 4; }
+};
+
+/** Builds a Program instruction by instruction. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    // ---- Labels -------------------------------------------------------
+    /** Create an unbound label (optionally named for the symbol table). */
+    Label newLabel(const std::string &name = "");
+    /** Bind @p l to the next emitted instruction. */
+    void bind(Label l);
+    /** Create a label already bound to the next instruction. */
+    Label here(const std::string &name = "");
+
+    // ---- Raw emission -------------------------------------------------
+    /** Emit a decoded instruction; returns its word index. */
+    std::uint32_t emit(const isa::Inst &inst);
+
+    std::uint32_t pc() const; ///< Word index of the next instruction.
+
+    // ---- Integer ALU ---------------------------------------------------
+    void add(RegId rd, RegId rs, RegId rt);
+    void sub(RegId rd, RegId rs, RegId rt);
+    void mul(RegId rd, RegId rs, RegId rt);
+    void div(RegId rd, RegId rs, RegId rt);
+    void and_(RegId rd, RegId rs, RegId rt);
+    void or_(RegId rd, RegId rs, RegId rt);
+    void xor_(RegId rd, RegId rs, RegId rt);
+    void nor(RegId rd, RegId rs, RegId rt);
+    void slt(RegId rd, RegId rs, RegId rt);
+    void sltu(RegId rd, RegId rs, RegId rt);
+    void sllv(RegId rd, RegId rs, RegId rt);
+    void srlv(RegId rd, RegId rs, RegId rt);
+    void srav(RegId rd, RegId rs, RegId rt);
+    void sll(RegId rd, RegId rs, int shamt);
+    void srl(RegId rd, RegId rs, int shamt);
+    void sra(RegId rd, RegId rs, int shamt);
+    void addi(RegId rt, RegId rs, std::int32_t imm);
+    void andi(RegId rt, RegId rs, std::int32_t imm);
+    void ori(RegId rt, RegId rs, std::int32_t imm);
+    void xori(RegId rt, RegId rs, std::int32_t imm);
+    void slti(RegId rt, RegId rs, std::int32_t imm);
+    void lui(RegId rt, std::int32_t imm);
+
+    // ---- Memory --------------------------------------------------------
+    void lw(RegId rt, std::int32_t off, RegId base, bool local = false);
+    void lb(RegId rt, std::int32_t off, RegId base, bool local = false);
+    void lbu(RegId rt, std::int32_t off, RegId base, bool local = false);
+    void sw(RegId rt, std::int32_t off, RegId base, bool local = false);
+    void sb(RegId rt, std::int32_t off, RegId base, bool local = false);
+    void ld(RegId ft, std::int32_t off, RegId base, bool local = false);
+    void sd(RegId ft, std::int32_t off, RegId base, bool local = false);
+
+    // ---- Control -------------------------------------------------------
+    void beq(RegId rs, RegId rt, Label target);
+    void bne(RegId rs, RegId rt, Label target);
+    void blez(RegId rs, Label target);
+    void bgtz(RegId rs, Label target);
+    void bltz(RegId rs, Label target);
+    void bgez(RegId rs, Label target);
+    void j(Label target);
+    void jal(Label target);
+    void jr(RegId rs);
+    void jalr(RegId rd, RegId rs);
+
+    // ---- Floating point --------------------------------------------------
+    void addD(RegId fd, RegId fs, RegId ft);
+    void subD(RegId fd, RegId fs, RegId ft);
+    void mulD(RegId fd, RegId fs, RegId ft);
+    void divD(RegId fd, RegId fs, RegId ft);
+    void movD(RegId fd, RegId fs);
+    void negD(RegId fd, RegId fs);
+    void cvtDW(RegId fd, RegId rs);
+    void cvtWD(RegId rd, RegId fs);
+    void cLtD(RegId rd, RegId fs, RegId ft);
+    void cLeD(RegId rd, RegId fs, RegId ft);
+    void cEqD(RegId rd, RegId fs, RegId ft);
+
+    // ---- Misc ------------------------------------------------------------
+    void nop();
+    void halt();
+    void print(RegId rs);
+
+    // ---- Pseudo-instructions ----------------------------------------------
+    /** Load a 32-bit constant (addi or lui+ori as needed). */
+    void li(RegId rt, std::int32_t value);
+    /** Load an address constant. */
+    void la(RegId rt, Addr addr) { li(rt, static_cast<SWord>(addr)); }
+    void move(RegId rd, RegId rs);
+    /** Function return: jr ra. */
+    void ret();
+
+    // ---- Frames and calls ---------------------------------------------------
+    /**
+     * Emit a function prologue for @p frame: sp -= frameBytes, then
+     * save ra and the callee-saved registers into the top frame slots.
+     * All saving stores carry the local annotation.
+     */
+    void prologue(const FrameSpec &frame);
+
+    /**
+     * Emit the matching epilogue: restore saved registers, pop the
+     * frame and return.
+     */
+    void epilogue(const FrameSpec &frame);
+
+    /** Byte offset from sp of local slot @p slot (0-based). */
+    static std::int32_t localOffset(int slot) { return slot * 4; }
+
+    /** Store/load a local variable slot (always annotated local). */
+    void storeLocal(RegId rt, int slot);
+    void loadLocal(RegId rt, int slot);
+    void storeLocalD(RegId ft, int slotPair);
+    void loadLocalD(RegId ft, int slotPair);
+
+    /** Call a function label (jal). */
+    void call(Label fn) { jal(fn); }
+
+    // ---- Data segment --------------------------------------------------------
+    /** Reserve @p n zeroed words in the data segment; returns address. */
+    Addr dataWords(std::size_t n);
+    /** Append one initialized word; returns its address. */
+    Addr dataWord(Word value);
+    /** Append an 8-byte double; returns its (8-aligned) address. */
+    Addr dataDouble(double value);
+    /** Align the data segment to @p alignment bytes. */
+    void dataAlign(std::size_t alignment);
+
+    // ---- Finalization ----------------------------------------------------------
+    /**
+     * Resolve all label fixups and return the finished Program.
+     * Calls fatal() if any used label is still unbound.
+     */
+    Program finish();
+
+  private:
+    struct LabelInfo
+    {
+        std::string name;
+        std::int64_t boundAt = -1; // word index, -1 if unbound
+        // Fixups: (instruction index, is-branch) pairs.
+        std::vector<std::pair<std::uint32_t, bool>> fixups;
+    };
+
+    Program program;
+    std::vector<LabelInfo> labels;
+    bool finished = false;
+
+    void emitBranch(isa::OpCode op, RegId rs, RegId rt, Label target);
+    void emitJump(isa::OpCode op, Label target);
+    void addFixup(Label l, std::uint32_t instIdx, bool isBranch);
+    LabelInfo &labelInfo(Label l);
+    void checkNotFinished() const;
+};
+
+} // namespace ddsim::prog
+
+#endif // DDSIM_PROG_BUILDER_HH_

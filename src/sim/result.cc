@@ -1,0 +1,23 @@
+#include "sim/result.hh"
+
+#include "stats/stat.hh"
+#include "util/log.hh"
+
+namespace ddsim::sim {
+
+std::string
+SimResult::summary() const
+{
+    return format("%s %s: %llu insts, %llu cycles, IPC %.3f",
+                  program.c_str(), notation.c_str(),
+                  (unsigned long long)committed,
+                  (unsigned long long)cycles, ipc);
+}
+
+double
+speedup(const SimResult &a, const SimResult &b)
+{
+    return stats::safeRatio(a.ipc, b.ipc);
+}
+
+} // namespace ddsim::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SimResult: a plain snapshot of everything a bench or test wants to
+ * know after one simulation run.
+ */
+
+#ifndef DDSIM_SIM_RESULT_HH_
+#define DDSIM_SIM_RESULT_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace ddsim::sim {
+
+/** Outcome of one (program, configuration) simulation. */
+struct SimResult
+{
+    std::string program;
+    std::string notation;       ///< "(N+M)" machine notation.
+
+    std::uint64_t cycles = 0;
+    std::uint64_t committed = 0;
+    double ipc = 0.0;
+
+    // Stream characterization (Fig. 2 / Fig. 3 inputs).
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t localLoads = 0;
+    std::uint64_t localStores = 0;
+    double meanDynFrameWords = 0.0;
+    double meanStaticFrameWords = 0.0;
+
+    // Caches.
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    double l1MissRate = 0.0;
+    std::uint64_t lvcAccesses = 0;
+    std::uint64_t lvcMisses = 0;
+    double lvcMissRate = 0.0;
+    std::uint64_t l2Accesses = 0;   ///< L1/LVC <-> L2 bus traffic.
+    std::uint64_t memAccesses = 0;
+
+    // Queues.
+    std::uint64_t lsqForwards = 0;
+    std::uint64_t lvaqForwards = 0;
+    std::uint64_t lvaqFastForwards = 0;
+    std::uint64_t lvaqCombined = 0;
+    std::uint64_t lvaqLoads = 0;
+    double lvaqSatisfiedFrac = 0.0; ///< Loads satisfied in-queue.
+
+    // Classification.
+    double classifierAccuracy = 1.0;
+    std::uint64_t missteered = 0;
+
+    /** Full stats dump (filled only when requested). */
+    std::string statsText;
+
+    /** One-line summary for logs. */
+    std::string summary() const;
+};
+
+/** Speedup of @p a over @p b (by IPC). */
+double speedup(const SimResult &a, const SimResult &b);
+
+} // namespace ddsim::sim
+
+#endif // DDSIM_SIM_RESULT_HH_

@@ -1,0 +1,72 @@
+#include "sim/runner.hh"
+
+#include "cpu/pipeline.hh"
+#include "stats/formatter.hh"
+#include "vm/executor.hh"
+
+namespace ddsim::sim {
+
+SimResult
+run(const prog::Program &program, const config::MachineConfig &cfg,
+    const RunOptions &opts)
+{
+    cfg.validate();
+
+    stats::Group root(nullptr, "");
+    vm::Executor exec(program);
+    cpu::Pipeline pipe(&root, cfg, exec);
+
+    if (opts.warmupInsts > 0) {
+        pipe.runUntilFetched(opts.warmupInsts);
+        pipe.resetStats();
+    }
+    // maxInsts counts measured instructions, i.e. excludes warmup.
+    std::uint64_t limit =
+        opts.maxInsts ? opts.maxInsts + opts.warmupInsts : 0;
+    pipe.run(limit);
+
+    SimResult r;
+    r.program = program.name();
+    r.notation = cfg.notation();
+    r.cycles = pipe.numCycles.value();
+    r.committed = pipe.committedInsts.value();
+    r.ipc = pipe.ipc();
+
+    const vm::StreamStats &ss = pipe.streamStats();
+    r.loads = ss.loads.value();
+    r.stores = ss.stores.value();
+    r.localLoads = ss.localLoads.value();
+    r.localStores = ss.localStores.value();
+    r.meanDynFrameWords = ss.frameWords.mean();
+    r.meanStaticFrameWords = ss.meanStaticFrameWords();
+
+    mem::Hierarchy &h = pipe.hierarchy();
+    r.l1Accesses = h.l1().accesses.value();
+    r.l1Misses = h.l1().misses.value();
+    r.l1MissRate = h.l1().missRate();
+    if (const mem::Cache *lvc = h.lvc()) {
+        r.lvcAccesses = lvc->accesses.value();
+        r.lvcMisses = lvc->misses.value();
+        r.lvcMissRate = lvc->missRate();
+    }
+    r.l2Accesses = h.l2().accesses.value();
+    r.memAccesses = h.mainMemory().accesses.value();
+
+    r.lsqForwards = pipe.lsq().loadsForwarded.value();
+    if (core::MemQueue *lvaq = pipe.lvaq()) {
+        r.lvaqForwards = lvaq->loadsForwarded.value();
+        r.lvaqFastForwards = lvaq->loadsFastForwarded.value();
+        r.lvaqCombined = lvaq->combinedAccesses.value();
+        r.lvaqLoads = lvaq->loadsTotal.value();
+        r.lvaqSatisfiedFrac = lvaq->queueSatisfiedFrac();
+        r.missteered = lvaq->missteeredAccesses.value() +
+                       pipe.lsq().missteeredAccesses.value();
+    }
+    r.classifierAccuracy = pipe.classifier().accuracy();
+
+    if (opts.captureStats)
+        r.statsText = stats::toText(root);
+    return r;
+}
+
+} // namespace ddsim::sim

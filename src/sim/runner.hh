@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Runner: the one-call top-level API — simulate a program on a machine
+ * configuration and return a SimResult. This is the entry point the
+ * examples and every bench binary use.
+ */
+
+#ifndef DDSIM_SIM_RUNNER_HH_
+#define DDSIM_SIM_RUNNER_HH_
+
+#include <cstdint>
+
+#include "config/machine_config.hh"
+#include "prog/program.hh"
+#include "sim/result.hh"
+
+namespace ddsim::sim {
+
+/** Options for one simulation run. */
+struct RunOptions
+{
+    /** Stop fetching after this many instructions (0 = run to HALT). */
+    std::uint64_t maxInsts = 0;
+    /**
+     * Warm up the machine for this many instructions before the
+     * measurement starts: caches and queues keep their state but all
+     * statistics are zeroed, so the reported IPC and miss rates
+     * exclude the cold-start transient.
+     */
+    std::uint64_t warmupInsts = 0;
+    /** Capture the full stats dump into SimResult::statsText. */
+    bool captureStats = false;
+};
+
+/**
+ * Simulate @p program on @p cfg to completion.
+ * @throws FatalError on configuration or program errors.
+ */
+SimResult run(const prog::Program &program,
+              const config::MachineConfig &cfg,
+              const RunOptions &opts = {});
+
+} // namespace ddsim::sim
+
+#endif // DDSIM_SIM_RUNNER_HH_

@@ -1,0 +1,77 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ddsim::sim {
+
+Table::Table(std::vector<std::string> headers)
+    : headers(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision)
+       << fraction * 100.0 << "%";
+    return ss.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto printRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "" : "  ") << std::left
+               << std::setw(static_cast<int>(widths[c])) << cells[c];
+        }
+        os << "\n";
+    };
+
+    printRow(headers);
+    std::vector<std::string> rule;
+    for (std::size_t w : widths)
+        rule.push_back(std::string(w, '-'));
+    printRow(rule);
+    for (const auto &row : rows)
+        printRow(row);
+}
+
+void
+printHeading(std::ostream &os, const std::string &title,
+             const std::string &subtitle)
+{
+    os << "\n=== " << title << " ===\n";
+    if (!subtitle.empty())
+        os << subtitle << "\n";
+    os << "\n";
+}
+
+} // namespace ddsim::sim

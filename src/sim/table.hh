@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Aligned text tables for the bench binaries, which print the paper's
+ * figures and tables as rows of numbers.
+ */
+
+#ifndef DDSIM_SIM_TABLE_HH_
+#define DDSIM_SIM_TABLE_HH_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ddsim::sim {
+
+/** A simple aligned-column text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Append formatted cells: strings pass through unchanged. */
+    static std::string num(double v, int precision = 3);
+    static std::string pct(double fraction, int precision = 1);
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Print a section heading for a bench ("=== Figure 7 ==="). */
+void printHeading(std::ostream &os, const std::string &title,
+                  const std::string &subtitle = "");
+
+} // namespace ddsim::sim
+
+#endif // DDSIM_SIM_TABLE_HH_

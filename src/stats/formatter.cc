@@ -1,0 +1,75 @@
+#include "stats/formatter.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ddsim::stats {
+
+namespace {
+
+void
+dumpGroupText(const Group &g, std::ostream &os, const FormatOptions &opts)
+{
+    std::string prefix = g.path();
+    if (!prefix.empty())
+        prefix += ".";
+    for (const StatBase *s : g.stats()) {
+        if (opts.skipZero && s->zero())
+            continue;
+        double v = s->report();
+        std::ostringstream val;
+        if (v == std::floor(v) && std::abs(v) < 1e15)
+            val << static_cast<long long>(v);
+        else
+            val << std::fixed << std::setprecision(6) << v;
+        os << std::left << std::setw(opts.nameWidth)
+           << (prefix + s->name())
+           << std::right << std::setw(opts.valueWidth) << val.str();
+        if (!s->desc().empty())
+            os << "  # " << s->desc();
+        os << "\n";
+    }
+    for (const Group *c : g.children())
+        dumpGroupText(*c, os, opts);
+}
+
+void
+dumpGroupCsv(const Group &g, std::ostream &os)
+{
+    std::string prefix = g.path();
+    if (!prefix.empty())
+        prefix += ".";
+    for (const StatBase *s : g.stats()) {
+        os << prefix << s->name() << ","
+           << std::setprecision(12) << s->report() << "\n";
+    }
+    for (const Group *c : g.children())
+        dumpGroupCsv(*c, os);
+}
+
+} // namespace
+
+void
+dumpText(const Group &root, std::ostream &os, const FormatOptions &opts)
+{
+    dumpGroupText(root, os, opts);
+}
+
+void
+dumpCsv(const Group &root, std::ostream &os)
+{
+    os << "stat,value\n";
+    dumpGroupCsv(root, os);
+}
+
+std::string
+toText(const Group &root, const FormatOptions &opts)
+{
+    std::ostringstream ss;
+    dumpText(root, ss, opts);
+    return ss.str();
+}
+
+} // namespace ddsim::stats

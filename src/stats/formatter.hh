@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Renders a stats Group tree as aligned text (gem5 stats.txt style) or
+ * CSV rows.
+ */
+
+#ifndef DDSIM_STATS_FORMATTER_HH_
+#define DDSIM_STATS_FORMATTER_HH_
+
+#include <iosfwd>
+#include <string>
+
+#include "stats/group.hh"
+
+namespace ddsim::stats {
+
+/** Options controlling text output. */
+struct FormatOptions
+{
+    bool skipZero = true;       ///< Omit stats that are still zero.
+    int nameWidth = 44;         ///< Column width for the stat path.
+    int valueWidth = 16;        ///< Column width for the value.
+};
+
+/** Dump @p root and descendants as aligned "path value # desc" lines. */
+void dumpText(const Group &root, std::ostream &os,
+              const FormatOptions &opts = {});
+
+/** Dump as "path,value" CSV lines with a header row. */
+void dumpCsv(const Group &root, std::ostream &os);
+
+/** Convenience: text dump into a string. */
+std::string toText(const Group &root, const FormatOptions &opts = {});
+
+} // namespace ddsim::stats
+
+#endif // DDSIM_STATS_FORMATTER_HH_

@@ -1,0 +1,81 @@
+#include "stats/group.hh"
+
+#include <algorithm>
+
+#include "util/str.hh"
+
+namespace ddsim::stats {
+
+Group::Group(Group *parent, std::string name)
+    : parent(parent), groupName(std::move(name))
+{
+    if (parent)
+        parent->childList.push_back(this);
+}
+
+Group::~Group()
+{
+    if (parent)
+        parent->removeChild(this);
+}
+
+void
+Group::removeChild(Group *child)
+{
+    auto it = std::find(childList.begin(), childList.end(), child);
+    if (it != childList.end())
+        childList.erase(it);
+}
+
+void
+Group::addStat(StatBase *stat)
+{
+    statList.push_back(stat);
+}
+
+std::string
+Group::path() const
+{
+    if (!parent || parent->groupName.empty())
+        return groupName;
+    std::string p = parent->path();
+    if (p.empty())
+        return groupName;
+    return p + "." + groupName;
+}
+
+const StatBase *
+Group::find(const std::string &dottedPath) const
+{
+    auto parts = split(dottedPath, '.');
+    const Group *g = this;
+    for (size_t i = 0; i + 1 < parts.size(); ++i) {
+        const Group *next = nullptr;
+        for (Group *c : g->childList) {
+            if (c->groupName == parts[i]) {
+                next = c;
+                break;
+            }
+        }
+        if (!next)
+            return nullptr;
+        g = next;
+    }
+    const std::string &leaf = parts.back();
+    for (StatBase *s : g->statList) {
+        if (s->name() == leaf)
+            return s;
+    }
+    return nullptr;
+}
+
+void
+Group::resetAll()
+{
+    for (StatBase *s : statList)
+        s->reset();
+    for (Group *c : childList)
+        c->resetAll();
+}
+
+} // namespace ddsim::stats

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hierarchical grouping of statistics. Each simulated component owns a
+ * Group; stats register themselves on construction and the tree can be
+ * walked for dumping or resetting.
+ */
+
+#ifndef DDSIM_STATS_GROUP_HH_
+#define DDSIM_STATS_GROUP_HH_
+
+#include <string>
+#include <vector>
+
+#include "stats/stat.hh"
+
+namespace ddsim::stats {
+
+/** A named collection of stats and child groups. */
+class Group
+{
+  public:
+    /**
+     * @param parent Enclosing group (nullptr for a root).
+     * @param name Component name, e.g. "cpu" or "l1d".
+     */
+    Group(Group *parent, std::string name);
+    virtual ~Group();
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    /** Register a stat (called from StatBase's constructor). */
+    void addStat(StatBase *stat);
+
+    /** Full dotted path from the root, e.g. "cpu.lsq". */
+    std::string path() const;
+
+    const std::string &name() const { return groupName; }
+    const std::vector<StatBase *> &stats() const { return statList; }
+    const std::vector<Group *> &children() const { return childList; }
+
+    /** Look up a stat by dotted path relative to this group. */
+    const StatBase *find(const std::string &dottedPath) const;
+
+    /** Reset all stats in this group and its descendants. */
+    void resetAll();
+
+  private:
+    Group *parent;
+    std::string groupName;
+    std::vector<StatBase *> statList;
+    std::vector<Group *> childList;
+
+    void removeChild(Group *child);
+};
+
+} // namespace ddsim::stats
+
+#endif // DDSIM_STATS_GROUP_HH_

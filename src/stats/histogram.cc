@@ -1,0 +1,90 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace ddsim::stats {
+
+Histogram::Histogram(Group *parent, std::string name, std::string desc,
+                     int numBuckets, std::uint64_t bucketWidth)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      buckets(static_cast<size_t>(numBuckets), 0),
+      width(bucketWidth)
+{
+    if (numBuckets <= 0 || bucketWidth == 0)
+        panic("Histogram: invalid geometry (%d buckets, width %llu)",
+              numBuckets, (unsigned long long)bucketWidth);
+}
+
+void
+Histogram::sample(std::uint64_t value, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    std::uint64_t idx = value / width;
+    if (idx < buckets.size())
+        buckets[idx] += count;
+    else
+        overflowCount += count;
+    if (total == 0) {
+        minVal = maxVal = value;
+    } else {
+        minVal = std::min(minVal, value);
+        maxVal = std::max(maxVal, value);
+    }
+    total += count;
+    sum += value * count;
+}
+
+double
+Histogram::mean() const
+{
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(sum) / static_cast<double>(total);
+}
+
+std::uint64_t
+Histogram::percentile(double fraction) const
+{
+    if (total == 0)
+        return 0;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    std::uint64_t needed = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(total));
+    std::uint64_t seen = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= needed)
+            return (static_cast<std::uint64_t>(i) + 1) * width - 1;
+    }
+    return maxVal;
+}
+
+double
+Histogram::fractionBetween(std::uint64_t lo, std::uint64_t hi) const
+{
+    if (total == 0 || hi < lo)
+        return 0.0;
+    std::uint64_t count = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        std::uint64_t bLo = static_cast<std::uint64_t>(i) * width;
+        std::uint64_t bHi = bLo + width - 1;
+        if (bLo >= lo && bHi <= hi)
+            count += buckets[i];
+    }
+    return static_cast<double>(count) / static_cast<double>(total);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    overflowCount = 0;
+    total = 0;
+    sum = 0;
+    minVal = maxVal = 0;
+}
+
+} // namespace ddsim::stats

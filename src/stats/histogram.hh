@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sample-based distribution statistics: a linear-bucket histogram with
+ * overflow, plus running min/max/mean. Used for frame-size and queue
+ * occupancy distributions.
+ */
+
+#ifndef DDSIM_STATS_HISTOGRAM_HH_
+#define DDSIM_STATS_HISTOGRAM_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/stat.hh"
+
+namespace ddsim::stats {
+
+/**
+ * Histogram over non-negative integer samples with fixed-width linear
+ * buckets [0, width), [width, 2*width), ..., plus an overflow bucket.
+ */
+class Histogram : public StatBase
+{
+  public:
+    /**
+     * @param numBuckets Number of regular buckets.
+     * @param bucketWidth Width of each bucket (>= 1).
+     */
+    Histogram(Group *parent, std::string name, std::string desc,
+              int numBuckets, std::uint64_t bucketWidth);
+
+    /** Record one sample. */
+    void sample(std::uint64_t value, std::uint64_t count = 1);
+
+    std::uint64_t samples() const { return total; }
+    std::uint64_t minValue() const { return total ? minVal : 0; }
+    std::uint64_t maxValue() const { return total ? maxVal : 0; }
+    double mean() const;
+
+    /** Count in regular bucket @p i. */
+    std::uint64_t bucket(int i) const { return buckets.at(i); }
+    std::uint64_t overflow() const { return overflowCount; }
+    int numBuckets() const { return static_cast<int>(buckets.size()); }
+    std::uint64_t bucketWidth() const { return width; }
+
+    /**
+     * Smallest sample value v such that at least @p fraction of all
+     * samples are <= v (computed from buckets; resolution = width).
+     */
+    std::uint64_t percentile(double fraction) const;
+
+    /** Fraction of samples falling in [lo, hi] (bucket resolution). */
+    double fractionBetween(std::uint64_t lo, std::uint64_t hi) const;
+
+    double report() const override { return mean(); }
+    void reset() override;
+    bool zero() const override { return total == 0; }
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t width;
+    std::uint64_t overflowCount = 0;
+    std::uint64_t total = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t minVal = 0;
+    std::uint64_t maxVal = 0;
+};
+
+} // namespace ddsim::stats
+
+#endif // DDSIM_STATS_HISTOGRAM_HH_

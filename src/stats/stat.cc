@@ -1,0 +1,22 @@
+#include "stats/stat.hh"
+
+#include "stats/group.hh"
+
+namespace ddsim::stats {
+
+StatBase::StatBase(Group *parent, std::string name, std::string desc)
+    : statName(std::move(name)), statDesc(std::move(desc))
+{
+    if (parent)
+        parent->addStat(this);
+}
+
+double
+safeRatio(double numer, double denom)
+{
+    if (denom == 0.0)
+        return 0.0;
+    return numer / denom;
+}
+
+} // namespace ddsim::stats

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal statistics package, modelled after gem5's: named counters and
+ * derived formulas that register themselves with a Group and can be
+ * dumped as text or CSV at the end of a simulation.
+ */
+
+#ifndef DDSIM_STATS_STAT_HH_
+#define DDSIM_STATS_STAT_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ddsim::stats {
+
+class Group;
+
+/** Base class for all statistics: a name, a description and a value. */
+class StatBase
+{
+  public:
+    StatBase(Group *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return statName; }
+    const std::string &desc() const { return statDesc; }
+
+    /** Scalar view of the stat for reporting. */
+    virtual double report() const = 0;
+
+    /** Reset to the initial (zero) state. */
+    virtual void reset() = 0;
+
+    /** True if the stat has never been touched (suppress in output). */
+    virtual bool zero() const { return report() == 0.0; }
+
+  private:
+    std::string statName;
+    std::string statDesc;
+};
+
+/** A simple monotonically-updated counter. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(Group *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc))
+    {}
+
+    Scalar &operator++() { ++val; return *this; }
+    Scalar &operator+=(std::uint64_t v) { val += v; return *this; }
+    void set(std::uint64_t v) { val = v; }
+
+    std::uint64_t value() const { return val; }
+    double report() const override { return static_cast<double>(val); }
+    void reset() override { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** A derived statistic computed on demand from other stats. */
+class Formula : public StatBase
+{
+  public:
+    using Fn = std::function<double()>;
+
+    Formula(Group *parent, std::string name, std::string desc, Fn fn)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          func(std::move(fn))
+    {}
+
+    double report() const override { return func ? func() : 0.0; }
+    void reset() override {}
+    bool zero() const override { return false; }
+
+  private:
+    Fn func;
+};
+
+/** Convenience: a formula computing numer/denom with 0/0 -> 0. */
+double safeRatio(double numer, double denom);
+
+} // namespace ddsim::stats
+
+#endif // DDSIM_STATS_STAT_HH_

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 convention:
+ *
+ *  - panic():  an internal invariant was violated (a ddsim bug); aborts.
+ *  - fatal():  the user asked for something impossible (bad config,
+ *              malformed program); exits with an error code.
+ *  - warn():   something is suspicious but the simulation continues.
+ *  - inform(): plain status output.
+ */
+
+#ifndef DDSIM_UTIL_LOG_HH_
+#define DDSIM_UTIL_LOG_HH_
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace ddsim {
+
+/** Thrown by fatal() so that tests can catch user-level errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Thrown by panic() so that tests can assert on invariant violations. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, std::va_list ap);
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal simulator bug and abort (throws PanicError). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a user error and terminate the run (throws FatalError). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition to stderr. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report normal status to stderr. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Suppress warn()/inform() output (used by tests). */
+void setQuiet(bool quiet);
+
+} // namespace ddsim
+
+#endif // DDSIM_UTIL_LOG_HH_

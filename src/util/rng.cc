@@ -1,0 +1,50 @@
+#include "util/rng.hh"
+
+#include "util/log.hh"
+
+namespace ddsim {
+
+std::uint64_t
+Rng::range(std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::range: lo (%llu) > hi (%llu)",
+              (unsigned long long)lo, (unsigned long long)hi);
+    std::uint64_t span = hi - lo + 1;
+    if (span == 0) // full 64-bit range
+        return next();
+    return lo + next() % span;
+}
+
+std::size_t
+Rng::weighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            panic("Rng::weighted: negative weight");
+        total += w;
+    }
+    if (total <= 0.0)
+        panic("Rng::weighted: all weights zero");
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+int
+Rng::geometric(int min, int max, double decay)
+{
+    if (min > max)
+        panic("Rng::geometric: min > max");
+    int k = min;
+    while (k < max && chance(decay))
+        ++k;
+    return k;
+}
+
+} // namespace ddsim

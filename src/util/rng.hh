@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * Workload generators must be exactly reproducible across platforms and
+ * standard-library versions, so ddsim carries its own small xorshift64*
+ * generator instead of using <random> distributions (whose outputs are
+ * implementation-defined).
+ */
+
+#ifndef DDSIM_UTIL_RNG_HH_
+#define DDSIM_UTIL_RNG_HH_
+
+#include <cstdint>
+#include <vector>
+
+namespace ddsim {
+
+/** xorshift64* PRNG with convenience distributions. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Raw 64 random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t below(std::uint64_t n) { return range(0, n - 1); }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial: true with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Pick an index according to a weight vector.
+     *
+     * @param weights Non-negative weights; at least one must be positive.
+     * @return index in [0, weights.size()).
+     */
+    std::size_t weighted(const std::vector<double> &weights);
+
+    /**
+     * Geometric-flavoured small integer: returns k >= min with
+     * probability proportional to decay^k, capped at max. Used for frame
+     * size and call-depth shaping in the workload generators.
+     */
+    int geometric(int min, int max, double decay);
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace ddsim
+
+#endif // DDSIM_UTIL_RNG_HH_

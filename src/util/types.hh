@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout ddsim.
+ *
+ * The simulated machine is a 32-bit RISC: addresses and general
+ * registers are 32 bits wide, floating-point registers hold 64-bit
+ * doubles. Simulated time is counted in clock cycles.
+ */
+
+#ifndef DDSIM_UTIL_TYPES_HH_
+#define DDSIM_UTIL_TYPES_HH_
+
+#include <cstdint>
+
+namespace ddsim {
+
+/** A 32-bit virtual address in the simulated machine. */
+using Addr = std::uint32_t;
+
+/** A 32-bit machine word (contents of a general-purpose register). */
+using Word = std::uint32_t;
+
+/** Signed view of a machine word. */
+using SWord = std::int32_t;
+
+/** A clock cycle count. Monotonically increasing simulated time. */
+using Cycle = std::uint64_t;
+
+/** A dynamic instruction sequence number (program order). */
+using InstSeq = std::uint64_t;
+
+/** An architectural register index (0..31 in either the GPR or FPR file). */
+using RegId = std::uint8_t;
+
+/** Number of general-purpose registers. */
+inline constexpr int NumGprs = 32;
+
+/** Number of floating-point registers (each holds a 64-bit double). */
+inline constexpr int NumFprs = 32;
+
+/** Bytes per machine word. Frame sizes in the paper are quoted in words. */
+inline constexpr Addr WordBytes = 4;
+
+/**
+ * Simulated address-space layout.
+ *
+ * The layout mirrors a classic MIPS/SimpleScalar process image: text at
+ * the bottom, static data above it, heap growing up, stack growing down
+ * from just under 2 GB. The stack base is what the oracle classifier
+ * uses to decide whether an access touches the run-time stack.
+ */
+namespace layout {
+
+inline constexpr Addr TextBase = 0x0040'0000;
+inline constexpr Addr DataBase = 0x1000'0000;
+inline constexpr Addr HeapBase = 0x2000'0000;
+inline constexpr Addr StackBase = 0x7fff'fff0;
+
+/** True if @p addr lies in the run-time stack region. */
+inline bool
+isStackAddr(Addr addr)
+{
+    // Anything in the top quarter of the address space is stack; the
+    // heap would have to grow past 1.25 GB to collide, which no ddsim
+    // workload approaches.
+    return addr >= 0x7000'0000 && addr <= StackBase;
+}
+
+} // namespace layout
+
+} // namespace ddsim
+
+#endif // DDSIM_UTIL_TYPES_HH_

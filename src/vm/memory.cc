@@ -1,0 +1,87 @@
+#include "vm/memory.hh"
+
+#include <cstring>
+
+#include "util/log.hh"
+
+namespace ddsim::vm {
+
+SparseMemory::Page &
+SparseMemory::page(Addr addr) const
+{
+    Addr base = addr & ~(PageBytes - 1);
+    auto it = pages.find(base);
+    if (it == pages.end())
+        it = pages.emplace(base, Page(PageBytes, 0)).first;
+    return it->second;
+}
+
+void
+SparseMemory::checkAlign(Addr addr, Addr align) const
+{
+    if (addr % align != 0)
+        fatal("unaligned %u-byte access at 0x%08x", align, addr);
+}
+
+std::uint8_t
+SparseMemory::readByte(Addr addr) const
+{
+    return page(addr)[addr & (PageBytes - 1)];
+}
+
+void
+SparseMemory::writeByte(Addr addr, std::uint8_t value)
+{
+    page(addr)[addr & (PageBytes - 1)] = value;
+}
+
+Word
+SparseMemory::readWord(Addr addr) const
+{
+    checkAlign(addr, 4);
+    const Page &p = page(addr);
+    Word v;
+    std::memcpy(&v, &p[addr & (PageBytes - 1)], 4);
+    return v;
+}
+
+void
+SparseMemory::writeWord(Addr addr, Word value)
+{
+    checkAlign(addr, 4);
+    Page &p = page(addr);
+    std::memcpy(&p[addr & (PageBytes - 1)], &value, 4);
+}
+
+double
+SparseMemory::readDouble(Addr addr) const
+{
+    checkAlign(addr, 4);
+    // An 8-byte access may straddle a page boundary.
+    std::uint8_t buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = readByte(addr + static_cast<Addr>(i));
+    double v;
+    std::memcpy(&v, buf, 8);
+    return v;
+}
+
+void
+SparseMemory::writeDouble(Addr addr, double value)
+{
+    checkAlign(addr, 4);
+    std::uint8_t buf[8];
+    std::memcpy(buf, &value, 8);
+    for (int i = 0; i < 8; ++i)
+        writeByte(addr + static_cast<Addr>(i), buf[i]);
+}
+
+void
+SparseMemory::writeBlock(Addr addr, const std::uint8_t *src,
+                         std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        writeByte(addr + static_cast<Addr>(i), src[i]);
+}
+
+} // namespace ddsim::vm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sparse paged memory for the functional machine. Pages are allocated
+ * on first touch and zero-filled, so the 32-bit address space costs
+ * only what a program actually uses.
+ */
+
+#ifndef DDSIM_VM_MEMORY_HH_
+#define DDSIM_VM_MEMORY_HH_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace ddsim::vm {
+
+/** Byte-addressable sparse memory image. */
+class SparseMemory
+{
+  public:
+    static constexpr Addr PageBytes = 4096;
+
+    SparseMemory() = default;
+
+    std::uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, std::uint8_t value);
+
+    /** Little-endian word access; requires 4-byte alignment. */
+    Word readWord(Addr addr) const;
+    void writeWord(Addr addr, Word value);
+
+    /** 64-bit double access; requires 4-byte alignment. */
+    double readDouble(Addr addr) const;
+    void writeDouble(Addr addr, double value);
+
+    /** Bulk initialization (program loading). */
+    void writeBlock(Addr addr, const std::uint8_t *src, std::size_t len);
+
+    /** Number of pages currently allocated (footprint metric). */
+    std::size_t pagesAllocated() const { return pages.size(); }
+
+  private:
+    using Page = std::vector<std::uint8_t>;
+    mutable std::unordered_map<Addr, Page> pages;
+
+    Page &page(Addr addr) const;
+    void checkAlign(Addr addr, Addr align) const;
+};
+
+} // namespace ddsim::vm
+
+#endif // DDSIM_VM_MEMORY_HH_

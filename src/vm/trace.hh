@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The dynamic instruction record handed from the functional front end
+ * to the timing model, plus a stream-statistics accumulator used for
+ * the paper's workload-characterization figures (Fig. 2 and Fig. 3).
+ */
+
+#ifndef DDSIM_VM_TRACE_HH_
+#define DDSIM_VM_TRACE_HH_
+
+#include <cstdint>
+#include <map>
+
+#include "isa/inst.hh"
+#include "stats/histogram.hh"
+#include "stats/group.hh"
+#include "util/types.hh"
+
+namespace ddsim::vm {
+
+/**
+ * One executed instruction. The functional executor fills in
+ * everything the out-of-order timing model cannot know on its own:
+ * effective address, control-flow outcome (the paper's perfect branch
+ * predictor), the oracle stack classification and the base-register
+ * version used by fast data forwarding.
+ */
+struct DynInst
+{
+    InstSeq seq = 0;            ///< Dynamic sequence number.
+    std::uint32_t pcIdx = 0;    ///< Text word index.
+    isa::Inst inst;             ///< Decoded static instruction.
+
+    // Memory operations only.
+    Addr effAddr = 0;
+    std::uint8_t accessSize = 0;
+    bool stackAccess = false;   ///< Oracle: address in stack region.
+    std::uint32_t baseVersion = 0; ///< Version of the base register
+                                   ///< value (see fast forwarding).
+
+    // Control flow.
+    bool taken = false;
+    std::uint32_t nextPcIdx = 0;
+
+    bool isLoad() const { return isa::isLoad(inst.op); }
+    bool isStore() const { return isa::isStore(inst.op); }
+    bool isMem() const { return isLoad() || isStore(); }
+
+    /** Frame allocation (prologue "addi sp, sp, -N"): bytes, else 0. */
+    std::uint32_t
+    frameAllocBytes() const
+    {
+        using isa::OpCode;
+        using isa::reg::sp;
+        if (inst.op == OpCode::ADDI && inst.rt == sp && inst.rs == sp &&
+            inst.imm < 0)
+            return static_cast<std::uint32_t>(-inst.imm);
+        return 0;
+    }
+};
+
+/**
+ * Accumulates the workload-characterization statistics of Section 2.2:
+ * instruction mix, fraction of local loads/stores, dynamic frame-size
+ * distribution and per-static-function frame sizes, call depth.
+ */
+class StreamStats : public stats::Group
+{
+  public:
+    explicit StreamStats(stats::Group *parent);
+
+    /** Feed one executed instruction. */
+    void record(const DynInst &di);
+
+    stats::Scalar instructions;
+    stats::Scalar loads;
+    stats::Scalar stores;
+    stats::Scalar localLoads;       ///< Annotation-marked local loads.
+    stats::Scalar localStores;
+    stats::Scalar stackLoads;       ///< Oracle stack-region loads.
+    stats::Scalar stackStores;
+    stats::Scalar calls;
+    stats::Scalar returns;
+
+    /** Dynamic frame sizes in words, one sample per allocation. */
+    stats::Histogram frameWords;
+    /** Call-depth at each call, one sample per call. */
+    stats::Histogram callDepth;
+
+    /** Fraction helpers for Fig. 2. */
+    double loadFrac() const;        ///< loads / instructions
+    double storeFrac() const;
+    double localLoadFrac() const;   ///< local loads / loads
+    double localStoreFrac() const;
+    double localRefFrac() const;    ///< local refs / all refs
+
+    /** Static frame sizes: function entry pc -> max frame words. */
+    const std::map<std::uint32_t, std::uint32_t> &
+    staticFrames() const
+    {
+        return staticFrameWords;
+    }
+
+    /** Mean static frame size in words (paper: ~7 words). */
+    double meanStaticFrameWords() const;
+
+  private:
+    std::map<std::uint32_t, std::uint32_t> staticFrameWords;
+    std::uint32_t curFunction = 0;  ///< Entry pc of innermost function.
+    std::vector<std::uint32_t> functionStack;
+    int depth = 0;
+};
+
+} // namespace ddsim::vm
+
+#endif // DDSIM_VM_TRACE_HH_

@@ -1,0 +1,122 @@
+#include "workloads/common.hh"
+
+#include "util/log.hh"
+
+namespace ddsim::workloads {
+
+namespace reg = isa::reg;
+
+void
+GenCtx::lcgStep(RegId r, RegId scratch)
+{
+    b.li(scratch, 1664525);
+    b.mul(r, r, scratch);
+    b.li(scratch, 1013904223);
+    b.add(r, r, scratch);
+}
+
+void
+GenCtx::bumpAlloc(RegId dst, Addr offAddr, Addr heapBase,
+                  std::uint32_t cellBytes, std::uint32_t mask,
+                  RegId s1, RegId s2)
+{
+    // The mask must clear the low address bits so every allocation
+    // stays word-aligned.
+    if ((mask & 3) != 0)
+        fatal("bumpAlloc: mask must keep word alignment");
+    b.la(s1, offAddr);
+    b.lw(s2, 0, s1);                 // s2 = off
+    if (mask <= 0xffff) {
+        b.andi(dst, s2, static_cast<std::int32_t>(mask));
+    } else {
+        b.li(dst, static_cast<std::int32_t>(mask));
+        b.and_(dst, s2, dst);
+    }
+    b.addi(s2, s2, static_cast<std::int32_t>(cellBytes));
+    b.sw(s2, 0, s1);                 // store bumped offset
+    b.li(s2, static_cast<std::int32_t>(heapBase));
+    b.add(dst, dst, s2);             // dst = heapBase + (off & mask)
+}
+
+void
+GenCtx::computeOps(int n)
+{
+    static constexpr RegId temps[4] = {reg::t0, reg::t1, reg::t2,
+                                       reg::t3};
+    for (int i = 0; i < n; ++i) {
+        RegId d = temps[rng.below(4)];
+        RegId s = temps[rng.below(4)];
+        RegId t = temps[rng.below(4)];
+        switch (rng.below(5)) {
+          case 0: b.add(d, s, t); break;
+          case 1: b.sub(d, s, t); break;
+          case 2: b.xor_(d, s, t); break;
+          case 3:
+            b.sll(d, s, static_cast<int>(rng.below(5)) + 1);
+            break;
+          case 4:
+            b.addi(d, s, static_cast<std::int32_t>(rng.below(64)));
+            break;
+        }
+    }
+}
+
+void
+GenCtx::fpComputeOps(int n)
+{
+    static constexpr RegId fregs[4] = {4, 5, 6, 7};
+    for (int i = 0; i < n; ++i) {
+        RegId d = fregs[rng.below(4)];
+        RegId s = fregs[rng.below(4)];
+        RegId t = fregs[rng.below(4)];
+        if (rng.chance(0.55))
+            b.addD(d, s, t);
+        else
+            b.mulD(d, s, t);
+    }
+}
+
+void
+GenCtx::arrayLoad(RegId dst, RegId indexReg, Addr baseAddr,
+                  std::uint32_t elemMask, RegId addrScratch)
+{
+    // The index register is preserved; at (r1) is used as a second
+    // scratch, as a real assembler would.
+    if (elemMask <= 0xffff) {
+        b.andi(addrScratch, indexReg,
+               static_cast<std::int32_t>(elemMask));
+    } else {
+        b.li(addrScratch, static_cast<std::int32_t>(elemMask));
+        b.and_(addrScratch, indexReg, addrScratch);
+    }
+    b.sll(addrScratch, addrScratch, 2);
+    b.la(reg::at, baseAddr);
+    b.add(addrScratch, addrScratch, reg::at);
+    b.lw(dst, 0, addrScratch);
+}
+
+void
+GenCtx::arrayStore(RegId src, RegId indexReg, Addr baseAddr,
+                   std::uint32_t elemMask, RegId addrScratch)
+{
+    if (elemMask <= 0xffff) {
+        b.andi(addrScratch, indexReg,
+               static_cast<std::int32_t>(elemMask));
+    } else {
+        b.li(addrScratch, static_cast<std::int32_t>(elemMask));
+        b.and_(addrScratch, indexReg, addrScratch);
+    }
+    b.sll(addrScratch, addrScratch, 2);
+    b.la(reg::at, baseAddr);
+    b.add(addrScratch, addrScratch, reg::at);
+    b.sw(src, 0, addrScratch);
+}
+
+void
+finishMain(prog::ProgramBuilder &b, RegId checksumReg)
+{
+    b.print(checksumReg);
+    b.halt();
+}
+
+} // namespace ddsim::workloads

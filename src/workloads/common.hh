@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared infrastructure for the synthetic SPEC95-like workload
+ * generators.
+ *
+ * Each generator builds a complete, terminating MISA program whose
+ * dynamic characteristics are calibrated to what the paper reports for
+ * the corresponding SPEC95 benchmark: instruction mix and local-access
+ * fraction (Fig. 2), frame-size distribution (Fig. 3), call density
+ * and depth, spill/reload reuse distance, and heap/global streaming
+ * behaviour. Every program ends by PRINTing a checksum and HALTing, so
+ * functional correctness is testable.
+ */
+
+#ifndef DDSIM_WORKLOADS_COMMON_HH_
+#define DDSIM_WORKLOADS_COMMON_HH_
+
+#include <string>
+#include <vector>
+
+#include "prog/builder.hh"
+#include "prog/program.hh"
+#include "util/rng.hh"
+
+namespace ddsim::workloads {
+
+/** Knobs shared by all generators. */
+struct WorkloadParams
+{
+    /**
+     * Work multiplier: roughly proportional to the dynamic instruction
+     * count. scale=100 yields on the order of a few hundred thousand
+     * instructions for most workloads.
+     */
+    std::uint64_t scale = 100;
+    /** Seed for the generator's structural randomness. */
+    std::uint64_t seed = 0x5eed;
+};
+
+using Factory = prog::Program (*)(const WorkloadParams &);
+
+/** Registry entry for one workload. */
+struct WorkloadInfo
+{
+    const char *name;       ///< Short name, e.g. "li".
+    const char *paperName;  ///< SPEC95 name, e.g. "130.li".
+    const char *description;
+    bool isFp;
+    Factory factory;
+    /**
+     * Scale value producing roughly 300 K dynamic instructions —
+     * workloads differ widely in work per scale unit, so benches use
+     * `defaultScale * factor` to get comparable run lengths.
+     */
+    std::uint64_t defaultScale;
+};
+
+/** All twelve workloads, paper order (integer first, then FP). */
+const std::vector<WorkloadInfo> &all();
+
+/** Look up by short or paper name; nullptr if unknown. */
+const WorkloadInfo *find(const std::string &name);
+
+/** Build by name; calls fatal() on an unknown name. */
+prog::Program build(const std::string &name,
+                    const WorkloadParams &params = {});
+
+/** Short names of the integer / FP subsets. */
+std::vector<std::string> integerNames();
+std::vector<std::string> fpNames();
+
+// ---- Emission helpers used by the generators ------------------------------
+
+/** Code-emission context: builder + deterministic randomness. */
+class GenCtx
+{
+  public:
+    GenCtx(prog::ProgramBuilder &b, std::uint64_t seed)
+        : b(b), rng(seed)
+    {}
+
+    prog::ProgramBuilder &b;
+    Rng rng;
+
+    /**
+     * Emit an LCG step on register @p r (clobbers @p scratch):
+     * r = r * 1664525 + 1013904223.
+     */
+    void lcgStep(RegId r, RegId scratch);
+
+    /**
+     * Emit a bump allocation from a wrapped heap region:
+     * @p dst = heapBase + (off & mask); off += cellBytes.
+     * The running offset lives in the global word @p offAddr.
+     * Clobbers @p s1 and @p s2. Generates 1 global load + 1 global
+     * store.
+     */
+    void bumpAlloc(RegId dst, Addr offAddr, Addr heapBase,
+                   std::uint32_t cellBytes, std::uint32_t mask,
+                   RegId s1, RegId s2);
+
+    /**
+     * Emit @p n integer ALU operations over the caller-saved
+     * temporaries t0..t3, forming short dependency chains. Used to pad
+     * compute density between memory references.
+     */
+    void computeOps(int n);
+
+    /**
+     * Emit @p n FP operations over f4..f7 (adds/multiplies with short
+     * chains).
+     */
+    void fpComputeOps(int n);
+
+    /**
+     * Emit "load/store the (indexReg & elemMask)-th word of the array
+     * at @p baseAddr". The index register is preserved;
+     * @p addrScratch receives the element address and at (r1) is
+     * clobbered.
+     */
+    void arrayLoad(RegId dst, RegId indexReg, Addr baseAddr,
+                   std::uint32_t elemMask, RegId addrScratch);
+    void arrayStore(RegId src, RegId indexReg, Addr baseAddr,
+                    std::uint32_t elemMask, RegId addrScratch);
+};
+
+/**
+ * Standard epilogue for a workload main: print the checksum register
+ * and halt.
+ */
+void finishMain(prog::ProgramBuilder &b, RegId checksumReg);
+
+} // namespace ddsim::workloads
+
+#endif // DDSIM_WORKLOADS_COMMON_HH_

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * 129.compress stand-in: an LZW-flavoured loop hashing input bytes
+ * into a heap hash table.
+ *
+ * Characteristics targeted: the paper's least local program (~10% of
+ * refs), almost no calls, but the few local accesses it has are
+ * short-distance spill/reload pairs — ~80% of its local loads find
+ * their value in the LVAQ, which is why it still gains 1.2% from fast
+ * forwarding (Table 3 / Section 4.2.3).
+ */
+
+#include "workloads/workloads.hh"
+
+namespace ddsim::workloads {
+
+namespace reg = isa::reg;
+using prog::FrameSpec;
+using prog::Label;
+
+prog::Program
+buildCompressLike(const WorkloadParams &p)
+{
+    prog::ProgramBuilder b("compress");
+    GenCtx ctx(b, p.seed);
+
+    // Input buffer: 16 KB of pseudo-random bytes, initialized by code.
+    // Hash table: 32 K entries (128 KB) in the heap -- large enough to
+    // miss in L1 regularly, as the real compress does.
+    Addr outCount = b.dataWord(0);      // gp-relative, so keep it low
+    const Addr input = b.dataWords(4096);
+    const Addr hashTable = layout::HeapBase;
+    const std::uint32_t hashMask = 0x7fff; // 32 K entries
+
+    Label main = b.newLabel("main");
+    Label flushOut = b.newLabel("flush_output");
+
+    b.bind(main);
+    FrameSpec mainFrame;
+    mainFrame.localWords = 4;
+    mainFrame.savedRegs = {reg::s0, reg::s1, reg::s2, reg::s3,
+                           reg::s4};
+    b.prologue(mainFrame);
+
+    // Initialize the input buffer with an LCG (byte stores).
+    b.li(reg::t0, 0);                   // index
+    b.li(reg::t7, 0x1234567);           // lcg state
+    b.la(reg::s0, input);
+    Label initLoop = b.here();
+    ctx.lcgStep(reg::t7, reg::t6);
+    b.srl(reg::t1, reg::t7, 16);
+    b.add(reg::t2, reg::s0, reg::t0);
+    b.sb(reg::t1, 0, reg::t2);
+    b.addi(reg::t0, reg::t0, 1);
+    b.slti(reg::t3, reg::t0, 16384);
+    b.bne(reg::t3, reg::zero, initLoop);
+
+    // Main compression loop.
+    b.li(reg::s1, static_cast<std::int32_t>(p.scale * 320)); // bytes
+    b.li(reg::s2, 0);                   // checksum
+    b.li(reg::s3, 0);                   // current code
+    b.li(reg::s4, 0);                   // input cursor
+    Label loop = b.here();
+
+    // ch = input[cursor & 16383], plus the next byte lookahead and a
+    // word of context -- the read-heavy front of the LZW loop.
+    b.andi(reg::t0, reg::s4, 16383);
+    b.add(reg::t1, reg::s0, reg::t0);
+    b.lbu(reg::t2, 0, reg::t1);
+    b.lbu(reg::t4, 1, reg::t1);
+    b.andi(reg::t5, reg::t0, 16380);
+    b.add(reg::t5, reg::s0, reg::t5);
+    b.lw(reg::t6, 0, reg::t5);
+    b.xor_(reg::t2, reg::t2, reg::t6);
+    b.add(reg::t2, reg::t2, reg::t4);
+
+    // Every other byte, spill the partially-built code word and
+    // reload it shortly after -- the short-distance spill/reload pair
+    // the real compress inner loop produces when registers run out.
+    // (Alternating keeps the overall local fraction near the paper's
+    // ~10% for this program.)
+    Label noSpill = b.newLabel();
+    Label spillDone = b.newLabel();
+    b.andi(reg::t3, reg::s4, 1);
+    b.bne(reg::t3, reg::zero, noSpill);
+    b.storeLocal(reg::s3, 0);
+    b.sll(reg::t3, reg::s3, 8);
+    b.xor_(reg::t3, reg::t3, reg::t2);
+    ctx.computeOps(6);
+    b.loadLocal(reg::t4, 0);            // reload: ~10 insts away
+    b.add(reg::t3, reg::t3, reg::t4);
+    b.j(spillDone);
+    b.bind(noSpill);
+    b.sll(reg::t3, reg::s3, 8);
+    b.xor_(reg::t3, reg::t3, reg::t2);
+    ctx.computeOps(6);
+    b.add(reg::t3, reg::t3, reg::s3);
+    b.bind(spillDone);
+
+    // Probe the hash table (heap): primary plus one secondary probe.
+    b.move(reg::t5, reg::t3);
+    ctx.lcgStep(reg::t5, reg::t6);
+    b.srl(reg::t5, reg::t5, 8);
+    ctx.arrayLoad(reg::t6, reg::t5, hashTable, hashMask, reg::t7);
+    b.addi(reg::t7, reg::t5, 1);
+    ctx.arrayLoad(reg::t7, reg::t7, hashTable, hashMask, reg::t1);
+    b.add(reg::t6, reg::t6, reg::t7);
+    b.sub(reg::t6, reg::t6, reg::t7);   // keep t6 = primary entry
+
+    Label hit = b.newLabel();
+    Label cont = b.newLabel();
+    b.beq(reg::t6, reg::t3, hit);
+    // Miss: install the new code.
+    b.move(reg::t5, reg::t3);
+    ctx.lcgStep(reg::t5, reg::at);
+    b.srl(reg::t5, reg::t5, 8);
+    ctx.arrayStore(reg::t3, reg::t5, hashTable, hashMask, reg::t7);
+    b.addi(reg::s3, reg::t2, 0);        // restart code from ch
+    b.j(cont);
+    b.bind(hit);
+    b.move(reg::s3, reg::t3);           // extend the current code
+    b.bind(cont);
+
+    ctx.computeOps(5);
+    b.add(reg::s2, reg::s2, reg::s3);
+    b.addi(reg::s4, reg::s4, 1);
+
+    // Occasionally flush output (a rare call).
+    b.andi(reg::t0, reg::s4, 1023);
+    Label noFlush = b.newLabel();
+    b.bne(reg::t0, reg::zero, noFlush);
+    b.move(reg::a0, reg::s2);
+    b.jal(flushOut);
+    b.bind(noFlush);
+
+    b.addi(reg::s1, reg::s1, -1);
+    b.bgtz(reg::s1, loop);
+
+    b.move(reg::t0, reg::s2);
+    b.print(reg::t0);
+    b.halt();
+
+    // ---- flush_output(sum): small function, rare ----
+    b.bind(flushOut);
+    FrameSpec flushFrame;
+    flushFrame.localWords = 2;
+    flushFrame.savedRegs = {};
+    flushFrame.saveRa = false;
+    b.prologue(flushFrame);
+    b.storeLocal(reg::a0, 0);
+    b.lw(reg::t0,
+         static_cast<std::int32_t>(outCount - layout::DataBase),
+         reg::gp);
+    b.addi(reg::t0, reg::t0, 1);
+    b.sw(reg::t0,
+         static_cast<std::int32_t>(outCount - layout::DataBase),
+         reg::gp);
+    b.loadLocal(reg::v0, 0);
+    b.epilogue(flushFrame);
+
+    prog::Program prog = b.finish();
+    prog.setEntry(prog.symbol("main"));
+    return prog;
+}
+
+} // namespace ddsim::workloads

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * 126.gcc stand-in: a compiler-shaped workload — many distinct
+ * functions with widely varying frame sizes, a recursive tree walk
+ * over a heap-allocated IR, and pointer-chasing between passes.
+ *
+ * Characteristics targeted: the paper's worst program for the LVC
+ * (highest miss rate at 2 KB, Fig. 6 — driven by a large *active*
+ * stack footprint: big frames and deep call swings), a slight L2
+ * traffic increase with the LVC (Section 4.2.1), and a moderate
+ * (~40%) local fraction.
+ */
+
+#include "workloads/workloads.hh"
+
+namespace ddsim::workloads {
+
+namespace reg = isa::reg;
+using prog::FrameSpec;
+using prog::Label;
+
+prog::Program
+buildGccLike(const WorkloadParams &p)
+{
+    prog::ProgramBuilder b("gcc");
+    GenCtx ctx(b, p.seed);
+
+    constexpr int NumPassFuncs = 24;
+
+    // Heap IR arena: 128 KB of 16-byte nodes.
+    const Addr heapBase = layout::HeapBase;
+    const std::uint32_t heapMask = 0x1ffff & ~3u;
+    Addr allocOff = b.dataWord(0);
+    Addr nodeCount = b.dataWord(0);
+
+    Label main = b.newLabel("main");
+    Label walk = b.newLabel("walk_tree");
+    std::vector<Label> passes;
+    passes.reserve(NumPassFuncs);
+    for (int i = 0; i < NumPassFuncs; ++i)
+        passes.push_back(b.newLabel("pass" + std::to_string(i)));
+
+    // ---- main ----
+    b.bind(main);
+    b.li(reg::s0, static_cast<std::int32_t>(p.scale));
+    b.li(reg::s1, 0);                   // checksum
+    Label loop = b.here();
+    // One "compilation unit": recursive walk + a chain of passes.
+    b.li(reg::a0, 9);                   // walk depth
+    b.move(reg::a1, reg::s0);
+    b.jal(walk);
+    b.add(reg::s1, reg::s1, reg::v0);
+    for (int i = 0; i < NumPassFuncs; i += 3) {
+        b.move(reg::a0, reg::s1);
+        b.jal(passes[static_cast<std::size_t>(i)]);
+        b.add(reg::s1, reg::s1, reg::v0);
+    }
+    b.addi(reg::s0, reg::s0, -1);
+    b.bgtz(reg::s0, loop);
+    finishMain(b, reg::s1);
+
+    // ---- walk_tree(depth, salt): binary recursion with a 20-word
+    // frame; depth 9 swings the stack pointer across ~1.5 KB+, which
+    // together with the pass frames overflows a 2 KB LVC. ----
+    b.bind(walk);
+    Label recurse = b.newLabel();
+    b.bgtz(reg::a0, recurse);
+    // Leaf: allocate an IR node and return its hash.
+    ctx.bumpAlloc(reg::t4, allocOff, heapBase, 16, heapMask, reg::t5,
+                  reg::t6);
+    b.sw(reg::a1, 0, reg::t4);
+    b.lw(reg::t0,
+         static_cast<std::int32_t>(nodeCount - layout::DataBase),
+         reg::gp);
+    b.addi(reg::t0, reg::t0, 1);
+    b.sw(reg::t0,
+         static_cast<std::int32_t>(nodeCount - layout::DataBase),
+         reg::gp);
+    b.xor_(reg::v0, reg::a1, reg::t0);
+    b.ret();
+
+    b.bind(recurse);
+    FrameSpec walkFrame;
+    // A solid frame (gcc's tree-walkers carry sizeable locals): the
+    // depth-9 recursion swings the stack across ~1 KB, which together
+    // with the pass chain stresses small LVCs while fitting 4 KB.
+    walkFrame.localWords = 16;
+    walkFrame.savedRegs = {reg::s0, reg::s1, reg::s2};
+    b.prologue(walkFrame);
+    b.move(reg::s0, reg::a0);
+    b.move(reg::s1, reg::a1);
+    // Touch a spread of the frame (sparse, like live-range data).
+    b.storeLocal(reg::a0, 0);
+    b.storeLocal(reg::a1, 7);
+    b.storeLocal(reg::a0, 11);
+    b.storeLocal(reg::a1, 15);
+    // Pointer-chase a few IR nodes while the frame is live (the walk
+    // reads the tree it is visiting).
+    b.move(reg::t7, reg::a1);
+    ctx.lcgStep(reg::t7, reg::t6);
+    ctx.arrayLoad(reg::t5, reg::t7, heapBase, heapMask >> 2, reg::t6);
+    b.add(reg::t7, reg::t7, reg::t5);
+    ctx.arrayLoad(reg::t4, reg::t7, heapBase, heapMask >> 2, reg::t6);
+    b.add(reg::t7, reg::t7, reg::t4);
+    ctx.arrayLoad(reg::t3, reg::t7, heapBase, heapMask >> 2, reg::t6);
+    b.addi(reg::t7, reg::t7, 1);
+    ctx.arrayLoad(reg::t2, reg::t7, heapBase, heapMask >> 2, reg::t6);
+    b.addi(reg::t7, reg::t7, 2);
+    ctx.arrayLoad(reg::t1, reg::t7, heapBase, heapMask >> 2, reg::t6);
+    b.add(reg::t3, reg::t3, reg::t2);
+    b.add(reg::t3, reg::t3, reg::t1);
+    // Mark the visited node (heap store).
+    ctx.arrayStore(reg::t3, reg::t7, heapBase, heapMask >> 2, reg::t6);
+    ctx.computeOps(4);
+    b.addi(reg::a0, reg::s0, -1);
+    b.sll(reg::a1, reg::s1, 1);
+    b.xor_(reg::a1, reg::a1, reg::t3);
+    b.jal(walk);
+    b.move(reg::s2, reg::v0);
+    b.loadLocal(reg::t0, 0);
+    b.addi(reg::a0, reg::s0, -1);
+    b.xor_(reg::a1, reg::s1, reg::t0);
+    b.jal(walk);
+    b.add(reg::v0, reg::v0, reg::s2);
+    b.loadLocal(reg::t1, 15);
+    b.add(reg::v0, reg::v0, reg::t1);
+    b.epilogue(walkFrame);
+
+    // ---- pass functions: varied frames, chained calls, heap reads --
+    for (int i = 0; i < NumPassFuncs; ++i) {
+        b.bind(passes[static_cast<std::size_t>(i)]);
+        FrameSpec f;
+        // Frame sizes drawn 2..56 words, a couple of giants (gcc's
+        // static frames reach hundreds of words).
+        if (i % 11 == 10)
+            f.localWords = 180;
+        else
+            f.localWords = 2 + static_cast<int>(ctx.rng.geometric(
+                               0, 54, 0.82));
+        int nSaved = 1 + static_cast<int>(ctx.rng.below(4));
+        for (int s = 0; s < nSaved; ++s)
+            f.savedRegs.push_back(
+                static_cast<RegId>(reg::s0 + s));
+        // Passes chain all the way down (gcc's pass manager nests
+        // deeply): together with the recursive walk this swings the
+        // stack across ~2.5 KB, which is what makes gcc the paper's
+        // worst program for a 2 KB LVC (Fig. 6).
+        bool callsNext = i + 1 < NumPassFuncs;
+        f.saveRa = callsNext;
+        b.prologue(f);
+        b.storeLocal(reg::a0, 0);
+        // Pointer-chase several IR nodes (passes are read-dominated).
+        b.move(reg::t7, reg::a0);
+        ctx.lcgStep(reg::t7, reg::t6);
+        ctx.arrayLoad(reg::t5, reg::t7, heapBase, heapMask >> 2,
+                      reg::t6);
+        b.add(reg::t7, reg::t7, reg::t5);
+        ctx.arrayLoad(reg::t4, reg::t7, heapBase, heapMask >> 2,
+                      reg::t6);
+        b.add(reg::t7, reg::t7, reg::t4);
+        ctx.arrayLoad(reg::t3, reg::t7, heapBase, heapMask >> 2,
+                      reg::t6);
+        b.addi(reg::t7, reg::t7, 3);
+        ctx.arrayLoad(reg::t2, reg::t7, heapBase, heapMask >> 2,
+                      reg::t6);
+        b.add(reg::t4, reg::t4, reg::t3);
+        b.add(reg::t4, reg::t4, reg::t2);
+        ctx.computeOps(3 + static_cast<int>(ctx.rng.below(5)));
+        // Touch a couple more frame slots.
+        int far = f.localWords - 1;
+        b.storeLocal(reg::t4, far);
+        b.loadLocal(reg::t0, 0);
+        b.add(reg::v0, reg::t4, reg::t0);
+        if (callsNext) {
+            b.move(reg::a0, reg::v0);
+            b.jal(passes[static_cast<std::size_t>(i + 1)]);
+            b.loadLocal(reg::t1, far);
+            b.add(reg::v0, reg::v0, reg::t1);
+        }
+        b.epilogue(f);
+    }
+
+    prog::Program prog = b.finish();
+    prog.setEntry(prog.symbol("main"));
+    return prog;
+}
+
+} // namespace ddsim::workloads

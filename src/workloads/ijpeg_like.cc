@@ -1,0 +1,139 @@
+/**
+ * @file
+ * 132.ijpeg stand-in: block-based image compression — copy an 8x8
+ * block region from a global image into a stack buffer, run a
+ * butterfly transform over the buffer, quantize with a global table
+ * and write back.
+ *
+ * Characteristics targeted: ~30% local fraction with strong spatial
+ * locality in the stack buffer (combinable bursts), short-distance
+ * store/reload pairs inside the transform (fast-forward gain ~1.9%,
+ * Table 3), and Section 4.4's note that the fast local path helps
+ * beyond what extra L1 ports buy.
+ */
+
+#include "workloads/workloads.hh"
+
+namespace ddsim::workloads {
+
+namespace reg = isa::reg;
+using prog::FrameSpec;
+using prog::Label;
+
+prog::Program
+buildIjpegLike(const WorkloadParams &p)
+{
+    prog::ProgramBuilder b("ijpeg");
+    GenCtx ctx(b, p.seed);
+
+    constexpr int ImageWords = 16384;   // 64 KB image in the heap
+    const Addr image = layout::HeapBase;
+    Addr quantTable = b.dataWords(16);
+    Addr blockCount = b.dataWord(0);
+
+    Label main = b.newLabel("main");
+    Label dct = b.newLabel("dct_block");
+
+    // ---- main ----
+    b.bind(main);
+    b.li(reg::s0, static_cast<std::int32_t>(p.scale * 12)); // blocks
+    b.li(reg::s1, 0);                   // checksum
+    b.li(reg::s2, 0);                   // block cursor
+
+    // Initialize the quantization table and a slice of the image.
+    for (int i = 0; i < 16; ++i) {
+        b.li(reg::t0, 3 + i * 2);
+        b.sw(reg::t0,
+             static_cast<std::int32_t>(quantTable - layout::DataBase) +
+                 i * 4,
+             reg::gp);
+    }
+    b.li(reg::t0, 0);
+    b.li(reg::t7, 0xbeef);
+    Label init = b.here();
+    ctx.lcgStep(reg::t7, reg::t6);
+    ctx.arrayStore(reg::t7, reg::t0, image, ImageWords - 1, reg::t5);
+    b.addi(reg::t0, reg::t0, 1);
+    b.slti(reg::t3, reg::t0, ImageWords);
+    b.bne(reg::t3, reg::zero, init);
+
+    Label loop = b.here();
+    b.move(reg::a0, reg::s2);
+    b.jal(dct);
+    b.add(reg::s1, reg::s1, reg::v0);
+    b.addi(reg::s2, reg::s2, 16);
+    b.addi(reg::s0, reg::s0, -1);
+    b.bgtz(reg::s0, loop);
+    finishMain(b, reg::s1);
+
+    // ---- dct_block(offset): 16-word block through a stack buffer --
+    b.bind(dct);
+    FrameSpec f;
+    f.localWords = 16;                  // the block buffer
+    f.savedRegs = {reg::s0, reg::s1};
+    b.prologue(f);
+    b.move(reg::s0, reg::a0);
+
+    // Block base cursor: blocks are 64-word aligned so the row-below
+    // reads stay inside the image.
+    b.andi(reg::t7, reg::s0, ImageWords - 64);
+    b.sll(reg::t7, reg::t7, 2);
+    b.la(reg::t6, image);
+    b.add(reg::t6, reg::t6, reg::t7);   // t6 = &image[block]
+
+    // Gather: two image samples per buffer word (32 global loads, 16
+    // local stores to adjacent slots -- a highly combinable burst).
+    for (int i = 0; i < 16; ++i) {
+        b.lw(reg::t5, i * 4, reg::t6);
+        b.lw(reg::t4, i * 4 + 64, reg::t6); // the row below
+        b.add(reg::t5, reg::t5, reg::t4);
+        b.storeLocal(reg::t5, i);
+    }
+
+    // Butterfly pass over the buffer: load pairs, combine, store
+    // back -- short-distance local store/reload chains.
+    for (int i = 0; i < 4; ++i) {
+        int a = i;
+        int c = 15 - i;
+        b.loadLocal(reg::t0, a);
+        b.loadLocal(reg::t1, c);
+        b.add(reg::t2, reg::t0, reg::t1);
+        b.sub(reg::t3, reg::t0, reg::t1);
+        b.sra(reg::t2, reg::t2, 1);
+        b.storeLocal(reg::t2, a);
+        b.storeLocal(reg::t3, c);
+    }
+    ctx.computeOps(6);
+
+    // Quantize + scatter back (16 local loads, 16 global stores).
+    b.li(reg::s1, 0);
+    for (int i = 0; i < 16; ++i) {
+        b.loadLocal(reg::t0, i);
+        b.lw(reg::t1,
+             static_cast<std::int32_t>(quantTable - layout::DataBase) +
+                 (i % 16) * 4,
+             reg::gp);
+        // Quantize by reciprocal multiply + shift (as libjpeg does;
+        // real divides would serialize on the unpipelined dividers).
+        b.mul(reg::t2, reg::t0, reg::t1);
+        b.sra(reg::t2, reg::t2, 8);
+        b.add(reg::s1, reg::s1, reg::t2);
+        b.sw(reg::t2, i * 4, reg::t6);  // scatter through the cursor
+    }
+
+    b.lw(reg::t0,
+         static_cast<std::int32_t>(blockCount - layout::DataBase),
+         reg::gp);
+    b.addi(reg::t0, reg::t0, 1);
+    b.sw(reg::t0,
+         static_cast<std::int32_t>(blockCount - layout::DataBase),
+         reg::gp);
+    b.move(reg::v0, reg::s1);
+    b.epilogue(f);
+
+    prog::Program prog = b.finish();
+    prog.setEntry(prog.symbol("main"));
+    return prog;
+}
+
+} // namespace ddsim::workloads

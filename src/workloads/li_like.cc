@@ -1,0 +1,163 @@
+/**
+ * @file
+ * 130.li stand-in: a Lisp-interpreter-flavoured workload built around
+ * the ctak/tak recursion the paper's input (ctak.lsp) exercises.
+ *
+ * Characteristics targeted (from the paper):
+ *  - very call-dense, deeply recursive -> local-heavy (~45% of refs),
+ *    high memory reference rate, bandwidth-bound (Fig. 5/Fig. 11);
+ *  - prologue/epilogue bursts of adjacent frame slots -> large gains
+ *    from access combining under (3+1) (Fig. 8: ~16%);
+ *  - local reloads far from their stores (across recursive subtrees)
+ *    -> almost no fast-forwarding benefit (Table 3: 0.3%);
+ *  - stack frames contend with heap cons cells in a unified L1 ->
+ *    the LVC removes conflict misses and cuts L2 traffic (~24%,
+ *    Section 4.2.1).
+ */
+
+#include "workloads/workloads.hh"
+
+namespace ddsim::workloads {
+
+namespace reg = isa::reg;
+using prog::FrameSpec;
+using prog::Label;
+
+prog::Program
+buildLiLike(const WorkloadParams &p)
+{
+    prog::ProgramBuilder b("li");
+    GenCtx ctx(b, p.seed);
+
+    // Cons-cell heap: a 32 KB wrapped arena, exactly the L1 size, so
+    // heap cells and stack frames fight for L1 sets in the unified
+    // configuration -- the conflicts behind the paper's 24% L2
+    // traffic reduction for li (Section 4.2.1).
+    const Addr heapBase = layout::HeapBase;
+    const std::uint32_t heapMask = 0x7fff & ~3u;
+    Addr allocOff = b.dataWord(0);
+
+    Label main = b.newLabel("main");
+    Label evalCtx = b.newLabel("eval_context");
+    Label tak = b.newLabel("tak");
+
+    // ---- main: loop `scale` times over a fixed tak tree, entered
+    // through a chain of interpreter "eval" frames (ctak runs inside
+    // xlisp's evaluator, whose context frames deepen the stack to
+    // ~1.5 KB). ----
+    b.bind(main);
+    b.li(reg::s0, static_cast<std::int32_t>(p.scale)); // iterations
+    b.li(reg::s1, 0);                                  // checksum
+    Label loop = b.here();
+    b.li(reg::a0, 22);                  // evaluator nesting depth
+    b.jal(evalCtx);
+    b.add(reg::s1, reg::s1, reg::v0);
+    b.addi(reg::s0, reg::s0, -1);
+    b.bgtz(reg::s0, loop);
+    finishMain(b, reg::s1);
+
+    // ---- eval_context(depth): interpreter frame chain around tak --
+    b.bind(evalCtx);
+    Label evalDeeper = b.newLabel();
+    b.bgtz(reg::a0, evalDeeper);
+    b.li(reg::a0, 7);
+    b.li(reg::a1, 4);
+    b.li(reg::a2, 1);
+    b.j(tak);                           // tail call into the tak tree
+    b.bind(evalDeeper);
+    FrameSpec evalFrame;
+    evalFrame.localWords = 9;           // env, args, cont, ...
+    evalFrame.savedRegs = {reg::s2, reg::s3};
+    b.prologue(evalFrame);
+    b.storeLocal(reg::a0, 0);
+    b.addi(reg::a0, reg::a0, -1);
+    b.jal(evalCtx);
+    b.loadLocal(reg::t0, 0);
+    b.add(reg::v0, reg::v0, reg::t0);
+    b.epilogue(evalFrame);
+
+    // ---- tak(x, y, z), consing one cell per recursive step ----
+    //
+    // tak(x,y,z) = z                      if !(y < x)
+    //            = tak(tak(x-1,y,z),
+    //                  tak(y-1,z,x),
+    //                  tak(z-1,x,y))      otherwise
+    b.bind(tak);
+    Label recurse = b.newLabel();
+    // Leaf fast path before any frame is built (as a compiler would
+    // emit): roughly half of all calls return straight away, keeping
+    // the overall local fraction near the paper's ~45%.
+    b.slt(reg::t0, reg::a1, reg::a0); // t0 = y < x
+    b.bne(reg::t0, reg::zero, recurse);
+    b.move(reg::v0, reg::a2);
+    b.ret();
+
+    b.bind(recurse);
+    FrameSpec frame;
+    frame.localWords = 2;                       // a, bb
+    frame.savedRegs = {reg::s0, reg::s1, reg::s2};
+    frame.saveRa = true;
+    b.prologue(frame);
+    b.move(reg::s0, reg::a0);
+    b.move(reg::s1, reg::a1);
+    b.move(reg::s2, reg::a2);
+
+    // Cons a cell (x . y . z) in the heap arena, then walk back
+    // through recently allocated cells -- the evaluator reading its
+    // environment chain. The backward strides sweep the whole arena
+    // as the allocation cursor advances, so every L1 set sees heap
+    // traffic (this is what makes the stack frames conflict with the
+    // heap in a unified L1).
+    ctx.bumpAlloc(reg::t4, allocOff, heapBase, 16, heapMask, reg::t5,
+                  reg::t6);
+    b.sw(reg::s0, 0, reg::t4);
+    b.sw(reg::s1, 4, reg::t4);
+    b.sw(reg::s2, 8, reg::t4);
+    b.li(reg::t6, static_cast<std::int32_t>(heapBase));
+    b.sub(reg::t7, reg::t4, reg::t6);   // arena offset of the cell
+    for (int back : {4096, 8192, 12288}) {
+        b.addi(reg::t5, reg::t7, -back);
+        b.andi(reg::t5, reg::t5,
+               static_cast<std::int32_t>(heapMask));
+        b.add(reg::t5, reg::t5, reg::t6);
+        b.lw(reg::t3, 0, reg::t5);
+        b.xor_(reg::t7, reg::t7, reg::t3);
+        b.andi(reg::t7, reg::t7,
+               static_cast<std::int32_t>(heapMask));
+    }
+    b.lw(reg::t6, 4, reg::t4);
+    b.lw(reg::t5, 8, reg::t4);
+
+    // a = tak(x-1, y, z)
+    b.addi(reg::a0, reg::s0, -1);
+    b.move(reg::a1, reg::s1);
+    b.move(reg::a2, reg::s2);
+    b.jal(tak);
+    b.storeLocal(reg::v0, 0);
+
+    // bb = tak(y-1, z, x)
+    b.addi(reg::a0, reg::s1, -1);
+    b.move(reg::a1, reg::s2);
+    b.move(reg::a2, reg::s0);
+    b.jal(tak);
+    b.storeLocal(reg::v0, 1);
+
+    // c = tak(z-1, x, y)
+    b.addi(reg::a0, reg::s2, -1);
+    b.move(reg::a1, reg::s0);
+    b.move(reg::a2, reg::s1);
+    b.jal(tak);
+    b.move(reg::a2, reg::v0);
+
+    // return tak(a, bb, c)
+    b.loadLocal(reg::a0, 0);
+    b.loadLocal(reg::a1, 1);
+    b.jal(tak);
+    b.epilogue(frame);
+
+    prog::Program prog = b.finish();
+    prog.setEntry(prog.symbol("main"));
+    return prog;
+}
+
+} // namespace ddsim::workloads

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * 124.m88ksim stand-in: an instruction-set simulator — a dispatch loop
+ * fetching pseudo-instruction words from a global "program" image and
+ * jumping through a handler table (indirect calls), each handler
+ * updating a simulated register file in global memory.
+ *
+ * Characteristics targeted: moderate local fraction (~35% of refs,
+ * entirely prologue/epilogue traffic), but handler bodies long enough
+ * that the register save commits before the epilogue reload enters
+ * the window — so almost no loads find their value in the LVAQ and
+ * fast forwarding gains ~0% (Table 3).
+ */
+
+#include "workloads/workloads.hh"
+
+namespace ddsim::workloads {
+
+namespace reg = isa::reg;
+using prog::FrameSpec;
+using prog::Label;
+
+prog::Program
+buildM88ksimLike(const WorkloadParams &p)
+{
+    prog::ProgramBuilder b("m88ksim");
+    GenCtx ctx(b, p.seed);
+
+    constexpr int NumHandlers = 8;
+    constexpr int SimRegs = 64;
+
+    // Simulated machine state in global memory.
+    Addr cycleCount = b.dataWord(0);
+    Addr simRegFile = b.dataWords(SimRegs);
+    Addr simProgram = b.dataWords(1024);   // pseudo-instruction image
+    Addr handlerTable = b.dataWords(NumHandlers);
+
+    Label main = b.newLabel("main");
+    Label loadcore = b.newLabel("loadcore");
+    std::vector<Label> handlers;
+    handlers.reserve(NumHandlers);
+    for (int i = 0; i < NumHandlers; ++i)
+        handlers.push_back(
+            b.newLabel("handler" + std::to_string(i)));
+
+    // ---- main ----
+    b.bind(main);
+    FrameSpec mainFrame;
+    mainFrame.localWords = 2;
+    mainFrame.savedRegs = {reg::s0, reg::s1, reg::s2, reg::s3};
+    b.prologue(mainFrame);
+
+    // Load the simulated core image once at startup through a huge
+    // stack buffer -- the real m88ksim's loadcore()/dumpcore() use
+    // >11 K words of stack (the paper's footnote 6: such frames
+    // overflow the 15-bit offset field, forcing the compiler to
+    // address them through a secondary base register).
+    b.jal(loadcore);
+
+    // Fill the pseudo-program with random opcodes and the handler
+    // table with code addresses.
+    b.li(reg::t0, 0);
+    b.li(reg::t7, static_cast<std::int32_t>(p.seed | 1));
+    b.la(reg::s0, simProgram);
+    Label fillLoop = b.here();
+    ctx.lcgStep(reg::t7, reg::t6);
+    b.srl(reg::t1, reg::t7, 8);
+    b.sll(reg::t2, reg::t0, 2);
+    b.add(reg::t2, reg::s0, reg::t2);
+    b.sw(reg::t1, 0, reg::t2);
+    b.addi(reg::t0, reg::t0, 1);
+    b.slti(reg::t3, reg::t0, 1024);
+    b.bne(reg::t3, reg::zero, fillLoop);
+
+    // Handler table: absolute text addresses, loaded via jalr later.
+    // We cannot take a label's address before finish(), so the table
+    // is built with a chain of "la" pseudo-ops patched through labels:
+    // emit one store per handler using the jump-and-link trick below.
+    for (int i = 0; i < NumHandlers; ++i) {
+        // jal over a single jr to capture the handler address would be
+        // convoluted; instead main stores the address computed from a
+        // jal-returned ra. Simpler: a dispatcher switch is used below,
+        // so the table holds small indices the dispatcher decodes.
+        b.li(reg::t1, i);
+        b.sw(reg::t1,
+             static_cast<std::int32_t>(handlerTable -
+                                       layout::DataBase) + i * 4,
+             reg::gp);
+    }
+
+    b.li(reg::s1, static_cast<std::int32_t>(p.scale * 24)); // steps
+    b.li(reg::s2, 0);                    // checksum
+    b.li(reg::s3, 0);                    // simulated pc
+    Label dispatch = b.here("dispatch");
+
+    // word = simProgram[pc & 1023]
+    b.andi(reg::t0, reg::s3, 1023);
+    b.sll(reg::t0, reg::t0, 2);
+    b.la(reg::t1, simProgram);
+    b.add(reg::t1, reg::t1, reg::t0);
+    b.lw(reg::t2, 0, reg::t1);
+
+    // opcode = word & (NumHandlers-1); switch via compare chain (the
+    // real m88ksim uses a big switch that compiles similarly).
+    b.andi(reg::t3, reg::t2, NumHandlers - 1);
+    b.move(reg::a0, reg::t2);            // operand word
+    Label after = b.newLabel("after_dispatch");
+    for (int i = 0; i < NumHandlers; ++i) {
+        Label next = b.newLabel();
+        b.li(reg::t4, i);
+        b.bne(reg::t3, reg::t4, next);
+        b.jal(handlers[static_cast<std::size_t>(i)]);
+        b.j(after);
+        b.bind(next);
+    }
+    b.bind(after);
+    b.add(reg::s2, reg::s2, reg::v0);
+
+    // count a simulated cycle
+    b.lw(reg::t0,
+         static_cast<std::int32_t>(cycleCount - layout::DataBase),
+         reg::gp);
+    b.addi(reg::t0, reg::t0, 1);
+    b.sw(reg::t0,
+         static_cast<std::int32_t>(cycleCount - layout::DataBase),
+         reg::gp);
+
+    b.addi(reg::s3, reg::s3, 1);
+    b.addi(reg::s1, reg::s1, -1);
+    b.bgtz(reg::s1, dispatch);
+    finishMain(b, reg::s2);
+
+    // ---- loadcore: an 11 K-word stack buffer, hand-rolled frame ----
+    //
+    // The frame is too large for addi's 16-bit immediate and its
+    // slots overflow the 15-bit load/store offset, so the prologue
+    // and the accesses go through a secondary base register (t8) --
+    // exactly the codegen the paper describes for this function.
+    b.bind(loadcore);
+    {
+        constexpr std::int32_t CoreWords = 11 * 1024;
+        b.li(reg::t8, CoreWords * 4);
+        b.sub(reg::sp, reg::sp, reg::t8);   // allocate 44 KB
+        b.move(reg::t8, reg::sp);           // secondary base
+        // Touch a strided sample of the buffer (the real function
+        // fills it from a file; we fill from the pseudo-program).
+        b.li(reg::t0, 0);
+        Label fillCore = b.here();
+        b.sll(reg::t1, reg::t0, 2);
+        b.add(reg::t2, reg::t8, reg::t1);
+        b.sw(reg::t0, 0, reg::t2, true);    // local via computed base
+        b.addi(reg::t0, reg::t0, 64);       // stride 64 words
+        b.slti(reg::t3, reg::t0, CoreWords);
+        b.bne(reg::t3, reg::zero, fillCore);
+        // Read a few words back.
+        b.lw(reg::v0, 0, reg::t8, true);
+        b.lw(reg::t4, 1024, reg::t8, true);
+        b.add(reg::v0, reg::v0, reg::t4);
+        b.li(reg::t8, CoreWords * 4);
+        b.add(reg::sp, reg::sp, reg::t8);   // release the frame
+        b.ret();
+    }
+
+    // ---- handlers: long bodies over the simulated register file ----
+    for (int i = 0; i < NumHandlers; ++i) {
+        b.bind(handlers[static_cast<std::size_t>(i)]);
+        FrameSpec f;
+        f.localWords = 2 + static_cast<int>(ctx.rng.below(3));
+        f.savedRegs = {reg::s0, reg::s1, reg::s2, reg::s3};
+        b.prologue(f);
+        b.move(reg::s0, reg::a0);
+        b.storeLocal(reg::a0, 0);
+        b.xori(reg::s2, reg::a0, 0x111);
+        b.storeLocal(reg::s2, 1);
+
+        // Decode fields.
+        b.srl(reg::t0, reg::s0, 4);
+        b.andi(reg::t0, reg::t0, SimRegs - 1);   // rs
+        b.srl(reg::t1, reg::s0, 10);
+        b.andi(reg::t1, reg::t1, SimRegs - 1);   // rt
+        b.srl(reg::t2, reg::s0, 16);
+        b.andi(reg::t2, reg::t2, SimRegs - 1);   // rd
+
+        // Long compute body with several register-file updates; the
+        // sheer length (> ROB size) is what starves the LVAQ of
+        // forwarding opportunities.
+        int bodyBlocks = 8 + static_cast<int>(ctx.rng.below(3));
+        std::int32_t rfOff = static_cast<std::int32_t>(
+            simRegFile - layout::DataBase);
+        for (int blk = 0; blk < bodyBlocks; ++blk) {
+            b.sll(reg::t4, reg::t0, 2);
+            b.addi(reg::t4, reg::t4, rfOff);
+            b.add(reg::t4, reg::gp, reg::t4);
+            b.lw(reg::t5, 0, reg::t4);           // rf[rs]
+            b.sll(reg::t6, reg::t1, 2);
+            b.addi(reg::t6, reg::t6, rfOff);
+            b.add(reg::t6, reg::gp, reg::t6);
+            b.lw(reg::t7, 0, reg::t6);           // rf[rt]
+            b.lw(reg::s3, 4, reg::t6);           // rf[rt+1] (pair op)
+            ctx.computeOps(8);
+            b.add(reg::s1, reg::t5, reg::t7);
+            b.add(reg::s1, reg::s1, reg::s3);
+            b.sll(reg::t4, reg::t2, 2);
+            b.addi(reg::t4, reg::t4, rfOff);
+            b.add(reg::t4, reg::gp, reg::t4);
+            b.sw(reg::s1, 0, reg::t4);           // rf[rd] = result
+            // Rotate the decoded fields so blocks differ.
+            b.addi(reg::t0, reg::t1, 0);
+            b.addi(reg::t1, reg::t2, 0);
+            b.andi(reg::t2, reg::s1, SimRegs - 1);
+        }
+
+        b.loadLocal(reg::t3, 0);                 // epilogue-time reload
+        b.loadLocal(reg::s2, 1);
+        b.add(reg::v0, reg::s1, reg::t3);
+        b.add(reg::v0, reg::v0, reg::s2);
+        b.epilogue(f);
+    }
+
+    prog::Program prog = b.finish();
+    prog.setEntry(prog.symbol("main"));
+    return prog;
+}
+
+} // namespace ddsim::workloads

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * 107.mgrid stand-in: multigrid relaxation — 7-point 3D stencils over
+ * a cube, plus coarse-grid passes at stride 2. Almost no calls (one
+ * per level pass), the lowest local fraction of the FP set.
+ */
+
+#include "workloads/workloads.hh"
+
+namespace ddsim::workloads {
+
+namespace reg = isa::reg;
+using prog::FrameSpec;
+using prog::Label;
+
+prog::Program
+buildMgridLike(const WorkloadParams &p)
+{
+    prog::ProgramBuilder b("mgrid");
+    GenCtx ctx(b, p.seed);
+
+    constexpr int N = 20;               // cube edge
+    constexpr int Plane = N * N;
+    const Addr gridA = layout::HeapBase;
+    const Addr gridB = gridA + static_cast<Addr>(N * N * N * 8);
+
+    Addr w0 = b.dataDouble(0.5);
+    Addr w1 = b.dataDouble(0.0833333);
+
+    Label main = b.newLabel("main");
+    Label smooth = b.newLabel("smooth");
+
+    // ---- main ----
+    b.bind(main);
+    b.li(reg::s0, static_cast<std::int32_t>(1 + p.scale / 10));
+    b.li(reg::s7, 0);
+
+    // Initialize grid A.
+    b.li(reg::t0, 0);
+    b.la(reg::t1, gridA);
+    b.li(reg::t2, N * N * N);
+    b.li(reg::t3, 1);
+    b.cvtDW(2, reg::t3);
+    b.cvtDW(1, reg::zero);
+    Label init = b.here();
+    b.addD(1, 1, 2);
+    b.sd(1, 0, reg::t1);
+    b.addi(reg::t1, reg::t1, 8);
+    b.addi(reg::t0, reg::t0, 1);
+    b.slt(reg::t4, reg::t0, reg::t2);
+    b.bne(reg::t4, reg::zero, init);
+
+    b.ld(10, static_cast<std::int32_t>(w0 - layout::DataBase), reg::gp);
+    b.ld(11, static_cast<std::int32_t>(w1 - layout::DataBase), reg::gp);
+
+    Label iter = b.here();
+    // Fine pass A -> B, then B -> A (two "levels").
+    b.la(reg::a0, gridA);
+    b.la(reg::a1, gridB);
+    b.li(reg::a2, 1);                   // stride
+    b.jal(smooth);
+    b.add(reg::s7, reg::s7, reg::v0);
+    b.la(reg::a0, gridB);
+    b.la(reg::a1, gridA);
+    b.li(reg::a2, 2);                   // coarse stride
+    b.jal(smooth);
+    b.add(reg::s7, reg::s7, reg::v0);
+    b.addi(reg::s0, reg::s0, -1);
+    b.bgtz(reg::s0, iter);
+    finishMain(b, reg::s7);
+
+    // ---- smooth(src, dst, stride): 7-point stencil over the cube --
+    b.bind(smooth);
+    FrameSpec f;
+    f.localWords = 6;
+    f.savedRegs = {reg::s1, reg::s2, reg::s3};
+    b.prologue(f);
+    b.move(reg::s1, reg::a0);           // src
+    b.move(reg::s2, reg::a1);           // dst
+    b.move(reg::s3, reg::a2);           // stride
+    b.storeLocal(reg::a2, 0);
+
+    b.li(reg::t8, 1);                   // k (plane index)
+    Label kLoop = b.here();
+    b.storeLocal(reg::t8, 1);
+    // cursor = base + ((k*Plane + N + 1) * 8)
+    b.li(reg::t0, Plane * 8);
+    b.mul(reg::t1, reg::t8, reg::t0);
+    b.addi(reg::t1, reg::t1, (N + 1) * 8);
+    b.add(reg::t2, reg::s1, reg::t1);   // src cursor
+    b.add(reg::t3, reg::s2, reg::t1);   // dst cursor
+    b.li(reg::t6, 160);                 // interior cells per plane
+    b.sll(reg::t4, reg::s3, 3);         // stride in bytes
+    // Four cells per chunk with the counter spilled across the chunk
+    // (the only local traffic in this loop nest).
+    Label cell = b.here();
+    b.storeLocal(reg::t6, 2);
+    for (int u = 0; u < 4; ++u) {
+        b.ld(3, 0, reg::t2);
+        b.ld(4, 8, reg::t2);
+        b.ld(5, -8, reg::t2);
+        b.ld(6, N * 8, reg::t2);
+        b.ld(7, -(N * 8), reg::t2);
+        b.ld(8, Plane * 8, reg::t2);
+        b.ld(9, -(Plane * 8), reg::t2);
+        b.addD(4, 4, 5);
+        b.addD(6, 6, 7);
+        b.addD(8, 8, 9);
+        b.addD(4, 4, 6);
+        b.addD(4, 4, 8);
+        b.mulD(3, 3, 10);
+        b.mulD(4, 4, 11);
+        b.addD(3, 3, 4);
+        b.sd(3, 0, reg::t3);
+        // advance by stride elements
+        b.add(reg::t2, reg::t2, reg::t4);
+        b.add(reg::t3, reg::t3, reg::t4);
+    }
+    b.loadLocal(reg::t6, 2);
+    b.addi(reg::t6, reg::t6, -4);
+    b.bgtz(reg::t6, cell);
+    b.loadLocal(reg::t8, 1);
+    b.addi(reg::t8, reg::t8, 1);
+    b.li(reg::t0, N - 1);
+    b.slt(reg::t1, reg::t8, reg::t0);
+    b.bne(reg::t1, reg::zero, kLoop);
+    b.loadLocal(reg::t5, 0);
+    b.cvtWD(reg::v0, 3);
+    b.add(reg::v0, reg::v0, reg::t5);
+    b.epilogue(f);
+
+    prog::Program prog = b.finish();
+    prog.setEntry(prog.symbol("main"));
+    return prog;
+}
+
+} // namespace ddsim::workloads

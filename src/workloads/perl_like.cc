@@ -1,0 +1,166 @@
+/**
+ * @file
+ * 134.perl stand-in: a bytecode interpreter with a heap value stack
+ * and short handler functions — the scrabbl.pl-style dispatch-heavy
+ * profile.
+ *
+ * Characteristics targeted: local-heavy (~45% of refs), frequent
+ * short calls whose save/restore pairs co-reside in the window
+ * (decent LVAQ forwarding), high memory reference rate.
+ */
+
+#include "workloads/workloads.hh"
+
+namespace ddsim::workloads {
+
+namespace reg = isa::reg;
+using prog::FrameSpec;
+using prog::Label;
+
+prog::Program
+buildPerlLike(const WorkloadParams &p)
+{
+    prog::ProgramBuilder b("perl");
+    GenCtx ctx(b, p.seed);
+
+    constexpr int NumOps = 6;
+    constexpr int CodeWords = 2048;
+
+    Addr stackTop = b.dataWord(0);      // value-stack cursor
+    Addr crcTable = b.dataWords(64);    // hash lookup table
+    Addr bytecode = b.dataWords(CodeWords);
+    const Addr valueStack = layout::HeapBase;
+    const std::uint32_t vsMask = 0x3fff & ~3u; // 16 KB value stack
+
+    Label main = b.newLabel("main");
+    Label hashString = b.newLabel("hash_string");
+    std::vector<Label> ops;
+    ops.reserve(NumOps);
+    for (int i = 0; i < NumOps; ++i)
+        ops.push_back(b.newLabel("op" + std::to_string(i)));
+
+    // ---- main ----
+    b.bind(main);
+    b.li(reg::s0, static_cast<std::int32_t>(p.scale * 40));
+    b.li(reg::s1, 0);                   // checksum
+    b.li(reg::s2, 0);                   // interpreter pc
+
+    // Fill the bytecode image.
+    b.li(reg::t0, 0);
+    b.li(reg::t7, static_cast<std::int32_t>(p.seed * 7 + 3));
+    Label fill = b.here();
+    ctx.lcgStep(reg::t7, reg::t6);
+    b.srl(reg::t1, reg::t7, 12);
+    b.sll(reg::t2, reg::t0, 2);
+    b.la(reg::t3, bytecode);
+    b.add(reg::t2, reg::t3, reg::t2);
+    b.sw(reg::t1, 0, reg::t2);
+    b.addi(reg::t0, reg::t0, 1);
+    b.slti(reg::t3, reg::t0, CodeWords);
+    b.bne(reg::t3, reg::zero, fill);
+
+    Label dispatch = b.here("dispatch");
+    b.andi(reg::t0, reg::s2, CodeWords - 1);
+    b.sll(reg::t0, reg::t0, 2);
+    b.la(reg::t1, bytecode);
+    b.add(reg::t1, reg::t1, reg::t0);
+    b.lw(reg::t2, 0, reg::t1);          // fetch op word
+    b.andi(reg::t3, reg::t2, NumOps - 1);
+    b.move(reg::a0, reg::t2);
+    Label after = b.newLabel("after");
+    for (int i = 0; i < NumOps; ++i) {
+        Label next = b.newLabel();
+        b.li(reg::t4, i);
+        b.bne(reg::t3, reg::t4, next);
+        b.jal(ops[static_cast<std::size_t>(i)]);
+        b.j(after);
+        b.bind(next);
+    }
+    // Fallthrough op index >= NumOps never happens (mask), but keep a
+    // safe default.
+    b.li(reg::v0, 0);
+    b.bind(after);
+    b.add(reg::s1, reg::s1, reg::v0);
+    b.addi(reg::s2, reg::s2, 1);
+    b.addi(reg::s0, reg::s0, -1);
+    b.bgtz(reg::s0, dispatch);
+    finishMain(b, reg::s1);
+
+    // ---- op handlers: short, frame-based, push/pop the value stack -
+    std::int32_t stOff =
+        static_cast<std::int32_t>(stackTop - layout::DataBase);
+    for (int i = 0; i < NumOps; ++i) {
+        b.bind(ops[static_cast<std::size_t>(i)]);
+        FrameSpec f;
+        f.localWords = 2 + static_cast<int>(ctx.rng.below(3));
+        f.savedRegs = {reg::s0, reg::s1};
+        bool callsHelper = (i % 3 == 0);
+        f.saveRa = true;
+        b.prologue(f);
+        b.move(reg::s0, reg::a0);
+        b.storeLocal(reg::a0, 0);
+
+        // Pop one value, compute, push one value (heap traffic).
+        b.lw(reg::t0, stOff, reg::gp);
+        b.andi(reg::t1, reg::t0, static_cast<std::int32_t>(vsMask));
+        b.li(reg::t2, static_cast<std::int32_t>(valueStack));
+        b.add(reg::t1, reg::t1, reg::t2);
+        b.lw(reg::s1, 0, reg::t1);      // pop
+        b.lw(reg::t4, -4, reg::t1);     // peek the next value down
+        b.add(reg::s1, reg::s1, reg::t4);
+        ctx.computeOps(3 + static_cast<int>(ctx.rng.below(4)));
+        b.loadLocal(reg::t3, 0);        // reload the op word
+        b.add(reg::s1, reg::s1, reg::t3);
+        if (callsHelper) {
+            b.move(reg::a0, reg::s1);
+            b.jal(hashString);
+            b.add(reg::s1, reg::s1, reg::v0);
+        }
+        b.storeLocal(reg::s1, 1);
+        b.lw(reg::t0, stOff, reg::gp);
+        b.addi(reg::t0, reg::t0, 4);
+        b.sw(reg::t0, stOff, reg::gp);
+        b.andi(reg::t1, reg::t0, static_cast<std::int32_t>(vsMask));
+        b.li(reg::t2, static_cast<std::int32_t>(valueStack));
+        b.add(reg::t1, reg::t1, reg::t2);
+        b.loadLocal(reg::t4, 1);
+        b.sw(reg::t4, 0, reg::t1);      // push
+        b.move(reg::v0, reg::s1);
+        b.epilogue(f);
+    }
+
+    // ---- hash_string(v): leaf with a small local buffer ----
+    b.bind(hashString);
+    FrameSpec hf;
+    hf.localWords = 4;
+    hf.savedRegs = {};
+    hf.saveRa = false;
+    b.prologue(hf);
+    b.storeLocal(reg::a0, 0);
+    b.li(reg::v0, 5381);
+    std::int32_t crcOff =
+        static_cast<std::int32_t>(crcTable - layout::DataBase);
+    for (int k = 0; k < 3; ++k) {
+        b.sll(reg::t0, reg::v0, 5);
+        b.add(reg::v0, reg::v0, reg::t0);
+        b.loadLocal(reg::t1, 0);
+        b.srl(reg::t1, reg::t1, k * 8);
+        // Table-driven hash step (global load).
+        b.andi(reg::t2, reg::t1, 63);
+        b.sll(reg::t2, reg::t2, 2);
+        b.add(reg::t2, reg::gp, reg::t2);
+        b.lw(reg::t3, crcOff, reg::t2);
+        b.xor_(reg::v0, reg::v0, reg::t1);
+        b.xor_(reg::v0, reg::v0, reg::t3);
+        b.storeLocal(reg::v0, 1 + k % 2);
+    }
+    b.loadLocal(reg::t2, 1);
+    b.add(reg::v0, reg::v0, reg::t2);
+    b.epilogue(hf);
+
+    prog::Program prog = b.finish();
+    prog.setEntry(prog.symbol("main"));
+    return prog;
+}
+
+} // namespace ddsim::workloads

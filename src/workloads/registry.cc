@@ -1,0 +1,84 @@
+#include "workloads/workloads.hh"
+
+#include "util/log.hh"
+
+namespace ddsim::workloads {
+
+const std::vector<WorkloadInfo> &
+all()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"go", "099.go", "game-tree search over a global board",
+         false, &buildGoLike, 24},
+        {"m88ksim", "124.m88ksim",
+         "instruction-set simulator dispatch loop", false,
+         &buildM88ksimLike, 40},
+        {"gcc", "126.gcc",
+         "compiler passes with varied frames and a recursive IR walk",
+         false, &buildGccLike, 6},
+        {"compress", "129.compress", "LZW-style hash loop", false,
+         &buildCompressLike, 9},
+        {"li", "130.li", "lisp interpreter running ctak recursion",
+         false, &buildLiLike, 50},
+        {"ijpeg", "132.ijpeg", "block transform image compression",
+         false, &buildIjpegLike, 21},
+        {"perl", "134.perl", "bytecode interpreter with value stack",
+         false, &buildPerlLike, 71},
+        {"vortex", "147.vortex",
+         "object-oriented database transactions", false,
+         &buildVortexLike, 268},
+        {"tomcatv", "101.tomcatv", "vectorized mesh generation",
+         true, &buildTomcatvLike, 37},
+        {"swim", "102.swim", "shallow water stencil sweeps", true,
+         &buildSwimLike, 25},
+        {"su2cor", "103.su2cor",
+         "lattice physics with per-site matrix calls", true,
+         &buildSu2corLike, 38},
+        {"mgrid", "107.mgrid", "3D multigrid relaxation", true,
+         &buildMgridLike, 16},
+    };
+    return registry;
+}
+
+const WorkloadInfo *
+find(const std::string &name)
+{
+    for (const WorkloadInfo &w : all()) {
+        if (name == w.name || name == w.paperName)
+            return &w;
+    }
+    return nullptr;
+}
+
+prog::Program
+build(const std::string &name, const WorkloadParams &params)
+{
+    const WorkloadInfo *w = find(name);
+    if (!w)
+        fatal("unknown workload '%s'", name.c_str());
+    return w->factory(params);
+}
+
+std::vector<std::string>
+integerNames()
+{
+    std::vector<std::string> out;
+    for (const WorkloadInfo &w : all()) {
+        if (!w.isFp)
+            out.push_back(w.name);
+    }
+    return out;
+}
+
+std::vector<std::string>
+fpNames()
+{
+    std::vector<std::string> out;
+    for (const WorkloadInfo &w : all()) {
+        if (w.isFp)
+            out.push_back(w.name);
+    }
+    return out;
+}
+
+} // namespace ddsim::workloads

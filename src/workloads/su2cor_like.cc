@@ -1,0 +1,150 @@
+/**
+ * @file
+ * 103.su2cor stand-in: lattice QCD flavoured — a sweep over lattice
+ * sites, each site calling a small 2x2 complex matrix-multiply
+ * routine whose frame traffic and result writes create in-LSQ
+ * store-to-load pairs.
+ *
+ * Characteristics targeted: FP code with noticeably more calls than
+ * tomcatv/swim (one per site), giving it a mid-range local fraction;
+ * the paper's Section 4.3 notes a slight (2+2) degradation for
+ * su2cor caused by splitting store/load pairs between the shorter
+ * queues — the matmul result-write/re-read pattern reproduces that
+ * interaction.
+ */
+
+#include "workloads/workloads.hh"
+
+namespace ddsim::workloads {
+
+namespace reg = isa::reg;
+using prog::FrameSpec;
+using prog::Label;
+
+prog::Program
+buildSu2corLike(const WorkloadParams &p)
+{
+    prog::ProgramBuilder b("su2cor");
+    GenCtx ctx(b, p.seed);
+
+    constexpr int Sites = 1024;
+    constexpr int MatWords = 8;         // 2x2 complex = 8 doubles
+    constexpr Addr MatBytes = MatWords * 8;
+    const Addr lattice = layout::HeapBase; // Sites matrices
+    const Addr scratch = lattice + Sites * MatBytes;
+
+    Label main = b.newLabel("main");
+    Label sweep = b.newLabel("sweep");
+    Label matmul = b.newLabel("matmul");
+
+    // ---- main ----
+    b.bind(main);
+    b.li(reg::s0, static_cast<std::int32_t>(1 + p.scale / 12));
+    b.li(reg::s7, 0);
+
+    // Initialize the lattice.
+    b.li(reg::t0, 0);
+    b.la(reg::t1, lattice);
+    b.li(reg::t2, Sites * MatWords);
+    b.li(reg::t3, 1);
+    b.cvtDW(2, reg::t3);
+    b.cvtDW(1, reg::zero);
+    Label init = b.here();
+    b.addD(1, 1, 2);
+    b.sd(1, 0, reg::t1);
+    b.addi(reg::t1, reg::t1, 8);
+    b.addi(reg::t0, reg::t0, 1);
+    b.slt(reg::t4, reg::t0, reg::t2);
+    b.bne(reg::t4, reg::zero, init);
+
+    Label iter = b.here();
+    b.jal(sweep);
+    b.add(reg::s7, reg::s7, reg::v0);
+    b.addi(reg::s0, reg::s0, -1);
+    b.bgtz(reg::s0, iter);
+    finishMain(b, reg::s7);
+
+    // ---- sweep: visit each site, multiply it by its neighbour ----
+    b.bind(sweep);
+    FrameSpec sf;
+    sf.localWords = 4;
+    sf.savedRegs = {reg::s1, reg::s2, reg::s3};
+    b.prologue(sf);
+    b.li(reg::s1, 0);                   // site index
+    b.la(reg::s2, lattice);
+    b.la(reg::s3, scratch);
+    Label siteLoop = b.here();
+    // a = &lattice[site], bmat = &lattice[(site+1) % Sites]
+    b.li(reg::t0, MatBytes);
+    b.mul(reg::t1, reg::s1, reg::t0);
+    b.add(reg::a0, reg::s2, reg::t1);
+    b.addi(reg::t2, reg::s1, 1);
+    b.andi(reg::t2, reg::t2, Sites - 1);
+    b.mul(reg::t3, reg::t2, reg::t0);
+    b.add(reg::a1, reg::s2, reg::t3);
+    b.move(reg::a2, reg::s3);           // result into scratch
+    b.jal(matmul);
+
+    // Read the freshly-written scratch matrix back and fold it into
+    // the site (the store->load pair the LSQ forwards in a unified
+    // machine).
+    b.ld(3, 0, reg::s3);
+    b.ld(4, 8, reg::s3);
+    b.addD(3, 3, 4);
+    b.li(reg::t0, MatBytes);
+    b.mul(reg::t1, reg::s1, reg::t0);
+    b.add(reg::t2, reg::s2, reg::t1);
+    b.sd(3, 0, reg::t2);
+
+    b.addi(reg::s1, reg::s1, 1);
+    b.li(reg::t4, Sites);
+    b.slt(reg::t5, reg::s1, reg::t4);
+    b.bne(reg::t5, reg::zero, siteLoop);
+    b.cvtWD(reg::v0, 3);
+    b.epilogue(sf);
+
+    // ---- matmul(a, b, out): 2x2 complex multiply ----
+    b.bind(matmul);
+    FrameSpec mf;
+    mf.localWords = 4;
+    mf.savedRegs = {};
+    mf.saveRa = false;
+    b.prologue(mf);
+    b.storeLocal(reg::a0, 0);           // spills: FP codes run out of
+    b.storeLocal(reg::a1, 1);           // address registers here
+    // out[0..3] = a[0..3]*b[0] + a[1]*b[2] style butterfly.
+    b.ld(3, 0, reg::a0);
+    b.ld(4, 8, reg::a0);
+    b.ld(5, 16, reg::a0);
+    b.ld(6, 24, reg::a0);
+    b.ld(7, 0, reg::a1);
+    b.ld(8, 8, reg::a1);
+    b.mulD(9, 3, 7);
+    b.mulD(12, 4, 8);
+    b.subD(9, 9, 12);
+    b.sd(9, 0, reg::a2);
+    b.mulD(13, 3, 8);
+    b.mulD(14, 4, 7);
+    b.addD(13, 13, 14);
+    b.sd(13, 8, reg::a2);
+    b.loadLocal(reg::t0, 0);            // reload a (short distance)
+    b.ld(3, 32, reg::t0);
+    b.ld(4, 40, reg::t0);
+    b.mulD(9, 5, 7);
+    b.mulD(12, 6, 8);
+    b.addD(9, 9, 12);
+    b.addD(9, 9, 3);
+    b.sd(9, 16, reg::a2);
+    b.mulD(13, 5, 8);
+    b.subD(13, 13, 4);
+    b.sd(13, 24, reg::a2);
+    b.loadLocal(reg::t1, 1);
+    b.xor_(reg::v0, reg::t0, reg::t1);
+    b.epilogue(mf);
+
+    prog::Program prog = b.finish();
+    prog.setEntry(prog.symbol("main"));
+    return prog;
+}
+
+} // namespace ddsim::workloads

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * 102.swim stand-in: shallow-water finite differences — three N x N
+ * double grids updated by stencil sweeps, one function call per field
+ * update pass.
+ *
+ * Characteristics targeted: FP streaming loads/stores over heap grids
+ * larger than the L1, very few calls, and local accesses *clustered*
+ * at row boundaries (register spills in the outer loop) — the poor
+ * local/non-local interleaving that makes (2+2) perform like (2+0)
+ * for FP codes in Section 4.3.
+ */
+
+#include "workloads/workloads.hh"
+
+namespace ddsim::workloads {
+
+namespace reg = isa::reg;
+using prog::FrameSpec;
+using prog::Label;
+
+prog::Program
+buildSwimLike(const WorkloadParams &p)
+{
+    prog::ProgramBuilder b("swim");
+    GenCtx ctx(b, p.seed);
+
+    constexpr int N = 50;               // grid edge (interior % 4 == 0)
+    constexpr Addr GridBytes = N * N * 8;
+    const Addr gridU = layout::HeapBase;
+    const Addr gridV = gridU + GridBytes;
+    const Addr gridP = gridV + GridBytes;
+
+    Addr c1 = b.dataDouble(0.25);
+    Addr c2 = b.dataDouble(0.125);
+
+    Label main = b.newLabel("main");
+    Label calc = b.newLabel("calc_pass");
+
+    // ---- main ----
+    b.bind(main);
+    b.li(reg::s0,
+         static_cast<std::int32_t>(1 + p.scale / 16)); // timesteps
+    b.li(reg::s7, 0);                                  // checksum
+
+    // Initialize the three grids: grid[i] = (double)i * k.
+    b.li(reg::t0, 0);
+    b.la(reg::t1, gridU);
+    b.li(reg::t2, 3 * N * N);
+    b.li(reg::t3, 1);
+    b.cvtDW(2, reg::t3);                // f2 = 1.0 (increment)
+    b.cvtDW(1, reg::zero);              // f1 = running value
+    Label init = b.here();
+    b.addD(1, 1, 2);
+    b.sd(1, 0, reg::t1);
+    b.addi(reg::t1, reg::t1, 8);
+    b.addi(reg::t0, reg::t0, 1);
+    b.slt(reg::t4, reg::t0, reg::t2);
+    b.bne(reg::t4, reg::zero, init);
+
+    // Load the stencil constants once.
+    b.ld(10, static_cast<std::int32_t>(c1 - layout::DataBase), reg::gp);
+    b.ld(11, static_cast<std::int32_t>(c2 - layout::DataBase), reg::gp);
+
+    Label tsLoop = b.here();
+    // Three passes per timestep, rotating which grid is updated.
+    b.li(reg::a0, 0);
+    b.jal(calc);
+    b.add(reg::s7, reg::s7, reg::v0);
+    b.li(reg::a0, 1);
+    b.jal(calc);
+    b.add(reg::s7, reg::s7, reg::v0);
+    b.li(reg::a0, 2);
+    b.jal(calc);
+    b.add(reg::s7, reg::s7, reg::v0);
+    b.addi(reg::s0, reg::s0, -1);
+    b.bgtz(reg::s0, tsLoop);
+    finishMain(b, reg::s7);
+
+    // ---- calc_pass(which): one stencil sweep ----
+    b.bind(calc);
+    FrameSpec f;
+    f.localWords = 8;
+    f.savedRegs = {reg::s1, reg::s2, reg::s3};
+    b.prologue(f);
+
+    // Select base pointers by `which` (0,1,2): dst = grids[which],
+    // srcA = grids[(which+1)%3], srcB = grids[(which+2)%3].
+    Label sel1 = b.newLabel(), sel2 = b.newLabel(), selDone =
+        b.newLabel();
+    b.li(reg::t0, 1);
+    b.beq(reg::a0, reg::t0, sel1);
+    b.li(reg::t0, 2);
+    b.beq(reg::a0, reg::t0, sel2);
+    b.la(reg::s1, gridU);
+    b.la(reg::s2, gridV);
+    b.la(reg::s3, gridP);
+    b.j(selDone);
+    b.bind(sel1);
+    b.la(reg::s1, gridV);
+    b.la(reg::s2, gridP);
+    b.la(reg::s3, gridU);
+    b.j(selDone);
+    b.bind(sel2);
+    b.la(reg::s1, gridP);
+    b.la(reg::s2, gridU);
+    b.la(reg::s3, gridV);
+    b.bind(selDone);
+
+    b.li(reg::t8, 1);                   // row i = 1 .. N-2
+    Label rowLoop = b.here();
+
+    // Row prologue: spill the row-local state (the clustered local
+    // accesses of an FP outer loop).
+    b.storeLocal(reg::t8, 0);
+    b.storeLocal(reg::s1, 1);
+    b.storeLocal(reg::s2, 2);
+    // Row base pointers: base + (i*N + 1) * 8.
+    b.li(reg::t0, N * 8);
+    b.mul(reg::t1, reg::t8, reg::t0);
+    b.addi(reg::t1, reg::t1, 8);
+    b.add(reg::t2, reg::s1, reg::t1);   // dst cursor
+    b.add(reg::t3, reg::s2, reg::t1);   // srcA cursor
+    b.add(reg::t4, reg::s3, reg::t1);   // srcB cursor
+    b.loadLocal(reg::t5, 0);            // quick reload of i
+    b.li(reg::t6, N - 2);               // inner count
+
+    // Four-cell unrolled stencil body. The inner counter and one
+    // cursor spill across the body (register pressure inside the
+    // unrolled loop) -- two local accesses per ~26 grid references,
+    // clustered rather than interleaved.
+    Label cellLoop = b.here();
+    b.storeLocal(reg::t6, 3);           // spill the counter
+    for (int u = 0; u < 4; ++u) {
+        int o = u * 8;
+        b.ld(3, o, reg::t3);            // a[i][j]
+        b.ld(4, o + 8, reg::t3);        // a[i][j+1]
+        b.ld(5, o - 8, reg::t3);        // a[i][j-1]
+        b.ld(6, N * 8 + o, reg::t4);    // b[i+1][j]
+        b.ld(7, -(N * 8) + o, reg::t4); // b[i-1][j]
+        b.subD(4, 4, 5);
+        b.subD(6, 6, 7);
+        b.mulD(4, 4, 10);
+        b.mulD(6, 6, 11);
+        b.addD(3, 3, 4);
+        b.addD(3, 3, 6);
+        b.sd(3, o, reg::t2);            // dst[i][j]
+    }
+    b.addi(reg::t2, reg::t2, 32);
+    b.addi(reg::t3, reg::t3, 32);
+    b.addi(reg::t4, reg::t4, 32);
+    b.loadLocal(reg::t6, 3);            // reload the counter
+    b.addi(reg::t6, reg::t6, -4);
+    b.bgtz(reg::t6, cellLoop);
+
+    // Row epilogue: reload spilled state.
+    b.loadLocal(reg::t8, 0);
+    b.loadLocal(reg::s1, 1);
+    b.loadLocal(reg::s2, 2);
+    b.addi(reg::t8, reg::t8, 1);
+    b.li(reg::t0, N - 1);
+    b.slt(reg::t1, reg::t8, reg::t0);
+    b.bne(reg::t1, reg::zero, rowLoop);
+
+    // Checksum: integer view of the last computed cell.
+    b.cvtWD(reg::v0, 3);
+    b.epilogue(f);
+
+    prog::Program prog = b.finish();
+    prog.setEntry(prog.symbol("main"));
+    return prog;
+}
+
+} // namespace ddsim::workloads

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * 101.tomcatv stand-in: vectorized mesh generation — seven N x N
+ * double arrays, a residual pass reading the coordinate arrays and
+ * writing residuals, then a relaxation pass folding the residuals
+ * back in. Calls are rare (two per iteration); local accesses cluster
+ * at pass entry/exit and row boundaries.
+ */
+
+#include "workloads/workloads.hh"
+
+namespace ddsim::workloads {
+
+namespace reg = isa::reg;
+using prog::FrameSpec;
+using prog::Label;
+
+prog::Program
+buildTomcatvLike(const WorkloadParams &p)
+{
+    prog::ProgramBuilder b("tomcatv");
+    GenCtx ctx(b, p.seed);
+
+    constexpr int N = 42;               // interior divisible by 2
+    constexpr Addr A = N * N * 8;       // bytes per array
+    const Addr arrX = layout::HeapBase;
+    const Addr arrY = arrX + A;
+    const Addr arrRX = arrY + A;
+    const Addr arrRY = arrRX + A;
+    const Addr arrD = arrRY + A;
+
+    Addr relax = b.dataDouble(0.0625);
+
+    Label main = b.newLabel("main");
+    Label residual = b.newLabel("residual_pass");
+    Label update = b.newLabel("update_pass");
+
+    // ---- main ----
+    b.bind(main);
+    b.li(reg::s0, static_cast<std::int32_t>(1 + p.scale / 10));
+    b.li(reg::s7, 0);
+
+    // Initialize X and Y.
+    b.li(reg::t0, 0);
+    b.la(reg::t1, arrX);
+    b.li(reg::t2, 2 * N * N);
+    b.li(reg::t3, 3);
+    b.cvtDW(2, reg::t3);
+    b.cvtDW(1, reg::zero);
+    Label init = b.here();
+    b.addD(1, 1, 2);
+    b.sd(1, 0, reg::t1);
+    b.addi(reg::t1, reg::t1, 8);
+    b.addi(reg::t0, reg::t0, 1);
+    b.slt(reg::t4, reg::t0, reg::t2);
+    b.bne(reg::t4, reg::zero, init);
+
+    b.ld(10, static_cast<std::int32_t>(relax - layout::DataBase),
+         reg::gp);
+
+    Label iter = b.here();
+    b.jal(residual);
+    b.add(reg::s7, reg::s7, reg::v0);
+    b.jal(update);
+    b.add(reg::s7, reg::s7, reg::v0);
+    b.addi(reg::s0, reg::s0, -1);
+    b.bgtz(reg::s0, iter);
+    finishMain(b, reg::s7);
+
+    // ---- residual_pass: RX,RY <- stencil(X, Y) ----
+    b.bind(residual);
+    FrameSpec rf;
+    rf.localWords = 10;
+    rf.savedRegs = {reg::s1, reg::s2};
+    b.prologue(rf);
+    b.la(reg::s1, arrX);
+    b.la(reg::s2, arrY);
+    b.li(reg::t8, 1);                   // row
+    Label rRow = b.here();
+    b.storeLocal(reg::t8, 0);           // spill cluster per row
+    b.storeLocal(reg::s1, 1);
+    b.storeLocal(reg::s2, 2);
+    b.li(reg::t0, N * 8);
+    b.mul(reg::t1, reg::t8, reg::t0);
+    b.addi(reg::t1, reg::t1, 8);
+    b.add(reg::t2, reg::s1, reg::t1);   // x cursor
+    b.add(reg::t3, reg::s2, reg::t1);   // y cursor
+    b.li(reg::t4, static_cast<std::int32_t>(arrRX - arrX));
+    b.add(reg::t4, reg::t2, reg::t4);   // rx cursor
+    b.li(reg::t5, static_cast<std::int32_t>(arrRY - arrX));
+    b.add(reg::t5, reg::t2, reg::t5);   // ry cursor
+    b.li(reg::t6, N - 2);
+    // Two-cell unrolled residual body with a spilled counter.
+    Label rCell = b.here();
+    b.storeLocal(reg::t6, 3);
+    for (int u = 0; u < 2; ++u) {
+        int o = u * 8;
+        b.ld(3, o - 8, reg::t2);
+        b.ld(4, o + 8, reg::t2);
+        b.ld(5, o - N * 8, reg::t2);
+        b.ld(6, o + N * 8, reg::t2);
+        b.ld(7, o, reg::t3);
+        b.addD(3, 3, 4);
+        b.addD(5, 5, 6);
+        b.addD(3, 3, 5);
+        b.mulD(4, 7, 10);
+        b.subD(3, 3, 4);
+        b.sd(3, o, reg::t4);            // rx
+        b.mulD(5, 3, 10);
+        b.sd(5, o, reg::t5);            // ry
+    }
+    b.addi(reg::t2, reg::t2, 16);
+    b.addi(reg::t3, reg::t3, 16);
+    b.addi(reg::t4, reg::t4, 16);
+    b.addi(reg::t5, reg::t5, 16);
+    b.loadLocal(reg::t6, 3);
+    b.addi(reg::t6, reg::t6, -2);
+    b.bgtz(reg::t6, rCell);
+    b.loadLocal(reg::t8, 0);
+    b.loadLocal(reg::s1, 1);
+    b.loadLocal(reg::s2, 2);
+    b.addi(reg::t8, reg::t8, 1);
+    b.li(reg::t0, N - 1);
+    b.slt(reg::t1, reg::t8, reg::t0);
+    b.bne(reg::t1, reg::zero, rRow);
+    b.cvtWD(reg::v0, 3);
+    b.epilogue(rf);
+
+    // ---- update_pass: X,Y += relax * (RX,RY); D accumulates error --
+    b.bind(update);
+    FrameSpec uf;
+    uf.localWords = 6;
+    uf.savedRegs = {reg::s1};
+    b.prologue(uf);
+    b.la(reg::s1, arrX);
+    b.li(reg::t8, 1);
+    Label uRow = b.here();
+    b.storeLocal(reg::t8, 0);
+    b.storeLocal(reg::s1, 1);
+    b.li(reg::t0, N * 8);
+    b.mul(reg::t1, reg::t8, reg::t0);
+    b.addi(reg::t1, reg::t1, 8);
+    b.add(reg::t2, reg::s1, reg::t1);   // x cursor
+    b.li(reg::t4, static_cast<std::int32_t>(arrRX - arrX));
+    b.add(reg::t4, reg::t2, reg::t4);   // rx cursor
+    b.li(reg::t5, static_cast<std::int32_t>(arrD - arrX));
+    b.add(reg::t5, reg::t2, reg::t5);   // d cursor
+    b.li(reg::t6, N - 2);
+    Label uCell = b.here();
+    b.storeLocal(reg::t6, 3);
+    for (int u = 0; u < 2; ++u) {
+        int o = u * 8;
+        b.ld(3, o, reg::t2);
+        b.ld(4, o, reg::t4);
+        b.mulD(4, 4, 10);
+        b.addD(3, 3, 4);
+        b.sd(3, o, reg::t2);
+        b.ld(5, o, reg::t5);
+        b.addD(5, 5, 4);
+        b.sd(5, o, reg::t5);
+    }
+    b.addi(reg::t2, reg::t2, 16);
+    b.addi(reg::t4, reg::t4, 16);
+    b.addi(reg::t5, reg::t5, 16);
+    b.loadLocal(reg::t6, 3);
+    b.addi(reg::t6, reg::t6, -2);
+    b.bgtz(reg::t6, uCell);
+    b.loadLocal(reg::t8, 0);
+    b.loadLocal(reg::s1, 1);
+    b.addi(reg::t8, reg::t8, 1);
+    b.li(reg::t0, N - 1);
+    b.slt(reg::t1, reg::t8, reg::t0);
+    b.bne(reg::t1, reg::zero, uRow);
+    b.cvtWD(reg::v0, 5);
+    b.epilogue(uf);
+
+    prog::Program prog = b.finish();
+    prog.setEntry(prog.symbol("main"));
+    return prog;
+}
+
+} // namespace ddsim::workloads

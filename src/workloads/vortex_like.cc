@@ -1,0 +1,206 @@
+/**
+ * @file
+ * 147.vortex stand-in: an object-oriented in-memory database doing
+ * create / lookup / update transactions through deep chains of small
+ * functions.
+ *
+ * Characteristics targeted: the paper's most local-heavy program
+ * (~60% of loads and ~80% of stores are local; ~71% of all refs),
+ * extremely call-dense, very sensitive to memory bandwidth (Fig. 5),
+ * the largest combining gains (Fig. 8: ~26% under (3+1), ~12% under
+ * (3+2)) and a visible fast-forwarding gain (Section 4.4).
+ */
+
+#include "workloads/workloads.hh"
+
+namespace ddsim::workloads {
+
+namespace reg = isa::reg;
+using prog::FrameSpec;
+using prog::Label;
+
+prog::Program
+buildVortexLike(const WorkloadParams &p)
+{
+    prog::ProgramBuilder b("vortex");
+    GenCtx ctx(b, p.seed);
+
+    // Object arena: 32 KB of 32-byte objects.
+    const Addr heapBase = layout::HeapBase;
+    const std::uint32_t heapMask = 0x7fff & ~3u;
+    Addr allocOff = b.dataWord(0);
+    Addr txnCount = b.dataWord(0);
+
+    Label main = b.newLabel("main");
+    Label txn = b.newLabel("txn");
+    Label objCreate = b.newLabel("obj_create");
+    Label fieldInit = b.newLabel("field_init");
+    Label objLookup = b.newLabel("obj_lookup");
+    Label keyCompare = b.newLabel("key_compare");
+    Label objUpdate = b.newLabel("obj_update");
+    Label logEntry = b.newLabel("log_entry");
+
+    // ---- main ----
+    b.bind(main);
+    b.li(reg::s0, static_cast<std::int32_t>(p.scale * 8));
+    b.li(reg::s1, 0); // checksum
+    Label loop = b.here();
+    b.move(reg::a0, reg::s0);
+    b.jal(txn);
+    b.add(reg::s1, reg::s1, reg::v0);
+    b.addi(reg::s0, reg::s0, -1);
+    b.bgtz(reg::s0, loop);
+    finishMain(b, reg::s1);
+
+    // ---- txn(id): one transaction = create + lookup + update ----
+    b.bind(txn);
+    FrameSpec txnFrame;
+    txnFrame.localWords = 4;
+    txnFrame.savedRegs = {reg::s0, reg::s1, reg::s2, reg::s3};
+    b.prologue(txnFrame);
+    b.move(reg::s0, reg::a0);           // id
+    b.storeLocal(reg::a0, 0);           // spill the txn id
+    b.lw(reg::t0, static_cast<std::int32_t>(txnCount - layout::DataBase),
+         reg::gp);
+    b.addi(reg::t0, reg::t0, 1);
+    b.sw(reg::t0, static_cast<std::int32_t>(txnCount - layout::DataBase),
+         reg::gp);
+
+    b.move(reg::a0, reg::s0);
+    b.jal(objCreate);
+    b.move(reg::s1, reg::v0);           // new object
+    b.storeLocal(reg::v0, 1);
+
+    b.move(reg::a0, reg::s0);
+    b.jal(objLookup);
+    b.move(reg::s2, reg::v0);
+    b.storeLocal(reg::v0, 2);
+
+    b.loadLocal(reg::a0, 1);            // short-distance reload
+    b.move(reg::a1, reg::s2);
+    b.jal(objUpdate);
+    b.move(reg::s3, reg::v0);
+
+    // Read a few fields of both objects to validate the transaction.
+    b.lw(reg::t2, 0, reg::s1);
+    b.lw(reg::t3, 8, reg::s1);
+    b.lw(reg::t4, 0, reg::s2);
+    b.lw(reg::t5, 12, reg::s2);
+    b.add(reg::t2, reg::t2, reg::t3);
+    b.add(reg::t4, reg::t4, reg::t5);
+    b.add(reg::s3, reg::s3, reg::t2);
+    b.add(reg::s3, reg::s3, reg::t4);
+
+    b.loadLocal(reg::t1, 0);            // reload txn id
+    b.add(reg::v0, reg::s3, reg::t1);
+    b.epilogue(txnFrame);
+
+    // ---- obj_create(id) -> addr ----
+    b.bind(objCreate);
+    FrameSpec createFrame;
+    createFrame.localWords = 2;
+    createFrame.savedRegs = {reg::s0, reg::s1};
+    b.prologue(createFrame);
+    b.move(reg::s0, reg::a0);
+    ctx.bumpAlloc(reg::s1, allocOff, heapBase, 32, heapMask, reg::t5,
+                  reg::t6);
+    b.sw(reg::s0, 0, reg::s1);          // obj->key
+    b.sw(reg::zero, 4, reg::s1);        // obj->refcount
+    b.storeLocal(reg::s1, 0);
+    b.move(reg::a0, reg::s1);
+    b.move(reg::a1, reg::s0);
+    b.jal(fieldInit);
+    b.loadLocal(reg::v0, 0);            // return the object pointer
+    b.epilogue(createFrame);
+
+    // ---- field_init(obj, key): leaf, pure frame traffic ----
+    b.bind(fieldInit);
+    FrameSpec initFrame;
+    initFrame.localWords = 3;
+    initFrame.savedRegs = {};
+    initFrame.saveRa = false;
+    b.prologue(initFrame);
+    b.storeLocal(reg::a1, 0);
+    b.xori(reg::t0, reg::a1, 0x5a5a);
+    b.storeLocal(reg::t0, 1);
+    b.loadLocal(reg::t1, 0);            // immediate reload: fast-fwd
+    b.add(reg::t2, reg::t0, reg::t1);
+    b.storeLocal(reg::t2, 2);
+    b.sw(reg::t2, 8, reg::a0);          // obj->hash
+    b.loadLocal(reg::t3, 2);
+    b.sw(reg::t3, 12, reg::a0);         // obj->hash2
+    b.epilogue(initFrame);
+
+    // ---- obj_lookup(id) -> addr ----
+    b.bind(objLookup);
+    FrameSpec lookupFrame;
+    lookupFrame.localWords = 2;
+    lookupFrame.savedRegs = {reg::s0, reg::s1};
+    b.prologue(lookupFrame);
+    b.move(reg::s0, reg::a0);
+    // Hash probe into the arena.
+    b.move(reg::t7, reg::a0);
+    ctx.lcgStep(reg::t7, reg::t6);
+    b.andi(reg::t7, reg::t7, static_cast<std::int32_t>(heapMask & ~31u));
+    b.li(reg::t6, static_cast<std::int32_t>(heapBase));
+    b.add(reg::s1, reg::t7, reg::t6);   // candidate object
+    b.storeLocal(reg::s1, 0);
+    b.lw(reg::a1, 0, reg::s1);          // candidate->key
+    b.move(reg::a0, reg::s0);
+    b.jal(keyCompare);
+    b.loadLocal(reg::t0, 0);
+    b.add(reg::v0, reg::t0, reg::zero);
+    b.epilogue(lookupFrame);
+
+    // ---- key_compare(a, b): leaf ----
+    b.bind(keyCompare);
+    FrameSpec cmpFrame;
+    cmpFrame.localWords = 1;
+    cmpFrame.savedRegs = {};
+    cmpFrame.saveRa = false;
+    b.prologue(cmpFrame);
+    b.storeLocal(reg::a0, 0);
+    b.xor_(reg::t0, reg::a0, reg::a1);
+    b.loadLocal(reg::t1, 0);
+    b.sltu(reg::v0, reg::t0, reg::t1);
+    b.epilogue(cmpFrame);
+
+    // ---- obj_update(obj, other) -> value ----
+    b.bind(objUpdate);
+    FrameSpec updFrame;
+    updFrame.localWords = 2;
+    updFrame.savedRegs = {reg::s0};
+    b.prologue(updFrame);
+    b.move(reg::s0, reg::a0);
+    b.lw(reg::t0, 4, reg::a0);          // refcount
+    b.addi(reg::t0, reg::t0, 1);
+    b.sw(reg::t0, 4, reg::a0);
+    b.storeLocal(reg::t0, 0);
+    b.lw(reg::t1, 8, reg::a1);
+    b.move(reg::a0, reg::t1);
+    b.jal(logEntry);
+    b.loadLocal(reg::t2, 0);
+    b.add(reg::v0, reg::v0, reg::t2);
+    b.epilogue(updFrame);
+
+    // ---- log_entry(v): leaf ----
+    b.bind(logEntry);
+    FrameSpec logFrame;
+    logFrame.localWords = 2;
+    logFrame.savedRegs = {};
+    logFrame.saveRa = false;
+    b.prologue(logFrame);
+    b.storeLocal(reg::a0, 0);
+    b.sll(reg::t0, reg::a0, 1);
+    b.storeLocal(reg::t0, 1);
+    b.loadLocal(reg::t1, 0);
+    b.loadLocal(reg::t2, 1);
+    b.add(reg::v0, reg::t1, reg::t2);
+    b.epilogue(logFrame);
+
+    prog::Program prog = b.finish();
+    prog.setEntry(prog.symbol("main"));
+    return prog;
+}
+
+} // namespace ddsim::workloads

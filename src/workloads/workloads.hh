@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Forward declarations of the twelve workload factories.
+ */
+
+#ifndef DDSIM_WORKLOADS_WORKLOADS_HH_
+#define DDSIM_WORKLOADS_WORKLOADS_HH_
+
+#include "workloads/common.hh"
+
+namespace ddsim::workloads {
+
+prog::Program buildGoLike(const WorkloadParams &p);
+prog::Program buildM88ksimLike(const WorkloadParams &p);
+prog::Program buildGccLike(const WorkloadParams &p);
+prog::Program buildCompressLike(const WorkloadParams &p);
+prog::Program buildLiLike(const WorkloadParams &p);
+prog::Program buildIjpegLike(const WorkloadParams &p);
+prog::Program buildPerlLike(const WorkloadParams &p);
+prog::Program buildVortexLike(const WorkloadParams &p);
+prog::Program buildTomcatvLike(const WorkloadParams &p);
+prog::Program buildSwimLike(const WorkloadParams &p);
+prog::Program buildSu2corLike(const WorkloadParams &p);
+prog::Program buildMgridLike(const WorkloadParams &p);
+
+} // namespace ddsim::workloads
+
+#endif // DDSIM_WORKLOADS_WORKLOADS_HH_

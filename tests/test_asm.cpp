@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Text assembler tests: syntax coverage, labels, data directives,
+ * pseudo-instructions, error reporting, and a functional round-trip
+ * (assemble -> execute) plus disassembler round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "prog/asm_parser.hh"
+#include "util/log.hh"
+#include "vm/executor.hh"
+
+using namespace ddsim;
+using namespace ddsim::prog;
+namespace reg = ddsim::isa::reg;
+using ddsim::isa::OpCode;
+
+TEST(Asm, MinimalProgram)
+{
+    Program p = assemble(R"(
+        main:
+            addi t0, zero, 5
+            print t0
+            halt
+    )");
+    EXPECT_EQ(p.textSize(), 3u);
+    EXPECT_EQ(p.entry(), 0u);
+}
+
+TEST(Asm, CommentsAndBlankLines)
+{
+    Program p = assemble(R"(
+        # leading comment
+
+        main:           # trailing comment
+            halt        # done
+    )");
+    EXPECT_EQ(p.textSize(), 1u);
+}
+
+TEST(Asm, MemoryOperandWithLocalMarker)
+{
+    Program p = assemble(R"(
+        main:
+            sw t0, -8(sp) !local
+            lw t1, 16(gp)
+            halt
+    )");
+    auto sw = p.fetch(0);
+    EXPECT_EQ(sw.op, OpCode::SW);
+    EXPECT_EQ(sw.imm, -8);
+    EXPECT_EQ(sw.rs, reg::sp);
+    EXPECT_TRUE(sw.localHint);
+    auto lw = p.fetch(1);
+    EXPECT_FALSE(lw.localHint);
+    EXPECT_EQ(lw.rs, reg::gp);
+}
+
+TEST(Asm, BranchAndJumpLabels)
+{
+    Program p = assemble(R"(
+        main:
+            addi t0, zero, 3
+        loop:
+            addi t0, t0, -1
+            bgtz t0, loop
+            j end
+            nop
+        end:
+            halt
+    )");
+    EXPECT_EQ(p.fetch(2).imm, -2);
+    EXPECT_EQ(p.fetch(3).target, 5u);
+}
+
+TEST(Asm, DataDirectivesAndLa)
+{
+    Program p = assemble(R"(
+        .data
+        counter:
+            .word 41
+        buf:
+            .space 8
+        pi:
+            .align 8
+            .double 3.5
+        .text
+        main:
+            la t0, counter
+            lw t1, 0(t0)
+            addi t1, t1, 1
+            print t1
+            halt
+    )");
+    vm::Executor e(p);
+    e.run(100);
+    ASSERT_TRUE(e.halted());
+    ASSERT_EQ(e.printed().size(), 1u);
+    EXPECT_EQ(e.printed()[0], 42u);
+}
+
+TEST(Asm, EntryDirective)
+{
+    Program p = assemble(R"(
+        .entry start
+        other:
+            nop
+        start:
+            halt
+    )");
+    EXPECT_EQ(p.entry(), 1u);
+}
+
+TEST(Asm, FpInstructions)
+{
+    Program p = assemble(R"(
+        .data
+        x:  .double 2.0
+        .text
+        main:
+            la t0, x
+            ld f1, 0(t0)
+            mul.d f2, f1, f1
+            cvt.w.d t1, f2
+            print t1
+            halt
+    )");
+    vm::Executor e(p);
+    e.run(100);
+    ASSERT_TRUE(e.halted());
+    EXPECT_EQ(e.printed()[0], 4u);
+}
+
+TEST(Asm, PseudoInstructions)
+{
+    Program p = assemble(R"(
+        main:
+            li t0, 0x12345678
+            move t1, t0
+            print t1
+            halt
+    )");
+    vm::Executor e(p);
+    e.run(100);
+    EXPECT_EQ(e.printed()[0], 0x12345678u);
+}
+
+TEST(Asm, FunctionCallRoundTrip)
+{
+    Program p = assemble(R"(
+        main:
+            addi a0, zero, 20
+            addi a1, zero, 22
+            jal add2
+            print v0
+            halt
+        add2:
+            addi sp, sp, -8
+            sw a0, 0(sp) !local
+            sw a1, 4(sp) !local
+            lw t0, 0(sp) !local
+            lw t1, 4(sp) !local
+            add v0, t0, t1
+            addi sp, sp, 8
+            ret
+    )");
+    vm::Executor e(p);
+    e.run(100);
+    ASSERT_TRUE(e.halted());
+    EXPECT_EQ(e.printed()[0], 42u);
+}
+
+TEST(Asm, ErrorsAreLineNumbered)
+{
+    setQuiet(true);
+    try {
+        assemble("main:\n    bogus t0, t1\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(Asm, UnknownDirectiveFails)
+{
+    setQuiet(true);
+    EXPECT_THROW(assemble(".bogus 5\nmain:\n halt\n"), FatalError);
+}
+
+TEST(Asm, MissingEntryFails)
+{
+    setQuiet(true);
+    EXPECT_THROW(assemble("notmain:\n halt\n"), FatalError);
+}
+
+TEST(Asm, WrongOperandCountFails)
+{
+    setQuiet(true);
+    EXPECT_THROW(assemble("main:\n add t0, t1\n"), FatalError);
+}
+
+TEST(Asm, InstructionInDataFails)
+{
+    setQuiet(true);
+    EXPECT_THROW(assemble(".data\n add t0, t1, t2\n"), FatalError);
+}
+
+TEST(Asm, NumericBranchAndJumpTargets)
+{
+    // The disassembler emits raw offsets/indices; the parser must
+    // accept them back.
+    Program p = assemble(R"(
+        main:
+            bne t0, t1, -1
+            blez t2, 3
+            j 0
+            jal 2
+            halt
+    )");
+    EXPECT_EQ(p.fetch(0).imm, -1);
+    EXPECT_EQ(p.fetch(1).imm, 3);
+    EXPECT_EQ(p.fetch(2).target, 0u);
+    EXPECT_EQ(p.fetch(3).target, 2u);
+}
+
+TEST(Asm, FullProgramDisassembleRoundTrip)
+{
+    // A program with control flow round-trips exactly through
+    // disassembly.
+    Program p1 = assemble(R"(
+        main:
+            addi t0, zero, 3
+        loop:
+            sw t0, 0(sp) !local
+            lw t1, 0(sp) !local
+            addi t0, t0, -1
+            bgtz t0, loop
+            jal fn
+            halt
+        fn:
+            jr ra
+    )");
+    std::string text = "main:\n";
+    for (std::uint32_t i = 0; i < p1.textSize(); ++i)
+        text += "    " + isa::disassemble(p1.fetch(i)) + "\n";
+    Program p2 = assemble(text);
+    ASSERT_EQ(p2.textSize(), p1.textSize());
+    for (std::uint32_t i = 0; i < p1.textSize(); ++i)
+        EXPECT_EQ(p2.fetchRaw(i), p1.fetchRaw(i)) << "at " << i;
+}
+
+TEST(Asm, DisassembleReassembleRoundTrip)
+{
+    // Disassemble a small program, reassemble it, and compare words.
+    Program p1 = assemble(R"(
+        main:
+            addi t0, zero, 10
+            sw t0, 4(sp) !local
+            lw t1, 4(sp) !local
+            add.d f3, f1, f2
+            c.lt.d t2, f1, f2
+            sll t3, t1, 4
+            halt
+    )");
+    std::string text = "main:\n";
+    for (std::uint32_t i = 0; i < p1.textSize(); ++i)
+        text += "    " + isa::disassemble(p1.fetch(i)) + "\n";
+    Program p2 = assemble(text);
+    ASSERT_EQ(p2.textSize(), p1.textSize());
+    for (std::uint32_t i = 0; i < p1.textSize(); ++i)
+        EXPECT_EQ(p2.fetchRaw(i), p1.fetchRaw(i)) << "at " << i;
+}

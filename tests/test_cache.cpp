@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Cache model tests: hit/miss behaviour, LRU replacement, write-back
+ * traffic, fill timing, MSHR merging, and parameterized geometry
+ * invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/machine_config.hh"
+#include "mem/cache.hh"
+#include "mem/main_memory.hh"
+#include "stats/group.hh"
+#include "util/log.hh"
+#include "util/rng.hh"
+
+using namespace ddsim;
+using namespace ddsim::mem;
+using ddsim::config::CacheParams;
+
+namespace {
+
+struct Rig
+{
+    stats::Group root{nullptr, ""};
+    MainMemory memory{&root, 50};
+    Cache cache;
+
+    explicit Rig(CacheParams p, int mshrs = 32)
+        : cache(&root, "c", p, &memory, mshrs)
+    {}
+};
+
+// 4 sets x 2 ways x 32 B lines = 256 B, 1-cycle hit.
+CacheParams
+smallParams()
+{
+    return CacheParams{256, 2, 32, 1, 1};
+}
+
+} // namespace
+
+TEST(Cache, ColdMissThenHit)
+{
+    Rig r(smallParams());
+    Cycle t1 = r.cache.access(0x1000, false, 0);
+    EXPECT_EQ(r.cache.misses.value(), 1u);
+    EXPECT_EQ(t1, 0u + 1u + 50u); // lookup + memory
+    Cycle t2 = r.cache.access(0x1000, false, t1);
+    EXPECT_EQ(r.cache.hits.value(), 1u);
+    EXPECT_EQ(t2, t1 + 1);
+}
+
+TEST(Cache, SameLineDifferentWordsHit)
+{
+    Rig r(smallParams());
+    r.cache.access(0x1000, false, 0);
+    r.cache.access(0x101c, false, 100);
+    EXPECT_EQ(r.cache.misses.value(), 1u);
+    EXPECT_EQ(r.cache.hits.value(), 1u);
+    // Next line misses.
+    r.cache.access(0x1020, false, 200);
+    EXPECT_EQ(r.cache.misses.value(), 2u);
+}
+
+TEST(Cache, LruReplacementWithinSet)
+{
+    Rig r(smallParams());
+    // Set index = (addr>>5) & 3. These three map to set 0.
+    Addr a = 0x0000, b = 0x0080, c = 0x0100;
+    r.cache.access(a, false, 10);
+    r.cache.access(b, false, 20);
+    EXPECT_TRUE(r.cache.probe(a));
+    EXPECT_TRUE(r.cache.probe(b));
+    // Touch a so b becomes LRU, then bring in c.
+    r.cache.access(a, false, 30);
+    r.cache.access(c, false, 40);
+    EXPECT_TRUE(r.cache.probe(a));
+    EXPECT_FALSE(r.cache.probe(b)); // evicted
+    EXPECT_TRUE(r.cache.probe(c));
+    EXPECT_EQ(r.cache.evictions.value(), 1u);
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    Rig r(smallParams());
+    r.cache.access(0x0000, true, 0);   // dirty line in set 0
+    r.cache.access(0x0080, false, 60);
+    r.cache.access(0x0100, false, 120); // evicts dirty 0x0000
+    EXPECT_EQ(r.cache.writebacks.value(), 1u);
+    // The writeback reached the next level as a write.
+    EXPECT_EQ(r.memory.writes.value(), 1u);
+}
+
+TEST(Cache, CleanEvictionDoesNotWriteBack)
+{
+    Rig r(smallParams());
+    r.cache.access(0x0000, false, 0);
+    r.cache.access(0x0080, false, 60);
+    r.cache.access(0x0100, false, 120);
+    EXPECT_EQ(r.cache.evictions.value(), 1u);
+    EXPECT_EQ(r.cache.writebacks.value(), 0u);
+}
+
+TEST(Cache, WriteAllocates)
+{
+    Rig r(smallParams());
+    r.cache.access(0x2000, true, 0);
+    EXPECT_TRUE(r.cache.probe(0x2000));
+    EXPECT_EQ(r.cache.writeAccesses.value(), 1u);
+}
+
+TEST(Cache, SecondAccessDuringFillSharesIt)
+{
+    Rig r(smallParams());
+    Cycle fill = r.cache.access(0x3000, false, 0); // miss at 0
+    // Second access to the same line before the fill completes: the
+    // line is already installed (tracked by the MSHR), so this is a
+    // hit that waits for the in-flight fill -- and crucially it does
+    // not launch a second memory request.
+    Cycle t2 = r.cache.access(0x3004, false, 2);
+    EXPECT_EQ(t2, fill); // waits for the same fill, no new memory trip
+    EXPECT_EQ(r.memory.accesses.value(), 1u);
+    EXPECT_EQ(r.cache.hits.value(), 1u);
+}
+
+TEST(Cache, MshrMergeAfterConflictingEviction)
+{
+    // Direct-mapped 2-set cache: a line whose fill is in flight can be
+    // evicted by a conflicting miss; a re-access then merges into the
+    // still-outstanding MSHR instead of re-fetching.
+    Rig r(CacheParams{64, 1, 32, 1, 1});
+    Cycle fillA = r.cache.access(0x000, false, 0);  // set 0, fill @ 51
+    r.cache.access(0x040, false, 1);                // set 0: evicts A
+    Cycle t = r.cache.access(0x000, false, 2);      // A's fill pending
+    EXPECT_EQ(r.cache.mshrMerges.value(), 1u);
+    EXPECT_GE(t, fillA);
+    EXPECT_EQ(r.memory.reads.value(), 2u); // A fetched only once
+}
+
+TEST(Cache, HitUnderFillWaitsForData)
+{
+    Rig r(smallParams());
+    Cycle fill = r.cache.access(0x3000, false, 0);
+    // The line was installed at miss time; a "hit" before fill
+    // completion must still wait for the data.
+    Cycle t2 = r.cache.access(0x3000, false, 5);
+    EXPECT_GE(t2, fill);
+    // After the fill, hits are fast.
+    Cycle t3 = r.cache.access(0x3000, false, fill + 10);
+    EXPECT_EQ(t3, fill + 11);
+}
+
+TEST(Cache, MissRateComputation)
+{
+    Rig r(smallParams());
+    r.cache.access(0x0, false, 0);   // miss
+    r.cache.access(0x0, false, 60);  // hit
+    r.cache.access(0x4, false, 70);  // hit
+    r.cache.access(0x40, false, 80); // miss
+    EXPECT_DOUBLE_EQ(r.cache.missRate(), 0.5);
+    EXPECT_EQ(r.cache.accesses.value(),
+              r.cache.hits.value() + r.cache.misses.value());
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Rig r(smallParams());
+    r.cache.access(0x1000, false, 0);
+    EXPECT_TRUE(r.cache.probe(0x1000));
+    r.cache.flush();
+    EXPECT_FALSE(r.cache.probe(0x1000));
+}
+
+TEST(Cache, InvalidGeometryRejected)
+{
+    setQuiet(true);
+    config::MachineConfig cfg;
+    cfg.l1 = CacheParams{100, 2, 32, 1, 1}; // not a multiple
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.l1 = CacheParams{32768, 2, 24, 1, 1}; // line not pow2
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.l1 = CacheParams{32768, 2, 32, 1, 0}; // no ports
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+// ---- Parameterized geometry sweep: accounting invariants ----
+
+struct Geometry
+{
+    std::uint32_t size;
+    std::uint32_t assoc;
+    std::uint32_t line;
+};
+
+class CacheGeometry : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(CacheGeometry, AccountingInvariants)
+{
+    Geometry g = GetParam();
+    Rig r(CacheParams{g.size, g.assoc, g.line, 1, 1});
+    // A pseudo-random but deterministic stream of accesses.
+    Rng rng(42);
+    Cycle t = 0;
+    for (int i = 0; i < 3000; ++i) {
+        Addr a = static_cast<Addr>(rng.below(16 * 1024)) & ~3u;
+        bool w = rng.chance(0.3);
+        t += 2;
+        r.cache.access(a, w, t);
+    }
+    EXPECT_EQ(r.cache.accesses.value(), 3000u);
+    EXPECT_EQ(r.cache.hits.value() + r.cache.misses.value(), 3000u);
+    EXPECT_EQ(r.cache.readAccesses.value() +
+                  r.cache.writeAccesses.value(),
+              3000u);
+    EXPECT_LE(r.cache.writebacks.value(), r.cache.evictions.value());
+    EXPECT_LE(r.cache.mshrMerges.value(), r.cache.misses.value());
+    double mr = r.cache.missRate();
+    EXPECT_GE(mr, 0.0);
+    EXPECT_LE(mr, 1.0);
+}
+
+TEST_P(CacheGeometry, BiggerCacheNeverHurtsOnLinearScan)
+{
+    Geometry g = GetParam();
+    Rig small(CacheParams{g.size, g.assoc, g.line, 1, 1});
+    Rig big(CacheParams{g.size * 4, g.assoc, g.line, 1, 1});
+    Cycle t = 0;
+    // Two sequential sweeps over a buffer: the second sweep's hits
+    // depend on capacity.
+    for (int rep = 0; rep < 2; ++rep) {
+        for (Addr a = 0; a < 8 * 1024; a += 4) {
+            t += 1;
+            small.cache.access(a, false, t);
+            big.cache.access(a, false, t);
+        }
+    }
+    EXPECT_LE(big.cache.misses.value(), small.cache.misses.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(Geometry{512, 1, 32}, Geometry{512, 2, 32},
+                      Geometry{2048, 1, 32}, Geometry{2048, 4, 32},
+                      Geometry{2048, 1, 64}, Geometry{8192, 2, 16},
+                      Geometry{32768, 2, 32}));

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * PortScheduler / access-combining tests: port exhaustion, group
+ * formation rules (same line, same type, consecutive-window, degree
+ * cap), and per-cycle reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/combining.hh"
+#include "util/log.hh"
+
+using namespace ddsim;
+using namespace ddsim::core;
+
+TEST(PortScheduler, GrantsUpToPortCount)
+{
+    PortScheduler ps(2, 1, 32);
+    ps.newCycle(0);
+    EXPECT_TRUE(ps.request(0x000, AccessKind::Load, 0).granted);
+    EXPECT_TRUE(ps.request(0x100, AccessKind::Load, 1).granted);
+    EXPECT_FALSE(ps.request(0x200, AccessKind::Load, 2).granted);
+    EXPECT_EQ(ps.portsInUse(), 2);
+}
+
+TEST(PortScheduler, NewCycleReleasesPorts)
+{
+    PortScheduler ps(1, 1, 32);
+    ps.newCycle(0);
+    EXPECT_TRUE(ps.request(0x000, AccessKind::Load, 0).granted);
+    EXPECT_FALSE(ps.request(0x100, AccessKind::Load, 1).granted);
+    ps.newCycle(1);
+    EXPECT_TRUE(ps.request(0x100, AccessKind::Load, 1).granted);
+}
+
+TEST(PortScheduler, NewCycleSameCycleIsIdempotent)
+{
+    PortScheduler ps(1, 1, 32);
+    ps.newCycle(5);
+    EXPECT_TRUE(ps.request(0x000, AccessKind::Load, 0).granted);
+    ps.newCycle(5); // must not release the port
+    EXPECT_FALSE(ps.request(0x100, AccessKind::Load, 1).granted);
+}
+
+TEST(Combining, DegreeOneNeverCombines)
+{
+    PortScheduler ps(1, 1, 32);
+    ps.newCycle(0);
+    EXPECT_TRUE(ps.request(0x00, AccessKind::Load, 0).granted);
+    auto g = ps.request(0x04, AccessKind::Load, 1); // same line
+    EXPECT_FALSE(g.granted);
+}
+
+TEST(Combining, SameLineLoadsCombine)
+{
+    PortScheduler ps(1, 2, 32);
+    ps.newCycle(0);
+    auto a = ps.request(0x00, AccessKind::Load, 0);
+    EXPECT_TRUE(a.granted);
+    EXPECT_FALSE(a.combined);
+    auto b = ps.request(0x1c, AccessKind::Load, 1); // same 32B line
+    EXPECT_TRUE(b.granted);
+    EXPECT_TRUE(b.combined);
+    EXPECT_EQ(b.groupId, a.groupId);
+    EXPECT_EQ(ps.portsInUse(), 1);
+}
+
+TEST(Combining, DifferentLinesDoNotCombine)
+{
+    PortScheduler ps(1, 2, 32);
+    ps.newCycle(0);
+    EXPECT_TRUE(ps.request(0x00, AccessKind::Load, 0).granted);
+    auto b = ps.request(0x20, AccessKind::Load, 1); // next line
+    EXPECT_FALSE(b.granted);
+}
+
+TEST(Combining, LoadsAndStoresDoNotMix)
+{
+    PortScheduler ps(1, 2, 32);
+    ps.newCycle(0);
+    EXPECT_TRUE(ps.request(0x00, AccessKind::Load, 0).granted);
+    auto st = ps.request(0x04, AccessKind::Store, 1); // store to the same line
+    EXPECT_FALSE(st.granted);
+}
+
+TEST(Combining, DegreeCapsGroupSize)
+{
+    PortScheduler ps(1, 2, 32);
+    ps.newCycle(0);
+    EXPECT_TRUE(ps.request(0x00, AccessKind::Load, 0).granted);
+    EXPECT_TRUE(ps.request(0x04, AccessKind::Load, 1).combined);
+    // Third same-line access exceeds 2-way combining.
+    EXPECT_FALSE(ps.request(0x08, AccessKind::Load, 2).granted);
+}
+
+TEST(Combining, ConsecutiveWindowEnforced)
+{
+    PortScheduler ps(2, 2, 32);
+    ps.newCycle(0);
+    auto a = ps.request(0x00, AccessKind::Load, 0);
+    EXPECT_TRUE(a.granted);
+    // Queue position 5 is outside the 2-entry window of the leader.
+    auto far = ps.request(0x04, AccessKind::Load, 5);
+    EXPECT_TRUE(far.granted);
+    EXPECT_FALSE(far.combined); // takes its own port instead
+    EXPECT_EQ(ps.portsInUse(), 2);
+}
+
+TEST(Combining, FourWayCombining)
+{
+    PortScheduler ps(1, 4, 32);
+    ps.newCycle(0);
+    EXPECT_FALSE(ps.request(0x00, AccessKind::Load, 0).combined);
+    EXPECT_TRUE(ps.request(0x04, AccessKind::Load, 1).combined);
+    EXPECT_TRUE(ps.request(0x08, AccessKind::Load, 2).combined);
+    EXPECT_TRUE(ps.request(0x0c, AccessKind::Load, 3).combined);
+    EXPECT_FALSE(ps.request(0x10, AccessKind::Load, 4).granted); // 5th
+    EXPECT_EQ(ps.portsInUse(), 1);
+}
+
+TEST(Combining, GroupCompletionPropagates)
+{
+    PortScheduler ps(1, 2, 32);
+    ps.newCycle(0);
+    auto a = ps.request(0x00, AccessKind::Load, 0);
+    ps.setGroupCompletion(a.groupId, 42);
+    auto b = ps.request(0x04, AccessKind::Load, 1);
+    EXPECT_TRUE(b.combined);
+    EXPECT_EQ(ps.groupCompletion(b.groupId), 42u);
+}
+
+TEST(Combining, StoresCombineWithStores)
+{
+    PortScheduler ps(1, 2, 32);
+    ps.newCycle(0);
+    EXPECT_TRUE(ps.request(0x40, AccessKind::Store, 0).granted);
+    auto b = ps.request(0x44, AccessKind::Store, 1);
+    EXPECT_TRUE(b.combined);
+}
+
+TEST(Combining, ForwardsNeverShareGroupsWithCacheLoads)
+{
+    // A forwarded load finishes in 1 cycle; a cache load in 2+. They
+    // must not share a combining group, or one of them would get the
+    // wrong completion time.
+    PortScheduler ps(2, 2, 32);
+    ps.newCycle(0);
+    auto ld = ps.request(0x00, AccessKind::Load, 0);
+    EXPECT_TRUE(ld.granted);
+    auto fwd = ps.request(0x04, AccessKind::Forward, 1);
+    EXPECT_TRUE(fwd.granted);
+    EXPECT_FALSE(fwd.combined);
+    EXPECT_EQ(ps.portsInUse(), 2);
+}
+
+TEST(Combining, ForwardsCombineAmongThemselves)
+{
+    PortScheduler ps(1, 2, 32);
+    ps.newCycle(0);
+    EXPECT_TRUE(ps.request(0x00, AccessKind::Forward, 0).granted);
+    auto b = ps.request(0x04, AccessKind::Forward, 1);
+    EXPECT_TRUE(b.combined);
+}
+
+TEST(PortScheduler, BadConfigRejected)
+{
+    setQuiet(true);
+    EXPECT_THROW(PortScheduler(0, 1, 32), FatalError);
+    EXPECT_THROW(PortScheduler(1, 0, 32), FatalError);
+    EXPECT_THROW(PortScheduler(1, 1, 33), FatalError);
+    EXPECT_THROW(PortScheduler(1, 1, 32, 3), FatalError);
+    EXPECT_THROW(PortScheduler(1, 1, 32, -1), FatalError);
+}
+
+// ---- Interleaved banks (the realistic multi-porting of Section 1) --
+
+TEST(Banked, SameBankAccessesConflict)
+{
+    // 2 ports, 2 banks: lines 0 and 2 share bank 0.
+    PortScheduler ps(2, 1, 32, 2);
+    ps.newCycle(0);
+    EXPECT_TRUE(ps.request(0x00, AccessKind::Load, 0).granted);
+    auto g = ps.request(0x40, AccessKind::Load, 1); // line 2, bank 0
+    EXPECT_FALSE(g.granted);
+    EXPECT_TRUE(g.bankConflict);
+}
+
+TEST(Banked, DifferentBanksProceed)
+{
+    PortScheduler ps(2, 1, 32, 2);
+    ps.newCycle(0);
+    EXPECT_TRUE(ps.request(0x00, AccessKind::Load, 0).granted);
+    auto g = ps.request(0x20, AccessKind::Load, 1); // line 1, bank 1
+    EXPECT_TRUE(g.granted);
+    EXPECT_FALSE(g.bankConflict);
+}
+
+TEST(Banked, BanksFreeEachCycle)
+{
+    PortScheduler ps(1, 1, 32, 2);
+    ps.newCycle(0);
+    EXPECT_TRUE(ps.request(0x00, AccessKind::Load, 0).granted);
+    ps.newCycle(1);
+    EXPECT_TRUE(ps.request(0x40, AccessKind::Load, 0).granted);
+}
+
+TEST(Banked, PortLimitStillAppliesAcrossBanks)
+{
+    // 1 port, 4 banks: the second access is port-limited, not
+    // bank-limited.
+    PortScheduler ps(1, 1, 32, 4);
+    ps.newCycle(0);
+    EXPECT_TRUE(ps.request(0x00, AccessKind::Load, 0).granted);
+    auto g = ps.request(0x20, AccessKind::Load, 1);
+    EXPECT_FALSE(g.granted);
+    EXPECT_FALSE(g.bankConflict);
+}
+
+TEST(Banked, CombinedMembersShareTheLeaderBank)
+{
+    // A same-line join consumes no extra bank.
+    PortScheduler ps(2, 2, 32, 2);
+    ps.newCycle(0);
+    EXPECT_TRUE(ps.request(0x00, AccessKind::Load, 0).granted);
+    auto joined = ps.request(0x04, AccessKind::Load, 1);
+    EXPECT_TRUE(joined.combined);
+    // The other bank is still available.
+    EXPECT_TRUE(ps.request(0x20, AccessKind::Load, 2).granted);
+}
+
+TEST(Banked, IdealModeIgnoresBanks)
+{
+    PortScheduler ps(4, 1, 32, 0);
+    ps.newCycle(0);
+    // Four same-bank lines all proceed under ideal porting.
+    EXPECT_TRUE(ps.request(0x000, AccessKind::Load, 0).granted);
+    EXPECT_TRUE(ps.request(0x040, AccessKind::Load, 1).granted);
+    EXPECT_TRUE(ps.request(0x080, AccessKind::Load, 2).granted);
+    EXPECT_TRUE(ps.request(0x0c0, AccessKind::Load, 3).granted);
+}

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * End-to-end decoupling tests: the paper's qualitative findings must
+ * hold on the synthetic workloads — LVC hit rates, load-imbalance
+ * behaviour of (N+1), bandwidth relief from (N+2), fast-forwarding
+ * and combining effects, and L2 traffic changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/presets.hh"
+#include "sim/runner.hh"
+#include "workloads/common.hh"
+
+using namespace ddsim;
+using namespace ddsim::sim;
+
+namespace {
+
+prog::Program
+wl(const char *name, std::uint64_t scaleFactor = 1)
+{
+    const workloads::WorkloadInfo *info = workloads::find(name);
+    workloads::WorkloadParams p;
+    p.scale = info->defaultScale * scaleFactor / 4; // ~75 K insts
+    if (p.scale == 0)
+        p.scale = 1;
+    return workloads::build(name, p);
+}
+
+} // namespace
+
+TEST(Decoupling, ArchitecturalResultsUnchangedByConfiguration)
+{
+    // The timing configuration must never change what the program
+    // computes (checksums are printed by the functional executor and
+    // committed counts come from the same stream).
+    for (const char *name : {"li", "vortex", "swim"}) {
+        auto prog = wl(name);
+        SimResult base = run(prog, config::baseline(2));
+        SimResult dec = run(prog, config::decoupled(2, 2));
+        SimResult opt = run(prog, config::decoupledOptimized(2, 2));
+        EXPECT_EQ(base.committed, dec.committed) << name;
+        EXPECT_EQ(base.committed, opt.committed) << name;
+    }
+}
+
+TEST(Decoupling, LvcHitRateIsHigh)
+{
+    // Paper Fig. 6: a 2 KB LVC hits > 99% for nearly all programs.
+    for (const char *name : {"li", "vortex", "perl", "compress"}) {
+        auto prog = wl(name);
+        SimResult r = run(prog, config::decoupled(3, 2));
+        ASSERT_GT(r.lvcAccesses, 0u) << name;
+        EXPECT_LT(r.lvcMissRate, 0.02) << name;
+    }
+}
+
+TEST(Decoupling, LvaqReceivesTheLocalStream)
+{
+    auto prog = wl("vortex");
+    SimResult r = run(prog, config::decoupled(3, 2));
+    // Vortex-like: ~3/4 of references are local.
+    double lvaqShare =
+        static_cast<double>(r.lvaqLoads) /
+        static_cast<double>(r.loads);
+    EXPECT_GT(lvaqShare, 0.5);
+}
+
+TEST(Decoupling, SinglePortLvcCreatesImbalance)
+{
+    // Paper Fig. 7: when the L1 already has adequate bandwidth, a
+    // one-port LVC becomes the bottleneck and (N+1) loses performance
+    // against (N+0); a second LVC port recovers most of it. (li-like
+    // additionally gains L1 conflict relief from the LVC -- Section
+    // 4.2.1 -- which can mask the dip, so the clean dip is asserted
+    // on vortex and the port-recovery on both.)
+    for (const char *name : {"vortex", "li"}) {
+        auto prog = wl(name, 2);
+        SimResult n1 = run(prog, config::decoupled(4, 1));
+        SimResult n2 = run(prog, config::decoupled(4, 2));
+        EXPECT_GT(n2.ipc, n1.ipc) << name
+            << ": (4+2) should beat (4+1)";
+        if (std::string(name) == "vortex") {
+            SimResult n0 = run(prog, config::baseline(4));
+            EXPECT_LT(n1.ipc, n0.ipc)
+                << "(4+1) should lose against (4+0)";
+        }
+    }
+}
+
+TEST(Decoupling, LvcRelievesBandwidthPressure)
+{
+    // Paper Fig. 11: under bandwidth pressure (N=2), a 2-port LVC
+    // with the proposed optimizations gives a large speedup for
+    // bandwidth-bound local-heavy programs (paper: >25% for li-like
+    // behaviour).
+    for (const char *name : {"vortex", "li"}) {
+        auto prog = wl(name, 2);
+        SimResult n0 = run(prog, config::baseline(2));
+        SimResult n2 = run(prog, config::decoupledOptimized(2, 2));
+        EXPECT_GT(n2.ipc, n0.ipc * 1.05)
+            << name << ": optimized (2+2) should clearly beat (2+0)";
+    }
+}
+
+TEST(Decoupling, AmpleBandwidthShrinksTheBenefit)
+{
+    // Paper Section 4.2.3: with N=4 the gain drops to a few percent.
+    auto prog = wl("li", 2);
+    SimResult tight0 = run(prog, config::baseline(2));
+    SimResult tight2 = run(prog, config::decoupled(2, 2));
+    SimResult ample0 = run(prog, config::baseline(4));
+    SimResult ample2 = run(prog, config::decoupled(4, 2));
+    double gainTight = tight2.ipc / tight0.ipc;
+    double gainAmple = ample2.ipc / ample0.ipc;
+    EXPECT_GT(gainTight, gainAmple);
+}
+
+TEST(Decoupling, FastForwardingHappensAndHelps)
+{
+    // Programs with short-distance spill/reload pairs fast-forward.
+    for (const char *name : {"vortex", "compress", "go"}) {
+        auto prog = wl(name, 2);
+        SimResult off = run(prog, config::decoupled(3, 2));
+        config::MachineConfig cfg = config::decoupled(3, 2);
+        cfg.fastForward = true;
+        SimResult on = run(prog, cfg);
+        EXPECT_GT(on.lvaqFastForwards, 0u) << name;
+        EXPECT_GE(on.ipc, off.ipc * 0.995) << name
+            << ": fast forwarding should not hurt";
+    }
+}
+
+TEST(Decoupling, M88ksimGetsNoForwardingBenefit)
+{
+    // Paper Table 3: m88ksim's save/restore distance exceeds the
+    // window, so almost no loads find their value in the LVAQ.
+    auto prog = wl("m88ksim", 2);
+    config::MachineConfig cfg = config::decoupled(3, 2);
+    cfg.fastForward = true;
+    SimResult r = run(prog, cfg);
+    double fwdFrac =
+        static_cast<double>(r.lvaqFastForwards + r.lvaqForwards) /
+        static_cast<double>(r.lvaqLoads ? r.lvaqLoads : 1);
+    EXPECT_LT(fwdFrac, 0.15);
+}
+
+TEST(Decoupling, CombiningReducesPortPressure)
+{
+    // Paper Fig. 8: two-way combining helps most under (3+1) for
+    // call-dense programs.
+    for (const char *name : {"vortex", "li"}) {
+        auto prog = wl(name, 2);
+        config::MachineConfig noComb = config::decoupled(3, 1);
+        SimResult off = run(prog, noComb);
+        config::MachineConfig comb = config::decoupled(3, 1);
+        comb.combining = 2;
+        SimResult on = run(prog, comb);
+        EXPECT_GT(on.lvaqCombined, 0u) << name;
+        EXPECT_GT(on.ipc, off.ipc) << name
+            << ": 2-way combining should help under (3+1)";
+    }
+}
+
+TEST(Decoupling, LvaqSatisfiesManyLoads)
+{
+    // Paper Section 4.3: 50-90% of LVC accesses are satisfied in the
+    // LVAQ before reaching the cache (with both optimizations on).
+    auto prog = wl("vortex", 2);
+    SimResult r = run(prog, config::decoupledOptimized(3, 2));
+    EXPECT_GT(r.lvaqSatisfiedFrac, 0.3);
+    EXPECT_LT(r.lvaqSatisfiedFrac, 0.95);
+}
+
+TEST(Decoupling, LiLvcReducesL2Traffic)
+{
+    // Paper Section 4.2.1: li's stack frames conflict with heap data
+    // in the unified L1; the LVC removes those conflicts and cuts L2
+    // bus traffic noticeably.
+    auto prog = wl("li", 4);
+    SimResult base = run(prog, config::baseline(3));
+    SimResult dec = run(prog, config::decoupled(3, 2));
+    EXPECT_LT(dec.l2Accesses, base.l2Accesses);
+}
+
+TEST(Decoupling, PredictorClassifierIsAccurateEndToEnd)
+{
+    auto prog = wl("li", 2);
+    config::MachineConfig cfg = config::decoupled(3, 2);
+    cfg.classifier = config::ClassifierKind::Predictor;
+    SimResult r = run(prog, cfg);
+    EXPECT_GT(r.classifierAccuracy, 0.99);
+    EXPECT_EQ(r.committed, run(prog, config::baseline(3)).committed);
+}
+
+TEST(Decoupling, SpBaseClassifierWorksEndToEnd)
+{
+    auto prog = wl("vortex", 1);
+    config::MachineConfig cfg = config::decoupled(3, 2);
+    cfg.classifier = config::ClassifierKind::SpBase;
+    SimResult r = run(prog, cfg);
+    EXPECT_GT(r.lvcAccesses, 0u);
+    // sp/fp-based accesses are all truly local in our generators, but
+    // pointer-based stack accesses (none here) would be missed; the
+    // heuristic must never be *wrong*, only conservative... except for
+    // pointer reads of frames, which vortex-like does not do.
+    EXPECT_GT(r.classifierAccuracy, 0.95);
+}
+
+TEST(Decoupling, UnlimitedLvcPortsAreNoBetterThanThree)
+{
+    // Paper Fig. 7/9: three LVC ports are effectively unlimited
+    // bandwidth for the local stream. (On the most call-dense
+    // workloads a *higher* port count can even lose a little: once
+    // the LVAQ stops throttling commit, LSQ stores drain sooner,
+    // loads lose their 1-cycle forwards and burst into the L1 ports
+    // -- the same store/load interaction class the paper reports for
+    // su2cor in Section 4.3. So the claim here is "no better", not
+    // "equal".)
+    for (const char *name : {"li", "vortex"}) {
+        auto prog = wl(name, 2);
+        SimResult three =
+            run(prog, config::decoupledOptimized(3, 3));
+        SimResult sixteen =
+            run(prog, config::decoupledOptimized(3, 16));
+        EXPECT_LT(sixteen.ipc, three.ipc * 1.03) << name;
+    }
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Functional unit pool tests: per-class capacity, pipelined vs
+ * unpipelined occupancy, and the shared MULT/DIV units.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/machine_config.hh"
+#include "cpu/fu_pool.hh"
+
+using namespace ddsim;
+using namespace ddsim::cpu;
+using ddsim::isa::FuClass;
+
+namespace {
+
+config::MachineConfig
+smallCfg()
+{
+    config::MachineConfig cfg;
+    cfg.numIntAlu = 2;
+    cfg.numIntMultDiv = 1;
+    cfg.numFpAlu = 2;
+    cfg.numFpMultDiv = 1;
+    return cfg;
+}
+
+} // namespace
+
+TEST(FuPool, PoolSizesMatchConfig)
+{
+    FuPool pool(smallCfg());
+    EXPECT_EQ(pool.poolSize(FuClass::IntAlu), 2);
+    EXPECT_EQ(pool.poolSize(FuClass::IntMult), 1);
+    EXPECT_EQ(pool.poolSize(FuClass::IntDiv), 1);
+    EXPECT_EQ(pool.poolSize(FuClass::FpAlu), 2);
+}
+
+TEST(FuPool, PipelinedUnitsAcceptOnePerCycle)
+{
+    FuPool pool(smallCfg());
+    EXPECT_TRUE(pool.tryIssue(FuClass::IntAlu, 0, 1, true));
+    EXPECT_TRUE(pool.tryIssue(FuClass::IntAlu, 0, 1, true));
+    EXPECT_FALSE(pool.tryIssue(FuClass::IntAlu, 0, 1, true));
+    // Next cycle both are free again.
+    EXPECT_TRUE(pool.tryIssue(FuClass::IntAlu, 1, 1, true));
+    EXPECT_TRUE(pool.tryIssue(FuClass::IntAlu, 1, 1, true));
+}
+
+TEST(FuPool, PipelinedMultiCycleStillAcceptsNextCycle)
+{
+    FuPool pool(smallCfg());
+    // A pipelined multiply (latency 5) frees its issue slot next cycle.
+    EXPECT_TRUE(pool.tryIssue(FuClass::IntMult, 0, 5, true));
+    EXPECT_TRUE(pool.tryIssue(FuClass::IntMult, 1, 5, true));
+}
+
+TEST(FuPool, UnpipelinedDivHoldsTheUnit)
+{
+    FuPool pool(smallCfg());
+    EXPECT_TRUE(pool.tryIssue(FuClass::IntDiv, 0, 34, false));
+    EXPECT_FALSE(pool.tryIssue(FuClass::IntDiv, 1, 34, false));
+    EXPECT_FALSE(pool.tryIssue(FuClass::IntDiv, 33, 34, false));
+    EXPECT_TRUE(pool.tryIssue(FuClass::IntDiv, 34, 34, false));
+}
+
+TEST(FuPool, MultAndDivShareUnits)
+{
+    FuPool pool(smallCfg());
+    // The single IntMultDiv unit is taken by a divide...
+    EXPECT_TRUE(pool.tryIssue(FuClass::IntDiv, 0, 34, false));
+    // ...so a multiply cannot issue while it is busy.
+    EXPECT_FALSE(pool.tryIssue(FuClass::IntMult, 5, 5, true));
+    EXPECT_TRUE(pool.tryIssue(FuClass::IntMult, 34, 5, true));
+}
+
+TEST(FuPool, FpAndIntPoolsIndependent)
+{
+    FuPool pool(smallCfg());
+    EXPECT_TRUE(pool.tryIssue(FuClass::IntAlu, 0, 1, true));
+    EXPECT_TRUE(pool.tryIssue(FuClass::IntAlu, 0, 1, true));
+    // Int ALUs exhausted; FP ALUs still available.
+    EXPECT_TRUE(pool.tryIssue(FuClass::FpAlu, 0, 2, true));
+}
+
+TEST(FuPool, Table1Defaults)
+{
+    config::MachineConfig cfg; // defaults
+    FuPool pool(cfg);
+    EXPECT_EQ(pool.poolSize(FuClass::IntAlu), 16);
+    EXPECT_EQ(pool.poolSize(FuClass::FpAlu), 16);
+    EXPECT_EQ(pool.poolSize(FuClass::IntMult), 4);
+    EXPECT_EQ(pool.poolSize(FuClass::FpDiv), 4);
+}

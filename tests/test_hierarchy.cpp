@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Memory hierarchy tests: latency accumulation through L1 -> L2 ->
+ * memory, LVC wiring, and L2 bus traffic accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/presets.hh"
+#include "mem/hierarchy.hh"
+#include "stats/group.hh"
+#include "util/log.hh"
+
+using namespace ddsim;
+using namespace ddsim::mem;
+
+TEST(Hierarchy, BaselineHasNoLvc)
+{
+    stats::Group root(nullptr, "");
+    auto cfg = config::baseline(2);
+    Hierarchy h(&root, cfg);
+    EXPECT_EQ(h.lvc(), nullptr);
+}
+
+TEST(Hierarchy, DecoupledHasLvc)
+{
+    stats::Group root(nullptr, "");
+    auto cfg = config::decoupled(2, 2);
+    Hierarchy h(&root, cfg);
+    ASSERT_NE(h.lvc(), nullptr);
+    EXPECT_EQ(h.lvc()->params().sizeBytes, 2048u);
+    EXPECT_EQ(h.lvc()->params().assoc, 1u);
+    EXPECT_EQ(h.lvc()->params().hitLatency, 1u);
+}
+
+TEST(Hierarchy, LatencyAccumulatesThroughLevels)
+{
+    stats::Group root(nullptr, "");
+    auto cfg = config::baseline(2);
+    Hierarchy h(&root, cfg);
+    // Cold L1 miss -> L2 miss -> memory: 2 + 12 + 50.
+    Cycle done = h.l1().access(0x5000, false, 0);
+    EXPECT_EQ(done, 2u + 12u + 50u);
+    // L1 hit afterwards: just 2 cycles.
+    Cycle hit = h.l1().access(0x5000, false, 100);
+    EXPECT_EQ(hit, 102u);
+}
+
+TEST(Hierarchy, L2HitServicesL1Miss)
+{
+    stats::Group root(nullptr, "");
+    auto cfg = config::baseline(2);
+    Hierarchy h(&root, cfg);
+    h.l1().access(0x5000, false, 0); // fills both L1 and L2
+    // Evict 0x5000 from L1 by filling its set (2-way, 512 sets,
+    // 32B lines -> same set every 16 KB).
+    h.l1().access(0x5000 + 16 * 1024, false, 100);
+    h.l1().access(0x5000 + 32 * 1024, false, 200);
+    EXPECT_FALSE(h.l1().probe(0x5000));
+    // Re-access: L1 miss but L2 hit -> 2 + 12.
+    Cycle done = h.l1().access(0x5000, false, 300);
+    EXPECT_EQ(done, 300u + 2u + 12u);
+}
+
+TEST(Hierarchy, LvcMissesGoToSharedL2)
+{
+    stats::Group root(nullptr, "");
+    auto cfg = config::decoupled(2, 2);
+    Hierarchy h(&root, cfg);
+    std::uint64_t before = h.l2BusTraffic();
+    h.lvc()->access(layout::StackBase - 64, false, 0);
+    EXPECT_EQ(h.l2BusTraffic(), before + 1);
+    // LVC hit afterwards: 1-cycle, no L2 traffic.
+    std::uint64_t traffic = h.l2BusTraffic();
+    Cycle t = h.lvc()->access(layout::StackBase - 64, false, 100);
+    EXPECT_EQ(t, 101u);
+    EXPECT_EQ(h.l2BusTraffic(), traffic);
+}
+
+TEST(Hierarchy, SameLineInBothCachesIsIndependent)
+{
+    // With perfect classification this never happens, but the model
+    // must keep the two level-1 caches independent.
+    stats::Group root(nullptr, "");
+    auto cfg = config::decoupled(2, 2);
+    Hierarchy h(&root, cfg);
+    Addr a = layout::StackBase - 128;
+    h.l1().access(a, false, 0);
+    EXPECT_TRUE(h.l1().probe(a));
+    EXPECT_FALSE(h.lvc()->probe(a));
+    h.lvc()->access(a, false, 100);
+    EXPECT_TRUE(h.lvc()->probe(a));
+}
+
+TEST(Hierarchy, MshrCountIsConfigurable)
+{
+    stats::Group root(nullptr, "");
+    auto cfg = config::baseline(2);
+    cfg.l1.mshrs = 1;
+    Hierarchy h(&root, cfg);
+    // Two misses to different lines at the same time: the second must
+    // be pushed back behind the first's completion (single MSHR).
+    Cycle a = h.l1().access(0x0000, false, 0);
+    Cycle b = h.l1().access(0x1000, false, 0);
+    EXPECT_GT(b, a);
+
+    auto cfg2 = config::baseline(2);
+    cfg2.l1.mshrs = 8;
+    stats::Group root2(nullptr, "");
+    Hierarchy h2(&root2, cfg2);
+    Cycle a2 = h2.l1().access(0x0000, false, 0);
+    Cycle b2 = h2.l1().access(0x1000, false, 0);
+    EXPECT_EQ(a2, b2); // both fills overlap fully
+}
+
+TEST(Hierarchy, ZeroMshrsRejected)
+{
+    setQuiet(true);
+    auto cfg = config::baseline(2);
+    cfg.l1.mshrs = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Hierarchy, FlushAllClearsEverything)
+{
+    stats::Group root(nullptr, "");
+    auto cfg = config::decoupled(2, 2);
+    Hierarchy h(&root, cfg);
+    h.l1().access(0x5000, false, 0);
+    h.lvc()->access(layout::StackBase - 64, false, 0);
+    h.flushAll();
+    EXPECT_FALSE(h.l1().probe(0x5000));
+    EXPECT_FALSE(h.lvc()->probe(layout::StackBase - 64));
+    EXPECT_FALSE(h.l2().probe(0x5000));
+}

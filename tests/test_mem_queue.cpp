@@ -1,0 +1,344 @@
+/**
+ * @file
+ * MemQueue tests: allocation/release discipline, disambiguation,
+ * store-to-load forwarding, fast forwarding, port limits, combining
+ * on the cache ports, and store commit behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/machine_config.hh"
+#include "core/mem_queue.hh"
+#include "isa/regs.hh"
+#include "mem/cache.hh"
+#include "mem/main_memory.hh"
+#include "stats/group.hh"
+#include "util/log.hh"
+
+using namespace ddsim;
+using namespace ddsim::core;
+namespace reg = ddsim::isa::reg;
+
+namespace {
+
+struct Rig
+{
+    stats::Group root{nullptr, ""};
+    mem::MainMemory memory{&root, 50};
+    mem::Cache cache;
+    MemQueue q;
+    InstSeq nextSeq = 0;
+    std::vector<LoadCompletion> done;
+
+    explicit Rig(QueuePolicy policy, int size = 16)
+        : cache(&root, "c",
+                config::CacheParams{2048, 1, 32, 1, policy.ports},
+                &memory),
+          q(&root, "q", size, &cache, nullptr, policy)
+    {}
+
+    int
+    addLoad(RegId base = reg::sp, std::int32_t off = 0,
+            std::uint32_t ver = 1, std::uint8_t size = 4)
+    {
+        InstSeq seq = nextSeq++;
+        return q.allocate(seq, static_cast<int>(seq) + 1, true, size,
+                          base, off, ver);
+    }
+
+    int
+    addStore(RegId base = reg::sp, std::int32_t off = 0,
+             std::uint32_t ver = 1, std::uint8_t size = 4)
+    {
+        InstSeq seq = nextSeq++;
+        return q.allocate(seq, static_cast<int>(seq) + 1, false, size,
+                          base, off, ver);
+    }
+
+    std::vector<LoadCompletion>
+    tick(Cycle now)
+    {
+        done.clear();
+        q.tick(now, done);
+        return done;
+    }
+};
+
+QueuePolicy
+basicPolicy(int ports = 2)
+{
+    QueuePolicy p;
+    p.ports = ports;
+    p.combining = 1;
+    p.fastForward = false;
+    p.forwardLatency = 1;
+    return p;
+}
+
+const Addr stackAddr = layout::StackBase - 256;
+
+} // namespace
+
+TEST(MemQueue, LoadIssuesOnceAddressKnown)
+{
+    Rig r(basicPolicy());
+    int s = r.addLoad();
+    EXPECT_TRUE(r.tick(0).empty());     // no address yet
+    r.q.setAddress(s, stackAddr, 1, false);
+    auto done = r.tick(1);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].slot, s);
+    // Cold miss: 1 (hit lat) + 50 (memory).
+    EXPECT_EQ(done[0].readyAt, 1u + 1u + 50u);
+    EXPECT_EQ(r.q.loadsFromCache.value(), 1u);
+}
+
+TEST(MemQueue, AddressNotReadyUntilItsCycle)
+{
+    Rig r(basicPolicy());
+    int s = r.addLoad();
+    r.q.setAddress(s, stackAddr, 5, false);
+    EXPECT_TRUE(r.tick(4).empty());
+    EXPECT_EQ(r.tick(5).size(), 1u);
+}
+
+TEST(MemQueue, LoadBlockedByUnknownOlderStoreAddress)
+{
+    Rig r(basicPolicy());
+    int st = r.addStore();
+    int ld = r.addLoad();
+    r.q.setAddress(ld, stackAddr, 1, false);
+    EXPECT_TRUE(r.tick(1).empty());     // store address unknown
+    EXPECT_GT(r.q.disambiguationStalls.value(), 0u);
+    r.q.setAddress(st, stackAddr + 64, 2, false);
+    EXPECT_EQ(r.tick(2).size(), 1u);    // different line, proceeds
+}
+
+TEST(MemQueue, StoreToLoadForwarding)
+{
+    Rig r(basicPolicy());
+    int st = r.addStore();
+    int ld = r.addLoad();
+    r.q.setAddress(st, stackAddr, 1, false);
+    r.q.setAddress(ld, stackAddr, 1, false);
+    r.q.setStoreData(st, 3);
+    EXPECT_TRUE(r.tick(2).empty());     // data not ready until 3
+    auto done = r.tick(3);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].readyAt, 4u);     // 1-cycle forward
+    EXPECT_EQ(r.q.loadsForwarded.value(), 1u);
+    EXPECT_EQ(r.q.loadsFromCache.value(), 0u);
+    EXPECT_EQ(r.cache.accesses.value(), 0u);
+}
+
+TEST(MemQueue, PartialOverlapWaitsForCommit)
+{
+    Rig r(basicPolicy());
+    int st = r.addStore(reg::sp, 0, 1, 1); // byte store
+    int ld = r.addLoad(reg::sp, 0, 1, 4);  // word load, overlaps
+    r.q.setAddress(st, stackAddr + 1, 1, false);
+    r.q.setAddress(ld, stackAddr, 1, false);
+    r.q.setStoreData(st, 1);
+    EXPECT_TRUE(r.tick(2).empty());     // cannot forward a partial
+    EXPECT_TRUE(r.q.commitStore(st, 3));
+    auto done = r.tick(4);
+    ASSERT_EQ(done.size(), 1u);         // reads merged value from cache
+    EXPECT_EQ(r.q.loadsFromCache.value(), 1u);
+}
+
+TEST(MemQueue, PortLimitDelaysLoads)
+{
+    Rig r(basicPolicy(1));
+    int a = r.addLoad(reg::sp, 0);
+    int b = r.addLoad(reg::sp, 64);
+    r.q.setAddress(a, stackAddr, 1, false);
+    r.q.setAddress(b, stackAddr + 64, 1, false);
+    auto first = r.tick(1);
+    EXPECT_EQ(first.size(), 1u);        // one port -> one load
+    EXPECT_GT(r.q.portDenials.value(), 0u);
+    auto second = r.tick(2);
+    EXPECT_EQ(second.size(), 1u);
+}
+
+TEST(MemQueue, TwoPortsServiceTwoLoads)
+{
+    Rig r(basicPolicy(2));
+    int a = r.addLoad(reg::sp, 0);
+    int b = r.addLoad(reg::sp, 64);
+    r.q.setAddress(a, stackAddr, 1, false);
+    r.q.setAddress(b, stackAddr + 64, 1, false);
+    EXPECT_EQ(r.tick(1).size(), 2u);
+}
+
+TEST(MemQueue, CombiningLetsSameLineLoadsShareAPort)
+{
+    QueuePolicy p = basicPolicy(1);
+    p.combining = 2;
+    Rig r(p);
+    int a = r.addLoad(reg::sp, 0);
+    int b = r.addLoad(reg::sp, 4);
+    r.q.setAddress(a, stackAddr, 1, false);
+    r.q.setAddress(b, stackAddr + 4, 1, false); // same 32B line
+    auto done = r.tick(1);
+    EXPECT_EQ(done.size(), 2u);
+    EXPECT_EQ(r.q.combinedAccesses.value(), 1u);
+    EXPECT_EQ(r.cache.accesses.value(), 1u);    // one wide access
+    // Both complete at the same time.
+    EXPECT_EQ(done[0].readyAt, done[1].readyAt);
+}
+
+TEST(MemQueue, FastForwardCompletesBeforeAddressGeneration)
+{
+    QueuePolicy p = basicPolicy(2);
+    p.fastForward = true;
+    Rig r(p);
+    int st = r.addStore(reg::sp, 8, 7);
+    int ld = r.addLoad(reg::sp, 8, 7);  // offset-matched at allocate
+    // Note: neither address has been computed.
+    r.q.setStoreData(st, 2);
+    auto done = r.tick(2);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].slot, ld);
+    EXPECT_EQ(done[0].readyAt, 3u);
+    EXPECT_EQ(r.q.loadsFastForwarded.value(), 1u);
+    EXPECT_EQ(r.cache.accesses.value(), 0u);
+}
+
+TEST(MemQueue, FastForwardDisabledByPolicy)
+{
+    Rig r(basicPolicy(2)); // fastForward = false
+    r.addStore(reg::sp, 8, 7);
+    int ld = r.addLoad(reg::sp, 8, 7);
+    EXPECT_EQ(r.q.entry(ld).fastFwdSlot, -1);
+}
+
+TEST(MemQueue, FastForwardWaitsForStoreData)
+{
+    QueuePolicy p = basicPolicy(2);
+    p.fastForward = true;
+    Rig r(p);
+    int st = r.addStore(reg::sp, 8, 7);
+    r.addLoad(reg::sp, 8, 7);
+    EXPECT_TRUE(r.tick(0).empty());
+    r.q.setStoreData(st, 5);
+    EXPECT_TRUE(r.tick(4).empty());
+    EXPECT_EQ(r.tick(5).size(), 1u);
+}
+
+TEST(MemQueue, FastForwardFallsBackWhenStoreLeft)
+{
+    QueuePolicy p = basicPolicy(2);
+    p.fastForward = true;
+    Rig r(p);
+    int st = r.addStore(reg::sp, 8, 7);
+    int ld = r.addLoad(reg::sp, 8, 7);
+    EXPECT_EQ(r.q.entry(ld).fastFwdSlot, st);
+    // The store's address resolves, data arrives, it commits and
+    // leaves the queue before the load fires.
+    r.q.setAddress(st, stackAddr + 8, 1, false);
+    r.q.setStoreData(st, 1);
+    EXPECT_TRUE(r.q.commitStore(st, 2));
+    r.q.release(st);
+    // Now the load needs its own address and the cache.
+    EXPECT_TRUE(r.tick(3).empty());
+    r.q.setAddress(ld, stackAddr + 8, 4, false);
+    auto done = r.tick(4);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(r.q.loadsFromCache.value(), 1u);
+    EXPECT_EQ(r.q.loadsFastForwarded.value(), 0u);
+}
+
+TEST(MemQueue, StoreCommitNeedsPort)
+{
+    Rig r(basicPolicy(1));
+    int a = r.addStore(reg::sp, 0);
+    int b = r.addStore(reg::sp, 64);
+    r.q.setAddress(a, stackAddr, 1, false);
+    r.q.setAddress(b, stackAddr + 64, 1, false);
+    r.q.setStoreData(a, 1);
+    r.q.setStoreData(b, 1);
+    EXPECT_TRUE(r.q.commitStore(a, 2));
+    EXPECT_FALSE(r.q.commitStore(b, 2)); // port exhausted this cycle
+    EXPECT_TRUE(r.q.commitStore(b, 3));
+    EXPECT_EQ(r.cache.writeAccesses.value(), 2u);
+}
+
+TEST(MemQueue, CommittingStoreTwiceIsIdempotent)
+{
+    Rig r(basicPolicy(1));
+    int a = r.addStore();
+    r.q.setAddress(a, stackAddr, 1, false);
+    r.q.setStoreData(a, 1);
+    EXPECT_TRUE(r.q.commitStore(a, 2));
+    EXPECT_TRUE(r.q.commitStore(a, 2));
+    EXPECT_EQ(r.cache.writeAccesses.value(), 1u);
+}
+
+TEST(MemQueue, ReleaseMustBeInOrder)
+{
+    setQuiet(true);
+    Rig r(basicPolicy());
+    r.addLoad();
+    int b = r.addLoad();
+    EXPECT_THROW(r.q.release(b), PanicError);
+}
+
+TEST(MemQueue, FullAndOccupancy)
+{
+    Rig r(basicPolicy(), 2);
+    EXPECT_FALSE(r.q.full());
+    int a = r.addLoad();
+    r.addLoad();
+    EXPECT_TRUE(r.q.full());
+    EXPECT_EQ(r.q.occupancy(), 2);
+    r.q.release(a);
+    EXPECT_FALSE(r.q.full());
+    EXPECT_EQ(r.q.occupancy(), 1);
+}
+
+TEST(MemQueue, WrapAroundKeepsOrderAndMatching)
+{
+    // Exercise the circular buffer across several wrap-arounds.
+    Rig r(basicPolicy(2), 4);
+    for (int round = 0; round < 6; ++round) {
+        int st = r.addStore(reg::sp, 0, 1);
+        int ld = r.addLoad(reg::sp, 0, 1);
+        Cycle base = static_cast<Cycle>(round) * 10 + 1;
+        r.q.setAddress(st, stackAddr, base, false);
+        r.q.setAddress(ld, stackAddr, base, false);
+        r.q.setStoreData(st, base);
+        auto done = r.tick(base + 1);
+        ASSERT_EQ(done.size(), 1u) << "round " << round;
+        EXPECT_TRUE(r.q.commitStore(st, base + 2));
+        r.q.release(st);
+        r.q.release(ld);
+    }
+    EXPECT_EQ(r.q.loadsForwarded.value(), 6u);
+    EXPECT_EQ(r.q.occupancy(), 0);
+}
+
+TEST(MemQueue, PanicsOnBadSlotUsage)
+{
+    setQuiet(true);
+    Rig r(basicPolicy(2));
+    int ld = r.addLoad();
+    EXPECT_THROW(r.q.setStoreData(ld, 1), PanicError);
+    EXPECT_THROW(r.q.commitStore(ld, 1), PanicError);
+}
+
+TEST(MemQueue, QueueSatisfiedFraction)
+{
+    QueuePolicy p = basicPolicy(2);
+    p.fastForward = true;
+    Rig r(p);
+    // One forwarded load, one cache load.
+    int st = r.addStore(reg::sp, 8, 7);
+    r.addLoad(reg::sp, 8, 7);
+    int other = r.addLoad(reg::sp, 128, 7);
+    r.q.setStoreData(st, 1);
+    r.q.setAddress(st, stackAddr + 8, 1, false);
+    r.q.setAddress(other, stackAddr + 128, 1, false);
+    r.tick(1);
+    r.tick(2);
+    EXPECT_DOUBLE_EQ(r.q.queueSatisfiedFrac(), 0.5);
+}

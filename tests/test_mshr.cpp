@@ -1,0 +1,57 @@
+/**
+ * @file
+ * MSHR file tests: merging, expiry, and the structural-hazard
+ * push-back when all registers are busy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mshr.hh"
+
+using namespace ddsim;
+using namespace ddsim::mem;
+
+TEST(Mshr, NoOutstandingInitially)
+{
+    MshrFile m(4);
+    EXPECT_EQ(m.outstandingFill(0x100, 0), 0u);
+    EXPECT_EQ(m.busy(0), 0);
+}
+
+TEST(Mshr, TracksOutstandingFill)
+{
+    MshrFile m(4);
+    m.allocate(0x100, 10, 60);
+    EXPECT_EQ(m.outstandingFill(0x100, 20), 60u);
+    EXPECT_EQ(m.outstandingFill(0x200, 20), 0u);
+    EXPECT_EQ(m.busy(20), 1);
+}
+
+TEST(Mshr, ExpiresCompletedFills)
+{
+    MshrFile m(4);
+    m.allocate(0x100, 0, 50);
+    EXPECT_EQ(m.outstandingFill(0x100, 50), 0u); // completed at 50
+    EXPECT_EQ(m.busy(50), 0);
+}
+
+TEST(Mshr, FullFilePushesBackCompletion)
+{
+    MshrFile m(2);
+    m.allocate(0x100, 0, 100);
+    m.allocate(0x200, 0, 80);
+    // Third miss at t=0 must wait for the earliest fill (t=80).
+    Cycle c = m.allocate(0x300, 0, 60);
+    EXPECT_EQ(c, 60u + 80u);
+    EXPECT_LE(m.busy(0), 2);
+}
+
+TEST(Mshr, CapacityRespectedOverTime)
+{
+    MshrFile m(2);
+    m.allocate(0x100, 0, 30);
+    m.allocate(0x200, 10, 40);
+    // At t=35 the first has expired; no push-back needed.
+    Cycle c = m.allocate(0x300, 35, 90);
+    EXPECT_EQ(c, 90u);
+}

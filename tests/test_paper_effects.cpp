@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests pinning the paper's finer-grained findings (Sections 4.2-4.4)
+ * beyond the basics in test_decoupling: latency-sensitivity shapes,
+ * the LVC-latency insensitivity, the queue-splitting forwarding
+ * anomaly, and misprediction recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/presets.hh"
+#include "prog/builder.hh"
+#include "sim/runner.hh"
+#include "stats/group.hh"
+#include "vm/executor.hh"
+#include "vm/trace.hh"
+#include "workloads/common.hh"
+
+using namespace ddsim;
+using namespace ddsim::sim;
+
+namespace {
+
+prog::Program
+wl(const char *name, std::uint64_t scaleFactor = 1)
+{
+    const workloads::WorkloadInfo *info = workloads::find(name);
+    workloads::WorkloadParams p;
+    p.scale = info->defaultScale * scaleFactor / 4;
+    if (p.scale == 0)
+        p.scale = 1;
+    return workloads::build(name, p);
+}
+
+} // namespace
+
+TEST(PaperEffects, SlowFourPortCacheLosesItsAdvantage)
+{
+    // Fig. 10: adding one cycle to the L1 hit time costs real
+    // performance -- in some programs enough to fall below (2+0).
+    for (const char *name : {"go", "li", "vortex"}) {
+        auto prog = wl(name, 2);
+        SimResult fast = run(prog, config::baseline(4));
+        config::MachineConfig cfg = config::baseline(4);
+        cfg.l1.hitLatency = 3;
+        SimResult slow = run(prog, cfg);
+        EXPECT_LT(slow.ipc, fast.ipc) << name;
+        // The paper saw up to 13.4% loss; require at least a
+        // measurable one on these load-latency-sensitive programs.
+        EXPECT_LT(slow.ipc, fast.ipc * 0.995) << name;
+    }
+}
+
+TEST(PaperEffects, DecoupledTwoTwoBeatsSlowFourZeroForInteger)
+{
+    // Fig. 10: (2+2) with a 2-cycle L1 consistently beats the
+    // 3-cycle (4+0) for the integer programs.
+    std::vector<double> wins;
+    for (const char *name : {"li", "vortex", "perl", "gcc"}) {
+        auto prog = wl(name, 2);
+        SimResult dec = run(prog, config::decoupledOptimized(2, 2));
+        config::MachineConfig slow = config::baseline(4);
+        slow.l1.hitLatency = 3;
+        SimResult s40 = run(prog, slow);
+        wins.push_back(dec.ipc / s40.ipc);
+    }
+    double product = 1.0;
+    for (double w : wins)
+        product *= w;
+    EXPECT_GT(product, 1.0) << "(2+2) should beat 3-cycle (4+0) on "
+                               "average for integer programs";
+}
+
+TEST(PaperEffects, FpProgramsGainLittleFromDecoupling)
+{
+    // Fig. 10 / Section 4.3: FP codes' local accesses are not
+    // interleaved well with the non-local stream, so (2+2) behaves
+    // much closer to (2+0) than it does for local-heavy integer
+    // codes.
+    auto fpProg = wl("swim", 2);
+    SimResult fpBase = run(fpProg, config::baseline(2));
+    SimResult fpDec = run(fpProg, config::decoupledOptimized(2, 2));
+    double fpGain = fpDec.ipc / fpBase.ipc;
+
+    auto intProg = wl("vortex", 2);
+    SimResult intBase = run(intProg, config::baseline(2));
+    SimResult intDec = run(intProg, config::decoupledOptimized(2, 2));
+    double intGain = intDec.ipc / intBase.ipc;
+
+    EXPECT_GT(intGain, fpGain);
+    EXPECT_LT(fpGain, 1.15) << "swim-like should be nearly flat";
+}
+
+TEST(PaperEffects, LvcLatencyAlmostIrrelevant)
+{
+    // Section 4.3: raising the LVC hit time from 1 to 2 cycles moves
+    // performance far less than the same change on the L1 would,
+    // because 50-90% of LVC loads are satisfied in the LVAQ and the
+    // scheduler hides much of the rest. A few percent is tolerated.
+    for (const char *name : {"vortex", "perl"}) {
+        auto prog = wl(name, 2);
+        SimResult fast = run(prog, config::decoupledOptimized(3, 2));
+        config::MachineConfig cfg = config::decoupledOptimized(3, 2);
+        cfg.lvc.hitLatency = 2;
+        SimResult slow = run(prog, cfg);
+        EXPECT_GT(slow.ipc, fast.ipc * 0.94) << name;
+    }
+}
+
+TEST(PaperEffects, QueueSplittingReducesLsqForwarding)
+{
+    // Section 4.3 (the su2cor anomaly): decoupling splits the
+    // store/load pairs across two shorter queues -- the LSQ loses a
+    // large share of its forwarding pairs to the LVAQ, and the total
+    // does not multiply (at most it redistributes).
+    auto prog = wl("su2cor", 2);
+    SimResult base = run(prog, config::baseline(2));
+    SimResult dec = run(prog, config::decoupled(2, 2));
+    EXPECT_LT(dec.lsqForwards, base.lsqForwards)
+        << "the LSQ must lose forwarding pairs to the LVAQ";
+    std::uint64_t decTotal = dec.lsqForwards + dec.lvaqForwards;
+    EXPECT_LE(decTotal, base.lsqForwards + base.lsqForwards / 10)
+        << "total in-queue forwards should redistribute, not grow";
+}
+
+TEST(PaperEffects, AnnotationMatchesOracleOnOurWorkloads)
+{
+    // Our generators mark local accesses exactly, so the annotation
+    // classifier must agree with the oracle end to end -- the
+    // compiler-only configuration of Section 2.2.3.
+    for (const char *name : {"li", "swim"}) {
+        auto prog = wl(name);
+        config::MachineConfig ann = config::decoupled(3, 2);
+        ann.classifier = config::ClassifierKind::Annotation;
+        SimResult a = run(prog, ann);
+        SimResult o = run(prog, config::decoupled(3, 2));
+        EXPECT_EQ(a.missteered, 0u) << name;
+        EXPECT_EQ(a.cycles, o.cycles)
+            << name << ": annotation and oracle should schedule "
+                       "identically here";
+    }
+}
+
+TEST(PaperEffects, MispredictionRecoveryCostsCycles)
+{
+    // Force missteers: classify with a predictor on a program whose
+    // first-touch hints are wrong for some instructions, and check
+    // the recovery path is exercised and costs time relative to
+    // oracle classification.
+    using namespace ddsim::prog;
+    namespace reg = ddsim::isa::reg;
+
+    // A loop whose hot load is marked "local" by the (lying)
+    // compiler but actually touches the heap.
+    ProgramBuilder b("liar");
+    Addr buf = b.dataWords(64);
+    b.la(reg::t0, buf);
+    b.li(reg::t1, 400);
+    Label loop = b.here();
+    b.lw(reg::t2, 0, reg::t0, /*local=*/true); // wrong hint
+    b.sw(reg::t2, 4, reg::t0, /*local=*/true); // wrong hint
+    b.addi(reg::t1, reg::t1, -1);
+    b.bgtz(reg::t1, loop);
+    b.halt();
+    Program p = b.finish();
+
+    config::MachineConfig ann = config::decoupled(2, 2);
+    ann.classifier = config::ClassifierKind::Annotation;
+    SimResult lied = run(p, ann);
+    EXPECT_GT(lied.missteered, 0u);
+    EXPECT_LT(lied.classifierAccuracy, 1.0);
+
+    SimResult oracle = run(p, config::decoupled(2, 2));
+    EXPECT_EQ(oracle.missteered, 0u);
+    EXPECT_LE(oracle.cycles, lied.cycles)
+        << "missteered accesses must not be free";
+
+    // The predictor, by contrast, learns after the first touch.
+    config::MachineConfig pred = config::decoupled(2, 2);
+    pred.classifier = config::ClassifierKind::Predictor;
+    SimResult learned = run(p, pred);
+    EXPECT_LT(learned.missteered, lied.missteered);
+    // Several in-flight copies of the hot instructions mispredict
+    // before the first resolution trains the table, so accuracy is
+    // high but not perfect.
+    EXPECT_GT(learned.classifierAccuracy, 0.95);
+}
+
+TEST(PaperEffects, CombiningHelpsMostWhenPortsAreScarce)
+{
+    // Fig. 8: the 2-way combining gain under (3+1) exceeds the gain
+    // under (3+2) -- combining is a bandwidth amplifier.
+    auto prog = wl("vortex", 2);
+    auto gain = [&](int ports) {
+        SimResult off = run(prog, config::decoupled(3, ports));
+        config::MachineConfig cfg = config::decoupled(3, ports);
+        cfg.combining = 2;
+        SimResult on = run(prog, cfg);
+        return on.ipc / off.ipc;
+    };
+    double g1 = gain(1);
+    double g2 = gain(2);
+    EXPECT_GT(g1, 1.02);
+    EXPECT_GT(g1, g2);
+}
+
+TEST(PaperEffects, LvcMissRateShapeMatchesFig6)
+{
+    // Fig. 6's shape: miss rate falls with LVC size; gcc is the worst
+    // program at every size; compress is flat and tiny.
+    auto missAt = [&](const char *name, std::uint32_t bytes) {
+        auto prog = wl(name, 2);
+        config::MachineConfig cfg = config::decoupled(3, 4);
+        cfg.lvc.sizeBytes = bytes;
+        return run(prog, cfg).lvcMissRate;
+    };
+    double gccHalf = missAt("gcc", 512);
+    double gccOne = missAt("gcc", 1024);
+    double gccTwo = missAt("gcc", 2048);
+    EXPECT_GT(gccHalf, gccOne);
+    EXPECT_GT(gccOne, gccTwo);
+    EXPECT_GT(gccTwo, missAt("vortex", 2048));
+    EXPECT_GT(gccTwo, missAt("compress", 2048));
+    // 2 KB still hits >99% short of gcc's worst case ("over 99% for
+    // all the programs except 126.gcc").
+    EXPECT_LT(missAt("vortex", 2048), 0.01);
+    EXPECT_LT(missAt("li", 2048), 0.01);
+}
+
+TEST(PaperEffects, PortSweepShapeMatchesFig5)
+{
+    // Fig. 5's shape on a port-hungry program: monotone improvement
+    // that saturates by 4-5 ports.
+    auto prog = wl("vortex", 2);
+    SimResult p1 = run(prog, config::baseline(1));
+    SimResult p2 = run(prog, config::baseline(2));
+    SimResult p3 = run(prog, config::baseline(3));
+    SimResult p16 = run(prog, config::baseline(16));
+    EXPECT_LT(p1.ipc, p2.ipc);
+    EXPECT_LT(p2.ipc, p3.ipc);
+    EXPECT_LT(p1.ipc / p16.ipc, 0.85); // 1 port is clearly starved
+    EXPECT_GT(p3.ipc / p16.ipc, 0.85); // 3 ports are nearly enough
+}
+
+TEST(PaperEffects, StaticFramesAreSmallLikeThePaper)
+{
+    // Section 2.2.1: static frames average ~7 words; ours land in
+    // the same regime (2-25 words per program).
+    for (const char *name : {"li", "vortex", "perl", "go"}) {
+        auto prog = wl(name);
+        stats::Group root(nullptr, "");
+        vm::Executor exec(prog);
+        vm::StreamStats ss(&root);
+        while (!exec.halted())
+            ss.record(exec.step());
+        double m = ss.meanStaticFrameWords();
+        EXPECT_GE(m, 2.0) << name;
+        EXPECT_LE(m, 25.0) << name;
+    }
+}

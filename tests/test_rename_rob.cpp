@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Rename table and reorder buffer tests: producer tracking, stale-tag
+ * detection across ROB slot reuse, and circular buffer discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/rename.hh"
+#include "cpu/rob.hh"
+#include "util/log.hh"
+
+using namespace ddsim;
+using namespace ddsim::cpu;
+using ddsim::isa::gprRef;
+using ddsim::isa::fprRef;
+
+TEST(Rename, FreshTableHasNoProducers)
+{
+    RenameTable rt;
+    EXPECT_FALSE(rt.producer(gprRef(5)).valid());
+    EXPECT_FALSE(rt.producer(fprRef(5)).valid());
+}
+
+TEST(Rename, SetAndLookup)
+{
+    RenameTable rt;
+    rt.setProducer(gprRef(3), {7, 100});
+    ProducerTag t = rt.producer(gprRef(3));
+    EXPECT_TRUE(t.valid());
+    EXPECT_EQ(t.robIdx, 7);
+    EXPECT_EQ(t.seq, 100u);
+    // FPR 3 is a different register.
+    EXPECT_FALSE(rt.producer(fprRef(3)).valid());
+}
+
+TEST(Rename, NewerProducerShadowsOlder)
+{
+    RenameTable rt;
+    rt.setProducer(gprRef(3), {7, 100});
+    rt.setProducer(gprRef(3), {9, 101});
+    EXPECT_EQ(rt.producer(gprRef(3)).robIdx, 9);
+}
+
+TEST(Rename, ClearOnlyIfStillProducer)
+{
+    RenameTable rt;
+    rt.setProducer(gprRef(3), {7, 100});
+    rt.setProducer(gprRef(3), {9, 101});
+    // Committing the *older* instruction must not clear the newer map.
+    rt.clearIfProducer(gprRef(3), {7, 100});
+    EXPECT_TRUE(rt.producer(gprRef(3)).valid());
+    rt.clearIfProducer(gprRef(3), {9, 101});
+    EXPECT_FALSE(rt.producer(gprRef(3)).valid());
+}
+
+TEST(Rename, ResetClearsAll)
+{
+    RenameTable rt;
+    rt.setProducer(gprRef(1), {1, 1});
+    rt.setProducer(fprRef(2), {2, 2});
+    rt.reset();
+    EXPECT_FALSE(rt.producer(gprRef(1)).valid());
+    EXPECT_FALSE(rt.producer(fprRef(2)).valid());
+}
+
+TEST(Rob, AllocateAndReleaseCircularly)
+{
+    Rob rob(4);
+    EXPECT_TRUE(rob.empty());
+    int a = rob.allocate();
+    int b = rob.allocate();
+    EXPECT_EQ(rob.occupancy(), 2);
+    EXPECT_EQ(rob.headIdx(), a);
+    rob.releaseHead();
+    EXPECT_EQ(rob.headIdx(), b);
+    // Wrap around.
+    rob.allocate();
+    rob.allocate();
+    rob.allocate();
+    EXPECT_TRUE(rob.full());
+    EXPECT_THROW(rob.allocate(), PanicError);
+}
+
+TEST(Rob, NthIteratesOldestFirst)
+{
+    Rob rob(4);
+    rob.allocate();          // slot 0
+    rob.allocate();          // slot 1
+    rob.releaseHead();       // head moves to slot 1
+    int c = rob.allocate();  // slot 2
+    int d = rob.allocate();  // slot 3
+    int e = rob.allocate();  // wraps to slot 0
+    EXPECT_EQ(rob.nth(0), rob.headIdx());
+    EXPECT_EQ(rob.nth(1), c);
+    EXPECT_EQ(rob.nth(2), d);
+    EXPECT_EQ(rob.nth(3), e);
+    EXPECT_EQ(e, 0); // physical wrap
+}
+
+TEST(Rob, EntriesResetOnAllocate)
+{
+    setQuiet(true);
+    Rob rob(2);
+    int a = rob.allocate();
+    rob[a].completed = true;
+    rob[a].readyAt = 99;
+    rob.releaseHead();
+    int b = rob.allocate(); // may reuse slot a
+    if (b == a) {
+        EXPECT_FALSE(rob[b].completed);
+        EXPECT_EQ(rob[b].readyAt, 0u);
+    }
+    EXPECT_TRUE(rob[b].valid);
+}
+
+TEST(Rob, ReleaseEmptyPanics)
+{
+    setQuiet(true);
+    Rob rob(2);
+    EXPECT_THROW(rob.releaseHead(), PanicError);
+}

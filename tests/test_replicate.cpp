@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for Replicate steering (paper footnote 3): every memory
+ * access is inserted into both queues and the wrong copy is killed
+ * when the address resolves — eliminating classification hardware at
+ * the cost of double queue occupancy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/cli.hh"
+#include "config/presets.hh"
+#include "core/mem_queue.hh"
+#include "cpu/pipeline.hh"
+#include "isa/regs.hh"
+#include "mem/cache.hh"
+#include "mem/main_memory.hh"
+#include "sim/runner.hh"
+#include "stats/group.hh"
+#include "util/log.hh"
+#include "vm/executor.hh"
+#include "workloads/common.hh"
+
+using namespace ddsim;
+using namespace ddsim::sim;
+namespace reg = ddsim::isa::reg;
+
+namespace {
+
+config::MachineConfig
+replicateCfg(int n = 3, int m = 2)
+{
+    config::MachineConfig cfg = config::decoupled(n, m);
+    cfg.classifier = config::ClassifierKind::Replicate;
+    return cfg;
+}
+
+prog::Program
+wl(const char *name)
+{
+    const workloads::WorkloadInfo *info = workloads::find(name);
+    workloads::WorkloadParams p;
+    p.scale = info->defaultScale / 4;
+    if (p.scale == 0)
+        p.scale = 1;
+    return workloads::build(name, p);
+}
+
+} // namespace
+
+// ---- MemQueue::cancel mechanics ----
+
+TEST(Cancel, CancelledStoreDoesNotBlockDisambiguation)
+{
+    stats::Group root(nullptr, "");
+    mem::MainMemory memory(&root, 50);
+    mem::Cache cache(&root, "c",
+                     config::CacheParams{2048, 1, 32, 1, 2}, &memory);
+    core::QueuePolicy pol;
+    pol.ports = 2;
+    core::MemQueue q(&root, "q", 8, &cache, nullptr, pol);
+
+    int st = q.allocate(0, 1, false, 4, reg::sp, 0, 1);
+    int ld = q.allocate(1, 2, true, 4, reg::sp, 64, 1);
+    q.setAddress(ld, layout::StackBase - 64, 1, false);
+    std::vector<core::LoadCompletion> done;
+    q.tick(1, done);
+    EXPECT_TRUE(done.empty()); // blocked by the unknown store address
+
+    q.cancel(st);
+    q.tick(2, done);
+    ASSERT_EQ(done.size(), 1u); // cancelled store no longer blocks
+    EXPECT_EQ(q.cancelledReplicas.value(), 1u);
+}
+
+TEST(Cancel, CancelledStoreNeverForwards)
+{
+    stats::Group root(nullptr, "");
+    mem::MainMemory memory(&root, 50);
+    mem::Cache cache(&root, "c",
+                     config::CacheParams{2048, 1, 32, 1, 2}, &memory);
+    core::QueuePolicy pol;
+    pol.ports = 2;
+    core::MemQueue q(&root, "q", 8, &cache, nullptr, pol);
+
+    int st = q.allocate(0, 1, false, 4, reg::sp, 0, 1);
+    q.setAddress(st, layout::StackBase - 64, 1, false);
+    q.setStoreData(st, 1);
+    q.cancel(st);
+    int ld = q.allocate(1, 2, true, 4, reg::sp, 0, 1);
+    q.setAddress(ld, layout::StackBase - 64, 1, false);
+    std::vector<core::LoadCompletion> done;
+    q.tick(2, done);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(q.loadsForwarded.value(), 0u);
+    EXPECT_EQ(q.loadsFromCache.value(), 1u); // went to the cache
+}
+
+TEST(Cancel, CommittingCancelledStoreIsFreeAndSilent)
+{
+    stats::Group root(nullptr, "");
+    mem::MainMemory memory(&root, 50);
+    mem::Cache cache(&root, "c",
+                     config::CacheParams{2048, 1, 32, 1, 1}, &memory);
+    core::QueuePolicy pol;
+    pol.ports = 1;
+    core::MemQueue q(&root, "q", 8, &cache, nullptr, pol);
+
+    int st = q.allocate(0, 1, false, 4, reg::sp, 0, 1);
+    q.cancel(st);
+    EXPECT_TRUE(q.commitStore(st, 5)); // no port, no cache write
+    EXPECT_EQ(cache.writeAccesses.value(), 0u);
+    q.release(st);
+    EXPECT_EQ(q.occupancy(), 0);
+}
+
+TEST(Cancel, DoubleCancelCountsOnce)
+{
+    stats::Group root(nullptr, "");
+    mem::MainMemory memory(&root, 50);
+    mem::Cache cache(&root, "c",
+                     config::CacheParams{2048, 1, 32, 1, 1}, &memory);
+    core::QueuePolicy pol;
+    core::MemQueue q(&root, "q", 8, &cache, nullptr, pol);
+    int st = q.allocate(0, 1, false, 4, reg::sp, 0, 1);
+    q.cancel(st);
+    q.cancel(st);
+    EXPECT_EQ(q.cancelledReplicas.value(), 1u);
+}
+
+// ---- End-to-end Replicate steering ----
+
+TEST(Replicate, RunsEveryWorkloadCorrectly)
+{
+    for (const char *name : {"li", "compress", "swim"}) {
+        auto prog = wl(name);
+        SimResult rep = run(prog, replicateCfg());
+        SimResult base = run(prog, config::baseline(3));
+        EXPECT_EQ(rep.committed, base.committed) << name;
+        EXPECT_GT(rep.lvcAccesses, 0u) << name;
+    }
+}
+
+TEST(Replicate, EveryMemoryAccessIsReplicated)
+{
+    auto prog = wl("vortex");
+    stats::Group root(nullptr, "");
+    vm::Executor exec(prog);
+    cpu::Pipeline pipe(&root, replicateCfg(), exec);
+    pipe.run();
+    std::uint64_t memOps = pipe.streamStats().loads.value() +
+                           pipe.streamStats().stores.value();
+    // Both queues see every access...
+    EXPECT_EQ(pipe.lsq().allocated.value(), memOps);
+    EXPECT_EQ(pipe.lvaq()->allocated.value(), memOps);
+    // ...and between them exactly one copy of each dies.
+    std::uint64_t cancelled =
+        pipe.lsq().cancelledReplicas.value() +
+        pipe.lvaq()->cancelledReplicas.value();
+    EXPECT_EQ(cancelled, memOps);
+}
+
+TEST(Replicate, MatchesOracleTimingClosely)
+{
+    // With ample queue capacity the replicated machine should land
+    // near the oracle-steered one (it resolves to the same split).
+    auto prog = wl("li");
+    SimResult oracle = run(prog, config::decoupled(3, 2));
+    SimResult rep = run(prog, replicateCfg());
+    EXPECT_NEAR(rep.ipc, oracle.ipc, oracle.ipc * 0.10);
+}
+
+TEST(Replicate, DoubleOccupancyBitesWithSmallQueues)
+{
+    // Footnote 3's cost: each access holds two slots, so small queues
+    // fill twice as fast as with predictive steering.
+    auto prog = wl("vortex");
+    config::MachineConfig small = replicateCfg();
+    small.lsqSize = 8;
+    small.lvaqSize = 8;
+    SimResult rep = run(prog, small);
+
+    config::MachineConfig oracleSmall = config::decoupled(3, 2);
+    oracleSmall.lsqSize = 8;
+    oracleSmall.lvaqSize = 8;
+    SimResult oracle = run(prog, oracleSmall);
+
+    EXPECT_LT(rep.ipc, oracle.ipc);
+}
+
+TEST(Replicate, WorksWithOptimizations)
+{
+    auto prog = wl("vortex");
+    config::MachineConfig cfg = replicateCfg();
+    cfg.fastForward = true;
+    cfg.combining = 2;
+    SimResult r = run(prog, cfg);
+    EXPECT_EQ(r.committed, run(prog, config::baseline(3)).committed);
+    EXPECT_GT(r.lvaqFastForwards, 0u);
+}
+
+TEST(Replicate, CliAndDescribeKnowIt)
+{
+    EXPECT_STREQ(config::classifierName(
+                     config::ClassifierKind::Replicate),
+                 "replicate");
+    const char *argv[] = {"prog", "--classifier=replicate",
+                          "--lvc=1"};
+    config::CliArgs args(3, argv);
+    config::MachineConfig cfg = config::decoupled(2, 2);
+    config::applyOverrides(cfg, args);
+    EXPECT_EQ(cfg.classifier, config::ClassifierKind::Replicate);
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Runner tests: the top-level simulate-one-program API, result
+ * snapshot fields, and stats capture.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/presets.hh"
+#include "sim/runner.hh"
+#include "sim/table.hh"
+#include "util/log.hh"
+#include "workloads/common.hh"
+
+#include <sstream>
+
+using namespace ddsim;
+using namespace ddsim::sim;
+
+namespace {
+
+prog::Program
+program(const char *name = "li", std::uint64_t scale = 10)
+{
+    workloads::WorkloadParams p;
+    p.scale = scale;
+    return workloads::build(name, p);
+}
+
+} // namespace
+
+TEST(Runner, BaselineRunFillsResult)
+{
+    auto prog = program();
+    SimResult r = run(prog, config::baseline(2));
+    EXPECT_EQ(r.program, "li");
+    EXPECT_EQ(r.notation, "(2+0)");
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.committed, 1000u);
+    EXPECT_GT(r.ipc, 0.5);
+    EXPECT_GT(r.loads, 0u);
+    EXPECT_GT(r.stores, 0u);
+    EXPECT_GT(r.l1Accesses, 0u);
+    EXPECT_EQ(r.lvcAccesses, 0u);
+    EXPECT_GT(r.l2Accesses, 0u);
+}
+
+TEST(Runner, DecoupledRunUsesLvc)
+{
+    auto prog = program();
+    SimResult r = run(prog, config::decoupled(2, 2));
+    EXPECT_EQ(r.notation, "(2+2)");
+    EXPECT_GT(r.lvcAccesses, 0u);
+    EXPECT_GT(r.lvaqLoads, 0u);
+    EXPECT_DOUBLE_EQ(r.classifierAccuracy, 1.0); // oracle
+    EXPECT_EQ(r.missteered, 0u);
+}
+
+TEST(Runner, CommittedCountIsConfigIndependent)
+{
+    auto prog = program();
+    SimResult a = run(prog, config::baseline(1));
+    SimResult b = run(prog, config::baseline(4));
+    SimResult c = run(prog, config::decoupled(2, 2));
+    SimResult d = run(prog, config::decoupledOptimized(2, 2));
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.committed, c.committed);
+    EXPECT_EQ(a.committed, d.committed);
+}
+
+TEST(Runner, MaxInstsTruncates)
+{
+    auto prog = program();
+    RunOptions opts;
+    opts.maxInsts = 5000;
+    SimResult r = run(prog, config::baseline(2), opts);
+    EXPECT_EQ(r.committed, 5000u);
+}
+
+TEST(Runner, StatsCaptureOptional)
+{
+    auto prog = program("compress", 2);
+    SimResult noStats = run(prog, config::baseline(2));
+    EXPECT_TRUE(noStats.statsText.empty());
+    RunOptions opts;
+    opts.captureStats = true;
+    SimResult withStats = run(prog, config::baseline(2), opts);
+    EXPECT_NE(withStats.statsText.find("cpu.cycles"),
+              std::string::npos);
+    EXPECT_NE(withStats.statsText.find("memhier.l1d.accesses"),
+              std::string::npos);
+}
+
+TEST(Runner, WarmupExcludesColdStart)
+{
+    auto prog = program("swim", 4);
+    RunOptions cold;
+    SimResult c = run(prog, config::baseline(2), cold);
+
+    RunOptions warm;
+    warm.warmupInsts = 60000;
+    SimResult w = run(prog, config::baseline(2), warm);
+
+    // The warm measurement excludes the grid-initialization phase and
+    // its cold misses: fewer committed instructions, and a miss rate
+    // that is not higher than the whole-program one.
+    EXPECT_LT(w.committed, c.committed);
+    EXPECT_GT(w.committed, 0u);
+    EXPECT_LE(w.l1MissRate, c.l1MissRate + 0.01);
+}
+
+TEST(Runner, WarmupPlusMaxInstsMeasuresTheWindow)
+{
+    auto prog = program("li", 10);
+    RunOptions opts;
+    opts.warmupInsts = 20000;
+    opts.maxInsts = 30000;
+    SimResult r = run(prog, config::decoupled(2, 2), opts);
+    // The window is approximate at its edges: instructions in flight
+    // when warmup ends commit inside the window, and the warmup stop
+    // quantizes to a fetch group. Both slacks are bounded by the ROB
+    // size and one fetch group respectively.
+    // (in flight = ROB 128 + fetch queue 32, plus a fetch group.)
+    EXPECT_GE(r.committed, 30000u - 16u);
+    EXPECT_LE(r.committed, 30000u + 128u + 32u + 16u);
+}
+
+TEST(Runner, SpeedupHelper)
+{
+    SimResult a, b;
+    a.ipc = 3.0;
+    b.ipc = 2.0;
+    EXPECT_DOUBLE_EQ(speedup(a, b), 1.5);
+    EXPECT_NE(a.summary().find("IPC"), std::string::npos);
+}
+
+TEST(Runner, InvalidConfigIsFatal)
+{
+    setQuiet(true);
+    auto prog = program("compress", 1);
+    config::MachineConfig cfg = config::baseline(2);
+    cfg.robSize = -1;
+    EXPECT_THROW(run(prog, cfg), FatalError);
+}
+
+TEST(Table, AlignedOutput)
+{
+    Table t({"prog", "ipc"});
+    t.addRow({"li", Table::num(3.14159, 2)});
+    t.addRow({"compress", Table::pct(0.925)});
+    std::ostringstream ss;
+    t.print(ss);
+    std::string out = ss.str();
+    EXPECT_NE(out.find("prog"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+    EXPECT_NE(out.find("92.5%"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the stats package: scalars, formulas, histograms,
+ * groups, and text/CSV formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/formatter.hh"
+#include "stats/group.hh"
+#include "stats/histogram.hh"
+#include "stats/stat.hh"
+
+using namespace ddsim;
+using namespace ddsim::stats;
+
+TEST(Scalar, CountsAndResets)
+{
+    Group root(nullptr, "");
+    Scalar s(&root, "s", "test");
+    ++s;
+    s += 4;
+    EXPECT_EQ(s.value(), 5u);
+    EXPECT_EQ(s.report(), 5.0);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+    EXPECT_TRUE(s.zero());
+}
+
+TEST(Formula, ComputesOnDemand)
+{
+    Group root(nullptr, "");
+    Scalar a(&root, "a", ""), b(&root, "b", "");
+    Formula f(&root, "ratio", "", [&] {
+        return safeRatio(a.report(), b.report());
+    });
+    EXPECT_EQ(f.report(), 0.0); // 0/0 -> 0
+    a += 3;
+    b += 4;
+    EXPECT_DOUBLE_EQ(f.report(), 0.75);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Group root(nullptr, "");
+    Histogram h(&root, "h", "", 4, 10);
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(39);
+    h.sample(40);   // overflow
+    h.sample(1000); // overflow
+    EXPECT_EQ(h.samples(), 6u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 1000u);
+}
+
+TEST(Histogram, MeanAndPercentile)
+{
+    Group root(nullptr, "");
+    Histogram h(&root, "h", "", 100, 1);
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.sample(v % 100);
+    EXPECT_NEAR(h.mean(), 49.5, 0.6);
+    EXPECT_LE(h.percentile(0.5), 55u);
+    EXPECT_GE(h.percentile(0.99), 95u);
+}
+
+TEST(Histogram, FractionBetween)
+{
+    Group root(nullptr, "");
+    Histogram h(&root, "h", "", 10, 1);
+    for (int i = 0; i < 10; ++i)
+        h.sample(static_cast<std::uint64_t>(i));
+    EXPECT_NEAR(h.fractionBetween(0, 4), 0.5, 1e-9);
+    EXPECT_NEAR(h.fractionBetween(0, 9), 1.0, 1e-9);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Group root(nullptr, "");
+    Histogram h(&root, "h", "", 10, 1);
+    h.sample(3, 7);
+    EXPECT_EQ(h.samples(), 7u);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Group, PathsAreDotted)
+{
+    Group root(nullptr, "");
+    Group cpu(&root, "cpu");
+    Group lsq(&cpu, "lsq");
+    EXPECT_EQ(lsq.path(), "cpu.lsq");
+}
+
+TEST(Group, FindLocatesNestedStats)
+{
+    Group root(nullptr, "");
+    Group cpu(&root, "cpu");
+    Scalar s(&cpu, "cycles", "");
+    s += 9;
+    const StatBase *found = root.find("cpu.cycles");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->report(), 9.0);
+    EXPECT_EQ(root.find("cpu.nothing"), nullptr);
+    EXPECT_EQ(root.find("gpu.cycles"), nullptr);
+}
+
+TEST(Group, ResetAllRecurses)
+{
+    Group root(nullptr, "");
+    Group child(&root, "c");
+    Scalar a(&root, "a", ""), b(&child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(Formatter, TextSkipsZerosByDefault)
+{
+    Group root(nullptr, "");
+    Scalar a(&root, "counted", "desc a");
+    Scalar b(&root, "untouched", "desc b");
+    a += 5;
+    std::string text = toText(root);
+    EXPECT_NE(text.find("counted"), std::string::npos);
+    EXPECT_EQ(text.find("untouched"), std::string::npos);
+    EXPECT_NE(text.find("desc a"), std::string::npos);
+}
+
+TEST(Formatter, CsvHasHeaderAndAllStats)
+{
+    Group root(nullptr, "");
+    Group g(&root, "g");
+    Scalar a(&g, "a", "");
+    a += 2;
+    std::ostringstream ss;
+    dumpCsv(root, ss);
+    std::string out = ss.str();
+    EXPECT_NE(out.find("stat,value"), std::string::npos);
+    EXPECT_NE(out.find("g.a,2"), std::string::npos);
+}

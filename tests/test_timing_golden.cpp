@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Golden cycle-accurate micro-tests: tiny kernels whose *incremental*
+ * cost pins the timing semantics exactly — operation latencies,
+ * load-to-use time, forwarding latency, width limits. Differences
+ * between two run lengths cancel the pipeline fill/drain constants,
+ * so these assertions are exact, not banded.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/presets.hh"
+#include "cpu/pipeline.hh"
+#include "prog/builder.hh"
+#include "stats/group.hh"
+#include "vm/executor.hh"
+
+using namespace ddsim;
+using namespace ddsim::prog;
+namespace reg = ddsim::isa::reg;
+
+namespace {
+
+std::uint64_t
+cyclesOf(Program &p, const config::MachineConfig &cfg)
+{
+    stats::Group root(nullptr, "");
+    vm::Executor exec(p);
+    cpu::Pipeline pipe(&root, cfg, exec);
+    pipe.run();
+    return pipe.numCycles.value();
+}
+
+/** Cycles added by `extra` repetitions of an emitted unit. */
+template <typename EmitUnit>
+std::uint64_t
+incrementalCost(EmitUnit emit, int base, int extra,
+                const config::MachineConfig &cfg)
+{
+    ProgramBuilder b1("base");
+    b1.addi(reg::sp, reg::sp, -64);
+    for (int i = 0; i < base; ++i)
+        emit(b1);
+    b1.halt();
+    Program p1 = b1.finish();
+
+    ProgramBuilder b2("long");
+    b2.addi(reg::sp, reg::sp, -64);
+    for (int i = 0; i < base + extra; ++i)
+        emit(b2);
+    b2.halt();
+    Program p2 = b2.finish();
+
+    std::uint64_t c1 = cyclesOf(p1, cfg);
+    std::uint64_t c2 = cyclesOf(p2, cfg);
+    EXPECT_GE(c2, c1);
+    return c2 - c1;
+}
+
+} // namespace
+
+TEST(TimingGolden, DependentAddCostsOneCyclePerLink)
+{
+    auto unit = [](ProgramBuilder &b) { b.addi(reg::t0, reg::t0, 1); };
+    std::uint64_t d =
+        incrementalCost(unit, 64, 100, config::baseline(2));
+    EXPECT_EQ(d, 100u);
+}
+
+TEST(TimingGolden, DependentMulCostsFiveCyclesPerLink)
+{
+    auto unit = [](ProgramBuilder &b) {
+        b.mul(reg::t0, reg::t0, reg::t0);
+    };
+    std::uint64_t d =
+        incrementalCost(unit, 16, 50, config::baseline(2));
+    EXPECT_EQ(d, 50u * 5);
+}
+
+TEST(TimingGolden, DependentDivCosts34CyclesPerLink)
+{
+    auto unit = [](ProgramBuilder &b) {
+        b.div(reg::t0, reg::t0, reg::t0);
+    };
+    std::uint64_t d = incrementalCost(unit, 4, 10, config::baseline(2));
+    EXPECT_EQ(d, 10u * 34);
+}
+
+TEST(TimingGolden, DependentFpAddCostsTwoCyclesPerLink)
+{
+    auto unit = [](ProgramBuilder &b) { b.addD(1, 1, 1); };
+    std::uint64_t d =
+        incrementalCost(unit, 16, 50, config::baseline(2));
+    EXPECT_EQ(d, 50u * 2);
+}
+
+TEST(TimingGolden, DependentFpDivCosts19CyclesPerLink)
+{
+    auto unit = [](ProgramBuilder &b) { b.divD(1, 1, 1); };
+    std::uint64_t d = incrementalCost(unit, 4, 10, config::baseline(2));
+    EXPECT_EQ(d, 10u * 19);
+}
+
+TEST(TimingGolden, IndependentAddsFillTheWidth)
+{
+    // 16-wide with 16 int ALUs: 160 independent adds = 10 cycles.
+    auto unit = [](ProgramBuilder &b) {
+        b.addi(reg::t0, reg::zero, 1);
+    };
+    std::uint64_t d =
+        incrementalCost(unit, 160, 160, config::baseline(2));
+    EXPECT_EQ(d, 10u);
+}
+
+TEST(TimingGolden, LoadToUseOnL1HitIsAgenPlusHit)
+{
+    // Pointer-chase of always-zero values: each link costs
+    // AGU issue (1) + 2-cycle hit + 1 cycle to issue the dependent
+    // op... measured as the exact per-link constant (warm cache).
+    auto unit = [](ProgramBuilder &b) {
+        b.lw(reg::t1, 0, reg::t0);      // loads 0 from sp-region? no:
+        b.add(reg::t0, reg::t0, reg::t1); // t0 unchanged (t1 == 0)
+    };
+    // Prime t0 with a heap address via the first iterations; the
+    // incremental cost cancels the cold misses.
+    auto mk = [&](int n) {
+        ProgramBuilder b("chase");
+        Addr buf = b.dataWords(16);
+        b.la(reg::t0, buf);
+        for (int i = 0; i < n; ++i)
+            unit(b);
+        b.halt();
+        return b.finish();
+    };
+    Program p1 = mk(32), p2 = mk(132);
+    std::uint64_t d =
+        cyclesOf(p2, config::baseline(2)) -
+        cyclesOf(p1, config::baseline(2));
+    // Per link: load addr gen (1) + hit (2) = ready 3 cycles after
+    // the chain value; the add issues the cycle the value is ready.
+    // Empirically the steady-state link cost is 4 cycles (AGU issue
+    // cycle + 2-cycle hit + 1-cycle add).
+    EXPECT_EQ(d, 100u * 4);
+}
+
+TEST(TimingGolden, LvcHitSavesOneCyclePerLink)
+{
+    // The same chase through the 1-cycle LVC: one cycle less per link.
+    auto mk = [&](int n) {
+        ProgramBuilder b("chase");
+        b.addi(reg::sp, reg::sp, -64);
+        b.move(reg::t0, reg::sp);
+        for (int i = 0; i < n; ++i) {
+            b.lw(reg::t1, 0, reg::t0, true); // stack region, zero
+            b.add(reg::t0, reg::t0, reg::t1);
+        }
+        b.halt();
+        return b.finish();
+    };
+    Program p1 = mk(32), p2 = mk(132);
+    config::MachineConfig dec = config::decoupled(2, 2);
+    std::uint64_t d = cyclesOf(p2, dec) - cyclesOf(p1, dec);
+    EXPECT_EQ(d, 100u * 3);
+}
+
+TEST(TimingGolden, ForwardingLatencyIsOneCycle)
+{
+    // store -> load -> add chain, all to the same frame slot: the
+    // load is satisfied by the 1-cycle queue forward, so each link
+    // costs store-data (0, ready) + forward (1) + add (1) + store (1).
+    auto mk = [&](int n) {
+        ProgramBuilder b("fwd");
+        b.addi(reg::sp, reg::sp, -16);
+        b.li(reg::t0, 1);
+        for (int i = 0; i < n; ++i) {
+            b.sw(reg::t0, 0, reg::sp, true);
+            b.lw(reg::t1, 0, reg::sp, true);
+            b.add(reg::t0, reg::t1, reg::t0);
+        }
+        b.halt();
+        return b.finish();
+    };
+    Program p1 = mk(16), p2 = mk(116);
+    config::MachineConfig cfg = config::baseline(4);
+    std::uint64_t d = cyclesOf(p2, cfg) - cyclesOf(p1, cfg);
+    // Per link: the store's data arrives (t0), the dependent load
+    // forwards one cycle later, the add consumes it the next cycle.
+    EXPECT_EQ(d, 100u * 2);
+}
+
+TEST(TimingGolden, CommitWidthBoundsThroughputExactly)
+{
+    auto unit = [](ProgramBuilder &b) {
+        b.addi(reg::t0, reg::zero, 1);
+    };
+    config::MachineConfig cfg = config::baseline(2);
+    cfg.commitWidth = 4;
+    std::uint64_t d = incrementalCost(unit, 160, 400, cfg);
+    EXPECT_EQ(d, 100u); // 400 insts / 4 per cycle
+}
+
+TEST(TimingGolden, SinglePortSerializesIndependentLoads)
+{
+    // Independent loads to distinct lines (no combining possible).
+    auto mk = [&](int n) {
+        ProgramBuilder b("ldburst");
+        Addr buf = b.dataWords(256);
+        b.la(reg::t0, buf);
+        int off = 0;
+        for (int i = 0; i < n; ++i)
+            b.lw(static_cast<RegId>(reg::t1 + (i % 4)),
+                 ((off++) % 8) * 64, reg::t0);
+        b.halt();
+        return b.finish();
+    };
+    // Both runs must be long enough that the single port (not the
+    // cold misses) is the binding resource.
+    Program p1 = mk(132), p2 = mk(332);
+    std::uint64_t d = cyclesOf(p2, config::baseline(1)) -
+                      cyclesOf(p1, config::baseline(1));
+    EXPECT_EQ(d, 200u); // one load per cycle through one port
+}
+
+TEST(TimingGolden, StoresThroughPortsAtCommit)
+{
+    // Independent stores: bound by the single cache port, one per
+    // cycle at commit.
+    auto mk = [&](int n) {
+        ProgramBuilder b("stburst");
+        Addr buf = b.dataWords(256);
+        b.la(reg::t0, buf);
+        for (int i = 0; i < n; ++i)
+            b.sw(reg::zero, (i % 8) * 64, reg::t0);
+        b.halt();
+        return b.finish();
+    };
+    Program p1 = mk(32), p2 = mk(232);
+    std::uint64_t d = cyclesOf(p2, config::baseline(1)) -
+                      cyclesOf(p1, config::baseline(1));
+    EXPECT_EQ(d, 200u);
+}
+
+TEST(TimingGolden, FastForwardBeatsNormalForwardUnderPortPressure)
+{
+    // A spill/reload pair competing with a stream of port-hogging
+    // loads: with fast forwarding the reload bypasses the ports.
+    auto mk = [&](bool fastFwd) {
+        ProgramBuilder b("ffwd");
+        b.addi(reg::sp, reg::sp, -32);
+        b.la(reg::t0, layout::HeapBase);
+        b.li(reg::s0, 200);
+        Label loop = b.here();
+        b.sw(reg::s0, 0, reg::sp, true);   // spill
+        b.lw(reg::t2, 0, reg::sp, true);   // reload (fast-fwd food)
+        b.sw(reg::t2, 4, reg::sp, true);   // dependent local store
+        b.lw(reg::t3, 8, reg::sp, true);   // port traffic
+        b.lw(reg::t4, 12, reg::sp, true);
+        b.addi(reg::s0, reg::s0, -1);
+        b.bgtz(reg::s0, loop);
+        b.halt();
+        Program p = b.finish();
+        config::MachineConfig cfg = config::decoupled(3, 1);
+        cfg.fastForward = fastFwd;
+        return cyclesOf(p, cfg);
+    };
+    std::uint64_t off = mk(false);
+    std::uint64_t on = mk(true);
+    EXPECT_LT(on, off);
+}

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Functional executor tests: memory semantics, arithmetic, control
+ * flow, calling convention, DynInst annotations (effective address,
+ * oracle stack classification, base-register versions) and the
+ * StreamStats accumulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prog/builder.hh"
+#include "util/log.hh"
+#include "vm/executor.hh"
+#include "vm/memory.hh"
+#include "vm/trace.hh"
+
+using namespace ddsim;
+using namespace ddsim::prog;
+using namespace ddsim::vm;
+namespace reg = ddsim::isa::reg;
+using ddsim::isa::OpCode;
+
+TEST(SparseMemory, ByteAndWordRoundTrip)
+{
+    SparseMemory m;
+    m.writeWord(0x1000, 0x11223344);
+    EXPECT_EQ(m.readWord(0x1000), 0x11223344u);
+    // Little-endian byte order.
+    EXPECT_EQ(m.readByte(0x1000), 0x44);
+    EXPECT_EQ(m.readByte(0x1003), 0x11);
+    m.writeByte(0x1001, 0xff);
+    EXPECT_EQ(m.readWord(0x1000), 0x1122ff44u);
+}
+
+TEST(SparseMemory, UntouchedMemoryReadsZero)
+{
+    SparseMemory m;
+    EXPECT_EQ(m.readWord(0x7fff0000), 0u);
+    EXPECT_EQ(m.readByte(123), 0u);
+}
+
+TEST(SparseMemory, DoubleCrossesPageBoundary)
+{
+    SparseMemory m;
+    Addr addr = SparseMemory::PageBytes - 4;
+    m.writeDouble(addr, 3.14159);
+    EXPECT_DOUBLE_EQ(m.readDouble(addr), 3.14159);
+}
+
+TEST(SparseMemory, UnalignedWordIsFatal)
+{
+    setQuiet(true);
+    SparseMemory m;
+    EXPECT_THROW(m.readWord(0x1001), FatalError);
+    EXPECT_THROW(m.writeWord(0x1002, 1), FatalError);
+}
+
+TEST(SparseMemory, SparseAllocation)
+{
+    SparseMemory m;
+    m.writeByte(0, 1);
+    m.writeByte(0x7000'0000, 1);
+    EXPECT_EQ(m.pagesAllocated(), 2u);
+}
+
+namespace {
+
+/** Build, run to halt and return the executor. */
+std::unique_ptr<Executor>
+runProgram(Program &p, std::uint64_t maxInsts = 100000)
+{
+    auto exec = std::make_unique<Executor>(p);
+    exec->run(maxInsts);
+    EXPECT_TRUE(exec->halted()) << "program did not halt";
+    return exec;
+}
+
+} // namespace
+
+TEST(Executor, ArithmeticBasics)
+{
+    ProgramBuilder b("t");
+    b.li(reg::t0, 21);
+    b.li(reg::t1, 2);
+    b.mul(reg::t2, reg::t0, reg::t1);
+    b.print(reg::t2);            // 42
+    b.sub(reg::t3, reg::t0, reg::t1);
+    b.print(reg::t3);            // 19
+    b.div(reg::t4, reg::t0, reg::t1);
+    b.print(reg::t4);            // 10
+    b.li(reg::t5, -7);
+    b.sra(reg::t6, reg::t5, 1);
+    b.print(reg::t6);            // -4 (arithmetic shift)
+    b.halt();
+    Program p = b.finish();
+    auto exec = runProgram(p);
+    ASSERT_EQ(exec->printed().size(), 4u);
+    EXPECT_EQ(exec->printed()[0], 42u);
+    EXPECT_EQ(exec->printed()[1], 19u);
+    EXPECT_EQ(exec->printed()[2], 10u);
+    EXPECT_EQ(static_cast<SWord>(exec->printed()[3]), -4);
+}
+
+TEST(Executor, DivByZeroIsZero)
+{
+    ProgramBuilder b("t");
+    b.li(reg::t0, 5);
+    b.div(reg::t1, reg::t0, reg::zero);
+    b.print(reg::t1);
+    b.halt();
+    Program p = b.finish();
+    auto exec = runProgram(p);
+    EXPECT_EQ(exec->printed()[0], 0u);
+}
+
+TEST(Executor, ZeroRegisterIsImmutable)
+{
+    ProgramBuilder b("t");
+    b.addi(reg::zero, reg::zero, 99);
+    b.print(reg::zero);
+    b.halt();
+    Program p = b.finish();
+    auto exec = runProgram(p);
+    EXPECT_EQ(exec->printed()[0], 0u);
+}
+
+TEST(Executor, LiLargeAndNegativeValues)
+{
+    ProgramBuilder b("t");
+    b.li(reg::t0, 0x12345678);
+    b.print(reg::t0);
+    b.li(reg::t1, -100000);
+    b.print(reg::t1);
+    b.halt();
+    Program p = b.finish();
+    auto exec = runProgram(p);
+    EXPECT_EQ(exec->printed()[0], 0x12345678u);
+    EXPECT_EQ(static_cast<SWord>(exec->printed()[1]), -100000);
+}
+
+TEST(Executor, LoadStoreBytesAndWords)
+{
+    ProgramBuilder b("t");
+    Addr buf = b.dataWords(2);
+    b.la(reg::t0, buf);
+    b.li(reg::t1, -2);             // 0xfffffffe
+    b.sw(reg::t1, 0, reg::t0);
+    b.lb(reg::t2, 0, reg::t0);     // sign-extended 0xfe -> -2
+    b.print(reg::t2);
+    b.lbu(reg::t3, 0, reg::t0);    // zero-extended -> 254
+    b.print(reg::t3);
+    b.li(reg::t4, 0xab);
+    b.sb(reg::t4, 5, reg::t0);     // second word, byte 1
+    b.lw(reg::t5, 4, reg::t0);
+    b.print(reg::t5);
+    b.halt();
+    Program p = b.finish();
+    auto exec = runProgram(p);
+    EXPECT_EQ(static_cast<SWord>(exec->printed()[0]), -2);
+    EXPECT_EQ(exec->printed()[1], 254u);
+    EXPECT_EQ(exec->printed()[2], 0xab00u);
+}
+
+TEST(Executor, FloatingPoint)
+{
+    ProgramBuilder b("t");
+    Addr d = b.dataDouble(2.5);
+    b.la(reg::t0, d);
+    b.ld(1, 0, reg::t0);
+    b.li(reg::t1, 4);
+    b.cvtDW(2, reg::t1);          // f2 = 4.0
+    b.mulD(3, 1, 2);              // 10.0
+    b.addD(3, 3, 2);              // 14.0
+    b.divD(4, 3, 2);              // 3.5
+    b.cvtWD(reg::t2, 4);          // 3
+    b.print(reg::t2);
+    b.cLtD(reg::t3, 2, 3);        // 4.0 < 14.0 -> 1
+    b.print(reg::t3);
+    b.negD(5, 4);
+    b.cvtWD(reg::t4, 5);          // -3
+    b.print(reg::t4);
+    b.halt();
+    Program p = b.finish();
+    auto exec = runProgram(p);
+    EXPECT_EQ(exec->printed()[0], 3u);
+    EXPECT_EQ(exec->printed()[1], 1u);
+    EXPECT_EQ(static_cast<SWord>(exec->printed()[2]),
+              -3);
+}
+
+TEST(Executor, FibonacciLoop)
+{
+    ProgramBuilder b("t");
+    b.li(reg::t0, 0);   // fib(0)
+    b.li(reg::t1, 1);   // fib(1)
+    b.li(reg::t2, 10);  // count
+    Label loop = b.here();
+    b.add(reg::t3, reg::t0, reg::t1);
+    b.move(reg::t0, reg::t1);
+    b.move(reg::t1, reg::t3);
+    b.addi(reg::t2, reg::t2, -1);
+    b.bgtz(reg::t2, loop);
+    b.print(reg::t1);   // fib(11) = 89
+    b.halt();
+    Program p = b.finish();
+    auto exec = runProgram(p);
+    EXPECT_EQ(exec->printed()[0], 89u);
+}
+
+TEST(Executor, RecursiveFactorialWithFrames)
+{
+    ProgramBuilder b("t");
+    Label main = b.newLabel("main");
+    Label fact = b.newLabel("fact");
+
+    b.bind(main);
+    b.li(reg::a0, 6);
+    b.jal(fact);
+    b.print(reg::v0);     // 720
+    b.halt();
+
+    b.bind(fact);
+    Label rec = b.newLabel();
+    b.bgtz(reg::a0, rec);
+    b.li(reg::v0, 1);
+    b.ret();
+    b.bind(rec);
+    FrameSpec f;
+    f.localWords = 1;
+    f.savedRegs = {reg::s0};
+    b.prologue(f);
+    b.move(reg::s0, reg::a0);
+    b.addi(reg::a0, reg::a0, -1);
+    b.jal(fact);
+    b.mul(reg::v0, reg::v0, reg::s0);
+    b.epilogue(f);
+
+    Program p = b.finish();
+    p.setEntry(p.symbol("main"));
+    auto exec = runProgram(p);
+    EXPECT_EQ(exec->printed()[0], 720u);
+}
+
+TEST(Executor, ReturnFromMainHalts)
+{
+    // A program whose entry returns via the sentinel ra.
+    ProgramBuilder b("t");
+    b.li(reg::v0, 5);
+    b.ret();
+    Program p = b.finish();
+    auto exec = runProgram(p);
+    EXPECT_TRUE(exec->halted());
+    EXPECT_EQ(exec->gpr(reg::v0), 5u);
+}
+
+TEST(Executor, DynInstMemAnnotations)
+{
+    ProgramBuilder b("t");
+    b.addi(reg::sp, reg::sp, -16);
+    b.sw(reg::t0, 4, reg::sp, true);  // stack store, marked local
+    Addr g = b.dataWord(7);
+    b.la(reg::t1, g);
+    b.lw(reg::t2, 0, reg::t1);        // global load
+    b.halt();
+    Program p = b.finish();
+    Executor exec(p);
+
+    DynInst adj = exec.step();
+    EXPECT_EQ(adj.frameAllocBytes(), 16u);
+
+    DynInst st = exec.step();
+    EXPECT_TRUE(st.isStore());
+    EXPECT_EQ(st.effAddr, layout::StackBase - 16 + 4);
+    EXPECT_TRUE(st.stackAccess);
+    EXPECT_TRUE(st.inst.localHint);
+    EXPECT_EQ(st.accessSize, 4);
+
+    // Skip over the la expansion (1 or 2 instructions) to the load.
+    DynInst ld{};
+    bool foundLoad = false;
+    while (!exec.halted()) {
+        ld = exec.step();
+        if (ld.isLoad()) {
+            foundLoad = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(foundLoad);
+    EXPECT_TRUE(ld.isLoad());
+    EXPECT_EQ(ld.effAddr, g);
+    EXPECT_FALSE(ld.stackAccess);
+    EXPECT_FALSE(ld.inst.localHint);
+}
+
+TEST(Executor, BaseVersionTracksSpWrites)
+{
+    ProgramBuilder b("t");
+    b.sw(reg::t0, 0, reg::sp, true);   // version A
+    b.sw(reg::t0, 4, reg::sp, true);   // version A
+    b.addi(reg::sp, reg::sp, -8);      // sp changes
+    b.sw(reg::t0, 0, reg::sp, true);   // version B
+    b.halt();
+    Program p = b.finish();
+    Executor exec(p);
+    DynInst s1 = exec.step();
+    DynInst s2 = exec.step();
+    exec.step();
+    DynInst s3 = exec.step();
+    EXPECT_EQ(s1.baseVersion, s2.baseVersion);
+    EXPECT_NE(s2.baseVersion, s3.baseVersion);
+}
+
+TEST(Executor, StepAfterHaltPanics)
+{
+    setQuiet(true);
+    ProgramBuilder b("t");
+    b.halt();
+    Program p = b.finish();
+    Executor exec(p);
+    exec.step();
+    EXPECT_TRUE(exec.halted());
+    EXPECT_THROW(exec.step(), PanicError);
+}
+
+TEST(Executor, DeterministicExecution)
+{
+    ProgramBuilder b("t");
+    b.li(reg::t0, 1000);
+    Label loop = b.here();
+    b.addi(reg::t0, reg::t0, -1);
+    b.bgtz(reg::t0, loop);
+    b.halt();
+    Program p = b.finish();
+
+    Executor e1(p), e2(p);
+    while (!e1.halted()) {
+        DynInst a = e1.step();
+        DynInst bi = e2.step();
+        EXPECT_EQ(a.pcIdx, bi.pcIdx);
+        EXPECT_EQ(a.effAddr, bi.effAddr);
+    }
+    EXPECT_TRUE(e2.halted());
+    EXPECT_EQ(e1.instsExecuted(), e2.instsExecuted());
+}
+
+TEST(StreamStats, CountsMixAndFrames)
+{
+    ProgramBuilder b("t");
+    Label main = b.newLabel("main");
+    Label fn = b.newLabel("fn");
+    b.bind(main);
+    b.jal(fn);
+    b.jal(fn);
+    b.halt();
+    b.bind(fn);
+    FrameSpec f;
+    f.localWords = 3;
+    f.savedRegs = {reg::s0};
+    b.prologue(f);       // 1 alloc of 5 words + 2 local stores
+    b.loadLocal(reg::t0, 0);
+    b.epilogue(f);
+    Program p = b.finish();
+    p.setEntry(p.symbol("main"));
+
+    Executor exec(p);
+    stats::Group root(nullptr, "");
+    StreamStats ss(&root);
+    while (!exec.halted())
+        ss.record(exec.step());
+
+    EXPECT_EQ(ss.calls.value(), 2u);
+    EXPECT_EQ(ss.returns.value(), 2u);
+    EXPECT_EQ(ss.frameWords.samples(), 2u);
+    EXPECT_DOUBLE_EQ(ss.frameWords.mean(), 5.0);
+    EXPECT_EQ(ss.localStores.value(), 4u);  // 2 saves x 2 calls
+    EXPECT_EQ(ss.localLoads.value(), 6u);   // (1 + 2 restores) x 2
+    EXPECT_DOUBLE_EQ(ss.meanStaticFrameWords(), 5.0);
+    EXPECT_EQ(ss.staticFrames().size(), 1u);
+    EXPECT_DOUBLE_EQ(ss.localLoadFrac(), 1.0);
+    EXPECT_DOUBLE_EQ(ss.localStoreFrac(), 1.0);
+}

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Golden-value semantics tests for every MISA opcode, driven through
+ * the text assembler and the functional executor: each case runs a
+ * tiny program and checks the PRINTed results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prog/asm_parser.hh"
+#include "util/types.hh"
+#include "vm/executor.hh"
+
+using namespace ddsim;
+
+namespace {
+
+/** Assemble, run, and return the PRINT output. */
+std::vector<Word>
+runAsm(const std::string &body)
+{
+    prog::Program p = prog::assemble("main:\n" + body + "    halt\n");
+    vm::Executor exec(p);
+    exec.run(100000);
+    EXPECT_TRUE(exec.halted());
+    return exec.printed();
+}
+
+Word
+runOne(const std::string &body)
+{
+    auto out = runAsm(body);
+    EXPECT_EQ(out.size(), 1u);
+    return out.empty() ? 0xdeadbeef : out[0];
+}
+
+SWord
+runOneS(const std::string &body)
+{
+    return static_cast<SWord>(runOne(body));
+}
+
+} // namespace
+
+// ---- Integer register-register ----
+
+TEST(OpSemantics, Add)
+{
+    EXPECT_EQ(runOne("li t0, 40\n li t1, 2\n add t2, t0, t1\n"
+                     "print t2\n"),
+              42u);
+}
+
+TEST(OpSemantics, AddWrapsOnOverflow)
+{
+    EXPECT_EQ(runOne("li t0, 0x7fffffff\n li t1, 1\n"
+                     "add t2, t0, t1\n print t2\n"),
+              0x80000000u);
+}
+
+TEST(OpSemantics, Sub)
+{
+    EXPECT_EQ(runOneS("li t0, 10\n li t1, 13\n sub t2, t0, t1\n"
+                      "print t2\n"),
+              -3);
+}
+
+TEST(OpSemantics, Mul)
+{
+    EXPECT_EQ(runOneS("li t0, -6\n li t1, 7\n mul t2, t0, t1\n"
+                      "print t2\n"),
+              -42);
+}
+
+TEST(OpSemantics, DivTruncatesTowardZero)
+{
+    EXPECT_EQ(runOneS("li t0, -7\n li t1, 2\n div t2, t0, t1\n"
+                      "print t2\n"),
+              -3);
+    EXPECT_EQ(runOne("li t0, 7\n li t1, 2\n div t2, t0, t1\n"
+                     "print t2\n"),
+              3u);
+}
+
+TEST(OpSemantics, Logicals)
+{
+    EXPECT_EQ(runOne("li t0, 0xf0f0\n li t1, 0x0ff0\n"
+                     "and t2, t0, t1\n print t2\n"),
+              0x00f0u);
+    EXPECT_EQ(runOne("li t0, 0xf0f0\n li t1, 0x0ff0\n"
+                     "or t2, t0, t1\n print t2\n"),
+              0xfff0u);
+    EXPECT_EQ(runOne("li t0, 0xf0f0\n li t1, 0x0ff0\n"
+                     "xor t2, t0, t1\n print t2\n"),
+              0xff00u);
+    EXPECT_EQ(runOne("li t0, 0\n li t1, 0\n nor t2, t0, t1\n"
+                     "print t2\n"),
+              0xffffffffu);
+}
+
+TEST(OpSemantics, SetLessThan)
+{
+    EXPECT_EQ(runOne("li t0, -1\n li t1, 1\n slt t2, t0, t1\n"
+                     "print t2\n"),
+              1u);
+    // Unsigned: 0xffffffff is large.
+    EXPECT_EQ(runOne("li t0, -1\n li t1, 1\n sltu t2, t0, t1\n"
+                     "print t2\n"),
+              0u);
+}
+
+TEST(OpSemantics, VariableShifts)
+{
+    EXPECT_EQ(runOne("li t0, 1\n li t1, 5\n sllv t2, t0, t1\n"
+                     "print t2\n"),
+              32u);
+    EXPECT_EQ(runOne("li t0, 0x80000000\n li t1, 31\n"
+                     "srlv t2, t0, t1\n print t2\n"),
+              1u);
+    EXPECT_EQ(runOneS("li t0, -32\n li t1, 4\n srav t2, t0, t1\n"
+                      "print t2\n"),
+              -2);
+    // Shift amounts use only the low 5 bits.
+    EXPECT_EQ(runOne("li t0, 1\n li t1, 33\n sllv t2, t0, t1\n"
+                     "print t2\n"),
+              2u);
+}
+
+TEST(OpSemantics, ImmediateShifts)
+{
+    EXPECT_EQ(runOne("li t0, 3\n sll t1, t0, 4\n print t1\n"), 48u);
+    EXPECT_EQ(runOne("li t0, 0x100\n srl t1, t0, 4\n print t1\n"),
+              16u);
+    EXPECT_EQ(runOneS("li t0, -256\n sra t1, t0, 4\n print t1\n"),
+              -16);
+}
+
+// ---- Integer immediates ----
+
+TEST(OpSemantics, AddiSignExtends)
+{
+    EXPECT_EQ(runOneS("li t0, 5\n addi t1, t0, -9\n print t1\n"), -4);
+}
+
+TEST(OpSemantics, LogicalImmediatesZeroExtend)
+{
+    EXPECT_EQ(runOne("li t0, -1\n andi t1, t0, 0xff00\n print t1\n"),
+              0xff00u);
+    EXPECT_EQ(runOne("li t0, 0\n ori t1, t0, 0xffff\n print t1\n"),
+              0xffffu);
+    EXPECT_EQ(runOne("li t0, 0xffff\n xori t1, t0, 0xff00\n"
+                     "print t1\n"),
+              0x00ffu);
+}
+
+TEST(OpSemantics, SltiAndLui)
+{
+    EXPECT_EQ(runOne("li t0, -5\n slti t1, t0, 0\n print t1\n"), 1u);
+    EXPECT_EQ(runOne("lui t0, 0xabcd\n print t0\n"), 0xabcd0000u);
+}
+
+// ---- Memory ----
+
+TEST(OpSemantics, WordRoundTrip)
+{
+    EXPECT_EQ(runOne(".data\nbuf: .space 16\n.text\n"
+                     "la t0, buf\n li t1, 0x12345678\n"
+                     "sw t1, 8(t0)\n lw t2, 8(t0)\n print t2\n"),
+              0x12345678u);
+}
+
+TEST(OpSemantics, ByteSignedAndUnsigned)
+{
+    EXPECT_EQ(runOneS(".data\nbuf: .space 4\n.text\n"
+                      "la t0, buf\n li t1, 0x80\n sb t1, 0(t0)\n"
+                      "lb t2, 0(t0)\n print t2\n"),
+              -128);
+    EXPECT_EQ(runOne(".data\nbuf: .space 4\n.text\n"
+                     "la t0, buf\n li t1, 0x80\n sb t1, 0(t0)\n"
+                     "lbu t2, 0(t0)\n print t2\n"),
+              128u);
+}
+
+TEST(OpSemantics, NegativeOffsets)
+{
+    EXPECT_EQ(runOne(".data\nbuf: .space 32\n.text\n"
+                     "la t0, buf\n addi t0, t0, 16\n"
+                     "li t1, 77\n sw t1, -8(t0)\n"
+                     "lw t2, -8(t0)\n print t2\n"),
+              77u);
+}
+
+TEST(OpSemantics, DoubleRoundTrip)
+{
+    EXPECT_EQ(runOne(".data\nbuf: .align 8\n .space 16\n.text\n"
+                     "la t0, buf\n li t1, 3\n cvt.d.w f1, t1\n"
+                     "sd f1, 0(t0)\n ld f2, 0(t0)\n"
+                     "cvt.w.d t2, f2\n print t2\n"),
+              3u);
+}
+
+// ---- Branches ----
+
+TEST(OpSemantics, BranchTakenAndNot)
+{
+    // beq taken.
+    EXPECT_EQ(runOne("li t0, 5\n li t1, 5\n li t2, 0\n"
+                     "beq t0, t1, yes\n li t2, 1\n"
+                     "yes: print t2\n"),
+              0u);
+    // bne not taken.
+    EXPECT_EQ(runOne("li t0, 5\n li t1, 5\n li t2, 0\n"
+                     "bne t0, t1, yes2\n li t2, 1\n"
+                     "yes2: print t2\n"),
+              1u);
+}
+
+TEST(OpSemantics, SignBranches)
+{
+    EXPECT_EQ(runOne("li t0, 0\n li t2, 0\n blez t0, a\n li t2, 1\n"
+                     "a: print t2\n"),
+              0u); // 0 <= 0: taken
+    EXPECT_EQ(runOne("li t0, 0\n li t2, 0\n bgtz t0, b\n li t2, 1\n"
+                     "b: print t2\n"),
+              1u); // 0 > 0 false: not taken
+    EXPECT_EQ(runOne("li t0, -3\n li t2, 0\n bltz t0, c\n li t2, 1\n"
+                     "c: print t2\n"),
+              0u);
+    EXPECT_EQ(runOne("li t0, 0\n li t2, 0\n bgez t0, d\n li t2, 1\n"
+                     "d: print t2\n"),
+              0u);
+}
+
+TEST(OpSemantics, JalrIndirectCall)
+{
+    // Build a function-pointer call: la + jalr.
+    EXPECT_EQ(runOne("j start\n"
+                     "fn: li v0, 99\n jr ra\n"
+                     "start: la t0, 0x400004\n" // byte addr of fn
+                     "jalr ra, t0\n print v0\n"),
+              99u);
+}
+
+// ---- Floating point ----
+
+TEST(OpSemantics, FpArithmetic)
+{
+    EXPECT_EQ(runOne("li t0, 9\n cvt.d.w f1, t0\n"
+                     "li t1, 4\n cvt.d.w f2, t1\n"
+                     "sub.d f3, f1, f2\n"    // 5.0
+                     "mul.d f4, f3, f3\n"    // 25.0
+                     "div.d f5, f4, f2\n"    // 6.25
+                     "cvt.w.d t2, f5\n print t2\n"),
+              6u);
+}
+
+TEST(OpSemantics, FpMoveNegCompare)
+{
+    EXPECT_EQ(runOneS("li t0, 8\n cvt.d.w f1, t0\n"
+                      "neg.d f2, f1\n mov.d f3, f2\n"
+                      "cvt.w.d t1, f3\n print t1\n"),
+              -8);
+    EXPECT_EQ(runOne("li t0, 1\n cvt.d.w f1, t0\n"
+                     "li t1, 2\n cvt.d.w f2, t1\n"
+                     "c.lt.d t2, f1, f2\n print t2\n"),
+              1u);
+    EXPECT_EQ(runOne("li t0, 2\n cvt.d.w f1, t0\n"
+                     "c.le.d t2, f1, f1\n print t2\n"),
+              1u);
+    EXPECT_EQ(runOne("li t0, 2\n cvt.d.w f1, t0\n"
+                     "li t1, 3\n cvt.d.w f2, t1\n"
+                     "c.eq.d t2, f1, f2\n print t2\n"),
+              0u);
+}
+
+// ---- Misc ----
+
+TEST(OpSemantics, NopChangesNothing)
+{
+    EXPECT_EQ(runOne("li t0, 7\n nop\n nop\n print t0\n"), 7u);
+}
+
+TEST(OpSemantics, PrintOrderIsProgramOrder)
+{
+    auto out = runAsm("li t0, 1\n print t0\n li t0, 2\n print t0\n"
+                      "li t0, 3\n print t0\n");
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 1u);
+    EXPECT_EQ(out[1], 2u);
+    EXPECT_EQ(out[2], 3u);
+}
+
+TEST(OpSemantics, MovePseudo)
+{
+    EXPECT_EQ(runOne("li t0, 123\n move t1, t0\n print t1\n"), 123u);
+}
