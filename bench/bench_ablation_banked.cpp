@@ -31,29 +31,40 @@ main(int argc, char **argv)
                       "(2+2)opt banked 2x4"});
     std::vector<double> b4, dec, decB;
 
+    std::vector<sim::SweepJob> jobs;
     for (const auto *info : opts.programs) {
-        prog::Program program = buildProgram(*info, opts);
-        sim::SimResult ideal = sim::run(program, config::baseline(4));
-
-        std::vector<std::string> row{info->paperName};
+        auto program = buildProgramShared(*info, opts);
+        jobs.push_back({program, config::baseline(4)});
         for (int banks : {4, 8, 16}) {
             config::MachineConfig cfg = config::baseline(4);
             cfg.l1.banks = banks;
-            sim::SimResult r = sim::run(program, cfg);
+            jobs.push_back({program, cfg});
+        }
+        jobs.push_back({program, config::decoupledOptimized(2, 2)});
+        config::MachineConfig db = config::decoupledOptimized(2, 2);
+        db.l1.banks = 4;
+        db.lvc.banks = 4;
+        jobs.push_back({program, db});
+    }
+    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+
+    std::size_t k = 0;
+    for (const auto *info : opts.programs) {
+        sim::SimResult ideal = results[k++];
+
+        std::vector<std::string> row{info->paperName};
+        for (int banks : {4, 8, 16}) {
+            sim::SimResult r = results[k++];
             row.push_back(sim::Table::num(r.ipc / ideal.ipc, 3));
             if (banks == 4)
                 b4.push_back(r.ipc / ideal.ipc);
         }
 
-        sim::SimResult d =
-            sim::run(program, config::decoupledOptimized(2, 2));
+        sim::SimResult d = results[k++];
         row.push_back(sim::Table::num(d.ipc / ideal.ipc, 3));
         dec.push_back(d.ipc / ideal.ipc);
 
-        config::MachineConfig db = config::decoupledOptimized(2, 2);
-        db.l1.banks = 4;
-        db.lvc.banks = 4;
-        sim::SimResult d2 = sim::run(program, db);
+        sim::SimResult d2 = results[k++];
         row.push_back(sim::Table::num(d2.ipc / ideal.ipc, 3));
         decB.push_back(d2.ipc / ideal.ipc);
 

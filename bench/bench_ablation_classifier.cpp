@@ -39,17 +39,26 @@ main(int argc, char **argv)
                       "spbase", "predictor", "replicate",
                       "pred. accuracy", "pred. missteers"});
 
+    std::vector<sim::SweepJob> jobs;
     for (const auto *info : opts.programs) {
-        prog::Program program = buildProgram(*info, opts);
+        auto program = buildProgramShared(*info, opts);
+        for (ClassifierKind kind : kinds) {
+            config::MachineConfig cfg =
+                config::decoupledOptimized(3, 2);
+            cfg.classifier = kind;
+            jobs.push_back({program, cfg});
+        }
+    }
+    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+
+    std::size_t k = 0;
+    for (const auto *info : opts.programs) {
         std::vector<std::string> row{info->paperName};
         double accuracy = 0;
         std::uint64_t missteers = 0;
         double oracleIpc = 0;
         for (ClassifierKind kind : kinds) {
-            config::MachineConfig cfg =
-                config::decoupledOptimized(3, 2);
-            cfg.classifier = kind;
-            sim::SimResult r = sim::run(program, cfg);
+            sim::SimResult r = results[k++];
             if (kind == ClassifierKind::Oracle) {
                 oracleIpc = r.ipc;
                 row.push_back(sim::Table::num(r.ipc, 3));

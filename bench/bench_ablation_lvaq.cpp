@@ -27,19 +27,29 @@ main(int argc, char **argv)
     sim::Table table({"program", "8", "16", "32", "64(IPC)", "128",
                       "fastFwd@8", "fastFwd@64"});
 
+    std::vector<sim::SweepJob> jobs;
     for (const auto *info : opts.programs) {
-        prog::Program program = buildProgram(*info, opts);
+        auto program = buildProgramShared(*info, opts);
         config::MachineConfig ref = config::decoupledOptimized(3, 2);
         ref.lvaqSize = 64;
-        sim::SimResult base = sim::run(program, ref);
-
-        std::vector<std::string> row{info->paperName};
-        std::uint64_t ff8 = 0;
+        jobs.push_back({program, ref});
         for (int size : sizes) {
             config::MachineConfig cfg =
                 config::decoupledOptimized(3, 2);
             cfg.lvaqSize = size;
-            sim::SimResult r = sim::run(program, cfg);
+            jobs.push_back({program, cfg});
+        }
+    }
+    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+
+    std::size_t k = 0;
+    for (const auto *info : opts.programs) {
+        sim::SimResult base = results[k++];
+
+        std::vector<std::string> row{info->paperName};
+        std::uint64_t ff8 = 0;
+        for (int size : sizes) {
+            sim::SimResult r = results[k++];
             if (size == 8)
                 ff8 = r.lvaqFastForwards;
             if (size == 64)

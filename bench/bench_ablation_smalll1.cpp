@@ -36,25 +36,36 @@ main(int argc, char **argv)
                       "L2=8: small/dec", "L2=12: small/dec"});
     std::vector<std::vector<double>> smallRel(4), decRel(4);
 
+    std::vector<sim::SweepJob> jobs;
     for (const auto *info : opts.programs) {
-        prog::Program program = buildProgram(*info, opts);
-        std::vector<std::string> row{info->paperName};
+        auto program = buildProgramShared(*info, opts);
         for (int i = 0; i < 4; ++i) {
             config::MachineConfig conv = config::baseline(4);
             conv.l2.hitLatency = l2Lats[i];
-            sim::SimResult c = sim::run(program, conv);
+            jobs.push_back({program, conv});
 
             config::MachineConfig tiny = config::baseline(4);
             tiny.l2.hitLatency = l2Lats[i];
             tiny.l1.sizeBytes = 2048;
             tiny.l1.assoc = 1;
             tiny.l1.hitLatency = 1;
-            sim::SimResult t = sim::run(program, tiny);
+            jobs.push_back({program, tiny});
 
             config::MachineConfig dec =
                 config::decoupledOptimized(2, 2);
             dec.l2.hitLatency = l2Lats[i];
-            sim::SimResult d = sim::run(program, dec);
+            jobs.push_back({program, dec});
+        }
+    }
+    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+
+    std::size_t k = 0;
+    for (const auto *info : opts.programs) {
+        std::vector<std::string> row{info->paperName};
+        for (int i = 0; i < 4; ++i) {
+            sim::SimResult c = results[k++];
+            sim::SimResult t = results[k++];
+            sim::SimResult d = results[k++];
 
             double ts = t.ipc / c.ipc;
             double ds = d.ipc / c.ipc;

@@ -15,6 +15,11 @@ Options::Options(int argc, const char *const *argv)
     if (scaleFactor <= 0)
         fatal("--scale must be positive");
 
+    std::int64_t j = args.getInt("jobs", 0); // 0 = auto
+    if (j < 0)
+        fatal("--jobs must be >= 0 (0 = one per hardware thread)");
+    jobs = static_cast<unsigned>(j);
+
     std::vector<std::string> names;
     if (args.has("programs")) {
         for (auto &n : split(args.get("programs"), ','))
@@ -43,6 +48,23 @@ buildProgram(const workloads::WorkloadInfo &info, const Options &opts)
         static_cast<double>(info.defaultScale) * opts.scaleFactor;
     p.scale = scaled < 1.0 ? 1 : static_cast<std::uint64_t>(scaled);
     return info.factory(p);
+}
+
+std::shared_ptr<const prog::Program>
+buildProgramShared(const workloads::WorkloadInfo &info,
+                   const Options &opts)
+{
+    static sim::ProgramCache cache;
+    std::string key = std::string(info.name) + "@" +
+                      std::to_string(opts.scaleFactor);
+    return cache.get(key,
+                     [&info, &opts] { return buildProgram(info, opts); });
+}
+
+std::vector<sim::SimResult>
+runGrid(const Options &opts, std::vector<sim::SweepJob> jobs)
+{
+    return sim::SweepRunner::runAll(std::move(jobs), opts.jobs);
 }
 
 double

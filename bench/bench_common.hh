@@ -3,25 +3,29 @@
  * Shared harness for the bench binaries. Every bench regenerates one
  * table or figure of the paper: it selects workloads, builds them at
  * comparable dynamic lengths, sweeps machine configurations through
- * sim::run() and prints the same rows/series the paper reports, plus
- * a note stating what shape the paper observed.
+ * sim::SweepRunner and prints the same rows/series the paper reports,
+ * plus a note stating what shape the paper observed.
  *
  * Common flags (all optional):
  *   --scale=<f>      work multiplier (default 1.0 ~ 300 K insts/run)
  *   --programs=a,b   comma-separated subset (short or paper names)
  *   --int            integer programs only
  *   --fp             floating-point programs only
+ *   --jobs=<n>       worker threads for the sweep (default: one per
+ *                    hardware thread; results are identical for any n)
  */
 
 #ifndef DDSIM_BENCH_BENCH_COMMON_HH_
 #define DDSIM_BENCH_BENCH_COMMON_HH_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "config/cli.hh"
 #include "prog/program.hh"
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "sim/table.hh"
 #include "workloads/common.hh"
 
@@ -31,6 +35,8 @@ namespace ddsim::bench {
 struct Options
 {
     double scaleFactor = 1.0;
+    /** Sweep worker threads (0 = one per hardware thread). */
+    unsigned jobs = 0;
     std::vector<const workloads::WorkloadInfo *> programs;
     config::CliArgs args;
 
@@ -40,6 +46,21 @@ struct Options
 /** Build one workload at the harness-selected length. */
 prog::Program buildProgram(const workloads::WorkloadInfo &info,
                            const Options &opts);
+
+/**
+ * Memoized variant of buildProgram: each workload is built once per
+ * process and shared read-only by every sweep job that references it.
+ */
+std::shared_ptr<const prog::Program>
+buildProgramShared(const workloads::WorkloadInfo &info,
+                   const Options &opts);
+
+/**
+ * Run a job grid through a SweepRunner sized by --jobs and return the
+ * results in submission order.
+ */
+std::vector<sim::SimResult> runGrid(const Options &opts,
+                                    std::vector<sim::SweepJob> jobs);
 
 /** Geometric mean (of speedups/ratios). */
 double geomean(const std::vector<double> &values);

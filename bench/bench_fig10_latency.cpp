@@ -40,26 +40,34 @@ main(int argc, char **argv)
                       "(4+0)@3cyc", "(3+3)opt", "(2+2)opt lvc@2cyc"});
     std::vector<double> intD22, intD40s, fpD22, fpD40s;
 
+    std::vector<sim::SweepJob> jobs;
     for (const auto *info : opts.programs) {
-        prog::Program program = buildProgram(*info, opts);
-        sim::SimResult base = sim::run(program, config::baseline(2));
-
-        sim::SimResult d22 =
-            sim::run(program, config::decoupledOptimized(2, 2));
-
-        sim::SimResult c40 = sim::run(program, config::baseline(4));
+        auto program = buildProgramShared(*info, opts);
+        jobs.push_back({program, config::baseline(2)});
+        jobs.push_back({program, config::decoupledOptimized(2, 2)});
+        jobs.push_back({program, config::baseline(4)});
 
         config::MachineConfig slow40 = config::baseline(4);
         slow40.l1.hitLatency = 3;
-        sim::SimResult s40 = sim::run(program, slow40);
+        jobs.push_back({program, slow40});
 
-        sim::SimResult d33 =
-            sim::run(program, config::decoupledOptimized(3, 3));
+        jobs.push_back({program, config::decoupledOptimized(3, 3)});
 
         config::MachineConfig slowLvc =
             config::decoupledOptimized(2, 2);
         slowLvc.lvc.hitLatency = 2;
-        sim::SimResult d22s = sim::run(program, slowLvc);
+        jobs.push_back({program, slowLvc});
+    }
+    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+
+    std::size_t k = 0;
+    for (const auto *info : opts.programs) {
+        sim::SimResult base = results[k++];
+        sim::SimResult d22 = results[k++];
+        sim::SimResult c40 = results[k++];
+        sim::SimResult s40 = results[k++];
+        sim::SimResult d33 = results[k++];
+        sim::SimResult d22s = results[k++];
 
         table.addRow({info->paperName,
                       sim::Table::num(d22.ipc / base.ipc, 3),

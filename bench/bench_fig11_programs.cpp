@@ -42,20 +42,29 @@ main(int argc, char **argv)
            ">25% gain from a 2-port LVC at N=2 for li-class; <2% at "
            "N=4; swim nearly flat");
 
+    std::vector<sim::SweepJob> jobs;
     for (const auto *info : opts.programs) {
-        prog::Program program = buildProgram(*info, opts);
-        sim::SimResult base = sim::run(program, config::baseline(2));
+        auto program = buildProgramShared(*info, opts);
+        jobs.push_back({program, config::baseline(2)});
+        for (int n : {2, 3, 4})
+            for (int m : {0, 1, 2, 3})
+                jobs.push_back(
+                    {program, m == 0 ? config::baseline(n)
+                                     : config::decoupledOptimized(n, m)});
+    }
+    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+
+    std::size_t k = 0;
+    for (const auto *info : opts.programs) {
+        sim::SimResult base = results[k++];
 
         std::printf("\n%s (IPC at (2+0): %.3f):\n\n",
                     info->paperName, base.ipc);
         sim::Table table({"config", "M=0", "M=1", "M=2", "M=3"});
         for (int n : {2, 3, 4}) {
             std::vector<std::string> row{"N=" + std::to_string(n)};
-            for (int m : {0, 1, 2, 3}) {
-                config::MachineConfig cfg =
-                    m == 0 ? config::baseline(n)
-                           : config::decoupledOptimized(n, m);
-                sim::SimResult r = sim::run(program, cfg);
+            for (int col = 0; col < 4; ++col) {
+                sim::SimResult r = results[k++];
                 row.push_back(sim::Table::num(r.ipc / base.ipc, 3));
             }
             table.addRow(row);

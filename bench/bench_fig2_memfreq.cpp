@@ -15,11 +15,24 @@
 
 #include "bench_common.hh"
 #include "stats/group.hh"
+#include "util/thread_pool.hh"
 #include "vm/executor.hh"
 #include "vm/trace.hh"
 
 using namespace ddsim;
 using namespace ddsim::bench;
+
+namespace {
+
+/** Per-program measurements, filled in parallel. */
+struct Row
+{
+    std::uint64_t insts = 0;
+    double loadFrac = 0, storeFrac = 0;
+    double localLd = 0, localSt = 0, localRef = 0;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -33,24 +46,35 @@ main(int argc, char **argv)
                       "localLd%", "localSt%", "localRef%"});
     std::vector<double> ld, st, refs;
 
-    for (const auto *info : opts.programs) {
-        prog::Program program = buildProgram(*info, opts);
-        vm::Executor exec(program);
+    // The characterization pass is functional (no timing model), but
+    // the programs are independent: trace them in parallel and print
+    // the rows in workload order afterwards.
+    std::vector<Row> rows(opts.programs.size());
+    ThreadPool pool(opts.jobs);
+    parallelFor(pool, opts.programs.size(), [&](std::size_t i) {
+        auto program = buildProgramShared(*opts.programs[i], opts);
+        vm::Executor exec(*program);
         stats::Group root(nullptr, "");
         vm::StreamStats ss(&root);
         while (!exec.halted())
             ss.record(exec.step());
+        rows[i] = {ss.instructions.value(), ss.loadFrac(),
+                   ss.storeFrac(), ss.localLoadFrac(),
+                   ss.localStoreFrac(), ss.localRefFrac()};
+    });
 
-        ld.push_back(ss.localLoadFrac());
-        st.push_back(ss.localStoreFrac());
-        refs.push_back(ss.localRefFrac());
-        table.addRow({info->paperName,
-                      std::to_string(ss.instructions.value()),
-                      sim::Table::pct(ss.loadFrac()),
-                      sim::Table::pct(ss.storeFrac()),
-                      sim::Table::pct(ss.localLoadFrac()),
-                      sim::Table::pct(ss.localStoreFrac()),
-                      sim::Table::pct(ss.localRefFrac())});
+    for (std::size_t i = 0; i < opts.programs.size(); ++i) {
+        const Row &r = rows[i];
+        ld.push_back(r.localLd);
+        st.push_back(r.localSt);
+        refs.push_back(r.localRef);
+        table.addRow({opts.programs[i]->paperName,
+                      std::to_string(r.insts),
+                      sim::Table::pct(r.loadFrac),
+                      sim::Table::pct(r.storeFrac),
+                      sim::Table::pct(r.localLd),
+                      sim::Table::pct(r.localSt),
+                      sim::Table::pct(r.localRef)});
     }
     table.addRow({"average", "",
                   "", "",

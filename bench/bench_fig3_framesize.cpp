@@ -12,11 +12,27 @@
 
 #include "bench_common.hh"
 #include "stats/group.hh"
+#include "util/thread_pool.hh"
 #include "vm/executor.hh"
 #include "vm/trace.hh"
 
 using namespace ddsim;
 using namespace ddsim::bench;
+
+namespace {
+
+/** Per-program measurements, filled in parallel. */
+struct Row
+{
+    std::uint64_t frames = 0;
+    double mean = 0;
+    std::uint64_t p50 = 0, p99 = 0;
+    double le8 = 0, le24 = 0;
+    double staticMean = 0;
+    std::uint32_t staticMax = 0;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -31,40 +47,58 @@ main(int argc, char **argv)
                       "<=8w", "<=24w", "staticMean", "staticMax"});
     std::vector<double> dynMeans, statMeans;
 
+    std::vector<const workloads::WorkloadInfo *> selected;
     for (const auto *info : opts.programs) {
         if (info->isFp && !opts.args.has("programs") &&
             !opts.args.getBool("fp"))
             continue; // integer programs only, like the paper
-        prog::Program program = buildProgram(*info, opts);
-        vm::Executor exec(program);
+        selected.push_back(info);
+    }
+
+    // Functional traces are independent across programs: run them in
+    // parallel, then print the rows in workload order.
+    std::vector<Row> rows(selected.size());
+    ThreadPool pool(opts.jobs);
+    parallelFor(pool, selected.size(), [&](std::size_t i) {
+        auto program = buildProgramShared(*selected[i], opts);
+        vm::Executor exec(*program);
         stats::Group root(nullptr, "");
         vm::StreamStats ss(&root);
         while (!exec.halted())
             ss.record(exec.step());
 
         const auto &h = ss.frameWords;
-        std::uint32_t staticMax = 0;
+        Row r;
+        r.frames = h.samples();
+        r.mean = h.mean();
+        r.p50 = h.percentile(0.5);
+        r.p99 = h.percentile(0.99);
+        r.le8 = h.fractionBetween(0, 8);
+        r.le24 = h.fractionBetween(0, 24);
         double staticSum = 0;
         for (const auto &[pc, words] : ss.staticFrames()) {
             staticSum += words;
-            staticMax = std::max(staticMax, words);
+            r.staticMax = std::max(r.staticMax, words);
         }
-        double staticMean =
-            ss.staticFrames().empty()
-                ? 0
-                : staticSum /
-                      static_cast<double>(ss.staticFrames().size());
-        dynMeans.push_back(h.mean());
-        statMeans.push_back(staticMean);
+        if (!ss.staticFrames().empty())
+            r.staticMean =
+                staticSum /
+                static_cast<double>(ss.staticFrames().size());
+        rows[i] = r;
+    });
 
-        table.addRow({info->paperName, std::to_string(h.samples()),
-                      sim::Table::num(h.mean(), 1),
-                      std::to_string(h.percentile(0.5)),
-                      std::to_string(h.percentile(0.99)),
-                      sim::Table::pct(h.fractionBetween(0, 8)),
-                      sim::Table::pct(h.fractionBetween(0, 24)),
-                      sim::Table::num(staticMean, 1),
-                      std::to_string(staticMax)});
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        const Row &r = rows[i];
+        dynMeans.push_back(r.mean);
+        statMeans.push_back(r.staticMean);
+
+        table.addRow({selected[i]->paperName, std::to_string(r.frames),
+                      sim::Table::num(r.mean, 1),
+                      std::to_string(r.p50), std::to_string(r.p99),
+                      sim::Table::pct(r.le8),
+                      sim::Table::pct(r.le24),
+                      sim::Table::num(r.staticMean, 1),
+                      std::to_string(r.staticMax)});
     }
     table.print(std::cout);
     std::printf("\nMeasured: dynamic mean %.1f words, static mean "

@@ -30,14 +30,21 @@ main(int argc, char **argv)
                       "(5+0)"});
     std::vector<std::vector<double>> rel(5);
 
+    std::vector<sim::SweepJob> jobs;
     for (const auto *info : opts.programs) {
-        prog::Program program = buildProgram(*info, opts);
-        sim::SimResult limit =
-            sim::run(program, config::baseline(16));
+        auto program = buildProgramShared(*info, opts);
+        jobs.push_back({program, config::baseline(16)});
+        for (int p : ports)
+            jobs.push_back({program, config::baseline(p)});
+    }
+    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+
+    std::size_t k = 0;
+    for (const auto *info : opts.programs) {
+        sim::SimResult limit = results[k++];
         std::vector<std::string> row{info->paperName};
         for (int i = 0; i < 5; ++i) {
-            sim::SimResult r =
-                sim::run(program, config::baseline(ports[i]));
+            sim::SimResult r = results[k++];
             double relative = r.ipc / limit.ipc;
             rel[static_cast<std::size_t>(i)].push_back(relative);
             row.push_back(sim::Table::pct(relative));

@@ -32,16 +32,26 @@ main(int argc, char **argv)
                       "L2 traffic vs (3+0)"});
     std::vector<double> missAt2k, missAt4k;
 
+    std::vector<sim::SweepJob> jobs;
     for (const auto *info : opts.programs) {
-        prog::Program program = buildProgram(*info, opts);
-        sim::SimResult base = sim::run(program, config::baseline(3));
+        auto program = buildProgramShared(*info, opts);
+        jobs.push_back({program, config::baseline(3)});
+        for (std::uint32_t size : sizes) {
+            config::MachineConfig cfg = config::decoupled(3, 4);
+            cfg.lvc.sizeBytes = size;
+            jobs.push_back({program, cfg});
+        }
+    }
+    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+
+    std::size_t k = 0;
+    for (const auto *info : opts.programs) {
+        sim::SimResult base = results[k++];
 
         std::vector<std::string> row{info->paperName};
         std::uint64_t l2With2k = 0;
         for (std::uint32_t size : sizes) {
-            config::MachineConfig cfg = config::decoupled(3, 4);
-            cfg.lvc.sizeBytes = size;
-            sim::SimResult r = sim::run(program, cfg);
+            sim::SimResult r = results[k++];
             row.push_back(sim::Table::pct(r.lvcMissRate, 2));
             if (size == 2048) {
                 missAt2k.push_back(r.lvcMissRate);

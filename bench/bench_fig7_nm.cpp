@@ -29,6 +29,20 @@ main(int argc, char **argv)
     const int ns[] = {2, 3, 4};
     const int ms[] = {0, 1, 2, 3, 16};
 
+    // Submit the whole grid (per program: the (2+0) base plus the
+    // 3x5 (N+M) matrix) and collect in submission order.
+    std::vector<sim::SweepJob> jobs;
+    for (const auto *info : opts.programs) {
+        auto program = buildProgramShared(*info, opts);
+        jobs.push_back({program, config::baseline(2)});
+        for (int n : ns)
+            for (int m : ms)
+                jobs.push_back({program,
+                                m == 0 ? config::baseline(n)
+                                       : config::decoupled(n, m)});
+    }
+    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+
     // Collect per-program relative performance, then print the
     // cross-program average matrix (as the paper's figure plots).
     std::vector<std::vector<std::vector<double>>> rel(
@@ -37,16 +51,13 @@ main(int argc, char **argv)
     sim::Table perProg({"program", "(2+0)", "(2+1)", "(2+2)", "(3+0)",
                         "(3+1)", "(3+2)", "(4+0)", "(4+1)", "(4+2)"});
 
+    std::size_t k = 0;
     for (const auto *info : opts.programs) {
-        prog::Program program = buildProgram(*info, opts);
-        sim::SimResult base = sim::run(program, config::baseline(2));
+        sim::SimResult base = results[k++];
         std::vector<std::string> row{info->paperName};
         for (int ni = 0; ni < 3; ++ni) {
             for (int mi = 0; mi < 5; ++mi) {
-                config::MachineConfig cfg =
-                    ms[mi] == 0 ? config::baseline(ns[ni])
-                                : config::decoupled(ns[ni], ms[mi]);
-                sim::SimResult r = sim::run(program, cfg);
+                sim::SimResult r = results[k++];
                 double relative = r.ipc / base.ipc;
                 rel[static_cast<std::size_t>(ni)]
                    [static_cast<std::size_t>(mi)]

@@ -29,17 +29,28 @@ main(int argc, char **argv)
                       "(3+2) 2-way", "(3+2) 4-way"});
     std::vector<double> g31x2, g32x2;
 
+    std::vector<sim::SweepJob> jobs;
     for (const auto *info : opts.programs) {
-        prog::Program program = buildProgram(*info, opts);
-        std::vector<std::string> row{info->paperName};
+        auto program = buildProgramShared(*info, opts);
         for (int lvcPorts : {1, 2}) {
-            sim::SimResult off =
-                sim::run(program, config::decoupled(3, lvcPorts));
+            jobs.push_back({program, config::decoupled(3, lvcPorts)});
             for (int degree : {2, 4}) {
                 config::MachineConfig cfg =
                     config::decoupled(3, lvcPorts);
                 cfg.combining = degree;
-                sim::SimResult on = sim::run(program, cfg);
+                jobs.push_back({program, cfg});
+            }
+        }
+    }
+    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+
+    std::size_t k = 0;
+    for (const auto *info : opts.programs) {
+        std::vector<std::string> row{info->paperName};
+        for (int lvcPorts : {1, 2}) {
+            sim::SimResult off = results[k++];
+            for (int degree : {2, 4}) {
+                sim::SimResult on = results[k++];
                 double speedup = on.ipc / off.ipc;
                 row.push_back(sim::Table::pct(speedup - 1.0, 1));
                 if (degree == 2 && lvcPorts == 1)

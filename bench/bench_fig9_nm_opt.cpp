@@ -34,17 +34,25 @@ main(int argc, char **argv)
     sim::Table perProg({"program", "(2+1)", "(2+2)", "(3+1)", "(3+2)",
                         "(4+1)", "(4+2)"});
 
+    std::vector<sim::SweepJob> jobs;
     for (const auto *info : opts.programs) {
-        prog::Program program = buildProgram(*info, opts);
-        sim::SimResult base = sim::run(program, config::baseline(2));
+        auto program = buildProgramShared(*info, opts);
+        jobs.push_back({program, config::baseline(2)});
+        for (int n : ns)
+            for (int m : ms)
+                jobs.push_back(
+                    {program, m == 0 ? config::baseline(n)
+                                     : config::decoupledOptimized(n, m)});
+    }
+    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+
+    std::size_t k = 0;
+    for (const auto *info : opts.programs) {
+        sim::SimResult base = results[k++];
         std::vector<std::string> row{info->paperName};
         for (int ni = 0; ni < 3; ++ni) {
             for (int mi = 0; mi < 5; ++mi) {
-                config::MachineConfig cfg =
-                    ms[mi] == 0
-                        ? config::baseline(ns[ni])
-                        : config::decoupledOptimized(ns[ni], ms[mi]);
-                sim::SimResult r = sim::run(program, cfg);
+                sim::SimResult r = results[k++];
                 double relative = r.ipc / base.ipc;
                 rel[static_cast<std::size_t>(ni)]
                    [static_cast<std::size_t>(mi)]

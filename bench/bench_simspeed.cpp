@@ -7,8 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "config/presets.hh"
-#include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "workloads/common.hh"
 
 using namespace ddsim;
@@ -58,6 +60,33 @@ BM_Decoupled_vortex(benchmark::State &state)
 }
 
 void
+BM_SweepGrid_li(benchmark::State &state)
+{
+    // A Fig. 7-like (N+M) slice through SweepRunner; Arg = workers
+    // (0 = one per hardware thread). Results are identical for any
+    // worker count; only wall-clock changes.
+    workloads::WorkloadParams p;
+    p.scale = workloads::find("li")->defaultScale / 8;
+    auto program = std::make_shared<const prog::Program>(
+        workloads::build("li", p));
+
+    unsigned workers = static_cast<unsigned>(state.range(0));
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        sim::SweepRunner sweep(workers);
+        for (int n : {2, 3, 4})
+            for (int m : {0, 1, 2})
+                sweep.submit(program,
+                             m == 0 ? config::baseline(n)
+                                    : config::decoupled(n, m));
+        for (const sim::SimResult &r : sweep.collect())
+            insts += r.committed;
+    }
+    state.counters["Minst/s"] = benchmark::Counter(
+        static_cast<double>(insts) / 1e6, benchmark::Counter::kIsRate);
+}
+
+void
 BM_WorkloadGeneration(benchmark::State &state)
 {
     workloads::WorkloadParams p;
@@ -74,6 +103,8 @@ BENCHMARK(BM_Baseline_li)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Decoupled_li)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Baseline_swim)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Decoupled_vortex)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepGrid_li)->Arg(1)->Arg(0)->Unit(
+    benchmark::kMillisecond);
 BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -31,13 +31,20 @@ main(int argc, char **argv)
                       "LVAQ-satisfied loads"});
     std::vector<double> speedups;
 
+    std::vector<sim::SweepJob> jobs;
     for (const auto *info : opts.programs) {
-        prog::Program program = buildProgram(*info, opts);
-        sim::SimResult off =
-            sim::run(program, config::decoupled(3, 2));
+        auto program = buildProgramShared(*info, opts);
+        jobs.push_back({program, config::decoupled(3, 2)});
         config::MachineConfig cfg = config::decoupled(3, 2);
         cfg.fastForward = true;
-        sim::SimResult on = sim::run(program, cfg);
+        jobs.push_back({program, cfg});
+    }
+    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+
+    std::size_t k = 0;
+    for (const auto *info : opts.programs) {
+        sim::SimResult off = results[k++];
+        sim::SimResult on = results[k++];
 
         double speedup = on.ipc / off.ipc - 1.0;
         speedups.push_back(1.0 + speedup);

@@ -5,14 +5,17 @@
  *
  * Usage: port_sweep [--workload=vortex] [--scale=1.0]
  *                   [--opt] (enable fast forwarding + combining)
+ *                   [--jobs=N] (sweep worker threads; default: all
+ *                   hardware threads — results are identical for any N)
  */
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "config/cli.hh"
 #include "config/presets.hh"
-#include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "sim/table.hh"
 #include "workloads/common.hh"
 
@@ -34,23 +37,34 @@ main(int argc, char **argv)
     params.scale = static_cast<std::uint64_t>(
         static_cast<double>(info->defaultScale) *
         args.getDouble("scale", 1.0));
-    prog::Program program = info->factory(params);
+    auto program = std::make_shared<const prog::Program>(
+        info->factory(params));
 
     std::printf("(N+M) IPC sweep for %s%s\n", info->paperName,
                 optimized ? " (fast forwarding + 2-way combining)"
                           : " (no optimizations)");
 
-    sim::Table table({"", "M=0", "M=1", "M=2", "M=3", "M=4"});
+    // The 4x5 grid points are independent simulations: fan them out
+    // across the worker pool and read them back in submission order.
+    sim::SweepRunner sweep(
+        static_cast<unsigned>(args.getInt("jobs", 0)));
     for (int n = 1; n <= 4; ++n) {
-        std::vector<std::string> row{"N=" + std::to_string(n)};
         for (int m = 0; m <= 4; ++m) {
             config::MachineConfig cfg =
                 m == 0 ? config::baseline(n)
                        : (optimized ? config::decoupledOptimized(n, m)
                                     : config::decoupled(n, m));
-            sim::SimResult r = sim::run(program, cfg);
-            row.push_back(sim::Table::num(r.ipc, 3));
+            sweep.submit(program, cfg);
         }
+    }
+    std::vector<sim::SimResult> results = sweep.collect();
+
+    sim::Table table({"", "M=0", "M=1", "M=2", "M=3", "M=4"});
+    std::size_t k = 0;
+    for (int n = 1; n <= 4; ++n) {
+        std::vector<std::string> row{"N=" + std::to_string(n)};
+        for (int m = 0; m <= 4; ++m)
+            row.push_back(sim::Table::num(results[k++].ipc, 3));
         table.addRow(row);
     }
     table.print(std::cout);

@@ -19,10 +19,6 @@ const isa::Inst &
 Program::fetch(std::uint32_t idx) const
 {
     fetchRaw(idx); // bounds check
-    if (!decodedValid[idx]) {
-        decoded[idx] = isa::decode(text[idx]);
-        decodedValid[idx] = true;
-    }
     return decoded[idx];
 }
 
@@ -31,8 +27,7 @@ Program::append(std::uint32_t word)
 {
     std::uint32_t idx = static_cast<std::uint32_t>(text.size());
     text.push_back(word);
-    decoded.emplace_back();
-    decodedValid.push_back(false);
+    decoded.push_back(isa::decode(word));
     return idx;
 }
 
@@ -42,7 +37,7 @@ Program::patch(std::uint32_t idx, std::uint32_t word)
     if (idx >= text.size())
         panic("Program::patch: index %u out of range", idx);
     text[idx] = word;
-    decodedValid[idx] = false;
+    decoded[idx] = isa::decode(word);
 }
 
 void

@@ -34,7 +34,12 @@ class Program
     /** Encoded instruction at word index @p idx. */
     std::uint32_t fetchRaw(std::uint32_t idx) const;
 
-    /** Decoded instruction at word index @p idx (cached). */
+    /**
+     * Decoded instruction at word index @p idx. Instructions are
+     * decoded eagerly on append()/patch(), so a finished Program is
+     * immutable through its const interface and safe to share
+     * read-only across concurrently running simulations.
+     */
     const isa::Inst &fetch(std::uint32_t idx) const;
 
     /** Append one encoded instruction; returns its word index. */
@@ -71,8 +76,7 @@ class Program
   private:
     std::string progName;
     std::vector<std::uint32_t> text;
-    mutable std::vector<isa::Inst> decoded;
-    mutable std::vector<bool> decodedValid;
+    std::vector<isa::Inst> decoded;
     std::vector<std::uint8_t> data;
     std::map<std::string, std::uint32_t> symtab;
     std::uint32_t entryIdx = 0;

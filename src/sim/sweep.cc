@@ -1,0 +1,94 @@
+#include "sim/sweep.hh"
+
+#include <utility>
+
+#include "util/log.hh"
+
+namespace ddsim::sim {
+
+SweepRunner::SweepRunner(unsigned workers) : pool(workers) {}
+
+SweepRunner::~SweepRunner()
+{
+    // Jobs still in flight write into `slots`, which must outlive
+    // them: drain the pool before the deque is destroyed.
+    pool.wait();
+}
+
+std::size_t
+SweepRunner::submit(SweepJob job)
+{
+    if (!job.program)
+        panic("SweepRunner::submit: job has no program");
+    std::size_t index = slots.size();
+    slots.emplace_back();
+    // deque never relocates elements, so this pointer stays valid
+    // while submit() grows the grid under the workers.
+    Slot *slot = &slots.back();
+    pool.submit([slot, job = std::move(job)] {
+        try {
+            slot->result = run(*job.program, job.cfg, job.opts);
+        } catch (...) {
+            slot->error = std::current_exception();
+        }
+    });
+    return index;
+}
+
+std::size_t
+SweepRunner::submit(std::shared_ptr<const prog::Program> program,
+                    const config::MachineConfig &cfg,
+                    const RunOptions &opts)
+{
+    return submit(SweepJob{std::move(program), cfg, opts});
+}
+
+std::vector<SimResult>
+SweepRunner::collect()
+{
+    pool.wait();
+    std::vector<SimResult> results;
+    results.reserve(slots.size());
+    std::exception_ptr firstError;
+    for (Slot &slot : slots) {
+        if (slot.error && !firstError)
+            firstError = slot.error;
+        results.push_back(std::move(slot.result));
+    }
+    slots.clear();
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
+std::vector<SimResult>
+SweepRunner::runAll(std::vector<SweepJob> jobs, unsigned workers)
+{
+    SweepRunner runner(workers);
+    for (SweepJob &job : jobs)
+        runner.submit(std::move(job));
+    return runner.collect();
+}
+
+std::shared_ptr<const prog::Program>
+ProgramCache::get(const std::string &key, const Builder &build)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(key, std::make_shared<const prog::Program>(
+                                   build()))
+                 .first;
+    }
+    return it->second;
+}
+
+std::size_t
+ProgramCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return cache.size();
+}
+
+} // namespace ddsim::sim

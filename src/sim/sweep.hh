@@ -1,0 +1,133 @@
+/**
+ * @file
+ * SweepRunner: execute a grid of independent simulations across a
+ * fixed-size worker pool, returning results in submission order.
+ *
+ * Every paper figure is a sweep of independent sim::run() calls —
+ * programs x machine configurations — and simulation is deterministic,
+ * so the grid can saturate all cores while producing results that are
+ * bit-identical to a serial loop in submission order. SweepRunner is
+ * the engine behind every bench binary's --jobs flag.
+ *
+ * Determinism guarantee: for a given (program, config, options) job,
+ * the SimResult is a pure function of its inputs. Worker count and
+ * completion order affect only wall-clock time, never the results or
+ * their order. See docs/SWEEPS.md.
+ */
+
+#ifndef DDSIM_SIM_SWEEP_HH_
+#define DDSIM_SIM_SWEEP_HH_
+
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "config/machine_config.hh"
+#include "prog/program.hh"
+#include "sim/result.hh"
+#include "sim/runner.hh"
+#include "util/thread_pool.hh"
+
+namespace ddsim::sim {
+
+/** One (program, machine, options) point of a sweep grid. */
+struct SweepJob
+{
+    /**
+     * The program is shared read-only across jobs: build each workload
+     * once (see ProgramCache) and reference it from every
+     * configuration that sweeps it.
+     */
+    std::shared_ptr<const prog::Program> program;
+    config::MachineConfig cfg;
+    RunOptions opts{};
+};
+
+/**
+ * Runs sweep jobs on a worker pool; results come back in submission
+ * order regardless of completion order.
+ */
+class SweepRunner
+{
+  public:
+    /**
+     * @param workers Worker threads; 0 means one per hardware thread.
+     */
+    explicit SweepRunner(unsigned workers = 0);
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
+
+    /**
+     * Enqueue one job; execution may begin immediately on an idle
+     * worker. @return the job's submission index, which is also its
+     * index in the vector collect() returns.
+     */
+    std::size_t submit(SweepJob job);
+    std::size_t submit(std::shared_ptr<const prog::Program> program,
+                       const config::MachineConfig &cfg,
+                       const RunOptions &opts = {});
+
+    /**
+     * Block until every submitted job has finished and return their
+     * SimResults in submission order. If any job threw, the exception
+     * of the lowest-indexed failed job is rethrown (after all jobs
+     * have finished). Resets the runner: after collect() the next
+     * submit() starts a fresh grid at index 0.
+     */
+    std::vector<SimResult> collect();
+
+    /** Jobs submitted since the last collect(). */
+    std::size_t pending() const { return slots.size(); }
+
+    /** Number of worker threads. */
+    unsigned workers() const { return pool.size(); }
+
+    /** Convenience: run a whole grid and collect in one call. */
+    static std::vector<SimResult> runAll(std::vector<SweepJob> jobs,
+                                         unsigned workers = 0);
+
+  private:
+    struct Slot
+    {
+        SimResult result;
+        std::exception_ptr error;
+    };
+
+    ThreadPool pool;
+    std::deque<Slot> slots; ///< deque: stable addresses across submit()
+};
+
+/**
+ * Memoizes program construction so each workload is built exactly
+ * once and shared read-only across every job that sweeps it.
+ * Thread-safe; the builder runs under the cache lock, so concurrent
+ * get() calls for the same key build once.
+ */
+class ProgramCache
+{
+  public:
+    using Builder = std::function<prog::Program()>;
+
+    /** Return the program cached under @p key, building on first use. */
+    std::shared_ptr<const prog::Program> get(const std::string &key,
+                                             const Builder &build);
+
+    /** Number of distinct programs built so far. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_ptr<const prog::Program>> cache;
+};
+
+} // namespace ddsim::sim
+
+#endif // DDSIM_SIM_SWEEP_HH_

@@ -1,18 +1,33 @@
 #include "util/log.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <vector>
 
 namespace ddsim {
 
 namespace {
-bool quietMode = false;
+
+// Simulations run concurrently under sim::SweepRunner, so the logging
+// state is atomic and each message is emitted under a lock: concurrent
+// warn()/inform() calls serialize instead of interleaving on stderr.
+std::atomic<bool> quietMode{false};
+std::mutex outputMutex;
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(outputMutex);
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+}
+
 } // namespace
 
 void
 setQuiet(bool quiet)
 {
-    quietMode = quiet;
+    quietMode.store(quiet, std::memory_order_relaxed);
 }
 
 std::string
@@ -46,7 +61,7 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emit("panic", msg);
     throw PanicError(msg);
 }
 
@@ -57,32 +72,32 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emit("fatal", msg);
     throw FatalError(msg);
 }
 
 void
 warn(const char *fmt, ...)
 {
-    if (quietMode)
+    if (quietMode.load(std::memory_order_relaxed))
         return;
     std::va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit("warn", msg);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (quietMode)
+    if (quietMode.load(std::memory_order_relaxed))
         return;
     std::va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emit("info", msg);
 }
 
 } // namespace ddsim

@@ -7,6 +7,10 @@
  *              malformed program); exits with an error code.
  *  - warn():   something is suspicious but the simulation continues.
  *  - inform(): plain status output.
+ *
+ * All four are thread-safe: simulations run concurrently under
+ * sim::SweepRunner, and messages from different threads serialize
+ * rather than interleave.
  */
 
 #ifndef DDSIM_UTIL_LOG_HH_

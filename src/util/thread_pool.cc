@@ -1,0 +1,109 @@
+#include "util/thread_pool.hh"
+
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "util/log.hh"
+
+namespace ddsim {
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        stopping = true;
+    }
+    hasWork.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (!task)
+        panic("ThreadPool::submit: empty task");
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        if (stopping)
+            panic("ThreadPool::submit: pool is shutting down");
+        queue.push_back(std::move(task));
+    }
+    hasWork.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    allIdle.wait(lock,
+                 [this] { return queue.empty() && running == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            hasWork.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+            ++running;
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            --running;
+            if (queue.empty() && running == 0)
+                allIdle.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(ThreadPool &pool, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    // Stable per-index error slots; each task writes only its own.
+    auto errors = std::make_unique<std::exception_ptr[]>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&fn, &errors, i] {
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    pool.wait();
+    for (std::size_t i = 0; i < n; ++i)
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+}
+
+} // namespace ddsim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A small fixed-size worker pool: N threads pulling tasks from a
+ * mutex-guarded queue. This is the concurrency primitive underneath
+ * sim::SweepRunner; it is deliberately minimal (no futures, no task
+ * priorities) so it can be reused anywhere in ddsim that needs to
+ * fan work out across cores.
+ */
+
+#ifndef DDSIM_UTIL_THREAD_POOL_HH_
+#define DDSIM_UTIL_THREAD_POOL_HH_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ddsim {
+
+/** Fixed-size thread pool with a FIFO work queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Number of worker threads; 0 means "one per
+     *                hardware thread" (at least one).
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue @p task for execution on some worker. Tasks must not
+     * throw: wrap anything that can fail and capture the error
+     * (see parallelFor / SweepRunner for the pattern).
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers.size()); }
+
+    /** hardware_concurrency with a floor of 1. */
+    static unsigned defaultThreads();
+
+  private:
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mu;
+    std::condition_variable hasWork;   ///< signalled on submit/stop
+    std::condition_variable allIdle;   ///< signalled when work drains
+    std::size_t running = 0;           ///< tasks currently executing
+    bool stopping = false;
+
+    void workerLoop();
+};
+
+/**
+ * Run fn(0), fn(1), ... fn(n-1) on @p pool and block until all are
+ * done. Each index runs exactly once; the assignment of indices to
+ * threads is unspecified. If any invocation throws, the exception for
+ * the lowest index is rethrown after the loop completes (the other
+ * indices still run).
+ */
+void parallelFor(ThreadPool &pool, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace ddsim
+
+#endif // DDSIM_UTIL_THREAD_POOL_HH_

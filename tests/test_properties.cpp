@@ -10,10 +10,12 @@
 #include "isa/disasm.hh"
 #include "prog/asm_parser.hh"
 #include "prog/builder.hh"
-#include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "util/rng.hh"
 #include "vm/executor.hh"
 #include "workloads/common.hh"
+
+#include <memory>
 
 using namespace ddsim;
 using namespace ddsim::sim;
@@ -109,6 +111,40 @@ TEST_P(RandomProgram, CommitsIdenticallyAcrossConfigs)
     EXPECT_EQ(a.committed, b.committed);
     EXPECT_EQ(a.committed, c.committed);
     EXPECT_GT(a.committed, 0u);
+}
+
+TEST_P(RandomProgram, SweepMatchesConsecutiveSerialRuns)
+{
+    // Determinism is thread-count- and repetition-invariant: a
+    // parallel sweep over any builder-generated program returns the
+    // same committed-instruction count and final stats as two
+    // consecutive serial runs.
+    auto p = std::make_shared<const prog::Program>(
+        randomProgram(static_cast<std::uint64_t>(GetParam())));
+    const config::MachineConfig cfgs[] = {
+        config::baseline(2), config::decoupled(2, 1),
+        config::decoupledOptimized(3, 2)};
+
+    SweepRunner sweep(4);
+    for (const config::MachineConfig &cfg : cfgs)
+        sweep.submit(p, cfg);
+    std::vector<SimResult> swept = sweep.collect();
+    ASSERT_EQ(swept.size(), 3u);
+
+    for (std::size_t i = 0; i < 3; ++i) {
+        SimResult s1 = run(*p, cfgs[i]);
+        SimResult s2 = run(*p, cfgs[i]);
+        EXPECT_EQ(swept[i].committed, s1.committed) << i;
+        EXPECT_EQ(s1.committed, s2.committed) << i;
+        EXPECT_EQ(swept[i].cycles, s1.cycles) << i;
+        EXPECT_EQ(s1.cycles, s2.cycles) << i;
+        EXPECT_EQ(swept[i].ipc, s1.ipc) << i;
+        EXPECT_EQ(swept[i].l1Accesses, s1.l1Accesses) << i;
+        EXPECT_EQ(swept[i].l2Accesses, s1.l2Accesses) << i;
+        EXPECT_EQ(swept[i].lvcAccesses, s1.lvcAccesses) << i;
+        EXPECT_EQ(swept[i].lsqForwards, s1.lsqForwards) << i;
+        EXPECT_EQ(swept[i].lvaqForwards, s1.lvaqForwards) << i;
+    }
 }
 
 TEST_P(RandomProgram, OracleClassifierNeverMissteers)

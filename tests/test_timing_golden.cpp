@@ -12,8 +12,10 @@
 #include "config/presets.hh"
 #include "cpu/pipeline.hh"
 #include "prog/builder.hh"
+#include "sim/runner.hh"
 #include "stats/group.hh"
 #include "vm/executor.hh"
+#include "workloads/common.hh"
 
 using namespace ddsim;
 using namespace ddsim::prog;
@@ -238,6 +240,51 @@ TEST(TimingGolden, StoresThroughPortsAtCommit)
     std::uint64_t d = cyclesOf(p2, config::baseline(1)) -
                       cyclesOf(p1, config::baseline(1));
     EXPECT_EQ(d, 200u);
+}
+
+// ---- Whole-workload golden runs ----
+//
+// Two full workloads with every pipeline feature engaged — the
+// decoupled (3+2) machine with fast data forwarding and two-way
+// access combining — pinned to exact cycle counts. Any change that
+// perturbs timing anywhere in the machine (including unintended
+// cross-run state introduced by a concurrency refactor) trips these
+// immediately. The counts were measured on the deterministic
+// simulator; re-pin them only for an intentional timing change.
+
+namespace {
+
+ddsim::sim::SimResult
+goldenWorkloadRun(const char *name)
+{
+    workloads::WorkloadParams p;
+    p.scale = workloads::find(name)->defaultScale / 8;
+    prog::Program prog = workloads::build(name, p);
+    return ddsim::sim::run(prog, config::decoupledOptimized(3, 2));
+}
+
+} // namespace
+
+TEST(TimingGolden, VortexLocalHeavyPinnedUnderOptimized32)
+{
+    // 147.vortex-like: the paper's most local-reference-heavy
+    // workload, so it exercises the LVC/LVAQ paths hardest.
+    ddsim::sim::SimResult r = goldenWorkloadRun("vortex");
+    EXPECT_EQ(r.committed, 36964u);
+    EXPECT_EQ(r.cycles, 18289u);
+    EXPECT_EQ(r.lvaqFastForwards, 1320u); // fast forwarding engaged
+    EXPECT_EQ(r.lvaqCombined, 4022u);     // 2-way combining engaged
+}
+
+TEST(TimingGolden, SwimFpPinnedUnderOptimized32)
+{
+    // 102.swim-like: FP streaming with few local accesses — the
+    // other end of the workload spectrum.
+    ddsim::sim::SimResult r = goldenWorkloadRun("swim");
+    EXPECT_EQ(r.committed, 142721u);
+    EXPECT_EQ(r.cycles, 32291u);
+    EXPECT_EQ(r.lvaqFastForwards, 1872u);
+    EXPECT_EQ(r.lvaqCombined, 427u);
 }
 
 TEST(TimingGolden, FastForwardBeatsNormalForwardUnderPortPressure)
