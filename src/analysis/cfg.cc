@@ -1,0 +1,184 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+
+#include "isa/inst.hh"
+#include "isa/opcode.hh"
+
+namespace ddsim::analysis {
+
+using isa::Inst;
+using isa::OpCode;
+
+namespace {
+
+/**
+ * Raw intra-procedural successor candidates, unchecked against the
+ * text bounds. Order matters: fall-through first, taken target second.
+ */
+std::vector<std::int64_t>
+rawSuccessors(const prog::Program &prog, std::size_t idx)
+{
+    const Inst &inst = prog.fetch(idx);
+    auto next = static_cast<std::int64_t>(idx) + 1;
+
+    if (isa::isCondBranch(inst.op))
+        return {next, next + inst.imm};
+    switch (inst.op) {
+      case OpCode::J:
+        return {static_cast<std::int64_t>(inst.target)};
+      case OpCode::JAL:
+      case OpCode::JALR:
+        return {next}; // Callee is a call target, not a successor.
+      case OpCode::JR:
+      case OpCode::HALT:
+        return {};
+      default:
+        return {next};
+    }
+}
+
+bool
+inText(const prog::Program &prog, std::int64_t idx)
+{
+    return idx >= 0 &&
+           idx < static_cast<std::int64_t>(prog.textSize());
+}
+
+} // namespace
+
+std::vector<std::size_t>
+instSuccessors(const prog::Program &prog, std::size_t idx)
+{
+    std::vector<std::size_t> out;
+    for (std::int64_t t : rawSuccessors(prog, idx))
+        if (inText(prog, t))
+            out.push_back(static_cast<std::size_t>(t));
+    return out;
+}
+
+int
+Cfg::blockContaining(std::size_t idx) const
+{
+    auto it = blockAt.upper_bound(idx);
+    if (it == blockAt.begin())
+        return -1;
+    --it;
+    const BasicBlock &bb = blocks[static_cast<std::size_t>(it->second)];
+    return (bb.first <= idx && idx <= bb.last) ? bb.id : -1;
+}
+
+Cfg
+buildCfg(const prog::Program &prog, std::size_t entryIdx)
+{
+    Cfg cfg;
+    cfg.entry = entryIdx;
+
+    // Pass 1: reachable instructions plus call / indirect / bad-target
+    // bookkeeping.
+    std::set<std::size_t> reachable;
+    std::set<std::size_t> callTargets;
+    std::vector<std::size_t> work{entryIdx};
+    while (!work.empty()) {
+        std::size_t idx = work.back();
+        work.pop_back();
+        if (!inText(prog, static_cast<std::int64_t>(idx)) ||
+            !reachable.insert(idx).second)
+            continue;
+
+        const Inst &inst = prog.fetch(idx);
+        if (inst.op == OpCode::JAL) {
+            if (inText(prog, static_cast<std::int64_t>(inst.target)))
+                callTargets.insert(inst.target);
+            else
+                cfg.outOfTextAt.push_back(idx);
+        } else if (inst.op == OpCode::JALR ||
+                   (inst.op == OpCode::JR && !isa::isReturn(inst))) {
+            cfg.indirectAt.push_back(idx);
+        }
+        for (std::int64_t t : rawSuccessors(prog, idx)) {
+            if (inText(prog, t))
+                work.push_back(static_cast<std::size_t>(t));
+            else
+                cfg.outOfTextAt.push_back(idx);
+        }
+    }
+    cfg.callTargets.assign(callTargets.begin(), callTargets.end());
+
+    // Pass 2: leaders — the entry plus every successor of a control
+    // transfer (both taken targets and fall-throughs).
+    std::set<std::size_t> leaders{entryIdx};
+    for (std::size_t idx : reachable)
+        if (isa::isControl(prog.fetch(idx).op))
+            for (std::size_t s : instSuccessors(prog, idx))
+                if (reachable.count(s))
+                    leaders.insert(s);
+
+    // Pass 3: blocks — maximal runs from a leader to the next control
+    // instruction, leader, or reachability gap.
+    for (std::size_t leader : leaders) {
+        if (!reachable.count(leader))
+            continue;
+        BasicBlock bb;
+        bb.id = static_cast<int>(cfg.blocks.size());
+        bb.first = leader;
+        std::size_t idx = leader;
+        while (!isa::isControl(prog.fetch(idx).op) &&
+               reachable.count(idx + 1) && !leaders.count(idx + 1))
+            ++idx;
+        bb.last = idx;
+        cfg.blockAt[leader] = bb.id;
+        cfg.blocks.push_back(bb);
+    }
+
+    // The entry block must be blocks[0]; leaders iterate in index
+    // order, so swap it into place if the entry isn't the lowest.
+    int entryId = cfg.blockAt.at(entryIdx);
+    if (entryId != 0) {
+        std::swap(cfg.blocks[0],
+                  cfg.blocks[static_cast<std::size_t>(entryId)]);
+        cfg.blocks[0].id = 0;
+        cfg.blocks[static_cast<std::size_t>(entryId)].id = entryId;
+        cfg.blockAt[cfg.blocks[0].first] = 0;
+        cfg.blockAt[cfg.blocks[static_cast<std::size_t>(entryId)]
+                        .first] = entryId;
+    }
+
+    // Pass 4: edges.
+    for (BasicBlock &bb : cfg.blocks)
+        for (std::size_t s : instSuccessors(prog, bb.last))
+            if (reachable.count(s))
+                bb.succs.push_back(cfg.blockAt.at(s));
+    for (const BasicBlock &bb : cfg.blocks)
+        for (int s : bb.succs)
+            cfg.blocks[static_cast<std::size_t>(s)].preds.push_back(
+                bb.id);
+
+    std::sort(cfg.indirectAt.begin(), cfg.indirectAt.end());
+    std::sort(cfg.outOfTextAt.begin(), cfg.outOfTextAt.end());
+    cfg.outOfTextAt.erase(std::unique(cfg.outOfTextAt.begin(),
+                                      cfg.outOfTextAt.end()),
+                          cfg.outOfTextAt.end());
+    return cfg;
+}
+
+std::vector<std::size_t>
+discoverFunctions(const prog::Program &prog)
+{
+    std::set<std::size_t> seen;
+    std::vector<std::size_t> work{prog.entry()};
+    while (!work.empty()) {
+        std::size_t entry = work.back();
+        work.pop_back();
+        if (!seen.insert(entry).second)
+            continue;
+        Cfg cfg = buildCfg(prog, entry);
+        for (std::size_t callee : cfg.callTargets)
+            work.push_back(callee);
+    }
+    return {seen.begin(), seen.end()};
+}
+
+} // namespace ddsim::analysis

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Control-flow graph construction over a decoded program's text.
+ *
+ * Functions are discovered from the program entry point plus every
+ * jal target; each function gets its own CFG of basic blocks with
+ * fall-through, branch, and jump edges. Calls (jal/jalr) end a block
+ * but edge to their own fall-through successor — the callee is
+ * recorded as a call target, not a successor, so the per-function
+ * dataflow stays intra-procedural the way the paper's compiler-side
+ * annotation pass is.
+ */
+
+#ifndef DDSIM_ANALYSIS_CFG_HH_
+#define DDSIM_ANALYSIS_CFG_HH_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "prog/program.hh"
+
+namespace ddsim::analysis {
+
+/** A maximal straight-line run of instructions. */
+struct BasicBlock
+{
+    int id = -1;
+    std::size_t first = 0;  ///< Index of the leader instruction.
+    std::size_t last = 0;   ///< Index of the final instruction (inclusive).
+    std::vector<int> succs; ///< Successor block ids, in edge order.
+    std::vector<int> preds; ///< Predecessor block ids.
+
+    std::size_t size() const { return last - first + 1; }
+};
+
+/** Per-function control-flow graph. */
+struct Cfg
+{
+    std::size_t entry = 0;          ///< Entry instruction index.
+    std::vector<BasicBlock> blocks; ///< blocks[0] is the entry block.
+    /** Leader instruction index -> block id. */
+    std::map<std::size_t, int> blockAt;
+    /** jal targets reached from this function (entry indices). */
+    std::vector<std::size_t> callTargets;
+    /** Branch/jump instructions whose target falls outside the text. */
+    std::vector<std::size_t> outOfTextAt;
+    /** jr-through-non-ra / jalr sites (statically unresolvable). */
+    std::vector<std::size_t> indirectAt;
+
+    /** The block containing instruction @p idx, or -1. */
+    int blockContaining(std::size_t idx) const;
+};
+
+/**
+ * Intra-procedural successor instruction indices of @p idx. Call
+ * instructions report only their fall-through; returns and halts
+ * report none. Targets outside the text are dropped (the CFG builder
+ * records them in Cfg::outOfTextAt).
+ */
+std::vector<std::size_t> instSuccessors(const prog::Program &prog,
+                                        std::size_t idx);
+
+/** Build the CFG of the function entered at instruction @p entryIdx. */
+Cfg buildCfg(const prog::Program &prog, std::size_t entryIdx);
+
+/**
+ * Entry indices of every function reachable from the program entry
+ * via direct calls, sorted ascending. The program entry is always
+ * included.
+ */
+std::vector<std::size_t> discoverFunctions(const prog::Program &prog);
+
+} // namespace ddsim::analysis
+
+#endif // DDSIM_ANALYSIS_CFG_HH_

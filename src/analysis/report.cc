@@ -1,0 +1,149 @@
+#include "analysis/report.hh"
+
+#include <sstream>
+
+#include "util/log.hh"
+
+namespace ddsim::analysis {
+
+namespace {
+
+double
+pct(std::size_t part, std::size_t whole)
+{
+    return whole == 0 ? 0.0
+                      : 100.0 * static_cast<double>(part) /
+                            static_cast<double>(whole);
+}
+
+std::string
+mixLine(const char *what, const Mix &m)
+{
+    return format("%s %zu: %zu local (%.1f%%) / %zu non-local / "
+                  "%zu ambiguous",
+                  what, m.total(), m.local, pct(m.local, m.total()),
+                  m.nonLocal, m.ambiguous);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonMix(const Mix &m)
+{
+    return format("{\"local\": %zu, \"nonlocal\": %zu, "
+                  "\"ambiguous\": %zu}",
+                  m.local, m.nonLocal, m.ambiguous);
+}
+
+} // namespace
+
+std::string
+textReport(const AnalysisResult &res, bool verbose)
+{
+    std::ostringstream os;
+    os << "== ddlint: " << res.program << " ==\n";
+    os << format("functions: %zu\n", res.functions.size());
+    os << "  " << mixLine("loads", res.loads) << "\n";
+    os << "  " << mixLine("stores", res.stores) << "\n";
+
+    os << "frames:\n";
+    for (const FunctionInfo &fn : res.functions) {
+        os << format("  %-24s entry @%-6zu %3zu blocks  ",
+                     fn.name.c_str(), fn.entry,
+                     fn.cfg.blocks.size());
+        if (fn.frameKnown)
+            os << format("%zu words\n", fn.frameWords);
+        else
+            os << format(">=%zu words (sp tracking lost)\n",
+                         fn.frameWords);
+        if (verbose)
+            for (const MemAccess &acc : fn.accesses)
+                os << format("    @%-6zu %-9s %s%s\n", acc.instIdx,
+                             verdictName(acc.verdict),
+                             acc.spOffsetKnown
+                                 ? format("entry%+lld ",
+                                          static_cast<long long>(
+                                              acc.spOffset))
+                                       .c_str()
+                                 : "",
+                             acc.annotatedLocal ? "!local" : "");
+    }
+
+    os << format("diagnostics: %zu error(s), %zu warning(s), "
+                 "%zu note(s)\n",
+                 res.errors(), res.warnings(),
+                 res.count(Severity::Note));
+    for (const Diagnostic &d : res.diagnostics)
+        os << format("  %-7s %-27s @%-6zu %s: %s\n",
+                     severityName(d.severity), d.id.c_str(),
+                     d.instIdx, d.function.c_str(),
+                     d.message.c_str());
+    return os.str();
+}
+
+std::string
+jsonReport(const AnalysisResult &res)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << format("  \"program\": \"%s\",\n",
+                 jsonEscape(res.program).c_str());
+    os << format("  \"errors\": %zu,\n", res.errors());
+    os << format("  \"warnings\": %zu,\n", res.warnings());
+    os << format("  \"notes\": %zu,\n", res.count(Severity::Note));
+    os << "  \"loads\": " << jsonMix(res.loads) << ",\n";
+    os << "  \"stores\": " << jsonMix(res.stores) << ",\n";
+
+    os << "  \"functions\": [";
+    for (std::size_t i = 0; i < res.functions.size(); ++i) {
+        const FunctionInfo &fn = res.functions[i];
+        Mix mix;
+        for (const MemAccess &acc : fn.accesses)
+            mix.add(acc.verdict);
+        os << (i ? ",\n    " : "\n    ");
+        os << format("{\"name\": \"%s\", \"entry\": %zu, "
+                     "\"blocks\": %zu, \"frame_words\": %zu, "
+                     "\"frame_known\": %s, \"accesses\": %s}",
+                     jsonEscape(fn.name).c_str(), fn.entry,
+                     fn.cfg.blocks.size(), fn.frameWords,
+                     fn.frameKnown ? "true" : "false",
+                     jsonMix(mix).c_str());
+    }
+    os << "\n  ],\n";
+
+    os << "  \"diagnostics\": [";
+    for (std::size_t i = 0; i < res.diagnostics.size(); ++i) {
+        const Diagnostic &d = res.diagnostics[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << format("{\"severity\": \"%s\", \"id\": \"%s\", "
+                     "\"inst\": %zu, \"function\": \"%s\", "
+                     "\"message\": \"%s\"}",
+                     severityName(d.severity),
+                     jsonEscape(d.id).c_str(), d.instIdx,
+                     jsonEscape(d.function).c_str(),
+                     jsonEscape(d.message).c_str());
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+} // namespace ddsim::analysis

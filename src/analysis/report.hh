@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Rendering of analysis results: a human-readable text report and a
+ * machine-readable JSON document (schema in docs/ANALYSIS.md).
+ */
+
+#ifndef DDSIM_ANALYSIS_REPORT_HH_
+#define DDSIM_ANALYSIS_REPORT_HH_
+
+#include <string>
+
+#include "analysis/analyzer.hh"
+
+namespace ddsim::analysis {
+
+/**
+ * Human-readable report: summary line, static access mix, per-function
+ * frame table, then every diagnostic. @p verbose additionally lists
+ * each memory instruction with its verdict.
+ */
+std::string textReport(const AnalysisResult &res, bool verbose = false);
+
+/** JSON report. Stable key order; schema in docs/ANALYSIS.md. */
+std::string jsonReport(const AnalysisResult &res);
+
+} // namespace ddsim::analysis
+
+#endif // DDSIM_ANALYSIS_REPORT_HH_

@@ -1,0 +1,479 @@
+#include "analysis/value.hh"
+
+#include <cstdint>
+
+#include "isa/opcode.hh"
+#include "isa/regs.hh"
+#include "util/log.hh"
+
+namespace ddsim::analysis {
+
+using isa::Inst;
+using isa::OpCode;
+namespace reg = isa::reg;
+
+namespace {
+
+/** Wrap to 32 bits and sign-extend, matching executor arithmetic. */
+std::int64_t
+wrap32(std::int64_t v)
+{
+    return static_cast<std::int64_t>(
+        static_cast<std::int32_t>(static_cast<std::uint32_t>(v)));
+}
+
+/**
+ * A constant that plausibly roots address arithmetic: anything from
+ * the text base up to the stack region. Values below the text base
+ * are plain integers (loop bounds, LCG multipliers) whose sums we
+ * must not over-claim as non-stack.
+ */
+bool
+isPointerConst(const AbsValue &v)
+{
+    Word w = v.word();
+    return v.isConst() && w >= layout::TextBase && w < 0x7000'0000u;
+}
+
+/**
+ * A value that roots address arithmetic on the non-stack side: a
+ * pointer-looking constant or anything already proven non-stack.
+ */
+bool
+isRoot(const AbsValue &v)
+{
+    return v.kind == ValueKind::NonStack || isPointerConst(v);
+}
+
+} // namespace
+
+AbsValue
+AbsValue::konst(std::int64_t v)
+{
+    return {ValueKind::Const, wrap32(v)};
+}
+
+bool
+AbsValue::isNonStackish() const
+{
+    if (kind == ValueKind::NonStack)
+        return true;
+    return isConst() && !layout::isStackAddr(word());
+}
+
+std::string
+AbsValue::str() const
+{
+    switch (kind) {
+      case ValueKind::Bottom:
+        return "bottom";
+      case ValueKind::Const:
+        return format("const 0x%x", word());
+      case ValueKind::StackOff:
+        return n >= 0 ? format("sp+%lld", static_cast<long long>(n))
+                      : format("sp%lld", static_cast<long long>(n));
+      case ValueKind::StackDerived:
+        return "stack?";
+      case ValueKind::NonStack:
+        return "nonstack";
+      case ValueKind::Top:
+        return "top";
+    }
+    return "?";
+}
+
+AbsValue
+join(const AbsValue &a, const AbsValue &b)
+{
+    if (a.kind == ValueKind::Bottom)
+        return b;
+    if (b.kind == ValueKind::Bottom)
+        return a;
+    if (a == b)
+        return a;
+    if (a.isStackish() && b.isStackish())
+        return AbsValue::stackDerived();
+    if (a.isNonStackish() && b.isNonStackish())
+        return AbsValue::nonStack();
+    return AbsValue::top();
+}
+
+AbsValue
+absAdd(const AbsValue &a, const AbsValue &b)
+{
+    if (a.kind == ValueKind::Bottom || b.kind == ValueKind::Bottom)
+        return AbsValue::bottom();
+    if (a.isConst() && b.isConst())
+        return AbsValue::konst(a.n + b.n);
+    if (a.isStackOff() && b.isConst())
+        return AbsValue::stackOff(a.n + b.n);
+    if (b.isStackOff() && a.isConst())
+        return AbsValue::stackOff(b.n + a.n);
+    if (a.isStackish() && b.isStackish())
+        return AbsValue::top();
+    // Stack pointer plus an index stays inside the stack region.
+    if (a.isStackish() || b.isStackish())
+        return AbsValue::stackDerived();
+    // Arithmetic rooted at a non-stack pointer stays outside the
+    // stack region, whatever the index operand is.
+    if (isRoot(a) || isRoot(b))
+        return AbsValue::nonStack();
+    if (a.isNonStackish() && b.isNonStackish())
+        return AbsValue::nonStack();
+    return AbsValue::top();
+}
+
+AbsValue
+absSub(const AbsValue &a, const AbsValue &b)
+{
+    if (a.kind == ValueKind::Bottom || b.kind == ValueKind::Bottom)
+        return AbsValue::bottom();
+    if (a.isConst() && b.isConst())
+        return AbsValue::konst(a.n - b.n);
+    if (a.isStackOff() && b.isConst())
+        return AbsValue::stackOff(a.n - b.n);
+    if (a.isStackOff() && b.isStackOff())
+        return AbsValue::konst(a.n - b.n);
+    if (a.isStackish() && !b.isStackish())
+        return AbsValue::stackDerived();
+    if (isRoot(a) && !b.isStackish())
+        return AbsValue::nonStack();
+    if (a.isNonStackish() && b.isNonStackish())
+        return AbsValue::nonStack();
+    return AbsValue::top();
+}
+
+RegState
+RegState::functionEntry()
+{
+    RegState s;
+    s.reachable = true;
+    s.gpr.fill(AbsValue::top());
+    s.gpr[reg::zero] = AbsValue::konst(0);
+    s.gpr[reg::sp] = AbsValue::stackOff(0);
+    s.gpr[reg::fp] = AbsValue::stackDerived();
+    s.gpr[reg::gp] = AbsValue::konst(layout::DataBase);
+    s.gpr[reg::ra] = AbsValue::nonStack();
+    return s;
+}
+
+void
+RegState::set(RegId r, const AbsValue &v)
+{
+    if (r == reg::zero)
+        return; // r0 is hard-wired.
+    gpr[r] = v;
+}
+
+RegState
+joinStates(const RegState &a, const RegState &b)
+{
+    if (!a.reachable)
+        return b;
+    if (!b.reachable)
+        return a;
+    RegState out;
+    out.reachable = true;
+    for (int r = 0; r < NumGprs; ++r)
+        out.gpr[static_cast<std::size_t>(r)] =
+            join(a.gpr[static_cast<std::size_t>(r)],
+                 b.gpr[static_cast<std::size_t>(r)]);
+    // Frame slots: keep only offsets known on both paths; joins that
+    // widen to Top are dropped (a missing key already means Top).
+    for (const auto &[off, va] : a.frame) {
+        auto it = b.frame.find(off);
+        if (it == b.frame.end())
+            continue;
+        AbsValue v = join(va, it->second);
+        if (v.kind != ValueKind::Top)
+            out.frame.emplace(off, v);
+    }
+    return out;
+}
+
+namespace {
+
+AbsValue
+logicalFold(OpCode op, const AbsValue &a, const AbsValue &b)
+{
+    if (a.isConst() && b.isConst()) {
+        Word x = a.word(), y = b.word();
+        switch (op) {
+          case OpCode::AND:
+          case OpCode::ANDI: return AbsValue::konst(x & y);
+          case OpCode::OR:
+          case OpCode::ORI:  return AbsValue::konst(x | y);
+          case OpCode::XOR:
+          case OpCode::XORI: return AbsValue::konst(x ^ y);
+          case OpCode::NOR:  return AbsValue::konst(~(x | y));
+          default: break;
+        }
+    }
+    return AbsValue::top();
+}
+
+/** AND result is numerically bounded by any constant operand. */
+AbsValue
+andValue(const AbsValue &a, const AbsValue &b)
+{
+    AbsValue folded = logicalFold(OpCode::AND, a, b);
+    if (folded.isConst())
+        return folded;
+    auto boundedMask = [](const AbsValue &v) {
+        return v.isConst() && v.word() < 0x7000'0000u;
+    };
+    if (boundedMask(a) || boundedMask(b))
+        return AbsValue::nonStack();
+    return AbsValue::top();
+}
+
+/** OR with zero is the canonical move idiom. */
+AbsValue
+orValue(const AbsValue &a, const AbsValue &b)
+{
+    if (a.isConst() && a.n == 0)
+        return b;
+    if (b.isConst() && b.n == 0)
+        return a;
+    AbsValue folded = logicalFold(OpCode::OR, a, b);
+    if (folded.isConst())
+        return folded;
+    if (a.isNonStackish() && b.isNonStackish())
+        return AbsValue::nonStack();
+    return AbsValue::top();
+}
+
+AbsValue
+shiftValue(OpCode op, const AbsValue &v, std::int64_t amount)
+{
+    if (!v.isConst())
+        return AbsValue::top();
+    Word x = v.word();
+    int sh = static_cast<int>(amount) & 31;
+    switch (op) {
+      case OpCode::SLL:
+      case OpCode::SLLV: return AbsValue::konst(x << sh);
+      case OpCode::SRL:
+      case OpCode::SRLV: return AbsValue::konst(x >> sh);
+      case OpCode::SRA:
+      case OpCode::SRAV:
+        return AbsValue::konst(static_cast<SWord>(x) >> sh);
+      default: break;
+    }
+    return AbsValue::top();
+}
+
+AbsValue
+mulValue(const AbsValue &a, const AbsValue &b)
+{
+    if (a.isConst() && b.isConst())
+        return AbsValue::konst(a.n * b.n);
+    return AbsValue::top();
+}
+
+AbsValue
+divValue(const AbsValue &a, const AbsValue &b)
+{
+    if (!a.isConst() || !b.isConst())
+        return AbsValue::top();
+    auto x = static_cast<SWord>(a.word());
+    auto y = static_cast<SWord>(b.word());
+    if (y == 0)
+        return AbsValue::konst(0);
+    if (x == INT32_MIN && y == -1)
+        return AbsValue::konst(INT32_MIN);
+    return AbsValue::konst(x / y);
+}
+
+/** 0/1 comparison results are provably not stack addresses. */
+AbsValue
+cmpValue(bool known, bool result)
+{
+    if (known)
+        return AbsValue::konst(result ? 1 : 0);
+    return AbsValue::nonStack();
+}
+
+/** Drop frame slots overlapping [off, off+size) bytes. */
+void
+eraseFrameRange(RegState &state, std::int64_t off, int size)
+{
+    state.frame.erase(state.frame.lower_bound(off - 3),
+                      state.frame.lower_bound(off + size));
+}
+
+/** A store's effect on the tracked frame slots. */
+void
+applyStore(RegState &state, const Inst &inst, const AbsValue &base,
+           const AbsValue &value)
+{
+    int size = static_cast<int>(isa::opInfo(inst.op).accessSize);
+    if (base.isStackOff()) {
+        std::int64_t off = base.n + inst.imm;
+        eraseFrameRange(state, off, size);
+        if (inst.op == OpCode::SW && value.kind != ValueKind::Top &&
+            value.kind != ValueKind::Bottom)
+            state.frame.emplace(off, value);
+        return;
+    }
+    // Any store that might hit the stack at an unknown offset wipes
+    // everything we know about the frame.
+    bool mayBeStack =
+        base.isStackish() || base.kind == ValueKind::Top ||
+        (base.isConst() &&
+         layout::isStackAddr(base.word() +
+                             static_cast<Word>(inst.imm)));
+    if (mayBeStack)
+        state.frame.clear();
+}
+
+/** Clobber the caller-saved registers across a call (o32 ABI). */
+void
+clobberCallerSaved(RegState &state)
+{
+    static constexpr RegId callerSaved[] = {
+        reg::at, reg::v0, reg::v1, reg::a0, reg::a1, reg::a2,
+        reg::a3, reg::t0, reg::t1, reg::t2, reg::t3, reg::t4,
+        reg::t5, reg::t6, reg::t7, reg::t8, reg::t9, reg::k0,
+        reg::k1, reg::ra,
+    };
+    for (RegId r : callerSaved)
+        state.set(r, AbsValue::top());
+}
+
+} // namespace
+
+void
+applyInst(RegState &state, const Inst &inst)
+{
+    const AbsValue &rs = state.get(inst.rs);
+    const AbsValue &rt = state.get(inst.rt);
+
+    switch (inst.op) {
+      case OpCode::ADD:
+        state.set(inst.rd, absAdd(rs, rt));
+        break;
+      case OpCode::SUB:
+        state.set(inst.rd, absSub(rs, rt));
+        break;
+      case OpCode::MUL:
+        state.set(inst.rd, mulValue(rs, rt));
+        break;
+      case OpCode::DIV:
+        state.set(inst.rd, divValue(rs, rt));
+        break;
+      case OpCode::AND:
+        state.set(inst.rd, andValue(rs, rt));
+        break;
+      case OpCode::OR:
+        state.set(inst.rd, orValue(rs, rt));
+        break;
+      case OpCode::XOR:
+      case OpCode::NOR:
+        state.set(inst.rd, logicalFold(inst.op, rs, rt));
+        break;
+      case OpCode::SLLV:
+      case OpCode::SRLV:
+      case OpCode::SRAV:
+        state.set(inst.rd, rt.isConst()
+                               ? shiftValue(inst.op, rs, rt.n)
+                               : AbsValue::top());
+        break;
+      case OpCode::SLT:
+        state.set(inst.rd,
+                  cmpValue(rs.isConst() && rt.isConst(),
+                           static_cast<SWord>(rs.word()) <
+                               static_cast<SWord>(rt.word())));
+        break;
+      case OpCode::SLTU:
+        state.set(inst.rd, cmpValue(rs.isConst() && rt.isConst(),
+                                    rs.word() < rt.word()));
+        break;
+
+      case OpCode::SLL:
+      case OpCode::SRL:
+      case OpCode::SRA:
+        state.set(inst.rd, shiftValue(inst.op, rs, inst.imm));
+        break;
+
+      case OpCode::ADDI:
+        state.set(inst.rt, absAdd(rs, AbsValue::konst(inst.imm)));
+        break;
+      case OpCode::ANDI:
+        // Logical immediates are zero-extended 16-bit fields, so the
+        // mask always bounds the result below the stack region.
+        state.set(inst.rt, andValue(rs, AbsValue::konst(inst.imm)));
+        break;
+      case OpCode::ORI:
+        state.set(inst.rt, orValue(rs, AbsValue::konst(inst.imm)));
+        break;
+      case OpCode::XORI:
+        state.set(inst.rt,
+                  logicalFold(inst.op, rs, AbsValue::konst(inst.imm)));
+        break;
+      case OpCode::SLTI:
+        state.set(inst.rt,
+                  cmpValue(rs.isConst(),
+                           static_cast<SWord>(rs.word()) < inst.imm));
+        break;
+      case OpCode::LUI:
+        state.set(inst.rt, AbsValue::konst(
+                               static_cast<std::int64_t>(inst.imm)
+                               << 16));
+        break;
+
+      case OpCode::LW: {
+        AbsValue v = AbsValue::top();
+        if (rs.isStackOff()) {
+            auto it = state.frame.find(rs.n + inst.imm);
+            if (it != state.frame.end())
+                v = it->second;
+        }
+        state.set(inst.rt, v);
+        break;
+      }
+      case OpCode::LB:
+      case OpCode::LBU:
+        state.set(inst.rt, AbsValue::top());
+        break;
+
+      case OpCode::SW:
+      case OpCode::SB:
+        applyStore(state, inst, rs, rt);
+        break;
+      case OpCode::SD:
+        applyStore(state, inst, rs, AbsValue::top());
+        break;
+
+      case OpCode::JAL:
+      case OpCode::JALR:
+        // The callee runs below our sp and must not touch this frame
+        // — unless we hand it a stack address to write through.
+        for (int i = 0; i < 4; ++i)
+            if (state.get(static_cast<RegId>(reg::a0 + i))
+                    .isStackish()) {
+                state.frame.clear();
+                break;
+            }
+        clobberCallerSaved(state);
+        state.set(inst.op == OpCode::JAL ? reg::ra : inst.rd,
+                  AbsValue::nonStack());
+        break;
+
+      case OpCode::CVT_W_D:
+        state.set(inst.rd, AbsValue::top());
+        break;
+      case OpCode::C_LT_D:
+      case OpCode::C_LE_D:
+      case OpCode::C_EQ_D:
+        state.set(inst.rd, cmpValue(false, false));
+        break;
+
+      default:
+        // Stores, FP arithmetic, branches, j/jr, nop/halt/print:
+        // no GPR side effects.
+        break;
+    }
+}
+
+} // namespace ddsim::analysis

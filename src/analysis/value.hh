@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The abstract value domain of the static MISA analyzer.
+ *
+ * Every GPR is tracked as an element of a small lattice that answers
+ * the one question the paper's compiler-side classification needs
+ * (Section 2.2.3): "is this register a stack address, a non-stack
+ * address, or unknown?" — refined with exact constants (so lui/ori
+ * address materialization folds) and exact sp-relative offsets (so
+ * stack discipline is checkable):
+ *
+ *                      Top (anything)
+ *                    /                \
+ *          StackDerived              NonStack
+ *          /          \              /      \
+ *   StackOff(k) StackOff(k') ... Const(v) Const(v') ...
+ *                    \                /
+ *                        Bottom (unreachable)
+ *
+ *  - Const(v):      exactly the 32-bit value v.
+ *  - StackOff(k):   exactly (function-entry sp) + k bytes.
+ *  - StackDerived:  sp-derived with an unknown offset — assumed to
+ *                   stay inside the run-time stack region.
+ *  - NonStack:      provably (under the rooted-pointer assumption
+ *                   below) not a stack address.
+ *
+ * Rooted-pointer assumption: address arithmetic rooted at a non-stack
+ * constant (data/heap/text base materialized by li/la) stays out of
+ * the stack region, and arithmetic rooted at sp stays inside it.
+ * Index registers never carry a pointer across the boundary. This is
+ * exactly the assumption the paper's hardware sp/fp-base heuristic
+ * makes, and the Oracle cross-check in tests/test_analysis.cpp
+ * validates it dynamically on whole workload runs.
+ */
+
+#ifndef DDSIM_ANALYSIS_VALUE_HH_
+#define DDSIM_ANALYSIS_VALUE_HH_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "isa/inst.hh"
+#include "util/types.hh"
+
+namespace ddsim::analysis {
+
+/** Lattice element kinds, in increasing order of ignorance. */
+enum class ValueKind : std::uint8_t
+{
+    Bottom,         ///< Unreachable / no value yet.
+    Const,          ///< Exactly a known 32-bit constant.
+    StackOff,       ///< Exactly entry-sp + known byte offset.
+    StackDerived,   ///< Stack address, offset unknown.
+    NonStack,       ///< Provably not a stack address.
+    Top,            ///< Unknown.
+};
+
+/** One abstract register value. */
+struct AbsValue
+{
+    ValueKind kind = ValueKind::Top;
+    /** Const: the value (sign-extended); StackOff: byte offset. */
+    std::int64_t n = 0;
+
+    static AbsValue bottom() { return {ValueKind::Bottom, 0}; }
+    static AbsValue top() { return {ValueKind::Top, 0}; }
+    static AbsValue konst(std::int64_t v);
+    static AbsValue stackOff(std::int64_t k)
+    {
+        return {ValueKind::StackOff, k};
+    }
+    static AbsValue stackDerived()
+    {
+        return {ValueKind::StackDerived, 0};
+    }
+    static AbsValue nonStack() { return {ValueKind::NonStack, 0}; }
+
+    bool isConst() const { return kind == ValueKind::Const; }
+    bool isStackOff() const { return kind == ValueKind::StackOff; }
+    /** Stack-rooted (exact or derived). */
+    bool isStackish() const
+    {
+        return kind == ValueKind::StackOff ||
+               kind == ValueKind::StackDerived;
+    }
+    /** Provably outside the stack region. */
+    bool isNonStackish() const;
+
+    /** The 32-bit machine word of a Const (wrapped, sign-extended). */
+    Word word() const { return static_cast<Word>(n); }
+
+    bool operator==(const AbsValue &) const = default;
+
+    /** "const 0x1000", "sp-24", "stack?", "nonstack", "top". */
+    std::string str() const;
+};
+
+/** Least upper bound of two abstract values. */
+AbsValue join(const AbsValue &a, const AbsValue &b);
+
+// Abstract arithmetic mirroring the executor's 32-bit semantics.
+AbsValue absAdd(const AbsValue &a, const AbsValue &b);
+AbsValue absSub(const AbsValue &a, const AbsValue &b);
+
+/**
+ * Dataflow state: one abstract value per GPR (r0 pinned to 0), plus
+ * the known contents of frame slots — word stores through an exact
+ * sp-relative base record the stored value, so spill/reload clusters
+ * (the dominant local traffic in the workloads) don't lose tracking.
+ * Slots are keyed by entry-sp-relative byte offset; a missing key
+ * means Top. Stores through inexact stack bases, and calls that
+ * receive a stack address in a0..a3, invalidate the whole map.
+ */
+struct RegState
+{
+    std::array<AbsValue, NumGprs> gpr;
+    std::map<std::int64_t, AbsValue> frame;
+    bool reachable = false;
+
+    RegState()
+    {
+        gpr.fill(AbsValue::bottom());
+    }
+
+    /**
+     * The ABI state at a function entry: sp is the frame base
+     * (StackOff 0), fp is some caller frame address, gp is the global
+     * pointer, ra a text address; arguments and temporaries unknown.
+     */
+    static RegState functionEntry();
+
+    const AbsValue &get(RegId r) const { return gpr[r]; }
+    void set(RegId r, const AbsValue &v);
+
+    bool operator==(const RegState &) const = default;
+};
+
+/** Pointwise join; marks the result reachable if either input is. */
+RegState joinStates(const RegState &a, const RegState &b);
+
+/**
+ * Apply one instruction's effect on the register state. Memory and
+ * control instructions fall through to their GPR side effects only
+ * (a load destination becomes Top, jal clobbers caller-saved
+ * registers per the ABI).
+ */
+void applyInst(RegState &state, const isa::Inst &inst);
+
+} // namespace ddsim::analysis
+
+#endif // DDSIM_ANALYSIS_VALUE_HH_

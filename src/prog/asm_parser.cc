@@ -4,6 +4,7 @@
 #include <optional>
 #include <sstream>
 
+#include "isa/encode.hh"
 #include "prog/builder.hh"
 #include "util/log.hh"
 #include "util/str.hh"
@@ -21,7 +22,10 @@ struct AsmState
     ProgramBuilder builder;
     std::map<std::string, Label> textLabels;  // name -> builder label
     std::map<std::string, Addr> dataLabels;   // name -> absolute address
+    std::map<std::string, int> labelFirstUse; // name -> line of first ref
+    std::map<std::string, int> labelBoundAt;  // name -> line of definition
     std::string entryName = "main";
+    int entryLine = 0; // line of the .entry directive, 0 if defaulted
     bool inData = false;
     int lineNo = 0;
 
@@ -36,6 +40,7 @@ struct AsmState
     Label
     textLabel(const std::string &name)
     {
+        labelFirstUse.try_emplace(name, lineNo);
         auto it = textLabels.find(name);
         if (it != textLabels.end())
             return it->second;
@@ -54,6 +59,7 @@ struct Operand
     RegId base = 0;     // Mem
     bool local = false; // Mem
     std::string label;  // LabelRef
+    std::string text;   // original token, for diagnostics
 };
 
 std::optional<Operand>
@@ -69,12 +75,18 @@ parseOperand(AsmState &st, std::string tok, bool localFlag)
         Operand op;
         op.kind = Operand::Kind::Mem;
         op.local = localFlag;
+        op.text = tok;
         std::string offStr = tok.substr(0, open);
         std::string baseStr =
             tok.substr(open + 1, tok.size() - open - 2);
         std::int64_t off = 0;
         if (!offStr.empty() && !parseInt(offStr, off))
             st.error("bad memory offset '" + offStr + "'");
+        if (off < isa::MemOffsetMin || off > isa::MemOffsetMax)
+            st.error("memory offset " + std::to_string(off) +
+                     " outside the 15-bit field [" +
+                     std::to_string(isa::MemOffsetMin) + ", " +
+                     std::to_string(isa::MemOffsetMax) + "]");
         op.imm = off;
         bool isFpr = false;
         if (!isa::parseRegName(baseStr, op.base, isFpr) || isFpr)
@@ -89,6 +101,7 @@ parseOperand(AsmState &st, std::string tok, bool localFlag)
         Operand op;
         op.kind = isFpr ? Operand::Kind::FpReg : Operand::Kind::Reg;
         op.reg = idx;
+        op.text = tok;
         return op;
     }
 
@@ -98,6 +111,7 @@ parseOperand(AsmState &st, std::string tok, bool localFlag)
         Operand op;
         op.kind = Operand::Kind::Imm;
         op.imm = value;
+        op.text = tok;
         return op;
     }
 
@@ -105,6 +119,7 @@ parseOperand(AsmState &st, std::string tok, bool localFlag)
     Operand op;
     op.kind = Operand::Kind::LabelRef;
     op.label = tok;
+    op.text = tok;
     return op;
 }
 
@@ -131,7 +146,8 @@ RegId
 wantReg(AsmState &st, const Operand &op)
 {
     if (op.kind != Operand::Kind::Reg)
-        st.error("expected a general-purpose register");
+        st.error("expected a general-purpose register, got '" +
+                 op.text + "'");
     return op.reg;
 }
 
@@ -139,7 +155,8 @@ RegId
 wantFpReg(AsmState &st, const Operand &op)
 {
     if (op.kind != Operand::Kind::FpReg)
-        st.error("expected a floating-point register");
+        st.error("expected a floating-point register, got '" +
+                 op.text + "'");
     return op.reg;
 }
 
@@ -147,7 +164,7 @@ std::int32_t
 wantImm(AsmState &st, const Operand &op)
 {
     if (op.kind != Operand::Kind::Imm)
-        st.error("expected an immediate");
+        st.error("expected an immediate, got '" + op.text + "'");
     return static_cast<std::int32_t>(op.imm);
 }
 
@@ -372,6 +389,7 @@ handleDirective(AsmState &st, const std::string &directive,
         if (name.empty())
             st.error(".entry requires a label name");
         st.entryName = std::string(name);
+        st.entryLine = st.lineNo;
     } else if (directive == ".word") {
         std::int64_t v;
         if (!parseInt(rest, v))
@@ -423,6 +441,11 @@ assemble(const std::string &source, const std::string &name)
             std::string label(trim(sv.substr(0, colon)));
             if (label.empty())
                 st.error("empty label");
+            auto bound = st.labelBoundAt.find(label);
+            if (bound != st.labelBoundAt.end())
+                st.error("label '" + label + "' already defined at line " +
+                         std::to_string(bound->second));
+            st.labelBoundAt.emplace(label, st.lineNo);
             if (st.inData) {
                 // Current (word-aligned) data cursor as an address.
                 Addr addr = st.builder.dataWords(0);
@@ -442,18 +465,40 @@ assemble(const std::string &source, const std::string &name)
         std::string head = text.substr(0, space);
         std::string rest =
             space == std::string::npos ? "" : text.substr(space + 1);
-        if (head[0] == '.') {
-            handleDirective(st, toLower(head), rest);
-        } else {
-            if (st.inData)
-                st.error("instruction in .data segment");
-            handleInstruction(st, toLower(head), rest);
+        // Builder- and encode-level errors (immediate out of range,
+        // bad shift amount, ...) carry no source position of their
+        // own; re-raise them with this line's number attached.
+        try {
+            if (head[0] == '.') {
+                handleDirective(st, toLower(head), rest);
+            } else {
+                if (st.inData)
+                    st.error("instruction in .data segment");
+                handleInstruction(st, toLower(head), rest);
+            }
+        } catch (const FatalError &e) {
+            std::string msg = e.what();
+            if (msg.rfind("asm line", 0) == 0)
+                throw;
+            st.error(msg);
         }
     }
 
+    // Report unbound text labels against the line that first used
+    // them; the builder's own check would only name the label.
+    for (const auto &[label, line] : st.labelFirstUse) {
+        if (!st.labelBoundAt.count(label))
+            fatal("asm line %d: label '%s' referenced but never defined",
+                  line, label.c_str());
+    }
+
     Program p = st.builder.finish();
-    if (!p.hasSymbol(st.entryName))
+    if (!p.hasSymbol(st.entryName)) {
+        if (st.entryLine > 0)
+            fatal("asm line %d: entry label '%s' not defined",
+                  st.entryLine, st.entryName.c_str());
         fatal("asm: entry label '%s' not defined", st.entryName.c_str());
+    }
     p.setEntry(p.symbol(st.entryName));
     return p;
 }

@@ -184,6 +184,82 @@ TEST(Asm, ErrorsAreLineNumbered)
     }
 }
 
+namespace {
+
+/** Assemble bad source; return the FatalError message. */
+std::string
+assembleError(const std::string &source)
+{
+    setQuiet(true);
+    try {
+        assemble(source);
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected FatalError for:\n" << source;
+    return "";
+}
+
+} // namespace
+
+TEST(Asm, BadRegisterNamesTheTokenAndLine)
+{
+    std::string msg = assembleError("main:\n    add t0, r99, t1\n");
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("r99"), std::string::npos) << msg;
+
+    msg = assembleError("main:\n    lw t0, 4(f2)\n");
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("f2"), std::string::npos) << msg;
+}
+
+TEST(Asm, MemOffsetOverflowIsLineNumbered)
+{
+    // 15-bit signed field: [-16384, 16383] (paper footnote 6).
+    std::string msg = assembleError("main:\n\n    lw t0, 16384(sp)\n");
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("16384"), std::string::npos) << msg;
+
+    msg = assembleError("main:\n    sw t0, -16385(sp)\n");
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+
+    // The extremes themselves still assemble.
+    Program p = assemble(
+        "main:\n    lw t0, 16383(sp)\n    sw t0, -16384(sp)\n    halt\n");
+    EXPECT_EQ(p.fetch(0).imm, 16383);
+    EXPECT_EQ(p.fetch(1).imm, -16384);
+}
+
+TEST(Asm, UndefinedLabelReportsFirstUseLine)
+{
+    std::string msg =
+        assembleError("main:\n    beq t0, t1, nowhere\n    halt\n");
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("nowhere"), std::string::npos) << msg;
+}
+
+TEST(Asm, DoubleBoundLabelReportsBothLines)
+{
+    std::string msg = assembleError("main:\n    halt\nmain:\n    halt\n");
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+}
+
+TEST(Asm, EntryDirectiveLineInMissingEntryError)
+{
+    std::string msg = assembleError(".entry start\nmain:\n    halt\n");
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("start"), std::string::npos) << msg;
+}
+
+TEST(Asm, ImmediateOverflowIsLineNumbered)
+{
+    // addi's 16-bit field is checked at encode time; the parser must
+    // still attach the source line.
+    std::string msg = assembleError("main:\n    addi t0, zero, 70000\n");
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
 TEST(Asm, UnknownDirectiveFails)
 {
     setQuiet(true);
