@@ -3,14 +3,26 @@
  * Simulator throughput measured with google-benchmark: simulated
  * instructions per wall-clock second for representative workload and
  * configuration pairs.
+ *
+ * `--json=<path>` switches to a self-timed measurement pass that
+ * writes the results machine-readably (schema below) instead of
+ * running google-benchmark; BENCH_simspeed.json at the repo root is
+ * the committed output of that mode and tracks the perf trajectory
+ * PR over PR.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "config/presets.hh"
 #include "sim/sweep.hh"
+#include "util/log.hh"
+#include "vm/trace.hh"
 #include "workloads/common.hh"
 
 using namespace ddsim;
@@ -97,6 +109,155 @@ BM_WorkloadGeneration(benchmark::State &state)
     }
 }
 
+// ---- --json mode ----------------------------------------------------------
+
+/**
+ * Committed instructions per wall-clock second of repeated
+ * sim::run()s, measured until at least @p minSec has elapsed.
+ */
+double
+timedRate(const prog::Program &program,
+          const config::MachineConfig &cfg,
+          const sim::RunOptions &opts, double minSec)
+{
+    using clock = std::chrono::steady_clock;
+    std::uint64_t insts = 0;
+    double elapsed = 0.0;
+    int reps = 0;
+    while (elapsed < minSec || reps < 2) {
+        auto t0 = clock::now();
+        sim::SimResult r = sim::run(program, cfg, opts);
+        elapsed +=
+            std::chrono::duration<double>(clock::now() - t0).count();
+        insts += r.committed;
+        ++reps;
+    }
+    return static_cast<double>(insts) / elapsed / 1e6;
+}
+
+/**
+ * The two acceptance metrics of the event-driven core, plus context:
+ * per-workload single-run throughput (live execution and shared-trace
+ * replay) and the wall clock of the full Fig. 7 (N+M) sweep grid at
+ * --jobs=1.
+ */
+int
+writeJson(const char *path)
+{
+    struct Single
+    {
+        const char *name;
+        const char *workload;
+        const char *config;
+        const char *engine;
+        double rate;
+    };
+    std::vector<Single> singles;
+
+    auto programOf = [](const char *workload) {
+        workloads::WorkloadParams p;
+        p.scale = workloads::find(workload)->defaultScale / 4;
+        return workloads::build(workload, p);
+    };
+    const double minSec = 0.3;
+
+    {
+        prog::Program li = programOf("li");
+        singles.push_back({"baseline2_li", "li", "baseline(2)", "live",
+                           timedRate(li, config::baseline(2), {},
+                                     minSec)});
+        singles.push_back(
+            {"decoupledOpt32_li", "li", "decoupledOptimized(3,2)",
+             "live",
+             timedRate(li, config::decoupledOptimized(3, 2), {},
+                       minSec)});
+        sim::RunOptions replayOpts;
+        replayOpts.trace = std::make_shared<const vm::RecordedTrace>(
+            vm::RecordedTrace::record(li));
+        singles.push_back(
+            {"decoupledOpt32_li_replay", "li",
+             "decoupledOptimized(3,2)", "replay",
+             timedRate(li, config::decoupledOptimized(3, 2),
+                       replayOpts, minSec)});
+    }
+    {
+        prog::Program swim = programOf("swim");
+        singles.push_back({"baseline2_swim", "swim", "baseline(2)",
+                           "live",
+                           timedRate(swim, config::baseline(2), {},
+                                     minSec)});
+    }
+    {
+        prog::Program vortex = programOf("vortex");
+        singles.push_back(
+            {"decoupledOpt32_vortex", "vortex",
+             "decoupledOptimized(3,2)", "live",
+             timedRate(vortex, config::decoupledOptimized(3, 2), {},
+                       minSec)});
+    }
+
+    // Full Fig. 7 grid (per program: (2+0) base + 3x5 (N+M) matrix)
+    // at one worker, traces shared per program — the sweep acceptance
+    // metric.
+    using clock = std::chrono::steady_clock;
+    std::uint64_t sweepInsts = 0;
+    std::size_t sweepJobs = 0;
+    auto t0 = clock::now();
+    {
+        sim::SweepRunner sweep(1);
+        for (const workloads::WorkloadInfo &w : workloads::all()) {
+            workloads::WorkloadParams p;
+            p.scale = w.defaultScale;
+            auto program = std::make_shared<const prog::Program>(
+                workloads::build(w.name, p));
+            sweep.submit(program, config::baseline(2));
+            ++sweepJobs;
+            for (int n : {2, 3, 4}) {
+                for (int m : {0, 1, 2, 3, 16}) {
+                    sweep.submit(program,
+                                 m == 0 ? config::baseline(n)
+                                        : config::decoupled(n, m));
+                    ++sweepJobs;
+                }
+            }
+        }
+        for (const sim::SimResult &r : sweep.collect())
+            sweepInsts += r.committed;
+    }
+    double sweepWallMs =
+        std::chrono::duration<double, std::milli>(clock::now() - t0)
+            .count();
+
+    std::FILE *f = std::fopen(path, "w");
+    if (!f)
+        fatal("cannot open %s for writing", path);
+    std::fprintf(f, "{\n  \"bench\": \"simspeed\",\n"
+                    "  \"schema\": 1,\n"
+                    "  \"units\": {\"throughput\": \"Minst/s\", "
+                    "\"wall\": \"ms\"},\n"
+                    "  \"single_runs\": [\n");
+    for (std::size_t i = 0; i < singles.size(); ++i) {
+        const Single &s = singles[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"workload\": \"%s\", "
+                     "\"config\": \"%s\", \"engine\": \"%s\", "
+                     "\"minst_per_s\": %.3f}%s\n",
+                     s.name, s.workload, s.config, s.engine, s.rate,
+                     i + 1 < singles.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"fig7_sweep\": {\"jobs\": 1, \"grid_jobs\": %zu, "
+                 "\"trace_sharing\": true, \"wall_ms\": %.1f, "
+                 "\"minst_per_s\": %.3f}\n}\n",
+                 sweepJobs, sweepWallMs,
+                 static_cast<double>(sweepInsts) / (sweepWallMs * 1e3));
+    std::fclose(f);
+    std::printf("wrote %s (%zu single runs, %zu-job sweep %.1f ms)\n",
+                path, singles.size(), sweepJobs, sweepWallMs);
+    return 0;
+}
+
 } // namespace
 
 BENCHMARK(BM_Baseline_li)->Unit(benchmark::kMillisecond);
@@ -107,4 +268,17 @@ BENCHMARK(BM_SweepGrid_li)->Arg(1)->Arg(0)->Unit(
     benchmark::kMillisecond);
 BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            return writeJson(argv[i] + 7);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

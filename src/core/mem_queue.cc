@@ -1,5 +1,7 @@
 #include "core/mem_queue.hh"
 
+#include <algorithm>
+
 #include "core/fast_forward.hh"
 #include "util/log.hh"
 
@@ -44,6 +46,8 @@ MemQueue::MemQueue(stats::Group *parent, const std::string &name,
 {
     if (size < 1)
         panic("memory queue needs at least one entry");
+    pendingLoads.reserve(static_cast<std::size_t>(size));
+    ffScratch.reserve(static_cast<std::size_t>(size));
 }
 
 int
@@ -52,15 +56,73 @@ MemQueue::positionOf(int slot) const
     return (slot - head + capacity) % capacity;
 }
 
-std::vector<int>
-MemQueue::olderSlots(int slot) const
+void
+MemQueue::indexStore(const QueueEntry &e, int slot)
 {
-    std::vector<int> out;
-    int pos = positionOf(slot);
-    out.reserve(static_cast<std::size_t>(pos));
-    for (int p = pos - 1; p >= 0; --p)
-        out.push_back((head + p) % capacity);
-    return out;
+    if (e.size == 0)
+        return; // A zero-width access overlaps nothing.
+    Addr lo = e.addr >> kChunkShift;
+    Addr hi = (e.addr + e.size - 1) >> kChunkShift;
+    for (Addr c = lo;; ++c) {
+        chunkStores[c].push_back(slot);
+        if (c == hi)
+            break;
+    }
+}
+
+void
+MemQueue::unindexStore(const QueueEntry &e, int slot)
+{
+    if (!e.addrKnown || e.size == 0)
+        return;
+    Addr lo = e.addr >> kChunkShift;
+    Addr hi = (e.addr + e.size - 1) >> kChunkShift;
+    for (Addr c = lo;; ++c) {
+        auto it = chunkStores.find(c);
+        if (it != chunkStores.end()) {
+            auto &v = it->second;
+            auto pos = std::find(v.begin(), v.end(), slot);
+            if (pos != v.end()) {
+                *pos = v.back(); // Order-free: lookups pick by seq.
+                v.pop_back();
+            }
+            // The node and the vector's capacity are kept: the next
+            // store to this chunk reuses them instead of paying a
+            // map-node plus vector allocation (this pair was the
+            // hottest malloc/free site in the whole simulator).
+        }
+        if (c == hi)
+            break;
+    }
+}
+
+int
+MemQueue::youngestOlderStore(const QueueEntry &load) const
+{
+    if (load.size == 0)
+        return -1;
+    int best = -1;
+    InstSeq bestSeq = 0;
+    Addr lo = load.addr >> kChunkShift;
+    Addr hi = (load.addr + load.size - 1) >> kChunkShift;
+    for (Addr c = lo;; ++c) {
+        auto it = chunkStores.find(c);
+        if (it != chunkStores.end()) {
+            for (int slot : it->second) {
+                const QueueEntry &st =
+                    entries[static_cast<std::size_t>(slot)];
+                if (st.seq >= load.seq || !st.overlaps(load))
+                    continue;
+                if (best < 0 || st.seq > bestSeq) {
+                    best = slot;
+                    bestSeq = st.seq;
+                }
+            }
+        }
+        if (c == hi)
+            break;
+    }
+    return best;
 }
 
 int
@@ -91,15 +153,25 @@ MemQueue::allocate(InstSeq seq, int robIdx, bool isLoad,
     if (isLoad) {
         ++loadsTotal;
         if (policy.fastForward) {
-            int match = findFastForwardStore(entries, olderSlots(slot), e);
+            // Candidates: resident stores only, youngest first (the
+            // original scan walked all older slots but skipped
+            // non-stores, so the result is identical).
+            ffScratch.clear();
+            for (auto it = storesByAge.rbegin();
+                 it != storesByAge.rend(); ++it)
+                ffScratch.push_back(it->first);
+            int match = findFastForwardStore(entries, ffScratch, e);
             if (match >= 0) {
                 e.fastFwdSlot = match;
                 e.fastFwdSeq =
                     entries[static_cast<std::size_t>(match)].seq;
             }
         }
+        pendingLoads.emplace_back(slot, seq);
     } else {
         ++storesTotal;
+        noAddrStores.emplace_back(slot, seq);
+        storesByAge.emplace_back(slot, seq);
     }
     return slot;
 }
@@ -110,6 +182,8 @@ MemQueue::setAddress(int slot, Addr addr, Cycle when, bool missteered)
     QueueEntry &e = entries[static_cast<std::size_t>(slot)];
     if (!e.valid)
         panic("setAddress on an invalid queue slot");
+    if (e.isStore && e.addrKnown)
+        unindexStore(e, slot); // Re-addressing: replace the old entry.
     e.addr = addr;
     e.addrKnown = true;
     e.addrKnownAt = when;
@@ -117,6 +191,9 @@ MemQueue::setAddress(int slot, Addr addr, Cycle when, bool missteered)
         e.missteered = true;
         ++missteeredAccesses;
     }
+    if (e.isStore && !e.cancelled)
+        indexStore(e, slot);
+    extEvent = std::min(extEvent, when);
 }
 
 void
@@ -127,6 +204,7 @@ MemQueue::setStoreData(int slot, Cycle readyAt)
         panic("setStoreData on a non-store queue slot");
     e.dataReady = true;
     e.dataReadyAt = readyAt;
+    extEvent = std::min(extEvent, readyAt);
 }
 
 void
@@ -139,6 +217,9 @@ MemQueue::cancel(int slot)
         return;
     e.cancelled = true;
     ++cancelledReplicas;
+    if (e.isStore)
+        unindexStore(e, slot);
+    extEvent = 0; // Barrier and fast-forward waiters re-evaluate.
 }
 
 bool
@@ -170,8 +251,111 @@ MemQueue::tryCacheAccess(QueueEntry &e, int pos, Cycle now)
     return true;
 }
 
+bool
+MemQueue::processLoad(QueueEntry &e, int slot, Cycle now,
+                      InstSeq barrierSeq, Cycle barrierEvent,
+                      std::vector<LoadCompletion> &completions,
+                      TickInfo &info)
+{
+    auto wantEvent = [&info](Cycle c) {
+        info.nextEvent = std::min(info.nextEvent, c);
+    };
+
+    // --- Fast data forwarding: may complete before addresses. ---
+    if (e.fastFwdSlot >= 0) {
+        QueueEntry &s =
+            entries[static_cast<std::size_t>(e.fastFwdSlot)];
+        if (s.valid && s.seq == e.fastFwdSeq && !s.cancelled) {
+            if (s.dataReady && s.dataReadyAt <= now) {
+                e.issued = true;
+                e.completed = true;
+                e.completeAt = now + policy.forwardLatency;
+                ++loadsFastForwarded;
+                completions.push_back({slot, e.robIdx, e.completeAt});
+                return true;
+            }
+            // Else: wait for the store's data; either way this load
+            // never consults the cache.
+            if (s.dataReady)
+                wantEvent(s.dataReadyAt);
+            return false;
+        }
+        // The matched store left the queue (committed); its value is
+        // in the cache now -- fall through to the normal path.
+        e.fastFwdSlot = -1;
+    }
+
+    // --- Normal path: needs this load's address. ---
+    if (!e.addrKnown)
+        return false;
+    if (e.addrKnownAt > now) {
+        wantEvent(e.addrKnownAt);
+        return false;
+    }
+
+    if (e.seq > barrierSeq) {
+        ++disambiguationStalls;
+        ++info.stalledLoads;
+        wantEvent(barrierEvent); // kNoEvent while the barrier store's
+                                 // address generation has not issued.
+        return false;
+    }
+
+    // All older store addresses are known: the youngest overlapping
+    // store decides (committed -> read the cache; covering -> forward
+    // in-queue; partial overlap -> wait for its commit).
+    int pos = positionOf(slot);
+    int storeSlot = youngestOlderStore(e);
+    if (storeSlot >= 0) {
+        QueueEntry &st = entries[static_cast<std::size_t>(storeSlot)];
+        if (!st.committed) {
+            if (!e.coveredBy(st))
+                return false; // Partial overlap: wait for the commit.
+            if (!(st.dataReady && st.dataReadyAt <= now)) {
+                if (st.dataReady)
+                    wantEvent(st.dataReadyAt);
+                return false; // Wait for the store's data.
+            }
+            // As in sim-outorder, a load satisfied by in-queue
+            // forwarding still issues through a cache port; only the
+            // latency is the 1-cycle forward. (Fast data forwarding
+            // above is what bypasses the port.)
+            auto grant =
+                scheduler.request(e.addr, AccessKind::Forward, pos);
+            if (!grant.granted) {
+                ++portDenials;
+                if (grant.bankConflict)
+                    ++bankConflicts;
+                wantEvent(now + 1); // Ports reset next cycle.
+                return false;
+            }
+            e.issued = true;
+            e.completed = true;
+            e.completeAt = now + policy.forwardLatency;
+            if (grant.combined)
+                ++combinedAccesses;
+            else
+                scheduler.setGroupCompletion(grant.groupId,
+                                             e.completeAt);
+            ++loadsForwarded;
+            completions.push_back({slot, e.robIdx, e.completeAt});
+            return true;
+        }
+        // Committed: the value is already in the cache.
+    }
+
+    // Cache access, subject to port availability.
+    if (tryCacheAccess(e, pos, now)) {
+        completions.push_back({slot, e.robIdx, e.completeAt});
+        return true;
+    }
+    wantEvent(now + 1); // Ports reset next cycle.
+    return false;
+}
+
 void
-MemQueue::tick(Cycle now, std::vector<LoadCompletion> &completions)
+MemQueue::tick(Cycle now, std::vector<LoadCompletion> &completions,
+               TickInfo *infoOut)
 {
     scheduler.newCycle(now);
     if (now >= lastSampled + 64) {
@@ -179,113 +363,65 @@ MemQueue::tick(Cycle now, std::vector<LoadCompletion> &completions)
         lastSampled = now;
     }
 
-    // Walk the queue oldest-first. Track whether any older store still
-    // has an unknown address (conservative disambiguation barrier).
-    bool unknownStoreAddr = false;
-
-    for (int p = 0; p < count; ++p) {
-        int slot = (head + p) % capacity;
-        QueueEntry &e = entries[static_cast<std::size_t>(slot)];
-        if (!e.valid || e.cancelled)
-            continue;
-
-        if (e.isStore) {
-            if (!e.addrKnown || e.addrKnownAt > now)
-                unknownStoreAddr = true;
-            continue;
-        }
-
-        if (e.issued || e.completed)
-            continue;
-
-        // --- Fast data forwarding: may complete before addresses. ---
-        if (e.fastFwdSlot >= 0) {
-            QueueEntry &s =
-                entries[static_cast<std::size_t>(e.fastFwdSlot)];
-            if (s.valid && s.seq == e.fastFwdSeq && !s.cancelled) {
-                if (s.dataReady && s.dataReadyAt <= now) {
-                    e.issued = true;
-                    e.completed = true;
-                    e.completeAt = now + policy.forwardLatency;
-                    ++loadsFastForwarded;
-                    completions.push_back(
-                        {slot, e.robIdx, e.completeAt});
-                }
-                // Else: wait for the store's data; either way this
-                // load never consults the cache.
-                continue;
-            }
-            // The matched store left the queue (committed); its value
-            // is in the cache now -- fall through to the normal path.
-            e.fastFwdSlot = -1;
-        }
-
-        // --- Normal path: needs this load's address. ---
-        if (!e.addrKnown || e.addrKnownAt > now)
-            continue;
-
-        if (unknownStoreAddr) {
-            ++disambiguationStalls;
-            continue;
-        }
-
-        // All older store addresses are known: find the youngest
-        // matching store.
-        QueueEntry *match = nullptr;
-        bool blocked = false;
-        for (int q = p - 1; q >= 0; --q) {
-            int s2 = (head + q) % capacity;
-            QueueEntry &st = entries[static_cast<std::size_t>(s2)];
-            if (!st.valid || st.cancelled || !st.isStore ||
-                !st.overlaps(e))
-                continue;
-            if (st.committed) {
-                // Value already written to the cache.
-                break;
-            }
-            if (e.coveredBy(st)) {
-                match = &st;
-            } else {
-                // Partial overlap: wait until the store commits.
-                blocked = true;
-            }
+    // Advance the disambiguation barrier: drop released, cancelled
+    // and address-resolved stores from the front. An address, once
+    // known, never becomes unknown again, so popping is final. The
+    // surviving front is the oldest store whose address is unknown as
+    // of this cycle; exactly the loads younger than it are blocked —
+    // the same set the original progressive walk blocked.
+    while (!noAddrStores.empty()) {
+        auto [slot, seq] = noAddrStores.front();
+        const QueueEntry &st = entries[static_cast<std::size_t>(slot)];
+        if (st.valid && st.seq == seq && !st.cancelled &&
+            (!st.addrKnown || st.addrKnownAt > now))
             break;
-        }
-        if (blocked)
-            continue;
+        noAddrStores.pop_front();
+    }
+    InstSeq barrierSeq = ~InstSeq{0};
+    Cycle barrierEvent = kNoEvent;
+    if (!noAddrStores.empty()) {
+        auto [slot, seq] = noAddrStores.front();
+        const QueueEntry &st = entries[static_cast<std::size_t>(slot)];
+        barrierSeq = seq;
+        if (st.addrKnown) // In flight: resolves at a known cycle.
+            barrierEvent = st.addrKnownAt;
+    }
 
-        if (match) {
-            if (match->dataReady && match->dataReadyAt <= now) {
-                // As in sim-outorder, a load satisfied by in-queue
-                // forwarding still issues through a cache port; only
-                // the latency is the 1-cycle forward. (Fast data
-                // forwarding above is what bypasses the port.)
-                auto grant =
-                    scheduler.request(e.addr, AccessKind::Forward, p);
-                if (!grant.granted) {
-                    ++portDenials;
-                    if (grant.bankConflict)
-                        ++bankConflicts;
-                    continue;
-                }
-                e.issued = true;
-                e.completed = true;
-                e.completeAt = now + policy.forwardLatency;
-                if (grant.combined)
-                    ++combinedAccesses;
-                else
-                    scheduler.setGroupCompletion(grant.groupId,
-                                                 e.completeAt);
-                ++loadsForwarded;
-                completions.push_back({slot, e.robIdx, e.completeAt});
-            }
-            // Else wait for the store's data.
+    // Visit the pending loads oldest-first (preserving the port
+    // request order of the original walk), compacting out the ones
+    // that issued, completed, cancelled or left the queue.
+    TickInfo info;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < pendingLoads.size(); ++i) {
+        auto [slot, seq] = pendingLoads[i];
+        QueueEntry &e = entries[static_cast<std::size_t>(slot)];
+        if (!e.valid || e.seq != seq || e.cancelled || e.issued ||
+            e.completed)
             continue;
-        }
+        if (processLoad(e, slot, now, barrierSeq, barrierEvent,
+                        completions, info))
+            continue;
+        pendingLoads[keep++] = pendingLoads[i];
+    }
+    pendingLoads.resize(keep);
+    if (infoOut)
+        *infoOut = info;
+}
 
-        // Cache access, subject to port availability.
-        if (tryCacheAccess(e, p, now))
-            completions.push_back({slot, e.robIdx, e.completeAt});
+void
+MemQueue::skipTo(Cycle from, Cycle to, std::uint64_t stalledLoads)
+{
+    if (to <= from)
+        return;
+    // The per-cycle model ticked every cycle in (from, to]: each tick
+    // re-charged the same disambiguation stalls (nothing changes in a
+    // quiescent window) and re-sampled occupancy once 64 cycles had
+    // passed since the last sample. Occupancy is constant across the
+    // window, so the catch-up samples all record the current count.
+    disambiguationStalls += stalledLoads * (to - from);
+    while (to >= lastSampled + 64) {
+        occupancyHist.sample(static_cast<std::uint64_t>(count));
+        lastSampled += 64;
     }
 }
 
@@ -316,6 +452,7 @@ MemQueue::commitStore(int slot, Cycle now)
         scheduler.setGroupCompletion(grant.groupId, done);
     }
     e.committed = true;
+    extEvent = std::min(extEvent, now + 1); // Unblocks partial waits.
     return true;
 }
 
@@ -328,6 +465,13 @@ MemQueue::release(int slot)
     if (slot != head)
         panic("queue entries must be released oldest-first "
               "(slot %d, head %d)", slot, head);
+    if (e.isStore) {
+        if (!e.cancelled)
+            unindexStore(e, slot);
+        // Releases run oldest-first, so this store is the front.
+        if (!storesByAge.empty() && storesByAge.front().first == slot)
+            storesByAge.pop_front();
+    }
     e.valid = false;
     head = (head + 1) % capacity;
     --count;

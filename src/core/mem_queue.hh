@@ -15,12 +15,23 @@
  * On top of that, the LVAQ instance adds the paper's two
  * optimizations: fast data forwarding (offset matching before address
  * generation) and access combining in the port scheduler.
+ *
+ * The implementation is indexed rather than scanned: tick() visits
+ * only the resident loads (never stores or empty slots), the
+ * conservative disambiguation barrier is the head of an age-ordered
+ * deque of stores with still-unknown addresses, and the
+ * youngest-older-store search runs against a per-8-byte-chunk store
+ * index instead of re-walking all older entries per load per cycle.
+ * The timing model is bit-identical to the original full scan.
  */
 
 #ifndef DDSIM_CORE_MEM_QUEUE_HH_
 #define DDSIM_CORE_MEM_QUEUE_HH_
 
+#include <deque>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/combining.hh"
@@ -51,10 +62,30 @@ struct LoadCompletion
     Cycle readyAt = 0;
 };
 
+/** "No scheduled event" sentinel for event-driven cycle skipping. */
+inline constexpr Cycle kNoEvent = ~Cycle{0};
+
 /** One memory access queue (LSQ or LVAQ). */
 class MemQueue : public stats::Group
 {
   public:
+    /**
+     * Per-tick scheduling summary, advisory input to the pipeline's
+     * cycle skip-ahead. nextEvent is the earliest future cycle at
+     * which this queue can make progress from *already-pushed* state
+     * (an address or store datum arriving, or a denied port retry);
+     * progress that needs a new external push (setAddress,
+     * setStoreData, commitStore, cancel) is reported through
+     * takeExternalEvent() instead. stalledLoads counts the loads that
+     * took a disambiguation stall this tick; while the queue is left
+     * unticked every skipped cycle accrues the same stalls.
+     */
+    struct TickInfo
+    {
+        Cycle nextEvent = kNoEvent;
+        std::uint64_t stalledLoads = 0;
+    };
+
     /**
      * @param cache The cache this queue's ports reach.
      * @param altCache Cache used by missteered accesses (the "other"
@@ -99,7 +130,31 @@ class MemQueue : public stats::Group
      * forward them) and report completions. Must be called once per
      * cycle after stores have committed (stores get port priority).
      */
-    void tick(Cycle now, std::vector<LoadCompletion> &completions);
+    void tick(Cycle now, std::vector<LoadCompletion> &completions,
+              TickInfo *info = nullptr);
+
+    /**
+     * Replay the queue-side effects of leaving the queue unticked for
+     * cycles (@p from, @p to]: each load that stalled on
+     * disambiguation in the tick at @p from stalls again every skipped
+     * cycle, and the occupancy histogram keeps sampling every 64
+     * cycles. Only valid while the queue is quiescent (the pipeline
+     * skips only when no allocate/release/setAddress/setStoreData/
+     * commitStore/cancel lands in the window).
+     */
+    void skipTo(Cycle from, Cycle to, std::uint64_t stalledLoads);
+
+    /**
+     * Earliest cycle at which state pushed from outside since the last
+     * call (setAddress, setStoreData, commitStore, cancel) can change
+     * this queue's behaviour. Consumed: resets to kNoEvent.
+     */
+    Cycle takeExternalEvent()
+    {
+        Cycle e = extEvent;
+        extEvent = kNoEvent;
+        return e;
+    }
 
     /**
      * Try to write a committing store to the cache. @return false if
@@ -134,6 +189,9 @@ class MemQueue : public stats::Group
     stats::Histogram occupancyHist;
 
   private:
+    /** Address chunks indexing the store-overlap search. */
+    static constexpr unsigned kChunkShift = 3;
+
     int capacity;
     mem::Cache *cache;
     mem::Cache *altCache;
@@ -145,9 +203,58 @@ class MemQueue : public stats::Group
     PortScheduler scheduler;
     Cycle lastSampled = 0;
 
+    // ---- Indexes (derived state; the entries array stays the truth).
+    /**
+     * Resident loads in age order, identified by (slot, seq); entries
+     * whose load issued, completed, cancelled or released are dropped
+     * lazily during the tick walk.
+     */
+    std::vector<std::pair<int, InstSeq>> pendingLoads;
+    /**
+     * Resident stores whose address was unknown as of the last tick,
+     * in age order. The front (after popping resolved/cancelled/stale
+     * heads) is the conservative disambiguation barrier: a load is
+     * blocked iff it is younger than the front store.
+     */
+    std::deque<std::pair<int, InstSeq>> noAddrStores;
+    /**
+     * All resident stores in age order (cancelled ones included and
+     * skipped at use), for the fast-forward offset match at allocate.
+     */
+    std::deque<std::pair<int, InstSeq>> storesByAge;
+    /**
+     * Known-address, non-cancelled resident stores bucketed by the
+     * 8-byte chunks their bytes touch (an access spans at most two).
+     * Maintained eagerly by setAddress/cancel/release.
+     */
+    std::unordered_map<Addr, std::vector<int>> chunkStores;
+    /** Scratch for the fast-forward candidate list (no per-call alloc). */
+    std::vector<int> ffScratch;
+
+    /** Earliest effect cycle of external pushes since last taken. */
+    Cycle extEvent = kNoEvent;
+
     int positionOf(int slot) const;
-    /** Collect valid slots older than @p slot, youngest first. */
-    std::vector<int> olderSlots(int slot) const;
+
+    /** Enter @p slot (a known-address store) into chunkStores. */
+    void indexStore(const QueueEntry &e, int slot);
+    /** Remove @p slot from chunkStores if present. */
+    void unindexStore(const QueueEntry &e, int slot);
+    /**
+     * Youngest store older than @p load overlapping its bytes, or -1.
+     * Pre-condition (guaranteed by the disambiguation barrier): every
+     * older store's address is known.
+     */
+    int youngestOlderStore(const QueueEntry &load) const;
+
+    /**
+     * One load's per-cycle processing (the body of the original full
+     * scan). @return true when the load left the pending set.
+     */
+    bool processLoad(QueueEntry &e, int slot, Cycle now,
+                     InstSeq barrierSeq, Cycle barrierEvent,
+                     std::vector<LoadCompletion> &completions,
+                     TickInfo &info);
 
     /** Issue one load to the cache via the port scheduler. */
     bool tryCacheAccess(QueueEntry &e, int pos, Cycle now);

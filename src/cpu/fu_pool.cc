@@ -38,13 +38,21 @@ FuPool::poolIndex(FuClass fc)
 bool
 FuPool::tryIssue(FuClass fc, Cycle now, int latency, bool pipelined)
 {
-    auto &pool = busyUntil[static_cast<std::size_t>(poolIndex(fc))];
-    for (Cycle &busy : pool) {
+    std::size_t pi = static_cast<std::size_t>(poolIndex(fc));
+    auto &pool = busyUntil[pi];
+    std::size_t n = pool.size();
+    std::size_t start = rotor[pi];
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t u = start + k;
+        if (u >= n)
+            u -= n;
+        Cycle &busy = pool[u];
         if (busy <= now) {
             // A pipelined unit accepts a new operation next cycle; an
             // unpipelined one (the divides) is held for the duration.
             busy = pipelined ? now + 1
                              : now + static_cast<Cycle>(latency);
+            rotor[pi] = u + 1 < n ? u + 1 : 0;
             return true;
         }
     }

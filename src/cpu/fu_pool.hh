@@ -38,6 +38,14 @@ class FuPool
     // Physical pools: IntAlu, IntMultDiv, FpAlu, FpMultDiv.
     static constexpr int NumPools = 4;
     std::array<std::vector<Cycle>, NumPools> busyUntil;
+    /**
+     * Round-robin scan start per pool. Unit identity is invisible to
+     * the model (tryIssue answers "is any unit free"), so starting
+     * the search after the last grant changes nothing observable but
+     * makes the common grant O(1) instead of a scan over the units
+     * already granted this cycle.
+     */
+    std::array<std::size_t, NumPools> rotor{};
 
     static int poolIndex(isa::FuClass fc);
 };

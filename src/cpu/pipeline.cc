@@ -1,5 +1,7 @@
 #include "cpu/pipeline.hh"
 
+#include <algorithm>
+#include <bit>
 #include <ostream>
 
 #include "isa/disasm.hh"
@@ -11,7 +13,8 @@ using core::QueuePolicy;
 using core::Stream;
 
 Pipeline::Pipeline(stats::Group *parent,
-                   const config::MachineConfig &cfg, vm::Executor &exec)
+                   const config::MachineConfig &cfg,
+                   vm::InstSource &src)
     : stats::Group(parent, "cpu"),
       numCycles(this, "cycles", "simulated cycles"),
       committedInsts(this, "committed", "instructions committed"),
@@ -31,7 +34,7 @@ Pipeline::Pipeline(stats::Group *parent,
       ipcStat(this, "ipc", "committed instructions per cycle",
               [this] { return ipc(); }),
       cfg(cfg),
-      executor(exec),
+      executor(src),
       fuPool(cfg),
       rob(cfg.robSize)
 {
@@ -66,6 +69,11 @@ Pipeline::Pipeline(stats::Group *parent,
     }
 
     fetchQueueCap = static_cast<std::size_t>(cfg.fetchWidth) * 2;
+    fetchQueue.init(fetchQueueCap);
+    issuableBits.assign(
+        (static_cast<std::size_t>(cfg.robSize) + 63) / 64, 0);
+    completions.reserve(static_cast<std::size_t>(cfg.lsqSize) +
+                        static_cast<std::size_t>(cfg.lvaqSize));
 }
 
 core::MemQueue &
@@ -117,7 +125,7 @@ Pipeline::commitStage()
                                     : queueOf(e.queueKind);
             int slot = e.replicated && e.di.stackAccess ? e.lvaqSlot
                                                         : e.queueSlot;
-            if (e.di.isStore()) {
+            if (decoded(e.di).info->store) {
                 const core::QueueEntry &qe = q.entry(slot);
                 bool ready = qe.addrKnown && qe.addrKnownAt <= curCycle &&
                              qe.dataReady && qe.dataReadyAt <= curCycle;
@@ -125,6 +133,7 @@ Pipeline::commitStage()
                     break;
                 if (!q.commitStore(slot, curCycle)) {
                     ++commitPortStalls;
+                    commitPortBlocked = true;
                     break;
                 }
             } else {
@@ -144,13 +153,14 @@ Pipeline::commitStage()
                 break;
         }
 
-        isa::RegRef d = isa::destReg(e.di.inst);
+        const isa::RegRef d = decoded(e.di).dest;
         if (d.valid())
             renameTable.clearIfProducer(d, ProducerTag{idx, e.di.seq});
 
         if (traceOut)
             traceCommit(e);
         rob.releaseHead();
+        clearIssuable(idx);
         ++committedInsts;
         ++n;
         lastCommit = curCycle;
@@ -185,9 +195,9 @@ void
 Pipeline::memoryStage()
 {
     completions.clear();
-    lsqQueue->tick(curCycle, completions);
+    lsqQueue->tick(curCycle, completions, &lsqTick);
     if (lvaqQueue)
-        lvaqQueue->tick(curCycle, completions);
+        lvaqQueue->tick(curCycle, completions, &lvaqTick);
     for (const core::LoadCompletion &c : completions) {
         RobEntry &e = rob[c.robIdx];
         if (!e.valid)
@@ -198,6 +208,13 @@ Pipeline::memoryStage()
             continue;
         e.completed = true;
         e.readyAt = c.readyAt;
+        onProducerComplete(c.robIdx, /*inIssueStage=*/false);
+        // A load completed by fast forwarding before its address
+        // generation ran is the issue scan's fast-path case (mark
+        // addrIssued, kill the LSQ replica): make sure the scan
+        // visits it from this cycle on.
+        if (!e.addrIssued)
+            markIssuable(c.robIdx);
     }
 }
 
@@ -236,95 +253,231 @@ Pipeline::pushStoreData(RobEntry &e)
 }
 
 void
+Pipeline::registerConsumers(int idx)
+{
+    RobEntry &e = rob[idx];
+    // The dispatch cycle's issue stage has already run: the seed's
+    // window walk first reached a new entry one cycle after dispatch.
+    e.eligibleAt = e.dispatchedAt + 1;
+
+    // Issue eligibility tracks every source of an ALU operation but
+    // only the base register (src[0]) of a memory operation; a
+    // store's data operand (src[1]) instead drives the store-data
+    // push, on its own schedule.
+    bool isStore = e.isMem() && decoded(e.di).info->store;
+    bool dataEdgeRegistered = false;
+    for (int s = 0; s < e.numSrc; ++s) {
+        bool issueEdge = !e.isMem() || s == 0;
+        bool dataEdge = isStore && s == 1;
+        if (!issueEdge && !dataEdge)
+            continue;
+        const ProducerTag &tag = e.src[s];
+        if (!tag.valid())
+            continue; // Value lives in the register file.
+        RobEntry &p = rob[tag.robIdx];
+        if (!p.valid || p.di.seq != tag.seq)
+            continue; // Producer already committed.
+        if (p.completed) {
+            if (issueEdge)
+                e.eligibleAt = std::max(e.eligibleAt, p.readyAt);
+            continue; // Completion time already known.
+        }
+        e.consNext[s] = p.consHead;
+        p.consHead = idx * 2 + s;
+        if (issueEdge)
+            ++e.waitCount;
+        if (dataEdge)
+            dataEdgeRegistered = true;
+    }
+    if (e.waitCount == 0)
+        readyEvents.push(e.eligibleAt, idx, e.di.seq);
+    if (isStore && !dataEdgeRegistered)
+        // The data operand's timing is already decided: run the
+        // seed's push logic at the first post-dispatch issue stage.
+        storeDataEvents.push(e.dispatchedAt + 1, idx, e.di.seq);
+}
+
+void
+Pipeline::onProducerComplete(int pIdx, bool inIssueStage)
+{
+    RobEntry &p = rob[pIdx];
+    int node = p.consHead;
+    p.consHead = -1;
+    while (node >= 0) {
+        int cIdx = node >> 1;
+        int slot = node & 1;
+        RobEntry &c = rob[cIdx];
+        node = c.consNext[slot];
+        c.consNext[slot] = -1;
+        if (slot == 1 && c.isMem()) {
+            // Store-data edge. The seed pushed during the issue
+            // stage's walk: from within it, push right away (nothing
+            // between here and the walk position reads the queue's
+            // data-ready state intra-cycle); from the memory stage,
+            // defer to this cycle's issue stage so the commit stage
+            // keeps seeing the un-pushed state it saw in the seed.
+            if (c.storeDataSent)
+                continue;
+            if (inIssueStage)
+                pushStoreData(c);
+            else
+                storeDataEvents.push(curCycle, cIdx, c.di.seq);
+        } else {
+            c.eligibleAt = std::max(c.eligibleAt, p.readyAt);
+            if (--c.waitCount == 0)
+                readyEvents.push(c.eligibleAt, cIdx, c.di.seq);
+        }
+    }
+}
+
+bool
+Pipeline::visitIssuable(int idx, int &issued)
+{
+    RobEntry &e = rob[idx];
+    if (!e.valid) {
+        clearIssuable(idx);
+        return true;
+    }
+    if (issued >= cfg.issueWidth)
+        return false; // Width spent; retry the kept bits next cycle.
+
+    if (e.isMem()) {
+        if (e.addrIssued) {
+            clearIssuable(idx);
+            return true;
+        }
+        // Fast-forwarded load: the value arrived through the LVAQ's
+        // offset match; no address generation needed.
+        const core::QueueEntry &fastQe =
+            e.replicated ? lvaqQueue->entry(e.lvaqSlot)
+                         : queueOf(e.queueKind).entry(e.queueSlot);
+        if (fastQe.completed && !fastQe.cancelled) {
+            e.addrIssued = true;
+            if (e.replicated)
+                lsqQueue->cancel(e.queueSlot);
+            clearIssuable(idx);
+            return true;
+        }
+        if (!srcReady(e.src[0]))
+            return true; // Base register not ready.
+        if (!fuPool.tryIssue(isa::FuClass::IntAlu, curCycle, 1, true))
+            return true; // AGU busy: keep the bit, retry next cycle.
+        e.addrIssued = true;
+        clearIssuable(idx);
+        ++issued;
+        ++agIssues;
+
+        if (e.replicated) {
+            // Replicated steering (paper footnote 3): the address
+            // resolution picks the surviving copy and kills the
+            // other -- no misprediction is possible.
+            if (e.di.stackAccess) {
+                lvaqQueue->setAddress(e.lvaqSlot, e.di.effAddr,
+                                      curCycle + 1, false);
+                lsqQueue->cancel(e.queueSlot);
+            } else {
+                lsqQueue->setAddress(e.queueSlot, e.di.effAddr,
+                                     curCycle + 1, false);
+                lvaqQueue->cancel(e.lvaqSlot);
+            }
+            return true;
+        }
+
+        bool missteered = false;
+        if (lvaqQueue &&
+            cfg.classifier != config::ClassifierKind::None) {
+            Stream chosen = e.queueKind == QueueKind::Lvaq
+                                ? Stream::Lvaq
+                                : Stream::Lsq;
+            missteered = !memClassifier->verify(e.di, chosen);
+        }
+        queueOf(e.queueKind)
+            .setAddress(e.queueSlot, e.di.effAddr, curCycle + 1,
+                        missteered);
+    } else {
+        if (e.completed) {
+            clearIssuable(idx);
+            return true;
+        }
+        bool ready = true;
+        for (int s = 0; s < e.numSrc; ++s) {
+            if (!srcReady(e.src[s])) {
+                ready = false;
+                break;
+            }
+        }
+        if (!ready)
+            return true;
+        const isa::OpInfo &info = *decoded(e.di).info;
+        if (!fuPool.tryIssue(info.fu, curCycle, info.latency,
+                             info.pipelined))
+            return true; // FU busy: keep the bit, retry next cycle.
+        e.completed = true;
+        e.readyAt = curCycle + info.latency;
+        clearIssuable(idx);
+        ++issued;
+        ++issuedOps;
+        // The completion time is now known: wake consumers. Their
+        // earliest eligibility is readyAt > curCycle, so no bit set
+        // this scan changes behind the cursor.
+        onProducerComplete(idx, /*inIssueStage=*/true);
+    }
+    return true;
+}
+
+void
 Pipeline::issueStage()
 {
-    int issued = 0;
-    for (int p = 0; p < rob.occupancy(); ++p) {
-        int idx = rob.nth(p);
+    // Store-data pushes land first, exactly where the seed's window
+    // walk performed them (never earlier in the cycle: the memory and
+    // commit stages of this cycle already ran against the un-pushed
+    // state).
+    storeDataEvents.drainUpTo(curCycle, [this](int idx, InstSeq seq) {
         RobEntry &e = rob[idx];
-        if (!e.valid)
-            continue;
-
-        // Store data readiness is tracked continuously (it costs no
-        // issue bandwidth: the value is read out of the window when
-        // the store fires).
-        if (e.isMem() && e.di.isStore() && !e.storeDataSent)
+        if (e.valid && e.di.seq == seq && !e.storeDataSent)
             pushStoreData(e);
+    });
 
-        if (issued >= cfg.issueWidth)
-            continue; // Keep scanning only for store-data pushes.
+    // Entries whose issue-relevant sources are all ready (as of this
+    // cycle) join the scan set; they stay in it until they act.
+    readyEvents.drainUpTo(curCycle, [this](int idx, InstSeq seq) {
+        const RobEntry &e = rob[idx];
+        if (e.valid && e.di.seq == seq)
+            markIssuable(idx);
+    });
 
-        if (e.isMem()) {
-            if (e.addrIssued)
-                continue;
-            // Fast-forwarded load: the value arrived through the
-            // LVAQ's offset match; no address generation needed.
-            const core::QueueEntry &fastQe =
-                e.replicated ? lvaqQueue->entry(e.lvaqSlot)
-                             : queueOf(e.queueKind).entry(e.queueSlot);
-            if (fastQe.completed && !fastQe.cancelled) {
-                e.addrIssued = true;
-                if (e.replicated)
-                    lsqQueue->cancel(e.queueSlot);
-                continue;
-            }
-            if (!srcReady(e.src[0]))
-                continue; // Base register not ready.
-            if (!fuPool.tryIssue(isa::FuClass::IntAlu, curCycle, 1,
-                                 true))
-                continue;
-            e.addrIssued = true;
-            ++issued;
-            ++agIssues;
-
-            if (e.replicated) {
-                // Replicated steering (paper footnote 3): the address
-                // resolution picks the surviving copy and kills the
-                // other -- no misprediction is possible.
-                if (e.di.stackAccess) {
-                    lvaqQueue->setAddress(e.lvaqSlot, e.di.effAddr,
-                                          curCycle + 1, false);
-                    lsqQueue->cancel(e.queueSlot);
-                } else {
-                    lsqQueue->setAddress(e.queueSlot, e.di.effAddr,
-                                         curCycle + 1, false);
-                    lvaqQueue->cancel(e.lvaqSlot);
-                }
-                continue;
-            }
-
-            bool missteered = false;
-            if (lvaqQueue && cfg.classifier !=
-                                 config::ClassifierKind::None) {
-                Stream chosen = e.queueKind == QueueKind::Lvaq
-                                    ? Stream::Lvaq
-                                    : Stream::Lsq;
-                missteered = !memClassifier->verify(e.di, chosen);
-            }
-            queueOf(e.queueKind)
-                .setAddress(e.queueSlot, e.di.effAddr, curCycle + 1,
-                            missteered);
-        } else {
-            if (e.completed)
-                continue;
-            bool ready = true;
-            for (int s = 0; s < e.numSrc; ++s) {
-                if (!srcReady(e.src[s])) {
-                    ready = false;
+    // Age-ordered walk over the issuable bits only. Per-entry
+    // behaviour (fast path, source checks, FU arbitration, counters)
+    // is the seed's walk body verbatim; the bitmap merely skips the
+    // entries for which that body would provably do nothing.
+    int issued = 0;
+    bool stop = false;
+    auto scanRange = [&](int lo, int hi) { // slots [lo, hi)
+        for (int w = lo >> 6; !stop && w <= (hi - 1) >> 6; ++w) {
+            int base = w << 6;
+            std::uint64_t bits =
+                issuableBits[static_cast<std::size_t>(w)];
+            if (base < lo)
+                bits &= ~std::uint64_t{0} << (lo - base);
+            if (base + 64 > hi)
+                bits &= (std::uint64_t{1} << (hi - base)) - 1;
+            while (bits) {
+                int idx = base + std::countr_zero(bits);
+                bits &= bits - 1;
+                if (!visitIssuable(idx, issued)) {
+                    stop = true;
                     break;
                 }
             }
-            if (!ready)
-                continue;
-            const isa::OpInfo &info = isa::opInfo(e.di.inst.op);
-            if (!fuPool.tryIssue(info.fu, curCycle, info.latency,
-                                 info.pipelined))
-                continue;
-            e.completed = true;
-            e.readyAt = curCycle + info.latency;
-            ++issued;
-            ++issuedOps;
         }
+    };
+    int headIdx = rob.headIdx();
+    int occ = rob.occupancy();
+    if (headIdx + occ <= rob.size()) {
+        scanRange(headIdx, headIdx + occ);
+    } else {
+        scanRange(headIdx, rob.size());
+        scanRange(0, headIdx + occ - rob.size());
     }
 }
 
@@ -342,11 +495,12 @@ Pipeline::dispatchStage()
             break;
         }
 
+        const StaticOp &sd = decoded(di);
         bool replicate =
             lvaqQueue &&
             cfg.classifier == config::ClassifierKind::Replicate;
         QueueKind kind = QueueKind::None;
-        if (di.isMem()) {
+        if (sd.mem) {
             if (replicate) {
                 // Footnote 3: a copy goes into each queue, so both
                 // must have room.
@@ -382,26 +536,26 @@ Pipeline::dispatchStage()
         e.dispatchedAt = curCycle;
         e.queueKind = kind;
 
-        isa::RegRef srcs[2];
-        e.numSrc = isa::srcRegs(di.inst, srcs);
+        e.numSrc = sd.numSrc;
         for (int s = 0; s < e.numSrc; ++s)
-            e.src[s] = renameTable.producer(srcs[s]);
+            e.src[s] = renameTable.producer(sd.srcs[s]);
 
         if (kind != QueueKind::None) {
             e.queueSlot = queueOf(kind).allocate(
-                di.seq, idx, di.isLoad(), di.accessSize, di.inst.rs,
+                di.seq, idx, sd.info->load, di.accessSize, di.inst.rs,
                 di.inst.imm, di.baseVersion);
             if (replicate) {
                 e.replicated = true;
                 e.lvaqSlot = lvaqQueue->allocate(
-                    di.seq, idx, di.isLoad(), di.accessSize,
+                    di.seq, idx, sd.info->load, di.accessSize,
                     di.inst.rs, di.inst.imm, di.baseVersion);
             }
         }
 
-        isa::RegRef d = isa::destReg(di.inst);
-        if (d.valid())
-            renameTable.setProducer(d, ProducerTag{idx, di.seq});
+        registerConsumers(idx);
+
+        if (sd.dest.valid())
+            renameTable.setProducer(sd.dest, ProducerTag{idx, di.seq});
 
         fetchQueue.pop_front();
         ++n;
@@ -430,9 +584,99 @@ Pipeline::fetchStage()
 
 // ---- Top level ------------------------------------------------------------------
 
+Cycle
+Pipeline::headCommitEvent() const
+{
+    if (rob.empty())
+        return core::kNoEvent;
+    const RobEntry &e = rob[rob.headIdx()];
+    if (e.isMem() && e.di.isStore()) {
+        // Mirror of the commit stage's readiness test. A denied port
+        // is handled separately (commitPortBlocked forbids skipping).
+        const core::MemQueue &q =
+            e.replicated && e.di.stackAccess
+                ? *lvaqQueue
+                : (e.queueKind == QueueKind::Lvaq ? *lvaqQueue
+                                                  : *lsqQueue);
+        int slot = e.replicated && e.di.stackAccess ? e.lvaqSlot
+                                                    : e.queueSlot;
+        const core::QueueEntry &qe = q.entry(slot);
+        if (qe.addrKnown && qe.dataReady)
+            return std::max(qe.addrKnownAt, qe.dataReadyAt);
+        return core::kNoEvent; // Awaits a push; extEvent covers it.
+    }
+    if (e.completed)
+        return e.readyAt;
+    return core::kNoEvent; // Completion itself is covered elsewhere.
+}
+
+void
+Pipeline::maybeSkipCycles()
+{
+    Cycle target = core::kNoEvent;
+    auto fold = [&target](Cycle c) { target = std::min(target, c); };
+
+    // Consume the queues' external-push events every decision (they
+    // are sticky minima, not per-cycle state) and fold the last
+    // tick's self-scheduled events.
+    fold(lsqQueue->takeExternalEvent());
+    fold(lsqTick.nextEvent);
+    if (lvaqQueue) {
+        fold(lvaqQueue->takeExternalEvent());
+        fold(lvaqTick.nextEvent);
+    }
+
+    // Structures that re-evaluate every cycle must keep ticking.
+    if (commitPortBlocked)
+        return; // The denied store retries with fresh ports.
+    bool fetchActive = !executor.halted() &&
+                       !(fetchLimit != 0 && numFetched >= fetchLimit) &&
+                       fetchQueue.size() < fetchQueueCap;
+    if (fetchActive)
+        return;
+    if (!fetchQueue.empty() && !rob.full())
+        return; // Dispatch acts (and classify() counts) every cycle.
+    for (std::uint64_t w : issuableBits)
+        if (w)
+            return; // The issue scan has work or FU/width retries.
+
+    fold(readyEvents.nextEvent());
+    fold(storeDataEvents.nextEvent());
+    fold(headCommitEvent());
+
+    if (target == core::kNoEvent) {
+        if (rob.empty())
+            return; // The run loop is about to stop.
+        // No event will ever fire: jump to where the per-cycle model
+        // reports the deadlock (cycleOnce panics with the same
+        // cycle count).
+        target = lastCommit + 100000;
+    }
+    if (target <= curCycle)
+        return;
+
+    // ---- Jump. Replay the counters the idle cycles would accrue:
+    // the window and the queues are untouched through the skipped
+    // cycles, so occupancies are constant and the same loads re-take
+    // the same disambiguation stall each cycle.
+    Cycle delta = target - curCycle;
+    for (Cycle t = (curCycle + 63) & ~Cycle{63}; t < target; t += 64)
+        robOccupancy.sample(
+            static_cast<std::uint64_t>(rob.occupancy()));
+    if (!fetchQueue.empty()) // rob.full() held above
+        robFullStalls += delta;
+    lsqQueue->skipTo(curCycle - 1, target - 1, lsqTick.stalledLoads);
+    if (lvaqQueue)
+        lvaqQueue->skipTo(curCycle - 1, target - 1,
+                          lvaqTick.stalledLoads);
+    numCycles += delta;
+    curCycle = target;
+}
+
 void
 Pipeline::cycleOnce()
 {
+    commitPortBlocked = false;
     // The memory stage runs before commit so that a load polling its
     // queue can forward from a store in the same cycle the store
     // retires (otherwise every store that commits the cycle its data
@@ -472,16 +716,22 @@ void
 Pipeline::run(std::uint64_t maxInsts)
 {
     fetchLimit = maxInsts;
-    while (!done())
+    while (!done()) {
         cycleOnce();
+        if (!done())
+            maybeSkipCycles();
+    }
 }
 
 void
 Pipeline::runUntilFetched(std::uint64_t insts)
 {
     fetchLimit = 0;
-    while (numFetched < insts && !executor.halted())
+    while (numFetched < insts && !executor.halted()) {
         cycleOnce();
+        if (numFetched < insts && !executor.halted())
+            maybeSkipCycles();
+    }
 }
 
 void

@@ -15,9 +15,13 @@
 #ifndef DDSIM_CPU_PIPELINE_HH_
 #define DDSIM_CPU_PIPELINE_HH_
 
-#include <deque>
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <vector>
 
 #include "config/machine_config.hh"
 #include "core/classifier.hh"
@@ -25,11 +29,13 @@
 #include "cpu/fu_pool.hh"
 #include "cpu/rename.hh"
 #include "cpu/rob.hh"
+#include "isa/inst.hh"
+#include "isa/opcode.hh"
 #include "mem/hierarchy.hh"
 #include "stats/group.hh"
 #include "stats/histogram.hh"
 #include "stats/stat.hh"
-#include "vm/executor.hh"
+#include "vm/trace.hh"
 
 namespace ddsim::cpu {
 
@@ -40,11 +46,11 @@ class Pipeline : public stats::Group
     /**
      * @param parent Stats parent (the run's root group).
      * @param cfg Machine configuration (validated by the caller).
-     * @param exec Functional executor providing the instruction
-     *        stream; not owned.
+     * @param src Instruction stream — a live vm::Executor or a
+     *        vm::TraceReplay; not owned.
      */
     Pipeline(stats::Group *parent, const config::MachineConfig &cfg,
-             vm::Executor &exec);
+             vm::InstSource &src);
 
     /**
      * Run until the program halts (or @p maxInsts instructions have
@@ -107,7 +113,7 @@ class Pipeline : public stats::Group
 
   private:
     config::MachineConfig cfg;
-    vm::Executor &executor;
+    vm::InstSource &executor;
 
     std::unique_ptr<mem::Hierarchy> memHier;
     std::unique_ptr<core::Classifier> memClassifier;
@@ -118,7 +124,70 @@ class Pipeline : public stats::Group
     Rob rob;
     RenameTable renameTable;
 
-    std::deque<vm::DynInst> fetchQueue;
+    /**
+     * Fixed-capacity ring of fetched-but-not-dispatched instructions
+     * (the seed used a std::deque; the ring never allocates after
+     * construction).
+     */
+    class FetchQueue
+    {
+      public:
+        void init(std::size_t cap) { buf.resize(cap); }
+        bool empty() const { return n == 0; }
+        std::size_t size() const { return n; }
+        std::size_t capacity() const { return buf.size(); }
+        const vm::DynInst &front() const { return buf[headPos]; }
+        void pop_front()
+        {
+            headPos = (headPos + 1) % buf.size();
+            --n;
+        }
+        void push_back(const vm::DynInst &di)
+        {
+            buf[(headPos + n) % buf.size()] = di;
+            ++n;
+        }
+
+      private:
+        std::vector<vm::DynInst> buf;
+        std::size_t headPos = 0;
+        std::size_t n = 0;
+    };
+
+    /**
+     * Per-static-instruction decode memo, indexed by pcIdx and built
+     * lazily at first dispatch: operand register references and the
+     * OpInfo pointer. Pure memoization of the isa:: decode helpers —
+     * it replaces their per-dynamic-instruction Format switches and
+     * table lookups on the dispatch/issue hot path.
+     */
+    struct StaticOp
+    {
+        const isa::OpInfo *info = nullptr; ///< null = not yet decoded
+        isa::RegRef srcs[2];
+        isa::RegRef dest;
+        std::int8_t numSrc = 0;
+        bool mem = false;
+    };
+    std::vector<StaticOp> decodeCache;
+
+    const StaticOp &decoded(const vm::DynInst &di)
+    {
+        if (di.pcIdx >= decodeCache.size())
+            decodeCache.resize(std::max<std::size_t>(
+                decodeCache.size() * 2, di.pcIdx + 1));
+        StaticOp &s = decodeCache[di.pcIdx];
+        if (!s.info) {
+            s.info = &isa::opInfo(di.inst.op);
+            s.numSrc = static_cast<std::int8_t>(
+                isa::srcRegs(di.inst, s.srcs));
+            s.dest = isa::destReg(di.inst);
+            s.mem = s.info->load || s.info->store;
+        }
+        return s;
+    }
+
+    FetchQueue fetchQueue;
     std::size_t fetchQueueCap;
     std::uint64_t fetchLimit = 0; ///< 0 = unlimited.
     std::uint64_t numFetched = 0;
@@ -127,6 +196,152 @@ class Pipeline : public stats::Group
     Cycle lastCommit = 0;
     std::vector<core::LoadCompletion> completions;
     std::ostream *traceOut = nullptr;
+
+    // ---- Event-driven scheduling core ------------------------------
+    /**
+     * Cycle-bucketed event queue (a timing wheel): push (robIdx, seq)
+     * at a cycle, drain everything due at or before `now`. Same-cycle
+     * events are mutually independent (they set bits or push store
+     * data for distinct entries), so bucket order is free and the
+     * wheel replaces a priority queue without any semantic change.
+     * Events land within a few hundred cycles (bounded by memory
+     * latency); the rare farther ones overflow into a side list.
+     */
+    class EventRing
+    {
+      public:
+        void push(Cycle c, int idx, InstSeq seq)
+        {
+            if (c - base < Span) {
+                buckets[c & (Span - 1)].push_back({idx, seq});
+                ++total;
+            } else {
+                far.push_back({c, idx, seq});
+            }
+        }
+
+        /** Earliest pending event cycle, or core::kNoEvent. */
+        Cycle nextEvent() const
+        {
+            Cycle best = core::kNoEvent;
+            if (total != 0) {
+                for (Cycle c = base; c < base + Span; ++c) {
+                    if (!buckets[c & (Span - 1)].empty()) {
+                        best = c;
+                        break;
+                    }
+                }
+            }
+            for (const FarEvent &e : far)
+                best = std::min(best, e.cycle);
+            return best;
+        }
+
+        /** Invoke f(idx, seq) for every event due at cycle <= now. */
+        template <class F>
+        void drainUpTo(Cycle now, F &&f)
+        {
+            while (base <= now) {
+                if (total == 0 && far.empty()) {
+                    base = now + 1;
+                    break;
+                }
+                auto &b = buckets[base & (Span - 1)];
+                for (const Event &e : b)
+                    f(e.idx, e.seq);
+                total -= b.size();
+                b.clear();
+                ++base;
+            }
+            if (!far.empty()) {
+                for (std::size_t i = 0; i < far.size();) {
+                    FarEvent &e = far[i];
+                    if (e.cycle <= now) {
+                        f(e.idx, e.seq);
+                        e = far.back();
+                        far.pop_back();
+                    } else if (e.cycle - base < Span) {
+                        push(e.cycle, e.idx, e.seq);
+                        far[i] = far.back();
+                        far.pop_back();
+                    } else {
+                        ++i;
+                    }
+                }
+            }
+        }
+
+      private:
+        static constexpr Cycle Span = 256; // Power of two.
+        struct Event
+        {
+            int idx;
+            InstSeq seq;
+        };
+        struct FarEvent
+        {
+            Cycle cycle;
+            int idx;
+            InstSeq seq;
+        };
+        std::array<std::vector<Event>, Span> buckets;
+        std::vector<FarEvent> far;
+        Cycle base = 0;           ///< All events lie at >= base.
+        std::size_t total = 0;    ///< Events currently in buckets.
+    };
+
+    /**
+     * readyEvents holds instructions whose issue-relevant sources all
+     * have known completion times; they join the issuable bitmap once
+     * their cycle arrives and stay there until they act (FU- or
+     * width-blocked entries simply keep their bit). storeDataEvents
+     * holds stores whose data-operand push must run at a cycle — the
+     * exact cycle the seed's per-window pushStoreData walk would
+     * first have pushed.
+     */
+    EventRing readyEvents;
+    EventRing storeDataEvents;
+    /** Per-ROB-slot "visit me in the issue scan" bits, age-iterated. */
+    std::vector<std::uint64_t> issuableBits;
+    /** Last memory tick's scheduling summary, one per queue. */
+    core::MemQueue::TickInfo lsqTick, lvaqTick;
+    /** A store commit was denied a port this cycle (retries hot). */
+    bool commitPortBlocked = false;
+
+    void markIssuable(int idx)
+    {
+        issuableBits[static_cast<std::size_t>(idx) >> 6] |=
+            std::uint64_t{1} << (idx & 63);
+    }
+    void clearIssuable(int idx)
+    {
+        issuableBits[static_cast<std::size_t>(idx) >> 6] &=
+            ~(std::uint64_t{1} << (idx & 63));
+    }
+
+    /** Register @p idx's source edges at dispatch. */
+    void registerConsumers(int idx);
+    /**
+     * Producer @p pIdx's completion time just became known: wake its
+     * consumers. @p inIssueStage selects how store-data edges fire
+     * (immediately mid-scan, as the seed's walk did, vs deferred to
+     * this cycle's issue stage when the completion arrives from the
+     * memory stage).
+     */
+    void onProducerComplete(int pIdx, bool inIssueStage);
+    /** Run one issuable entry; false stops the scan (width spent). */
+    bool visitIssuable(int idx, int &issued);
+    /** Cycle the ROB head becomes commit-eligible, if already known. */
+    Cycle headCommitEvent() const;
+    /**
+     * Cycle skip-ahead: when every pipeline structure is quiescent
+     * and the earliest scheduled event is at cycle T > curCycle, jump
+     * straight to T, replaying the per-cycle counters (stall charges,
+     * occupancy samples) the skipped empty cycles would have accrued.
+     * Timing is bit-identical to ticking through them. Only the run
+     * loops call this; cycleOnce() alone stays strictly per-cycle.
+     */
+    void maybeSkipCycles();
 
     void traceCommit(const RobEntry &e);
 

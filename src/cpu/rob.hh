@@ -48,6 +48,15 @@ struct RobEntry
     bool addrIssued = false;    ///< AGU operation started.
     bool storeDataSent = false; ///< Data readiness pushed to queue.
 
+    // ---- Wakeup network (event-driven scheduling core) ----
+    // With a perfect front end nothing is ever squashed, so consumer
+    // links registered at dispatch stay valid until the producer's
+    // completion walks them (always before the producer commits).
+    int waitCount = 0;    ///< Issue-relevant producers still pending.
+    Cycle eligibleAt = 0; ///< Earliest cycle the issue scan can act.
+    int consHead = -1;    ///< Consumer list head (robIdx * 2 + slot).
+    int consNext[2] = {-1, -1}; ///< Per-source-slot next link.
+
     bool isMem() const { return queueKind != QueueKind::None; }
 };
 

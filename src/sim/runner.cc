@@ -2,7 +2,10 @@
 
 #include "cpu/pipeline.hh"
 #include "stats/formatter.hh"
+#include "util/log.hh"
 #include "vm/executor.hh"
+
+#include <optional>
 
 namespace ddsim::sim {
 
@@ -13,8 +16,20 @@ run(const prog::Program &program, const config::MachineConfig &cfg,
     cfg.validate();
 
     stats::Group root(nullptr, "");
-    vm::Executor exec(program);
-    cpu::Pipeline pipe(&root, cfg, exec);
+    // The instruction stream: replay the shared recording when one is
+    // supplied, otherwise execute functionally.
+    std::optional<vm::Executor> exec;
+    std::optional<vm::TraceReplay> replay;
+    vm::InstSource *src;
+    if (opts.trace) {
+        if (&opts.trace->program() != &program)
+            panic("RunOptions::trace was recorded from a different "
+                  "program");
+        src = &replay.emplace(*opts.trace);
+    } else {
+        src = &exec.emplace(program);
+    }
+    cpu::Pipeline pipe(&root, cfg, *src);
 
     if (opts.warmupInsts > 0) {
         pipe.runUntilFetched(opts.warmupInsts);

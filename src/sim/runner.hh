@@ -9,10 +9,15 @@
 #define DDSIM_SIM_RUNNER_HH_
 
 #include <cstdint>
+#include <memory>
 
 #include "config/machine_config.hh"
 #include "prog/program.hh"
 #include "sim/result.hh"
+
+namespace ddsim::vm {
+class RecordedTrace;
+}
 
 namespace ddsim::sim {
 
@@ -30,6 +35,15 @@ struct RunOptions
     std::uint64_t warmupInsts = 0;
     /** Capture the full stats dump into SimResult::statsText. */
     bool captureStats = false;
+    /**
+     * Replay this pre-recorded dynamic trace instead of functionally
+     * executing the program. Must have been recorded from the same
+     * program object; the result is bit-identical to a live run (the
+     * front end is configuration-oblivious), only faster. Sweeps use
+     * this to pay the functional execution once per program instead
+     * of once per grid point.
+     */
+    std::shared_ptr<const vm::RecordedTrace> trace;
 };
 
 /**

@@ -25,8 +25,19 @@ SweepRunner::submit(SweepJob job)
     // deque never relocates elements, so this pointer stays valid
     // while submit() grows the grid under the workers.
     Slot *slot = &slots.back();
-    pool.submit([slot, job = std::move(job)] {
+    // Trace resolution runs on the worker, not here: the first job to
+    // reach a program records its trace while workers on other
+    // programs keep simulating.
+    TraceCache *tc = shareTraces && !job.opts.trace ? &traces : nullptr;
+    pool.submit([slot, tc, job = std::move(job)]() mutable {
         try {
+            if (tc) {
+                std::uint64_t cap =
+                    job.opts.maxInsts
+                        ? job.opts.maxInsts + job.opts.warmupInsts
+                        : 0;
+                job.opts.trace = tc->get(job.program, cap);
+            }
             slot->result = run(*job.program, job.cfg, job.opts);
         } catch (...) {
             slot->error = std::current_exception();
@@ -68,6 +79,36 @@ SweepRunner::runAll(std::vector<SweepJob> jobs, unsigned workers)
     for (SweepJob &job : jobs)
         runner.submit(std::move(job));
     return runner.collect();
+}
+
+std::shared_ptr<const vm::RecordedTrace>
+TraceCache::get(const std::shared_ptr<const prog::Program> &program,
+                std::uint64_t maxInsts)
+{
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        std::shared_ptr<Entry> &slot =
+            cache[Key{program.get(), maxInsts}];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+    // Record outside the map lock: only callers wanting this same
+    // trace wait; other programs record concurrently.
+    std::call_once(entry->once, [&] {
+        entry->pin = program;
+        entry->trace = std::make_shared<const vm::RecordedTrace>(
+            vm::RecordedTrace::record(*program, maxInsts));
+    });
+    return entry->trace;
+}
+
+std::size_t
+TraceCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return cache.size();
 }
 
 std::shared_ptr<const prog::Program>

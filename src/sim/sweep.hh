@@ -19,6 +19,7 @@
 #define DDSIM_SIM_SWEEP_HH_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -26,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "config/machine_config.hh"
@@ -33,6 +35,7 @@
 #include "sim/result.hh"
 #include "sim/runner.hh"
 #include "util/thread_pool.hh"
+#include "vm/trace.hh"
 
 namespace ddsim::sim {
 
@@ -47,6 +50,42 @@ struct SweepJob
     std::shared_ptr<const prog::Program> program;
     config::MachineConfig cfg;
     RunOptions opts{};
+};
+
+/**
+ * Memoizes dynamic-trace recording so each (program, instruction cap)
+ * is functionally executed exactly once and the recording is shared
+ * read-only by every job that replays it. Thread-safe: concurrent
+ * get() calls for the same key block on one std::call_once while the
+ * first caller records; different keys record in parallel.
+ */
+class TraceCache
+{
+  public:
+    /** The trace for @p program capped at @p maxInsts (0 = full). */
+    std::shared_ptr<const vm::RecordedTrace>
+    get(const std::shared_ptr<const prog::Program> &program,
+        std::uint64_t maxInsts = 0);
+
+    /** Number of distinct traces recorded so far. */
+    std::size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        std::shared_ptr<const vm::RecordedTrace> trace;
+        /**
+         * Keeps the recorded program alive (the trace replays against
+         * it) and its address un-reusable as a future cache key.
+         */
+        std::shared_ptr<const prog::Program> pin;
+    };
+
+    using Key = std::pair<const prog::Program *, std::uint64_t>;
+
+    mutable std::mutex mu;
+    std::map<Key, std::shared_ptr<Entry>> cache;
 };
 
 /**
@@ -94,6 +133,15 @@ class SweepRunner
     static std::vector<SimResult> runAll(std::vector<SweepJob> jobs,
                                          unsigned workers = 0);
 
+    /**
+     * Share one recorded dynamic trace per (program, fetch-cap) across
+     * all jobs that did not bring their own RunOptions::trace (on by
+     * default). The first worker to touch a program records it; the
+     * rest replay. Results are bit-identical either way (see the
+     * differential suite); only wall-clock changes.
+     */
+    void setTraceSharing(bool on) { shareTraces = on; }
+
   private:
     struct Slot
     {
@@ -103,6 +151,8 @@ class SweepRunner
 
     ThreadPool pool;
     std::deque<Slot> slots; ///< deque: stable addresses across submit()
+    TraceCache traces;
+    bool shareTraces = true;
 };
 
 /**

@@ -22,7 +22,7 @@
 namespace ddsim::vm {
 
 /** Functional machine state + stepper. */
-class Executor
+class Executor : public InstSource
 {
   public:
     /** Return-address sentinel: "jr" to this halts the machine. */
@@ -31,13 +31,13 @@ class Executor
     explicit Executor(const prog::Program &program);
 
     /** True once HALT executed or main returned to the exit sentinel. */
-    bool halted() const { return haltFlag; }
+    bool halted() const override { return haltFlag; }
 
     /**
      * Execute the next instruction and return its dynamic record.
      * Calling step() on a halted machine is a panic.
      */
-    DynInst step();
+    DynInst step() override;
 
     /** Run at most @p maxInsts instructions; returns number executed. */
     std::uint64_t run(std::uint64_t maxInsts);

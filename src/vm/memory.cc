@@ -6,14 +6,16 @@
 
 namespace ddsim::vm {
 
-SparseMemory::Page &
-SparseMemory::page(Addr addr) const
+std::uint8_t *
+SparseMemory::missData(Addr addr) const
 {
     Addr base = addr & ~(PageBytes - 1);
     auto it = pages.find(base);
     if (it == pages.end())
         it = pages.emplace(base, Page(PageBytes, 0)).first;
-    return it->second;
+    lastBase = base;
+    lastData = it->second.data();
+    return lastData + (addr & (PageBytes - 1));
 }
 
 void
@@ -21,36 +23,6 @@ SparseMemory::checkAlign(Addr addr, Addr align) const
 {
     if (addr % align != 0)
         fatal("unaligned %u-byte access at 0x%08x", align, addr);
-}
-
-std::uint8_t
-SparseMemory::readByte(Addr addr) const
-{
-    return page(addr)[addr & (PageBytes - 1)];
-}
-
-void
-SparseMemory::writeByte(Addr addr, std::uint8_t value)
-{
-    page(addr)[addr & (PageBytes - 1)] = value;
-}
-
-Word
-SparseMemory::readWord(Addr addr) const
-{
-    checkAlign(addr, 4);
-    const Page &p = page(addr);
-    Word v;
-    std::memcpy(&v, &p[addr & (PageBytes - 1)], 4);
-    return v;
-}
-
-void
-SparseMemory::writeWord(Addr addr, Word value)
-{
-    checkAlign(addr, 4);
-    Page &p = page(addr);
-    std::memcpy(&p[addr & (PageBytes - 1)], &value, 4);
 }
 
 double

@@ -9,6 +9,7 @@
 #define DDSIM_VM_MEMORY_HH_
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -24,13 +25,36 @@ class SparseMemory
     static constexpr Addr PageBytes = 4096;
 
     SparseMemory() = default;
+    // Copies must not inherit the page-cache pointer (it would point
+    // into the source's pages).
+    SparseMemory(const SparseMemory &o) : pages(o.pages) {}
+    SparseMemory &
+    operator=(const SparseMemory &o)
+    {
+        pages = o.pages;
+        lastBase = 1;
+        lastData = nullptr;
+        return *this;
+    }
 
-    std::uint8_t readByte(Addr addr) const;
-    void writeByte(Addr addr, std::uint8_t value);
+    std::uint8_t readByte(Addr addr) const { return *data(addr); }
+    void writeByte(Addr addr, std::uint8_t value) { *data(addr) = value; }
 
     /** Little-endian word access; requires 4-byte alignment. */
-    Word readWord(Addr addr) const;
-    void writeWord(Addr addr, Word value);
+    Word
+    readWord(Addr addr) const
+    {
+        checkAlign(addr, 4);
+        Word v;
+        std::memcpy(&v, data(addr), 4);
+        return v;
+    }
+    void
+    writeWord(Addr addr, Word value)
+    {
+        checkAlign(addr, 4);
+        std::memcpy(data(addr), &value, 4);
+    }
 
     /** 64-bit double access; requires 4-byte alignment. */
     double readDouble(Addr addr) const;
@@ -46,7 +70,26 @@ class SparseMemory
     using Page = std::vector<std::uint8_t>;
     mutable std::unordered_map<Addr, Page> pages;
 
-    Page &page(Addr addr) const;
+    /**
+     * One-entry page cache: consecutive accesses overwhelmingly hit
+     * the same page (the stack), so the map lookup is skipped for
+     * them. Page buffers never move once allocated (the map may
+     * rehash, but that moves the vector object, not its heap data),
+     * so the cached pointer stays valid.
+     */
+    mutable Addr lastBase = 1; // Never page-aligned: always misses.
+    mutable std::uint8_t *lastData = nullptr;
+
+    /** Byte pointer into the page holding @p addr (allocates it). */
+    std::uint8_t *
+    data(Addr addr) const
+    {
+        Addr base = addr & ~(PageBytes - 1);
+        if (base == lastBase) [[likely]]
+            return lastData + (addr & (PageBytes - 1));
+        return missData(addr);
+    }
+    std::uint8_t *missData(Addr addr) const;
     void checkAlign(Addr addr, Addr align) const;
 };
 

@@ -26,19 +26,20 @@ void
 StreamStats::record(const DynInst &di)
 {
     ++instructions;
-    if (di.isLoad()) {
+    const isa::OpInfo &info = isa::opInfo(di.inst.op);
+    if (info.load) {
         ++loads;
         if (di.inst.localHint)
             ++localLoads;
         if (di.stackAccess)
             ++stackLoads;
-    } else if (di.isStore()) {
+    } else if (info.store) {
         ++stores;
         if (di.inst.localHint)
             ++localStores;
         if (di.stackAccess)
             ++stackStores;
-    } else if (isa::isCall(di.inst.op)) {
+    } else if (info.call) {
         ++calls;
         callDepth.sample(static_cast<std::uint64_t>(depth));
         ++depth;

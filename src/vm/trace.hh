@@ -10,11 +10,16 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "isa/inst.hh"
 #include "stats/histogram.hh"
 #include "stats/group.hh"
 #include "util/types.hh"
+
+namespace ddsim::prog {
+class Program;
+}
 
 namespace ddsim::vm {
 
@@ -57,6 +62,91 @@ struct DynInst
             return static_cast<std::uint32_t>(-inst.imm);
         return 0;
     }
+};
+
+/**
+ * The timing model's view of the functional front end: a stream of
+ * DynInst records. Implemented by the live Executor and by
+ * TraceReplay, which re-emits a previously recorded stream — the
+ * pipeline cannot tell them apart.
+ */
+class InstSource
+{
+  public:
+    virtual ~InstSource() = default;
+
+    /** True once the stream is exhausted. */
+    virtual bool halted() const = 0;
+
+    /** Produce the next instruction; panics when halted. */
+    virtual DynInst step() = 0;
+};
+
+/**
+ * A program's full dynamic instruction stream, recorded once and
+ * replayed any number of times (concurrently, if desired: replay is
+ * read-only). Simulation is deterministic and the front end is
+ * oblivious to the machine configuration, so one recording serves
+ * every configuration point of a sweep — the functional execution
+ * (sparse-memory traffic, register file, version tracking) is paid
+ * once per program instead of once per grid point.
+ *
+ * The encoding is compact: one u32 per instruction holding the text
+ * index plus taken/memory/indirect flags, followed by payload words
+ * only where the static instruction cannot supply the field (effective
+ * address and base version for memory ops, the dynamic target for
+ * register-indirect jumps). Everything else — opcode, access size,
+ * stack classification, branch targets — is re-derived from the
+ * program text at replay time.
+ */
+class RecordedTrace
+{
+  public:
+    /**
+     * Functionally execute @p program to completion (or @p maxInsts
+     * instructions) and record the stream. The program must outlive
+     * the trace and every replay of it.
+     */
+    static RecordedTrace record(const prog::Program &program,
+                                std::uint64_t maxInsts = 0);
+
+    const prog::Program &program() const { return *prog; }
+    std::uint64_t instCount() const { return numInsts; }
+    /** Encoded size: words per instruction averages well under 2. */
+    std::size_t wordCount() const { return words.size(); }
+
+  private:
+    friend class TraceReplay;
+
+    static constexpr std::uint32_t TakenBit = 1u << 31;
+    static constexpr std::uint32_t MemBit = 1u << 30;
+    static constexpr std::uint32_t IndirectBit = 1u << 29;
+    static constexpr std::uint32_t PcMask = IndirectBit - 1;
+
+    RecordedTrace() = default;
+
+    const prog::Program *prog = nullptr;
+    std::vector<std::uint32_t> words;
+    std::uint64_t numInsts = 0;
+};
+
+/**
+ * Replays a RecordedTrace as an InstSource. Holds only a cursor:
+ * cheap to construct, and many replays can share one trace across
+ * threads.
+ */
+class TraceReplay : public InstSource
+{
+  public:
+    explicit TraceReplay(const RecordedTrace &trace) : trace(trace) {}
+
+    bool halted() const override { return emitted == trace.numInsts; }
+    DynInst step() override;
+
+  private:
+    const RecordedTrace &trace;
+    std::size_t pos = 0;        ///< Word cursor.
+    std::uint64_t emitted = 0;  ///< Doubles as the next seq number.
 };
 
 /**

@@ -326,6 +326,132 @@ TEST(MemQueue, PanicsOnBadSlotUsage)
     EXPECT_THROW(r.q.commitStore(ld, 1), PanicError);
 }
 
+// ---- Adversarial same-line traffic: many stores piled onto one
+// address chunk stress the store index and the unknown-address
+// barrier in ways the average workload never does.
+
+TEST(MemQueue, SameLineOnlyYoungestOlderStoreForwards)
+{
+    Rig r(basicPolicy(2), 16);
+    // Five word stores to the same address; only the youngest has
+    // ready data. A covering load must forward from it.
+    int st[5];
+    for (int i = 0; i < 5; ++i) {
+        st[i] = r.addStore();
+        r.q.setAddress(st[i], stackAddr, 1, false);
+    }
+    int ld = r.addLoad();
+    r.q.setAddress(ld, stackAddr, 1, false);
+    r.q.setStoreData(st[4], 1);
+    auto done = r.tick(1);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].slot, ld);
+    EXPECT_EQ(r.q.loadsForwarded.value(), 1u);
+    EXPECT_EQ(r.cache.accesses.value(), 0u);
+}
+
+TEST(MemQueue, SameLineYoungestWithoutDataBlocksLoad)
+{
+    Rig r(basicPolicy(2), 16);
+    // The three older stores all have ready data, but the youngest
+    // overlapping store decides — and its data is not ready, so the
+    // load must wait (never forward stale data from an older store).
+    int st[4];
+    for (int i = 0; i < 4; ++i) {
+        st[i] = r.addStore();
+        r.q.setAddress(st[i], stackAddr, 1, false);
+        if (i < 3)
+            r.q.setStoreData(st[i], 1);
+    }
+    int ld = r.addLoad();
+    r.q.setAddress(ld, stackAddr, 1, false);
+    EXPECT_TRUE(r.tick(1).empty());
+    EXPECT_TRUE(r.tick(2).empty());
+    r.q.setStoreData(st[3], 3);
+    auto done = r.tick(3);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(r.q.loadsForwarded.value(), 1u);
+}
+
+TEST(MemQueue, BarrierTracksOldestUnknownStoreOutOfOrder)
+{
+    Rig r(basicPolicy(2), 16);
+    // Four stores with unknown addresses; resolving them youngest
+    // first must keep the load blocked until the *oldest* resolves.
+    int st[4];
+    for (int i = 0; i < 4; ++i)
+        st[i] = r.addStore();
+    int ld = r.addLoad(reg::sp, 128);
+    r.q.setAddress(ld, stackAddr + 128, 1, false);
+    for (int i = 3; i >= 1; --i) {
+        EXPECT_TRUE(r.tick(static_cast<Cycle>(4 - i)).empty());
+        r.q.setAddress(st[i], stackAddr + 8 * i,
+                       static_cast<Cycle>(4 - i), false);
+    }
+    EXPECT_TRUE(r.tick(4).empty()); // st[0] still unknown
+    EXPECT_EQ(r.q.disambiguationStalls.value(), 4u);
+    r.q.setAddress(st[0], stackAddr, 5, false);
+    auto done = r.tick(5); // disjoint addresses: cache access
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(r.q.loadsFromCache.value(), 1u);
+}
+
+TEST(MemQueue, ChunkSpanningStoreCoversLoadsOnBothSides)
+{
+    Rig r(basicPolicy(2), 16);
+    // A word store straddling an 8-byte chunk boundary (bytes +6..+9)
+    // must be visible to byte loads landing in either chunk.
+    int st = r.addStore(reg::sp, 6, 1, 4);
+    r.q.setAddress(st, stackAddr + 6, 1, false);
+    r.q.setStoreData(st, 1);
+    int lo = r.addLoad(reg::sp, 6, 1, 1);
+    int hi = r.addLoad(reg::sp, 9, 1, 1);
+    r.q.setAddress(lo, stackAddr + 6, 1, false);
+    r.q.setAddress(hi, stackAddr + 9, 1, false);
+    auto done = r.tick(1);
+    EXPECT_EQ(done.size(), 2u);
+    EXPECT_EQ(r.q.loadsForwarded.value(), 2u);
+    EXPECT_EQ(r.cache.accesses.value(), 0u);
+}
+
+TEST(MemQueue, CancelledSameLineStoreNeitherBlocksNorForwards)
+{
+    Rig r(basicPolicy(2), 16);
+    // A cancelled replica with a never-resolved address must not act
+    // as a barrier; a cancelled resolved store must not forward.
+    int unresolved = r.addStore();
+    int resolved = r.addStore();
+    r.q.setAddress(resolved, stackAddr, 1, false);
+    r.q.setStoreData(resolved, 1);
+    r.q.cancel(unresolved);
+    r.q.cancel(resolved);
+    int ld = r.addLoad();
+    r.q.setAddress(ld, stackAddr, 1, false);
+    auto done = r.tick(1);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(r.q.loadsForwarded.value(), 0u);
+    EXPECT_EQ(r.q.loadsFromCache.value(), 1u);
+}
+
+TEST(MemQueue, ReleasedStoreLeavesTheIndex)
+{
+    Rig r(basicPolicy(2), 16);
+    // Once a same-address store commits and releases, the load must
+    // fall through to the cache (which now holds the value) instead
+    // of chasing a stale index entry.
+    int st = r.addStore();
+    r.q.setAddress(st, stackAddr, 1, false);
+    r.q.setStoreData(st, 1);
+    EXPECT_TRUE(r.q.commitStore(st, 1));
+    r.q.release(st);
+    int ld = r.addLoad();
+    r.q.setAddress(ld, stackAddr, 2, false);
+    auto done = r.tick(2);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(r.q.loadsForwarded.value(), 0u);
+    EXPECT_EQ(r.q.loadsFromCache.value(), 1u);
+}
+
 TEST(MemQueue, QueueSatisfiedFraction)
 {
     QueuePolicy p = basicPolicy(2);

@@ -260,6 +260,56 @@ TEST(Sweep, SharedProgramAcrossConcurrentRunsIsRaceFree)
         EXPECT_EQ(results[i].committed, results[0].committed);
 }
 
+TEST(Sweep, TraceCacheRecordsEachKeyOnceUnderContention)
+{
+    // Many threads request the trace for the same (program, cap) at
+    // once: exactly one recording must happen (call_once), every
+    // caller must get the same shared recording, and distinct caps
+    // must get distinct recordings. Run under TSan via the "sweep"
+    // label to catch any unsynchronized cache access.
+    auto program = sharedWorkload("li", 32);
+    TraceCache cache;
+    ThreadPool pool(8);
+    std::vector<std::shared_ptr<const vm::RecordedTrace>> got(32);
+    parallelFor(pool, got.size(),
+                [&cache, &program, &got](std::size_t i) {
+                    // Even indices: full trace; odd: capped at 1000.
+                    got[i] = cache.get(program, i % 2 ? 1000 : 0);
+                });
+    EXPECT_EQ(cache.size(), 2u);
+    for (std::size_t i = 2; i < got.size(); ++i)
+        EXPECT_EQ(got[i].get(), got[i - 2].get()) << i;
+    EXPECT_NE(got[0].get(), got[1].get());
+    EXPECT_EQ(got[1]->instCount(), 1000u);
+    EXPECT_GT(got[0]->instCount(), got[1]->instCount());
+}
+
+TEST(Sweep, TraceSharingDoesNotChangeGridResults)
+{
+    // The headline replay guarantee at the sweep level: the same grid
+    // with trace sharing off (every job executes the program live)
+    // and on (one recording per program, shared replay) must produce
+    // bit-identical results in the same order.
+    std::vector<SweepJob> jobs = determinismGrid();
+
+    SweepRunner live(4);
+    live.setTraceSharing(false);
+    for (const SweepJob &job : jobs)
+        live.submit(job);
+    std::vector<SimResult> liveResults = live.collect();
+
+    SweepRunner shared(4); // shareTraces defaults to on
+    for (const SweepJob &job : jobs)
+        shared.submit(job);
+    std::vector<SimResult> sharedResults = shared.collect();
+
+    ASSERT_EQ(liveResults.size(), sharedResults.size());
+    for (std::size_t i = 0; i < liveResults.size(); ++i) {
+        SCOPED_TRACE("job=" + std::to_string(i));
+        expectIdentical(sharedResults[i], liveResults[i]);
+    }
+}
+
 // ---- ThreadPool primitive ----
 
 TEST(ThreadPool, RunsEveryIndexExactlyOnce)
