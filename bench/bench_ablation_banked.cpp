@@ -46,7 +46,7 @@ main(int argc, char **argv)
         db.lvc.banks = 4;
         jobs.push_back({program, db});
     }
-    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+    std::vector<sim::SimResult> results = runGrid(opts, jobs, "Ablation: banked L1 sweep");
 
     std::size_t k = 0;
     for (const auto *info : opts.programs) {

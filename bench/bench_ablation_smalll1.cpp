@@ -57,7 +57,7 @@ main(int argc, char **argv)
             jobs.push_back({program, dec});
         }
     }
-    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+    std::vector<sim::SimResult> results = runGrid(opts, jobs, "Ablation: small L1 sweep");
 
     std::size_t k = 0;
     for (const auto *info : opts.programs) {

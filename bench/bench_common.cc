@@ -11,6 +11,12 @@ namespace ddsim::bench {
 Options::Options(int argc, const char *const *argv)
     : args(argc, argv)
 {
+    // The --programs branch below skips the --int/--fp queries, but
+    // they are still valid harness flags; register them regardless.
+    args.markKnown("int");
+    args.markKnown("fp");
+
+    manifestPath = args.get("manifest");
     scaleFactor = args.getDouble("scale", 1.0);
     if (scaleFactor <= 0)
         fatal("--scale must be positive");
@@ -62,9 +68,23 @@ buildProgramShared(const workloads::WorkloadInfo &info,
 }
 
 std::vector<sim::SimResult>
-runGrid(const Options &opts, std::vector<sim::SweepJob> jobs)
+runGrid(const Options &opts, std::vector<sim::SweepJob> jobs,
+        const std::string &title)
 {
-    return sim::SweepRunner::runAll(std::move(jobs), opts.jobs);
+    // Every bench has queried its flags by the time it has a grid to
+    // run, so this is the natural choke point for typo rejection.
+    opts.args.rejectUnknown();
+    if (!opts.manifestPath.empty())
+        for (sim::SweepJob &job : jobs)
+            job.opts.captureManifest = true;
+    std::vector<sim::SimResult> results =
+        sim::SweepRunner::runAll(std::move(jobs), opts.jobs);
+    if (!opts.manifestPath.empty()) {
+        sim::writeSweepManifestFile(title, results, opts.manifestPath);
+        std::printf("Sweep manifest written to %s\n",
+                    opts.manifestPath.c_str());
+    }
+    return results;
 }
 
 double

@@ -13,6 +13,11 @@
  *   --fp             floating-point programs only
  *   --jobs=<n>       worker threads for the sweep (default: one per
  *                    hardware thread; results are identical for any n)
+ *   --manifest=<f>   write a sweep-level JSON manifest (per-run config,
+ *                    stats and provenance) to <f> after the grid runs
+ *
+ * Unrecognized "--option"s are fatal (see CliArgs::rejectUnknown);
+ * wrappers that add their own keys can pass them after a bare "--".
  */
 
 #ifndef DDSIM_BENCH_BENCH_COMMON_HH_
@@ -37,6 +42,8 @@ struct Options
     double scaleFactor = 1.0;
     /** Sweep worker threads (0 = one per hardware thread). */
     unsigned jobs = 0;
+    /** Sweep manifest output path ("" = don't write one). */
+    std::string manifestPath;
     std::vector<const workloads::WorkloadInfo *> programs;
     config::CliArgs args;
 
@@ -57,10 +64,14 @@ buildProgramShared(const workloads::WorkloadInfo &info,
 
 /**
  * Run a job grid through a SweepRunner sized by --jobs and return the
- * results in submission order.
+ * results in submission order. Rejects unrecognized CLI options first
+ * (every bench queries its flags before building the grid). With
+ * --manifest=<f>, every job captures a run manifest and the aggregate
+ * sweep manifest is written to <f> under @p title.
  */
 std::vector<sim::SimResult> runGrid(const Options &opts,
-                                    std::vector<sim::SweepJob> jobs);
+                                    std::vector<sim::SweepJob> jobs,
+                                    const std::string &title = "sweep");
 
 /** Geometric mean (of speedups/ratios). */
 double geomean(const std::vector<double> &values);

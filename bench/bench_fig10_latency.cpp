@@ -58,7 +58,7 @@ main(int argc, char **argv)
         slowLvc.lvc.hitLatency = 2;
         jobs.push_back({program, slowLvc});
     }
-    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+    std::vector<sim::SimResult> results = runGrid(opts, jobs, "Figure 10 LVC latency sweep");
 
     std::size_t k = 0;
     for (const auto *info : opts.programs) {

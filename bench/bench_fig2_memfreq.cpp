@@ -38,6 +38,7 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    opts.args.rejectUnknown(); // no grid here; reject typos ourselves
     banner("Figure 2 / Table 2: memory instruction frequencies",
            "avg ~30% of loads and ~48% of stores local; local refs "
            "10% (compress) .. 71% (vortex), avg ~36%");

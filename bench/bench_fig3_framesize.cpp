@@ -39,6 +39,7 @@ main(int argc, char **argv)
 {
     // Default to the integer subset, as the paper's figure does.
     Options opts(argc, argv);
+    opts.args.rejectUnknown(); // no grid here; reject typos ourselves
     banner("Figure 3: dynamic frame size distribution (words)",
            "frames are small: dynamic mean of a few words, static "
            "mean ~7 words, most frames < 25 words");

@@ -37,7 +37,7 @@ main(int argc, char **argv)
         for (int p : ports)
             jobs.push_back({program, config::baseline(p)});
     }
-    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+    std::vector<sim::SimResult> results = runGrid(opts, jobs, "Figure 5 port sweep");
 
     std::size_t k = 0;
     for (const auto *info : opts.programs) {

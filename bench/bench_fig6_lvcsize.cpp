@@ -42,7 +42,7 @@ main(int argc, char **argv)
             jobs.push_back({program, cfg});
         }
     }
-    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+    std::vector<sim::SimResult> results = runGrid(opts, jobs, "Figure 6 LVC size sweep");
 
     std::size_t k = 0;
     for (const auto *info : opts.programs) {

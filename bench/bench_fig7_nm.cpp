@@ -41,7 +41,7 @@ main(int argc, char **argv)
                                 m == 0 ? config::baseline(n)
                                        : config::decoupled(n, m)});
     }
-    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+    std::vector<sim::SimResult> results = runGrid(opts, jobs, "Figure 7 (N+M) sweep");
 
     // Collect per-program relative performance, then print the
     // cross-program average matrix (as the paper's figure plots).

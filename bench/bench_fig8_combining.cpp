@@ -42,7 +42,7 @@ main(int argc, char **argv)
             }
         }
     }
-    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+    std::vector<sim::SimResult> results = runGrid(opts, jobs, "Figure 8 combining sweep");
 
     std::size_t k = 0;
     for (const auto *info : opts.programs) {

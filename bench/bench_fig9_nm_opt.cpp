@@ -44,7 +44,7 @@ main(int argc, char **argv)
                     {program, m == 0 ? config::baseline(n)
                                      : config::decoupledOptimized(n, m)});
     }
-    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+    std::vector<sim::SimResult> results = runGrid(opts, jobs, "Figure 9 (N+M) optimized sweep");
 
     std::size_t k = 0;
     for (const auto *info : opts.programs) {

@@ -47,6 +47,7 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    opts.args.rejectUnknown(); // no grid here; reject typos ourselves
     banner("Static vs. dynamic frame sizes and local-access mix",
            "static frames skew larger than the dynamic mean; static "
            "local fractions track Fig. 2's dynamic columns");

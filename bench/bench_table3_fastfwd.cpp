@@ -39,7 +39,7 @@ main(int argc, char **argv)
         cfg.fastForward = true;
         jobs.push_back({program, cfg});
     }
-    std::vector<sim::SimResult> results = runGrid(opts, jobs);
+    std::vector<sim::SimResult> results = runGrid(opts, jobs, "Table 3 fast-forward sweep");
 
     std::size_t k = 0;
     for (const auto *info : opts.programs) {

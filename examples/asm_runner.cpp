@@ -104,6 +104,9 @@ main(int argc, char **argv)
         cfg.fastForward = true;
         cfg.combining = 2;
     }
+    args.markKnown("trace");
+    args.markKnown("stats"); // queried below, in branches
+    args.rejectUnknown();
     std::printf("\n%s\n", cfg.describe().c_str());
 
     if (args.getBool("trace")) {

@@ -39,6 +39,8 @@ main(int argc, char **argv)
         args.getDouble("scale", 1.0));
     auto program = std::make_shared<const prog::Program>(
         info->factory(params));
+    args.markKnown("jobs"); // queried below, after this check
+    args.rejectUnknown();
 
     std::printf("(N+M) IPC sweep for %s%s\n", info->paperName,
                 optimized ? " (fast forwarding + 2-way combining)"

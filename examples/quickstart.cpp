@@ -4,6 +4,14 @@
  * and on the data-decoupled machine, and compare.
  *
  * Usage: quickstart [--workload=li] [--scale=1.0]
+ *
+ * Observability (applies to the decoupled run; see
+ * docs/OBSERVABILITY.md):
+ *   --manifest=<f>         write a JSON run manifest
+ *   --trace=<f>            write a binary pipeline trace (see ddtrace)
+ *   --sample=<f>           write interval stats (.json or .csv)
+ *   --sample-interval=<n>  instructions between samples (default 10000)
+ *   --sample-filter=<p,..> stat-path prefixes to sample (default: all)
  */
 
 #include <cstdio>
@@ -21,6 +29,16 @@ main(int argc, char **argv)
     config::CliArgs args(argc, argv);
     std::string name = args.get("workload", "li");
     double scale = args.getDouble("scale", 1.0);
+
+    sim::RunOptions obsOpts;
+    obsOpts.manifestPath = args.get("manifest");
+    obsOpts.tracePath = args.get("trace");
+    obsOpts.samplePath = args.get("sample");
+    if (!obsOpts.samplePath.empty())
+        obsOpts.sampleInterval = static_cast<std::uint64_t>(
+            args.getInt("sample-interval", 10000));
+    obsOpts.sampleFilter = args.get("sample-filter");
+    args.rejectUnknown();
 
     const workloads::WorkloadInfo *info = workloads::find(name);
     if (!info) {
@@ -49,7 +67,7 @@ main(int argc, char **argv)
     //    LVC fed by the LVAQ, with fast data forwarding and 2-way
     //    access combining ("(2+2)" optimized).
     sim::SimResult dec =
-        sim::run(program, config::decoupledOptimized(2, 2));
+        sim::run(program, config::decoupledOptimized(2, 2), obsOpts);
     std::printf("(2+2) data-decoupled:    %s\n", dec.summary().c_str());
 
     std::printf("\nspeedup: %.2fx\n", sim::speedup(dec, base));

@@ -34,6 +34,7 @@ main(int argc, char **argv)
         for (const auto &w : workloads::all())
             names.push_back(w.name);
     }
+    args.rejectUnknown();
 
     sim::Table table({"program", "insts", "ld%", "st%", "locLd%",
                       "locSt%", "locRef%", "dynFrame", "statFrame",

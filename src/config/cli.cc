@@ -1,5 +1,7 @@
 #include "config/cli.hh"
 
+#include <algorithm>
+
 #include "util/log.hh"
 #include "util/str.hh"
 
@@ -12,14 +14,23 @@ namespace ddsim::config {
 
 CliArgs::CliArgs(int argc, const char *const *argv)
 {
+    bool passthrough = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (startsWith(arg, "--")) {
+        if (arg == "--") {
+            passthrough = true;
+        } else if (startsWith(arg, "--")) {
+            std::string key;
             auto eq = arg.find('=');
-            if (eq == std::string::npos)
-                opts[arg.substr(2)] = "1";
-            else
-                opts[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+            if (eq == std::string::npos) {
+                key = arg.substr(2);
+                opts[key] = "1";
+            } else {
+                key = arg.substr(2, eq - 2);
+                opts[key] = arg.substr(eq + 1);
+            }
+            if (passthrough)
+                knownKeys.insert(key);
         } else {
             pos.push_back(arg);
         }
@@ -31,12 +42,14 @@ CliArgs::CliArgs(int argc, const char *const *argv)
 bool
 CliArgs::has(const std::string &key) const
 {
+    knownKeys.insert(key);
     return opts.count(key) != 0;
 }
 
 std::string
 CliArgs::get(const std::string &key, const std::string &def) const
 {
+    knownKeys.insert(key);
     auto it = opts.find(key);
     return it == opts.end() ? def : it->second;
 }
@@ -44,6 +57,7 @@ CliArgs::get(const std::string &key, const std::string &def) const
 std::int64_t
 CliArgs::getInt(const std::string &key, std::int64_t def) const
 {
+    knownKeys.insert(key);
     auto it = opts.find(key);
     if (it == opts.end())
         return def;
@@ -57,6 +71,7 @@ CliArgs::getInt(const std::string &key, std::int64_t def) const
 double
 CliArgs::getDouble(const std::string &key, double def) const
 {
+    knownKeys.insert(key);
     auto it = opts.find(key);
     if (it == opts.end())
         return def;
@@ -70,11 +85,68 @@ CliArgs::getDouble(const std::string &key, double def) const
 bool
 CliArgs::getBool(const std::string &key, bool def) const
 {
+    knownKeys.insert(key);
     auto it = opts.find(key);
     if (it == opts.end())
         return def;
     std::string v = toLower(it->second);
     return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+void
+CliArgs::markKnown(const std::string &key) const
+{
+    knownKeys.insert(key);
+}
+
+namespace {
+
+/** Plain Levenshtein distance, for did-you-mean suggestions. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t prev = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t cur = row[j];
+            std::size_t sub = prev + (a[i - 1] == b[j - 1] ? 0 : 1);
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+            prev = cur;
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
+
+void
+CliArgs::rejectUnknown() const
+{
+    for (const auto &[key, value] : opts) {
+        if (knownKeys.count(key))
+            continue;
+        std::string best;
+        std::size_t bestDist = 3; // Suggest only close matches.
+        for (const std::string &k : knownKeys) {
+            std::size_t d = editDistance(key, k);
+            if (d < bestDist) {
+                bestDist = d;
+                best = k;
+            }
+        }
+        if (!best.empty())
+            fatal("unrecognized option --%s (did you mean --%s?); "
+                  "use \"--\" before tool-specific options to skip "
+                  "this check",
+                  key.c_str(), best.c_str());
+        fatal("unrecognized option --%s; use \"--\" before "
+              "tool-specific options to skip this check",
+              key.c_str());
+    }
 }
 
 namespace {
@@ -146,6 +218,11 @@ applyOverrides(MachineConfig &cfg, const CliArgs &args)
     if (args.has("fastfwd"))
         cfg.fastForward = args.getBool("fastfwd");
     intOpt("combining", cfg.combining);
+
+    // Every recognized config key has been queried above, so anything
+    // left unqueried is a typo (e.g. --l1.siez) that would otherwise
+    // silently run the wrong experiment.
+    args.rejectUnknown();
 
     cfg.validate();
 }

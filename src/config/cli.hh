@@ -8,6 +8,7 @@
 #define DDSIM_CONFIG_CLI_HH_
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -15,13 +16,24 @@
 
 namespace ddsim::config {
 
-/** Parsed command line: options plus positional arguments. */
+/**
+ * Parsed command line: options plus positional arguments.
+ *
+ * Every option a program actually consults (through has()/get*())
+ * lands in a known-key registry; once all queries have run, a call to
+ * rejectUnknown() turns any leftover "--option" — i.e. a typo like
+ * "--l1.siez=64K" that would otherwise silently no-op an experiment —
+ * into a fatal() with a did-you-mean suggestion. Options appearing
+ * after a bare "--" are exempt (the passthrough escape for wrappers
+ * that add their own keys).
+ */
 class CliArgs
 {
   public:
     /**
      * Parse argv. Accepted forms: "--key=value", "--flag" (value "1").
-     * Anything else is positional.
+     * A bare "--" marks every later option as passthrough (never
+     * rejected). Anything else is positional.
      */
     CliArgs(int argc, const char *const *argv);
 
@@ -32,6 +44,19 @@ class CliArgs
     double getDouble(const std::string &key, double def) const;
     bool getBool(const std::string &key, bool def = false) const;
 
+    /**
+     * Register @p key as recognized without querying it (for options
+     * only meaningful in branches the current invocation skipped).
+     */
+    void markKnown(const std::string &key) const;
+
+    /**
+     * fatal() on the first parsed "--option" that no accessor has
+     * queried and no markKnown() registered, with the closest known
+     * key suggested. Call after all option queries have run.
+     */
+    void rejectUnknown() const;
+
     const std::vector<std::string> &positional() const { return pos; }
     const std::map<std::string, std::string> &options() const
     {
@@ -41,6 +66,9 @@ class CliArgs
   private:
     std::map<std::string, std::string> opts;
     std::vector<std::string> pos;
+    /** Keys some accessor consulted (mutable: queries are logically
+     *  const but feed rejectUnknown's registry). */
+    mutable std::set<std::string> knownKeys;
 };
 
 /**

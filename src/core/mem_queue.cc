@@ -248,6 +248,9 @@ MemQueue::tryCacheAccess(QueueEntry &e, int pos, Cycle now)
     e.issued = true;
     e.completed = true;
     e.completeAt = done;
+    e.servedKind = QueueEntry::kServedCache;
+    e.servedAt = now;
+    e.combinedGrant = grant.combined;
     return true;
 }
 
@@ -270,6 +273,8 @@ MemQueue::processLoad(QueueEntry &e, int slot, Cycle now,
                 e.issued = true;
                 e.completed = true;
                 e.completeAt = now + policy.forwardLatency;
+                e.servedKind = QueueEntry::kServedFastForward;
+                e.servedAt = now;
                 ++loadsFastForwarded;
                 completions.push_back({slot, e.robIdx, e.completeAt});
                 return true;
@@ -332,6 +337,9 @@ MemQueue::processLoad(QueueEntry &e, int slot, Cycle now,
             e.issued = true;
             e.completed = true;
             e.completeAt = now + policy.forwardLatency;
+            e.servedKind = QueueEntry::kServedForward;
+            e.servedAt = now;
+            e.combinedGrant = grant.combined;
             if (grant.combined)
                 ++combinedAccesses;
             else
@@ -452,6 +460,9 @@ MemQueue::commitStore(int slot, Cycle now)
         scheduler.setGroupCompletion(grant.groupId, done);
     }
     e.committed = true;
+    e.servedKind = QueueEntry::kServedCache;
+    e.servedAt = now;
+    e.combinedGrant = grant.combined;
     extEvent = std::min(extEvent, now + 1); // Unblocks partial waits.
     return true;
 }

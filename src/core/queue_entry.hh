@@ -60,6 +60,19 @@ struct QueueEntry
      */
     bool cancelled = false;
 
+    // How the access was ultimately served. Written by the queue,
+    // read only by the observability layer — never by timing code.
+    enum : std::uint8_t
+    {
+        kServedNone = 0,
+        kServedCache = 1,       ///< Issued through a cache port.
+        kServedForward = 2,     ///< In-queue store-to-load forward.
+        kServedFastForward = 3, ///< Offset-matched fast forward.
+    };
+    std::uint8_t servedKind = kServedNone;
+    Cycle servedAt = 0;         ///< Cycle the serving action ran.
+    bool combinedGrant = false; ///< Rode another access's port grant.
+
     /** Bytes [addr, addr+size) overlap with @p other's range? */
     bool
     overlaps(const QueueEntry &other) const

@@ -5,6 +5,8 @@
 #include <ostream>
 
 #include "isa/disasm.hh"
+#include "obs/pipeline_trace.hh"
+#include "obs/sampler.hh"
 #include "util/log.hh"
 
 namespace ddsim::cpu {
@@ -142,6 +144,8 @@ Pipeline::commitStage()
                 if (!(e.completed && e.readyAt <= curCycle))
                     break;
             }
+            if (tracer)
+                recordCommit(e, idx);
             if (e.replicated) {
                 lsqQueue->release(e.queueSlot);
                 lvaqQueue->release(e.lvaqSlot);
@@ -151,6 +155,8 @@ Pipeline::commitStage()
         } else {
             if (!(e.completed && e.readyAt <= curCycle))
                 break;
+            if (tracer)
+                recordCommit(e, idx);
         }
 
         const isa::RegRef d = decoded(e.di).dest;
@@ -165,6 +171,63 @@ Pipeline::commitStage()
         ++n;
         lastCommit = curCycle;
     }
+    if (sampler && n > 0)
+        sampler->onCommit(committedInsts.value(), curCycle);
+}
+
+void
+Pipeline::recordCommit(const RobEntry &e, int idx)
+{
+    obs::TraceRecord r;
+    r.seq = e.di.seq;
+    r.pcIdx = e.di.pcIdx;
+    r.dispatchCycle = e.dispatchedAt;
+    r.commitCycle = curCycle;
+    if (e.isMem()) {
+        const isa::OpInfo &info = *decoded(e.di).info;
+        r.isLoad = info.load;
+        r.isStore = info.store;
+        r.replicated = e.replicated;
+        // Queue slots are allocated in the dispatch stage.
+        r.queueCycle = e.dispatchedAt;
+
+        // Find the copy that actually serviced the access. Under
+        // Replicate steering the address resolution cancels the wrong
+        // copy: stores keep the stackAccess-selected one, loads keep
+        // whichever completed (the LVAQ copy can also win early via
+        // fast forwarding; the LSQ copy is cancelled either way).
+        bool useLvaq;
+        int slot;
+        if (e.replicated) {
+            if (info.store) {
+                useLvaq = e.di.stackAccess;
+            } else {
+                const core::QueueEntry &lq =
+                    lvaqQueue->entry(e.lvaqSlot);
+                useLvaq = lq.completed && !lq.cancelled;
+            }
+            slot = useLvaq ? e.lvaqSlot : e.queueSlot;
+        } else {
+            useLvaq = e.queueKind == QueueKind::Lvaq;
+            slot = e.queueSlot;
+        }
+        const core::QueueEntry &qe =
+            (useLvaq ? *lvaqQueue : *lsqQueue).entry(slot);
+        r.lvaqStream = useLvaq;
+        r.forwarded =
+            qe.servedKind == core::QueueEntry::kServedForward;
+        r.fastForwarded =
+            qe.servedKind == core::QueueEntry::kServedFastForward;
+        r.combined = qe.combinedGrant;
+        r.missteered = qe.missteered;
+        if (qe.servedKind != core::QueueEntry::kServedNone)
+            r.accessCycle = qe.servedAt;
+        if (info.load)
+            r.wbCycle = e.readyAt;
+    } else {
+        r.wbCycle = e.readyAt;
+    }
+    tracer->onCommit(idx, r);
 }
 
 void
@@ -366,6 +429,8 @@ Pipeline::visitIssuable(int idx, int &issued)
         clearIssuable(idx);
         ++issued;
         ++agIssues;
+        if (tracer)
+            tracer->onIssue(idx, curCycle);
 
         if (e.replicated) {
             // Replicated steering (paper footnote 3): the address
@@ -417,6 +482,8 @@ Pipeline::visitIssuable(int idx, int &issued)
         clearIssuable(idx);
         ++issued;
         ++issuedOps;
+        if (tracer)
+            tracer->onIssue(idx, curCycle);
         // The completion time is now known: wake consumers. Their
         // earliest eligibility is readyAt > curCycle, so no bit set
         // this scan changes behind the cursor.
@@ -557,6 +624,8 @@ Pipeline::dispatchStage()
         if (sd.dest.valid())
             renameTable.setProducer(sd.dest, ProducerTag{idx, di.seq});
 
+        if (tracer)
+            tracer->onDispatch(idx, di.seq, curCycle);
         fetchQueue.pop_front();
         ++n;
     }
@@ -579,6 +648,8 @@ Pipeline::fetchStage()
         ++numFetched;
         ++fetchedInsts;
         ++n;
+        if (tracer)
+            tracer->onFetch(curCycle);
     }
 }
 

@@ -37,6 +37,11 @@
 #include "stats/stat.hh"
 #include "vm/trace.hh"
 
+namespace ddsim::obs {
+class Sampler;
+class PipelineTracer;
+}
+
 namespace ddsim::cpu {
 
 /** The complete simulated processor. */
@@ -83,6 +88,21 @@ class Pipeline : public stats::Group
      * stop tracing. Intended for small programs and debugging.
      */
     void setTrace(std::ostream *os) { traceOut = os; }
+
+    /**
+     * Attach an interval stats sampler (nullptr to detach). Observed
+     * after each commit batch; costs one pointer test per cycle when
+     * detached and never perturbs timing.
+     */
+    void setSampler(obs::Sampler *s) { sampler = s; }
+
+    /**
+     * Attach a binary lifecycle tracer (nullptr to detach). The
+     * tracer sees fetch/dispatch/issue/commit events; like the
+     * sampler, detached operation is a null-pointer test per event
+     * site and timing is never affected.
+     */
+    void setTracer(obs::PipelineTracer *t) { tracer = t; }
 
     /** True when the stream is exhausted and the pipeline is empty. */
     bool done() const;
@@ -196,6 +216,8 @@ class Pipeline : public stats::Group
     Cycle lastCommit = 0;
     std::vector<core::LoadCompletion> completions;
     std::ostream *traceOut = nullptr;
+    obs::Sampler *sampler = nullptr;
+    obs::PipelineTracer *tracer = nullptr;
 
     // ---- Event-driven scheduling core ------------------------------
     /**
@@ -344,6 +366,7 @@ class Pipeline : public stats::Group
     void maybeSkipCycles();
 
     void traceCommit(const RobEntry &e);
+    void recordCommit(const RobEntry &e, int idx);
 
     void commitStage();
     void memoryStage();

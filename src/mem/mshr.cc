@@ -38,6 +38,13 @@ Cycle
 MshrFile::allocate(Addr lineAddr, Cycle now, Cycle fillCycle)
 {
     expire(now);
+    // A fill for this line already in flight absorbs the new miss: it
+    // coalesces into the existing MSHR and completes when that fill
+    // does. Overwriting instead would push the line's completion
+    // back and could charge a spurious capacity hazard.
+    auto it = fills.find(lineAddr);
+    if (it != fills.end())
+        return it->second;
     if (static_cast<int>(fills.size()) >= capacity) {
         // Structural hazard: wait for the earliest outstanding fill,
         // pushing this one's completion back by the same amount.

@@ -30,9 +30,11 @@ class MshrFile
 
     /**
      * Register a new outstanding fill completing at @p fillCycle.
-     * If all MSHRs are busy at @p now, the request is delayed until
-     * one frees; the returned cycle is the (possibly pushed-back)
-     * completion time actually recorded.
+     * A miss on a line whose fill is already in flight coalesces into
+     * the existing MSHR and returns that fill's (earlier) completion
+     * unchanged. Otherwise, if all MSHRs are busy at @p now, the
+     * request is delayed until one frees; the returned cycle is the
+     * (possibly pushed-back) completion time actually recorded.
      */
     Cycle allocate(Addr lineAddr, Cycle now, Cycle fillCycle);
 

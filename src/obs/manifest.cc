@@ -1,0 +1,151 @@
+#include "obs/manifest.hh"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/version.hh"
+#include "stats/json.hh"
+#include "util/json.hh"
+#include "util/log.hh"
+
+namespace ddsim::obs {
+
+namespace {
+
+void
+writeCacheParams(JsonWriter &w, const config::CacheParams &c)
+{
+    w.beginObject();
+    w.field("size_bytes", static_cast<std::uint64_t>(c.sizeBytes));
+    w.field("assoc", static_cast<std::uint64_t>(c.assoc));
+    w.field("line_bytes", static_cast<std::uint64_t>(c.lineBytes));
+    w.field("hit_latency", static_cast<std::uint64_t>(c.hitLatency));
+    w.field("ports", c.ports);
+    w.field("banks", c.banks);
+    w.field("mshrs", c.mshrs);
+    w.endObject();
+}
+
+void
+writeConfig(JsonWriter &w, const config::MachineConfig &cfg)
+{
+    w.beginObject();
+    w.field("notation", cfg.notation());
+    w.field("fetch_width", cfg.fetchWidth);
+    w.field("issue_width", cfg.issueWidth);
+    w.field("commit_width", cfg.commitWidth);
+    w.field("rob_size", cfg.robSize);
+    w.field("lsq_size", cfg.lsqSize);
+    w.field("lvaq_size", cfg.lvaqSize);
+    w.field("num_int_alu", cfg.numIntAlu);
+    w.field("num_fp_alu", cfg.numFpAlu);
+    w.field("num_int_mult_div", cfg.numIntMultDiv);
+    w.field("num_fp_mult_div", cfg.numFpMultDiv);
+    w.key("l1");
+    writeCacheParams(w, cfg.l1);
+    w.field("lvc_enabled", cfg.lvcEnabled);
+    w.key("lvc");
+    writeCacheParams(w, cfg.lvc);
+    w.key("l2");
+    writeCacheParams(w, cfg.l2);
+    w.field("mem_latency", static_cast<std::uint64_t>(cfg.memLatency));
+    w.field("classifier", config::classifierName(cfg.classifier));
+    w.field("fast_forward", cfg.fastForward);
+    w.field("combining", cfg.combining);
+    w.field("forward_latency",
+            static_cast<std::uint64_t>(cfg.forwardLatency));
+    w.field("mispredict_penalty",
+            static_cast<std::uint64_t>(cfg.mispredictPenalty));
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeManifest(const ManifestInfo &info, std::ostream &os)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", kManifestSchema);
+
+    w.key("generator");
+    w.beginObject();
+    w.field("name", simulatorName());
+    w.field("version", simulatorVersion());
+    w.field("git", gitDescribe());
+    w.endObject();
+
+    w.key("run");
+    w.beginObject();
+    w.field("workload", info.workload);
+    if (!info.label.empty())
+        w.field("label", info.label);
+    w.key("config");
+    writeConfig(w, info.cfg);
+    w.key("options");
+    w.beginObject();
+    w.field("max_insts", info.maxInsts);
+    w.field("warmup_insts", info.warmupInsts);
+    w.field("trace_replay", info.traceReplay);
+    w.endObject();
+    w.key("observability");
+    w.beginObject();
+    w.field("trace_path", info.tracePath);
+    w.field("sample_path", info.samplePath);
+    w.field("sample_interval", info.sampleInterval);
+    w.endObject();
+    w.field("wall_seconds", info.wallSeconds);
+    w.endObject();
+
+    w.key("result");
+    w.beginObject();
+    w.field("cycles", info.cycles);
+    w.field("committed", info.committed);
+    w.field("ipc", info.ipc);
+    w.key("streams");
+    w.beginObject();
+    w.key("lsq");
+    w.beginObject();
+    w.field("loads", info.lsqLoads);
+    w.field("stores", info.lsqStores);
+    w.endObject();
+    w.key("lvaq");
+    w.beginObject();
+    w.field("loads", info.lvaqLoads);
+    w.field("stores", info.lvaqStores);
+    w.endObject();
+    w.endObject();
+    w.endObject();
+
+    if (info.stats) {
+        w.key("stats");
+        stats::writeGroupJson(w, *info.stats);
+    } else {
+        w.key("stats");
+        w.valueNull();
+    }
+
+    w.endObject();
+    os << '\n';
+}
+
+std::string
+manifestToJson(const ManifestInfo &info)
+{
+    std::ostringstream os;
+    writeManifest(info, os);
+    return os.str();
+}
+
+void
+writeManifestFile(const ManifestInfo &info, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open manifest file '%s' for writing",
+              path.c_str());
+    writeManifest(info, os);
+}
+
+} // namespace ddsim::obs

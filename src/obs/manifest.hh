@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Run manifests: a schema-versioned JSON record of one simulation —
+ * who produced it (git describe, simulator version), what ran
+ * (workload, machine configuration, run options), how long it took,
+ * a result summary, and the complete statistics tree. Written by
+ * sim::run() when RunOptions::manifestPath / captureManifest is set.
+ *
+ * The obs layer deliberately depends only on config/, stats/ and
+ * util/; the runner assembles a plain ManifestInfo so sim/ types never
+ * leak down here.
+ */
+
+#ifndef DDSIM_OBS_MANIFEST_HH_
+#define DDSIM_OBS_MANIFEST_HH_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "config/machine_config.hh"
+
+namespace ddsim::stats {
+class Group;
+}
+
+namespace ddsim::obs {
+
+/** Schema identifier stamped on per-run manifests. */
+inline constexpr const char *kManifestSchema = "ddsim-manifest-v1";
+/** Schema identifier stamped on sweep-level aggregate manifests. */
+inline constexpr const char *kSweepManifestSchema =
+    "ddsim-sweep-manifest-v1";
+
+/** Everything a per-run manifest records, as plain data. */
+struct ManifestInfo
+{
+    // ---- What ran ----
+    std::string workload;            ///< Program name.
+    std::string label;               ///< Free-form run label (optional).
+    config::MachineConfig cfg;       ///< Machine configuration.
+    std::uint64_t maxInsts = 0;      ///< RunOptions::maxInsts.
+    std::uint64_t warmupInsts = 0;   ///< RunOptions::warmupInsts.
+    bool traceReplay = false;        ///< Replayed a recorded trace?
+
+    // ---- Active observability outputs ----
+    std::string tracePath;           ///< Binary pipeline trace ("" = off).
+    std::string samplePath;          ///< Interval sample dump ("" = off).
+    std::uint64_t sampleInterval = 0;
+
+    // ---- Outcome summary ----
+    std::uint64_t cycles = 0;
+    std::uint64_t committed = 0;
+    double ipc = 0.0;
+    std::uint64_t lsqLoads = 0;      ///< Loads issued through the LSQ.
+    std::uint64_t lsqStores = 0;
+    std::uint64_t lvaqLoads = 0;     ///< Loads issued through the LVAQ.
+    std::uint64_t lvaqStores = 0;
+    double wallSeconds = 0.0;        ///< Host wall-clock for the run.
+
+    /** Full stats tree to embed (nullptr = omit). */
+    const stats::Group *stats = nullptr;
+};
+
+/** Write @p info as a complete JSON document to @p os. */
+void writeManifest(const ManifestInfo &info, std::ostream &os);
+
+/** writeManifest into a string. */
+std::string manifestToJson(const ManifestInfo &info);
+
+/** writeManifest into a file; fatal() if the file cannot be opened. */
+void writeManifestFile(const ManifestInfo &info, const std::string &path);
+
+} // namespace ddsim::obs
+
+#endif // DDSIM_OBS_MANIFEST_HH_

@@ -1,0 +1,303 @@
+#include "obs/pipeline_trace.hh"
+
+#include <cstring>
+
+#include "util/log.hh"
+
+namespace ddsim::obs {
+
+namespace {
+
+void
+putU16(std::ostream &os, std::uint16_t v)
+{
+    char b[2] = {static_cast<char>(v & 0xff),
+                 static_cast<char>((v >> 8) & 0xff)};
+    os.write(b, 2);
+}
+
+void
+putU32(std::ostream &os, std::uint32_t v)
+{
+    char b[4];
+    for (int i = 0; i < 4; ++i)
+        b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    os.write(b, 4);
+}
+
+void
+putU64(std::ostream &os, std::uint64_t v)
+{
+    char b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    os.write(b, 8);
+}
+
+void
+putString(std::ostream &os, const std::string &s)
+{
+    if (s.size() > 0xffff)
+        fatal("trace header string too long (%zu bytes)", s.size());
+    putU16(os, static_cast<std::uint16_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool
+getU16(std::istream &is, std::uint16_t &v)
+{
+    unsigned char b[2];
+    if (!is.read(reinterpret_cast<char *>(b), 2))
+        return false;
+    v = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+    return true;
+}
+
+bool
+getU32(std::istream &is, std::uint32_t &v)
+{
+    unsigned char b[4];
+    if (!is.read(reinterpret_cast<char *>(b), 4))
+        return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return true;
+}
+
+bool
+getU64(std::istream &is, std::uint64_t &v)
+{
+    unsigned char b[8];
+    if (!is.read(reinterpret_cast<char *>(b), 8))
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return true;
+}
+
+bool
+getString(std::istream &is, std::string &s)
+{
+    std::uint16_t len;
+    if (!getU16(is, len))
+        return false;
+    s.resize(len);
+    return len == 0 ||
+           static_cast<bool>(is.read(s.data(), len));
+}
+
+/** Backward offset encoding: 0 = unknown, else commit - cycle + 1. */
+std::uint64_t
+encodeBack(std::uint64_t commit, std::uint64_t cycle)
+{
+    if (cycle == kNoCycle)
+        return 0;
+    if (cycle > commit)
+        panic("trace event cycle %llu after its commit cycle %llu",
+              (unsigned long long)cycle, (unsigned long long)commit);
+    return commit - cycle + 1;
+}
+
+std::uint64_t
+decodeBack(std::uint64_t commit, std::uint64_t back)
+{
+    return back == 0 ? kNoCycle : commit - (back - 1);
+}
+
+} // namespace
+
+// ---- Writer ----------------------------------------------------------------
+
+PipelineTracer::PipelineTracer(const std::string &path,
+                               const std::string &workload,
+                               const std::string &notation,
+                               const std::string &label, int robSize)
+    : os(path, std::ios::binary | std::ios::trunc),
+      slots(static_cast<std::size_t>(robSize))
+{
+    if (!os)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    os.write(kTraceMagic, sizeof(kTraceMagic));
+    putU32(os, kTraceVersion);
+    putString(os, workload);
+    putString(os, notation);
+    putString(os, label);
+    countPos = os.tellp();
+    putU64(os, ~std::uint64_t{0}); // Patched by finish().
+}
+
+PipelineTracer::~PipelineTracer()
+{
+    finish();
+}
+
+void
+PipelineTracer::putVarint(std::uint64_t v)
+{
+    char buf[10];
+    int n = 0;
+    do {
+        char byte = static_cast<char>(v & 0x7f);
+        v >>= 7;
+        if (v)
+            byte |= static_cast<char>(0x80);
+        buf[n++] = byte;
+    } while (v);
+    os.write(buf, n);
+}
+
+void
+PipelineTracer::onDispatch(int robIdx, std::uint64_t seq,
+                           std::uint64_t cycle)
+{
+    SlotState &s = slots[static_cast<std::size_t>(robIdx)];
+    s.seq = seq;
+    s.issue = kNoCycle;
+    if (fetchFifo.empty()) {
+        // Fetched before the tracer attached (warmup overlap).
+        s.fetch = kNoCycle;
+    } else {
+        s.fetch = fetchFifo.front();
+        fetchFifo.pop_front();
+    }
+    (void)cycle; // Dispatch cycle reaches onCommit via the ROB entry.
+}
+
+void
+PipelineTracer::onCommit(int robIdx, TraceRecord rec)
+{
+    SlotState &s = slots[static_cast<std::size_t>(robIdx)];
+    if (s.seq == rec.seq) {
+        rec.fetchCycle = s.fetch;
+        rec.issueCycle = s.issue;
+    }
+    // else: dispatched before the tracer attached; leave unknown.
+
+    putVarint(rec.seq - prevSeq);
+    prevSeq = rec.seq;
+    putVarint(rec.pcIdx);
+    std::uint8_t flags = 0;
+    flags |= rec.isLoad ? 0x01 : 0;
+    flags |= rec.isStore ? 0x02 : 0;
+    flags |= rec.lvaqStream ? 0x04 : 0;
+    flags |= rec.replicated ? 0x08 : 0;
+    flags |= rec.forwarded ? 0x10 : 0;
+    flags |= rec.fastForwarded ? 0x20 : 0;
+    flags |= rec.combined ? 0x40 : 0;
+    flags |= rec.missteered ? 0x80 : 0;
+    os.put(static_cast<char>(flags));
+    putVarint(rec.commitCycle - prevCommit);
+    prevCommit = rec.commitCycle;
+    putVarint(encodeBack(rec.commitCycle, rec.fetchCycle));
+    putVarint(encodeBack(rec.commitCycle, rec.dispatchCycle));
+    putVarint(encodeBack(rec.commitCycle, rec.queueCycle));
+    putVarint(encodeBack(rec.commitCycle, rec.issueCycle));
+    putVarint(encodeBack(rec.commitCycle, rec.accessCycle));
+    putVarint(encodeBack(rec.commitCycle, rec.wbCycle));
+    ++numRecords;
+}
+
+void
+PipelineTracer::finish()
+{
+    if (finished)
+        return;
+    finished = true;
+    os.seekp(countPos);
+    putU64(os, numRecords);
+    os.flush();
+    if (!os)
+        warn("trace file write failed (disk full?)");
+    os.close();
+}
+
+// ---- Reader ----------------------------------------------------------------
+
+TraceReader::TraceReader(const std::string &path)
+    : is(path, std::ios::binary)
+{
+    if (!is)
+        fatal("cannot open trace file '%s'", path.c_str());
+    char magic[sizeof(kTraceMagic)];
+    if (!is.read(magic, sizeof(magic)) ||
+        std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0)
+        fatal("'%s' is not a ddtrace file (bad magic)", path.c_str());
+    if (!getU32(is, hdr.version) || hdr.version != kTraceVersion)
+        fatal("'%s': unsupported trace version %u", path.c_str(),
+              hdr.version);
+    if (!getString(is, hdr.workload) || !getString(is, hdr.notation) ||
+        !getString(is, hdr.label) || !getU64(is, hdr.recordCount))
+        fatal("'%s': truncated trace header", path.c_str());
+    if (hdr.recordCount == ~std::uint64_t{0})
+        fatal("'%s': trace was never finalized (writer died mid-run)",
+              path.c_str());
+}
+
+bool
+TraceReader::getVarint(std::uint64_t &v)
+{
+    v = 0;
+    int shift = 0;
+    while (true) {
+        int c = is.get();
+        if (c == std::char_traits<char>::eof())
+            return false;
+        v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+        if (!(c & 0x80))
+            return true;
+        shift += 7;
+        if (shift >= 64)
+            fatal("malformed varint in trace stream");
+    }
+}
+
+bool
+TraceReader::next(TraceRecord &rec)
+{
+    if (decodedCount >= hdr.recordCount)
+        return false;
+    std::uint64_t seqDelta, pcIdx, commitDelta;
+    std::uint64_t back[6];
+    if (!getVarint(seqDelta))
+        fatal("trace truncated after %llu of %llu records",
+              (unsigned long long)decodedCount,
+              (unsigned long long)hdr.recordCount);
+    if (!getVarint(pcIdx))
+        fatal("trace record truncated (pc)");
+    int flagsByte = is.get();
+    if (flagsByte == std::char_traits<char>::eof())
+        fatal("trace record truncated (flags)");
+    if (!getVarint(commitDelta))
+        fatal("trace record truncated (commit)");
+    for (std::uint64_t &b : back)
+        if (!getVarint(b))
+            fatal("trace record truncated (stage offsets)");
+
+    rec = TraceRecord{};
+    rec.seq = prevSeq + seqDelta;
+    prevSeq = rec.seq;
+    rec.pcIdx = static_cast<std::uint32_t>(pcIdx);
+    auto flags = static_cast<std::uint8_t>(flagsByte);
+    rec.isLoad = flags & 0x01;
+    rec.isStore = flags & 0x02;
+    rec.lvaqStream = flags & 0x04;
+    rec.replicated = flags & 0x08;
+    rec.forwarded = flags & 0x10;
+    rec.fastForwarded = flags & 0x20;
+    rec.combined = flags & 0x40;
+    rec.missteered = flags & 0x80;
+    rec.commitCycle = prevCommit + commitDelta;
+    prevCommit = rec.commitCycle;
+    rec.fetchCycle = decodeBack(rec.commitCycle, back[0]);
+    rec.dispatchCycle = decodeBack(rec.commitCycle, back[1]);
+    rec.queueCycle = decodeBack(rec.commitCycle, back[2]);
+    rec.issueCycle = decodeBack(rec.commitCycle, back[3]);
+    rec.accessCycle = decodeBack(rec.commitCycle, back[4]);
+    rec.wbCycle = decodeBack(rec.commitCycle, back[5]);
+    ++decodedCount;
+    return true;
+}
+
+} // namespace ddsim::obs

@@ -1,0 +1,169 @@
+#include "obs/sampler.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "stats/group.hh"
+#include "util/json.hh"
+#include "util/log.hh"
+#include "util/str.hh"
+
+namespace ddsim::obs {
+
+namespace {
+
+bool
+matchesFilter(const std::string &path,
+              const std::vector<std::string> &filters)
+{
+    if (filters.empty())
+        return true;
+    for (const std::string &f : filters) {
+        if (f.empty())
+            continue;
+        // A filter selects the stat it names exactly, or everything
+        // under the group it names.
+        if (path == f)
+            return true;
+        if (path.size() > f.size() && path.compare(0, f.size(), f) == 0 &&
+            path[f.size()] == '.')
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Sampler::Sampler(const stats::Group &root, std::uint64_t interval,
+                 const std::string &filter)
+    : intervalN(interval ? interval : 1), nextAt(intervalN)
+{
+    std::vector<std::string> filters;
+    for (const std::string &f : split(filter, ','))
+        if (!f.empty())
+            filters.push_back(f);
+    select(root, "", filters);
+    data.resize(names.size());
+}
+
+void
+Sampler::select(const stats::Group &g, const std::string &prefix,
+                const std::vector<std::string> &filters)
+{
+    for (const stats::StatBase *s : g.stats()) {
+        std::string path =
+            prefix.empty() ? s->name() : prefix + "." + s->name();
+        if (matchesFilter(path, filters)) {
+            tracked.push_back(s);
+            names.push_back(std::move(path));
+        }
+    }
+    for (const stats::Group *c : g.children()) {
+        std::string childPrefix = c->name().empty()
+            ? prefix
+            : (prefix.empty() ? c->name() : prefix + "." + c->name());
+        select(*c, childPrefix, filters);
+    }
+}
+
+void
+Sampler::capture(std::uint64_t committed, std::uint64_t cycle)
+{
+    rowInsts.push_back(committed);
+    rowCycles.push_back(cycle);
+    for (std::size_t i = 0; i < tracked.size(); ++i)
+        data[i].push_back(tracked[i]->report());
+    // Advance past the instruction count actually reached, so a
+    // commit batch that jumps several boundaries produces one row.
+    while (nextAt <= committed)
+        nextAt += intervalN;
+}
+
+void
+Sampler::finish(std::uint64_t committed, std::uint64_t cycle)
+{
+    if (!rowInsts.empty() && rowInsts.back() == committed)
+        return;
+    capture(committed, cycle);
+}
+
+void
+Sampler::dumpCsv(std::ostream &os) const
+{
+    os << "instructions,cycle";
+    for (const std::string &n : names)
+        os << ',' << n;
+    os << '\n';
+    for (std::size_t r = 0; r < rowInsts.size(); ++r) {
+        os << rowInsts[r] << ',' << rowCycles[r];
+        for (std::size_t c = 0; c < data.size(); ++c) {
+            os << ',';
+            double v = data[c][r];
+            // Counters dominate; print them without a decimal point.
+            if (v == static_cast<double>(static_cast<std::int64_t>(v)))
+                os << static_cast<std::int64_t>(v);
+            else
+                os << v;
+        }
+        os << '\n';
+    }
+}
+
+void
+Sampler::dumpJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", kSamplesSchema);
+    w.field("interval", intervalN);
+    w.key("columns");
+    w.beginArray();
+    for (const std::string &n : names)
+        w.value(n);
+    w.endArray();
+    w.key("instructions");
+    w.beginArray();
+    for (std::uint64_t v : rowInsts)
+        w.value(v);
+    w.endArray();
+    w.key("cycles");
+    w.beginArray();
+    for (std::uint64_t v : rowCycles)
+        w.value(v);
+    w.endArray();
+    w.key("cumulative");
+    w.beginArray();
+    for (const auto &col : data) {
+        w.beginArray();
+        for (double v : col)
+            w.value(v);
+        w.endArray();
+    }
+    w.endArray();
+    w.key("delta");
+    w.beginArray();
+    for (std::size_t c = 0; c < data.size(); ++c) {
+        w.beginArray();
+        for (std::size_t r = 0; r < data[c].size(); ++r)
+            w.value(deltaAt(r, c));
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+void
+Sampler::dumpFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open sample file '%s' for writing", path.c_str());
+    if (path.size() >= 5 &&
+        path.compare(path.size() - 5, 5, ".json") == 0)
+        dumpJson(os);
+    else
+        dumpCsv(os);
+}
+
+} // namespace ddsim::obs

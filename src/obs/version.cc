@@ -1,0 +1,31 @@
+#include "obs/version.hh"
+
+#ifndef DDSIM_GIT_DESCRIBE
+#define DDSIM_GIT_DESCRIBE "unknown"
+#endif
+
+#ifndef DDSIM_VERSION_STRING
+#define DDSIM_VERSION_STRING "0.0.0"
+#endif
+
+namespace ddsim::obs {
+
+const char *
+simulatorName()
+{
+    return "ddsim";
+}
+
+const char *
+simulatorVersion()
+{
+    return DDSIM_VERSION_STRING;
+}
+
+const char *
+gitDescribe()
+{
+    return DDSIM_GIT_DESCRIBE;
+}
+
+} // namespace ddsim::obs

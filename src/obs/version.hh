@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Build provenance for run manifests: the `git describe` string baked
+ * in at configure time, plus the simulator name/version.
+ */
+
+#ifndef DDSIM_OBS_VERSION_HH_
+#define DDSIM_OBS_VERSION_HH_
+
+namespace ddsim::obs {
+
+/** Simulator name as stamped into manifests. */
+const char *simulatorName();
+
+/** Semantic version from the CMake project(). */
+const char *simulatorVersion();
+
+/**
+ * `git describe --always --dirty` captured when the build was
+ * configured; "unknown" when the source tree was not a git checkout.
+ */
+const char *gitDescribe();
+
+} // namespace ddsim::obs
+
+#endif // DDSIM_OBS_VERSION_HH_

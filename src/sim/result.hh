@@ -55,6 +55,13 @@ struct SimResult
     /** Full stats dump (filled only when requested). */
     std::string statsText;
 
+    /**
+     * Complete run-manifest JSON (filled only when
+     * RunOptions::captureManifest is set). SweepRunner splices these
+     * into its sweep-level aggregate manifest.
+     */
+    std::string manifestJson;
+
     /** One-line summary for logs. */
     std::string summary() const;
 };

@@ -1,10 +1,14 @@
 #include "sim/runner.hh"
 
 #include "cpu/pipeline.hh"
+#include "obs/manifest.hh"
+#include "obs/pipeline_trace.hh"
+#include "obs/sampler.hh"
 #include "stats/formatter.hh"
 #include "util/log.hh"
 #include "vm/executor.hh"
 
+#include <chrono>
 #include <optional>
 
 namespace ddsim::sim {
@@ -35,10 +39,40 @@ run(const prog::Program &program, const config::MachineConfig &cfg,
         pipe.runUntilFetched(opts.warmupInsts);
         pipe.resetStats();
     }
+
+    // Observability attaches after warmup so samples and trace
+    // records cover exactly the measured phase.
+    std::optional<obs::Sampler> sampler;
+    if (opts.sampleInterval > 0) {
+        sampler.emplace(root, opts.sampleInterval, opts.sampleFilter);
+        pipe.setSampler(&*sampler);
+    }
+    std::optional<obs::PipelineTracer> tracer;
+    if (!opts.tracePath.empty()) {
+        tracer.emplace(opts.tracePath, program.name(), cfg.notation(),
+                       opts.label, cfg.robSize);
+        pipe.setTracer(&*tracer);
+    }
+
     // maxInsts counts measured instructions, i.e. excludes warmup.
     std::uint64_t limit =
         opts.maxInsts ? opts.maxInsts + opts.warmupInsts : 0;
+    auto t0 = std::chrono::steady_clock::now();
     pipe.run(limit);
+    double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    if (sampler)
+        sampler->finish(pipe.committedInsts.value(),
+                        pipe.numCycles.value());
+    if (tracer)
+        tracer->finish();
+    pipe.setSampler(nullptr);
+    pipe.setTracer(nullptr);
+    if (sampler && !opts.samplePath.empty())
+        sampler->dumpFile(opts.samplePath);
 
     SimResult r;
     r.program = program.name();
@@ -81,6 +115,34 @@ run(const prog::Program &program, const config::MachineConfig &cfg,
 
     if (opts.captureStats)
         r.statsText = stats::toText(root);
+
+    if (opts.captureManifest || !opts.manifestPath.empty()) {
+        obs::ManifestInfo mi;
+        mi.workload = program.name();
+        mi.label = opts.label;
+        mi.cfg = cfg;
+        mi.maxInsts = opts.maxInsts;
+        mi.warmupInsts = opts.warmupInsts;
+        mi.traceReplay = static_cast<bool>(opts.trace);
+        mi.tracePath = opts.tracePath;
+        mi.samplePath = opts.samplePath;
+        mi.sampleInterval = opts.sampleInterval;
+        mi.cycles = r.cycles;
+        mi.committed = r.committed;
+        mi.ipc = r.ipc;
+        mi.lsqLoads = pipe.lsq().loadsTotal.value();
+        mi.lsqStores = pipe.lsq().storesTotal.value();
+        if (core::MemQueue *lvaq = pipe.lvaq()) {
+            mi.lvaqLoads = lvaq->loadsTotal.value();
+            mi.lvaqStores = lvaq->storesTotal.value();
+        }
+        mi.wallSeconds = wallSeconds;
+        mi.stats = &root;
+        if (opts.captureManifest)
+            r.manifestJson = obs::manifestToJson(mi);
+        if (!opts.manifestPath.empty())
+            obs::writeManifestFile(mi, opts.manifestPath);
+    }
     return r;
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "config/machine_config.hh"
 #include "prog/program.hh"
@@ -44,6 +45,29 @@ struct RunOptions
      * of once per grid point.
      */
     std::shared_ptr<const vm::RecordedTrace> trace;
+
+    // ---- Observability (all off by default; timing-invisible) ----
+    /** Write a JSON run manifest here ("" = none). */
+    std::string manifestPath;
+    /** Capture the manifest JSON into SimResult::manifestJson. */
+    bool captureManifest = false;
+    /** Free-form label recorded in the manifest and trace header. */
+    std::string label;
+    /** Write a binary pipeline lifecycle trace here ("" = none). */
+    std::string tracePath;
+    /**
+     * Snapshot stats every this many committed instructions
+     * (0 = sampling off). Samples cover the measured phase only —
+     * the sampler attaches after warmup.
+     */
+    std::uint64_t sampleInterval = 0;
+    /** Dump the samples here (.json = JSON, else CSV; "" = none). */
+    std::string samplePath;
+    /**
+     * Comma-separated dotted-path prefixes selecting which stats the
+     * sampler tracks ("cpu,l1d"); empty = the whole tree.
+     */
+    std::string sampleFilter;
 };
 
 /**

@@ -1,8 +1,14 @@
 #include "sim/sweep.hh"
 
+#include <fstream>
+#include <ostream>
 #include <utility>
 
+#include "obs/manifest.hh"
+#include "obs/version.hh"
+#include "util/json.hh"
 #include "util/log.hh"
+#include "util/str.hh"
 
 namespace ddsim::sim {
 
@@ -79,6 +85,47 @@ SweepRunner::runAll(std::vector<SweepJob> jobs, unsigned workers)
     for (SweepJob &job : jobs)
         runner.submit(std::move(job));
     return runner.collect();
+}
+
+void
+writeSweepManifest(const std::string &title,
+                   const std::vector<SimResult> &results,
+                   std::ostream &os)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", obs::kSweepManifestSchema);
+    w.field("title", title);
+    w.key("generator");
+    w.beginObject();
+    w.field("name", obs::simulatorName());
+    w.field("version", obs::simulatorVersion());
+    w.field("git", obs::gitDescribe());
+    w.endObject();
+    w.field("num_runs", static_cast<std::uint64_t>(results.size()));
+    w.key("runs");
+    w.beginArray();
+    for (const SimResult &r : results) {
+        if (r.manifestJson.empty())
+            w.valueNull();
+        else
+            w.rawValue(trim(r.manifestJson));
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeSweepManifestFile(const std::string &title,
+                       const std::vector<SimResult> &results,
+                       const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open sweep manifest file '%s' for writing",
+              path.c_str());
+    writeSweepManifest(title, results, os);
 }
 
 std::shared_ptr<const vm::RecordedTrace>

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <exception>
 #include <functional>
 #include <map>
@@ -154,6 +155,23 @@ class SweepRunner
     TraceCache traces;
     bool shareTraces = true;
 };
+
+/**
+ * Aggregate the per-run manifests captured by a sweep (jobs submitted
+ * with RunOptions::captureManifest) into one sweep-level JSON
+ * document ("ddsim-sweep-manifest-v1"): generator provenance, the
+ * sweep title, and a "runs" array holding each run's full manifest in
+ * submission order. Results without a captured manifest appear as
+ * null entries so indices still line up with the submission grid.
+ */
+void writeSweepManifest(const std::string &title,
+                        const std::vector<SimResult> &results,
+                        std::ostream &os);
+
+/** writeSweepManifest into a file; fatal() if unwritable. */
+void writeSweepManifestFile(const std::string &title,
+                            const std::vector<SimResult> &results,
+                            const std::string &path);
 
 /**
  * Memoizes program construction so each workload is built exactly

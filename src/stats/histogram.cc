@@ -1,6 +1,7 @@
 #include "stats/histogram.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/log.hh"
 
@@ -51,14 +52,24 @@ Histogram::percentile(double fraction) const
     if (total == 0)
         return 0;
     fraction = std::clamp(fraction, 0.0, 1.0);
+    // Ceiling, not truncation: the p-th percentile is the smallest
+    // value with at least ceil(p * total) samples at or below it, and
+    // at least one sample (a truncated or zero `needed` would stop in
+    // a leading bucket that holds no samples at all).
     std::uint64_t needed = static_cast<std::uint64_t>(
-        fraction * static_cast<double>(total));
+        std::ceil(fraction * static_cast<double>(total)));
+    needed = std::max<std::uint64_t>(needed, 1);
     std::uint64_t seen = 0;
     for (size_t i = 0; i < buckets.size(); ++i) {
         seen += buckets[i];
-        if (seen >= needed)
-            return (static_cast<std::uint64_t>(i) + 1) * width - 1;
+        if (seen >= needed) {
+            std::uint64_t bHi =
+                (static_cast<std::uint64_t>(i) + 1) * width - 1;
+            return std::min(bHi, maxVal);
+        }
     }
+    // Lands in the overflow bucket: all that is known about those
+    // samples is that the largest equals maxVal.
     return maxVal;
 }
 
@@ -67,14 +78,31 @@ Histogram::fractionBetween(std::uint64_t lo, std::uint64_t hi) const
 {
     if (total == 0 || hi < lo)
         return 0.0;
-    std::uint64_t count = 0;
+    double count = 0.0;
     for (size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
         std::uint64_t bLo = static_cast<std::uint64_t>(i) * width;
         std::uint64_t bHi = bLo + width - 1;
-        if (bLo >= lo && bHi <= hi)
-            count += buckets[i];
+        if (bHi < lo || bLo > hi)
+            continue;
+        // Partially covered buckets contribute proportionally to the
+        // overlap, assuming samples uniform within a bucket. (The old
+        // all-or-nothing rule dropped every partially covered bucket,
+        // so e.g. [0, 8] with width 10 counted as zero.)
+        std::uint64_t oLo = std::max(bLo, lo);
+        std::uint64_t oHi = std::min(bHi, hi);
+        count += static_cast<double>(buckets[i]) *
+                 (static_cast<double>(oHi - oLo + 1) /
+                  static_cast<double>(width));
     }
-    return static_cast<double>(count) / static_cast<double>(total);
+    // The overflow bucket spans [numBuckets*width, maxVal]; it has no
+    // internal resolution, so it contributes only when the query range
+    // covers it entirely. Either way it stays in the denominator.
+    if (overflowCount != 0 &&
+        lo <= buckets.size() * width && hi >= maxVal)
+        count += static_cast<double>(overflowCount);
+    return count / static_cast<double>(total);
 }
 
 void

@@ -44,12 +44,21 @@ class Histogram : public StatBase
     std::uint64_t bucketWidth() const { return width; }
 
     /**
-     * Smallest sample value v such that at least @p fraction of all
-     * samples are <= v (computed from buckets; resolution = width).
+     * Smallest sample value v such that at least
+     * ceil(@p fraction * samples()) samples (at least one) are <= v,
+     * computed from buckets at width resolution and clamped to
+     * maxValue(). A percentile landing in the overflow bucket reports
+     * maxValue().
      */
     std::uint64_t percentile(double fraction) const;
 
-    /** Fraction of samples falling in [lo, hi] (bucket resolution). */
+    /**
+     * Fraction of samples falling in [lo, hi]. Partially covered
+     * buckets contribute proportionally to the overlap (samples
+     * assumed uniform within a bucket). The overflow bucket counts
+     * only when [lo, hi] covers all of [numBuckets*width, maxValue()],
+     * but always stays in the denominator.
+     */
     double fractionBetween(std::uint64_t lo, std::uint64_t hi) const;
 
     double report() const override { return mean(); }

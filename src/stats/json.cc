@@ -1,0 +1,90 @@
+#include "stats/json.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "stats/histogram.hh"
+
+namespace ddsim::stats {
+
+namespace {
+
+void
+writeStatJson(JsonWriter &w, const StatBase &stat,
+              const JsonFormatOptions &opts)
+{
+    w.beginObject();
+    w.field("name", stat.name());
+    if (opts.includeDesc)
+        w.field("desc", stat.desc());
+
+    if (auto *s = dynamic_cast<const Scalar *>(&stat)) {
+        // Exact integer, not through the double-valued report() path.
+        w.field("value", s->value());
+    } else if (auto *h = dynamic_cast<const Histogram *>(&stat)) {
+        w.field("value", h->mean());
+        w.field("samples", h->samples());
+        w.field("min", h->minValue());
+        w.field("max", h->maxValue());
+        w.field("bucket_width", h->bucketWidth());
+        w.key("buckets");
+        w.beginArray();
+        for (int i = 0; i < h->numBuckets(); ++i)
+            w.value(h->bucket(i));
+        w.endArray();
+        w.field("overflow", h->overflow());
+    } else {
+        w.field("value", stat.report());
+    }
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeGroupJson(JsonWriter &w, const Group &group,
+               const JsonFormatOptions &opts)
+{
+    w.beginObject();
+    w.field("name", group.name());
+
+    w.key("stats");
+    w.beginArray();
+    for (const StatBase *stat : group.stats()) {
+        if (!opts.includeZero && stat->zero())
+            continue;
+        writeStatJson(w, *stat, opts);
+    }
+    w.endArray();
+
+    w.key("groups");
+    w.beginArray();
+    for (const Group *child : group.children())
+        writeGroupJson(w, *child, opts);
+    w.endArray();
+
+    w.endObject();
+}
+
+void
+dumpJson(const Group &root, std::ostream &os,
+         const JsonFormatOptions &opts)
+{
+    JsonWriter w(os, opts.indent);
+    w.beginObject();
+    w.field("schema", kStatsSchema);
+    w.key("stats");
+    writeGroupJson(w, root, opts);
+    w.endObject();
+    os << '\n';
+}
+
+std::string
+toJson(const Group &root, const JsonFormatOptions &opts)
+{
+    std::ostringstream os;
+    dumpJson(root, os, opts);
+    return os.str();
+}
+
+} // namespace ddsim::stats

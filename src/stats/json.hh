@@ -1,0 +1,59 @@
+/**
+ * @file
+ * JSON export of a stats Group tree: the machine-readable counterpart
+ * of formatter.hh's text/CSV dumps. The tree shape (groups containing
+ * stats and child groups) is preserved, histograms export their full
+ * bucket vectors, and the standalone document carries a schema tag so
+ * downstream tooling can detect format drift.
+ */
+
+#ifndef DDSIM_STATS_JSON_HH_
+#define DDSIM_STATS_JSON_HH_
+
+#include <iosfwd>
+#include <string>
+
+#include "stats/group.hh"
+#include "util/json.hh"
+
+namespace ddsim::stats {
+
+/** Schema identifier stamped on standalone stat dumps. */
+inline constexpr const char *kStatsSchema = "ddsim-stats-v1";
+
+/** Options controlling the JSON dump. */
+struct JsonFormatOptions
+{
+    bool includeDesc = false; ///< Emit per-stat description strings.
+    bool includeZero = true;  ///< Emit stats that are still zero.
+    int indent = 2;           ///< Spaces per level; 0 = compact.
+};
+
+/**
+ * Write @p group and its descendants as one JSON object into an
+ * already-positioned writer (value position). Shape:
+ *
+ *   { "name": "cpu",
+ *     "stats": [ {"name": "cycles", "value": 123}, ... ],
+ *     "groups": [ { ... child ... }, ... ] }
+ *
+ * Histogram stats additionally carry "samples", "min", "max", "mean",
+ * "bucket_width", "buckets" (regular-bucket counts) and "overflow".
+ */
+void writeGroupJson(JsonWriter &w, const Group &group,
+                    const JsonFormatOptions &opts = {});
+
+/**
+ * Dump @p root as a complete, schema-versioned JSON document:
+ *   { "schema": "ddsim-stats-v1", "stats": { ...tree... } }
+ */
+void dumpJson(const Group &root, std::ostream &os,
+              const JsonFormatOptions &opts = {});
+
+/** Convenience: dumpJson into a string. */
+std::string toJson(const Group &root,
+                   const JsonFormatOptions &opts = {});
+
+} // namespace ddsim::stats
+
+#endif // DDSIM_STATS_JSON_HH_

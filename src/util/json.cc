@@ -1,0 +1,246 @@
+#include "util/json.hh"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/log.hh"
+
+namespace ddsim {
+
+JsonWriter::JsonWriter(std::ostream &os, int indentStep)
+    : os(os), indentStep(indentStep)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    if (!nesting.empty())
+        warn("JsonWriter destroyed with %zu unclosed containers",
+             nesting.size());
+}
+
+void
+JsonWriter::indent()
+{
+    if (indentStep <= 0)
+        return;
+    os << '\n';
+    int n = static_cast<int>(nesting.size()) * indentStep;
+    for (int i = 0; i < n; ++i)
+        os << ' ';
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (nesting.empty()) {
+        // Top-level value: exactly one is allowed.
+        return;
+    }
+    if (nesting.back() == Ctx::Object && !keyPending)
+        panic("JsonWriter: value without a key inside an object");
+    if (keyPending) {
+        keyPending = false;
+        return; // key() already wrote the separator and indent.
+    }
+    if (!firstInContainer)
+        os << ',';
+    indent();
+    firstInContainer = false;
+}
+
+void
+JsonWriter::beforeContainerEnd()
+{
+    if (keyPending)
+        panic("JsonWriter: container closed with a dangling key");
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os << '{';
+    nesting.push_back(Ctx::Object);
+    firstInContainer = true;
+}
+
+void
+JsonWriter::endObject()
+{
+    beforeContainerEnd();
+    if (nesting.empty() || nesting.back() != Ctx::Object)
+        panic("JsonWriter: endObject outside an object");
+    bool wasEmpty = firstInContainer;
+    nesting.pop_back();
+    if (!wasEmpty)
+        indent();
+    os << '}';
+    firstInContainer = false;
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os << '[';
+    nesting.push_back(Ctx::Array);
+    firstInContainer = true;
+}
+
+void
+JsonWriter::endArray()
+{
+    beforeContainerEnd();
+    if (nesting.empty() || nesting.back() != Ctx::Array)
+        panic("JsonWriter: endArray outside an array");
+    bool wasEmpty = firstInContainer;
+    nesting.pop_back();
+    if (!wasEmpty)
+        indent();
+    os << ']';
+    firstInContainer = false;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    if (nesting.empty() || nesting.back() != Ctx::Object)
+        panic("JsonWriter: key outside an object");
+    if (keyPending)
+        panic("JsonWriter: two keys in a row");
+    if (!firstInContainer)
+        os << ',';
+    indent();
+    firstInContainer = false;
+    writeEscaped(k);
+    os << (indentStep > 0 ? ": " : ":");
+    keyPending = true;
+    return *this;
+}
+
+void
+JsonWriter::writeEscaped(std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    writeEscaped(v);
+}
+
+void
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    os << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    os << buf;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    os << buf;
+}
+
+void
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (!std::isfinite(v)) {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        os << "null";
+        return;
+    }
+    // Counters are exact integers; everything else keeps enough
+    // digits to round-trip a double.
+    char buf[40];
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15)
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    else
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+void
+JsonWriter::valueNull()
+{
+    beforeValue();
+    os << "null";
+}
+
+void
+JsonWriter::rawValue(std::string_view json)
+{
+    beforeValue();
+    os << json;
+}
+
+std::string
+jsonQuote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+            else
+                out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace ddsim

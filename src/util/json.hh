@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A minimal streaming JSON writer: object/array nesting, correct
+ * string escaping, and number formatting that round-trips uint64
+ * counters exactly. Used by the observability layer (stats export,
+ * run manifests, interval samples); there is deliberately no DOM —
+ * everything is written in one forward pass.
+ */
+
+#ifndef DDSIM_UTIL_JSON_HH_
+#define DDSIM_UTIL_JSON_HH_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ddsim {
+
+/**
+ * Emits syntactically valid JSON to an ostream. The caller drives the
+ * structure (beginObject/endObject, beginArray/endArray, key, value);
+ * the writer tracks nesting and inserts commas, newlines and
+ * indentation. Misuse (a key outside an object, unbalanced ends) is a
+ * panic — JSON validity is enforced, not hoped for.
+ */
+class JsonWriter
+{
+  public:
+    /** @param indentStep Spaces per nesting level; 0 = compact. */
+    explicit JsonWriter(std::ostream &os, int indentStep = 2);
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Write an object member's key; a value call must follow. */
+    JsonWriter &key(std::string_view k);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(bool v);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void valueNull();
+
+    /**
+     * Splice pre-rendered JSON (e.g. a captured per-run manifest into
+     * a sweep-level document). The fragment must itself be valid JSON;
+     * it is emitted verbatim in value position.
+     */
+    void rawValue(std::string_view json);
+
+    /** Convenience: key + value in one call. */
+    template <class T>
+    void field(std::string_view k, T v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** All containers closed? (checked by the destructor in debug). */
+    bool balanced() const { return nesting.empty(); }
+
+  private:
+    enum class Ctx : std::uint8_t { Object, Array };
+
+    std::ostream &os;
+    int indentStep;
+    std::vector<Ctx> nesting;
+    bool firstInContainer = true;
+    bool keyPending = false;
+
+    void beforeValue();
+    void beforeContainerEnd();
+    void indent();
+    void writeEscaped(std::string_view s);
+};
+
+/** Escape @p s per RFC 8259 and return it wrapped in quotes. */
+std::string jsonQuote(std::string_view s);
+
+} // namespace ddsim
+
+#endif // DDSIM_UTIL_JSON_HH_

@@ -158,6 +158,54 @@ TEST(Cli, BadOverrideValueIsFatal)
     EXPECT_THROW(applyOverrides(cfg, args2), FatalError);
 }
 
+TEST(Cli, RejectsUnknownOptionWithSuggestion)
+{
+    setQuiet(true);
+    // The queried key registers; the typo'd one does not, and used to
+    // silently no-op the experiment.
+    const char *argv[] = {"prog", "--l1.siez=64K"};
+    CliArgs args(2, argv);
+    MachineConfig cfg;
+    try {
+        applyOverrides(cfg, args);
+        FAIL() << "typo'd option was accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("l1.siez"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("l1.size"),
+                  std::string::npos)
+            << "expected a did-you-mean suggestion: " << e.what();
+    }
+}
+
+TEST(Cli, RejectUnknownHonorsQueriesAndMarkKnown)
+{
+    setQuiet(true);
+    const char *argv[] = {"prog", "--scale=2", "--extra=1"};
+    CliArgs args(3, argv);
+    EXPECT_EQ(args.getInt("scale", 0), 2);
+    EXPECT_THROW(args.rejectUnknown(), FatalError);
+    args.markKnown("extra");
+    EXPECT_NO_THROW(args.rejectUnknown());
+}
+
+TEST(Cli, PassthroughEscapeSkipsRejection)
+{
+    setQuiet(true);
+    // Everything after a bare "--" is exempt; options before it are
+    // still checked.
+    const char *argv[] = {"prog", "--rob=64", "--", "--custom=7"};
+    CliArgs args(4, argv);
+    MachineConfig cfg;
+    EXPECT_NO_THROW(applyOverrides(cfg, args));
+    EXPECT_EQ(cfg.robSize, 64);
+    EXPECT_EQ(args.getInt("custom", 0), 7); // still parsed normally
+
+    const char *argv2[] = {"prog", "--rbo=64", "--", "--custom=7"};
+    CliArgs args2(4, argv2);
+    EXPECT_THROW(applyOverrides(cfg, args2), FatalError);
+}
+
 TEST(Config, ClassifierNames)
 {
     EXPECT_STREQ(classifierName(ClassifierKind::Oracle), "oracle");

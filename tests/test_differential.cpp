@@ -149,5 +149,22 @@ TEST_P(Differential, TraceReplayMatchesSeedModel)
     expectMatchesBaseline(r, row, "trace-replay");
 }
 
+TEST_P(Differential, ObservabilityOnMatchesSeedModel)
+{
+    // Manifest capture, interval sampling and pipeline tracing must be
+    // pure observers: with all three enabled, every pinned column
+    // stays bit-identical to the seed model.
+    const BaselineRow &row = GetParam();
+    sim::RunOptions opts;
+    opts.captureManifest = true;
+    opts.sampleInterval = 4096;
+    opts.tracePath = ::testing::TempDir() + "diff_" + row.workload +
+                     "_" + row.cfg + ".trace";
+    sim::SimResult r =
+        sim::run(programFor(row.workload), diffConfig(row.cfg), opts);
+    expectMatchesBaseline(r, row, "observability-on");
+    EXPECT_FALSE(r.manifestJson.empty());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllWorkloadsAllConfigs, Differential,
                          ::testing::ValuesIn(kBaseline), rowName);

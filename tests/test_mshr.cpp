@@ -35,6 +35,29 @@ TEST(Mshr, ExpiresCompletedFills)
     EXPECT_EQ(m.busy(50), 0);
 }
 
+TEST(Mshr, DuplicateLineCoalescesToEarlierFill)
+{
+    MshrFile m(4);
+    m.allocate(0x100, 0, 50);
+    // A second miss on the same line merges into the in-flight fill:
+    // it completes when that fill does, never later. (The old
+    // overwrite pushed the line's completion back to 120.)
+    EXPECT_EQ(m.allocate(0x100, 10, 120), 50u);
+    EXPECT_EQ(m.outstandingFill(0x100, 20), 50u);
+    EXPECT_EQ(m.busy(20), 1);
+}
+
+TEST(Mshr, DuplicateLineChargesNoCapacityHazard)
+{
+    MshrFile m(2);
+    m.allocate(0x100, 0, 100);
+    m.allocate(0x200, 0, 80);
+    // The file is full, but a repeat miss on a tracked line coalesces
+    // instead of competing for a free register.
+    EXPECT_EQ(m.allocate(0x100, 0, 140), 100u);
+    EXPECT_EQ(m.busy(0), 2);
+}
+
 TEST(Mshr, FullFilePushesBackCompletion)
 {
     MshrFile m(2);

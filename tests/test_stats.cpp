@@ -82,6 +82,67 @@ TEST(Histogram, FractionBetween)
     EXPECT_NEAR(h.fractionBetween(0, 9), 1.0, 1e-9);
 }
 
+TEST(Histogram, PercentileUsesCeilingRank)
+{
+    Group root(nullptr, "");
+    Histogram h(&root, "h", "", 10, 1);
+    h.sample(1);
+    h.sample(2);
+    h.sample(3);
+    // The median of {1,2,3} needs ceil(0.5*3) = 2 samples at or below
+    // it. Truncation needed only 1 and reported the minimum.
+    EXPECT_EQ(h.percentile(0.5), 2u);
+    EXPECT_EQ(h.percentile(1.0), 3u);
+    // A tiny fraction still needs at least one sample; with empty
+    // leading buckets the old code stopped in bucket 0 and reported 0.
+    EXPECT_EQ(h.percentile(0.01), 1u);
+}
+
+TEST(Histogram, PercentileClampsToObservedMax)
+{
+    Group root(nullptr, "");
+    Histogram h(&root, "h", "", 4, 10);
+    h.sample(3);
+    // One sample of value 3 lands in bucket [0, 9]; every percentile
+    // of this distribution is 3, not the bucket bound 9.
+    EXPECT_EQ(h.percentile(0.5), 3u);
+    h.sample(1000); // overflow
+    // The upper half of the mass is in the overflow bucket, whose
+    // only known value is the running maximum.
+    EXPECT_EQ(h.percentile(0.99), 1000u);
+}
+
+TEST(Histogram, FractionBetweenPartialBuckets)
+{
+    Group root(nullptr, "");
+    Histogram h(&root, "h", "", 4, 10);
+    for (std::uint64_t v = 0; v < 20; ++v)
+        h.sample(v);
+    // [0, 4] covers half of bucket [0, 9]: proportionally 5 of the 10
+    // samples there. The old all-or-nothing rule reported 0.
+    EXPECT_NEAR(h.fractionBetween(0, 4), 0.25, 1e-9);
+    EXPECT_NEAR(h.fractionBetween(0, 14), 0.75, 1e-9);
+    EXPECT_NEAR(h.fractionBetween(5, 14), 0.5, 1e-9);
+    EXPECT_NEAR(h.fractionBetween(0, 19), 1.0, 1e-9);
+}
+
+TEST(Histogram, FractionBetweenOverflowInDenominator)
+{
+    Group root(nullptr, "");
+    Histogram h(&root, "h", "", 4, 10);
+    h.sample(5);
+    h.sample(15);
+    h.sample(100); // overflow
+    h.sample(200); // overflow
+    // Overflow samples always count toward the denominator...
+    EXPECT_NEAR(h.fractionBetween(0, 39), 0.5, 1e-9);
+    // ...and toward the numerator only when the range covers the
+    // whole overflow region [numBuckets*width, maxValue()].
+    EXPECT_NEAR(h.fractionBetween(0, 200), 1.0, 1e-9);
+    EXPECT_NEAR(h.fractionBetween(0, 150), 0.5, 1e-9);
+    EXPECT_NEAR(h.fractionBetween(40, 200), 0.5, 1e-9);
+}
+
 TEST(Histogram, WeightedSamples)
 {
     Group root(nullptr, "");

@@ -67,6 +67,9 @@ main(int argc, char **argv)
     }
     bool verbose = args.getBool("verbose");
     std::string workload = args.get("workload");
+    args.markKnown("scale");
+    args.markKnown("seed"); // queried per-workload, below
+    args.rejectUnknown();
     if (workload.empty() && args.positional().empty()) {
         std::fprintf(stderr,
                      "usage: ddlint --workload=<name>|all | file.s...\n"

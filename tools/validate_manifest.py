@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate a ddsim run manifest or sweep manifest.
+
+Stdlib-only. Checks schema identifiers, required fields, and internal
+consistency (IPC = committed/cycles, per-stream counts are integers,
+stat tree shape). Exits non-zero with a message on the first problem.
+
+Usage: validate_manifest.py <manifest.json> [more.json ...]
+"""
+
+import json
+import sys
+
+RUN_SCHEMA = "ddsim-manifest-v1"
+SWEEP_SCHEMA = "ddsim-sweep-manifest-v1"
+STATS_SCHEMA = "ddsim-stats-v1"
+
+
+class Invalid(Exception):
+    pass
+
+
+def need(obj, key, types, where):
+    if key not in obj:
+        raise Invalid(f"{where}: missing '{key}'")
+    if not isinstance(obj[key], types):
+        raise Invalid(
+            f"{where}.{key}: expected {types}, got {type(obj[key]).__name__}")
+    return obj[key]
+
+
+def check_stat_group(node, where):
+    need(node, "name", str, where)
+    for stat in need(node, "stats", list, where):
+        sname = need(stat, "name", str, f"{where}.stats[]")
+        need(stat, "value", (int, float, type(None)),
+             f"{where}.stats.{sname}")
+        if "buckets" in stat:
+            if not all(isinstance(b, int) for b in stat["buckets"]):
+                raise Invalid(f"{where}.stats.{sname}: non-integer bucket")
+            need(stat, "bucket_width", int, f"{where}.stats.{sname}")
+            need(stat, "overflow", int, f"{where}.stats.{sname}")
+    for group in need(node, "groups", list, where):
+        check_stat_group(group, f"{where}.{group.get('name', '?')}")
+
+
+def check_run_manifest(doc, where):
+    if need(doc, "schema", str, where) != RUN_SCHEMA:
+        raise Invalid(f"{where}: schema is {doc['schema']!r}, "
+                      f"expected {RUN_SCHEMA!r}")
+    gen = need(doc, "generator", dict, where)
+    for key in ("name", "version", "git"):
+        need(gen, key, str, f"{where}.generator")
+
+    run = need(doc, "run", dict, where)
+    need(run, "workload", str, f"{where}.run")
+    cfg = need(run, "config", dict, f"{where}.run")
+    need(cfg, "notation", str, f"{where}.run.config")
+    for cache in ("l1",):
+        geom = need(cfg, cache, dict, f"{where}.run.config")
+        for key in ("size_bytes", "assoc", "line_bytes", "hit_latency",
+                    "ports"):
+            need(geom, key, int, f"{where}.run.config.{cache}")
+    need(run, "wall_seconds", (int, float), f"{where}.run")
+
+    res = need(doc, "result", dict, where)
+    cycles = need(res, "cycles", int, f"{where}.result")
+    committed = need(res, "committed", int, f"{where}.result")
+    ipc = need(res, "ipc", (int, float), f"{where}.result")
+    if cycles > 0 and abs(ipc - committed / cycles) > 1e-6:
+        raise Invalid(f"{where}.result: ipc {ipc} != committed/cycles "
+                      f"{committed / cycles}")
+    streams = need(res, "streams", dict, f"{where}.result")
+    for stream in ("lsq", "lvaq"):
+        s = need(streams, stream, dict, f"{where}.result.streams")
+        for key in ("loads", "stores"):
+            if need(s, key, int, f"{where}.result.streams.{stream}") < 0:
+                raise Invalid(f"{where}: negative {stream}.{key}")
+
+    stats = doc.get("stats")
+    if stats is not None:
+        check_stat_group(stats, f"{where}.stats")
+
+
+def check_sweep_manifest(doc, where):
+    gen = need(doc, "generator", dict, where)
+    for key in ("name", "version", "git"):
+        need(gen, key, str, f"{where}.generator")
+    runs = need(doc, "runs", list, where)
+    if need(doc, "num_runs", int, where) != len(runs):
+        raise Invalid(f"{where}: num_runs {doc['num_runs']} != "
+                      f"len(runs) {len(runs)}")
+    checked = 0
+    for i, run in enumerate(runs):
+        if run is None:
+            continue  # grid point that didn't capture a manifest
+        check_run_manifest(run, f"{where}.runs[{i}]")
+        checked += 1
+    return checked
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: {e}", file=sys.stderr)
+            return 1
+        try:
+            schema = doc.get("schema")
+            if schema == SWEEP_SCHEMA:
+                n = check_sweep_manifest(doc, "sweep")
+                print(f"{path}: OK ({n} run manifests in a sweep of "
+                      f"{doc['num_runs']})")
+            elif schema == RUN_SCHEMA:
+                check_run_manifest(doc, "run")
+                print(f"{path}: OK (run manifest, workload "
+                      f"{doc['run']['workload']!r})")
+            else:
+                raise Invalid(f"unknown schema {schema!r}")
+        except Invalid as e:
+            print(f"{path}: INVALID: {e}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
