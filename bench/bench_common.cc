@@ -21,6 +21,15 @@ Options::Options(int argc, const char *const *argv)
     if (scaleFactor <= 0)
         fatal("--scale must be positive");
 
+    std::int64_t cb = args.getInt("cycle-budget", 0);
+    if (cb < 0)
+        fatal("--cycle-budget must be >= 0 (0 = unlimited)");
+    cycleBudget = static_cast<std::uint64_t>(cb);
+    wallBudget = args.getDouble("wall-budget", 0.0);
+    if (wallBudget < 0)
+        fatal("--wall-budget must be >= 0 (0 = unlimited)");
+    failFast = args.getBool("fail-fast");
+
     std::int64_t j = args.getInt("jobs", 0); // 0 = auto
     if (j < 0)
         fatal("--jobs must be >= 0 (0 = one per hardware thread)");
@@ -74,17 +83,61 @@ runGrid(const Options &opts, std::vector<sim::SweepJob> jobs,
     // Every bench has queried its flags by the time it has a grid to
     // run, so this is the natural choke point for typo rejection.
     opts.args.rejectUnknown();
-    if (!opts.manifestPath.empty())
-        for (sim::SweepJob &job : jobs)
+    for (sim::SweepJob &job : jobs) {
+        if (!opts.manifestPath.empty())
             job.opts.captureManifest = true;
-    std::vector<sim::SimResult> results =
-        sim::SweepRunner::runAll(std::move(jobs), opts.jobs);
-    if (!opts.manifestPath.empty()) {
-        sim::writeSweepManifestFile(title, results, opts.manifestPath);
-        std::printf("Sweep manifest written to %s\n",
-                    opts.manifestPath.c_str());
+        if (opts.cycleBudget != 0)
+            job.opts.maxCycles = opts.cycleBudget;
+        if (opts.wallBudget > 0)
+            job.opts.maxWallSeconds = opts.wallBudget;
     }
-    return results;
+
+    if (opts.failFast) {
+        std::vector<sim::SimResult> results =
+            sim::SweepRunner::runAll(std::move(jobs), opts.jobs);
+        if (!opts.manifestPath.empty()) {
+            sim::writeSweepManifestFile(title, results,
+                                        opts.manifestPath);
+            std::printf("Sweep manifest written to %s\n",
+                        opts.manifestPath.c_str());
+        }
+        return results;
+    }
+
+    // Default: fault-isolating sweep. A failed point is quarantined
+    // and reported; the rest of the figure still comes out, and the
+    // manifest says exactly what is missing.
+    sim::SweepRunner runner(opts.jobs);
+    std::vector<std::pair<std::string, std::string>> points;
+    points.reserve(jobs.size());
+    for (sim::SweepJob &job : jobs) {
+        points.emplace_back(job.program->name(), job.cfg.notation());
+        runner.submit(std::move(job));
+    }
+    sim::SweepOutcome outcome = runner.collectOutcome();
+    for (std::size_t i = 0; i < outcome.jobs.size(); ++i) {
+        const sim::JobOutcome &jo = outcome.jobs[i];
+        if (jo.status == sim::JobStatus::Quarantined)
+            warn("quarantined job %zu (%s %s) after %d attempt(s): "
+                 "[%s] %s",
+                 i, points[i].first.c_str(), points[i].second.c_str(),
+                 jo.attempts, jo.error.kind.c_str(),
+                 jo.error.message.c_str());
+        else if (jo.status == sim::JobStatus::Recovered)
+            warn("job %zu (%s %s) recovered on attempt %d from: [%s]",
+                 i, points[i].first.c_str(), points[i].second.c_str(),
+                 jo.attempts, jo.error.kind.c_str());
+    }
+    if (outcome.degraded)
+        warn("sweep degraded: %zu of %zu jobs quarantined",
+             outcome.numQuarantined, outcome.jobs.size());
+    if (!opts.manifestPath.empty()) {
+        sim::writeSweepManifestFile(title, outcome, opts.manifestPath);
+        std::printf("Sweep manifest written to %s%s\n",
+                    opts.manifestPath.c_str(),
+                    outcome.degraded ? " (degraded)" : "");
+    }
+    return std::move(outcome.results);
 }
 
 double

@@ -15,6 +15,11 @@
  *                    hardware thread; results are identical for any n)
  *   --manifest=<f>   write a sweep-level JSON manifest (per-run config,
  *                    stats and provenance) to <f> after the grid runs
+ *   --cycle-budget=<n>  per-run simulated-cycle budget (0 = unlimited)
+ *   --wall-budget=<s>   per-run wall-clock budget in seconds (0 = off)
+ *   --fail-fast      die on the first failed job (default: isolate it,
+ *                    finish the rest of the grid, report a degraded
+ *                    sweep)
  *
  * Unrecognized "--option"s are fatal (see CliArgs::rejectUnknown);
  * wrappers that add their own keys can pass them after a bare "--".
@@ -44,6 +49,12 @@ struct Options
     unsigned jobs = 0;
     /** Sweep manifest output path ("" = don't write one). */
     std::string manifestPath;
+    /** Per-run cycle budget applied to every job (0 = unlimited). */
+    std::uint64_t cycleBudget = 0;
+    /** Per-run wall-clock budget in seconds (0 = unlimited). */
+    double wallBudget = 0.0;
+    /** Rethrow the first job failure instead of quarantining it. */
+    bool failFast = false;
     std::vector<const workloads::WorkloadInfo *> programs;
     config::CliArgs args;
 
@@ -68,6 +79,12 @@ buildProgramShared(const workloads::WorkloadInfo &info,
  * (every bench queries its flags before building the grid). With
  * --manifest=<f>, every job captures a run manifest and the aggregate
  * sweep manifest is written to <f> under @p title.
+ *
+ * Failure isolation (unless --fail-fast): a job that still fails
+ * after transient-error retries is quarantined — its result slot is
+ * default-constructed (zeros), the quarantine is reported on stderr,
+ * and the sweep manifest is marked "degraded" with a per-job status
+ * table. The rest of the grid always completes.
  */
 std::vector<sim::SimResult> runGrid(const Options &opts,
                                     std::vector<sim::SweepJob> jobs,

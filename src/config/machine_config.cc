@@ -50,29 +50,47 @@ MachineConfig::describe() const
 
 namespace {
 
-void
-validateCache(const char *name, const CacheParams &c)
+// Every rejection names the offending field: the message carries a
+// "<field>: ..." prefix and the same dotted name rides on
+// ConfigError::field() for machine consumption.
+[[noreturn]] void
+badField(const std::string &field, const std::string &why)
 {
-    if (c.sizeBytes == 0 || c.lineBytes == 0 || c.assoc == 0)
-        fatal("%s: size, line size and associativity must be nonzero",
-              name);
+    raise(ConfigError(field, field + ": " + why));
+}
+
+void
+validateCache(const std::string &name, const CacheParams &c)
+{
+    if (c.sizeBytes == 0)
+        badField(name + ".sizeBytes", "cache size must be nonzero");
+    if (c.lineBytes == 0)
+        badField(name + ".lineBytes", "line size must be nonzero");
+    if (c.assoc == 0)
+        badField(name + ".assoc", "associativity must be nonzero");
     if ((c.lineBytes & (c.lineBytes - 1)) != 0)
-        fatal("%s: line size %u is not a power of two", name,
-              c.lineBytes);
+        badField(name + ".lineBytes",
+                 format("line size %u is not a power of two",
+                        c.lineBytes));
     if (c.sizeBytes % (c.assoc * c.lineBytes) != 0)
-        fatal("%s: size %u is not a multiple of assoc*line", name,
-              c.sizeBytes);
+        badField(name + ".sizeBytes",
+                 format("size %u is not a multiple of assoc*line",
+                        c.sizeBytes));
     std::uint32_t sets = c.numSets();
     if ((sets & (sets - 1)) != 0)
-        fatal("%s: number of sets %u is not a power of two", name, sets);
+        badField(name + ".sizeBytes",
+                 format("number of sets %u is not a power of two",
+                        sets));
     if (c.ports < 1)
-        fatal("%s: at least one port required", name);
+        badField(name + ".ports", "at least one port required");
     if (c.hitLatency < 1)
-        fatal("%s: hit latency must be at least 1", name);
+        badField(name + ".hitLatency",
+                 "hit latency must be at least 1");
     if (c.banks < 0 || (c.banks > 0 && (c.banks & (c.banks - 1)) != 0))
-        fatal("%s: banks must be 0 (ideal) or a power of two", name);
+        badField(name + ".banks",
+                 "banks must be 0 (ideal) or a power of two");
     if (c.mshrs < 1)
-        fatal("%s: at least one MSHR is required", name);
+        badField(name + ".mshrs", "at least one MSHR is required");
 }
 
 } // namespace
@@ -80,25 +98,42 @@ validateCache(const char *name, const CacheParams &c)
 void
 MachineConfig::validate() const
 {
-    if (fetchWidth < 1 || issueWidth < 1 || commitWidth < 1)
-        fatal("machine widths must be positive");
+    if (fetchWidth < 1)
+        badField("fetchWidth", "fetch width must be positive");
+    if (issueWidth < 1)
+        badField("issueWidth", "issue width must be positive");
+    if (commitWidth < 1)
+        badField("commitWidth", "commit width must be positive");
     if (robSize < 1)
-        fatal("ROB must have at least one entry");
+        badField("robSize", "ROB must have at least one entry");
     if (lsqSize < 1)
-        fatal("LSQ must have at least one entry");
+        badField("lsqSize", "LSQ must have at least one entry");
     if (numIntAlu < 1)
-        fatal("at least one integer ALU is required");
+        badField("numIntAlu", "at least one integer ALU is required");
+    if (numFpAlu < 1)
+        badField("numFpAlu", "at least one FP ALU is required");
+    if (numIntMultDiv < 1)
+        badField("numIntMultDiv",
+                 "at least one integer mult/div unit is required");
+    if (numFpMultDiv < 1)
+        badField("numFpMultDiv",
+                 "at least one FP mult/div unit is required");
     validateCache("l1", l1);
     validateCache("l2", l2);
     if (lvcEnabled) {
         validateCache("lvc", lvc);
         if (lvaqSize < 1)
-            fatal("LVAQ must have at least one entry");
+            badField("lvaqSize", "LVAQ must have at least one entry");
         if (classifier == ClassifierKind::None)
-            fatal("decoupling requires a classifier");
+            badField("classifier", "decoupling requires a classifier");
     }
+    if (forwardLatency < 1)
+        badField("forwardLatency",
+                 "forward latency must be at least 1");
+    if (memLatency < 1)
+        badField("memLatency", "memory latency must be at least 1");
     if (combining < 1)
-        fatal("combining degree must be >= 1");
+        badField("combining", "combining degree must be >= 1");
 }
 
 } // namespace ddsim::config

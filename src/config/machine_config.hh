@@ -103,7 +103,8 @@ struct MachineConfig
     /** Longer human-readable description. */
     std::string describe() const;
 
-    /** Sanity-check all parameters; calls fatal() on bad values. */
+    /** Sanity-check all parameters; raises ConfigError (naming the
+     *  offending field) on degenerate values. */
     void validate() const;
 };
 

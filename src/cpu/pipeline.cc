@@ -165,6 +165,16 @@ Pipeline::commitStage()
 
         if (traceOut)
             traceCommit(e);
+        if (!commitRing.empty()) {
+            CommittedRecord &r = commitRing[commitRingHead];
+            r.seq = e.di.seq;
+            r.pcIdx = e.di.pcIdx;
+            r.inst = e.di.inst;
+            r.cycle = curCycle;
+            commitRingHead = (commitRingHead + 1) % commitRing.size();
+            commitRingCount =
+                std::min(commitRingCount + 1, commitRing.size());
+        }
         rob.releaseHead();
         clearIssuable(idx);
         ++committedInsts;
@@ -353,7 +363,7 @@ Pipeline::registerConsumers(int idx)
             dataEdgeRegistered = true;
     }
     if (e.waitCount == 0)
-        readyEvents.push(e.eligibleAt, idx, e.di.seq);
+        pushReady(e.eligibleAt, idx, e.di.seq);
     if (isStore && !dataEdgeRegistered)
         // The data operand's timing is already decided: run the
         // seed's push logic at the first post-dispatch issue stage.
@@ -388,7 +398,7 @@ Pipeline::onProducerComplete(int pIdx, bool inIssueStage)
         } else {
             c.eligibleAt = std::max(c.eligibleAt, p.readyAt);
             if (--c.waitCount == 0)
-                readyEvents.push(c.eligibleAt, cIdx, c.di.seq);
+                pushReady(c.eligibleAt, cIdx, c.di.seq);
         }
     }
 }
@@ -719,9 +729,9 @@ Pipeline::maybeSkipCycles()
         if (rob.empty())
             return; // The run loop is about to stop.
         // No event will ever fire: jump to where the per-cycle model
-        // reports the deadlock (cycleOnce panics with the same
-        // cycle count).
-        target = lastCommit + 100000;
+        // reports the deadlock (cycleOnce raises DeadlockError with
+        // the same cycle count).
+        target = lastCommit + kDeadlockCycles;
     }
     if (target <= curCycle)
         return;
@@ -765,14 +775,32 @@ Pipeline::cycleOnce()
     ++curCycle;
     ++numCycles;
 
-    if (curCycle - lastCommit > 100000 && !rob.empty()) {
-        const RobEntry &h = rob[rob.headIdx()];
-        panic("pipeline deadlock: no commit for %llu cycles; head: "
-              "seq=%llu %s",
-              (unsigned long long)(curCycle - lastCommit),
-              (unsigned long long)h.di.seq,
-              isa::disassemble(h.di.inst).c_str());
-    }
+    if (curCycle - lastCommit > kDeadlockCycles && !rob.empty())
+        raiseDeadlock();
+}
+
+void
+Pipeline::raiseDeadlock()
+{
+    const RobEntry &h = rob[rob.headIdx()];
+    DeadlockInfo info;
+    info.cycle = curCycle;
+    info.sinceCommit = curCycle - lastCommit;
+    info.headSeq = h.di.seq;
+    info.headPcIdx = h.di.pcIdx;
+    info.headDisasm = isa::disassemble(h.di.inst);
+    info.robOccupancy = rob.occupancy();
+    info.robSize = rob.size();
+    info.lsqOccupancy = lsqQueue->occupancy();
+    info.lvaqOccupancy = lvaqQueue ? lvaqQueue->occupancy() : -1;
+    info.fetchQueue = fetchQueue.size();
+    raise(DeadlockError(
+        info,
+        format("pipeline deadlock: no commit for %llu cycles; head: "
+               "seq=%llu %s",
+               (unsigned long long)info.sinceCommit,
+               (unsigned long long)info.headSeq,
+               info.headDisasm.c_str())));
 }
 
 bool
@@ -787,10 +815,12 @@ void
 Pipeline::run(std::uint64_t maxInsts)
 {
     fetchLimit = maxInsts;
+    std::uint64_t iter = 0;
     while (!done()) {
         cycleOnce();
         if (!done())
             maybeSkipCycles();
+        checkGuards(iter++);
     }
 }
 
@@ -798,11 +828,99 @@ void
 Pipeline::runUntilFetched(std::uint64_t insts)
 {
     fetchLimit = 0;
+    std::uint64_t iter = 0;
     while (numFetched < insts && !executor.halted()) {
         cycleOnce();
         if (numFetched < insts && !executor.halted())
             maybeSkipCycles();
+        checkGuards(iter++);
     }
+}
+
+void
+Pipeline::setGuards(const RunGuards &g)
+{
+    guards = g;
+    hasWallDeadline = g.maxWallSeconds > 0;
+    if (hasWallDeadline)
+        wallDeadline = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               g.maxWallSeconds));
+}
+
+void
+Pipeline::checkGuards(std::uint64_t iter)
+{
+    if (guards.maxCycles != 0 && curCycle > guards.maxCycles)
+        raise(BudgetExceededError(
+            "cycles", guards.maxCycles, curCycle,
+            format("cycle budget exceeded: %llu simulated cycles "
+                   "(budget %llu)",
+                   (unsigned long long)curCycle,
+                   (unsigned long long)guards.maxCycles)));
+    // The wall-clock read is rate-limited; checking at iter == 0 keeps
+    // the guard live even for runs of under 256 loop iterations.
+    if (hasWallDeadline && (iter & 255) == 0 &&
+        std::chrono::steady_clock::now() > wallDeadline) {
+        auto ms = [](double s) {
+            return static_cast<std::uint64_t>(s * 1000.0);
+        };
+        double spent =
+            guards.maxWallSeconds +
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wallDeadline)
+                .count();
+        raise(BudgetExceededError(
+            "wall", ms(guards.maxWallSeconds), ms(spent),
+            format("wall-clock budget exceeded: %.1fs spent "
+                   "(budget %.1fs)",
+                   spent, guards.maxWallSeconds)));
+    }
+}
+
+void
+Pipeline::enableCommitLog(std::size_t n)
+{
+    commitRing.assign(n, CommittedRecord{});
+    if (n == 0)
+        commitRing.shrink_to_fit();
+    commitRingHead = 0;
+    commitRingCount = 0;
+}
+
+std::vector<CommittedRecord>
+Pipeline::commitLog() const
+{
+    std::vector<CommittedRecord> out;
+    out.reserve(commitRingCount);
+    std::size_t start =
+        (commitRingHead + commitRing.size() - commitRingCount) %
+        (commitRing.empty() ? 1 : commitRing.size());
+    for (std::size_t i = 0; i < commitRingCount; ++i)
+        out.push_back(commitRing[(start + i) % commitRing.size()]);
+    return out;
+}
+
+OccupancySnapshot
+Pipeline::snapshotOccupancy() const
+{
+    OccupancySnapshot s;
+    s.cycle = curCycle;
+    s.lastCommitCycle = lastCommit;
+    s.robOccupancy = rob.occupancy();
+    s.robSize = rob.size();
+    s.lsqOccupancy = lsqQueue->occupancy();
+    s.lsqSize = lsqQueue->size();
+    if (lvaqQueue) {
+        s.lvaqOccupancy = lvaqQueue->occupancy();
+        s.lvaqSize = lvaqQueue->size();
+    }
+    s.fetchQueue = fetchQueue.size();
+    s.fetched = numFetched;
+    s.committed = committedInsts.value();
+    return s;
 }
 
 void

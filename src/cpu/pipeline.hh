@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -43,6 +44,44 @@ class PipelineTracer;
 }
 
 namespace ddsim::cpu {
+
+/**
+ * Forward-progress watchdog threshold: a non-empty window that goes
+ * this many cycles without a commit is declared deadlocked and the
+ * run raises DeadlockError. Far beyond any legitimate stall on this
+ * machine (the longest chain is a handful of dependent memory-latency
+ * round trips, ~10^2-10^3 cycles).
+ */
+inline constexpr Cycle kDeadlockCycles = 100000;
+
+/** Hard limits enforced by the run loops (0 = unlimited). */
+struct RunGuards
+{
+    std::uint64_t maxCycles = 0;  ///< Budget on simulated cycles.
+    double maxWallSeconds = 0.0;  ///< Budget on host wall-clock time.
+};
+
+/** One entry of the last-committed-instructions ring (black box). */
+struct CommittedRecord
+{
+    InstSeq seq = 0;
+    std::uint32_t pcIdx = 0;
+    isa::Inst inst;
+    Cycle cycle = 0;
+};
+
+/** Point-in-time structure occupancies (black-box snapshot). */
+struct OccupancySnapshot
+{
+    Cycle cycle = 0;
+    Cycle lastCommitCycle = 0;
+    int robOccupancy = 0, robSize = 0;
+    int lsqOccupancy = 0, lsqSize = 0;
+    int lvaqOccupancy = -1, lvaqSize = 0; ///< -1 = no LVAQ.
+    std::size_t fetchQueue = 0;
+    std::uint64_t fetched = 0;
+    std::uint64_t committed = 0;
+};
 
 /** The complete simulated processor. */
 class Pipeline : public stats::Group
@@ -103,6 +142,35 @@ class Pipeline : public stats::Group
      * site and timing is never affected.
      */
     void setTracer(obs::PipelineTracer *t) { tracer = t; }
+
+    /**
+     * Arm the run-loop budgets. The wall-clock deadline starts when
+     * this is called, so a warmup phase and the measured run share
+     * one budget. Exceeding a budget raises BudgetExceededError from
+     * the run loop; a cycle budget never perturbs the timing of runs
+     * that finish within it.
+     */
+    void setGuards(const RunGuards &g);
+
+    /**
+     * Keep the last @p n committed instructions in a ring for crash
+     * reports (0 disables). Costs one branch per commit when off.
+     */
+    void enableCommitLog(std::size_t n);
+
+    /** The ring's contents, oldest first. */
+    std::vector<CommittedRecord> commitLog() const;
+
+    /** Current structure occupancies, for the black-box writer. */
+    OccupancySnapshot snapshotOccupancy() const;
+
+    /**
+     * Fault injection: silently drop the @p nth (1-based) wakeup event
+     * from now on — the woken instruction never issues and the
+     * watchdog must catch the induced deadlock. 0 disarms. Zero-cost
+     * when disarmed beyond one counter test per wakeup.
+     */
+    void armWakeupDrop(std::uint64_t nth) { wakeupDropCountdown = nth; }
 
     /** True when the stream is exhausted and the pipeline is empty. */
     bool done() const;
@@ -219,6 +287,22 @@ class Pipeline : public stats::Group
     obs::Sampler *sampler = nullptr;
     obs::PipelineTracer *tracer = nullptr;
 
+    // ---- Run guards and crash reporting ----------------------------
+    RunGuards guards;
+    std::chrono::steady_clock::time_point wallDeadline;
+    bool hasWallDeadline = false;
+    /** Ring of the last N commits; empty = logging off. */
+    std::vector<CommittedRecord> commitRing;
+    std::size_t commitRingHead = 0;
+    std::size_t commitRingCount = 0;
+    /** Countdown to the injected wakeup drop; 0 = disarmed. */
+    std::uint64_t wakeupDropCountdown = 0;
+
+    /** Budget checks for the run loops; @p iter rate-limits the
+     *  wall-clock read to every 256th iteration. */
+    void checkGuards(std::uint64_t iter);
+    [[noreturn]] void raiseDeadlock();
+
     // ---- Event-driven scheduling core ------------------------------
     /**
      * Cycle-bucketed event queue (a timing wheel): push (robIdx, seq)
@@ -329,6 +413,19 @@ class Pipeline : public stats::Group
     core::MemQueue::TickInfo lsqTick, lvaqTick;
     /** A store commit was denied a port this cycle (retries hot). */
     bool commitPortBlocked = false;
+
+    /**
+     * All wakeups route through here so the armed fault above can
+     * swallow exactly one: the dropped instruction stays
+     * un-issuable forever, which is precisely the "lost wakeup" bug
+     * class the deadlock watchdog exists to catch.
+     */
+    void pushReady(Cycle c, int idx, InstSeq seq)
+    {
+        if (wakeupDropCountdown != 0 && --wakeupDropCountdown == 0)
+            return;
+        readyEvents.push(c, idx, seq);
+    }
 
     void markIssuable(int idx)
     {

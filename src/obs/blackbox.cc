@@ -1,0 +1,116 @@
+#include "obs/blackbox.hh"
+
+#include <ostream>
+
+#include "obs/manifest.hh"
+#include "obs/version.hh"
+#include "stats/json.hh"
+#include "util/atomic_file.hh"
+#include "util/json.hh"
+
+namespace ddsim::obs {
+
+void
+writeBlackbox(const BlackboxInfo &info, std::ostream &os)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", kBlackboxSchema);
+
+    w.key("generator");
+    w.beginObject();
+    w.field("name", simulatorName());
+    w.field("version", simulatorVersion());
+    w.field("git", gitDescribe());
+    w.endObject();
+
+    w.key("run");
+    w.beginObject();
+    w.field("workload", info.workload);
+    if (!info.label.empty())
+        w.field("label", info.label);
+    w.key("config");
+    writeMachineConfigJson(w, info.cfg);
+    w.key("options");
+    w.beginObject();
+    w.field("max_insts", info.maxInsts);
+    w.field("warmup_insts", info.warmupInsts);
+    w.field("trace_replay", info.traceReplay);
+    w.field("max_cycles", info.maxCycles);
+    w.field("max_wall_seconds", info.maxWallSeconds);
+    w.endObject();
+    w.endObject();
+
+    w.key("error");
+    w.beginObject();
+    w.field("kind", info.errorKind);
+    w.field("message", info.errorMessage);
+    w.field("transient", info.errorTransient);
+    w.key("context");
+    w.beginObject();
+    for (const auto &[k, v] : info.errorContext)
+        w.field(k, v);
+    w.endObject();
+    w.endObject();
+
+    w.key("pipeline");
+    w.beginObject();
+    w.field("cycle", info.cycle);
+    w.field("last_commit_cycle", info.lastCommitCycle);
+    w.key("rob");
+    w.beginObject();
+    w.field("occupancy", info.robOccupancy);
+    w.field("size", info.robSize);
+    w.endObject();
+    w.key("lsq");
+    w.beginObject();
+    w.field("occupancy", info.lsqOccupancy);
+    w.field("size", info.lsqSize);
+    w.endObject();
+    if (info.lvaqOccupancy >= 0) {
+        w.key("lvaq");
+        w.beginObject();
+        w.field("occupancy", info.lvaqOccupancy);
+        w.field("size", info.lvaqSize);
+        w.endObject();
+    } else {
+        w.key("lvaq");
+        w.valueNull();
+    }
+    w.field("fetch_queue", info.fetchQueue);
+    w.field("fetched", info.fetched);
+    w.field("committed", info.committed);
+    w.key("last_commits");
+    w.beginArray();
+    for (const BlackboxCommit &c : info.lastCommits) {
+        w.beginObject();
+        w.field("seq", c.seq);
+        w.field("pc", static_cast<std::uint64_t>(c.pcIdx));
+        w.field("disasm", c.disasm);
+        w.field("cycle", c.cycle);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    if (info.stats) {
+        w.key("stats");
+        stats::writeGroupJson(w, *info.stats);
+    } else {
+        w.key("stats");
+        w.valueNull();
+    }
+
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeBlackboxFile(const BlackboxInfo &info, const std::string &path)
+{
+    AtomicFile file(path);
+    writeBlackbox(info, file.stream());
+    file.commit();
+}
+
+} // namespace ddsim::obs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Crash black box: when a run dies with a SimError, the runner dumps
+ * a schema-versioned JSON report ("ddsim-blackbox-v1") capturing
+ * everything needed to reproduce and triage without re-running —
+ * the machine configuration, the run options, the typed error with
+ * its machine-readable context, a ring of the last committed
+ * instructions, a snapshot of pipeline/queue occupancy at the point
+ * of death, and the full stats tree.
+ *
+ * Like the manifest writer, this layer depends only on config/,
+ * stats/ and util/: the runner flattens its cpu:: state into the
+ * plain BlackboxInfo below.
+ */
+
+#ifndef DDSIM_OBS_BLACKBOX_HH_
+#define DDSIM_OBS_BLACKBOX_HH_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "config/machine_config.hh"
+
+namespace ddsim::stats {
+class Group;
+}
+
+namespace ddsim::obs {
+
+/** Schema identifier stamped on crash reports. */
+inline constexpr const char *kBlackboxSchema = "ddsim-blackbox-v1";
+
+/** One entry of the last-committed-instructions ring. */
+struct BlackboxCommit
+{
+    std::uint64_t seq = 0;
+    std::uint32_t pcIdx = 0;
+    std::string disasm;
+    std::uint64_t cycle = 0;
+};
+
+/** Everything a crash report records, as plain data. */
+struct BlackboxInfo
+{
+    // ---- What was running ----
+    std::string workload;
+    std::string label;
+    config::MachineConfig cfg;
+    std::uint64_t maxInsts = 0;
+    std::uint64_t warmupInsts = 0;
+    bool traceReplay = false;
+    std::uint64_t maxCycles = 0;
+    double maxWallSeconds = 0.0;
+
+    // ---- The typed error ----
+    std::string errorKind;     ///< SimError::kind().
+    std::string errorMessage;  ///< SimError::what().
+    bool errorTransient = false;
+    std::vector<std::pair<std::string, std::string>> errorContext;
+
+    // ---- Pipeline state at death ----
+    std::uint64_t cycle = 0;
+    std::uint64_t lastCommitCycle = 0;
+    int robOccupancy = 0, robSize = 0;
+    int lsqOccupancy = 0, lsqSize = 0;
+    int lvaqOccupancy = -1, lvaqSize = 0; ///< -1 = no LVAQ.
+    std::uint64_t fetchQueue = 0;
+    std::uint64_t fetched = 0;
+    std::uint64_t committed = 0;
+    std::vector<BlackboxCommit> lastCommits; ///< Oldest first.
+
+    /** Full stats tree to embed (nullptr = omit). */
+    const stats::Group *stats = nullptr;
+};
+
+/** Write @p info as a complete JSON document to @p os. */
+void writeBlackbox(const BlackboxInfo &info, std::ostream &os);
+
+/** writeBlackbox into a file, atomically; raises IoError on failure. */
+void writeBlackboxFile(const BlackboxInfo &info, const std::string &path);
+
+} // namespace ddsim::obs
+
+#endif // DDSIM_OBS_BLACKBOX_HH_

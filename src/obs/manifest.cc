@@ -1,11 +1,11 @@
 #include "obs/manifest.hh"
 
-#include <fstream>
 #include <ostream>
 #include <sstream>
 
 #include "obs/version.hh"
 #include "stats/json.hh"
+#include "util/atomic_file.hh"
 #include "util/json.hh"
 #include "util/log.hh"
 
@@ -27,8 +27,10 @@ writeCacheParams(JsonWriter &w, const config::CacheParams &c)
     w.endObject();
 }
 
+} // namespace
+
 void
-writeConfig(JsonWriter &w, const config::MachineConfig &cfg)
+writeMachineConfigJson(JsonWriter &w, const config::MachineConfig &cfg)
 {
     w.beginObject();
     w.field("notation", cfg.notation());
@@ -60,8 +62,6 @@ writeConfig(JsonWriter &w, const config::MachineConfig &cfg)
     w.endObject();
 }
 
-} // namespace
-
 void
 writeManifest(const ManifestInfo &info, std::ostream &os)
 {
@@ -82,12 +82,14 @@ writeManifest(const ManifestInfo &info, std::ostream &os)
     if (!info.label.empty())
         w.field("label", info.label);
     w.key("config");
-    writeConfig(w, info.cfg);
+    writeMachineConfigJson(w, info.cfg);
     w.key("options");
     w.beginObject();
     w.field("max_insts", info.maxInsts);
     w.field("warmup_insts", info.warmupInsts);
     w.field("trace_replay", info.traceReplay);
+    w.field("max_cycles", info.maxCycles);
+    w.field("max_wall_seconds", info.maxWallSeconds);
     w.endObject();
     w.key("observability");
     w.beginObject();
@@ -141,11 +143,9 @@ manifestToJson(const ManifestInfo &info)
 void
 writeManifestFile(const ManifestInfo &info, const std::string &path)
 {
-    std::ofstream os(path);
-    if (!os)
-        fatal("cannot open manifest file '%s' for writing",
-              path.c_str());
-    writeManifest(info, os);
+    AtomicFile file(path);
+    writeManifest(info, file.stream());
+    file.commit();
 }
 
 } // namespace ddsim::obs

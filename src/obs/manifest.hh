@@ -20,6 +20,10 @@
 
 #include "config/machine_config.hh"
 
+namespace ddsim {
+class JsonWriter;
+}
+
 namespace ddsim::stats {
 class Group;
 }
@@ -42,6 +46,8 @@ struct ManifestInfo
     std::uint64_t maxInsts = 0;      ///< RunOptions::maxInsts.
     std::uint64_t warmupInsts = 0;   ///< RunOptions::warmupInsts.
     bool traceReplay = false;        ///< Replayed a recorded trace?
+    std::uint64_t maxCycles = 0;     ///< Cycle budget (0 = unlimited).
+    double maxWallSeconds = 0.0;     ///< Wall budget (0 = unlimited).
 
     // ---- Active observability outputs ----
     std::string tracePath;           ///< Binary pipeline trace ("" = off).
@@ -65,10 +71,16 @@ struct ManifestInfo
 /** Write @p info as a complete JSON document to @p os. */
 void writeManifest(const ManifestInfo &info, std::ostream &os);
 
+/** Write @p cfg as a JSON object in value position (shared by the
+ *  manifest and black-box writers). */
+void writeMachineConfigJson(JsonWriter &w,
+                            const config::MachineConfig &cfg);
+
 /** writeManifest into a string. */
 std::string manifestToJson(const ManifestInfo &info);
 
-/** writeManifest into a file; fatal() if the file cannot be opened. */
+/** writeManifest into a file, atomically (write-temp-then-rename);
+ *  raises IoError if the file cannot be written. */
 void writeManifestFile(const ManifestInfo &info, const std::string &path);
 
 } // namespace ddsim::obs

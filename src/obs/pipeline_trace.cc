@@ -114,11 +114,9 @@ PipelineTracer::PipelineTracer(const std::string &path,
                                const std::string &workload,
                                const std::string &notation,
                                const std::string &label, int robSize)
-    : os(path, std::ios::binary | std::ios::trunc),
+    : file(path, /*binary=*/true), os(file.stream()),
       slots(static_cast<std::size_t>(robSize))
 {
-    if (!os)
-        fatal("cannot open trace file '%s' for writing", path.c_str());
     os.write(kTraceMagic, sizeof(kTraceMagic));
     putU32(os, kTraceVersion);
     putString(os, workload);
@@ -130,7 +128,14 @@ PipelineTracer::PipelineTracer(const std::string &path,
 
 PipelineTracer::~PipelineTracer()
 {
-    finish();
+    // A destructor must not throw; if the final flush/rename fails
+    // here (rather than in an explicit finish() call), warn and leave
+    // only the .tmp behind.
+    try {
+        finish();
+    } catch (const SimError &e) {
+        warn("discarding pipeline trace: %s", e.what());
+    }
 }
 
 void
@@ -207,32 +212,64 @@ PipelineTracer::finish()
     finished = true;
     os.seekp(countPos);
     putU64(os, numRecords);
-    os.flush();
-    if (!os)
-        warn("trace file write failed (disk full?)");
-    os.close();
+    file.commit();
+}
+
+void
+PipelineTracer::abandon()
+{
+    finished = true;
+    file.abandon();
 }
 
 // ---- Reader ----------------------------------------------------------------
 
+std::uint64_t
+TraceReader::offset()
+{
+    // After a failed read the stream position is lost (tellg() is -1
+    // with failbit set); report the last known-good position instead.
+    if (!is) {
+        is.clear();
+        is.seekg(0, std::ios::end);
+    }
+    std::streampos p = is.tellg();
+    return p < 0 ? 0 : static_cast<std::uint64_t>(p);
+}
+
+void
+TraceReader::corrupt(std::uint64_t off, const std::string &msg)
+{
+    raise(TraceCorruptError(
+        path_, off,
+        format("'%s' at byte %llu: %s", path_.c_str(),
+               (unsigned long long)off, msg.c_str())));
+}
+
 TraceReader::TraceReader(const std::string &path)
-    : is(path, std::ios::binary)
+    : is(path, std::ios::binary), path_(path)
 {
     if (!is)
-        fatal("cannot open trace file '%s'", path.c_str());
+        raise(IoError(path, format("cannot open trace file '%s'",
+                                   path.c_str())));
     char magic[sizeof(kTraceMagic)];
     if (!is.read(magic, sizeof(magic)) ||
         std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0)
-        fatal("'%s' is not a ddtrace file (bad magic)", path.c_str());
-    if (!getU32(is, hdr.version) || hdr.version != kTraceVersion)
-        fatal("'%s': unsupported trace version %u", path.c_str(),
-              hdr.version);
+        corrupt(0, "not a ddtrace file (bad magic)");
+    if (!getU32(is, hdr.version))
+        corrupt(offset(), "truncated trace header (version)");
+    if (hdr.version != kTraceVersion)
+        corrupt(sizeof(kTraceMagic),
+                format("unsupported trace version %u", hdr.version));
     if (!getString(is, hdr.workload) || !getString(is, hdr.notation) ||
-        !getString(is, hdr.label) || !getU64(is, hdr.recordCount))
-        fatal("'%s': truncated trace header", path.c_str());
+        !getString(is, hdr.label))
+        corrupt(offset(), "truncated trace header (strings)");
+    std::uint64_t countOff = offset();
+    if (!getU64(is, hdr.recordCount))
+        corrupt(countOff, "truncated trace header (record count)");
     if (hdr.recordCount == ~std::uint64_t{0})
-        fatal("'%s': trace was never finalized (writer died mid-run)",
-              path.c_str());
+        corrupt(countOff,
+                "trace was never finalized (writer died mid-run)");
 }
 
 bool
@@ -249,7 +286,8 @@ TraceReader::getVarint(std::uint64_t &v)
             return true;
         shift += 7;
         if (shift >= 64)
-            fatal("malformed varint in trace stream");
+            corrupt(offset(),
+                    "malformed varint (continuation past 64 bits)");
     }
 }
 
@@ -261,19 +299,22 @@ TraceReader::next(TraceRecord &rec)
     std::uint64_t seqDelta, pcIdx, commitDelta;
     std::uint64_t back[6];
     if (!getVarint(seqDelta))
-        fatal("trace truncated after %llu of %llu records",
-              (unsigned long long)decodedCount,
-              (unsigned long long)hdr.recordCount);
+        corrupt(offset(),
+                format("truncated after %llu of %llu records",
+                       (unsigned long long)decodedCount,
+                       (unsigned long long)hdr.recordCount));
     if (!getVarint(pcIdx))
-        fatal("trace record truncated (pc)");
+        corrupt(offset(), "record truncated (pc)");
+    if (pcIdx > 0xffffffffu)
+        corrupt(offset(), "pc index exceeds 32 bits");
     int flagsByte = is.get();
     if (flagsByte == std::char_traits<char>::eof())
-        fatal("trace record truncated (flags)");
+        corrupt(offset(), "record truncated (flags)");
     if (!getVarint(commitDelta))
-        fatal("trace record truncated (commit)");
+        corrupt(offset(), "record truncated (commit)");
     for (std::uint64_t &b : back)
         if (!getVarint(b))
-            fatal("trace record truncated (stage offsets)");
+            corrupt(offset(), "record truncated (stage offsets)");
 
     rec = TraceRecord{};
     rec.seq = prevSeq + seqDelta;
@@ -290,6 +331,16 @@ TraceReader::next(TraceRecord &rec)
     rec.missteered = flags & 0x80;
     rec.commitCycle = prevCommit + commitDelta;
     prevCommit = rec.commitCycle;
+    // A backward stage offset beyond the commit cycle would wrap the
+    // subtraction in decodeBack; a bit-flipped offset must not turn
+    // into a 10^19-cycle "event".
+    for (std::uint64_t b : back)
+        if (b != 0 && b - 1 > rec.commitCycle)
+            corrupt(offset(),
+                    format("stage offset %llu before cycle 0 "
+                           "(commit cycle %llu)",
+                           (unsigned long long)b,
+                           (unsigned long long)rec.commitCycle));
     rec.fetchCycle = decodeBack(rec.commitCycle, back[0]);
     rec.dispatchCycle = decodeBack(rec.commitCycle, back[1]);
     rec.queueCycle = decodeBack(rec.commitCycle, back[2]);

@@ -42,6 +42,8 @@
 #include <string>
 #include <vector>
 
+#include "util/atomic_file.hh"
+
 namespace ddsim::obs {
 
 /** Trace format version written by this build. */
@@ -87,7 +89,10 @@ class PipelineTracer
 {
   public:
     /**
-     * @param path Output file (truncated); fatal() if unwritable.
+     * @param path Output file. The trace streams to "<path>.tmp" and
+     *             only lands under @p path when finish() completes, so
+     *             a killed run never leaves a torn trace; raises
+     *             IoError if the temporary cannot be opened.
      * @param robSize Slots in the pipeline's reorder buffer.
      */
     PipelineTracer(const std::string &path, const std::string &workload,
@@ -118,8 +123,14 @@ class PipelineTracer
      */
     void onCommit(int robIdx, TraceRecord rec);
 
-    /** Patch the record count into the header and close the file. */
+    /**
+     * Patch the record count into the header, then atomically rename
+     * the temporary onto the final path; raises IoError on failure.
+     */
     void finish();
+
+    /** Delete the temporary without publishing anything (error path). */
+    void abandon();
 
     std::uint64_t records() const { return numRecords; }
 
@@ -131,7 +142,8 @@ class PipelineTracer
         std::uint64_t issue = kNoCycle;
     };
 
-    std::ofstream os;
+    AtomicFile file;
+    std::ofstream &os; ///< file.stream(), for terse encode calls.
     std::vector<SlotState> slots;
     std::deque<std::uint64_t> fetchFifo;
     std::uint64_t numRecords = 0;
@@ -157,22 +169,36 @@ struct TraceHeader
 class TraceReader
 {
   public:
-    /** Opens and validates the header; fatal() on a bad file. */
+    /**
+     * Opens and validates the header. Raises IoError if the file
+     * cannot be opened and TraceCorruptError (with the byte offset of
+     * the first undecodable input) on bad magic, an unsupported
+     * version, a truncated header, or an unfinalized count.
+     */
     explicit TraceReader(const std::string &path);
 
     const TraceHeader &header() const { return hdr; }
 
-    /** Decode the next record; false at end of stream. */
+    /**
+     * Decode the next record; false at end of stream. Any truncation,
+     * malformed varint or impossible stage offset raises
+     * TraceCorruptError — corrupt input never reads out of bounds or
+     * underflows a cycle computation.
+     */
     bool next(TraceRecord &rec);
 
   private:
     std::ifstream is;
+    std::string path_;
     TraceHeader hdr;
     std::uint64_t prevCommit = 0;
     std::uint64_t prevSeq = 0;
     std::uint64_t decodedCount = 0;
 
     bool getVarint(std::uint64_t &v);
+    /** Current byte offset for corruption reports. */
+    std::uint64_t offset();
+    [[noreturn]] void corrupt(std::uint64_t off, const std::string &msg);
 };
 
 } // namespace ddsim::obs

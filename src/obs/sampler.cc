@@ -1,9 +1,9 @@
 #include "obs/sampler.hh"
 
-#include <fstream>
 #include <ostream>
 
 #include "stats/group.hh"
+#include "util/atomic_file.hh"
 #include "util/json.hh"
 #include "util/log.hh"
 #include "util/str.hh"
@@ -156,14 +156,13 @@ Sampler::dumpJson(std::ostream &os) const
 void
 Sampler::dumpFile(const std::string &path) const
 {
-    std::ofstream os(path);
-    if (!os)
-        fatal("cannot open sample file '%s' for writing", path.c_str());
+    AtomicFile file(path);
     if (path.size() >= 5 &&
         path.compare(path.size() - 5, 5, ".json") == 0)
-        dumpJson(os);
+        dumpJson(file.stream());
     else
-        dumpCsv(os);
+        dumpCsv(file.stream());
+    file.commit();
 }
 
 } // namespace ddsim::obs

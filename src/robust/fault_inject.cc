@@ -1,0 +1,123 @@
+#include "robust/fault_inject.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hh"
+#include "util/log.hh"
+
+namespace ddsim::robust {
+
+namespace {
+
+std::atomic<FaultInjector *> activeInjector{nullptr};
+
+} // namespace
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::JobTransient: return "job-transient";
+      case FaultKind::JobPersistent: return "job-persistent";
+      case FaultKind::AllocFail: return "alloc-fail";
+      case FaultKind::DropWakeup: return "drop-wakeup";
+      case FaultKind::CorruptTrace: return "corrupt-trace";
+    }
+    return "?";
+}
+
+FaultInjector *
+FaultInjector::active()
+{
+    return activeInjector.load(std::memory_order_acquire);
+}
+
+RunFaultPlan
+FaultInjector::planFor(const std::string &workload,
+                       const std::string &notation)
+{
+    RunFaultPlan plan;
+    std::lock_guard<std::mutex> lock(mu);
+    std::uint64_t attempt = ++attempts[workload + "|" + notation];
+    for (const FaultSpec &s : specs) {
+        if (!s.workload.empty() && s.workload != workload)
+            continue;
+        if (!s.notation.empty() && s.notation != notation)
+            continue;
+        switch (s.kind) {
+          case FaultKind::JobTransient:
+            if (attempt <= s.arg)
+                plan.failTransient = true;
+            break;
+          case FaultKind::JobPersistent:
+            plan.failPersistent = true;
+            break;
+          case FaultKind::AllocFail:
+            plan.allocFail = true;
+            break;
+          case FaultKind::DropWakeup:
+            plan.dropWakeupAt = s.arg;
+            break;
+          case FaultKind::CorruptTrace:
+            plan.corruptTrace = true;
+            break;
+        }
+    }
+    return plan;
+}
+
+void
+FaultInjector::corruptFile(const std::string &path) const
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        raise(IoError(path, format("fault injector: cannot read '%s'",
+                                   path.c_str())));
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    if (bytes.size() < 8)
+        raise(IoError(path,
+                      format("fault injector: '%s' too small to "
+                             "corrupt (%zu bytes)",
+                             path.c_str(), bytes.size())));
+
+    // Truncate: the reader now hits EOF before reaching the record
+    // count the (intact) header still declares.
+    bytes.resize(bytes.size() - std::min<std::size_t>(4, bytes.size() - 8));
+
+    // Flip one seeded bit in the last quarter of what remains — far
+    // from the header, so the record count stays intact and the
+    // failure is a payload decode error, not a shortened count.
+    std::size_t window =
+        std::min<std::size_t>(bytes.size() / 4 + 1, 4096);
+    std::size_t pos = bytes.size() - 1 - (seed_ % window);
+    bytes[pos] = static_cast<char>(
+        bytes[pos] ^ static_cast<char>(1u << (seed_ / window % 8)));
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.write(bytes.data(),
+                   static_cast<std::streamsize>(bytes.size())) ||
+        !out.flush())
+        raise(IoError(path,
+                      format("fault injector: cannot rewrite '%s'",
+                             path.c_str())));
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultInjector &inj)
+{
+    FaultInjector *expected = nullptr;
+    if (!activeInjector.compare_exchange_strong(
+            expected, &inj, std::memory_order_release,
+            std::memory_order_relaxed))
+        panic("nested fault injection scopes");
+}
+
+ScopedFaultInjection::~ScopedFaultInjection()
+{
+    activeInjector.store(nullptr, std::memory_order_release);
+}
+
+} // namespace ddsim::robust

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Deterministic fault injection for exercising the fault-tolerant run
+ * supervisor. Off by default: no injector is active unless a test (or
+ * a bench run with --inject) installs one via ScopedFaultInjection,
+ * and the probe sites in sim::run / cpu::Pipeline cost one null /
+ * zero-counter test when nothing is installed.
+ *
+ * A FaultInjector holds a list of FaultSpecs, each targeting a sweep
+ * point by workload name and/or machine notation. At the start of a
+ * run the runner asks planFor() what (if anything) should go wrong
+ * for that point; the plan is resolved once per run, never per cycle,
+ * and — given the same seed and specs — identically on every attempt
+ * except where a spec says otherwise (JobTransient fails a bounded
+ * number of attempts, then stops: exactly the failure shape retry
+ * logic must recover from).
+ *
+ * Fault classes:
+ *  - JobTransient:  run raises IoError (transient) for the first
+ *                   `arg` attempts at the point, then succeeds.
+ *  - JobPersistent: run raises ProgramError on every attempt.
+ *  - AllocFail:     run throws std::bad_alloc (forced allocation
+ *                   failure at setup).
+ *  - DropWakeup:    the pipeline silently drops its `arg`-th wakeup
+ *                   event; the instruction never issues and the
+ *                   deadlock watchdog must catch the stall.
+ *  - CorruptTrace:  after the run's pipeline trace is finalized, the
+ *                   file is deterministically damaged (truncated and
+ *                   bit-flipped); trace verification must raise
+ *                   TraceCorruptError.
+ */
+
+#ifndef DDSIM_ROBUST_FAULT_INJECT_HH_
+#define DDSIM_ROBUST_FAULT_INJECT_HH_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ddsim::robust {
+
+enum class FaultKind : std::uint8_t
+{
+    JobTransient,
+    JobPersistent,
+    AllocFail,
+    DropWakeup,
+    CorruptTrace,
+};
+
+const char *faultKindName(FaultKind k);
+
+/** One injected fault, targeted at a sweep point. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::JobTransient;
+    std::string workload; ///< Exact workload to hit ("" = any).
+    std::string notation; ///< Exact "(N+M)" notation to hit ("" = any).
+    /**
+     * JobTransient: how many attempts fail before success (default 1).
+     * DropWakeup: which wakeup event (1-based) to drop.
+     */
+    std::uint64_t arg = 1;
+};
+
+/** What planFor() decided should go wrong for one run attempt. */
+struct RunFaultPlan
+{
+    bool failTransient = false;
+    bool failPersistent = false;
+    bool allocFail = false;
+    std::uint64_t dropWakeupAt = 0; ///< 0 = no wakeup dropped.
+    bool corruptTrace = false;
+
+    bool any() const
+    {
+        return failTransient || failPersistent || allocFail ||
+               dropWakeupAt != 0 || corruptTrace;
+    }
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+    void add(FaultSpec spec) { specs.push_back(std::move(spec)); }
+
+    /**
+     * Resolve the plan for one attempt at (workload, notation).
+     * Thread-safe: sweep workers probe concurrently. Counts the
+     * attempt for JobTransient bookkeeping.
+     */
+    RunFaultPlan planFor(const std::string &workload,
+                         const std::string &notation);
+
+    /**
+     * Deterministically damage a finalized ddtrace file: truncate the
+     * last 4 bytes (guarantees the reader hits EOF short of the
+     * declared record count) and flip one seed-chosen bit near the
+     * tail (exercises payload corruption without touching the
+     * header's record count).
+     */
+    void corruptFile(const std::string &path) const;
+
+    std::uint64_t seed() const { return seed_; }
+
+    /** The globally active injector, or nullptr (the common case). */
+    static FaultInjector *active();
+
+  private:
+    friend class ScopedFaultInjection;
+
+    std::uint64_t seed_;
+    std::vector<FaultSpec> specs;
+    std::mutex mu;
+    /** Attempts seen per "workload|notation" point. */
+    std::map<std::string, std::uint64_t> attempts;
+};
+
+/** RAII activation: install in the constructor, remove in the
+ *  destructor. Nesting is a programming error (panics). */
+class ScopedFaultInjection
+{
+  public:
+    explicit ScopedFaultInjection(FaultInjector &inj);
+    ~ScopedFaultInjection();
+
+    ScopedFaultInjection(const ScopedFaultInjection &) = delete;
+    ScopedFaultInjection &operator=(const ScopedFaultInjection &) =
+        delete;
+};
+
+} // namespace ddsim::robust
+
+#endif // DDSIM_ROBUST_FAULT_INJECT_HH_

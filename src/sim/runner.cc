@@ -1,22 +1,99 @@
 #include "sim/runner.hh"
 
 #include "cpu/pipeline.hh"
+#include "isa/disasm.hh"
+#include "obs/blackbox.hh"
 #include "obs/manifest.hh"
 #include "obs/pipeline_trace.hh"
 #include "obs/sampler.hh"
+#include "robust/fault_inject.hh"
 #include "stats/formatter.hh"
 #include "util/log.hh"
 #include "vm/executor.hh"
 
 #include <chrono>
+#include <new>
 #include <optional>
 
 namespace ddsim::sim {
+
+namespace {
+
+/** Number of committed instructions the crash report retains. */
+constexpr std::size_t kBlackboxCommits = 32;
+
+/**
+ * Flatten the dying run's state into a BlackboxInfo and write it.
+ * Never throws: a failing crash report must not mask the crash.
+ */
+void
+emitBlackbox(const RunOptions &opts, const prog::Program &program,
+             const config::MachineConfig &cfg, cpu::Pipeline &pipe,
+             const stats::Group &root, const SimError &e)
+{
+    obs::BlackboxInfo bi;
+    bi.workload = program.name();
+    bi.label = opts.label;
+    bi.cfg = cfg;
+    bi.maxInsts = opts.maxInsts;
+    bi.warmupInsts = opts.warmupInsts;
+    bi.traceReplay = static_cast<bool>(opts.trace);
+    bi.maxCycles = opts.maxCycles;
+    bi.maxWallSeconds = opts.maxWallSeconds;
+
+    bi.errorKind = e.kind();
+    bi.errorMessage = e.what();
+    bi.errorTransient = e.transient();
+    bi.errorContext = e.context();
+
+    cpu::OccupancySnapshot s = pipe.snapshotOccupancy();
+    bi.cycle = s.cycle;
+    bi.lastCommitCycle = s.lastCommitCycle;
+    bi.robOccupancy = s.robOccupancy;
+    bi.robSize = s.robSize;
+    bi.lsqOccupancy = s.lsqOccupancy;
+    bi.lsqSize = s.lsqSize;
+    bi.lvaqOccupancy = s.lvaqOccupancy;
+    bi.lvaqSize = s.lvaqSize;
+    bi.fetchQueue = s.fetchQueue;
+    bi.fetched = s.fetched;
+    bi.committed = s.committed;
+    for (const cpu::CommittedRecord &c : pipe.commitLog())
+        bi.lastCommits.push_back({c.seq, c.pcIdx,
+                                  isa::disassemble(c.inst), c.cycle});
+    bi.stats = &root;
+
+    try {
+        obs::writeBlackboxFile(bi, opts.blackboxPath);
+    } catch (const std::exception &we) {
+        warn("could not write black-box report '%s': %s",
+             opts.blackboxPath.c_str(), we.what());
+    }
+}
+
+} // namespace
 
 SimResult
 run(const prog::Program &program, const config::MachineConfig &cfg,
     const RunOptions &opts)
 {
+    // Fault-injection probe: resolved once per run attempt, before
+    // any machine state exists. Null injector (the normal case) costs
+    // one atomic load.
+    robust::RunFaultPlan plan;
+    if (robust::FaultInjector *inj = robust::FaultInjector::active())
+        plan = inj->planFor(program.name(), cfg.notation());
+    if (plan.failTransient)
+        raise(IoError(program.name(),
+                      format("injected transient fault for '%s'",
+                             program.name().c_str())));
+    if (plan.failPersistent)
+        raise(ProgramError(
+            format("injected persistent fault for '%s'",
+                   program.name().c_str())));
+    if (plan.allocFail)
+        throw std::bad_alloc{};
+
     cfg.validate();
 
     stats::Group root(nullptr, "");
@@ -35,44 +112,77 @@ run(const prog::Program &program, const config::MachineConfig &cfg,
     }
     cpu::Pipeline pipe(&root, cfg, *src);
 
-    if (opts.warmupInsts > 0) {
-        pipe.runUntilFetched(opts.warmupInsts);
-        pipe.resetStats();
-    }
+    if (!opts.blackboxPath.empty())
+        pipe.enableCommitLog(kBlackboxCommits);
+    if (opts.maxCycles != 0 || opts.maxWallSeconds > 0)
+        // Armed before warmup: warmup and measurement share budgets.
+        pipe.setGuards({opts.maxCycles, opts.maxWallSeconds});
+    if (plan.dropWakeupAt != 0)
+        pipe.armWakeupDrop(plan.dropWakeupAt);
 
-    // Observability attaches after warmup so samples and trace
-    // records cover exactly the measured phase.
     std::optional<obs::Sampler> sampler;
-    if (opts.sampleInterval > 0) {
-        sampler.emplace(root, opts.sampleInterval, opts.sampleFilter);
-        pipe.setSampler(&*sampler);
-    }
     std::optional<obs::PipelineTracer> tracer;
-    if (!opts.tracePath.empty()) {
-        tracer.emplace(opts.tracePath, program.name(), cfg.notation(),
-                       opts.label, cfg.robSize);
-        pipe.setTracer(&*tracer);
+    double wallSeconds = 0.0;
+    try {
+        if (opts.warmupInsts > 0) {
+            pipe.runUntilFetched(opts.warmupInsts);
+            pipe.resetStats();
+        }
+
+        // Observability attaches after warmup so samples and trace
+        // records cover exactly the measured phase.
+        if (opts.sampleInterval > 0) {
+            sampler.emplace(root, opts.sampleInterval,
+                            opts.sampleFilter);
+            pipe.setSampler(&*sampler);
+        }
+        if (!opts.tracePath.empty()) {
+            tracer.emplace(opts.tracePath, program.name(),
+                           cfg.notation(), opts.label, cfg.robSize);
+            pipe.setTracer(&*tracer);
+        }
+
+        // maxInsts counts measured instructions, excluding warmup.
+        std::uint64_t limit =
+            opts.maxInsts ? opts.maxInsts + opts.warmupInsts : 0;
+        auto t0 = std::chrono::steady_clock::now();
+        pipe.run(limit);
+        wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+        if (sampler)
+            sampler->finish(pipe.committedInsts.value(),
+                            pipe.numCycles.value());
+        if (tracer)
+            tracer->finish();
+        pipe.setSampler(nullptr);
+        pipe.setTracer(nullptr);
+        if (sampler && !opts.samplePath.empty())
+            sampler->dumpFile(opts.samplePath);
+
+        if (plan.corruptTrace && !opts.tracePath.empty())
+            robust::FaultInjector::active()->corruptFile(
+                opts.tracePath);
+        if (opts.verifyTrace && !opts.tracePath.empty()) {
+            // Full decode self-check; raises TraceCorruptError on any
+            // damage between finalize and here.
+            obs::TraceReader verify(opts.tracePath);
+            obs::TraceRecord rec;
+            while (verify.next(rec)) {
+            }
+        }
+    } catch (const SimError &e) {
+        // Leave no torn observability outputs behind, write the
+        // crash report, and hand the typed error to the supervisor.
+        pipe.setSampler(nullptr);
+        pipe.setTracer(nullptr);
+        if (tracer)
+            tracer->abandon();
+        if (!opts.blackboxPath.empty())
+            emitBlackbox(opts, program, cfg, pipe, root, e);
+        throw;
     }
-
-    // maxInsts counts measured instructions, i.e. excludes warmup.
-    std::uint64_t limit =
-        opts.maxInsts ? opts.maxInsts + opts.warmupInsts : 0;
-    auto t0 = std::chrono::steady_clock::now();
-    pipe.run(limit);
-    double wallSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t0)
-            .count();
-
-    if (sampler)
-        sampler->finish(pipe.committedInsts.value(),
-                        pipe.numCycles.value());
-    if (tracer)
-        tracer->finish();
-    pipe.setSampler(nullptr);
-    pipe.setTracer(nullptr);
-    if (sampler && !opts.samplePath.empty())
-        sampler->dumpFile(opts.samplePath);
 
     SimResult r;
     r.program = program.name();
@@ -124,6 +234,8 @@ run(const prog::Program &program, const config::MachineConfig &cfg,
         mi.maxInsts = opts.maxInsts;
         mi.warmupInsts = opts.warmupInsts;
         mi.traceReplay = static_cast<bool>(opts.trace);
+        mi.maxCycles = opts.maxCycles;
+        mi.maxWallSeconds = opts.maxWallSeconds;
         mi.tracePath = opts.tracePath;
         mi.samplePath = opts.samplePath;
         mi.sampleInterval = opts.sampleInterval;

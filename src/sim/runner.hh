@@ -46,6 +46,19 @@ struct RunOptions
      */
     std::shared_ptr<const vm::RecordedTrace> trace;
 
+    // ---- Run guards (0 = unlimited) ----
+    /**
+     * Abort the run with BudgetExceededError once this many cycles
+     * have been simulated (warmup included). Runs that finish within
+     * the budget are bit-identical to unbudgeted runs.
+     */
+    std::uint64_t maxCycles = 0;
+    /**
+     * Abort with BudgetExceededError once this much host wall-clock
+     * time has elapsed (measured from the start of warmup).
+     */
+    double maxWallSeconds = 0.0;
+
     // ---- Observability (all off by default; timing-invisible) ----
     /** Write a JSON run manifest here ("" = none). */
     std::string manifestPath;
@@ -68,11 +81,30 @@ struct RunOptions
      * sampler tracks ("cpu,l1d"); empty = the whole tree.
      */
     std::string sampleFilter;
+
+    // ---- Fault tolerance ----
+    /**
+     * On any SimError during the run, write a "ddsim-blackbox-v1"
+     * JSON crash report here before rethrowing ("" = none). Enables
+     * the last-committed-instructions ring in the pipeline.
+     */
+    std::string blackboxPath;
+    /**
+     * After the pipeline trace is finalized, decode the whole file
+     * back as a self-check; corruption (including injected
+     * corruption) raises TraceCorruptError. No-op without tracePath.
+     */
+    bool verifyTrace = false;
 };
 
 /**
  * Simulate @p program on @p cfg to completion.
- * @throws FatalError on configuration or program errors.
+ *
+ * Every failure raises a typed ddsim::SimError: ConfigError for a bad
+ * configuration, ProgramError for a malformed program, DeadlockError
+ * when the watchdog fires, BudgetExceededError when a guard trips,
+ * IoError / TraceCorruptError from the observability outputs. All of
+ * these derive std::runtime_error; no failure path aborts.
  */
 SimResult run(const prog::Program &program,
               const config::MachineConfig &cfg,

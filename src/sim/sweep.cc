@@ -1,16 +1,49 @@
 #include "sim/sweep.hh"
 
-#include <fstream>
+#include <algorithm>
+#include <chrono>
+#include <new>
 #include <ostream>
+#include <thread>
 #include <utility>
 
 #include "obs/manifest.hh"
 #include "obs/version.hh"
+#include "util/atomic_file.hh"
 #include "util/json.hh"
 #include "util/log.hh"
 #include "util/str.hh"
 
 namespace ddsim::sim {
+
+const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Recovered: return "recovered";
+      case JobStatus::Quarantined: return "quarantined";
+    }
+    return "?";
+}
+
+ErrorClass
+classifyError(const std::exception_ptr &e)
+{
+    try {
+        std::rethrow_exception(e);
+    } catch (const SimError &se) {
+        return {se.kind(), se.what(), se.transient()};
+    } catch (const std::bad_alloc &ba) {
+        // Memory pressure in a loaded sweep: concurrent jobs finish
+        // and free theirs, so a retry has a real chance.
+        return {"alloc", ba.what(), true};
+    } catch (const std::exception &ex) {
+        return {"unknown", ex.what(), false};
+    } catch (...) {
+        return {"unknown", "non-exception throw", false};
+    }
+}
 
 SweepRunner::SweepRunner(unsigned workers) : pool(workers) {}
 
@@ -35,18 +68,37 @@ SweepRunner::submit(SweepJob job)
     // reach a program records its trace while workers on other
     // programs keep simulating.
     TraceCache *tc = shareTraces && !job.opts.trace ? &traces : nullptr;
-    pool.submit([slot, tc, job = std::move(job)]() mutable {
-        try {
-            if (tc) {
-                std::uint64_t cap =
-                    job.opts.maxInsts
-                        ? job.opts.maxInsts + job.opts.warmupInsts
-                        : 0;
-                job.opts.trace = tc->get(job.program, cap);
+    RetryPolicy policy = retryPolicy;
+    pool.submit([slot, tc, policy, job = std::move(job)]() mutable {
+        // Bounded retry with exponential backoff. Only transiently
+        // classified failures retry; simulation is deterministic, so
+        // a deadlock or config error would just fail identically
+        // again, while an I/O hiccup or allocation failure may pass.
+        std::uint64_t backoff = policy.backoffMs;
+        for (int attempt = 1;; ++attempt) {
+            slot->attempts = attempt;
+            try {
+                if (tc) {
+                    std::uint64_t cap =
+                        job.opts.maxInsts
+                            ? job.opts.maxInsts + job.opts.warmupInsts
+                            : 0;
+                    job.opts.trace = tc->get(job.program, cap);
+                }
+                slot->result = run(*job.program, job.cfg, job.opts);
+                slot->error = nullptr;
+                return;
+            } catch (...) {
+                slot->error = std::current_exception();
+                slot->lastError = classifyError(slot->error);
+                if (!slot->lastError.transient ||
+                    attempt >= policy.maxAttempts)
+                    return;
             }
-            slot->result = run(*job.program, job.cfg, job.opts);
-        } catch (...) {
-            slot->error = std::current_exception();
+            if (backoff > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff));
+            backoff = std::min(backoff * 2, policy.maxBackoffMs);
         }
     });
     return index;
@@ -78,6 +130,35 @@ SweepRunner::collect()
     return results;
 }
 
+SweepOutcome
+SweepRunner::collectOutcome()
+{
+    pool.wait();
+    SweepOutcome out;
+    out.results.reserve(slots.size());
+    out.jobs.reserve(slots.size());
+    for (Slot &slot : slots) {
+        JobOutcome jo;
+        jo.attempts = slot.attempts;
+        jo.error = slot.lastError;
+        if (slot.error) {
+            jo.status = JobStatus::Quarantined;
+            ++out.numQuarantined;
+            out.degraded = true;
+            out.results.emplace_back(); // Placeholder keeps indices.
+        } else {
+            jo.status = slot.attempts > 1 ? JobStatus::Recovered
+                                          : JobStatus::Ok;
+            if (jo.status == JobStatus::Recovered)
+                ++out.numRecovered;
+            out.results.push_back(std::move(slot.result));
+        }
+        out.jobs.push_back(std::move(jo));
+    }
+    slots.clear();
+    return out;
+}
+
 std::vector<SimResult>
 SweepRunner::runAll(std::vector<SweepJob> jobs, unsigned workers)
 {
@@ -87,10 +168,14 @@ SweepRunner::runAll(std::vector<SweepJob> jobs, unsigned workers)
     return runner.collect();
 }
 
+namespace {
+
 void
-writeSweepManifest(const std::string &title,
-                   const std::vector<SimResult> &results,
-                   std::ostream &os)
+writeSweepManifestDoc(const std::string &title,
+                      const std::vector<SimResult> &results,
+                      const std::vector<JobOutcome> *jobs,
+                      bool degraded, std::size_t numQuarantined,
+                      std::size_t numRecovered, std::ostream &os)
 {
     JsonWriter w(os);
     w.beginObject();
@@ -103,6 +188,36 @@ writeSweepManifest(const std::string &title,
     w.field("git", obs::gitDescribe());
     w.endObject();
     w.field("num_runs", static_cast<std::uint64_t>(results.size()));
+    if (jobs) {
+        w.field("degraded", degraded);
+        w.field("num_quarantined",
+                static_cast<std::uint64_t>(numQuarantined));
+        w.field("num_recovered",
+                static_cast<std::uint64_t>(numRecovered));
+        w.key("jobs");
+        w.beginArray();
+        for (std::size_t i = 0; i < jobs->size(); ++i) {
+            const JobOutcome &jo = (*jobs)[i];
+            w.beginObject();
+            w.field("index", static_cast<std::uint64_t>(i));
+            w.field("status", jobStatusName(jo.status));
+            w.field("attempts",
+                    static_cast<std::uint64_t>(jo.attempts));
+            if (jo.error.kind.empty()) {
+                w.key("error");
+                w.valueNull();
+            } else {
+                w.key("error");
+                w.beginObject();
+                w.field("kind", jo.error.kind);
+                w.field("message", jo.error.message);
+                w.field("transient", jo.error.transient);
+                w.endObject();
+            }
+            w.endObject();
+        }
+        w.endArray();
+    }
     w.key("runs");
     w.beginArray();
     for (const SimResult &r : results) {
@@ -116,16 +231,43 @@ writeSweepManifest(const std::string &title,
     os << '\n';
 }
 
+} // namespace
+
+void
+writeSweepManifest(const std::string &title,
+                   const std::vector<SimResult> &results,
+                   std::ostream &os)
+{
+    writeSweepManifestDoc(title, results, nullptr, false, 0, 0, os);
+}
+
+void
+writeSweepManifest(const std::string &title, const SweepOutcome &outcome,
+                   std::ostream &os)
+{
+    writeSweepManifestDoc(title, outcome.results, &outcome.jobs,
+                          outcome.degraded, outcome.numQuarantined,
+                          outcome.numRecovered, os);
+}
+
 void
 writeSweepManifestFile(const std::string &title,
                        const std::vector<SimResult> &results,
                        const std::string &path)
 {
-    std::ofstream os(path);
-    if (!os)
-        fatal("cannot open sweep manifest file '%s' for writing",
-              path.c_str());
-    writeSweepManifest(title, results, os);
+    AtomicFile file(path);
+    writeSweepManifest(title, results, file.stream());
+    file.commit();
+}
+
+void
+writeSweepManifestFile(const std::string &title,
+                       const SweepOutcome &outcome,
+                       const std::string &path)
+{
+    AtomicFile file(path);
+    writeSweepManifest(title, outcome, file.stream());
+    file.commit();
 }
 
 std::shared_ptr<const vm::RecordedTrace>

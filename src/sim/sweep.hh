@@ -40,6 +40,72 @@
 
 namespace ddsim::sim {
 
+/**
+ * How SweepRunner retries transiently-failed jobs. Simulation is
+ * deterministic, so a retried job that eventually succeeds returns
+ * exactly the SimResult a first-try success would have — retry count
+ * affects wall-clock only, never results.
+ */
+struct RetryPolicy
+{
+    /** Total attempts per job; 1 disables retry. */
+    int maxAttempts = 3;
+    /** Backoff before the first retry; doubles per further retry. */
+    std::uint64_t backoffMs = 10;
+    /** Backoff ceiling. */
+    std::uint64_t maxBackoffMs = 1000;
+};
+
+/** Final disposition of one sweep job. */
+enum class JobStatus : std::uint8_t
+{
+    Ok,          ///< Succeeded on the first attempt.
+    Recovered,   ///< Failed transiently, succeeded on a retry.
+    Quarantined, ///< Still failing after retries (or non-transient).
+};
+
+const char *jobStatusName(JobStatus s);
+
+/** A classified failure: what any exception looks like to the
+ *  supervisor. */
+struct ErrorClass
+{
+    std::string kind;    ///< SimError::kind(), "alloc", or "unknown".
+    std::string message;
+    bool transient = false;
+};
+
+/** Classify @p e for retry/quarantine decisions. SimErrors report
+ *  their own kind and transience; std::bad_alloc maps to "alloc"
+ *  (transient — concurrent jobs release memory); anything else is
+ *  "unknown" and permanent. */
+ErrorClass classifyError(const std::exception_ptr &e);
+
+/** Per-job record in a SweepOutcome. */
+struct JobOutcome
+{
+    JobStatus status = JobStatus::Ok;
+    int attempts = 1;
+    /** The last (or recovered-from) error; empty kind = never failed. */
+    ErrorClass error;
+};
+
+/**
+ * Everything collectOutcome() reports: results in submission order
+ * (quarantined indices hold a default-constructed SimResult) plus the
+ * per-job status table.
+ */
+struct SweepOutcome
+{
+    std::vector<SimResult> results;
+    std::vector<JobOutcome> jobs;
+    bool degraded = false;        ///< Any job quarantined.
+    std::size_t numQuarantined = 0;
+    std::size_t numRecovered = 0;
+
+    bool ok() const { return !degraded; }
+};
+
 /** One (program, machine, options) point of a sweep grid. */
 struct SweepJob
 {
@@ -124,6 +190,22 @@ class SweepRunner
      */
     std::vector<SimResult> collect();
 
+    /**
+     * Fault-isolating collection: block until every job has finished
+     * (transient failures having been retried per the RetryPolicy on
+     * the workers), then return all results plus the per-job status
+     * table instead of throwing. A failed job is quarantined — its
+     * result slot is default-constructed and the sweep is marked
+     * degraded — and never takes the rest of the grid down with it.
+     * Resets the runner like collect().
+     */
+    SweepOutcome collectOutcome();
+
+    /** Replace the transient-failure retry policy (default: 3
+     *  attempts, 10 ms exponential backoff). Affects jobs submitted
+     *  after the call. */
+    void setRetryPolicy(const RetryPolicy &p) { retryPolicy = p; }
+
     /** Jobs submitted since the last collect(). */
     std::size_t pending() const { return slots.size(); }
 
@@ -147,13 +229,16 @@ class SweepRunner
     struct Slot
     {
         SimResult result;
-        std::exception_ptr error;
+        std::exception_ptr error; ///< Set only if the job finally failed.
+        int attempts = 1;
+        ErrorClass lastError;     ///< Last failure, kept across recovery.
     };
 
     ThreadPool pool;
     std::deque<Slot> slots; ///< deque: stable addresses across submit()
     TraceCache traces;
     bool shareTraces = true;
+    RetryPolicy retryPolicy;
 };
 
 /**
@@ -168,9 +253,24 @@ void writeSweepManifest(const std::string &title,
                         const std::vector<SimResult> &results,
                         std::ostream &os);
 
-/** writeSweepManifest into a file; fatal() if unwritable. */
+/** writeSweepManifest into a file, atomically; raises IoError if
+ *  unwritable. */
 void writeSweepManifestFile(const std::string &title,
                             const std::vector<SimResult> &results,
+                            const std::string &path);
+
+/**
+ * Sweep manifest for a fault-isolated sweep: the same document plus
+ * `"degraded"`, quarantine/recovery counts, and a `"jobs"` array with
+ * each job's status, attempt count and classified error. A degraded
+ * sweep still validates — downstream tooling sees exactly which
+ * points are missing instead of getting no manifest at all.
+ */
+void writeSweepManifest(const std::string &title,
+                        const SweepOutcome &outcome, std::ostream &os);
+
+void writeSweepManifestFile(const std::string &title,
+                            const SweepOutcome &outcome,
                             const std::string &path);
 
 /**

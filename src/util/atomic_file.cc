@@ -1,0 +1,59 @@
+#include "util/atomic_file.hh"
+
+#include <cstdio>
+
+#include "util/error.hh"
+#include "util/log.hh"
+
+namespace ddsim {
+
+AtomicFile::AtomicFile(std::string path, bool binary)
+    : path_(std::move(path)), tmp_(path_ + ".tmp")
+{
+    std::ios_base::openmode mode = std::ios::trunc;
+    if (binary)
+        mode |= std::ios::binary;
+    os.open(tmp_, mode);
+    if (!os)
+        raise(IoError(path_, format("cannot open '%s' for writing",
+                                    tmp_.c_str())));
+}
+
+AtomicFile::~AtomicFile()
+{
+    abandon();
+}
+
+void
+AtomicFile::commit()
+{
+    if (done_)
+        return;
+    done_ = true;
+    os.flush();
+    bool ok = static_cast<bool>(os);
+    os.close();
+    if (!ok) {
+        std::remove(tmp_.c_str());
+        raise(IoError(path_, format("write to '%s' failed (disk full?)",
+                                    tmp_.c_str())));
+    }
+    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+        std::remove(tmp_.c_str());
+        raise(IoError(path_, format("cannot rename '%s' to '%s'",
+                                    tmp_.c_str(), path_.c_str())));
+    }
+}
+
+void
+AtomicFile::abandon()
+{
+    if (done_)
+        return;
+    done_ = true;
+    os.close();
+    std::remove(tmp_.c_str());
+}
+
+} // namespace ddsim
+

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Crash-safe file output: write to "<path>.tmp", then rename onto the
+ * final path on commit(). A run killed mid-write (SIGKILL, OOM, power)
+ * can leave a stale .tmp behind but never a torn manifest, sample dump
+ * or trace under the real name — readers either see the complete old
+ * file, the complete new file, or nothing.
+ *
+ * Every observability writer (run/sweep manifests, interval samples,
+ * pipeline traces, black-box reports) goes through this class.
+ */
+
+#ifndef DDSIM_UTIL_ATOMIC_FILE_HH_
+#define DDSIM_UTIL_ATOMIC_FILE_HH_
+
+#include <fstream>
+#include <string>
+
+namespace ddsim {
+
+class AtomicFile
+{
+  public:
+    /**
+     * Open "<path>.tmp" for writing (truncating any stale one).
+     * @param binary Open in binary mode.
+     * @throws IoError if the temporary cannot be opened.
+     */
+    explicit AtomicFile(std::string path, bool binary = false);
+
+    /** Discards the temporary unless commit() ran. */
+    ~AtomicFile();
+
+    AtomicFile(const AtomicFile &) = delete;
+    AtomicFile &operator=(const AtomicFile &) = delete;
+
+    /** The stream to write; valid until commit()/abandon(). */
+    std::ofstream &stream() { return os; }
+
+    /**
+     * Flush, close and rename the temporary onto the final path.
+     * @throws IoError if the stream failed or the rename does.
+     */
+    void commit();
+
+    /** Close and delete the temporary (no-op after commit()). */
+    void abandon();
+
+    const std::string &path() const { return path_; }
+    const std::string &tempPath() const { return tmp_; }
+
+  private:
+    std::string path_;
+    std::string tmp_;
+    std::ofstream os;
+    bool done_ = false;
+};
+
+} // namespace ddsim
+
+#endif // DDSIM_UTIL_ATOMIC_FILE_HH_

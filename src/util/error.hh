@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The ddsim error taxonomy. Every failure a simulation can hit is a
+ * SimError subclass carrying a machine-readable kind plus key/value
+ * context, so supervisors (sim::SweepRunner, the black-box writer,
+ * callers embedding the library) can classify, retry, quarantine and
+ * report without parsing message strings.
+ *
+ *   SimError                       base; kind() + context()
+ *    |- FatalError                 thrown by fatal(): user error
+ *    |   |- ConfigError            bad MachineConfig field (names it)
+ *    |   |- ProgramError           malformed program / assembly
+ *    |   |- IoError                file unreadable/unwritable (transient)
+ *    |   `- TraceCorruptError      corrupt ddtrace input, byte offset
+ *    |- PanicError                 thrown by panic(): a ddsim bug
+ *    |- DeadlockError              pipeline made no forward progress
+ *    `- BudgetExceededError        cycle or wall-clock budget blown
+ *
+ * No abort() is reachable from library code: every path throws one of
+ * these, and everything a test or sweep needs to recover rides on the
+ * exception. transient() marks the classes worth retrying (I/O and
+ * resource pressure); deterministic simulation errors are permanent.
+ */
+
+#ifndef DDSIM_UTIL_ERROR_HH_
+#define DDSIM_UTIL_ERROR_HH_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace ddsim {
+
+/** Base of the taxonomy: a message plus machine-readable context. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(std::string kind, const std::string &msg)
+        : std::runtime_error(msg), kind_(std::move(kind))
+    {}
+
+    /** Stable machine-readable class tag ("config", "deadlock", ...). */
+    const std::string &kind() const { return kind_; }
+
+    /** Worth retrying? Only I/O-flavoured failures are. */
+    virtual bool transient() const { return false; }
+
+    /** Attach one key/value context pair (call before throwing). */
+    void addContext(std::string key, std::string value)
+    {
+        ctx_.emplace_back(std::move(key), std::move(value));
+    }
+
+    /** All attached context, in attachment order. */
+    const std::vector<std::pair<std::string, std::string>> &
+    context() const
+    {
+        return ctx_;
+    }
+
+  private:
+    std::string kind_;
+    std::vector<std::pair<std::string, std::string>> ctx_;
+};
+
+/** Thrown by fatal(): the user asked for something impossible. */
+class FatalError : public SimError
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : SimError("fatal", msg)
+    {}
+
+  protected:
+    FatalError(std::string kind, const std::string &msg)
+        : SimError(std::move(kind), msg)
+    {}
+};
+
+/** Thrown by panic(): an internal invariant was violated (a bug). */
+class PanicError : public SimError
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : SimError("internal", msg)
+    {}
+};
+
+/** A MachineConfig field has a degenerate or impossible value. */
+class ConfigError : public FatalError
+{
+  public:
+    ConfigError(std::string field, const std::string &msg)
+        : FatalError("config", msg), field_(std::move(field))
+    {
+        addContext("field", field_);
+    }
+
+    /** Dotted name of the offending field, e.g. "l1.lineBytes". */
+    const std::string &field() const { return field_; }
+
+  private:
+    std::string field_;
+};
+
+/** A program (workload, assembly source) is malformed. */
+class ProgramError : public FatalError
+{
+  public:
+    explicit ProgramError(const std::string &msg)
+        : FatalError("program", msg)
+    {}
+};
+
+/** A host file could not be opened, read or written. */
+class IoError : public FatalError
+{
+  public:
+    IoError(std::string path, const std::string &msg)
+        : FatalError("io", msg), path_(std::move(path))
+    {
+        addContext("path", path_);
+    }
+
+    bool transient() const override { return true; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** A ddtrace stream failed to decode: truncated, bit-flipped, wrong
+ *  magic. Carries the byte offset where decoding stopped. */
+class TraceCorruptError : public FatalError
+{
+  public:
+    TraceCorruptError(std::string path, std::uint64_t byteOffset,
+                      const std::string &msg)
+        : FatalError("trace-corrupt", msg), path_(std::move(path)),
+          offset_(byteOffset)
+    {
+        addContext("path", path_);
+        addContext("byte_offset", std::to_string(offset_));
+    }
+
+    const std::string &path() const { return path_; }
+    /** Byte offset of the first undecodable input. */
+    std::uint64_t byteOffset() const { return offset_; }
+
+  private:
+    std::string path_;
+    std::uint64_t offset_;
+};
+
+/** Everything the deadlock watchdog knew when it fired. */
+struct DeadlockInfo
+{
+    Cycle cycle = 0;          ///< Cycle the watchdog fired.
+    Cycle sinceCommit = 0;    ///< Cycles since the last commit.
+    InstSeq headSeq = 0;      ///< ROB head dynamic sequence number.
+    std::uint32_t headPcIdx = 0;
+    std::string headDisasm;   ///< Disassembly of the stuck head.
+    int robOccupancy = 0;
+    int robSize = 0;
+    int lsqOccupancy = 0;
+    int lvaqOccupancy = -1;   ///< -1 = machine has no LVAQ.
+    std::size_t fetchQueue = 0;
+};
+
+/** The pipeline stopped committing: no forward progress. */
+class DeadlockError : public SimError
+{
+  public:
+    DeadlockError(DeadlockInfo info, const std::string &msg)
+        : SimError("deadlock", msg), info_(std::move(info))
+    {
+        addContext("cycle", std::to_string(info_.cycle));
+        addContext("since_commit", std::to_string(info_.sinceCommit));
+        addContext("head_seq", std::to_string(info_.headSeq));
+        addContext("head_disasm", info_.headDisasm);
+        addContext("rob_occupancy",
+                   std::to_string(info_.robOccupancy));
+    }
+
+    const DeadlockInfo &info() const { return info_; }
+
+  private:
+    DeadlockInfo info_;
+};
+
+/** A run guard tripped: the cycle or wall-clock budget was spent. */
+class BudgetExceededError : public SimError
+{
+  public:
+    BudgetExceededError(std::string budget, std::uint64_t limit,
+                        std::uint64_t actual, const std::string &msg)
+        : SimError("budget", msg), budget_(std::move(budget)),
+          limit_(limit), actual_(actual)
+    {
+        addContext("budget", budget_);
+        addContext("limit", std::to_string(limit_));
+        addContext("actual", std::to_string(actual_));
+    }
+
+    /** Which budget: "cycles" or "wall". */
+    const std::string &budget() const { return budget_; }
+    std::uint64_t limit() const { return limit_; }
+    std::uint64_t actual() const { return actual_; }
+
+  private:
+    std::string budget_;
+    std::uint64_t limit_;
+    std::uint64_t actual_;
+};
+
+/** Serialized stderr line "<prefix>: <msg>" (suppressed by setQuiet;
+ *  implemented in log.cc so all output shares one mutex). */
+void logRaw(const char *prefix, const std::string &msg);
+
+/**
+ * Report and throw a typed error: prints "<kind>: <msg>" like fatal()
+ * and panic() do, then throws @p e with its dynamic type intact.
+ */
+template <class E>
+[[noreturn]] inline void
+raise(E e)
+{
+    logRaw(e.kind().c_str(), e.what());
+    throw e;
+}
+
+} // namespace ddsim
+
+#endif // DDSIM_UTIL_ERROR_HH_

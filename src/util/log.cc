@@ -30,6 +30,14 @@ setQuiet(bool quiet)
     quietMode.store(quiet, std::memory_order_relaxed);
 }
 
+void
+logRaw(const char *prefix, const std::string &msg)
+{
+    if (quietMode.load(std::memory_order_relaxed))
+        return;
+    emit(prefix, msg);
+}
+
 std::string
 vformat(const char *fmt, std::va_list ap)
 {

@@ -2,9 +2,12 @@
  * @file
  * Error and status reporting, following the gem5 convention:
  *
- *  - panic():  an internal invariant was violated (a ddsim bug); aborts.
+ *  - panic():  an internal invariant was violated (a ddsim bug);
+ *              throws PanicError.
  *  - fatal():  the user asked for something impossible (bad config,
- *              malformed program); exits with an error code.
+ *              malformed program); throws FatalError. Code with a
+ *              specific failure class throws the matching SimError
+ *              subclass from util/error.hh via raise() instead.
  *  - warn():   something is suspicious but the simulation continues.
  *  - inform(): plain status output.
  *
@@ -18,28 +21,13 @@
 
 #include <cstdarg>
 #include <cstdio>
-#include <stdexcept>
 #include <string>
 
+// FatalError and PanicError live in the SimError taxonomy now; the
+// whole hierarchy comes along for every log.hh user.
+#include "util/error.hh"
+
 namespace ddsim {
-
-/** Thrown by fatal() so that tests can catch user-level errors. */
-class FatalError : public std::runtime_error
-{
-  public:
-    explicit FatalError(const std::string &msg)
-        : std::runtime_error(msg)
-    {}
-};
-
-/** Thrown by panic() so that tests can assert on invariant violations. */
-class PanicError : public std::logic_error
-{
-  public:
-    explicit PanicError(const std::string &msg)
-        : std::logic_error(msg)
-    {}
-};
 
 /** Format a printf-style message into a std::string. */
 std::string vformat(const char *fmt, std::va_list ap);

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Validate a ddsim run manifest or sweep manifest.
+"""Validate a ddsim run manifest, sweep manifest, or crash black box.
 
 Stdlib-only. Checks schema identifiers, required fields, and internal
 consistency (IPC = committed/cycles, per-stream counts are integers,
-stat tree shape). Exits non-zero with a message on the first problem.
+stat tree shape, degraded-sweep job tables, black-box error reports).
+Exits non-zero with a message on the first problem.
 
 Usage: validate_manifest.py <manifest.json> [more.json ...]
 """
@@ -14,6 +15,9 @@ import sys
 RUN_SCHEMA = "ddsim-manifest-v1"
 SWEEP_SCHEMA = "ddsim-sweep-manifest-v1"
 STATS_SCHEMA = "ddsim-stats-v1"
+BLACKBOX_SCHEMA = "ddsim-blackbox-v1"
+
+JOB_STATUSES = ("ok", "recovered", "quarantined")
 
 
 class Invalid(Exception):
@@ -82,6 +86,57 @@ def check_run_manifest(doc, where):
         check_stat_group(stats, f"{where}.stats")
 
 
+def check_error(err, where):
+    need(err, "kind", str, where)
+    need(err, "message", str, where)
+    need(err, "transient", bool, where)
+
+
+def check_job_table(doc, where):
+    """Fault-isolated sweeps carry a per-job status table; its counts
+    must agree with the "degraded" flag and the runs array."""
+    jobs = need(doc, "jobs", list, where)
+    if len(jobs) != len(doc["runs"]):
+        raise Invalid(f"{where}: {len(jobs)} jobs for "
+                      f"{len(doc['runs'])} runs")
+    quarantined = recovered = 0
+    for i, job in enumerate(jobs):
+        jw = f"{where}.jobs[{i}]"
+        if need(job, "index", int, jw) != i:
+            raise Invalid(f"{jw}: index {job['index']} != position {i}")
+        status = need(job, "status", str, jw)
+        if status not in JOB_STATUSES:
+            raise Invalid(f"{jw}: unknown status {status!r}")
+        attempts = need(job, "attempts", int, jw)
+        if attempts < 1:
+            raise Invalid(f"{jw}: attempts {attempts} < 1")
+        err = need(job, "error", (dict, type(None)), jw)
+        if status == "ok":
+            if err is not None:
+                raise Invalid(f"{jw}: ok job carries an error")
+        else:
+            if err is None:
+                raise Invalid(f"{jw}: {status} job without an error")
+            check_error(err, f"{jw}.error")
+        if status == "quarantined":
+            quarantined += 1
+            if doc["runs"][i] is not None:
+                raise Invalid(f"{jw}: quarantined but runs[{i}] holds "
+                              f"a manifest")
+        if status == "recovered":
+            recovered += 1
+    if need(doc, "num_quarantined", int, where) != quarantined:
+        raise Invalid(f"{where}: num_quarantined "
+                      f"{doc['num_quarantined']} != {quarantined} "
+                      f"quarantined jobs")
+    if need(doc, "num_recovered", int, where) != recovered:
+        raise Invalid(f"{where}: num_recovered {doc['num_recovered']} "
+                      f"!= {recovered} recovered jobs")
+    if need(doc, "degraded", bool, where) != (quarantined > 0):
+        raise Invalid(f"{where}: degraded flag disagrees with "
+                      f"{quarantined} quarantined jobs")
+
+
 def check_sweep_manifest(doc, where):
     gen = need(doc, "generator", dict, where)
     for key in ("name", "version", "git"):
@@ -90,6 +145,8 @@ def check_sweep_manifest(doc, where):
     if need(doc, "num_runs", int, where) != len(runs):
         raise Invalid(f"{where}: num_runs {doc['num_runs']} != "
                       f"len(runs) {len(runs)}")
+    if "jobs" in doc or "degraded" in doc:
+        check_job_table(doc, where)
     checked = 0
     for i, run in enumerate(runs):
         if run is None:
@@ -97,6 +154,48 @@ def check_sweep_manifest(doc, where):
         check_run_manifest(run, f"{where}.runs[{i}]")
         checked += 1
     return checked
+
+
+def check_blackbox(doc, where):
+    gen = need(doc, "generator", dict, where)
+    for key in ("name", "version", "git"):
+        need(gen, key, str, f"{where}.generator")
+    run = need(doc, "run", dict, where)
+    need(run, "workload", str, f"{where}.run")
+    cfg = need(run, "config", dict, f"{where}.run")
+    need(cfg, "notation", str, f"{where}.run.config")
+
+    err = need(doc, "error", dict, where)
+    check_error(err, f"{where}.error")
+    need(err, "context", dict, f"{where}.error")
+
+    pipe = need(doc, "pipeline", dict, where)
+    cycle = need(pipe, "cycle", int, f"{where}.pipeline")
+    last = need(pipe, "last_commit_cycle", int, f"{where}.pipeline")
+    if last > cycle:
+        raise Invalid(f"{where}.pipeline: last_commit_cycle {last} "
+                      f"after cycle {cycle}")
+    for q in ("rob", "lsq"):
+        geom = need(pipe, q, dict, f"{where}.pipeline")
+        occ = need(geom, "occupancy", int, f"{where}.pipeline.{q}")
+        size = need(geom, "size", int, f"{where}.pipeline.{q}")
+        if not 0 <= occ <= size:
+            raise Invalid(f"{where}.pipeline.{q}: occupancy {occ} "
+                          f"outside [0, {size}]")
+    commits = need(pipe, "last_commits", list, f"{where}.pipeline")
+    prev = -1
+    for i, c in enumerate(commits):
+        cw = f"{where}.pipeline.last_commits[{i}]"
+        seq = need(c, "seq", int, cw)
+        need(c, "disasm", str, cw)
+        if need(c, "cycle", int, cw) < prev:
+            raise Invalid(f"{cw}: commit cycles run backwards")
+        prev = c["cycle"]
+        del seq
+
+    stats = doc.get("stats")
+    if stats is not None:
+        check_stat_group(stats, f"{where}.stats")
 
 
 def main(argv):
@@ -114,12 +213,18 @@ def main(argv):
             schema = doc.get("schema")
             if schema == SWEEP_SCHEMA:
                 n = check_sweep_manifest(doc, "sweep")
+                note = " (degraded)" if doc.get("degraded") else ""
                 print(f"{path}: OK ({n} run manifests in a sweep of "
-                      f"{doc['num_runs']})")
+                      f"{doc['num_runs']}){note}")
             elif schema == RUN_SCHEMA:
                 check_run_manifest(doc, "run")
                 print(f"{path}: OK (run manifest, workload "
                       f"{doc['run']['workload']!r})")
+            elif schema == BLACKBOX_SCHEMA:
+                check_blackbox(doc, "blackbox")
+                print(f"{path}: OK (black box, workload "
+                      f"{doc['run']['workload']!r}, error "
+                      f"{doc['error']['kind']!r})")
             else:
                 raise Invalid(f"unknown schema {schema!r}")
         except Invalid as e:
