@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
+#include "sim/grid_spec.hh"
 #include "util/log.hh"
 #include "util/str.hh"
 
@@ -17,6 +19,7 @@ Options::Options(int argc, const char *const *argv)
     args.markKnown("fp");
 
     manifestPath = args.get("manifest");
+    emitGridPath = args.get("emit-grid");
     scaleFactor = args.getDouble("scale", 1.0);
     if (scaleFactor <= 0)
         fatal("--scale must be positive");
@@ -83,6 +86,43 @@ runGrid(const Options &opts, std::vector<sim::SweepJob> jobs,
     // Every bench has queried its flags by the time it has a grid to
     // run, so this is the natural choke point for typo rejection.
     opts.args.rejectUnknown();
+
+    if (!opts.emitGridPath.empty()) {
+        // Export instead of run: the same grid, as a portable spec the
+        // sweep farm executes with bit-identical results. Jobs built
+        // by buildProgramShared resolve to (registry name, harness
+        // scale, default seed); anything else cannot be spooled.
+        sim::GridSpec spec;
+        spec.title = title;
+        spec.jobs.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const sim::SweepJob &job = jobs[i];
+            const workloads::WorkloadInfo *info =
+                workloads::find(job.program->name());
+            if (!info)
+                fatal("--emit-grid: job %zu runs program '%s', which "
+                      "is not a registry workload",
+                      i, job.program->name().c_str());
+            sim::GridJob g;
+            g.id = i;
+            g.workload = info->name;
+            double scaled = static_cast<double>(info->defaultScale) *
+                            opts.scaleFactor;
+            g.scale =
+                scaled < 1.0 ? 1 : static_cast<std::uint64_t>(scaled);
+            g.seed = workloads::WorkloadParams{}.seed;
+            g.maxInsts = job.opts.maxInsts;
+            g.warmupInsts = job.opts.warmupInsts;
+            g.cfg = job.cfg;
+            spec.jobs.push_back(std::move(g));
+        }
+        spec.validate();
+        spec.writeFile(opts.emitGridPath);
+        std::printf("Grid spec (%zu jobs) written to %s\n",
+                    spec.jobs.size(), opts.emitGridPath.c_str());
+        std::exit(0);
+    }
+
     for (sim::SweepJob &job : jobs) {
         if (!opts.manifestPath.empty())
             job.opts.captureManifest = true;

@@ -15,6 +15,10 @@
  *                    hardware thread; results are identical for any n)
  *   --manifest=<f>   write a sweep-level JSON manifest (per-run config,
  *                    stats and provenance) to <f> after the grid runs
+ *   --emit-grid=<f>  write the exact job grid this invocation would
+ *                    run as a portable ddsim-grid-v1 spec to <f> and
+ *                    exit without simulating (the input of
+ *                    tools/ddsweep; see docs/FARM.md)
  *   --cycle-budget=<n>  per-run simulated-cycle budget (0 = unlimited)
  *   --wall-budget=<s>   per-run wall-clock budget in seconds (0 = off)
  *   --fail-fast      die on the first failed job (default: isolate it,
@@ -49,6 +53,9 @@ struct Options
     unsigned jobs = 0;
     /** Sweep manifest output path ("" = don't write one). */
     std::string manifestPath;
+    /** Grid-spec export path ("" = run normally). When set, runGrid
+     *  writes the ddsim-grid-v1 spec and exits instead of simulating. */
+    std::string emitGridPath;
     /** Per-run cycle budget applied to every job (0 = unlimited). */
     std::uint64_t cycleBudget = 0;
     /** Per-run wall-clock budget in seconds (0 = unlimited). */

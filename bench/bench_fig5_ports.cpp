@@ -46,6 +46,12 @@ main(int argc, char **argv)
         for (int i = 0; i < 5; ++i) {
             sim::SimResult r = results[k++];
             double relative = r.ipc / limit.ipc;
+            // Quarantined points are holes, not zeros: marked in the
+            // table, excluded from the averages.
+            if (r.quarantined || limit.quarantined) {
+                row.emplace_back(sim::Table::kQuarantined);
+                continue;
+            }
             rel[static_cast<std::size_t>(i)].push_back(relative);
             row.push_back(sim::Table::pct(relative));
         }

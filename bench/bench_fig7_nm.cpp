@@ -59,11 +59,19 @@ main(int argc, char **argv)
             for (int mi = 0; mi < 5; ++mi) {
                 sim::SimResult r = results[k++];
                 double relative = r.ipc / base.ipc;
-                rel[static_cast<std::size_t>(ni)]
-                   [static_cast<std::size_t>(mi)]
-                       .push_back(relative);
+                // Quarantined points are holes, not zeros: marked in
+                // the table and excluded from the averages instead of
+                // dragging them toward 0/NaN.
+                if (!r.quarantined && !base.quarantined)
+                    rel[static_cast<std::size_t>(ni)]
+                       [static_cast<std::size_t>(mi)]
+                           .push_back(relative);
                 if (ms[mi] <= 2)
-                    row.push_back(sim::Table::num(relative, 3));
+                    row.push_back(base.quarantined
+                                      ? std::string(
+                                            sim::Table::kQuarantined)
+                                      : sim::Table::cell(r, relative,
+                                                         3));
             }
         }
         perProg.addRow(row);

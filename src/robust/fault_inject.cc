@@ -24,6 +24,7 @@ faultKindName(FaultKind k)
       case FaultKind::AllocFail: return "alloc-fail";
       case FaultKind::DropWakeup: return "drop-wakeup";
       case FaultKind::CorruptTrace: return "corrupt-trace";
+      case FaultKind::JobCrash: return "job-crash";
     }
     return "?";
 }
@@ -62,6 +63,9 @@ FaultInjector::planFor(const std::string &workload,
             break;
           case FaultKind::CorruptTrace:
             plan.corruptTrace = true;
+            break;
+          case FaultKind::JobCrash:
+            plan.crashProcess = true;
             break;
         }
     }

@@ -28,6 +28,12 @@
  *                   file is deterministically damaged (truncated and
  *                   bit-flipped); trace verification must raise
  *                   TraceCorruptError.
+ *  - JobCrash:      run calls abort() — the whole process dies with
+ *                   SIGABRT. Unrecoverable in-process by design: the
+ *                   fault the sweep farm's worker-process isolation
+ *                   and supervisor respawn/crash-quarantine logic
+ *                   exist for. Never install this in a process whose
+ *                   death you are not prepared to observe.
  */
 
 #ifndef DDSIM_ROBUST_FAULT_INJECT_HH_
@@ -48,6 +54,7 @@ enum class FaultKind : std::uint8_t
     AllocFail,
     DropWakeup,
     CorruptTrace,
+    JobCrash,
 };
 
 const char *faultKindName(FaultKind k);
@@ -73,11 +80,12 @@ struct RunFaultPlan
     bool allocFail = false;
     std::uint64_t dropWakeupAt = 0; ///< 0 = no wakeup dropped.
     bool corruptTrace = false;
+    bool crashProcess = false;
 
     bool any() const
     {
         return failTransient || failPersistent || allocFail ||
-               dropWakeupAt != 0 || corruptTrace;
+               dropWakeupAt != 0 || corruptTrace || crashProcess;
     }
 };
 

@@ -1,0 +1,886 @@
+#include "sim/farm.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include <unistd.h>
+
+#include "obs/version.hh"
+#include "util/atomic_file.hh"
+#include "util/file_claim.hh"
+#include "util/json.hh"
+#include "util/json_parse.hh"
+#include "util/log.hh"
+#include "util/subprocess.hh"
+
+namespace ddsim::sim::farm {
+
+namespace {
+
+/** Cache key under which workers and the serial reference share one
+ *  built program per distinct (workload, scale, seed). */
+std::string
+programKey(const GridJob &job)
+{
+    return format("%s@%llu#%llu", job.workload.c_str(),
+                  static_cast<unsigned long long>(job.scale),
+                  static_cast<unsigned long long>(job.seed));
+}
+
+bool
+allDigits(std::string_view s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+/** "job-000012.json" (a result record) -> id. */
+bool
+parseResultName(const std::string &name, std::uint64_t &id)
+{
+    if (name.rfind("job-", 0) != 0)
+        return false;
+    std::string::size_type dot = name.find('.');
+    if (dot == std::string::npos || name.substr(dot) != ".json")
+        return false;
+    std::string_view digits(name.data() + 4, dot - 4);
+    if (!allDigits(digits))
+        return false;
+    id = 0;
+    for (char c : digits)
+        id = id * 10 + static_cast<std::uint64_t>(c - '0');
+    return true;
+}
+
+JobStatus
+jobStatusFromName(const std::string &name, const std::string &where)
+{
+    for (JobStatus s : {JobStatus::Ok, JobStatus::Recovered,
+                        JobStatus::Quarantined}) {
+        if (name == jobStatusName(s))
+            return s;
+    }
+    fatal("%s: unknown job status '%s'", where.c_str(), name.c_str());
+}
+
+/** Serialize and atomically write one ddsim-job-result-v1 record. */
+void
+writeJobRecord(const Spool &sp, const JobRecord &rec)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("schema", kJobResultSchema);
+        w.field("id", rec.id);
+        w.field("status", jobStatusName(rec.status));
+        w.field("attempts", static_cast<std::uint64_t>(rec.attempts));
+        if (rec.error.kind.empty()) {
+            w.key("error");
+            w.valueNull();
+        } else {
+            w.key("error");
+            w.beginObject();
+            w.field("kind", rec.error.kind);
+            w.field("message", rec.error.message);
+            w.field("transient", rec.error.transient);
+            w.endObject();
+        }
+        w.field("worker", rec.worker);
+        w.field("shard", rec.shard);
+        w.field("wall_seconds", rec.wallSeconds);
+        w.endObject();
+    }
+    os << '\n';
+    writeFileTextAtomic(
+        sp.resultsDir() + "/" + Spool::resultFileName(rec.id),
+        os.str());
+}
+
+/** Number of grid points in the spool, without a full spec parse. */
+std::size_t
+spoolNumJobs(const Spool &sp)
+{
+    JsonValue doc = parseJsonFile(sp.gridPath());
+    return doc.at("num_jobs", "grid").asUint("grid.num_jobs");
+}
+
+} // namespace
+
+std::string
+Spool::jobFileName(std::uint64_t id, int shard)
+{
+    return format("job-%06llu.s%03d.json",
+                  static_cast<unsigned long long>(id), shard);
+}
+
+std::string
+Spool::claimFileName(std::uint64_t id, int shard,
+                     const std::string &worker)
+{
+    return format("job-%06llu.s%03d.%s.json",
+                  static_cast<unsigned long long>(id), shard,
+                  worker.c_str());
+}
+
+std::string
+Spool::resultFileName(std::uint64_t id)
+{
+    return format("job-%06llu.json",
+                  static_cast<unsigned long long>(id));
+}
+
+std::string
+Spool::manifestFileName(std::uint64_t id)
+{
+    return format("job-%06llu.manifest.json",
+                  static_cast<unsigned long long>(id));
+}
+
+std::string
+Spool::blackboxFileName(std::uint64_t id)
+{
+    return format("job-%06llu.json",
+                  static_cast<unsigned long long>(id));
+}
+
+bool
+parseSpoolName(const std::string &name, SpoolEntry &out)
+{
+    if (name.rfind("job-", 0) != 0)
+        return false;
+    std::vector<std::string> tokens;
+    std::string::size_type start = 0;
+    while (true) {
+        std::string::size_type dot = name.find('.', start);
+        if (dot == std::string::npos) {
+            tokens.push_back(name.substr(start));
+            break;
+        }
+        tokens.push_back(name.substr(start, dot - start));
+        start = dot + 1;
+    }
+    if (tokens.size() != 3 && tokens.size() != 4)
+        return false;
+    if (tokens.back() != "json")
+        return false;
+    std::string_view digits(tokens[0].data() + 4,
+                            tokens[0].size() - 4);
+    if (!allDigits(digits))
+        return false;
+    if (tokens[1].size() < 2 || tokens[1][0] != 's' ||
+        !allDigits(std::string_view(tokens[1]).substr(1)))
+        return false;
+
+    SpoolEntry e;
+    e.id = 0;
+    for (char c : digits)
+        e.id = e.id * 10 + static_cast<std::uint64_t>(c - '0');
+    e.shard = 0;
+    for (std::size_t i = 1; i < tokens[1].size(); ++i)
+        e.shard = e.shard * 10 + (tokens[1][i] - '0');
+    if (tokens.size() == 4) {
+        if (tokens[2].empty())
+            return false;
+        e.worker = tokens[2];
+    }
+    out = e;
+    return true;
+}
+
+void
+spoolGrid(const GridSpec &spec, const std::string &root, int numShards)
+{
+    spec.validate();
+    if (numShards < 1)
+        numShards = 1;
+    if (numShards > 999)
+        fatal("spoolGrid: %d shards exceeds the spool name format "
+              "(max 999)",
+              numShards);
+
+    Spool sp(root);
+    ensureDir(sp.root);
+    ensureDir(sp.jobsDir());
+    ensureDir(sp.claimsDir());
+    ensureDir(sp.resultsDir());
+    ensureDir(sp.blackboxDir());
+    if (fileExists(sp.gridPath()))
+        fatal("spool '%s' already holds a grid — spooling is for "
+              "fresh directories (resume an existing spool instead)",
+              root.c_str());
+    for (const std::string &dir :
+         {sp.jobsDir(), sp.claimsDir(), sp.resultsDir()}) {
+        if (!listDir(dir).empty())
+            fatal("spool '%s' has stale content in '%s'", root.c_str(),
+                  dir.c_str());
+    }
+
+    spec.writeFile(sp.gridPath());
+    for (const GridJob &job : spec.jobs) {
+        std::ostringstream os;
+        {
+            JsonWriter w(os);
+            w.beginObject();
+            w.field("schema", kJobSchema);
+            w.key("job");
+            writeGridJobJson(w, job);
+            w.endObject();
+        }
+        os << '\n';
+        int shard = static_cast<int>(job.id %
+                                     static_cast<std::uint64_t>(
+                                         numShards));
+        writeFileTextAtomic(sp.jobsDir() + "/" +
+                                Spool::jobFileName(job.id, shard),
+                            os.str());
+    }
+}
+
+JobRecord
+jobRecordFromFile(const std::string &path)
+{
+    JsonValue doc = parseJsonFile(path);
+    const std::string w = "job result";
+    const std::string &schema =
+        doc.at("schema", w).asString(w + ".schema");
+    if (schema != kJobResultSchema)
+        fatal("'%s': schema is '%s', expected '%s'", path.c_str(),
+              schema.c_str(), kJobResultSchema);
+
+    JobRecord rec;
+    rec.id = doc.at("id", w).asUint(w + ".id");
+    rec.status = jobStatusFromName(
+        doc.at("status", w).asString(w + ".status"), path);
+    rec.attempts = static_cast<int>(
+        doc.at("attempts", w).asInt(w + ".attempts"));
+    const JsonValue &err = doc.at("error", w);
+    if (err.kind != JsonValue::Kind::Null) {
+        rec.error.kind = err.at("kind", w).asString(w + ".error.kind");
+        rec.error.message =
+            err.at("message", w).asString(w + ".error.message");
+        rec.error.transient =
+            err.at("transient", w).asBool(w + ".error.transient");
+    }
+    rec.worker = doc.at("worker", w).asString(w + ".worker");
+    rec.shard =
+        static_cast<int>(doc.at("shard", w).asInt(w + ".shard"));
+    rec.wallSeconds =
+        doc.at("wall_seconds", w).asDouble(w + ".wall_seconds");
+
+    if (rec.status == JobStatus::Quarantined &&
+        rec.error.kind.empty())
+        fatal("'%s': quarantined result carries no error",
+              path.c_str());
+    return rec;
+}
+
+SpoolStatus
+scanSpool(const std::string &root)
+{
+    Spool sp(root);
+    SpoolStatus st;
+    st.total = spoolNumJobs(sp);
+
+    int maxShard = 0;
+    for (const std::string &name : listDir(sp.jobsDir())) {
+        SpoolEntry e;
+        if (!parseSpoolName(name, e) || !e.worker.empty())
+            continue;
+        ++st.pending;
+        maxShard = std::max(maxShard, e.shard);
+    }
+    for (const std::string &name : listDir(sp.claimsDir())) {
+        SpoolEntry e;
+        if (!parseSpoolName(name, e) || e.worker.empty())
+            continue;
+        maxShard = std::max(maxShard, e.shard);
+        // A claim whose result already landed is just an unlink the
+        // dead worker never got to — not an in-flight job.
+        if (!fileExists(sp.resultsDir() + "/" +
+                        Spool::resultFileName(e.id)))
+            ++st.claimed;
+    }
+    for (const std::string &name : listDir(sp.resultsDir())) {
+        std::uint64_t id;
+        if (!parseResultName(name, id))
+            continue;
+        JobRecord rec =
+            jobRecordFromFile(sp.resultsDir() + "/" + name);
+        maxShard = std::max(maxShard, rec.shard);
+        switch (rec.status) {
+          case JobStatus::Ok: ++st.ok; break;
+          case JobStatus::Recovered: ++st.recovered; break;
+          case JobStatus::Quarantined: ++st.quarantined; break;
+        }
+    }
+    st.shards = maxShard + 1;
+    return st;
+}
+
+std::size_t
+requeueIncomplete(const std::string &root, bool retryQuarantined)
+{
+    Spool sp(root);
+    GridSpec grid = GridSpec::fromFile(sp.gridPath());
+
+    std::set<std::uint64_t> pendingIds;
+    int maxShard = 0;
+    for (const std::string &name : listDir(sp.jobsDir())) {
+        SpoolEntry e;
+        if (parseSpoolName(name, e) && e.worker.empty()) {
+            pendingIds.insert(e.id);
+            maxShard = std::max(maxShard, e.shard);
+        }
+    }
+    // id -> stranded claim (name + shard); keep the first if a job
+    // somehow accumulated several.
+    std::map<std::uint64_t, SpoolEntry> claims;
+    std::map<std::uint64_t, std::string> claimNames;
+    for (const std::string &name : listDir(sp.claimsDir())) {
+        SpoolEntry e;
+        if (parseSpoolName(name, e) && !e.worker.empty()) {
+            maxShard = std::max(maxShard, e.shard);
+            if (claims.emplace(e.id, e).second)
+                claimNames.emplace(e.id, name);
+        }
+    }
+    int shards = maxShard + 1;
+
+    std::size_t requeued = 0;
+    for (const GridJob &job : grid.jobs) {
+        const std::string resultPath =
+            sp.resultsDir() + "/" + Spool::resultFileName(job.id);
+        if (fileExists(resultPath)) {
+            bool retry =
+                retryQuarantined &&
+                jobRecordFromFile(resultPath).status ==
+                    JobStatus::Quarantined;
+            if (!retry) {
+                // Done. Sweep away anything stale for this id.
+                auto it = claimNames.find(job.id);
+                if (it != claimNames.end())
+                    removeFileIfExists(sp.claimsDir() + "/" +
+                                       it->second);
+                continue;
+            }
+            removeFileIfExists(resultPath);
+            removeFileIfExists(sp.resultsDir() + "/" +
+                               Spool::manifestFileName(job.id));
+        }
+
+        if (pendingIds.count(job.id))
+            continue; // Already queued; nothing was lost.
+
+        auto it = claims.find(job.id);
+        if (it != claims.end()) {
+            // A dead worker stranded it; rename restores the original
+            // spec file (the claim IS the job file, moved).
+            if (claimFile(sp.claimsDir() + "/" + claimNames[job.id],
+                          sp.jobsDir() + "/" +
+                              Spool::jobFileName(job.id,
+                                                 it->second.shard))) {
+                ++requeued;
+                continue;
+            }
+        }
+
+        // No job file, no claim (or the rename lost an impossible
+        // race): rebuild the spec file from grid.json, the source of
+        // truth.
+        std::ostringstream os;
+        {
+            JsonWriter w(os);
+            w.beginObject();
+            w.field("schema", kJobSchema);
+            w.key("job");
+            writeGridJobJson(w, job);
+            w.endObject();
+        }
+        os << '\n';
+        int shard = static_cast<int>(
+            job.id % static_cast<std::uint64_t>(shards));
+        writeFileTextAtomic(sp.jobsDir() + "/" +
+                                Spool::jobFileName(job.id, shard),
+                            os.str());
+        ++requeued;
+    }
+    return requeued;
+}
+
+namespace {
+
+/**
+ * Run one claimed job spec through sim::run with bounded retry.
+ * Fills @p rec (status/attempts/error) and, on success, @p result.
+ * Never throws: any failure — unparsable spec, unknown workload,
+ * simulation error — becomes a quarantined record.
+ */
+void
+runClaimedJob(const Spool &sp, const std::string &claimPath,
+              std::uint64_t id, const WorkerOptions &opts,
+              ProgramCache &programs, TraceCache &traces,
+              JobRecord &rec, SimResult &result, bool &okRun)
+{
+    okRun = false;
+    try {
+        JsonValue doc = parseJsonFile(claimPath);
+        const std::string w = "job spec";
+        const std::string &schema =
+            doc.at("schema", w).asString(w + ".schema");
+        if (schema != kJobSchema)
+            fatal("'%s': schema is '%s', expected '%s'",
+                  claimPath.c_str(), schema.c_str(), kJobSchema);
+        GridJob job = gridJobFromJson(doc.at("job", w));
+        if (job.id != id)
+            fatal("'%s': spec holds id %llu but is spooled as job "
+                  "%llu",
+                  claimPath.c_str(),
+                  static_cast<unsigned long long>(job.id),
+                  static_cast<unsigned long long>(id));
+
+        std::shared_ptr<const prog::Program> program = programs.get(
+            programKey(job), [&] { return buildGridProgram(job); });
+
+        RunOptions ro;
+        ro.maxInsts = job.maxInsts;
+        ro.warmupInsts = job.warmupInsts;
+        ro.maxCycles = opts.cycleBudget;
+        ro.maxWallSeconds = opts.wallBudget;
+        ro.captureManifest = true;
+        ro.canonicalManifest = true;
+        ro.blackboxPath =
+            sp.blackboxDir() + "/" + Spool::blackboxFileName(id);
+
+        // The same bounded retry SweepRunner applies on its worker
+        // threads: transient failures back off and re-run; anything
+        // else quarantines immediately.
+        std::uint64_t backoff = opts.retry.backoffMs;
+        for (int attempt = 1;; ++attempt) {
+            rec.attempts = attempt;
+            try {
+                ro.trace = traces.get(
+                    program, job.maxInsts
+                                 ? job.maxInsts + job.warmupInsts
+                                 : 0);
+                result = run(*program, job.cfg, ro);
+                okRun = true;
+                rec.status = attempt > 1 ? JobStatus::Recovered
+                                         : JobStatus::Ok;
+                return;
+            } catch (...) {
+                rec.error = classifyError(std::current_exception());
+                if (!rec.error.transient ||
+                    attempt >= opts.retry.maxAttempts) {
+                    rec.status = JobStatus::Quarantined;
+                    return;
+                }
+            }
+            if (backoff > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff));
+            backoff = std::min(backoff * 2, opts.retry.maxBackoffMs);
+        }
+    } catch (...) {
+        // Spec-level trouble (bad JSON, unknown workload, id clash):
+        // quarantine the point rather than kill the worker.
+        rec.error = classifyError(std::current_exception());
+        rec.status = JobStatus::Quarantined;
+    }
+}
+
+} // namespace
+
+std::size_t
+runWorker(const std::string &root, const WorkerOptions &opts)
+{
+    if (opts.workerId.empty() ||
+        opts.workerId.find_first_of("./ ") != std::string::npos)
+        raise(ConfigError("worker",
+                          format("invalid worker id '%s'",
+                                 opts.workerId.c_str())));
+
+    Spool sp(root);
+    ProgramCache programs;
+    TraceCache traces;
+    std::size_t completed = 0;
+
+    while (true) {
+        if (opts.maxJobs && completed >= opts.maxJobs)
+            break;
+        if (opts.exitIfReparented &&
+            getppid() != opts.exitIfReparented)
+            break; // Supervisor died; stop claiming new work.
+
+        // Pick a candidate: own shard first, then steal from any.
+        std::vector<std::string> names = listDir(sp.jobsDir());
+        const std::string *pick = nullptr;
+        SpoolEntry picked;
+        for (const std::string &name : names) {
+            SpoolEntry e;
+            if (!parseSpoolName(name, e) || !e.worker.empty())
+                continue;
+            if (!pick) {
+                pick = &name;
+                picked = e;
+            }
+            if (opts.shard >= 0 && e.shard == opts.shard) {
+                pick = &name;
+                picked = e;
+                break;
+            }
+        }
+        if (!pick)
+            break; // Spool drained (or everything is claimed).
+
+        const std::string claimPath =
+            sp.claimsDir() + "/" +
+            Spool::claimFileName(picked.id, picked.shard,
+                                 opts.workerId);
+        if (!claimFile(sp.jobsDir() + "/" + *pick, claimPath))
+            continue; // Another worker won the rename; re-scan.
+
+        JobRecord rec;
+        rec.id = picked.id;
+        rec.shard = picked.shard;
+        rec.worker = opts.workerId;
+
+        SimResult result;
+        bool okRun = false;
+        auto t0 = std::chrono::steady_clock::now();
+        runClaimedJob(sp, claimPath, picked.id, opts, programs,
+                      traces, rec, result, okRun);
+        rec.wallSeconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+        // Manifest before result: a result record's existence implies
+        // its manifest is readable, whatever instant we die at.
+        const std::string manifestPath =
+            sp.resultsDir() + "/" +
+            Spool::manifestFileName(picked.id);
+        if (okRun)
+            writeFileTextAtomic(manifestPath, result.manifestJson);
+        else
+            removeFileIfExists(manifestPath);
+        writeJobRecord(sp, rec);
+        removeFileIfExists(claimPath);
+        ++completed;
+    }
+    return completed;
+}
+
+void
+mergeSpool(const std::string &root, const std::string &mergedPath,
+           const std::string &farmManifestPath)
+{
+    Spool sp(root);
+    GridSpec grid = GridSpec::fromFile(sp.gridPath());
+
+    SweepOutcome out;
+    std::vector<JobRecord> records;
+    out.results.reserve(grid.jobs.size());
+    out.jobs.reserve(grid.jobs.size());
+    records.reserve(grid.jobs.size());
+
+    std::size_t missing = 0;
+    for (const GridJob &job : grid.jobs) {
+        const std::string resultPath =
+            sp.resultsDir() + "/" + Spool::resultFileName(job.id);
+        if (!fileExists(resultPath)) {
+            ++missing;
+            continue;
+        }
+        JobRecord rec = jobRecordFromFile(resultPath);
+        if (rec.id != job.id)
+            fatal("'%s' holds id %llu", resultPath.c_str(),
+                  static_cast<unsigned long long>(rec.id));
+
+        JobOutcome jo;
+        jo.status = rec.status;
+        jo.attempts = rec.attempts;
+        jo.error = rec.error;
+        if (rec.status == JobStatus::Quarantined) {
+            ++out.numQuarantined;
+            out.degraded = true;
+            out.results.emplace_back();
+            out.results.back().quarantined = true;
+        } else {
+            if (rec.status == JobStatus::Recovered)
+                ++out.numRecovered;
+            SimResult r;
+            // The raw bytes the worker captured — never re-parsed,
+            // never re-serialized, so the merged document is
+            // byte-identical to an in-process sweep's by construction.
+            r.manifestJson = readFileText(
+                sp.resultsDir() + "/" +
+                Spool::manifestFileName(job.id));
+            out.results.push_back(std::move(r));
+        }
+        out.jobs.push_back(std::move(jo));
+        records.push_back(std::move(rec));
+    }
+    if (missing)
+        fatal("spool '%s' is incomplete: %zu of %zu points have no "
+              "result (resume it first)",
+              root.c_str(), missing, grid.jobs.size());
+
+    writeSweepManifestFile(grid.title, out, mergedPath);
+
+    if (farmManifestPath.empty())
+        return;
+
+    // The provenance document: who ran what, where. Deliberately a
+    // separate schema — shard and worker assignment are nondeterminism
+    // the merged sweep manifest must not see.
+    int maxShard = 0;
+    std::set<std::string> workers;
+    for (const JobRecord &rec : records) {
+        maxShard = std::max(maxShard, rec.shard);
+        workers.insert(rec.worker);
+    }
+
+    AtomicFile file(farmManifestPath);
+    {
+        JsonWriter w(file.stream());
+        w.beginObject();
+        w.field("schema", kFarmManifestSchema);
+        w.field("title", grid.title);
+        w.key("generator");
+        w.beginObject();
+        w.field("name", obs::simulatorName());
+        w.field("version", obs::simulatorVersion());
+        w.field("git", obs::gitDescribe());
+        w.endObject();
+        w.field("num_jobs",
+                static_cast<std::uint64_t>(records.size()));
+        w.key("workers");
+        w.beginArray();
+        for (const std::string &worker : workers)
+            w.value(worker);
+        w.endArray();
+        w.key("shards");
+        w.beginArray();
+        for (int s = 0; s <= maxShard; ++s) {
+            w.beginObject();
+            w.field("shard", s);
+            std::size_t count = 0;
+            for (const JobRecord &rec : records)
+                if (rec.shard == s)
+                    ++count;
+            w.field("num_jobs", static_cast<std::uint64_t>(count));
+            w.key("jobs");
+            w.beginArray();
+            for (const JobRecord &rec : records) {
+                if (rec.shard != s)
+                    continue;
+                w.beginObject();
+                w.field("id", rec.id);
+                w.field("worker", rec.worker);
+                w.field("status", jobStatusName(rec.status));
+                w.field("attempts",
+                        static_cast<std::uint64_t>(rec.attempts));
+                w.field("wall_seconds", rec.wallSeconds);
+                if (!rec.error.kind.empty()) {
+                    w.key("error");
+                    w.beginObject();
+                    w.field("kind", rec.error.kind);
+                    w.field("message", rec.error.message);
+                    w.field("transient", rec.error.transient);
+                    w.endObject();
+                }
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    file.stream() << '\n';
+    file.commit();
+}
+
+SpoolStatus
+superviseFarm(const std::string &root, const SupervisorOptions &opts)
+{
+    if (opts.exePath.empty())
+        raise(ConfigError("farm", "supervisor has no worker binary"));
+
+    Spool sp(root);
+    // Claims can only belong to dead workers at this point — we have
+    // not spawned any yet. Fold them back in.
+    requeueIncomplete(root, false);
+    SpoolStatus st = scanSpool(root);
+    if (st.complete())
+        return st;
+
+    struct Live
+    {
+        pid_t pid;
+        std::string worker;
+        int shard;
+    };
+    std::vector<Live> alive;
+    int spawned = 0;
+    int respawns = 0;
+    std::map<std::uint64_t, int> crashCounts;
+
+    auto spawnOne = [&](int shard) {
+        std::string worker = format("w%d", spawned);
+        std::vector<std::string> argv = {
+            opts.exePath,
+            "worker",
+            "--spool=" + root,
+            "--worker=" + worker,
+            format("--shard=%d", shard),
+            format("--parent=%d", static_cast<int>(getpid())),
+        };
+        argv.insert(argv.end(), opts.workerArgs.begin(),
+                    opts.workerArgs.end());
+        alive.push_back({spawnProcess(argv), worker, shard});
+        ++spawned;
+    };
+
+    // Requeue what a dead worker left in claims/; a point that keeps
+    // killing workers gets crash-quarantined instead of another turn.
+    // Empty @p worker matches every claim (post-mortem sweep).
+    auto reapClaims = [&](const std::string &worker,
+                          const std::string &why) {
+        for (const std::string &name : listDir(sp.claimsDir())) {
+            SpoolEntry e;
+            if (!parseSpoolName(name, e) || e.worker.empty())
+                continue;
+            if (!worker.empty() && e.worker != worker)
+                continue;
+            const std::string claimPath =
+                sp.claimsDir() + "/" + name;
+            if (fileExists(sp.resultsDir() + "/" +
+                           Spool::resultFileName(e.id))) {
+                removeFileIfExists(claimPath);
+                continue;
+            }
+            int crashes = ++crashCounts[e.id];
+            if (crashes >= opts.crashQuarantineAfter) {
+                warn("farm: job %llu crashed its worker %d times; "
+                     "quarantining it",
+                     static_cast<unsigned long long>(e.id), crashes);
+                JobRecord rec;
+                rec.id = e.id;
+                rec.status = JobStatus::Quarantined;
+                rec.attempts = crashes;
+                rec.error = {"crash",
+                             format("job took its worker process down "
+                                    "%d time(s); last: %s",
+                                    crashes, why.c_str()),
+                             false};
+                rec.worker = e.worker;
+                rec.shard = e.shard;
+                removeFileIfExists(sp.resultsDir() + "/" +
+                                   Spool::manifestFileName(e.id));
+                writeJobRecord(sp, rec);
+                removeFileIfExists(claimPath);
+            } else {
+                claimFile(claimPath,
+                          sp.jobsDir() + "/" +
+                              Spool::jobFileName(e.id, e.shard));
+            }
+        }
+    };
+
+    while (true) {
+        std::size_t todo = st.total - st.done();
+        int batch = std::max(
+            1, std::min(opts.workers,
+                        static_cast<int>(std::min<std::size_t>(
+                            todo, 1000000))));
+        for (int i = 0; i < batch; ++i)
+            spawnOne(i % st.shards);
+
+        while (!alive.empty()) {
+            bool reaped = false;
+            for (std::size_t i = 0; i < alive.size();) {
+                ProcessExit ex;
+                if (!tryWaitProcess(alive[i].pid, ex)) {
+                    ++i;
+                    continue;
+                }
+                Live dead = alive[i];
+                alive.erase(alive.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                reaped = true;
+                if (ex.ok())
+                    continue; // Drained its share and left.
+
+                warn("farm worker %s died (%s)", dead.worker.c_str(),
+                     ex.describe().c_str());
+                reapClaims(dead.worker, ex.describe());
+                st = scanSpool(root);
+                if (st.complete())
+                    continue;
+                if (respawns < opts.respawnLimit) {
+                    ++respawns;
+                    spawnOne(dead.shard);
+                } else {
+                    warn("farm: respawn budget (%d) exhausted",
+                         opts.respawnLimit);
+                }
+            }
+            if (!reaped)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+        }
+
+        // Post-mortem: no worker is alive, so every remaining claim
+        // is stranded.
+        reapClaims("", "worker exited without finishing its claim");
+        st = scanSpool(root);
+        if (st.complete())
+            return st;
+        if (st.pending == 0 || respawns >= opts.respawnLimit)
+            fatal("farm on '%s' did not complete: %zu of %zu points "
+                  "done, %zu pending, %d respawns used",
+                  root.c_str(), st.done(), st.total, st.pending,
+                  respawns);
+        ++respawns;
+    }
+}
+
+SweepOutcome
+runSerial(const GridSpec &spec, unsigned workers,
+          const RetryPolicy &retry, std::uint64_t cycleBudget,
+          double wallBudget, const std::string &mergedPath)
+{
+    spec.validate();
+    SweepRunner runner(workers);
+    runner.setRetryPolicy(retry);
+    ProgramCache programs;
+    for (const GridJob &job : spec.jobs) {
+        std::shared_ptr<const prog::Program> program = programs.get(
+            programKey(job), [&] { return buildGridProgram(job); });
+        RunOptions ro;
+        ro.maxInsts = job.maxInsts;
+        ro.warmupInsts = job.warmupInsts;
+        ro.maxCycles = cycleBudget;
+        ro.maxWallSeconds = wallBudget;
+        ro.captureManifest = true;
+        ro.canonicalManifest = true;
+        runner.submit(program, job.cfg, ro);
+    }
+    SweepOutcome out = runner.collectOutcome();
+    if (!mergedPath.empty())
+        writeSweepManifestFile(spec.title, out, mergedPath);
+    return out;
+}
+
+} // namespace ddsim::sim::farm

@@ -62,6 +62,15 @@ struct SimResult
      */
     std::string manifestJson;
 
+    /**
+     * This slot is a quarantined-job placeholder, not a real run: the
+     * sweep supervisor could not produce a result for this grid point
+     * and every stat above is a meaningless zero. Downstream table and
+     * CSV code must render such slots with an explicit degraded marker
+     * instead of passing the zeros off as data.
+     */
+    bool quarantined = false;
+
     /** One-line summary for logs. */
     std::string summary() const;
 };

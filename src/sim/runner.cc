@@ -12,6 +12,7 @@
 #include "vm/executor.hh"
 
 #include <chrono>
+#include <cstdlib>
 #include <new>
 #include <optional>
 
@@ -93,6 +94,11 @@ run(const prog::Program &program, const config::MachineConfig &cfg,
                    program.name().c_str())));
     if (plan.allocFail)
         throw std::bad_alloc{};
+    if (plan.crashProcess)
+        // The injected catastrophe: takes the whole process down, the
+        // way a real segfaulting job would. Only the farm supervisor's
+        // process isolation can contain it.
+        std::abort();
 
     cfg.validate();
 
@@ -248,7 +254,7 @@ run(const prog::Program &program, const config::MachineConfig &cfg,
             mi.lvaqLoads = lvaq->loadsTotal.value();
             mi.lvaqStores = lvaq->storesTotal.value();
         }
-        mi.wallSeconds = wallSeconds;
+        mi.wallSeconds = opts.canonicalManifest ? 0.0 : wallSeconds;
         mi.stats = &root;
         if (opts.captureManifest)
             r.manifestJson = obs::manifestToJson(mi);

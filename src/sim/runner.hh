@@ -64,6 +64,14 @@ struct RunOptions
     std::string manifestPath;
     /** Capture the manifest JSON into SimResult::manifestJson. */
     bool captureManifest = false;
+    /**
+     * Make the manifest a pure function of (program, config, options):
+     * the host wall-clock is recorded as 0 so two identical runs emit
+     * byte-identical manifests. The sweep farm sets this on every job
+     * so a merged multi-process manifest can be compared bit-for-bit
+     * against a single-process reference.
+     */
+    bool canonicalManifest = false;
     /** Free-form label recorded in the manifest and trace header. */
     std::string label;
     /** Write a binary pipeline lifecycle trace here ("" = none). */

@@ -145,7 +145,10 @@ SweepRunner::collectOutcome()
             jo.status = JobStatus::Quarantined;
             ++out.numQuarantined;
             out.degraded = true;
-            out.results.emplace_back(); // Placeholder keeps indices.
+            // Placeholder keeps indices; the flag keeps it from being
+            // mistaken for a legitimate zero-stat result downstream.
+            out.results.emplace_back();
+            out.results.back().quarantined = true;
         } else {
             jo.status = slot.attempts > 1 ? JobStatus::Recovered
                                           : JobStatus::Ok;

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "sim/result.hh"
+
 namespace ddsim::sim {
 
 Table::Table(std::vector<std::string> headers)
@@ -36,6 +38,12 @@ Table::pct(double fraction, int precision)
     return ss.str();
 }
 
+std::string
+Table::cell(const SimResult &r, double v, int precision)
+{
+    return r.quarantined ? kQuarantined : num(v, precision);
+}
+
 void
 Table::print(std::ostream &os) const
 {
@@ -62,6 +70,33 @@ Table::print(std::ostream &os) const
     printRow(rule);
     for (const auto &row : rows)
         printRow(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            const std::string &s = cells[c];
+            if (s.find_first_of(",\"\n") == std::string::npos) {
+                os << s;
+                continue;
+            }
+            os << '"';
+            for (char ch : s) {
+                if (ch == '"')
+                    os << '"';
+                os << ch;
+            }
+            os << '"';
+        }
+        os << '\n';
+    };
+    emit(headers);
+    for (const auto &row : rows)
+        emit(row);
 }
 
 void

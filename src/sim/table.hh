@@ -13,10 +13,19 @@
 
 namespace ddsim::sim {
 
+struct SimResult;
+
 /** A simple aligned-column text table. */
 class Table
 {
   public:
+    /**
+     * The cell rendered for a quarantined grid point. Distinct from
+     * any legitimate number or "n/a": a degraded sweep's missing
+     * points must be visibly missing, not silently zero.
+     */
+    static constexpr const char *kQuarantined = "(quarantined)";
+
     explicit Table(std::vector<std::string> headers);
 
     void addRow(std::vector<std::string> cells);
@@ -25,7 +34,19 @@ class Table
     static std::string num(double v, int precision = 3);
     static std::string pct(double fraction, int precision = 1);
 
+    /**
+     * Format @p v derived from result @p r — kQuarantined when @p r
+     * is a quarantined placeholder, the formatted number otherwise.
+     * Benches route every per-result numeric cell through this so a
+     * degraded sweep can never print placeholder zeros as data.
+     */
+    static std::string cell(const SimResult &r, double v,
+                            int precision = 3);
+
     void print(std::ostream &os) const;
+
+    /** RFC-4180-style CSV (quoting cells that need it). */
+    void printCsv(std::ostream &os) const;
 
   private:
     std::vector<std::string> headers;

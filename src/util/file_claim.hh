@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Filesystem primitives for the spooled job queue: atomic claim via
+ * rename(2), directory listing/creation, and small whole-file reads.
+ *
+ * The farm's mutual-exclusion story is claimFile(): rename is atomic
+ * on POSIX filesystems, so when several workers (threads or separate
+ * processes) race to move the same spooled job file into their claim
+ * path, exactly one rename succeeds and every loser observes ENOENT.
+ * No lock files, no fcntl ranges, no daemon — the spool directory IS
+ * the queue, and it survives any crash that the filesystem does.
+ */
+
+#ifndef DDSIM_UTIL_FILE_CLAIM_HH_
+#define DDSIM_UTIL_FILE_CLAIM_HH_
+
+#include <string>
+#include <vector>
+
+namespace ddsim {
+
+/**
+ * Atomically claim @p src by renaming it onto @p dst.
+ * @return true if this caller won the claim; false if @p src was
+ * already gone (another claimant won). Any other failure raises
+ * IoError.
+ */
+bool claimFile(const std::string &src, const std::string &dst);
+
+/** Create @p path and any missing parents; raises IoError. */
+void ensureDir(const std::string &path);
+
+/**
+ * Names (not paths) of the regular files in @p dir, sorted, so spool
+ * scans are deterministic. Raises IoError if unlistable.
+ */
+std::vector<std::string> listDir(const std::string &dir);
+
+bool fileExists(const std::string &path);
+
+/** Delete @p path if present; missing files are not an error. */
+void removeFileIfExists(const std::string &path);
+
+/** Whole-file read; raises IoError on any failure. */
+std::string readFileText(const std::string &path);
+
+/** Write @p text to @p path atomically (write-temp-then-rename). */
+void writeFileTextAtomic(const std::string &path,
+                         const std::string &text);
+
+} // namespace ddsim
+
+#endif // DDSIM_UTIL_FILE_CLAIM_HH_

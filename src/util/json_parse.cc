@@ -1,0 +1,381 @@
+#include "util/json_parse.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hh"
+
+namespace ddsim {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text(text) {}
+
+    JsonValue parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos != text.size())
+            fail("trailing content after the JSON document");
+        return v;
+    }
+
+  private:
+    std::string_view text;
+    std::size_t pos = 0;
+
+    [[noreturn]] void fail(const std::string &msg)
+    {
+        throw JsonParseError(pos, format("JSON parse error at byte "
+                                         "%zu: %s",
+                                         pos, msg.c_str()));
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(format("expected '%c'", c));
+        ++pos;
+    }
+
+    bool consumeLiteral(std::string_view lit)
+    {
+        if (text.substr(pos, lit.size()) != lit)
+            return false;
+        pos += lit.size();
+        return true;
+    }
+
+    JsonValue value()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{': return object();
+          case '[': return array();
+          case '"': {
+              JsonValue v;
+              v.kind = JsonValue::Kind::String;
+              v.str = string();
+              return v;
+          }
+          case 't':
+          case 'f': {
+              JsonValue v;
+              v.kind = JsonValue::Kind::Bool;
+              if (consumeLiteral("true"))
+                  v.boolean = true;
+              else if (consumeLiteral("false"))
+                  v.boolean = false;
+              else
+                  fail("bad literal");
+              return v;
+          }
+          case 'n':
+              if (!consumeLiteral("null"))
+                  fail("bad literal");
+              return {};
+          default:
+              return number();
+        }
+    }
+
+    JsonValue object()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            expect(':');
+            v.members.emplace_back(std::move(key), value());
+            skipWs();
+            char c = peek();
+            if (c == ',') {
+                ++pos;
+                continue;
+            }
+            if (c == '}') {
+                ++pos;
+                return v;
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue array()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(value());
+            skipWs();
+            char c = peek();
+            if (c == ',') {
+                ++pos;
+                continue;
+            }
+            if (c == ']') {
+                ++pos;
+                return v;
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    int hexDigit()
+    {
+        char c = peek();
+        ++pos;
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        fail("bad \\u escape digit");
+    }
+
+    void appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    std::string string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                fail("unterminated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  unsigned cp = 0;
+                  for (int i = 0; i < 4; ++i)
+                      cp = cp * 16 +
+                           static_cast<unsigned>(hexDigit());
+                  if (cp >= 0xD800 && cp <= 0xDBFF &&
+                      text.substr(pos, 2) == "\\u") {
+                      pos += 2;
+                      unsigned lo = 0;
+                      for (int i = 0; i < 4; ++i)
+                          lo = lo * 16 +
+                               static_cast<unsigned>(hexDigit());
+                      cp = 0x10000 + ((cp - 0xD800) << 10) +
+                           (lo - 0xDC00);
+                  }
+                  appendUtf8(out, cp);
+                  break;
+              }
+              default: fail("bad escape character");
+            }
+        }
+    }
+
+    JsonValue number()
+    {
+        std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        bool integral = true;
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        if (pos == start ||
+            (pos == start + 1 && text[start] == '-'))
+            fail("bad number");
+        std::string lit(text.substr(start, pos - start));
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        errno = 0;
+        char *end = nullptr;
+        v.number = std::strtod(lit.c_str(), &end);
+        if (end != lit.c_str() + lit.size())
+            fail("bad number");
+        if (integral) {
+            errno = 0;
+            long long i = std::strtoll(lit.c_str(), &end, 10);
+            if (errno == 0 && end == lit.c_str() + lit.size()) {
+                v.integer = i;
+                v.isInteger = true;
+            }
+        }
+        return v;
+    }
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::get(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+bool
+JsonValue::asBool(const std::string &what) const
+{
+    if (kind != Kind::Bool)
+        throw JsonParseError(0, what + ": expected a boolean");
+    return boolean;
+}
+
+double
+JsonValue::asDouble(const std::string &what) const
+{
+    if (kind != Kind::Number)
+        throw JsonParseError(0, what + ": expected a number");
+    return number;
+}
+
+std::int64_t
+JsonValue::asInt(const std::string &what) const
+{
+    if (kind != Kind::Number || !isInteger)
+        throw JsonParseError(0, what + ": expected an integer");
+    return integer;
+}
+
+std::uint64_t
+JsonValue::asUint(const std::string &what) const
+{
+    std::int64_t i = asInt(what);
+    if (i < 0)
+        throw JsonParseError(0, what + ": expected a non-negative "
+                                       "integer");
+    return static_cast<std::uint64_t>(i);
+}
+
+const std::string &
+JsonValue::asString(const std::string &what) const
+{
+    if (kind != Kind::String)
+        throw JsonParseError(0, what + ": expected a string");
+    return str;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray(const std::string &what) const
+{
+    if (kind != Kind::Array)
+        throw JsonParseError(0, what + ": expected an array");
+    return items;
+}
+
+const JsonValue &
+JsonValue::at(std::string_view key, const std::string &what) const
+{
+    const JsonValue *v = get(key);
+    if (!v)
+        throw JsonParseError(0, what + ": missing key '" +
+                                    std::string(key) + "'");
+    return *v;
+}
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return Parser(text).parse();
+}
+
+JsonValue
+parseJsonFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw IoError(path, "cannot open '" + path + "' for reading");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (in.bad())
+        throw IoError(path, "read error on '" + path + "'");
+    try {
+        return parseJson(ss.str());
+    } catch (JsonParseError &e) {
+        e.addContext("path", path);
+        throw;
+    }
+}
+
+} // namespace ddsim

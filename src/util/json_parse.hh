@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A minimal JSON reader: one recursive-descent pass into a small DOM.
+ * The counterpart of JsonWriter for the handful of places that consume
+ * JSON instead of producing it — grid specs, spooled job files and
+ * per-job result records in the sweep farm. Strict by default: no
+ * comments, no trailing commas, exactly one top-level value.
+ *
+ * Numbers keep both a double and (when the text was integral and in
+ * range) an exact int64 rendering, so job ids and stat counters
+ * round-trip without floating-point surprises.
+ */
+
+#ifndef DDSIM_UTIL_JSON_PARSE_HH_
+#define DDSIM_UTIL_JSON_PARSE_HH_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace ddsim {
+
+/** Malformed JSON input; carries the byte offset of the problem. */
+class JsonParseError : public FatalError
+{
+  public:
+    JsonParseError(std::uint64_t byteOffset, const std::string &msg)
+        : FatalError("json", msg), offset_(byteOffset)
+    {
+        addContext("byte_offset", std::to_string(offset_));
+    }
+
+    std::uint64_t byteOffset() const { return offset_; }
+
+  private:
+    std::uint64_t offset_;
+};
+
+/** One parsed JSON value; objects preserve member order. */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    /** Exact integer rendering; valid only when isInteger. */
+    std::int64_t integer = 0;
+    /** The literal had no '.', 'e' and fit an int64. */
+    bool isInteger = false;
+    std::string str;
+    std::vector<JsonValue> items;                          ///< Array.
+    std::vector<std::pair<std::string, JsonValue>> members; ///< Object.
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup; nullptr when absent (or not an object). */
+    const JsonValue *get(std::string_view key) const;
+
+    // Checked accessors: raise JsonParseError (offset 0) naming
+    // @p what when the value has the wrong shape. They make consumers
+    // read like schemas instead of kind-switch ladders.
+    bool asBool(const std::string &what) const;
+    double asDouble(const std::string &what) const;
+    std::int64_t asInt(const std::string &what) const;
+    std::uint64_t asUint(const std::string &what) const;
+    const std::string &asString(const std::string &what) const;
+    const std::vector<JsonValue> &asArray(const std::string &what) const;
+
+    /** Checked member access: the key must exist in this object. */
+    const JsonValue &at(std::string_view key,
+                        const std::string &what) const;
+};
+
+/** Parse exactly one JSON document from @p text. */
+JsonValue parseJson(std::string_view text);
+
+/** Parse the JSON document in @p path; IoError if unreadable. */
+JsonValue parseJsonFile(const std::string &path);
+
+} // namespace ddsim
+
+#endif // DDSIM_UTIL_JSON_PARSE_HH_

@@ -1,0 +1,121 @@
+#include "util/subprocess.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/error.hh"
+#include "util/log.hh"
+
+namespace ddsim {
+
+std::string
+ProcessExit::describe() const
+{
+    if (exited)
+        return format("exited with status %d", code);
+    if (signaled)
+        return format("killed by signal %d (%s)", sig,
+                      strsignal(sig));
+    return "still running";
+}
+
+pid_t
+spawnProcess(const std::vector<std::string> &argv)
+{
+    if (argv.empty())
+        panic("spawnProcess: empty argv");
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &a : argv)
+        cargv.push_back(const_cast<char *>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0)
+        raise(IoError(argv[0], format("fork failed: %s",
+                                      std::strerror(errno))));
+    if (pid == 0) {
+        ::execv(cargv[0], cargv.data());
+        // exec failed; 127 is the shell's convention for it.
+        ::_exit(127);
+    }
+    return pid;
+}
+
+namespace {
+
+ProcessExit
+decodeStatus(int status)
+{
+    ProcessExit e;
+    if (WIFEXITED(status)) {
+        e.exited = true;
+        e.code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+        e.signaled = true;
+        e.sig = WTERMSIG(status);
+    }
+    return e;
+}
+
+} // namespace
+
+ProcessExit
+waitProcess(pid_t pid)
+{
+    int status = 0;
+    for (;;) {
+        pid_t r = ::waitpid(pid, &status, 0);
+        if (r == pid)
+            return decodeStatus(status);
+        if (r < 0 && errno == EINTR)
+            continue;
+        panic("waitpid(%d) failed: %s", static_cast<int>(pid),
+              std::strerror(errno));
+    }
+}
+
+bool
+tryWaitProcess(pid_t pid, ProcessExit &out)
+{
+    int status = 0;
+    for (;;) {
+        pid_t r = ::waitpid(pid, &status, WNOHANG);
+        if (r == 0)
+            return false;
+        if (r == pid) {
+            out = decodeStatus(status);
+            return true;
+        }
+        if (r < 0 && errno == EINTR)
+            continue;
+        panic("waitpid(%d) failed: %s", static_cast<int>(pid),
+              std::strerror(errno));
+    }
+}
+
+void
+killProcess(pid_t pid, int sig)
+{
+    if (::kill(pid, sig) < 0 && errno != ESRCH)
+        warn("kill(%d, %d) failed: %s", static_cast<int>(pid), sig,
+             std::strerror(errno));
+}
+
+std::string
+currentExecutable(const std::string &argv0)
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+} // namespace ddsim

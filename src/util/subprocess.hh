@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Child-process plumbing for the sweep farm supervisor: spawn a worker
+ * binary, poll or block on its exit, and decode how it died. Crash
+ * isolation beyond in-process quarantine rests on this — a job that
+ * takes its worker down with a segfault is visible here as a signaled
+ * exit, and the supervisor respawns around it.
+ *
+ * POSIX (fork/execv/waitpid) only, like the rest of the toolchain this
+ * repo targets.
+ */
+
+#ifndef DDSIM_UTIL_SUBPROCESS_HH_
+#define DDSIM_UTIL_SUBPROCESS_HH_
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace ddsim {
+
+/** How a child process ended. */
+struct ProcessExit
+{
+    bool exited = false;   ///< Normal exit (code is valid).
+    int code = 0;          ///< Exit status when exited.
+    bool signaled = false; ///< Killed by a signal (sig is valid).
+    int sig = 0;           ///< Terminating signal when signaled.
+
+    bool ok() const { return exited && code == 0; }
+    /** Died abnormally: a signal, e.g. SIGSEGV from a crashing job. */
+    bool crashed() const { return signaled; }
+    std::string describe() const;
+};
+
+/**
+ * fork + execv @p argv (argv[0] is the executable path). stdout and
+ * stderr are inherited. Raises IoError if the fork fails; an exec
+ * failure surfaces as exit code 127 from waitProcess().
+ */
+pid_t spawnProcess(const std::vector<std::string> &argv);
+
+/** Block until @p pid exits; raises PanicError on waitpid failure. */
+ProcessExit waitProcess(pid_t pid);
+
+/** Non-blocking reap: true (and fills @p out) if @p pid has exited. */
+bool tryWaitProcess(pid_t pid, ProcessExit &out);
+
+/** Send @p sig to @p pid; missing processes are ignored. */
+void killProcess(pid_t pid, int sig);
+
+/**
+ * Absolute path of the running executable (/proc/self/exe), so a
+ * supervisor can respawn itself in worker mode; falls back to
+ * @p argv0 when /proc is unavailable.
+ */
+std::string currentExecutable(const std::string &argv0);
+
+} // namespace ddsim
+
+#endif // DDSIM_UTIL_SUBPROCESS_HH_

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/validate_manifest.py — the negative cases.
+
+The positive path (real simulator output validates) is exercised by
+test_robust, test_farm and the kill/resume smoke; these tests pin the
+validator's ability to *reject*: duplicate or missing farm job ids,
+non-dense grid ids, inconsistent counts, statuses without errors.
+Stdlib only; run directly or via ctest.
+"""
+
+import copy
+import importlib.util
+import os
+import unittest
+
+_TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     os.pardir, "tools", "validate_manifest.py")
+_spec = importlib.util.spec_from_file_location("validate_manifest",
+                                               _TOOL)
+vm = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(vm)
+
+
+def grid_doc():
+    """A minimal valid ddsim-grid-v1 document."""
+    def job(i):
+        return {
+            "id": i,
+            "workload": "li",
+            "scale": 4,
+            "seed": 24301,
+            "max_insts": 1000,
+            "warmup_insts": 0,
+            "config": {"notation": "(2+0)"},
+        }
+    return {
+        "schema": vm.GRID_SCHEMA,
+        "title": "test grid",
+        "num_jobs": 3,
+        "jobs": [job(i) for i in range(3)],
+    }
+
+
+def farm_doc():
+    """A minimal valid ddsim-farm-manifest-v1 document."""
+    def job(i, status="ok", worker="w0"):
+        j = {"id": i, "worker": worker, "status": status,
+             "attempts": 1, "wall_seconds": 0.5}
+        if status != "ok":
+            j["attempts"] = 2
+            j["error"] = {"kind": "io", "message": "injected",
+                          "transient": True}
+        return j
+    return {
+        "schema": vm.FARM_SCHEMA,
+        "title": "test farm",
+        "generator": {"name": "ddsim", "version": "1", "git": "abc"},
+        "num_jobs": 4,
+        "workers": ["w0", "w1"],
+        "shards": [
+            {"shard": 0, "num_jobs": 2, "jobs": [job(0), job(2)]},
+            {"shard": 1, "num_jobs": 2,
+             "jobs": [job(1, worker="w1"),
+                      job(3, status="recovered", worker="w1")]},
+        ],
+    }
+
+
+class GridSpecChecks(unittest.TestCase):
+    def test_valid_grid_passes(self):
+        self.assertEqual(vm.check_grid_spec(grid_doc(), "grid"), 3)
+
+    def assertRejected(self, doc, fragment):
+        with self.assertRaises(vm.Invalid) as ctx:
+            vm.check_grid_spec(doc, "grid")
+        self.assertIn(fragment, str(ctx.exception))
+
+    def test_rejects_non_dense_ids(self):
+        doc = grid_doc()
+        doc["jobs"][1]["id"] = 7
+        self.assertRejected(doc, "dense")
+
+    def test_rejects_num_jobs_mismatch(self):
+        doc = grid_doc()
+        doc["num_jobs"] = 5
+        self.assertRejected(doc, "num_jobs")
+
+    def test_rejects_empty_grid(self):
+        doc = grid_doc()
+        doc["jobs"] = []
+        self.assertRejected(doc, "empty grid")
+
+    def test_rejects_missing_notation(self):
+        doc = grid_doc()
+        del doc["jobs"][2]["config"]["notation"]
+        self.assertRejected(doc, "notation")
+
+    def test_rejects_zero_scale(self):
+        doc = grid_doc()
+        doc["jobs"][0]["scale"] = 0
+        self.assertRejected(doc, "scale")
+
+
+class FarmManifestChecks(unittest.TestCase):
+    def test_valid_farm_passes(self):
+        self.assertEqual(vm.check_farm_manifest(farm_doc(), "farm"), 4)
+
+    def assertRejected(self, doc, fragment):
+        with self.assertRaises(vm.Invalid) as ctx:
+            vm.check_farm_manifest(doc, "farm")
+        self.assertIn(fragment, str(ctx.exception))
+
+    def test_rejects_duplicate_job_id(self):
+        doc = farm_doc()
+        doc["shards"][1]["jobs"][0]["id"] = 0
+        self.assertRejected(doc, "already reported")
+
+    def test_rejects_missing_job_id(self):
+        doc = farm_doc()
+        doc["shards"][1]["jobs"][1]["id"] = 9
+        self.assertRejected(doc, "missing [3]")
+
+    def test_rejects_unknown_worker(self):
+        doc = farm_doc()
+        doc["shards"][0]["jobs"][0]["worker"] = "w9"
+        self.assertRejected(doc, "not in the workers list")
+
+    def test_rejects_unknown_status(self):
+        doc = farm_doc()
+        doc["shards"][0]["jobs"][0]["status"] = "exploded"
+        self.assertRejected(doc, "unknown status")
+
+    def test_rejects_failed_status_without_error(self):
+        doc = farm_doc()
+        del doc["shards"][1]["jobs"][1]["error"]
+        self.assertRejected(doc, "error")
+
+    def test_rejects_ok_status_with_error(self):
+        doc = farm_doc()
+        doc["shards"][0]["jobs"][0]["error"] = {
+            "kind": "io", "message": "x", "transient": True}
+        self.assertRejected(doc, "ok job carries an error")
+
+    def test_rejects_shard_count_mismatch(self):
+        doc = farm_doc()
+        doc["shards"][0]["num_jobs"] = 3
+        self.assertRejected(doc, "num_jobs")
+
+
+class SweepManifestChecks(unittest.TestCase):
+    """The pre-existing degraded-sweep checks still hold after the
+    farm extensions (regression guard for the shared helpers)."""
+
+    def sweep_doc(self):
+        return {
+            "schema": vm.SWEEP_SCHEMA,
+            "title": "t",
+            "generator": {"name": "n", "version": "v", "git": "g"},
+            "num_runs": 2,
+            "degraded": True,
+            "num_quarantined": 1,
+            "num_recovered": 0,
+            "jobs": [
+                {"index": 0, "status": "ok", "attempts": 1,
+                 "error": None},
+                {"index": 1, "status": "quarantined", "attempts": 3,
+                 "error": {"kind": "program", "message": "boom",
+                           "transient": False}},
+            ],
+            "runs": [None, None],
+        }
+
+    def test_degraded_sweep_passes(self):
+        vm.check_sweep_manifest(self.sweep_doc(), "sweep")
+
+    def test_rejects_quarantine_count_mismatch(self):
+        doc = self.sweep_doc()
+        doc["num_quarantined"] = 0
+        with self.assertRaises(vm.Invalid):
+            vm.check_sweep_manifest(doc, "sweep")
+
+    def test_rejects_quarantined_with_manifest(self):
+        doc = self.sweep_doc()
+        doc["runs"][1] = copy.deepcopy(doc["runs"][0])
+        doc["runs"][1] = {"schema": "x"}
+        with self.assertRaises(vm.Invalid):
+            vm.check_sweep_manifest(doc, "sweep")
+
+
+if __name__ == "__main__":
+    unittest.main()

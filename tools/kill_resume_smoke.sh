@@ -1,5 +1,6 @@
 #!/bin/sh
-# Kill/resume smoke test for the atomic observability-write discipline.
+# Kill/resume smoke test for the atomic observability-write discipline
+# and the sweep farm's resume guarantee.
 #
 # Every observability artifact (run manifest, sweep manifest, samples,
 # pipeline trace, black box) is written to "<path>.tmp" and renamed
@@ -7,7 +8,10 @@
 # must leave each final path either absent or fully valid — never
 # torn. This script SIGKILLs instrumented runs mid-flight at several
 # offsets, checks that invariant, then re-runs to completion ("resume")
-# and validates the published artifacts.
+# and validates the published artifacts. Phase 4 does the same to a
+# whole ddsweep farm: SIGKILL the supervisor and its workers mid-grid,
+# resume the spool, and demand the merged manifest match an
+# uninterrupted serial reference byte-for-byte (docs/FARM.md).
 #
 # Usage: kill_resume_smoke.sh <build-dir> [workdir]
 # Exits non-zero on the first violation.
@@ -19,7 +23,9 @@ WORK=${2:-$(mktemp -d)}
 SRC=$(dirname "$0")/..
 QUICKSTART="$BUILD/examples/quickstart"
 BENCH="$BUILD/bench/bench_fig5_ports"
+GRIDBENCH="$BUILD/bench/bench_fig7_nm"
 DDTRACE="$BUILD/tools/ddtrace"
+DDSWEEP="$BUILD/tools/ddsweep"
 VALIDATE="$SRC/tools/validate_manifest.py"
 
 fail() {
@@ -89,5 +95,35 @@ python3 "$VALIDATE" run.json sweep.json
     || fail "resumed trace undecodable"
 [ -e run.json.tmp ] && fail "stale run.json.tmp after clean finish"
 [ -e sweep.json.tmp ] && fail "stale sweep.json.tmp after clean finish"
+
+# --- Phase 4: SIGKILL a whole sweep farm, resume the spool ----------
+# The farm's contract (docs/FARM.md): every spool artifact is written
+# atomically, so killing the supervisor and all its workers at any
+# instant leaves a spool that `ddsweep resume` completes by re-running
+# only the missing points — and the merged manifest comes out
+# byte-identical to an uninterrupted single-process reference.
+rm -rf spool grid.json ref.json
+"$GRIDBENCH" --programs=li,compress --scale=0.2 \
+    --emit-grid=grid.json > /dev/null
+python3 "$VALIDATE" grid.json
+"$DDSWEEP" serial --grid=grid.json --merged=ref.json > /dev/null
+
+# Run the farm in its own process group and SIGKILL the whole group
+# (supervisor + both workers) mid-grid.
+setsid "$DDSWEEP" run --grid=grid.json --spool=spool --workers=2 \
+    > /dev/null 2>&1 &
+pid=$!
+sleep 1.5
+kill -9 "-$pid" 2> /dev/null || true # group may have finished already
+wait "$pid" 2> /dev/null || true
+
+"$DDSWEEP" resume --spool=spool --merged=spool/merged.json \
+    --farm=spool/farm.json > /dev/null
+cmp grid.json spool/grid.json \
+    || fail "spooled grid drifted from the emitted spec"
+cmp ref.json spool/merged.json \
+    || fail "resumed farm manifest differs from serial reference"
+python3 "$VALIDATE" spool/merged.json spool/farm.json
+echo "  farm killed mid-grid: resume converged on reference bytes"
 
 echo "kill_resume_smoke: PASS"

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Validate a ddsim run manifest, sweep manifest, or crash black box.
+"""Validate a ddsim run manifest, sweep manifest, grid spec, farm
+manifest, or crash black box.
 
 Stdlib-only. Checks schema identifiers, required fields, and internal
 consistency (IPC = committed/cycles, per-stream counts are integers,
-stat tree shape, degraded-sweep job tables, black-box error reports).
-Exits non-zero with a message on the first problem.
+stat tree shape, degraded-sweep job tables, black-box error reports,
+dense grid-spec job ids, farm shard provenance covering every job id
+exactly once). Exits non-zero with a message on the first problem.
 
 Usage: validate_manifest.py <manifest.json> [more.json ...]
 """
@@ -16,6 +18,8 @@ RUN_SCHEMA = "ddsim-manifest-v1"
 SWEEP_SCHEMA = "ddsim-sweep-manifest-v1"
 STATS_SCHEMA = "ddsim-stats-v1"
 BLACKBOX_SCHEMA = "ddsim-blackbox-v1"
+GRID_SCHEMA = "ddsim-grid-v1"
+FARM_SCHEMA = "ddsim-farm-manifest-v1"
 
 JOB_STATUSES = ("ok", "recovered", "quarantined")
 
@@ -156,6 +160,90 @@ def check_sweep_manifest(doc, where):
     return checked
 
 
+def check_grid_spec(doc, where):
+    """A ddsim-grid-v1 spec: dense ids 0..n-1 in order, each job
+    carrying a workload, resolved generator parameters, and a machine
+    config with its notation."""
+    need(doc, "title", str, where)
+    jobs = need(doc, "jobs", list, where)
+    if not jobs:
+        raise Invalid(f"{where}: empty grid")
+    if need(doc, "num_jobs", int, where) != len(jobs):
+        raise Invalid(f"{where}: num_jobs {doc['num_jobs']} != "
+                      f"len(jobs) {len(jobs)}")
+    for i, job in enumerate(jobs):
+        jw = f"{where}.jobs[{i}]"
+        if need(job, "id", int, jw) != i:
+            raise Invalid(f"{jw}: id {job['id']} != position {i} "
+                          f"(ids must be dense and ordered)")
+        if not need(job, "workload", str, jw):
+            raise Invalid(f"{jw}: empty workload")
+        if need(job, "scale", int, jw) < 1:
+            raise Invalid(f"{jw}: scale {job['scale']} < 1")
+        need(job, "seed", int, jw)
+        for key in ("max_insts", "warmup_insts"):
+            if need(job, key, int, jw) < 0:
+                raise Invalid(f"{jw}: negative {key}")
+        cfg = need(job, "config", dict, jw)
+        if not need(cfg, "notation", str, f"{jw}.config"):
+            raise Invalid(f"{jw}.config: empty notation")
+    return len(jobs)
+
+
+def check_farm_manifest(doc, where):
+    """A ddsim-farm-manifest-v1 provenance document: every grid job id
+    appears in exactly one shard, attributed to a known worker, with a
+    valid status (and an error when the status demands one)."""
+    need(doc, "title", str, where)
+    gen = need(doc, "generator", dict, where)
+    for key in ("name", "version", "git"):
+        need(gen, key, str, f"{where}.generator")
+    num_jobs = need(doc, "num_jobs", int, where)
+    workers = need(doc, "workers", list, where)
+    if not all(isinstance(w, str) and w for w in workers):
+        raise Invalid(f"{where}.workers: non-string or empty worker id")
+
+    seen = {}
+    for s, shard in enumerate(need(doc, "shards", list, where)):
+        sw = f"{where}.shards[{s}]"
+        if need(shard, "shard", int, sw) != s:
+            raise Invalid(f"{sw}: shard {shard['shard']} != "
+                          f"position {s}")
+        jobs = need(shard, "jobs", list, sw)
+        if need(shard, "num_jobs", int, sw) != len(jobs):
+            raise Invalid(f"{sw}: num_jobs {shard['num_jobs']} != "
+                          f"len(jobs) {len(jobs)}")
+        for j, job in enumerate(jobs):
+            jw = f"{sw}.jobs[{j}]"
+            jid = need(job, "id", int, jw)
+            if jid in seen:
+                raise Invalid(f"{jw}: job id {jid} already reported "
+                              f"by shard {seen[jid]}")
+            seen[jid] = s
+            worker = need(job, "worker", str, jw)
+            if worker not in workers:
+                raise Invalid(f"{jw}: worker {worker!r} not in the "
+                              f"workers list")
+            status = need(job, "status", str, jw)
+            if status not in JOB_STATUSES:
+                raise Invalid(f"{jw}: unknown status {status!r}")
+            if need(job, "attempts", int, jw) < 1:
+                raise Invalid(f"{jw}: attempts {job['attempts']} < 1")
+            need(job, "wall_seconds", (int, float), jw)
+            if status == "ok":
+                if "error" in job:
+                    raise Invalid(f"{jw}: ok job carries an error")
+            else:
+                check_error(need(job, "error", dict, jw), f"{jw}.error")
+    if len(seen) != num_jobs or sorted(seen) != list(range(num_jobs)):
+        missing = sorted(set(range(num_jobs)) - set(seen))
+        extra = sorted(set(seen) - set(range(num_jobs)))
+        raise Invalid(f"{where}: shards must cover job ids "
+                      f"0..{num_jobs - 1} exactly once "
+                      f"(missing {missing}, unexpected {extra})")
+    return num_jobs
+
+
 def check_blackbox(doc, where):
     gen = need(doc, "generator", dict, where)
     for key in ("name", "version", "git"):
@@ -225,6 +313,14 @@ def main(argv):
                 print(f"{path}: OK (black box, workload "
                       f"{doc['run']['workload']!r}, error "
                       f"{doc['error']['kind']!r})")
+            elif schema == GRID_SCHEMA:
+                n = check_grid_spec(doc, "grid")
+                print(f"{path}: OK (grid spec, {n} jobs, "
+                      f"{doc['title']!r})")
+            elif schema == FARM_SCHEMA:
+                n = check_farm_manifest(doc, "farm")
+                print(f"{path}: OK (farm manifest, {n} jobs across "
+                      f"{len(doc['shards'])} shards)")
             else:
                 raise Invalid(f"unknown schema {schema!r}")
         except Invalid as e:
