@@ -113,6 +113,7 @@ runGrid(const Options &opts, std::vector<sim::SweepJob> jobs,
             g.seed = workloads::WorkloadParams{}.seed;
             g.maxInsts = job.opts.maxInsts;
             g.warmupInsts = job.opts.warmupInsts;
+            g.annotate = job.annotate;
             g.cfg = job.cfg;
             spec.jobs.push_back(std::move(g));
         }

@@ -82,6 +82,20 @@ bottoms()
     return a;
 }
 
+/**
+ * Translate an abstract value across a function boundary (a0..a3 at
+ * a call site, v0/v1 at a return site). StackOff offsets are
+ * entry-sp-relative *per function*, so an exact offset in one frame's
+ * coordinate system is meaningless — and dangerously misleading — in
+ * another's. Degrade to StackDerived: still provably a stack address,
+ * no longer an exact slot.
+ */
+AbsValue
+crossFunctionBoundary(const AbsValue &v)
+{
+    return v.isStackOff() ? AbsValue::stackDerived() : v;
+}
+
 /** Analysis of one function: fixpoint, then a reporting walk. */
 class FunctionAnalyzer
 {
@@ -147,6 +161,7 @@ class FunctionAnalyzer
     std::vector<RegState> inStates;
     std::vector<RegState> outStates;
     bool spLostReported = false;
+    bool spInexactReported = false;
     bool bigFrameReported = false;
 };
 
@@ -213,16 +228,32 @@ FunctionAnalyzer::transfer(RegState &state, std::size_t idx,
     }
     const AbsValue &spAfter = state.get(reg::sp);
     if (spAfter != spBefore && !spAfter.isStackOff()) {
-        if (report && !spLostReported) {
-            spLostReported = true;
-            diag(Severity::Error, "sp-lost", idx,
-                 format("sp is no longer a known stack offset "
-                        "after %s (now %s)",
-                        dis(idx).c_str(), spAfter.str().c_str()));
+        if (spAfter.kind == ValueKind::StackDerived) {
+            // Alloca-style dynamic adjustment: sp moved by a
+            // statically unknown amount but is still rooted in the
+            // stack. Accesses stay classifiable (StackDerived bases
+            // are Local); only the exact-offset frame checks and the
+            // frame-size bound are forfeit.
+            if (report && !spInexactReported) {
+                spInexactReported = true;
+                diag(Severity::Warning, "sp-inexact", idx,
+                     format("sp adjusted by a statically unknown "
+                            "amount at %s; frame size is dynamic",
+                            dis(idx).c_str()));
+            }
+        } else {
+            if (report && !spLostReported) {
+                spLostReported = true;
+                diag(Severity::Error, "sp-lost", idx,
+                     format("sp is no longer a known stack offset "
+                            "after %s (now %s)",
+                            dis(idx).c_str(), spAfter.str().c_str()));
+            }
+            // Pin sp to "somewhere on the stack" so one bad write
+            // does not cascade into a diagnostic per downstream
+            // instruction.
+            state.set(reg::sp, AbsValue::stackDerived());
         }
-        // Pin sp to "somewhere on the stack" so one bad write does
-        // not cascade into a diagnostic per downstream instruction.
-        state.set(reg::sp, AbsValue::stackDerived());
     }
     if (report)
         trackFrame(state, idx);
@@ -251,6 +282,14 @@ FunctionAnalyzer::checkMem(const RegState &state, const Inst &inst,
                 : Verdict::NonLocal;
     } else if (base.kind == ValueKind::NonStack) {
         acc.verdict = Verdict::NonLocal;
+    } else if (base.kind == ValueKind::StackDerived) {
+        // Rooted-pointer assumption (value.hh): arithmetic rooted at
+        // sp stays inside the stack region, so a stack-derived base
+        // with an unknown offset is still a local access — it just
+        // forfeits the exact-offset frame checks below. The Oracle
+        // cross-check in tests/test_analysis.cpp validates this
+        // dynamically on every workload.
+        acc.verdict = Verdict::Local;
     } else {
         acc.verdict = Verdict::Ambiguous;
     }
@@ -295,7 +334,8 @@ FunctionAnalyzer::checkReturn(const RegState &state, const Inst &,
         for (int i = 0; i < 2; ++i)
             rets[static_cast<std::size_t>(i)] = join(
                 rets[static_cast<std::size_t>(i)],
-                state.get(static_cast<RegId>(reg::v0 + i)));
+                crossFunctionBoundary(state.get(
+                    static_cast<RegId>(reg::v0 + i))));
     }
     const AbsValue &sp = state.get(reg::sp);
     if (sp.isStackOff() && sp.n != 0)
@@ -383,7 +423,8 @@ FunctionAnalyzer::run(ArgMap *callArgs, RetMap *retVals)
                 for (int i = 0; i < 4; ++i)
                     args[static_cast<std::size_t>(i)] = join(
                         args[static_cast<std::size_t>(i)],
-                        st.get(static_cast<RegId>(reg::a0 + i)));
+                        crossFunctionBoundary(st.get(
+                            static_cast<RegId>(reg::a0 + i))));
             }
             transfer(st, idx, /*report=*/true);
         }

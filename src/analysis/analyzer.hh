@@ -23,6 +23,10 @@
  *   error   control-flow-out-of-text    branch/jump target outside text
  *   warning access-above-entry          sp-relative access at or above
  *                                       the caller's frame
+ *   warning sp-inexact                  sp adjusted by a statically
+ *                                       unknown amount (alloca-style
+ *                                       dynamic frame); still
+ *                                       stack-rooted
  *   warning annotation-missing-local    provably-local access lacking
  *                                       the annotation bit
  *   warning unresolved-indirect-jump    jalr / jr through non-ra

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The static partitioning pass: rewrite a Program's per-instruction
+ * local-hint bits (the M-type annotation bit of Section 2.2.3) from
+ * the analyzer's Local/NonLocal/Ambiguous verdicts.
+ *
+ * This closes the compiler half of the paper's loop: ddlint computes
+ * the static classification, annotateProgram burns it into the
+ * encoding, and the hardware consumes it through
+ * ClassifierKind::Annotation (trust the bit outright) or
+ * ClassifierKind::StaticHybrid (trust decided verdicts, fall back to
+ * the region predictor only for Ambiguous instructions).
+ */
+
+#ifndef DDSIM_ANALYSIS_ANNOTATE_HH_
+#define DDSIM_ANALYSIS_ANNOTATE_HH_
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "analysis/analyzer.hh"
+#include "prog/program.hh"
+
+namespace ddsim::analysis {
+
+/** How Ambiguous verdicts map onto the one-bit hint. */
+enum class HintPolicy : std::uint8_t
+{
+    /**
+     * Hint only what is provably Local; NonLocal and Ambiguous clear
+     * the bit. An Annotation classifier steering on these hints never
+     * mispartitions a non-local access into the LVAQ, at the cost of
+     * sending every Ambiguous access through the L1 path.
+     */
+    Safe,
+    /**
+     * Hint Local *and* Ambiguous. Relies on the hardware's
+     * verify/mispartition-recovery path (Section 2.2.2) to catch the
+     * Ambiguous instructions that turn out non-local at run time.
+     */
+    Speculative,
+    /**
+     * Decided verdicts overwrite the bit; Ambiguous instructions keep
+     * whatever hint the program already carried, as the seed for the
+     * region predictor under ClassifierKind::StaticHybrid.
+     */
+    Hybrid,
+};
+
+const char *hintPolicyName(HintPolicy p);
+
+/** Inverse of hintPolicyName; nullopt for anything unknown. */
+std::optional<HintPolicy> hintPolicyFromName(std::string_view name);
+
+/** What annotateProgram did, for coverage reporting. */
+struct AnnotateStats
+{
+    std::size_t memInsts = 0;   ///< Memory instructions seen.
+    std::size_t hinted = 0;     ///< localHint set after the pass.
+    std::size_t cleared = 0;    ///< localHint clear after the pass.
+    std::size_t ambiguous = 0;  ///< Verdicts left to the hardware.
+    std::size_t changed = 0;    ///< Bits actually flipped.
+};
+
+/**
+ * Return a copy of @p prog with every memory instruction's localHint
+ * bit rewritten from @p res under @p policy. @p res must come from
+ * analyze() over the same program text. Instructions without a
+ * verdict (unreachable code) are left untouched.
+ */
+prog::Program annotateProgram(const prog::Program &prog,
+                              const AnalysisResult &res,
+                              HintPolicy policy,
+                              AnnotateStats *stats = nullptr);
+
+/** Convenience overload: analyze then annotate. */
+prog::Program annotateProgram(const prog::Program &prog,
+                              HintPolicy policy,
+                              AnnotateStats *stats = nullptr);
+
+} // namespace ddsim::analysis
+
+#endif // DDSIM_ANALYSIS_ANNOTATE_HH_

@@ -1,7 +1,9 @@
 #include "analysis/report.hh"
 
+#include <map>
 #include <sstream>
 
+#include "obs/version.hh"
 #include "util/log.hh"
 
 namespace ddsim::analysis {
@@ -100,26 +102,55 @@ textReport(const AnalysisResult &res, bool verbose)
     return os.str();
 }
 
+namespace {
+
+/**
+ * One per-program JSON object, every line prefixed by @p ind so the
+ * same renderer serves the standalone jsonReport and the programs
+ * array of the ddsim-lint-v1 document.
+ */
 std::string
-jsonReport(const AnalysisResult &res)
+programJson(const AnalysisResult &res, const std::string &ind)
 {
     std::ostringstream os;
-    os << "{\n";
-    os << format("  \"program\": \"%s\",\n",
-                 jsonEscape(res.program).c_str());
-    os << format("  \"errors\": %zu,\n", res.errors());
-    os << format("  \"warnings\": %zu,\n", res.warnings());
-    os << format("  \"notes\": %zu,\n", res.count(Severity::Note));
-    os << "  \"loads\": " << jsonMix(res.loads) << ",\n";
-    os << "  \"stores\": " << jsonMix(res.stores) << ",\n";
+    os << ind << "{\n";
+    os << ind << format("  \"program\": \"%s\",\n",
+                        jsonEscape(res.program).c_str());
+    os << ind << format("  \"errors\": %zu,\n", res.errors());
+    os << ind << format("  \"warnings\": %zu,\n", res.warnings());
+    os << ind
+       << format("  \"notes\": %zu,\n", res.count(Severity::Note));
+    os << ind << "  \"loads\": " << jsonMix(res.loads) << ",\n";
+    os << ind << "  \"stores\": " << jsonMix(res.stores) << ",\n";
 
-    os << "  \"functions\": [";
+    // Per-instruction verdict export: dense ordinal ids, strictly
+    // increasing instruction indices (res.verdicts is an ordered
+    // map), the annotation bit as the program carries it today.
+    std::map<std::size_t, const MemAccess *> byInst;
+    for (const FunctionInfo &fn : res.functions)
+        for (const MemAccess &acc : fn.accesses)
+            byInst.emplace(acc.instIdx, &acc);
+    os << ind << "  \"verdicts\": [";
+    std::size_t id = 0;
+    for (const auto &[idx, verdict] : res.verdicts) {
+        const MemAccess *acc = byInst.at(idx);
+        os << (id ? "," : "") << "\n" << ind << "    ";
+        os << format("{\"id\": %zu, \"inst\": %zu, \"load\": %s, "
+                     "\"verdict\": \"%s\", \"annotated\": %s}",
+                     id, idx, acc->load ? "true" : "false",
+                     verdictName(verdict),
+                     acc->annotatedLocal ? "true" : "false");
+        ++id;
+    }
+    os << (id ? "\n" + ind + "  " : "") << "],\n";
+
+    os << ind << "  \"functions\": [";
     for (std::size_t i = 0; i < res.functions.size(); ++i) {
         const FunctionInfo &fn = res.functions[i];
         Mix mix;
         for (const MemAccess &acc : fn.accesses)
             mix.add(acc.verdict);
-        os << (i ? ",\n    " : "\n    ");
+        os << (i ? "," : "") << "\n" << ind << "    ";
         os << format("{\"name\": \"%s\", \"entry\": %zu, "
                      "\"blocks\": %zu, \"frame_words\": %zu, "
                      "\"frame_known\": %s, \"accesses\": %s}",
@@ -128,12 +159,12 @@ jsonReport(const AnalysisResult &res)
                      fn.frameKnown ? "true" : "false",
                      jsonMix(mix).c_str());
     }
-    os << "\n  ],\n";
+    os << (res.functions.empty() ? "" : "\n" + ind + "  ") << "],\n";
 
-    os << "  \"diagnostics\": [";
+    os << ind << "  \"diagnostics\": [";
     for (std::size_t i = 0; i < res.diagnostics.size(); ++i) {
         const Diagnostic &d = res.diagnostics[i];
-        os << (i ? ",\n    " : "\n    ");
+        os << (i ? "," : "") << "\n" << ind << "    ";
         os << format("{\"severity\": \"%s\", \"id\": \"%s\", "
                      "\"inst\": %zu, \"function\": \"%s\", "
                      "\"message\": \"%s\"}",
@@ -142,7 +173,60 @@ jsonReport(const AnalysisResult &res)
                      jsonEscape(d.function).c_str(),
                      jsonEscape(d.message).c_str());
     }
-    os << "\n  ]\n}\n";
+    os << (res.diagnostics.empty() ? "" : "\n" + ind + "  ") << "]\n";
+    os << ind << "}";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+jsonReport(const AnalysisResult &res)
+{
+    return programJson(res, "") + "\n";
+}
+
+std::string
+jsonDocument(const std::vector<AnalysisResult> &results)
+{
+    Mix loads;
+    Mix stores;
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::size_t notes = 0;
+    for (const AnalysisResult &res : results) {
+        errors += res.errors();
+        warnings += res.warnings();
+        notes += res.count(Severity::Note);
+        for (const Mix *m : {&res.loads, &res.stores}) {
+            Mix &sum = m == &res.loads ? loads : stores;
+            sum.local += m->local;
+            sum.nonLocal += m->nonLocal;
+            sum.ambiguous += m->ambiguous;
+        }
+    }
+
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"ddsim-lint-v1\",\n";
+    os << "  \"generator\": {";
+    os << format("\"name\": \"%s\", \"version\": \"%s\", "
+                 "\"git\": \"%s\"},\n",
+                 jsonEscape(obs::simulatorName()).c_str(),
+                 jsonEscape(obs::simulatorVersion()).c_str(),
+                 jsonEscape(obs::gitDescribe()).c_str());
+    os << "  \"programs\": [";
+    for (std::size_t i = 0; i < results.size(); ++i)
+        os << (i ? ",\n" : "\n") << programJson(results[i], "    ");
+    os << (results.empty() ? "" : "\n  ") << "],\n";
+    os << "  \"summary\": {\n";
+    os << format("    \"programs\": %zu,\n", results.size());
+    os << format("    \"errors\": %zu,\n", errors);
+    os << format("    \"warnings\": %zu,\n", warnings);
+    os << format("    \"notes\": %zu,\n", notes);
+    os << "    \"loads\": " << jsonMix(loads) << ",\n";
+    os << "    \"stores\": " << jsonMix(stores) << "\n";
+    os << "  }\n}\n";
     return os.str();
 }
 

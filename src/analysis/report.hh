@@ -8,6 +8,7 @@
 #define DDSIM_ANALYSIS_REPORT_HH_
 
 #include <string>
+#include <vector>
 
 #include "analysis/analyzer.hh"
 
@@ -22,6 +23,16 @@ std::string textReport(const AnalysisResult &res, bool verbose = false);
 
 /** JSON report. Stable key order; schema in docs/ANALYSIS.md. */
 std::string jsonReport(const AnalysisResult &res);
+
+/**
+ * The versioned ddsim-lint-v1 document: a generator provenance block,
+ * one per-program object (the jsonReport shape, including the
+ * per-instruction verdicts array) per analyzed program, and a summary
+ * block whose counts are the element-wise totals — the contract
+ * tools/validate_manifest.py checks and tools/check_lint_golden.py
+ * pins per workload.
+ */
+std::string jsonDocument(const std::vector<AnalysisResult> &results);
 
 } // namespace ddsim::analysis
 

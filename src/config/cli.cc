@@ -167,6 +167,8 @@ parseClassifier(const std::string &s)
         return ClassifierKind::Predictor;
     if (v == "replicate")
         return ClassifierKind::Replicate;
+    if (v == "statichybrid")
+        return ClassifierKind::StaticHybrid;
     fatal("unknown classifier '%s'", s.c_str());
 }
 

@@ -14,6 +14,7 @@ classifierName(ClassifierKind kind)
       case ClassifierKind::Oracle: return "oracle";
       case ClassifierKind::Predictor: return "predictor";
       case ClassifierKind::Replicate: return "replicate";
+      case ClassifierKind::StaticHybrid: return "statichybrid";
     }
     return "?";
 }

@@ -52,6 +52,9 @@ enum class ClassifierKind : std::uint8_t
                 ///< both queues and kill the wrong copy when the
                 ///< address resolves — no prediction, no recovery,
                 ///< at the cost of double queue occupancy.
+    StaticHybrid, ///< ddlint verdict table: decided instructions
+                  ///< steer statically; only Ambiguous ones consult
+                  ///< the region predictor (with recovery).
 };
 
 const char *classifierName(ClassifierKind kind);

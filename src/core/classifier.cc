@@ -11,10 +11,19 @@ Classifier::Classifier(stats::Group *parent, config::ClassifierKind kind,
       toLvaq(this, "to_lvaq", "classified as local (steered to LVAQ)"),
       verified(this, "verified", "classifications verified"),
       mispredicted(this, "mispredicted", "wrongly steered accesses"),
+      staticDecided(this, "static_decided",
+                    "accesses decided by the static verdict table"),
       classifierKind(kind)
 {
-    if (kind == config::ClassifierKind::Predictor)
+    if (kind == config::ClassifierKind::Predictor ||
+        kind == config::ClassifierKind::StaticHybrid)
         predictor = std::make_unique<RegionPredictor>(predictorEntries);
+}
+
+void
+Classifier::setStaticVerdicts(std::vector<StaticVerdict> table)
+{
+    verdicts = std::move(table);
 }
 
 Stream
@@ -43,6 +52,24 @@ Classifier::classify(const vm::DynInst &di)
         // get a copy); if asked, answer with the true region.
         local = di.stackAccess;
         break;
+      case config::ClassifierKind::StaticHybrid:
+        // Decided verdicts steer outright; only the Ambiguous
+        // remainder pays for (and trains) the region predictor.
+        switch (verdictAt(di.pcIdx)) {
+          case StaticVerdict::Local:
+            local = true;
+            ++staticDecided;
+            break;
+          case StaticVerdict::NonLocal:
+            local = false;
+            ++staticDecided;
+            break;
+          case StaticVerdict::Ambiguous:
+            local = predictor->predictLocal(di.pcIdx,
+                                            di.inst.localHint);
+            break;
+        }
+        break;
     }
     if (local)
         ++toLvaq;
@@ -55,7 +82,12 @@ Classifier::verify(const vm::DynInst &di, Stream chosen)
     ++verified;
     bool actuallyLocal = di.stackAccess;
     bool chosenLocal = chosen == Stream::Lvaq;
-    if (predictor)
+    // StaticHybrid trains the predictor only on Ambiguous
+    // instructions: decided pcs never consult it, and letting them
+    // write entries would pollute aliased Ambiguous slots.
+    if (predictor &&
+        (classifierKind != config::ClassifierKind::StaticHybrid ||
+         verdictAt(di.pcIdx) == StaticVerdict::Ambiguous))
         predictor->update(di.pcIdx, actuallyLocal);
     if (actuallyLocal != chosenLocal) {
         ++mispredicted;

@@ -22,6 +22,7 @@
 #define DDSIM_CORE_CLASSIFIER_HH_
 
 #include <memory>
+#include <vector>
 
 #include "config/machine_config.hh"
 #include "core/region_predictor.hh"
@@ -36,6 +37,19 @@ enum class Stream : std::uint8_t
 {
     Lsq,    ///< Non-local: conventional load/store queue + L1 D-cache.
     Lvaq,   ///< Local: local variable access queue + LVC.
+};
+
+/**
+ * One per-pc entry of the static verdict table consumed by
+ * ClassifierKind::StaticHybrid — the hardware-facing mirror of
+ * analysis::Verdict (core does not depend on the analyzer; the runner
+ * translates).
+ */
+enum class StaticVerdict : std::uint8_t
+{
+    Ambiguous,  ///< No static decision: consult the region predictor.
+    Local,      ///< Statically proven local: steer to the LVAQ.
+    NonLocal,   ///< Statically proven non-local: steer to the LSQ.
 };
 
 /** Dispatch-time memory stream classifier. */
@@ -64,16 +78,34 @@ class Classifier : public stats::Group
 
     config::ClassifierKind kind() const { return classifierKind; }
 
+    /**
+     * Attach the per-pc static verdict table (indexed by text word
+     * index) for StaticHybrid operation. Instructions beyond the
+     * table, and programs with no table at all, classify as
+     * Ambiguous — the predictor carries them.
+     */
+    void setStaticVerdicts(std::vector<StaticVerdict> table);
+
     double accuracy() const;
 
     stats::Scalar classified;
     stats::Scalar toLvaq;
     stats::Scalar verified;
     stats::Scalar mispredicted;
+    /** Accesses decided by the static table (StaticHybrid only). */
+    stats::Scalar staticDecided;
 
   private:
+    StaticVerdict verdictAt(std::uint64_t pcIdx) const
+    {
+        return pcIdx < verdicts.size()
+                   ? verdicts[static_cast<std::size_t>(pcIdx)]
+                   : StaticVerdict::Ambiguous;
+    }
+
     config::ClassifierKind classifierKind;
     std::unique_ptr<RegionPredictor> predictor;
+    std::vector<StaticVerdict> verdicts;
 };
 
 } // namespace ddsim::core

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "analysis/annotate.hh"
 #include "obs/manifest.hh"
 #include "util/atomic_file.hh"
 #include "util/json.hh"
@@ -21,7 +22,8 @@ classifierFromName(const std::string &name)
     for (ClassifierKind k :
          {ClassifierKind::None, ClassifierKind::Annotation,
           ClassifierKind::SpBase, ClassifierKind::Oracle,
-          ClassifierKind::Predictor, ClassifierKind::Replicate}) {
+          ClassifierKind::Predictor, ClassifierKind::Replicate,
+          ClassifierKind::StaticHybrid}) {
         if (name == config::classifierName(k))
             return k;
     }
@@ -117,6 +119,10 @@ writeGridJobJson(JsonWriter &w, const GridJob &job)
     w.field("seed", job.seed);
     w.field("max_insts", job.maxInsts);
     w.field("warmup_insts", job.warmupInsts);
+    // Only annotated points carry the field, so specs written before
+    // the static-partitioning pass existed stay byte-identical.
+    if (!job.annotate.empty())
+        w.field("annotate", job.annotate);
     w.key("config");
     obs::writeMachineConfigJson(w, job.cfg);
     w.endObject();
@@ -134,6 +140,8 @@ gridJobFromJson(const JsonValue &v)
     job.maxInsts = v.at("max_insts", w).asUint(w + ".max_insts");
     job.warmupInsts =
         v.at("warmup_insts", w).asUint(w + ".warmup_insts");
+    if (const JsonValue *a = v.get("annotate"))
+        job.annotate = a->asString(w + ".annotate");
     job.cfg = machineConfigFromJson(v.at("config", w));
     return job;
 }
@@ -157,6 +165,11 @@ GridSpec::validate() const
         if (job.scale == 0)
             fatal("grid spec '%s': job %zu has scale 0", title.c_str(),
                   i);
+        if (!job.annotate.empty() &&
+            !analysis::hintPolicyFromName(job.annotate))
+            fatal("grid spec '%s': job %zu names unknown annotate "
+                  "policy '%s'",
+                  title.c_str(), i, job.annotate.c_str());
         job.cfg.validate();
     }
 }
@@ -221,7 +234,15 @@ buildGridProgram(const GridJob &job)
     workloads::WorkloadParams p;
     p.scale = job.scale;
     p.seed = job.seed;
-    return workloads::build(job.workload, p);
+    prog::Program program = workloads::build(job.workload, p);
+    if (job.annotate.empty())
+        return program;
+    auto policy = analysis::hintPolicyFromName(job.annotate);
+    if (!policy)
+        fatal("grid job %llu: unknown annotate policy '%s'",
+              static_cast<unsigned long long>(job.id),
+              job.annotate.c_str());
+    return analysis::annotateProgram(program, *policy);
 }
 
 } // namespace ddsim::sim

@@ -52,6 +52,14 @@ struct GridJob
     /** RunOptions::maxInsts / warmupInsts for this point. */
     std::uint64_t maxInsts = 0;
     std::uint64_t warmupInsts = 0;
+    /**
+     * Static-partitioning pass applied to the program after building:
+     * "" (none, the default) or a HintPolicy name ("safe",
+     * "speculative", "hybrid"). buildGridProgram re-runs the analyzer
+     * and rewrites the local-hint bits deterministically, so a farm
+     * worker reproduces an annotating bench's program bit-for-bit.
+     */
+    std::string annotate;
     config::MachineConfig cfg;
 };
 

@@ -51,6 +51,10 @@ struct SimResult
     // Classification.
     double classifierAccuracy = 1.0;
     std::uint64_t missteered = 0;
+    std::uint64_t classified = 0;    ///< Accesses seen at dispatch.
+    std::uint64_t toLvaq = 0;        ///< ...steered to the LVAQ.
+    /** Decided by the static verdict table (StaticHybrid only). */
+    std::uint64_t staticDecided = 0;
 
     /** Full stats dump (filled only when requested). */
     std::string statsText;

@@ -1,5 +1,6 @@
 #include "sim/runner.hh"
 
+#include "analysis/analyzer.hh"
 #include "cpu/pipeline.hh"
 #include "isa/disasm.hh"
 #include "obs/blackbox.hh"
@@ -118,6 +119,24 @@ run(const prog::Program &program, const config::MachineConfig &cfg,
     }
     cpu::Pipeline pipe(&root, cfg, *src);
 
+    if (cfg.classifier == config::ClassifierKind::StaticHybrid) {
+        // The hardware half of the static partitioning pipeline: run
+        // the analyzer over the program text and hand its per-pc
+        // verdicts to the classifier. The analysis is deterministic,
+        // so live execution, trace replay and farm workers all see
+        // the same table.
+        analysis::AnalysisResult ar = analysis::analyze(program);
+        std::vector<core::StaticVerdict> table(
+            program.textSize(), core::StaticVerdict::Ambiguous);
+        for (const auto &[idx, v] : ar.verdicts)
+            table[idx] = v == analysis::Verdict::Local
+                             ? core::StaticVerdict::Local
+                         : v == analysis::Verdict::NonLocal
+                             ? core::StaticVerdict::NonLocal
+                             : core::StaticVerdict::Ambiguous;
+        pipe.classifier().setStaticVerdicts(std::move(table));
+    }
+
     if (!opts.blackboxPath.empty())
         pipe.enableCommitLog(kBlackboxCommits);
     if (opts.maxCycles != 0 || opts.maxWallSeconds > 0)
@@ -228,6 +247,9 @@ run(const prog::Program &program, const config::MachineConfig &cfg,
                        pipe.lsq().missteeredAccesses.value();
     }
     r.classifierAccuracy = pipe.classifier().accuracy();
+    r.classified = pipe.classifier().classified.value();
+    r.toLvaq = pipe.classifier().toLvaq.value();
+    r.staticDecided = pipe.classifier().staticDecided.value();
 
     if (opts.captureStats)
         r.statsText = stats::toText(root);

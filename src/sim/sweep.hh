@@ -117,6 +117,13 @@ struct SweepJob
     std::shared_ptr<const prog::Program> program;
     config::MachineConfig cfg;
     RunOptions opts{};
+    /**
+     * Provenance for --emit-grid: the HintPolicy name this job's
+     * program was annotated with ("" = stock registry program). The
+     * program above already carries the rewritten hint bits; this
+     * string only lets the exported GridJob reproduce them.
+     */
+    std::string annotate{};
 };
 
 /**

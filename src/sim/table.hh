@@ -26,6 +26,14 @@ class Table
      */
     static constexpr const char *kQuarantined = "(quarantined)";
 
+    /**
+     * The cell rendered for a metric that does not apply to a row's
+     * configuration (e.g. the static-decided fraction of a policy
+     * with no verdict table). Like kQuarantined, it keeps benches
+     * from passing structural zeros off as measurements.
+     */
+    static constexpr const char *kNotApplicable = "(n/a)";
+
     explicit Table(std::vector<std::string> headers);
 
     void addRow(std::vector<std::string> cells);

@@ -13,6 +13,7 @@
 #include <set>
 
 #include "analysis/analyzer.hh"
+#include "analysis/annotate.hh"
 #include "analysis/cfg.hh"
 #include "analysis/report.hh"
 #include "analysis/value.hh"
@@ -246,13 +247,29 @@ merge:
 
 TEST(Diagnostics, SpLost)
 {
+    // sp overwritten with a provably non-stack value: genuinely lost.
+    prog::Program p = prog::assemble(R"(
+main:
+        move sp, ra
+        halt
+)");
+    AnalysisResult res = analyze(p);
+    EXPECT_TRUE(hasDiag(res, "sp-lost")) << diagText(res);
+}
+
+TEST(Diagnostics, SpInexactOnDynamicAdjustment)
+{
+    // sp moved by an unknown amount stays stack-rooted: that is the
+    // alloca idiom, a warning (sp-inexact), not a lost sp.
     prog::Program p = prog::assemble(R"(
 main:
         add sp, sp, a0
         halt
 )");
     AnalysisResult res = analyze(p);
-    EXPECT_TRUE(hasDiag(res, "sp-lost")) << diagText(res);
+    EXPECT_TRUE(hasDiag(res, "sp-inexact")) << diagText(res);
+    EXPECT_FALSE(hasDiag(res, "sp-lost")) << diagText(res);
+    EXPECT_EQ(res.errors(), 0u) << diagText(res);
 }
 
 TEST(Diagnostics, UnbalancedReturn)
@@ -426,6 +443,192 @@ leaf:
         << diagText(res);
 }
 
+// ---- adversarial frames ---------------------------------------------------
+
+TEST(Adversarial, AllocaFrameWithSpRestoreThroughCopy)
+{
+    // The alloca idiom: a dynamic sp adjustment (sp-inexact warning,
+    // not an error), stores through the inexact-but-stack-rooted sp
+    // still provably local, and the restore through a saved copy
+    // recovering the exact entry-relative offset for the epilogue.
+    prog::Program p = prog::assemble(R"(
+main:
+        addi sp, sp, -16
+        sw ra, 12(sp) !local
+        move t0, sp
+        sub sp, sp, a0
+        sw zero, 0(sp) !local
+        move sp, t0
+        lw ra, 12(sp) !local
+        addi sp, sp, 16
+        halt
+)");
+    AnalysisResult res = analyze(p);
+    EXPECT_TRUE(hasDiag(res, "sp-inexact")) << diagText(res);
+    EXPECT_FALSE(hasDiag(res, "sp-lost")) << diagText(res);
+    EXPECT_FALSE(hasDiag(res, "sp-unbalanced-return"))
+        << diagText(res);
+    EXPECT_EQ(res.errors(), 0u) << diagText(res);
+    // Pinned verdicts: every access is provably local — including the
+    // store through the dynamically adjusted sp (rooted-pointer
+    // assumption) — and none is ambiguous.
+    EXPECT_EQ(res.loads.local, 1u) << diagText(res);
+    EXPECT_EQ(res.stores.local, 2u) << diagText(res);
+    EXPECT_EQ(res.loads.ambiguous + res.stores.ambiguous, 0u)
+        << diagText(res);
+}
+
+TEST(Adversarial, MutualRecursionConverges)
+{
+    // even <-> odd call each other; the interprocedural fixpoint must
+    // converge with every frame access still provably local.
+    prog::Program p = prog::assemble(R"(
+main:
+        jal even
+        halt
+even:
+        addi sp, sp, -8
+        sw ra, 0(sp) !local
+        jal odd
+        lw ra, 0(sp) !local
+        addi sp, sp, 8
+        ret
+odd:
+        addi sp, sp, -8
+        sw ra, 0(sp) !local
+        jal even
+        lw ra, 0(sp) !local
+        addi sp, sp, 8
+        ret
+)");
+    AnalysisResult res = analyze(p);
+    EXPECT_EQ(res.errors(), 0u) << diagText(res);
+    // Pinned verdicts: two spills, two reloads, all local.
+    EXPECT_EQ(res.loads.local, 2u) << diagText(res);
+    EXPECT_EQ(res.stores.local, 2u) << diagText(res);
+    EXPECT_EQ(res.loads.ambiguous + res.stores.ambiguous, 0u)
+        << diagText(res);
+}
+
+TEST(Adversarial, StackPointerEscapesToCallee)
+{
+    // A frame address passed as an argument arrives as StackDerived
+    // (the per-function StackOff coordinate cannot cross the call),
+    // but the dereference is still provably on the stack — Local, not
+    // Ambiguous.
+    prog::Program p = prog::assemble(R"(
+main:
+        addi sp, sp, -16
+        sw zero, 0(sp) !local
+        move a0, sp
+        jal consume
+        addi sp, sp, 16
+        halt
+consume:
+        lw t0, 0(a0) !local
+        ret
+)");
+    AnalysisResult res = analyze(p);
+    EXPECT_EQ(res.errors(), 0u) << diagText(res);
+    EXPECT_EQ(res.loads.local, 1u) << diagText(res);
+    EXPECT_EQ(res.stores.local, 1u) << diagText(res);
+    EXPECT_EQ(res.loads.ambiguous + res.stores.ambiguous, 0u)
+        << diagText(res);
+}
+
+// ---- the annotation pass --------------------------------------------------
+
+namespace {
+
+/**
+ * One provably-Local store (hint clear), one provably-NonLocal store
+ * (hint wrongly set), one Ambiguous load (hint as given): every
+ * verdict class the policies treat differently.
+ */
+prog::Program
+annotateFixture(bool ambiguousHinted)
+{
+    std::string src = R"(
+main:
+        addi sp, sp, -8
+        sw zero, 0(sp)
+        sw zero, 0(gp) !local
+        lw t0, 0(t6))";
+    src += ambiguousHinted ? " !local\n" : "\n";
+    src += R"(        addi sp, sp, 8
+        halt
+)";
+    return prog::assemble(src);
+}
+
+} // namespace
+
+TEST(Annotate, SafeClearsAmbiguous)
+{
+    prog::Program p = annotateFixture(true);
+    AnnotateStats st;
+    prog::Program out =
+        annotateProgram(p, HintPolicy::Safe, &st);
+    EXPECT_EQ(st.memInsts, 3u);
+    EXPECT_EQ(st.ambiguous, 1u);
+    EXPECT_EQ(st.hinted, 1u);  // the Local store
+    EXPECT_EQ(st.cleared, 2u); // NonLocal + Ambiguous
+    EXPECT_EQ(st.changed, 3u); // all three bits flipped
+    EXPECT_TRUE(out.fetch(1).localHint);   // sw 0(sp): Local
+    EXPECT_FALSE(out.fetch(2).localHint);  // sw 0(gp): NonLocal
+    EXPECT_FALSE(out.fetch(3).localHint);  // lw 0(t6): Ambiguous
+}
+
+TEST(Annotate, SpeculativeHintsAmbiguous)
+{
+    prog::Program p = annotateFixture(false);
+    AnnotateStats st;
+    prog::Program out =
+        annotateProgram(p, HintPolicy::Speculative, &st);
+    EXPECT_EQ(st.hinted, 2u); // Local + Ambiguous
+    EXPECT_EQ(st.cleared, 1u);
+    EXPECT_TRUE(out.fetch(3).localHint);
+}
+
+TEST(Annotate, HybridKeepsAmbiguousHint)
+{
+    // The ambiguous instruction keeps whatever bit the program
+    // carried — in both polarities.
+    AnnotateStats st;
+    prog::Program kept =
+        annotateProgram(annotateFixture(true), HintPolicy::Hybrid,
+                        &st);
+    EXPECT_TRUE(kept.fetch(3).localHint);
+    EXPECT_EQ(st.ambiguous, 1u);
+    prog::Program cleared = annotateProgram(annotateFixture(false),
+                                            HintPolicy::Hybrid);
+    EXPECT_FALSE(cleared.fetch(3).localHint);
+}
+
+TEST(Annotate, IsIdempotentAndPreservesVerdicts)
+{
+    for (HintPolicy policy :
+         {HintPolicy::Safe, HintPolicy::Speculative,
+          HintPolicy::Hybrid}) {
+        prog::Program once =
+            annotateProgram(annotateFixture(true), policy);
+        AnnotateStats st;
+        prog::Program twice = annotateProgram(once, policy, &st);
+        EXPECT_EQ(st.changed, 0u) << hintPolicyName(policy);
+        ASSERT_EQ(once.textSize(), twice.textSize());
+        for (std::uint32_t i = 0; i < once.textSize(); ++i)
+            EXPECT_EQ(once.fetchRaw(i), twice.fetchRaw(i))
+                << hintPolicyName(policy);
+        // Hint bits never feed the verdicts, so re-analysis of the
+        // annotated program must agree with the original's.
+        AnalysisResult before = analyze(annotateFixture(true));
+        AnalysisResult after = analyze(once);
+        EXPECT_EQ(before.loads.local, after.loads.local);
+        EXPECT_EQ(before.stores.nonLocal, after.stores.nonLocal);
+        EXPECT_EQ(before.loads.ambiguous, after.loads.ambiguous);
+    }
+}
+
 // ---- report rendering -----------------------------------------------------
 
 TEST(Report, JsonContainsSummaryAndDiagnostics)
@@ -518,11 +721,12 @@ TEST(CrossCheck, IntegerWorkloadsAgreeWithOracle)
         CrossCheck cc = crossCheck(name);
         EXPECT_EQ(cc.mismatches, 0u) << name;
         EXPECT_GT(cc.checked, 0u) << name;
-        // Pinned ambiguity budget: only m88ksim's hand-rolled 44 KB
-        // loadcore frame (secondary base register, paper footnote 6)
-        // defeats the static classifier.
-        std::size_t budget = std::string(name) == "m88ksim" ? 1 : 0;
-        EXPECT_EQ(cc.staticAmbiguous, budget) << name;
+        // Zero ambiguity across the whole suite: m88ksim's
+        // hand-rolled 44 KB loadcore frame (secondary base register,
+        // paper footnote 6) used to defeat the classifier until
+        // stack-derived bases were accepted as Local under the
+        // rooted-pointer assumption.
+        EXPECT_EQ(cc.staticAmbiguous, 0u) << name;
     }
 }
 

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/clang_tidy_gate.py's pure functions.
+
+clang-tidy itself is not required: these pin the diagnostic parser
+(normalization, repo-relative paths, multi-check lines, noise
+rejection), the baseline round-trip, and the new/fixed gate logic.
+Stdlib only; run directly or via ctest.
+"""
+
+import importlib.util
+import os
+import tempfile
+import unittest
+
+_TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     os.pardir, "tools", "clang_tidy_gate.py")
+_spec = importlib.util.spec_from_file_location("clang_tidy_gate",
+                                               _TOOL)
+ct = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(ct)
+
+ROOT = "/repo"
+
+
+class ParseDiagnostics(unittest.TestCase):
+    def test_extracts_file_and_check(self):
+        out = ("/repo/src/core/classifier.cc:42:7: warning: "
+               "use nullptr [modernize-use-nullptr]")
+        self.assertEqual(
+            ct.parse_diagnostics(out, ROOT),
+            {"src/core/classifier.cc:modernize-use-nullptr"})
+
+    def test_line_numbers_are_dropped(self):
+        out = ("/repo/src/a.cc:1:1: warning: x [bugprone-foo]\n"
+               "/repo/src/a.cc:99:5: warning: y [bugprone-foo]")
+        self.assertEqual(ct.parse_diagnostics(out, ROOT),
+                         {"src/a.cc:bugprone-foo"})
+
+    def test_multi_check_lines_split(self):
+        out = ("/repo/src/a.cc:3:1: warning: z "
+               "[bugprone-foo,cert-dcl03-c]")
+        self.assertEqual(
+            ct.parse_diagnostics(out, ROOT),
+            {"src/a.cc:bugprone-foo", "src/a.cc:cert-dcl03-c"})
+
+    def test_errors_also_count(self):
+        out = ("/repo/src/a.cc:3:1: error: bad "
+               "[clang-diagnostic-error]")
+        self.assertEqual(ct.parse_diagnostics(out, ROOT),
+                         {"src/a.cc:clang-diagnostic-error"})
+
+    def test_paths_outside_repo_dropped(self):
+        out = ("/usr/include/c++/13/vector:88:3: warning: w "
+               "[bugprone-foo]")
+        self.assertEqual(ct.parse_diagnostics(out, ROOT), set())
+
+    def test_non_diagnostic_noise_ignored(self):
+        out = ("Suppressed 12 warnings (12 in non-user code).\n"
+               "Use -header-filter=.* to display errors...\n"
+               "12 warnings generated.\n"
+               "note: this is a note without a check tag")
+        self.assertEqual(ct.parse_diagnostics(out, ROOT), set())
+
+
+class BaselineRoundTrip(unittest.TestCase):
+    def test_write_then_read(self):
+        entries = {"src/b.cc:bugprone-foo", "src/a.cc:cert-x"}
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "baseline.txt")
+            ct.write_baseline(path, entries)
+            self.assertEqual(ct.read_baseline(path), entries)
+            # Comments and blank lines survive as non-entries.
+            with open(path) as f:
+                self.assertTrue(f.readline().startswith("#"))
+
+    def test_missing_baseline_is_empty(self):
+        self.assertEqual(ct.read_baseline("/nonexistent/x.txt"),
+                         set())
+
+
+class GateLogic(unittest.TestCase):
+    def test_clean_tree_empty_baseline(self):
+        self.assertEqual(ct.gate(set(), set()), (set(), set()))
+
+    def test_new_finding_flagged(self):
+        new, fixed = ct.gate({"src/a.cc:bugprone-foo"}, set())
+        self.assertEqual(new, {"src/a.cc:bugprone-foo"})
+        self.assertEqual(fixed, set())
+
+    def test_baselined_finding_passes(self):
+        base = {"src/a.cc:bugprone-foo"}
+        self.assertEqual(ct.gate(base, base), (set(), set()))
+
+    def test_fixed_finding_reported(self):
+        new, fixed = ct.gate(set(), {"src/a.cc:bugprone-foo"})
+        self.assertEqual(new, set())
+        self.assertEqual(fixed, {"src/a.cc:bugprone-foo"})
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -115,6 +115,67 @@ TEST(Classifier, PredictorLearnsFromResolution)
     EXPECT_TRUE(c.verify(di, second));
 }
 
+TEST(Classifier, StaticHybridFollowsVerdictTable)
+{
+    stats::Group root(nullptr, "");
+    Classifier c(&root, ClassifierKind::StaticHybrid);
+    c.setStaticVerdicts({StaticVerdict::NonLocal,
+                         StaticVerdict::Local,
+                         StaticVerdict::Ambiguous});
+    // Decided pcs ignore both the hint bit and the predictor.
+    EXPECT_EQ(c.classify(makeMem(true, true, reg::sp, 0)),
+              Stream::Lsq);
+    EXPECT_EQ(c.classify(makeMem(false, false, reg::t0, 1)),
+              Stream::Lvaq);
+    EXPECT_EQ(c.staticDecided.value(), 2u);
+    // Ambiguous pc: untrained predictor follows the hint.
+    EXPECT_EQ(c.classify(makeMem(true, true, reg::t0, 2)),
+              Stream::Lvaq);
+    EXPECT_EQ(c.classify(makeMem(false, true, reg::t0, 2)),
+              Stream::Lsq);
+    EXPECT_EQ(c.staticDecided.value(), 2u);
+    // Beyond the table: Ambiguous.
+    EXPECT_EQ(c.classify(makeMem(true, true, reg::t0, 99)),
+              Stream::Lvaq);
+    EXPECT_EQ(c.staticDecided.value(), 2u);
+}
+
+TEST(Classifier, StaticHybridTrainsPredictorOnlyOnAmbiguous)
+{
+    stats::Group root(nullptr, "");
+    Classifier c(&root, ClassifierKind::StaticHybrid, 64);
+    c.setStaticVerdicts({StaticVerdict::Local});
+    // pc 0 is statically Local but resolves non-local (a wrong static
+    // verdict): counted as missteered, but it must NOT train the
+    // predictor entry that ambiguous pc 64 aliases onto.
+    auto wrong = makeMem(true, false, reg::t0, 0);
+    Stream s = c.classify(wrong);
+    EXPECT_EQ(s, Stream::Lvaq);
+    EXPECT_FALSE(c.verify(wrong, s));
+    EXPECT_EQ(c.mispredicted.value(), 1u);
+    // pc 64 aliases pc 0 in a 64-entry predictor; still untrained, so
+    // it follows its hint.
+    EXPECT_EQ(c.classify(makeMem(true, true, reg::t0, 64)),
+              Stream::Lvaq);
+    // Ambiguous pcs do train it.
+    auto amb = makeMem(true, false, reg::t0, 64);
+    c.verify(amb, Stream::Lvaq);
+    EXPECT_EQ(c.classify(makeMem(true, false, reg::t0, 64)),
+              Stream::Lsq);
+}
+
+TEST(Classifier, StaticHybridWithoutTableActsAsPredictor)
+{
+    stats::Group root(nullptr, "");
+    Classifier c(&root, ClassifierKind::StaticHybrid);
+    auto di = makeMem(true, false, reg::t0, 5);
+    Stream first = c.classify(di);
+    EXPECT_EQ(first, Stream::Lvaq); // untrained: follows hint
+    c.verify(di, first);
+    EXPECT_EQ(c.classify(di), Stream::Lsq); // learned
+    EXPECT_EQ(c.staticDecided.value(), 0u);
+}
+
 TEST(RegionPredictor, UntrainedUsesHint)
 {
     RegionPredictor p(64);

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "analysis/annotate.hh"
 #include "isa/disasm.hh"
 #include "isa/encode.hh"
 #include "isa/inst.hh"
@@ -14,6 +17,7 @@
 #include "isa/regs.hh"
 #include "prog/asm_parser.hh"
 #include "util/log.hh"
+#include "workloads/common.hh"
 
 using namespace ddsim;
 using namespace ddsim::isa;
@@ -147,6 +151,51 @@ TEST_P(OpcodeRoundTrip, LocalHintClearSurvivesTextRoundTrip)
 
 INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeRoundTrip,
                          ::testing::Range(0, NumOpcodesInt));
+
+TEST(AnnotatedRoundTrip, WorkloadsSurviveDisasmReparse)
+{
+    // The static partitioning pass rewrites hint bits in-place; the
+    // result must still be a well-formed program whose full listing
+    // disassembles and reparses to the identical text image — hint
+    // bits included. The registry generators already emit perfect
+    // hints, so strip them first (an unannotated compiler) to force
+    // the pass to do real rewriting before the round-trip.
+    std::size_t flipped = 0;
+    for (const auto &info : workloads::all()) {
+        workloads::WorkloadParams params;
+        params.scale = 5;
+        prog::Program base = info.factory(params);
+        for (std::uint32_t i = 0; i < base.textSize(); ++i) {
+            Inst inst = base.fetch(i);
+            if (opInfo(inst.op).fmt == Format::Mem &&
+                inst.localHint) {
+                inst.localHint = false;
+                base.patch(i, encode(inst));
+            }
+        }
+        analysis::AnnotateStats st;
+        prog::Program annotated = analysis::annotateProgram(
+            base, analysis::HintPolicy::Speculative, &st);
+        flipped += st.changed;
+
+        std::ostringstream os;
+        os << "main:\n";
+        for (std::uint32_t i = 0; i < annotated.textSize(); ++i)
+            os << "    " << disassemble(annotated.fetch(i)) << "\n";
+        prog::Program reparsed = prog::assemble(os.str(), info.name);
+
+        ASSERT_EQ(reparsed.textSize(), annotated.textSize())
+            << info.name;
+        for (std::uint32_t i = 0; i < annotated.textSize(); ++i) {
+            ASSERT_EQ(reparsed.fetchRaw(i), annotated.fetchRaw(i))
+                << info.name << " @" << i << ": "
+                << disassemble(annotated.fetch(i));
+        }
+    }
+    // The pass must have really exercised the hint-bit path: the
+    // stripped hints on stack accesses all come back.
+    EXPECT_GT(flipped, 0u);
+}
 
 TEST(Encode, MemOffsetLimits)
 {

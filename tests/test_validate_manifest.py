@@ -100,6 +100,17 @@ class GridSpecChecks(unittest.TestCase):
         doc["jobs"][0]["scale"] = 0
         self.assertRejected(doc, "scale")
 
+    def test_accepts_annotate_policies(self):
+        doc = grid_doc()
+        doc["jobs"][0]["annotate"] = "safe"
+        doc["jobs"][1]["annotate"] = "hybrid"
+        self.assertEqual(vm.check_grid_spec(doc, "grid"), 3)
+
+    def test_rejects_unknown_annotate_policy(self):
+        doc = grid_doc()
+        doc["jobs"][0]["annotate"] = "yolo"
+        self.assertRejected(doc, "annotate policy")
+
 
 class FarmManifestChecks(unittest.TestCase):
     def test_valid_farm_passes(self):
@@ -145,6 +156,111 @@ class FarmManifestChecks(unittest.TestCase):
         doc = farm_doc()
         doc["shards"][0]["num_jobs"] = 3
         self.assertRejected(doc, "num_jobs")
+
+
+def lint_doc():
+    """A minimal valid ddsim-lint-v1 document: two programs, one with
+    a warning diagnostic, mixes consistent with the verdict arrays."""
+    def verdict(i, inst, load, v, annotated=False):
+        return {"id": i, "inst": inst, "load": load, "verdict": v,
+                "annotated": annotated}
+    prog_a = {
+        "program": "alpha",
+        "errors": 0, "warnings": 1, "notes": 0,
+        "loads": {"local": 1, "nonlocal": 1, "ambiguous": 0},
+        "stores": {"local": 1, "nonlocal": 0, "ambiguous": 1},
+        "verdicts": [
+            verdict(0, 2, True, "local", annotated=True),
+            verdict(1, 5, False, "local", annotated=True),
+            verdict(2, 9, True, "nonlocal"),
+            verdict(3, 12, False, "ambiguous"),
+        ],
+        "functions": [],
+        "diagnostics": [
+            {"severity": "warning", "id": "sp-inexact", "inst": 4,
+             "function": "main", "message": "dynamic frame"},
+        ],
+    }
+    prog_b = {
+        "program": "beta",
+        "errors": 0, "warnings": 0, "notes": 0,
+        "loads": {"local": 0, "nonlocal": 0, "ambiguous": 0},
+        "stores": {"local": 1, "nonlocal": 0, "ambiguous": 0},
+        "verdicts": [verdict(0, 3, False, "local", annotated=True)],
+        "functions": [],
+        "diagnostics": [],
+    }
+    return {
+        "schema": vm.LINT_SCHEMA,
+        "generator": {"name": "ddsim", "version": "1", "git": "abc"},
+        "programs": [prog_a, prog_b],
+        "summary": {
+            "programs": 2,
+            "errors": 0, "warnings": 1, "notes": 0,
+            "loads": {"local": 1, "nonlocal": 1, "ambiguous": 0},
+            "stores": {"local": 2, "nonlocal": 0, "ambiguous": 1},
+        },
+    }
+
+
+class LintDocumentChecks(unittest.TestCase):
+    def test_valid_lint_doc_passes(self):
+        self.assertEqual(vm.check_lint_document(lint_doc(), "lint"), 2)
+
+    def assertRejected(self, doc, fragment):
+        with self.assertRaises(vm.Invalid) as ctx:
+            vm.check_lint_document(doc, "lint")
+        self.assertIn(fragment, str(ctx.exception))
+
+    def test_rejects_unknown_verdict(self):
+        doc = lint_doc()
+        doc["programs"][0]["verdicts"][2]["verdict"] = "maybe"
+        self.assertRejected(doc, "unknown verdict")
+
+    def test_rejects_non_dense_verdict_ids(self):
+        doc = lint_doc()
+        doc["programs"][0]["verdicts"][1]["id"] = 5
+        self.assertRejected(doc, "dense")
+
+    def test_rejects_non_increasing_inst(self):
+        doc = lint_doc()
+        doc["programs"][0]["verdicts"][1]["inst"] = 2
+        self.assertRejected(doc, "strictly")
+
+    def test_rejects_mix_inconsistent_with_verdicts(self):
+        doc = lint_doc()
+        doc["programs"][0]["loads"]["local"] = 2
+        self.assertRejected(doc, "verdicts array totals")
+
+    def test_rejects_diag_count_mismatch(self):
+        doc = lint_doc()
+        doc["programs"][0]["warnings"] = 0
+        self.assertRejected(doc, "diagnostics array holds")
+
+    def test_rejects_summary_total_drift(self):
+        doc = lint_doc()
+        doc["summary"]["stores"]["local"] = 7
+        self.assertRejected(doc, "programs total")
+
+    def test_rejects_summary_program_count(self):
+        doc = lint_doc()
+        doc["summary"]["programs"] = 3
+        self.assertRejected(doc, "summary.programs")
+
+    def test_rejects_duplicate_program(self):
+        doc = lint_doc()
+        doc["programs"][1] = copy.deepcopy(doc["programs"][0])
+        self.assertRejected(doc, "duplicate program")
+
+    def test_rejects_missing_generator(self):
+        doc = lint_doc()
+        del doc["generator"]["git"]
+        self.assertRejected(doc, "generator")
+
+    def test_rejects_unknown_severity(self):
+        doc = lint_doc()
+        doc["programs"][0]["diagnostics"][0]["severity"] = "fatal"
+        self.assertRejected(doc, "unknown severity")
 
 
 class SweepManifestChecks(unittest.TestCase):

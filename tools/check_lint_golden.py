@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Static-analysis regression gate.
+
+Runs ``ddlint --workload=all --format=json`` and diffs the
+per-workload verdict counts (loads/stores local/nonlocal/ambiguous)
+and diagnostic totals against the committed golden file. Any drift —
+an analyzer change that silently loses precision, an ISA change that
+shifts a verdict, a workload edit — fails the gate with a field-level
+report.
+
+Usage:
+    check_lint_golden.py --ddlint=build/tools/ddlint \\
+        --golden=tests/lint_golden.json [--update]
+
+``--update`` rewrites the golden from the current ddlint output;
+commit the result together with the change that moved the numbers.
+
+Stdlib only, like tools/validate_manifest.py.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+COUNT_KEYS = ("errors", "warnings", "notes")
+MIX_KEYS = ("local", "nonlocal", "ambiguous")
+
+
+def extract(doc):
+    """The golden view of a ddsim-lint-v1 document: per-program counts
+    keyed by program name, in document order."""
+    if doc.get("schema") != "ddsim-lint-v1":
+        sys.exit(f"error: not a ddsim-lint-v1 document "
+                 f"(schema={doc.get('schema')!r})")
+    golden = {"schema": "ddsim-lint-v1-golden", "programs": {}}
+    for prog in doc["programs"]:
+        entry = {k: prog[k] for k in COUNT_KEYS}
+        for mix in ("loads", "stores"):
+            entry[mix] = {k: prog[mix][k] for k in MIX_KEYS}
+        entry["mem_insts"] = len(prog["verdicts"])
+        golden["programs"][prog["program"]] = entry
+    return golden
+
+
+def diff(want, got):
+    """Human-readable field-level differences, want vs got."""
+    out = []
+    wp, gp = want["programs"], got["programs"]
+    for name in sorted(set(wp) | set(gp)):
+        if name not in gp:
+            out.append(f"{name}: missing from ddlint output")
+            continue
+        if name not in wp:
+            out.append(f"{name}: not in the golden (new workload? "
+                       f"run with --update)")
+            continue
+        w, g = wp[name], gp[name]
+        for key in COUNT_KEYS + ("mem_insts",):
+            if w[key] != g[key]:
+                out.append(f"{name}.{key}: golden {w[key]}, "
+                           f"got {g[key]}")
+        for mix in ("loads", "stores"):
+            for k in MIX_KEYS:
+                if w[mix][k] != g[mix][k]:
+                    out.append(f"{name}.{mix}.{k}: golden "
+                               f"{w[mix][k]}, got {g[mix][k]}")
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--ddlint", required=True,
+                    help="path to the ddlint binary")
+    ap.add_argument("--golden", required=True,
+                    help="path to the committed golden file")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the golden from current output")
+    args = ap.parse_args()
+
+    proc = subprocess.run(
+        [args.ddlint, "--workload=all", "--format=json"],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        sys.exit(f"error: ddlint exited {proc.returncode} "
+                 f"(error-severity diagnostics?)")
+    got = extract(json.loads(proc.stdout))
+
+    if args.update:
+        with open(args.golden, "w") as f:
+            json.dump(got, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"golden updated: {args.golden} "
+              f"({len(got['programs'])} programs)")
+        return
+
+    try:
+        with open(args.golden) as f:
+            want = json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"error: golden file {args.golden!r} not found "
+                 f"(generate with --update)")
+
+    problems = diff(want, got)
+    if problems:
+        print("lint golden drift detected:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        print(f"if intentional, regenerate with:\n"
+              f"  python3 tools/check_lint_golden.py "
+              f"--ddlint={args.ddlint} --golden={args.golden} "
+              f"--update", file=sys.stderr)
+        sys.exit(1)
+    print(f"lint golden OK: {len(got['programs'])} programs match")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""clang-tidy regression gate over src/.
+
+Runs clang-tidy (checks from the repo's .clang-tidy) on every .cc file
+under src/ and compares the normalized diagnostics against a committed
+baseline. New diagnostics fail the gate; fixed ones are reported so
+the baseline can be tightened. This keeps the tree warning-clean
+without requiring clang-tidy locally: CI enforces, developers
+regenerate with --update when a finding is accepted.
+
+A diagnostic is normalized to "<repo-relative-file>:<check-id>" —
+line numbers are deliberately dropped so unrelated edits to the same
+file don't churn the baseline.
+
+Usage:
+    clang_tidy_gate.py --build-dir=build \\
+        --baseline=tools/clang_tidy_baseline.txt [--update] [--jobs=N]
+
+Requires a build dir configured with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON.
+Stdlib only.
+"""
+
+import argparse
+import json
+import multiprocessing.pool
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): .* \[(?P<check>[\w.,-]+)\]$")
+
+
+def parse_diagnostics(text, root):
+    """Normalize clang-tidy output into {"file:check", ...}. Paths are
+    made repo-relative to @p root; diagnostics outside the repo (system
+    or third-party headers) are dropped."""
+    found = set()
+    for line in text.splitlines():
+        m = DIAG_RE.match(line.strip())
+        if not m:
+            continue
+        path = os.path.abspath(m.group("file"))
+        rel = os.path.relpath(path, root)
+        if rel.startswith(".."):
+            continue
+        for check in m.group("check").split(","):
+            found.add(f"{rel}:{check}")
+    return found
+
+
+def read_baseline(path):
+    """Baseline entries, ignoring blank lines and # comments."""
+    entries = set()
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    entries.add(line)
+    except FileNotFoundError:
+        pass
+    return entries
+
+
+def write_baseline(path, entries):
+    with open(path, "w") as f:
+        f.write("# clang-tidy baseline: known findings, one "
+                "<file>:<check> per line.\n"
+                "# Regenerate with tools/clang_tidy_gate.py "
+                "--update after accepting a finding;\n"
+                "# the gate fails on any finding not listed here.\n")
+        for e in sorted(entries):
+            f.write(e + "\n")
+
+
+def gate(found, baseline):
+    """(new, fixed) sets relative to the baseline."""
+    return found - baseline, baseline - found
+
+
+def source_files(root):
+    out = []
+    for dirpath, _, names in os.walk(os.path.join(root, "src")):
+        out.extend(os.path.join(dirpath, n) for n in names
+                   if n.endswith(".cc"))
+    return sorted(out)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", required=True,
+                    help="build dir with compile_commands.json")
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--update", action="store_true")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument("--clang-tidy", default="clang-tidy")
+    args = ap.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.exists(
+            os.path.join(args.build_dir, "compile_commands.json")):
+        sys.exit(f"error: {args.build_dir}/compile_commands.json not "
+                 f"found (configure with "
+                 f"-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+    if shutil.which(args.clang_tidy) is None:
+        sys.exit(f"error: {args.clang_tidy!r} not found on PATH")
+
+    files = source_files(root)
+    if not files:
+        sys.exit("error: no .cc files under src/")
+
+    def run_one(path):
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", args.build_dir, "--quiet", path],
+            capture_output=True, text=True)
+        return path, proc.stdout, proc.returncode
+
+    found = set()
+    hard_errors = []
+    with multiprocessing.pool.ThreadPool(max(1, args.jobs)) as pool:
+        for path, out, rc in pool.imap_unordered(run_one, files):
+            diags = parse_diagnostics(out, root)
+            found |= diags
+            # rc != 0 with no parsed diagnostics means clang-tidy
+            # itself failed (bad flags, missing entry): surface it.
+            if rc != 0 and not diags:
+                hard_errors.append((path, out.strip()))
+
+    if hard_errors:
+        for path, out in hard_errors:
+            print(f"clang-tidy failed on {path}:\n{out}",
+                  file=sys.stderr)
+        sys.exit(2)
+
+    if args.update:
+        write_baseline(args.baseline, found)
+        print(f"baseline updated: {len(found)} finding(s)")
+        return
+
+    baseline = read_baseline(args.baseline)
+    new, fixed = gate(found, baseline)
+    if fixed:
+        print(f"{len(fixed)} baselined finding(s) no longer fire; "
+              f"tighten with --update:")
+        for e in sorted(fixed):
+            print(f"  {e}")
+    if new:
+        print(f"{len(new)} new clang-tidy finding(s):",
+              file=sys.stderr)
+        for e in sorted(new):
+            print(f"  {e}", file=sys.stderr)
+        print("fix them, or accept with tools/clang_tidy_gate.py "
+              "--update", file=sys.stderr)
+        sys.exit(1)
+    print(f"clang-tidy gate OK: {len(files)} files, "
+          f"{len(found)} finding(s), all baselined")
+
+
+if __name__ == "__main__":
+    main()

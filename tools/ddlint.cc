@@ -35,17 +35,19 @@ struct Totals
     std::size_t programs = 0;
     std::size_t errors = 0;
     std::size_t warnings = 0;
+    /** JSON mode collects everything into one ddsim-lint-v1 doc. */
+    std::vector<analysis::AnalysisResult> collected;
 };
 
 void
-emit(const analysis::AnalysisResult &res, const std::string &fmt,
+emit(analysis::AnalysisResult res, const std::string &fmt,
      bool verbose, Totals &totals)
 {
     ++totals.programs;
     totals.errors += res.errors();
     totals.warnings += res.warnings();
     if (fmt == "json")
-        std::fputs(analysis::jsonReport(res).c_str(), stdout);
+        totals.collected.push_back(std::move(res));
     else
         std::fputs(analysis::textReport(res, verbose).c_str(),
                    stdout);
@@ -130,7 +132,10 @@ main(int argc, char **argv)
         }
     }
 
-    if (fmt == "text")
+    if (fmt == "json")
+        std::fputs(analysis::jsonDocument(totals.collected).c_str(),
+                   stdout);
+    else
         std::printf("ddlint: %zu program(s), %zu error(s), "
                     "%zu warning(s)\n",
                     totals.programs, totals.errors, totals.warnings);

@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
 """Validate a ddsim run manifest, sweep manifest, grid spec, farm
-manifest, or crash black box.
+manifest, crash black box, or ddlint verdict export.
 
 Stdlib-only. Checks schema identifiers, required fields, and internal
 consistency (IPC = committed/cycles, per-stream counts are integers,
 stat tree shape, degraded-sweep job tables, black-box error reports,
 dense grid-spec job ids, farm shard provenance covering every job id
-exactly once). Exits non-zero with a message on the first problem.
+exactly once, lint verdict enums and mix totals vs the per-program
+verdict arrays). Exits non-zero with a message on the first problem.
 
 Usage: validate_manifest.py <manifest.json> [more.json ...]
 """
@@ -20,8 +21,12 @@ STATS_SCHEMA = "ddsim-stats-v1"
 BLACKBOX_SCHEMA = "ddsim-blackbox-v1"
 GRID_SCHEMA = "ddsim-grid-v1"
 FARM_SCHEMA = "ddsim-farm-manifest-v1"
+LINT_SCHEMA = "ddsim-lint-v1"
 
 JOB_STATUSES = ("ok", "recovered", "quarantined")
+VERDICTS = ("local", "nonlocal", "ambiguous")
+SEVERITIES = ("error", "warning", "note")
+ANNOTATE_POLICIES = ("safe", "speculative", "hybrid")
 
 
 class Invalid(Exception):
@@ -184,6 +189,12 @@ def check_grid_spec(doc, where):
         for key in ("max_insts", "warmup_insts"):
             if need(job, key, int, jw) < 0:
                 raise Invalid(f"{jw}: negative {key}")
+        # Optional static-partitioning pass; absent = stock program.
+        if "annotate" in job:
+            annotate = need(job, "annotate", str, jw)
+            if annotate not in ANNOTATE_POLICIES:
+                raise Invalid(f"{jw}: unknown annotate policy "
+                              f"{annotate!r}")
         cfg = need(job, "config", dict, jw)
         if not need(cfg, "notation", str, f"{jw}.config"):
             raise Invalid(f"{jw}.config: empty notation")
@@ -242,6 +253,117 @@ def check_farm_manifest(doc, where):
                       f"0..{num_jobs - 1} exactly once "
                       f"(missing {missing}, unexpected {extra})")
     return num_jobs
+
+
+def check_lint_program(prog, where):
+    """One per-program object of a ddsim-lint-v1 document: verdict
+    enum values, dense ordinal ids over strictly increasing
+    instruction indices, and load/store mixes that re-total from the
+    verdicts array."""
+    name = need(prog, "program", str, where)
+    if not name:
+        raise Invalid(f"{where}: empty program name")
+    for key in ("errors", "warnings", "notes"):
+        if need(prog, key, int, where) < 0:
+            raise Invalid(f"{where}: negative {key}")
+    mixes = {}
+    for mix in ("loads", "stores"):
+        m = need(prog, mix, dict, where)
+        for v in VERDICTS:
+            if need(m, v, int, f"{where}.{mix}") < 0:
+                raise Invalid(f"{where}.{mix}.{v}: negative count")
+        mixes[mix] = m
+
+    counted = {mix: dict.fromkeys(VERDICTS, 0)
+               for mix in ("loads", "stores")}
+    prev_inst = -1
+    for i, v in enumerate(need(prog, "verdicts", list, where)):
+        vw = f"{where}.verdicts[{i}]"
+        if need(v, "id", int, vw) != i:
+            raise Invalid(f"{vw}: id {v['id']} != position {i} "
+                          f"(ids must be dense and ordered)")
+        inst = need(v, "inst", int, vw)
+        if inst <= prev_inst:
+            raise Invalid(f"{vw}: inst {inst} not strictly "
+                          f"increasing (previous {prev_inst})")
+        prev_inst = inst
+        load = need(v, "load", bool, vw)
+        verdict = need(v, "verdict", str, vw)
+        if verdict not in VERDICTS:
+            raise Invalid(f"{vw}: unknown verdict {verdict!r}")
+        need(v, "annotated", bool, vw)
+        counted["loads" if load else "stores"][verdict] += 1
+    for mix in ("loads", "stores"):
+        for v in VERDICTS:
+            if mixes[mix][v] != counted[mix][v]:
+                raise Invalid(
+                    f"{where}.{mix}.{v}: mix says {mixes[mix][v]}, "
+                    f"verdicts array totals {counted[mix][v]}")
+
+    sev_counts = dict.fromkeys(SEVERITIES, 0)
+    for i, d in enumerate(need(prog, "diagnostics", list, where)):
+        dw = f"{where}.diagnostics[{i}]"
+        sev = need(d, "severity", str, dw)
+        if sev not in SEVERITIES:
+            raise Invalid(f"{dw}: unknown severity {sev!r}")
+        if not need(d, "id", str, dw):
+            raise Invalid(f"{dw}: empty diagnostic id")
+        need(d, "inst", int, dw)
+        need(d, "message", str, dw)
+        sev_counts[sev] += 1
+    for sev, key in (("error", "errors"), ("warning", "warnings"),
+                     ("note", "notes")):
+        if prog[key] != sev_counts[sev]:
+            raise Invalid(f"{where}.{key}: says {prog[key]}, "
+                          f"diagnostics array holds {sev_counts[sev]}")
+    return mixes
+
+
+def check_lint_document(doc, where):
+    """A ddsim-lint-v1 document: generator provenance, well-formed
+    per-program objects, and a summary block that is the element-wise
+    total of the programs."""
+    gen = need(doc, "generator", dict, where)
+    for key in ("name", "version", "git"):
+        need(gen, key, str, f"{where}.generator")
+    totals = {"errors": 0, "warnings": 0, "notes": 0,
+              "loads": dict.fromkeys(VERDICTS, 0),
+              "stores": dict.fromkeys(VERDICTS, 0)}
+    seen = set()
+    programs = need(doc, "programs", list, where)
+    for i, prog in enumerate(programs):
+        pw = f"{where}.programs[{i}]"
+        mixes = check_lint_program(prog, pw)
+        name = prog["program"]
+        if name in seen:
+            raise Invalid(f"{pw}: duplicate program {name!r}")
+        seen.add(name)
+        for key in ("errors", "warnings", "notes"):
+            totals[key] += prog[key]
+        for mix in ("loads", "stores"):
+            for v in VERDICTS:
+                totals[mix][v] += mixes[mix][v]
+
+    summary = need(doc, "summary", dict, where)
+    if need(summary, "programs", int, f"{where}.summary") \
+            != len(programs):
+        raise Invalid(f"{where}.summary.programs: says "
+                      f"{summary['programs']}, document holds "
+                      f"{len(programs)}")
+    for key in ("errors", "warnings", "notes"):
+        if need(summary, key, int, f"{where}.summary") != totals[key]:
+            raise Invalid(f"{where}.summary.{key}: says "
+                          f"{summary[key]}, programs total "
+                          f"{totals[key]}")
+    for mix in ("loads", "stores"):
+        m = need(summary, mix, dict, f"{where}.summary")
+        for v in VERDICTS:
+            if need(m, v, int, f"{where}.summary.{mix}") \
+                    != totals[mix][v]:
+                raise Invalid(f"{where}.summary.{mix}.{v}: says "
+                              f"{m[v]}, programs total "
+                              f"{totals[mix][v]}")
+    return len(programs)
 
 
 def check_blackbox(doc, where):
@@ -321,6 +443,10 @@ def main(argv):
                 n = check_farm_manifest(doc, "farm")
                 print(f"{path}: OK (farm manifest, {n} jobs across "
                       f"{len(doc['shards'])} shards)")
+            elif schema == LINT_SCHEMA:
+                n = check_lint_document(doc, "lint")
+                print(f"{path}: OK (lint export, {n} programs, "
+                      f"{doc['summary']['errors']} error(s))")
             else:
                 raise Invalid(f"unknown schema {schema!r}")
         except Invalid as e:
