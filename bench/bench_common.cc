@@ -33,6 +33,27 @@ Options::Options(int argc, const char *const *argv)
         fatal("--wall-budget must be >= 0 (0 = unlimited)");
     failFast = args.getBool("fail-fast");
 
+    if (args.has("engine"))
+        engine = sim::engineFromName(args.get("engine"));
+    std::int64_t sp = args.getInt("sample-period",
+                                  static_cast<std::int64_t>(
+                                      sampling.period));
+    std::int64_t sd = args.getInt("sample-detail",
+                                  static_cast<std::int64_t>(
+                                      sampling.detail));
+    std::int64_t swu = args.getInt("sample-warmup",
+                                   static_cast<std::int64_t>(
+                                       sampling.warmup));
+    if (sp <= 0 || sd <= 0 || swu < 0)
+        fatal("--sample-period/--sample-detail must be > 0 and "
+              "--sample-warmup >= 0");
+    sampling.period = static_cast<std::uint64_t>(sp);
+    sampling.detail = static_cast<std::uint64_t>(sd);
+    sampling.warmup = static_cast<std::uint64_t>(swu);
+    if (sampling.warmup + sampling.detail > sampling.period)
+        fatal("--sample-warmup + --sample-detail must not exceed "
+              "--sample-period");
+
     std::int64_t j = args.getInt("jobs", 0); // 0 = auto
     if (j < 0)
         fatal("--jobs must be >= 0 (0 = one per hardware thread)");
@@ -114,6 +135,9 @@ runGrid(const Options &opts, std::vector<sim::SweepJob> jobs,
             g.maxInsts = job.opts.maxInsts;
             g.warmupInsts = job.opts.warmupInsts;
             g.annotate = job.annotate;
+            g.engine = opts.engine;
+            if (opts.engine == sim::Engine::Sampled)
+                g.sampling = opts.sampling;
             g.cfg = job.cfg;
             spec.jobs.push_back(std::move(g));
         }
@@ -131,6 +155,11 @@ runGrid(const Options &opts, std::vector<sim::SweepJob> jobs,
             job.opts.maxCycles = opts.cycleBudget;
         if (opts.wallBudget > 0)
             job.opts.maxWallSeconds = opts.wallBudget;
+        if (opts.engine != sim::Engine::Auto) {
+            job.opts.engine = opts.engine;
+            if (opts.engine == sim::Engine::Sampled)
+                job.opts.sampling = opts.sampling;
+        }
     }
 
     if (opts.failFast) {

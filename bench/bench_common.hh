@@ -21,6 +21,13 @@
  *                    tools/ddsweep; see docs/FARM.md)
  *   --cycle-budget=<n>  per-run simulated-cycle budget (0 = unlimited)
  *   --wall-budget=<s>   per-run wall-clock budget in seconds (0 = off)
+ *   --engine=<e>     execution engine for every job: auto (default),
+ *                    live, replay, batched (one trace pass per sweep
+ *                    column, bit-identical) or sampled (SMARTS interval
+ *                    sampling; IPC becomes an estimate with error bars)
+ *   --sample-period=<n> --sample-detail=<n> --sample-warmup=<n>
+ *                    override the sampled engine's plan (defaults hold
+ *                    every workload within 2% IPC error at --scale=1)
  *   --fail-fast      die on the first failed job (default: isolate it,
  *                    finish the rest of the grid, report a degraded
  *                    sweep)
@@ -62,6 +69,10 @@ struct Options
     double wallBudget = 0.0;
     /** Rethrow the first job failure instead of quarantining it. */
     bool failFast = false;
+    /** Execution engine applied to every job (--engine). */
+    sim::Engine engine = sim::Engine::Auto;
+    /** Sampled-engine plan (--sample-*; used when engine == Sampled). */
+    sim::SamplingPlan sampling;
     std::vector<const workloads::WorkloadInfo *> programs;
     config::CliArgs args;
 

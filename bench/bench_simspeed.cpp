@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "config/presets.hh"
+#include "obs/version.hh"
+#include "sim/runner.hh"
 #include "sim/sweep.hh"
 #include "util/log.hh"
 #include "vm/trace.hh"
@@ -136,10 +138,93 @@ timedRate(const prog::Program &program,
 }
 
 /**
- * The two acceptance metrics of the event-driven core, plus context:
- * per-workload single-run throughput (live execution and shared-trace
- * replay) and the wall clock of the full Fig. 7 (N+M) sweep grid at
- * --jobs=1.
+ * Like timedRate, but each repetition is one runBatch() pass over a
+ * whole config column; the rate aggregates every lane's committed
+ * instructions (the decode pass is shared, which is the point).
+ */
+double
+timedBatchRate(const prog::Program &program,
+               const std::vector<config::MachineConfig> &cfgs,
+               double minSec)
+{
+    using clock = std::chrono::steady_clock;
+    std::uint64_t insts = 0;
+    double elapsed = 0.0;
+    int reps = 0;
+    while (elapsed < minSec || reps < 2) {
+        auto t0 = clock::now();
+        std::vector<sim::SimResult> rs = sim::runBatch(program, cfgs);
+        elapsed +=
+            std::chrono::duration<double>(clock::now() - t0).count();
+        for (const sim::SimResult &r : rs)
+            insts += r.committed;
+        ++reps;
+    }
+    return static_cast<double>(insts) / elapsed / 1e6;
+}
+
+/** One engine variant of the Fig. 7 sweep-grid measurement. */
+struct SweepRow
+{
+    const char *engine;
+    std::size_t jobs = 0;
+    double wallMs = 0.0;
+    double rate = 0.0;
+};
+
+/**
+ * The full Fig. 7 grid (per program: (2+0) base + 3x5 (N+M) matrix)
+ * at one worker, traces shared per program, under the given engine.
+ * Auto is the committed schema-1 measurement (per-point shared-trace
+ * replay); Batched folds each program's column into one decode pass;
+ * Sampled runs the default SMARTS plan (IPC becomes an estimate, and
+ * committed still counts the whole program, so the rate stays
+ * comparable).
+ */
+SweepRow
+fig7Sweep(const char *label, sim::Engine engine)
+{
+    using clock = std::chrono::steady_clock;
+    SweepRow row;
+    row.engine = label;
+    std::uint64_t insts = 0;
+    auto t0 = clock::now();
+    {
+        sim::SweepRunner sweep(1);
+        sim::RunOptions ro;
+        ro.engine = engine;
+        for (const workloads::WorkloadInfo &w : workloads::all()) {
+            workloads::WorkloadParams p;
+            p.scale = w.defaultScale;
+            auto program = std::make_shared<const prog::Program>(
+                workloads::build(w.name, p));
+            sweep.submit(program, config::baseline(2), ro);
+            ++row.jobs;
+            for (int n : {2, 3, 4}) {
+                for (int m : {0, 1, 2, 3, 16}) {
+                    sweep.submit(program,
+                                 m == 0 ? config::baseline(n)
+                                        : config::decoupled(n, m),
+                                 ro);
+                    ++row.jobs;
+                }
+            }
+        }
+        for (const sim::SimResult &r : sweep.collect())
+            insts += r.committed;
+    }
+    row.wallMs =
+        std::chrono::duration<double, std::milli>(clock::now() - t0)
+            .count();
+    row.rate = static_cast<double>(insts) / (row.wallMs * 1e3);
+    return row;
+}
+
+/**
+ * The acceptance metrics of the engine stack, plus context:
+ * per-workload single-run throughput (live execution, shared-trace
+ * replay, one batched column, one sampled run) and the wall clock of
+ * the full Fig. 7 (N+M) sweep grid at --jobs=1 under each engine.
  */
 int
 writeJson(const char *path)
@@ -179,6 +264,24 @@ writeJson(const char *path)
              "decoupledOptimized(3,2)", "replay",
              timedRate(li, config::decoupledOptimized(3, 2),
                        replayOpts, minSec)});
+        // One Fig. 7 column (N=3, every M) through one decode pass.
+        singles.push_back(
+            {"fig7col_li_batched", "li", "fig7 N=3 column (5 configs)",
+             "batched",
+             timedBatchRate(li,
+                            {config::baseline(3),
+                             config::decoupled(3, 1),
+                             config::decoupled(3, 2),
+                             config::decoupled(3, 3),
+                             config::decoupled(3, 16)},
+                            minSec)});
+        sim::RunOptions sampledOpts;
+        sampledOpts.engine = sim::Engine::Sampled;
+        singles.push_back(
+            {"decoupledOpt32_li_sampled", "li",
+             "decoupledOptimized(3,2)", "sampled",
+             timedRate(li, config::decoupledOptimized(3, 2),
+                       sampledOpts, minSec)});
     }
     {
         prog::Program swim = programOf("swim");
@@ -196,46 +299,26 @@ writeJson(const char *path)
                        minSec)});
     }
 
-    // Full Fig. 7 grid (per program: (2+0) base + 3x5 (N+M) matrix)
-    // at one worker, traces shared per program — the sweep acceptance
-    // metric.
-    using clock = std::chrono::steady_clock;
-    std::uint64_t sweepInsts = 0;
-    std::size_t sweepJobs = 0;
-    auto t0 = clock::now();
-    {
-        sim::SweepRunner sweep(1);
-        for (const workloads::WorkloadInfo &w : workloads::all()) {
-            workloads::WorkloadParams p;
-            p.scale = w.defaultScale;
-            auto program = std::make_shared<const prog::Program>(
-                workloads::build(w.name, p));
-            sweep.submit(program, config::baseline(2));
-            ++sweepJobs;
-            for (int n : {2, 3, 4}) {
-                for (int m : {0, 1, 2, 3, 16}) {
-                    sweep.submit(program,
-                                 m == 0 ? config::baseline(n)
-                                        : config::decoupled(n, m));
-                    ++sweepJobs;
-                }
-            }
-        }
-        for (const sim::SimResult &r : sweep.collect())
-            sweepInsts += r.committed;
-    }
-    double sweepWallMs =
-        std::chrono::duration<double, std::milli>(clock::now() - t0)
-            .count();
+    // The sweep acceptance metric, once per engine. "replay" is the
+    // schema-1 measurement under its historical key.
+    std::vector<SweepRow> sweeps;
+    sweeps.push_back(fig7Sweep("replay", sim::Engine::Auto));
+    sweeps.push_back(fig7Sweep("batched", sim::Engine::Batched));
+    sweeps.push_back(fig7Sweep("sampled", sim::Engine::Sampled));
 
     std::FILE *f = std::fopen(path, "w");
     if (!f)
         fatal("cannot open %s for writing", path);
-    std::fprintf(f, "{\n  \"bench\": \"simspeed\",\n"
-                    "  \"schema\": 1,\n"
-                    "  \"units\": {\"throughput\": \"Minst/s\", "
-                    "\"wall\": \"ms\"},\n"
-                    "  \"single_runs\": [\n");
+    std::fprintf(f,
+                 "{\n  \"bench\": \"simspeed\",\n"
+                 "  \"schema\": 2,\n"
+                 "  \"generator\": {\"name\": \"%s\", \"version\": "
+                 "\"%s\", \"git\": \"%s\"},\n"
+                 "  \"units\": {\"throughput\": \"Minst/s\", "
+                 "\"wall\": \"ms\"},\n"
+                 "  \"single_runs\": [\n",
+                 obs::simulatorName(), obs::simulatorVersion(),
+                 obs::gitDescribe());
     for (std::size_t i = 0; i < singles.size(); ++i) {
         const Single &s = singles[i];
         std::fprintf(f,
@@ -245,16 +328,23 @@ writeJson(const char *path)
                      s.name, s.workload, s.config, s.engine, s.rate,
                      i + 1 < singles.size() ? "," : "");
     }
-    std::fprintf(f,
-                 "  ],\n"
-                 "  \"fig7_sweep\": {\"jobs\": 1, \"grid_jobs\": %zu, "
-                 "\"trace_sharing\": true, \"wall_ms\": %.1f, "
-                 "\"minst_per_s\": %.3f}\n}\n",
-                 sweepJobs, sweepWallMs,
-                 static_cast<double>(sweepInsts) / (sweepWallMs * 1e3));
+    std::fprintf(f, "  ],\n  \"fig7_sweep\": [\n");
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        const SweepRow &s = sweeps[i];
+        std::fprintf(f,
+                     "    {\"engine\": \"%s\", \"jobs\": 1, "
+                     "\"grid_jobs\": %zu, \"trace_sharing\": true, "
+                     "\"wall_ms\": %.1f, \"minst_per_s\": %.3f}%s\n",
+                     s.engine, s.jobs, s.wallMs, s.rate,
+                     i + 1 < sweeps.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
-    std::printf("wrote %s (%zu single runs, %zu-job sweep %.1f ms)\n",
-                path, singles.size(), sweepJobs, sweepWallMs);
+    std::printf("wrote %s (%zu single runs; %zu-job sweep: ", path,
+                singles.size(), sweeps.front().jobs);
+    for (const SweepRow &s : sweeps)
+        std::printf("%s %.1f ms (%.2f Minst/s)%s", s.engine, s.wallMs,
+                    s.rate, &s == &sweeps.back() ? ")\n" : ", ");
     return 0;
 }
 

@@ -26,10 +26,9 @@ Classifier::setStaticVerdicts(std::vector<StaticVerdict> table)
     verdicts = std::move(table);
 }
 
-Stream
-Classifier::classify(const vm::DynInst &di)
+bool
+Classifier::decideLocal(const vm::DynInst &di, bool count)
 {
-    ++classified;
     bool local = false;
     switch (classifierKind) {
       case config::ClassifierKind::None:
@@ -58,11 +57,13 @@ Classifier::classify(const vm::DynInst &di)
         switch (verdictAt(di.pcIdx)) {
           case StaticVerdict::Local:
             local = true;
-            ++staticDecided;
+            if (count)
+                ++staticDecided;
             break;
           case StaticVerdict::NonLocal:
             local = false;
-            ++staticDecided;
+            if (count)
+                ++staticDecided;
             break;
           case StaticVerdict::Ambiguous:
             local = predictor->predictLocal(di.pcIdx,
@@ -71,8 +72,27 @@ Classifier::classify(const vm::DynInst &di)
         }
         break;
     }
+    return local;
+}
+
+Stream
+Classifier::classify(const vm::DynInst &di)
+{
+    ++classified;
+    bool local = decideLocal(di, true);
     if (local)
         ++toLvaq;
+    return local ? Stream::Lvaq : Stream::Lsq;
+}
+
+Stream
+Classifier::warmClassify(const vm::DynInst &di)
+{
+    bool local = decideLocal(di, false);
+    if (predictor &&
+        (classifierKind != config::ClassifierKind::StaticHybrid ||
+         verdictAt(di.pcIdx) == StaticVerdict::Ambiguous))
+        predictor->update(di.pcIdx, di.stackAccess);
     return local ? Stream::Lvaq : Stream::Lsq;
 }
 

@@ -76,6 +76,16 @@ class Classifier : public stats::Group
      */
     bool verify(const vm::DynInst &di, Stream chosen);
 
+    /**
+     * Functional warming: make the steering decision and train the
+     * region predictor exactly as a classify()+verify() pair would,
+     * but without touching any statistics. Keeps predictor state
+     * tracking the instruction stream across a sampled simulation's
+     * fast-forward phases. @return the stream the access would have
+     * been steered to.
+     */
+    Stream warmClassify(const vm::DynInst &di);
+
     config::ClassifierKind kind() const { return classifierKind; }
 
     /**
@@ -96,6 +106,10 @@ class Classifier : public stats::Group
     stats::Scalar staticDecided;
 
   private:
+    /** The steering decision shared by classify() and warmClassify();
+     *  @p count enables the static-decided statistic. */
+    bool decideLocal(const vm::DynInst &di, bool count);
+
     StaticVerdict verdictAt(std::uint64_t pcIdx) const
     {
         return pcIdx < verdicts.size()

@@ -663,6 +663,32 @@ Pipeline::fetchStage()
     }
 }
 
+void
+Pipeline::warmFunctional(const vm::DynInst &di)
+{
+    stream->record(di);
+    if (!di.isMem())
+        return;
+    bool isWrite = di.isStore();
+    mem::Cache *lvc = memHier->lvc();
+    if (cfg.classifier == config::ClassifierKind::Replicate && lvc) {
+        // Both queues get a copy and address resolution cancels the
+        // wrong one, so only the true region's cache sees the access.
+        (di.stackAccess ? lvc : &memHier->l1())
+            ->warm(di.effAddr, isWrite, curCycle);
+        return;
+    }
+    core::Stream chosen = memClassifier->warmClassify(di);
+    bool toLvc = chosen == core::Stream::Lvaq && lvc;
+    (toLvc ? lvc : &memHier->l1())
+        ->warm(di.effAddr, isWrite, curCycle);
+    // A mispredicted access replays into the correct queue after
+    // address resolution; warm the cache that finally serviced it too.
+    if (lvc && toLvc != di.stackAccess)
+        (di.stackAccess ? lvc : &memHier->l1())
+            ->warm(di.effAddr, isWrite, curCycle);
+}
+
 // ---- Top level ------------------------------------------------------------------
 
 Cycle

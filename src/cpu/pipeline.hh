@@ -175,6 +175,25 @@ class Pipeline : public stats::Group
     /** True when the stream is exhausted and the pipeline is empty. */
     bool done() const;
 
+    /**
+     * Instructions fetched from the source so far (monotonic across
+     * resetStats). The batched and sampled drivers use this to
+     * synchronise multiple pipelines against one shared decode ring
+     * and to drain exactly the in-flight window.
+     */
+    std::uint64_t fetchedCount() const { return numFetched; }
+
+    /**
+     * Functional warming: account @p di to the stream statistics and,
+     * for memory operations, touch the caches and train the region
+     * predictor as the instruction would have — without advancing
+     * time or any other statistic. The sampled engine calls this for
+     * every instruction it fast-forwards past so measured windows
+     * start with live microarchitectural state instead of state
+     * frozen at the previous window's end.
+     */
+    void warmFunctional(const vm::DynInst &di);
+
     Cycle now() const { return curCycle; }
     double ipc() const;
 

@@ -54,7 +54,7 @@ Cache::findLine(Addr la) const
 }
 
 Cache::Line &
-Cache::victimLine(Addr la, Cycle when)
+Cache::lruLine(Addr la)
 {
     std::uint32_t set = setIndex(la);
     Line *base = &lines[static_cast<std::size_t>(set) *
@@ -66,6 +66,16 @@ Cache::victimLine(Addr la, Cycle when)
         if (base[w].lastUsed < victim->lastUsed)
             victim = &base[w];
     }
+    return *victim;
+}
+
+Cache::Line &
+Cache::victimLine(Addr la, Cycle when)
+{
+    Line &picked = lruLine(la);
+    if (!picked.valid)
+        return picked;
+    Line *victim = &picked;
     ++evictions;
     if (victim->dirty) {
         ++writebacks;
@@ -126,6 +136,29 @@ Cache::access(Addr addr, bool isWrite, Cycle when)
     line.lastUsed = when;
     line.filledAt = fill;
     return fill;
+}
+
+void
+Cache::warm(Addr addr, bool isWrite, Cycle when)
+{
+    Addr la = lineAddr(addr);
+    if (Line *line = findLine(la)) {
+        line->lastUsed = when;
+        if (isWrite)
+            line->dirty = true;
+        return;
+    }
+    next->warm(la << lineShift, false, when);
+    // Install over the LRU victim. A dirty victim's writeback is
+    // dropped silently: warming has no timing to charge it to, and
+    // tag state — the thing the measured windows depend on — does not
+    // need it.
+    Line &line = lruLine(la);
+    line.valid = true;
+    line.tag = la;
+    line.dirty = isWrite;
+    line.lastUsed = when;
+    line.filledAt = when;
 }
 
 bool

@@ -30,6 +30,18 @@ class MemLevel
      * @return the cycle the data is available to the requester.
      */
     virtual Cycle access(Addr addr, bool isWrite, Cycle when) = 0;
+
+    /**
+     * Functional warming (SMARTS fast-forward): update tag/LRU state
+     * as @p addr being touched at @p when without charging any
+     * latency, statistics or MSHR traffic. Default: no state to warm.
+     */
+    virtual void warm(Addr addr, bool isWrite, Cycle when)
+    {
+        (void)addr;
+        (void)isWrite;
+        (void)when;
+    }
 };
 
 /** A set-associative, write-back, lockup-free cache. */
@@ -48,6 +60,14 @@ class Cache : public MemLevel, public stats::Group
           int numMshrs = 32);
 
     Cycle access(Addr addr, bool isWrite, Cycle when) override;
+
+    /**
+     * Install/touch the line for @p addr without stats, MSHR traffic
+     * or writebacks, recursing into the next level on a miss — keeps
+     * tag state tracking the instruction stream across a sampled
+     * simulation's functional fast-forward.
+     */
+    void warm(Addr addr, bool isWrite, Cycle when) override;
 
     /** Non-timing probe: would @p addr hit right now? (tests) */
     bool probe(Addr addr) const;
@@ -97,6 +117,8 @@ class Cache : public MemLevel, public stats::Group
     }
     Line *findLine(Addr la);
     const Line *findLine(Addr la) const;
+    /** LRU victim slot for @p la's set — no stats, no writeback. */
+    Line &lruLine(Addr la);
     Line &victimLine(Addr la, Cycle when);
 };
 

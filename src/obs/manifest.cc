@@ -88,6 +88,7 @@ writeManifest(const ManifestInfo &info, std::ostream &os)
     w.field("max_insts", info.maxInsts);
     w.field("warmup_insts", info.warmupInsts);
     w.field("trace_replay", info.traceReplay);
+    w.field("engine", info.engine);
     w.field("max_cycles", info.maxCycles);
     w.field("max_wall_seconds", info.maxWallSeconds);
     w.endObject();
@@ -118,6 +119,21 @@ writeManifest(const ManifestInfo &info, std::ostream &os)
     w.field("stores", info.lvaqStores);
     w.endObject();
     w.endObject();
+    if (info.sampled) {
+        // Estimate provenance: how the sampled engine arrived at
+        // cycles/ipc and how tight the estimate is. Exact engines
+        // omit the block entirely so their manifests stay stable.
+        w.key("sampling");
+        w.beginObject();
+        w.field("period", info.samplingPeriod);
+        w.field("detail", info.samplingDetail);
+        w.field("warmup", info.samplingWarmup);
+        w.field("windows", info.samplingWindows);
+        w.field("detail_insts", info.samplingDetailInsts);
+        w.field("detail_cycles", info.samplingDetailCycles);
+        w.field("ipc_ci95", info.samplingIpcCi95);
+        w.endObject();
+    }
     w.endObject();
 
     if (info.stats) {

@@ -46,6 +46,14 @@ struct ManifestInfo
     std::uint64_t maxInsts = 0;      ///< RunOptions::maxInsts.
     std::uint64_t warmupInsts = 0;   ///< RunOptions::warmupInsts.
     bool traceReplay = false;        ///< Replayed a recorded trace?
+    /**
+     * The engine that effectively drove the run: "live", "replay" or
+     * "sampled". Batched multi-config replay records "replay" — its
+     * results are byte-identical to independent replays, and the
+     * manifest must stay byte-identical too (the farm's merge
+     * comparison depends on it).
+     */
+    std::string engine = "live";
     std::uint64_t maxCycles = 0;     ///< Cycle budget (0 = unlimited).
     double maxWallSeconds = 0.0;     ///< Wall budget (0 = unlimited).
 
@@ -63,6 +71,18 @@ struct ManifestInfo
     std::uint64_t lvaqLoads = 0;     ///< Loads issued through the LVAQ.
     std::uint64_t lvaqStores = 0;
     double wallSeconds = 0.0;        ///< Host wall-clock for the run.
+
+    // ---- Sampled-engine estimate provenance ----
+    /** True = cycles/ipc above are SMARTS estimates; a "sampling"
+     *  block with the plan and error bar joins the result. */
+    bool sampled = false;
+    std::uint64_t samplingPeriod = 0;
+    std::uint64_t samplingDetail = 0;
+    std::uint64_t samplingWarmup = 0;
+    std::uint64_t samplingWindows = 0;
+    std::uint64_t samplingDetailInsts = 0;
+    std::uint64_t samplingDetailCycles = 0;
+    double samplingIpcCi95 = 0.0;    ///< 95% CI half-width on IPC.
 
     /** Full stats tree to embed (nullptr = omit). */
     const stats::Group *stats = nullptr;

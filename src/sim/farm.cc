@@ -24,13 +24,16 @@ namespace ddsim::sim::farm {
 namespace {
 
 /** Cache key under which workers and the serial reference share one
- *  built program per distinct (workload, scale, seed). */
+ *  built program per distinct (workload, scale, seed, annotate) —
+ *  annotation rewrites hint bits, so differently-annotated jobs must
+ *  not share a Program. */
 std::string
 programKey(const GridJob &job)
 {
-    return format("%s@%llu#%llu", job.workload.c_str(),
+    return format("%s@%llu#%llu!%s", job.workload.c_str(),
                   static_cast<unsigned long long>(job.scale),
-                  static_cast<unsigned long long>(job.seed));
+                  static_cast<unsigned long long>(job.seed),
+                  job.annotate.c_str());
 }
 
 bool
@@ -227,6 +230,12 @@ spoolGrid(const GridSpec &spec, const std::string &root, int numShards)
     }
 
     spec.writeFile(sp.gridPath());
+    // Batched points shard by column (program), not by id: a column
+    // split across shards would land on different workers and lose
+    // the shared trace pass. Sharding is still only a locality hint —
+    // stealing and the worker-side column claim keep correctness
+    // independent of the assignment.
+    std::map<std::string, int> columnShard;
     for (const GridJob &job : spec.jobs) {
         std::ostringstream os;
         {
@@ -238,9 +247,17 @@ spoolGrid(const GridSpec &spec, const std::string &root, int numShards)
             w.endObject();
         }
         os << '\n';
-        int shard = static_cast<int>(job.id %
-                                     static_cast<std::uint64_t>(
-                                         numShards));
+        int shard;
+        if (job.engine == Engine::Batched) {
+            auto [it, inserted] = columnShard.try_emplace(
+                programKey(job),
+                static_cast<int>(columnShard.size()) % numShards);
+            (void)inserted;
+            shard = it->second;
+        } else {
+            shard = static_cast<int>(
+                job.id % static_cast<std::uint64_t>(numShards));
+        }
         writeFileTextAtomic(sp.jobsDir() + "/" +
                                 Spool::jobFileName(job.id, shard),
                             os.str());
@@ -455,6 +472,8 @@ runClaimedJob(const Spool &sp, const std::string &claimPath,
         RunOptions ro;
         ro.maxInsts = job.maxInsts;
         ro.warmupInsts = job.warmupInsts;
+        ro.engine = job.engine;
+        ro.sampling = job.sampling;
         ro.maxCycles = opts.cycleBudget;
         ro.maxWallSeconds = opts.wallBudget;
         ro.captureManifest = true;
@@ -513,7 +532,45 @@ runWorker(const std::string &root, const WorkerOptions &opts)
     Spool sp(root);
     ProgramCache programs;
     TraceCache traces;
+    if (opts.traceCacheBytes)
+        traces.setByteBudget(opts.traceCacheBytes);
     std::size_t completed = 0;
+
+    /** Persist one finished point: manifest before result (a result
+     *  record's existence implies its manifest is readable, whatever
+     *  instant we die at), then drop the claim. */
+    auto persist = [&](const SpoolEntry &e, const std::string &cp,
+                       JobRecord &rec, const SimResult &result,
+                       bool okRun, double wallSeconds) {
+        rec.wallSeconds = wallSeconds;
+        const std::string manifestPath =
+            sp.resultsDir() + "/" + Spool::manifestFileName(e.id);
+        if (okRun)
+            writeFileTextAtomic(manifestPath, result.manifestJson);
+        else
+            removeFileIfExists(manifestPath);
+        writeJobRecord(sp, rec);
+        removeFileIfExists(cp);
+        ++completed;
+    };
+
+    /** The ordinary per-point path (also the batch-failure
+     *  fallback). */
+    auto runOne = [&](const SpoolEntry &e, const std::string &cp) {
+        JobRecord rec;
+        rec.id = e.id;
+        rec.shard = e.shard;
+        rec.worker = opts.workerId;
+        SimResult result;
+        bool okRun = false;
+        auto t0 = std::chrono::steady_clock::now();
+        runClaimedJob(sp, cp, e.id, opts, programs, traces, rec,
+                      result, okRun);
+        persist(e, cp, rec, result, okRun,
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+    };
 
     while (true) {
         if (opts.maxJobs && completed >= opts.maxJobs)
@@ -550,32 +607,122 @@ runWorker(const std::string &root, const WorkerOptions &opts)
         if (!claimFile(sp.jobsDir() + "/" + *pick, claimPath))
             continue; // Another worker won the rename; re-scan.
 
-        JobRecord rec;
-        rec.id = picked.id;
-        rec.shard = picked.shard;
-        rec.worker = opts.workerId;
+        // Column batching: a Batched lead job pulls its whole column
+        // into one runBatch pass. Wall-budgeted runs stay per-point
+        // (runBatch refuses wall clocks — they are per-run concepts).
+        GridJob lead;
+        bool leadBatched = false;
+        if (opts.wallBudget == 0.0) {
+            try {
+                JsonValue doc = parseJsonFile(claimPath);
+                const std::string w = "job spec";
+                if (doc.at("schema", w).asString(w + ".schema") ==
+                    kJobSchema) {
+                    lead = gridJobFromJson(doc.at("job", w));
+                    leadBatched = lead.id == picked.id &&
+                                  lead.engine == Engine::Batched;
+                }
+            } catch (...) {
+                // Unparsable spec: the per-point path quarantines it.
+            }
+        }
+        if (!leadBatched) {
+            runOne(picked, claimPath);
+            continue;
+        }
 
-        SimResult result;
-        bool okRun = false;
-        auto t0 = std::chrono::steady_clock::now();
-        runClaimedJob(sp, claimPath, picked.id, opts, programs,
-                      traces, rec, result, okRun);
-        rec.wallSeconds = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count();
+        struct Claimed
+        {
+            SpoolEntry e;
+            std::string path;
+            GridJob job;
+        };
+        std::vector<Claimed> column;
+        column.push_back({picked, claimPath, lead});
+        std::size_t allow =
+            opts.maxJobs ? opts.maxJobs - completed : names.size();
+        for (const std::string &name : listDir(sp.jobsDir())) {
+            if (column.size() >= allow && allow > 0)
+                break;
+            SpoolEntry e;
+            if (!parseSpoolName(name, e) || !e.worker.empty())
+                continue;
+            GridJob cand;
+            try {
+                JsonValue doc =
+                    parseJsonFile(sp.jobsDir() + "/" + name);
+                const std::string w = "job spec";
+                if (doc.at("schema", w).asString(w + ".schema") !=
+                    kJobSchema)
+                    continue;
+                cand = gridJobFromJson(doc.at("job", w));
+            } catch (...) {
+                continue; // Claimed/removed mid-scan, or malformed.
+            }
+            if (cand.id != e.id || cand.engine != Engine::Batched ||
+                programKey(cand) != programKey(lead) ||
+                cand.maxInsts != lead.maxInsts ||
+                cand.warmupInsts != lead.warmupInsts)
+                continue;
+            const std::string cp =
+                sp.claimsDir() + "/" +
+                Spool::claimFileName(e.id, e.shard, opts.workerId);
+            if (!claimFile(sp.jobsDir() + "/" + name, cp))
+                continue; // Another worker won this point.
+            column.push_back({e, cp, cand});
+        }
 
-        // Manifest before result: a result record's existence implies
-        // its manifest is readable, whatever instant we die at.
-        const std::string manifestPath =
-            sp.resultsDir() + "/" +
-            Spool::manifestFileName(picked.id);
-        if (okRun)
-            writeFileTextAtomic(manifestPath, result.manifestJson);
-        else
-            removeFileIfExists(manifestPath);
-        writeJobRecord(sp, rec);
-        removeFileIfExists(claimPath);
-        ++completed;
+        bool columnOk = false;
+        if (column.size() > 1) {
+            try {
+                std::shared_ptr<const prog::Program> program =
+                    programs.get(programKey(lead), [&] {
+                        return buildGridProgram(lead);
+                    });
+                RunOptions ro;
+                ro.maxInsts = lead.maxInsts;
+                ro.warmupInsts = lead.warmupInsts;
+                ro.engine = Engine::Batched;
+                ro.maxCycles = opts.cycleBudget;
+                ro.captureManifest = true;
+                ro.canonicalManifest = true;
+                ro.trace = traces.get(
+                    program, lead.maxInsts
+                                 ? lead.maxInsts + lead.warmupInsts
+                                 : 0);
+                std::vector<config::MachineConfig> cfgs;
+                cfgs.reserve(column.size());
+                for (const Claimed &c : column)
+                    cfgs.push_back(c.job.cfg);
+                auto t0 = std::chrono::steady_clock::now();
+                std::vector<SimResult> rs =
+                    runBatch(*program, cfgs, ro);
+                double wall =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count() /
+                    static_cast<double>(column.size());
+                for (std::size_t i = 0; i < column.size(); ++i) {
+                    JobRecord rec;
+                    rec.id = column[i].e.id;
+                    rec.shard = column[i].e.shard;
+                    rec.worker = opts.workerId;
+                    rec.status = JobStatus::Ok;
+                    persist(column[i].e, column[i].path, rec, rs[i],
+                            true, wall);
+                }
+                columnOk = true;
+            } catch (...) {
+                // Fall back point-by-point below: a batch aborts on
+                // the first error, so re-running each claim alone
+                // reproduces the failure only on the offending point
+                // (with blackbox + retry, exactly the normal path).
+                columnOk = false;
+            }
+        }
+        if (!columnOk)
+            for (const Claimed &c : column)
+                runOne(c.e, c.path);
     }
     return completed;
 }
@@ -859,11 +1006,14 @@ superviseFarm(const std::string &root, const SupervisorOptions &opts)
 SweepOutcome
 runSerial(const GridSpec &spec, unsigned workers,
           const RetryPolicy &retry, std::uint64_t cycleBudget,
-          double wallBudget, const std::string &mergedPath)
+          double wallBudget, const std::string &mergedPath,
+          std::size_t traceCacheBytes)
 {
     spec.validate();
     SweepRunner runner(workers);
     runner.setRetryPolicy(retry);
+    if (traceCacheBytes)
+        runner.setTraceCacheBudget(traceCacheBytes);
     ProgramCache programs;
     for (const GridJob &job : spec.jobs) {
         std::shared_ptr<const prog::Program> program = programs.get(
@@ -871,6 +1021,8 @@ runSerial(const GridSpec &spec, unsigned workers,
         RunOptions ro;
         ro.maxInsts = job.maxInsts;
         ro.warmupInsts = job.warmupInsts;
+        ro.engine = job.engine;
+        ro.sampling = job.sampling;
         ro.maxCycles = cycleBudget;
         ro.maxWallSeconds = wallBudget;
         ro.captureManifest = true;

@@ -160,6 +160,9 @@ struct WorkerOptions
     /** Per-job run guards (0 = unlimited). */
     std::uint64_t cycleBudget = 0;
     double wallBudget = 0.0;
+    /** Byte budget for the worker's shared trace cache (LRU eviction;
+     *  0 = unlimited). See TraceCache::setByteBudget. */
+    std::size_t traceCacheBytes = 0;
     /** Stop after this many jobs (0 = drain the spool). Tests use
      *  this to interrupt a farm at a known point. */
     std::size_t maxJobs = 0;
@@ -175,6 +178,14 @@ struct WorkerOptions
  * spool offers nothing claimable. Traces and programs are cached per
  * worker process, so a worker amortizes functional execution across
  * every grid point of a program exactly like SweepRunner does.
+ *
+ * Column batching: when a claimed job requests Engine::Batched, the
+ * worker additionally claims every still-pending job of the same
+ * column (same program, annotation and instruction caps) and runs the
+ * whole set through sim::runBatch — one trace pass for N configs,
+ * results byte-identical to per-point runs. If the batch fails for
+ * any reason, every claimed point falls back to the ordinary
+ * per-point retry path, reproducing failures point-by-point.
  *
  * Per-job failures never propagate — they become quarantined result
  * records; only spool-level I/O failures raise.
@@ -230,7 +241,8 @@ SpoolStatus superviseFarm(const std::string &root,
 SweepOutcome runSerial(const GridSpec &spec, unsigned workers,
                        const RetryPolicy &retry,
                        std::uint64_t cycleBudget, double wallBudget,
-                       const std::string &mergedPath);
+                       const std::string &mergedPath,
+                       std::size_t traceCacheBytes = 0);
 
 } // namespace ddsim::sim::farm
 

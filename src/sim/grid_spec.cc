@@ -123,6 +123,19 @@ writeGridJobJson(JsonWriter &w, const GridJob &job)
     // the static-partitioning pass existed stay byte-identical.
     if (!job.annotate.empty())
         w.field("annotate", job.annotate);
+    // Same byte-compat rule for the engine selector and sampling
+    // plan: Auto-engine points (all pre-engine specs) write neither.
+    if (job.engine != Engine::Auto) {
+        w.field("engine", engineName(job.engine));
+        if (job.engine == Engine::Sampled) {
+            w.key("sampling");
+            w.beginObject();
+            w.field("period", job.sampling.period);
+            w.field("detail", job.sampling.detail);
+            w.field("warmup", job.sampling.warmup);
+            w.endObject();
+        }
+    }
     w.key("config");
     obs::writeMachineConfigJson(w, job.cfg);
     w.endObject();
@@ -142,6 +155,17 @@ gridJobFromJson(const JsonValue &v)
         v.at("warmup_insts", w).asUint(w + ".warmup_insts");
     if (const JsonValue *a = v.get("annotate"))
         job.annotate = a->asString(w + ".annotate");
+    if (const JsonValue *e = v.get("engine"))
+        job.engine = engineFromName(e->asString(w + ".engine"));
+    if (const JsonValue *s = v.get("sampling")) {
+        const std::string sw = w + ".sampling";
+        job.sampling.period =
+            s->at("period", sw).asUint(sw + ".period");
+        job.sampling.detail =
+            s->at("detail", sw).asUint(sw + ".detail");
+        job.sampling.warmup =
+            s->at("warmup", sw).asUint(sw + ".warmup");
+    }
     job.cfg = machineConfigFromJson(v.at("config", w));
     return job;
 }
@@ -170,6 +194,25 @@ GridSpec::validate() const
             fatal("grid spec '%s': job %zu names unknown annotate "
                   "policy '%s'",
                   title.c_str(), i, job.annotate.c_str());
+        if (job.engine == Engine::Sampled) {
+            if (job.sampling.detail == 0 || job.sampling.period == 0 ||
+                job.sampling.warmup + job.sampling.detail >
+                    job.sampling.period)
+                fatal("grid spec '%s': job %zu has an invalid "
+                      "sampling plan (period %llu, detail %llu, "
+                      "warmup %llu)",
+                      title.c_str(), i,
+                      static_cast<unsigned long long>(
+                          job.sampling.period),
+                      static_cast<unsigned long long>(
+                          job.sampling.detail),
+                      static_cast<unsigned long long>(
+                          job.sampling.warmup));
+            if (job.warmupInsts != 0)
+                fatal("grid spec '%s': job %zu combines a whole-run "
+                      "warmup with the sampled engine",
+                      title.c_str(), i);
+        }
         job.cfg.validate();
     }
 }

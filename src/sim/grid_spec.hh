@@ -26,6 +26,7 @@
 
 #include "config/machine_config.hh"
 #include "prog/program.hh"
+#include "sim/runner.hh"
 
 namespace ddsim {
 class JsonValue;
@@ -60,6 +61,16 @@ struct GridJob
      * worker reproduces an annotating bench's program bit-for-bit.
      */
     std::string annotate;
+    /**
+     * Execution engine for this point (RunOptions::engine). Auto — the
+     * default, and the only value specs written before engines existed
+     * can hold — lets the executor pick (farm workers and SweepRunner
+     * share replay traces either way). Batched opts the point into
+     * column batching; Sampled runs the SMARTS plan below.
+     */
+    Engine engine = Engine::Auto;
+    /** Sampled-engine plan; meaningful only when engine == Sampled. */
+    SamplingPlan sampling;
     config::MachineConfig cfg;
 };
 

@@ -12,6 +12,23 @@
 
 namespace ddsim::sim {
 
+/**
+ * How a sampled (SMARTS-style) run arrived at its estimate: the plan
+ * actually used, how much of the stream ran in detail, and the
+ * statistical confidence of the IPC estimate.
+ */
+struct SamplingStats
+{
+    bool active = false;          ///< This result is an estimate.
+    std::uint64_t period = 0;     ///< Instructions per sampling unit.
+    std::uint64_t detail = 0;     ///< Measured window length.
+    std::uint64_t warmup = 0;     ///< Detailed warm-up before each window.
+    std::uint64_t windows = 0;    ///< Measured windows taken.
+    std::uint64_t detailInsts = 0; ///< Instructions measured in detail.
+    std::uint64_t detailCycles = 0; ///< Cycles spent in measured windows.
+    double ipcCi95 = 0.0;         ///< 95% confidence half-width on IPC.
+};
+
 /** Outcome of one (program, configuration) simulation. */
 struct SimResult
 {
@@ -74,6 +91,14 @@ struct SimResult
      * instead of passing the zeros off as data.
      */
     bool quarantined = false;
+
+    /**
+     * Sampling provenance: default-inactive for the exact engines;
+     * active (with window counts and the IPC confidence interval)
+     * when the sampled engine produced this result. cycles/ipc above
+     * are then estimates, committed is the exact stream length.
+     */
+    SamplingStats sampling;
 
     /** One-line summary for logs. */
     std::string summary() const;

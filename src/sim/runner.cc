@@ -12,12 +12,79 @@
 #include "util/log.hh"
 #include "vm/executor.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <new>
 #include <optional>
 
 namespace ddsim::sim {
+
+const char *
+engineName(Engine e)
+{
+    switch (e) {
+      case Engine::Auto: return "auto";
+      case Engine::Live: return "live";
+      case Engine::Replay: return "replay";
+      case Engine::Batched: return "batched";
+      case Engine::Sampled: return "sampled";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Levenshtein distance for the --engine= did-you-mean suggestion. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t next = std::min(
+                {row[j] + 1, row[j - 1] + 1,
+                 diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = row[j];
+            row[j] = next;
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
+
+Engine
+engineFromName(const std::string &name)
+{
+    static constexpr Engine kEngines[] = {
+        Engine::Auto, Engine::Live, Engine::Replay, Engine::Batched,
+        Engine::Sampled};
+    std::string best;
+    std::size_t bestDist = 4;
+    for (Engine e : kEngines) {
+        std::string canon = engineName(e);
+        if (name == canon)
+            return e;
+        std::size_t d = editDistance(name, canon);
+        if (d < bestDist) {
+            bestDist = d;
+            best = canon;
+        }
+    }
+    std::string msg = format("unknown engine '%s' (expected auto, "
+                             "live, replay, batched or sampled",
+                             name.c_str());
+    if (!best.empty())
+        msg += format("; did you mean '%s'?", best.c_str());
+    msg += ")";
+    raise(ConfigError("engine", msg));
+}
 
 namespace {
 
@@ -73,15 +140,16 @@ emitBlackbox(const RunOptions &opts, const prog::Program &program,
     }
 }
 
-} // namespace
-
-SimResult
-run(const prog::Program &program, const config::MachineConfig &cfg,
-    const RunOptions &opts)
+/**
+ * Fault-injection probe: resolved once per run attempt, before any
+ * machine state exists. Null injector (the normal case) costs one
+ * atomic load. Raises (or aborts) when an injected failure is due;
+ * otherwise returns the plan so the caller can arm the in-run faults.
+ */
+robust::RunFaultPlan
+probeFaults(const prog::Program &program,
+            const config::MachineConfig &cfg)
 {
-    // Fault-injection probe: resolved once per run attempt, before
-    // any machine state exists. Null injector (the normal case) costs
-    // one atomic load.
     robust::RunFaultPlan plan;
     if (robust::FaultInjector *inj = robust::FaultInjector::active())
         plan = inj->planFor(program.name(), cfg.notation());
@@ -100,42 +168,176 @@ run(const prog::Program &program, const config::MachineConfig &cfg,
         // way a real segfaulting job would. Only the farm supervisor's
         // process isolation can contain it.
         std::abort();
+    return plan;
+}
+
+/**
+ * The hardware half of the static partitioning pipeline: run the
+ * analyzer over the program text and build the per-pc verdict table
+ * the classifier consumes. The analysis is deterministic, so live
+ * execution, trace replay, batched lanes and farm workers all see the
+ * same table; runBatch computes it once per column.
+ */
+std::vector<core::StaticVerdict>
+staticVerdictTable(const prog::Program &program)
+{
+    analysis::AnalysisResult ar = analysis::analyze(program);
+    std::vector<core::StaticVerdict> table(
+        program.textSize(), core::StaticVerdict::Ambiguous);
+    for (const auto &[idx, v] : ar.verdicts)
+        table[idx] = v == analysis::Verdict::Local
+                         ? core::StaticVerdict::Local
+                     : v == analysis::Verdict::NonLocal
+                         ? core::StaticVerdict::NonLocal
+                         : core::StaticVerdict::Ambiguous;
+    return table;
+}
+
+/** Copy the pipeline's counters into @p r (everything except
+ *  cycles/committed/ipc, which the engine owns). */
+void
+extractCounters(SimResult &r, cpu::Pipeline &pipe)
+{
+    const vm::StreamStats &ss = pipe.streamStats();
+    r.loads = ss.loads.value();
+    r.stores = ss.stores.value();
+    r.localLoads = ss.localLoads.value();
+    r.localStores = ss.localStores.value();
+    r.meanDynFrameWords = ss.frameWords.mean();
+    r.meanStaticFrameWords = ss.meanStaticFrameWords();
+
+    mem::Hierarchy &h = pipe.hierarchy();
+    r.l1Accesses = h.l1().accesses.value();
+    r.l1Misses = h.l1().misses.value();
+    r.l1MissRate = h.l1().missRate();
+    if (const mem::Cache *lvc = h.lvc()) {
+        r.lvcAccesses = lvc->accesses.value();
+        r.lvcMisses = lvc->misses.value();
+        r.lvcMissRate = lvc->missRate();
+    }
+    r.l2Accesses = h.l2().accesses.value();
+    r.memAccesses = h.mainMemory().accesses.value();
+
+    r.lsqForwards = pipe.lsq().loadsForwarded.value();
+    if (core::MemQueue *lvaq = pipe.lvaq()) {
+        r.lvaqForwards = lvaq->loadsForwarded.value();
+        r.lvaqFastForwards = lvaq->loadsFastForwarded.value();
+        r.lvaqCombined = lvaq->combinedAccesses.value();
+        r.lvaqLoads = lvaq->loadsTotal.value();
+        r.lvaqSatisfiedFrac = lvaq->queueSatisfiedFrac();
+        r.missteered = lvaq->missteeredAccesses.value() +
+                       pipe.lsq().missteeredAccesses.value();
+    }
+    r.classifierAccuracy = pipe.classifier().accuracy();
+    r.classified = pipe.classifier().classified.value();
+    r.toLvaq = pipe.classifier().toLvaq.value();
+    r.staticDecided = pipe.classifier().staticDecided.value();
+}
+
+/**
+ * Assemble and attach/write the run manifest for an already-final
+ * SimResult. @p engine is the *effective* engine string — "live",
+ * "replay" or "sampled"; batched lanes pass "replay" so their
+ * manifests stay byte-identical to independent replays.
+ */
+void
+attachManifest(SimResult &r, const prog::Program &program,
+               const config::MachineConfig &cfg,
+               const RunOptions &opts, cpu::Pipeline &pipe,
+               const stats::Group &root, double wallSeconds,
+               bool usedTrace, const char *engine)
+{
+    if (!opts.captureManifest && opts.manifestPath.empty())
+        return;
+    obs::ManifestInfo mi;
+    mi.workload = program.name();
+    mi.label = opts.label;
+    mi.cfg = cfg;
+    mi.maxInsts = opts.maxInsts;
+    mi.warmupInsts = opts.warmupInsts;
+    mi.traceReplay = usedTrace;
+    mi.engine = engine;
+    mi.maxCycles = opts.maxCycles;
+    mi.maxWallSeconds = opts.maxWallSeconds;
+    mi.tracePath = opts.tracePath;
+    mi.samplePath = opts.samplePath;
+    mi.sampleInterval = opts.sampleInterval;
+    mi.cycles = r.cycles;
+    mi.committed = r.committed;
+    mi.ipc = r.ipc;
+    mi.lsqLoads = pipe.lsq().loadsTotal.value();
+    mi.lsqStores = pipe.lsq().storesTotal.value();
+    if (core::MemQueue *lvaq = pipe.lvaq()) {
+        mi.lvaqLoads = lvaq->loadsTotal.value();
+        mi.lvaqStores = lvaq->storesTotal.value();
+    }
+    mi.wallSeconds = opts.canonicalManifest ? 0.0 : wallSeconds;
+    if (r.sampling.active) {
+        mi.sampled = true;
+        mi.samplingPeriod = r.sampling.period;
+        mi.samplingDetail = r.sampling.detail;
+        mi.samplingWarmup = r.sampling.warmup;
+        mi.samplingWindows = r.sampling.windows;
+        mi.samplingDetailInsts = r.sampling.detailInsts;
+        mi.samplingDetailCycles = r.sampling.detailCycles;
+        mi.samplingIpcCi95 = r.sampling.ipcCi95;
+    }
+    mi.stats = &root;
+    if (opts.captureManifest)
+        r.manifestJson = obs::manifestToJson(mi);
+    if (!opts.manifestPath.empty())
+        obs::writeManifestFile(mi, opts.manifestPath);
+}
+
+/**
+ * The exact engines: live functional execution or trace replay, both
+ * bit-identical (the front end is configuration-oblivious). Handles
+ * Engine::Auto/Live/Replay — and Engine::Batched for a single run,
+ * where batching degenerates to plain replay (grouping whole columns
+ * is SweepRunner's and the farm's job).
+ */
+SimResult
+runExact(const prog::Program &program,
+         const config::MachineConfig &cfg, const RunOptions &opts)
+{
+    robust::RunFaultPlan plan = probeFaults(program, cfg);
 
     cfg.validate();
 
-    stats::Group root(nullptr, "");
     // The instruction stream: replay the shared recording when one is
-    // supplied, otherwise execute functionally.
+    // supplied (or the engine demands one), otherwise execute
+    // functionally.
+    bool wantReplay = opts.engine == Engine::Replay ||
+                      opts.engine == Engine::Batched ||
+                      (opts.engine == Engine::Auto && opts.trace);
+    std::shared_ptr<const vm::RecordedTrace> trace;
+    if (wantReplay) {
+        trace = opts.trace;
+        if (trace) {
+            if (&trace->program() != &program)
+                panic("RunOptions::trace was recorded from a "
+                      "different program");
+        } else {
+            std::uint64_t cap =
+                opts.maxInsts ? opts.maxInsts + opts.warmupInsts : 0;
+            trace = std::make_shared<const vm::RecordedTrace>(
+                vm::RecordedTrace::record(program, cap));
+        }
+    }
+
+    stats::Group root(nullptr, "");
     std::optional<vm::Executor> exec;
     std::optional<vm::TraceReplay> replay;
     vm::InstSource *src;
-    if (opts.trace) {
-        if (&opts.trace->program() != &program)
-            panic("RunOptions::trace was recorded from a different "
-                  "program");
-        src = &replay.emplace(*opts.trace);
-    } else {
+    if (trace)
+        src = &replay.emplace(*trace);
+    else
         src = &exec.emplace(program);
-    }
     cpu::Pipeline pipe(&root, cfg, *src);
 
-    if (cfg.classifier == config::ClassifierKind::StaticHybrid) {
-        // The hardware half of the static partitioning pipeline: run
-        // the analyzer over the program text and hand its per-pc
-        // verdicts to the classifier. The analysis is deterministic,
-        // so live execution, trace replay and farm workers all see
-        // the same table.
-        analysis::AnalysisResult ar = analysis::analyze(program);
-        std::vector<core::StaticVerdict> table(
-            program.textSize(), core::StaticVerdict::Ambiguous);
-        for (const auto &[idx, v] : ar.verdicts)
-            table[idx] = v == analysis::Verdict::Local
-                             ? core::StaticVerdict::Local
-                         : v == analysis::Verdict::NonLocal
-                             ? core::StaticVerdict::NonLocal
-                             : core::StaticVerdict::Ambiguous;
-        pipe.classifier().setStaticVerdicts(std::move(table));
-    }
+    if (cfg.classifier == config::ClassifierKind::StaticHybrid)
+        pipe.classifier().setStaticVerdicts(
+            staticVerdictTable(program));
 
     if (!opts.blackboxPath.empty())
         pipe.enableCommitLog(kBlackboxCommits);
@@ -215,75 +417,415 @@ run(const prog::Program &program, const config::MachineConfig &cfg,
     r.cycles = pipe.numCycles.value();
     r.committed = pipe.committedInsts.value();
     r.ipc = pipe.ipc();
-
-    const vm::StreamStats &ss = pipe.streamStats();
-    r.loads = ss.loads.value();
-    r.stores = ss.stores.value();
-    r.localLoads = ss.localLoads.value();
-    r.localStores = ss.localStores.value();
-    r.meanDynFrameWords = ss.frameWords.mean();
-    r.meanStaticFrameWords = ss.meanStaticFrameWords();
-
-    mem::Hierarchy &h = pipe.hierarchy();
-    r.l1Accesses = h.l1().accesses.value();
-    r.l1Misses = h.l1().misses.value();
-    r.l1MissRate = h.l1().missRate();
-    if (const mem::Cache *lvc = h.lvc()) {
-        r.lvcAccesses = lvc->accesses.value();
-        r.lvcMisses = lvc->misses.value();
-        r.lvcMissRate = lvc->missRate();
-    }
-    r.l2Accesses = h.l2().accesses.value();
-    r.memAccesses = h.mainMemory().accesses.value();
-
-    r.lsqForwards = pipe.lsq().loadsForwarded.value();
-    if (core::MemQueue *lvaq = pipe.lvaq()) {
-        r.lvaqForwards = lvaq->loadsForwarded.value();
-        r.lvaqFastForwards = lvaq->loadsFastForwarded.value();
-        r.lvaqCombined = lvaq->combinedAccesses.value();
-        r.lvaqLoads = lvaq->loadsTotal.value();
-        r.lvaqSatisfiedFrac = lvaq->queueSatisfiedFrac();
-        r.missteered = lvaq->missteeredAccesses.value() +
-                       pipe.lsq().missteeredAccesses.value();
-    }
-    r.classifierAccuracy = pipe.classifier().accuracy();
-    r.classified = pipe.classifier().classified.value();
-    r.toLvaq = pipe.classifier().toLvaq.value();
-    r.staticDecided = pipe.classifier().staticDecided.value();
+    extractCounters(r, pipe);
 
     if (opts.captureStats)
         r.statsText = stats::toText(root);
 
-    if (opts.captureManifest || !opts.manifestPath.empty()) {
-        obs::ManifestInfo mi;
-        mi.workload = program.name();
-        mi.label = opts.label;
-        mi.cfg = cfg;
-        mi.maxInsts = opts.maxInsts;
-        mi.warmupInsts = opts.warmupInsts;
-        mi.traceReplay = static_cast<bool>(opts.trace);
-        mi.maxCycles = opts.maxCycles;
-        mi.maxWallSeconds = opts.maxWallSeconds;
-        mi.tracePath = opts.tracePath;
-        mi.samplePath = opts.samplePath;
-        mi.sampleInterval = opts.sampleInterval;
-        mi.cycles = r.cycles;
-        mi.committed = r.committed;
-        mi.ipc = r.ipc;
-        mi.lsqLoads = pipe.lsq().loadsTotal.value();
-        mi.lsqStores = pipe.lsq().storesTotal.value();
-        if (core::MemQueue *lvaq = pipe.lvaq()) {
-            mi.lvaqLoads = lvaq->loadsTotal.value();
-            mi.lvaqStores = lvaq->storesTotal.value();
-        }
-        mi.wallSeconds = opts.canonicalManifest ? 0.0 : wallSeconds;
-        mi.stats = &root;
-        if (opts.captureManifest)
-            r.manifestJson = obs::manifestToJson(mi);
-        if (!opts.manifestPath.empty())
-            obs::writeManifestFile(mi, opts.manifestPath);
-    }
+    attachManifest(r, program, cfg, opts, pipe, root, wallSeconds,
+                   static_cast<bool>(trace),
+                   trace ? "replay" : "live");
     return r;
+}
+
+/**
+ * The sampled engine: SMARTS-style interval sampling. Every
+ * SamplingPlan::period instructions the pipeline runs a detailed
+ * warm-up followed by a measured window; the rest of the period
+ * fast-forwards through the functional source with no timing model at
+ * all (stream characterization stays exact — every skipped
+ * instruction is still recorded). One persistent pipeline carries the
+ * microarchitectural state (caches, classifier history) across gaps,
+ * and the per-window warm-up re-fills the in-flight structures before
+ * each measurement — the "detailed warm-up" SMARTS variant.
+ *
+ * IPC is the ratio estimator sum(window insts)/sum(window cycles);
+ * the 95% confidence half-width over per-window IPCs lands in
+ * SimResult::sampling.ipcCi95. cycles is back-derived from the
+ * estimate so the manifest invariant ipc == committed/cycles holds.
+ */
+SimResult
+runSampled(const prog::Program &program,
+           const config::MachineConfig &cfg, const RunOptions &opts)
+{
+    const SamplingPlan &sp = opts.sampling;
+    if (sp.period == 0 || sp.detail == 0)
+        raise(ConfigError("sampling",
+                          "sampled engine needs a non-zero sampling "
+                          "period and detail window"));
+    if (sp.warmup + sp.detail > sp.period)
+        raise(ConfigError(
+            "sampling",
+            format("sampling warmup (%llu) + detail (%llu) must fit "
+                   "within the period (%llu)",
+                   static_cast<unsigned long long>(sp.warmup),
+                   static_cast<unsigned long long>(sp.detail),
+                   static_cast<unsigned long long>(sp.period))));
+    if (opts.warmupInsts > 0)
+        raise(ConfigError("warmup_insts",
+                          "the sampled engine warms up per window "
+                          "(SamplingPlan::warmup); a whole-run warmup "
+                          "phase does not compose with sampling"));
+    if (!opts.tracePath.empty() || opts.verifyTrace)
+        raise(ConfigError("trace_path",
+                          "a pipeline lifecycle trace of a sampled "
+                          "run would cover only the detailed windows; "
+                          "use an exact engine"));
+
+    robust::RunFaultPlan plan = probeFaults(program, cfg);
+
+    cfg.validate();
+
+    stats::Group root(nullptr, "");
+    std::optional<vm::Executor> exec;
+    std::optional<vm::TraceReplay> replay;
+    vm::InstSource *src;
+    if (opts.trace) {
+        if (&opts.trace->program() != &program)
+            panic("RunOptions::trace was recorded from a different "
+                  "program");
+        src = &replay.emplace(*opts.trace);
+    } else {
+        src = &exec.emplace(program);
+    }
+    cpu::Pipeline pipe(&root, cfg, *src);
+
+    if (cfg.classifier == config::ClassifierKind::StaticHybrid)
+        pipe.classifier().setStaticVerdicts(
+            staticVerdictTable(program));
+
+    if (!opts.blackboxPath.empty())
+        pipe.enableCommitLog(kBlackboxCommits);
+    if (opts.maxCycles != 0 || opts.maxWallSeconds > 0)
+        pipe.setGuards({opts.maxCycles, opts.maxWallSeconds});
+    if (plan.dropWakeupAt != 0)
+        pipe.armWakeupDrop(plan.dropWakeupAt);
+
+    std::optional<obs::Sampler> sampler;
+    const std::uint64_t limit = opts.maxInsts; // 0 = whole program
+    std::uint64_t ffSkipped = 0;
+    std::uint64_t diSum = 0;
+    std::uint64_t dcSum = 0;
+    std::vector<double> winIpc;
+    double wallSeconds = 0.0;
+
+    // Instructions consumed from the source so far: fetched in detail
+    // plus functionally skipped.
+    auto consumed = [&] { return pipe.fetchedCount() + ffSkipped; };
+
+    // Deterministic jitter on the fast-forward length (xorshift64,
+    // fixed seed): loop workloads have iteration periods that alias
+    // with a fixed sampling period, biasing every window onto the
+    // same phase offset. Randomising each skip within [skip/2,
+    // 3*skip/2) keeps the mean sampling rate while decorrelating
+    // window placement from program periodicity. The fixed seed keeps
+    // sampled runs reproducible run-to-run.
+    std::uint64_t rngState = 0x9e3779b97f4a7c15ull;
+    auto nextRand = [&rngState] {
+        rngState ^= rngState << 13;
+        rngState ^= rngState >> 7;
+        rngState ^= rngState << 17;
+        return rngState;
+    };
+
+    try {
+        if (opts.sampleInterval > 0) {
+            sampler.emplace(root, opts.sampleInterval,
+                            opts.sampleFilter);
+            pipe.setSampler(&*sampler);
+        }
+
+        auto t0 = std::chrono::steady_clock::now();
+        while (!src->halted() && (limit == 0 || consumed() < limit)) {
+            // Detailed (but unmeasured) warm-up: re-fill the ROB and
+            // queues so the window sees steady state, not a restart
+            // transient.
+            std::uint64_t w = sp.warmup;
+            if (limit)
+                w = std::min(w, limit - consumed());
+            if (w > 0)
+                pipe.runUntilFetched(pipe.fetchedCount() + w);
+            if (src->halted() || (limit && consumed() >= limit))
+                break;
+
+            // Measured window.
+            std::uint64_t d = sp.detail;
+            if (limit)
+                d = std::min(d, limit - consumed());
+            std::uint64_t c0 = pipe.numCycles.value();
+            std::uint64_t i0 = pipe.committedInsts.value();
+            pipe.runUntilFetched(pipe.fetchedCount() + d);
+            std::uint64_t dc = pipe.numCycles.value() - c0;
+            std::uint64_t di = pipe.committedInsts.value() - i0;
+            if (dc > 0 && di > 0) {
+                dcSum += dc;
+                diSum += di;
+                winIpc.push_back(static_cast<double>(di) / dc);
+            }
+
+            // Drain the in-flight window (its cycles are not part of
+            // the measurement), then fast-forward the remainder of
+            // the period functionally.
+            pipe.run(pipe.fetchedCount());
+            std::uint64_t skip = sp.period - sp.warmup - sp.detail;
+            if (skip > 1)
+                skip = skip / 2 + nextRand() % skip;
+            if (limit && consumed() < limit)
+                skip = std::min(skip, limit - consumed());
+            else if (limit)
+                skip = 0;
+            for (std::uint64_t k = 0; k < skip && !src->halted();
+                 ++k) {
+                // Functional warming: caches and the region predictor
+                // keep tracking the stream, so the next window's
+                // warm-up only has to refill the pipeline — not
+                // rebuild megabytes of cold tag state.
+                pipe.warmFunctional(src->step());
+                ++ffSkipped;
+            }
+        }
+        // Drain whatever the final partial window left in flight.
+        pipe.run(pipe.fetchedCount());
+        wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+        if (sampler) {
+            sampler->finish(pipe.committedInsts.value(),
+                            pipe.numCycles.value());
+            pipe.setSampler(nullptr);
+            if (!opts.samplePath.empty())
+                sampler->dumpFile(opts.samplePath);
+        }
+    } catch (const SimError &e) {
+        pipe.setSampler(nullptr);
+        if (!opts.blackboxPath.empty())
+            emitBlackbox(opts, program, cfg, pipe, root, e);
+        throw;
+    }
+
+    const std::uint64_t totalInsts = consumed();
+    double ipcEst = dcSum > 0
+                        ? static_cast<double>(diSum) / dcSum
+                        : pipe.ipc(); // program shorter than a window
+    SimResult r;
+    r.program = program.name();
+    r.notation = cfg.notation();
+    r.committed = totalInsts;
+    // Integer cycles first, then the IPC recomputed from them, so the
+    // manifest invariant ipc == committed/cycles holds exactly.
+    r.cycles = ipcEst > 0
+                   ? static_cast<std::uint64_t>(
+                         std::llround(totalInsts / ipcEst))
+                   : pipe.numCycles.value();
+    if (r.cycles == 0)
+        r.cycles = pipe.numCycles.value();
+    r.ipc = r.cycles ? static_cast<double>(r.committed) / r.cycles
+                     : 0.0;
+
+    r.sampling.active = true;
+    r.sampling.period = sp.period;
+    r.sampling.detail = sp.detail;
+    r.sampling.warmup = sp.warmup;
+    r.sampling.windows = winIpc.size();
+    r.sampling.detailInsts = diSum;
+    r.sampling.detailCycles = dcSum;
+    if (winIpc.size() > 1) {
+        double mean = 0.0;
+        for (double v : winIpc)
+            mean += v;
+        mean /= static_cast<double>(winIpc.size());
+        double var = 0.0;
+        for (double v : winIpc)
+            var += (v - mean) * (v - mean);
+        var /= static_cast<double>(winIpc.size() - 1);
+        r.sampling.ipcCi95 =
+            1.96 * std::sqrt(var /
+                             static_cast<double>(winIpc.size()));
+    }
+
+    extractCounters(r, pipe);
+    if (opts.captureStats)
+        r.statsText = stats::toText(root);
+
+    attachManifest(r, program, cfg, opts, pipe, root, wallSeconds,
+                   static_cast<bool>(opts.trace), "sampled");
+    return r;
+}
+
+} // namespace
+
+SimResult
+run(const prog::Program &program, const config::MachineConfig &cfg,
+    const RunOptions &opts)
+{
+    if (opts.engine == Engine::Sampled)
+        return runSampled(program, cfg, opts);
+    return runExact(program, cfg, opts);
+}
+
+std::vector<SimResult>
+runBatch(const prog::Program &program,
+         const std::vector<config::MachineConfig> &cfgs,
+         const RunOptions &opts)
+{
+    if (cfgs.empty())
+        return {};
+    if (!opts.manifestPath.empty() || !opts.tracePath.empty() ||
+        !opts.samplePath.empty() || !opts.blackboxPath.empty())
+        raise(ConfigError("engine",
+                          "runBatch: per-run output paths (manifest, "
+                          "trace, sample, blackbox) do not apply to a "
+                          "whole column; use captureManifest"));
+    if (opts.sampleInterval > 0 || opts.verifyTrace)
+        raise(ConfigError("engine",
+                          "runBatch: interval sampling and trace "
+                          "verification are per-run options"));
+    if (opts.maxWallSeconds > 0)
+        raise(ConfigError("engine",
+                          "runBatch: a wall-clock budget cannot be "
+                          "attributed to interleaved lanes; use "
+                          "maxCycles"));
+
+    // Fault injection makes a column non-batchable: one lane's
+    // injected failure would abort every lane. Refuse up front so the
+    // caller falls back to per-point run() calls, which reproduce the
+    // injected behavior point by point.
+    if (robust::FaultInjector *inj = robust::FaultInjector::active()) {
+        for (const config::MachineConfig &cfg : cfgs) {
+            robust::RunFaultPlan plan =
+                inj->planFor(program.name(), cfg.notation());
+            if (plan.failTransient || plan.failPersistent ||
+                plan.allocFail || plan.crashProcess ||
+                plan.dropWakeupAt != 0)
+                raise(IoError(
+                    program.name(),
+                    format("fault injection active for '%s'; batched "
+                           "column refused (falling back to per-point "
+                           "runs reproduces the injection)",
+                           program.name().c_str())));
+        }
+    }
+
+    for (const config::MachineConfig &cfg : cfgs)
+        cfg.validate();
+
+    std::shared_ptr<const vm::RecordedTrace> trace = opts.trace;
+    std::uint64_t limit =
+        opts.maxInsts ? opts.maxInsts + opts.warmupInsts : 0;
+    if (trace) {
+        if (&trace->program() != &program)
+            panic("RunOptions::trace was recorded from a different "
+                  "program");
+    } else {
+        trace = std::make_shared<const vm::RecordedTrace>(
+            vm::RecordedTrace::record(program, limit));
+    }
+
+    // One pipeline per configuration, all fed from one decode ring.
+    // Lane order is cfgs order; results come back in the same order.
+    struct Lane
+    {
+        stats::Group root{nullptr, ""};
+        vm::BatchedReplay::Cursor src;
+        cpu::Pipeline pipe;
+
+        Lane(vm::BatchedReplay &batch, const config::MachineConfig &c)
+            : src(batch), pipe(&root, c, src)
+        {}
+    };
+
+    std::uint64_t margin = 0;
+    for (const config::MachineConfig &cfg : cfgs)
+        margin = std::max(margin,
+                          static_cast<std::uint64_t>(cfg.fetchWidth));
+
+    constexpr std::size_t kRingCap = 4096;
+    vm::BatchedReplay batch(*trace, kRingCap);
+    const std::uint64_t chunk = batch.capacity() - margin;
+    const std::uint64_t total = batch.instCount();
+
+    std::vector<std::unique_ptr<Lane>> lanes;
+    lanes.reserve(cfgs.size());
+    std::vector<core::StaticVerdict> verdicts;
+    bool haveVerdicts = false;
+    for (const config::MachineConfig &cfg : cfgs) {
+        lanes.push_back(std::make_unique<Lane>(batch, cfg));
+        Lane &lane = *lanes.back();
+        if (cfg.classifier == config::ClassifierKind::StaticHybrid) {
+            // Analyze once per column, copy the table per lane.
+            if (!haveVerdicts) {
+                verdicts = staticVerdictTable(program);
+                haveVerdicts = true;
+            }
+            lane.pipe.classifier().setStaticVerdicts(
+                std::vector<core::StaticVerdict>(verdicts));
+        }
+        if (opts.maxCycles != 0)
+            lane.pipe.setGuards({opts.maxCycles, 0.0});
+    }
+
+    // The driver: advance the decode frontier one chunk at a time and
+    // bring every lane up to the chunk boundary before decoding more.
+    // Per-lane fetch may overshoot a runUntilFetched() target by up to
+    // fetchWidth-1, which the decode margin covers; chunk targets are
+    // kept at least `margin` short of a fetch limit so no lane ever
+    // fetches an instruction a serial run(limit) would not have.
+    const std::uint64_t end =
+        limit != 0 && limit < total ? limit : total;
+    std::uint64_t pos = 0;
+    auto chunkTo = [&](std::uint64_t target) {
+        while (pos < target) {
+            std::uint64_t t = std::min(pos + chunk, target);
+            batch.decodeTo(std::min(t + margin, total));
+            for (std::unique_ptr<Lane> &lane : lanes)
+                lane->pipe.runUntilFetched(t);
+            pos = t;
+        }
+    };
+
+    auto t0 = std::chrono::steady_clock::now();
+    if (opts.warmupInsts > 0) {
+        // Identical call sequence to the serial path: warm to the
+        // fetch target, then zero the stats with the machine hot.
+        chunkTo(std::min(opts.warmupInsts, total));
+        for (std::unique_ptr<Lane> &lane : lanes)
+            lane->pipe.resetStats();
+    }
+    while (pos + chunk + margin <= end) {
+        std::uint64_t t = pos + chunk;
+        batch.decodeTo(std::min(t + margin, total));
+        for (std::unique_ptr<Lane> &lane : lanes)
+            lane->pipe.runUntilFetched(t);
+        pos = t;
+    }
+    // Final stretch: run(limit) stops fetch exactly at the limit (no
+    // overshoot) and drains each lane completely.
+    batch.decodeTo(end);
+    for (std::unique_ptr<Lane> &lane : lanes)
+        lane->pipe.run(limit);
+    double wallSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+    std::vector<SimResult> results;
+    results.reserve(lanes.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        Lane &lane = *lanes[i];
+        SimResult r;
+        r.program = program.name();
+        r.notation = cfgs[i].notation();
+        r.cycles = lane.pipe.numCycles.value();
+        r.committed = lane.pipe.committedInsts.value();
+        r.ipc = lane.pipe.ipc();
+        extractCounters(r, lane.pipe);
+        if (opts.captureStats)
+            r.statsText = stats::toText(lane.root);
+        attachManifest(r, program, cfgs[i], opts, lane.pipe,
+                       lane.root, wallSeconds, true, "replay");
+        results.push_back(std::move(r));
+    }
+    return results;
 }
 
 } // namespace ddsim::sim

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "config/machine_config.hh"
 #include "prog/program.hh"
@@ -21,6 +22,69 @@ class RecordedTrace;
 }
 
 namespace ddsim::sim {
+
+/**
+ * Which execution engine drives the run. All exact engines are
+ * bit-identical to each other (pinned by the differential suite);
+ * Sampled trades exactness for O(samples) detailed cycles.
+ */
+enum class Engine : std::uint8_t
+{
+    /** Replay when RunOptions::trace is set, otherwise live. */
+    Auto,
+    /** Functional execution feeding the pipeline directly. */
+    Live,
+    /** Replay a recorded trace (recording one first if needed). */
+    Replay,
+    /**
+     * Batched multi-config replay: one trace decode pass shared by a
+     * whole sweep column (see runBatch). For a single run() this is
+     * plain replay — batching is a sweep-level behavior; SweepRunner
+     * and the farm group same-program jobs into runBatch columns.
+     */
+    Batched,
+    /**
+     * SMARTS-style interval sampling: functional fast-forward between
+     * detailed windows per RunOptions::sampling. IPC/cycles are
+     * estimates with a confidence interval (SimResult::sampling).
+     */
+    Sampled,
+};
+
+/** Canonical lowercase name ("auto", "live", ...). */
+const char *engineName(Engine e);
+
+/**
+ * Parse an engine name as CLI input. Unknown names raise ConfigError
+ * with a did-you-mean suggestion when one is close enough.
+ */
+Engine engineFromName(const std::string &name);
+
+/**
+ * The sampled engine's measurement plan: every @p period instructions,
+ * warm the pipeline in detail for @p warmup instructions, then measure
+ * a @p detail window; the remaining period - warmup - detail
+ * instructions fast-forward functionally with cache/predictor warming
+ * (stream stats stay exact, timing is skipped; the skip length is
+ * jittered deterministically to decorrelate window placement from
+ * loop periodicity). Defaults hold every workload's |ΔIPC| within 2%
+ * of a full run at registry default scale (pinned by
+ * tests/test_sampled.cpp); longer programs tolerate much sparser
+ * plans — at fixed window count the speedup grows with program
+ * length, which is the engine's whole point.
+ */
+struct SamplingPlan
+{
+    std::uint64_t period = 4096; ///< Instructions per sampling unit.
+    std::uint64_t detail = 2560; ///< Measured window length.
+    std::uint64_t warmup = 256;  ///< Detailed warm-up per window.
+
+    bool operator==(const SamplingPlan &o) const
+    {
+        return period == o.period && detail == o.detail &&
+               warmup == o.warmup;
+    }
+};
 
 /** Options for one simulation run. */
 struct RunOptions
@@ -45,6 +109,16 @@ struct RunOptions
      * of once per grid point.
      */
     std::shared_ptr<const vm::RecordedTrace> trace;
+    /**
+     * Execution engine (see Engine). Auto preserves the historical
+     * behavior: replay when a trace is supplied, live otherwise.
+     */
+    Engine engine = Engine::Auto;
+    /**
+     * Sampled-engine plan; ignored by the exact engines. All-zero
+     * disables sampling even under Engine::Sampled (ConfigError).
+     */
+    SamplingPlan sampling;
 
     // ---- Run guards (0 = unlimited) ----
     /**
@@ -117,6 +191,33 @@ struct RunOptions
 SimResult run(const prog::Program &program,
               const config::MachineConfig &cfg,
               const RunOptions &opts = {});
+
+/**
+ * Batched multi-config replay: simulate @p program under every
+ * configuration in @p cfgs with ONE pass over the shared dynamic
+ * trace. Each config gets its own complete pipeline (ROB, LSQ, LVAQ,
+ * caches, stats — structure-of-arrays per-config timing state); the
+ * driver interleaves their cycles against a bounded decode ring, so
+ * trace decoding and memory traffic over the encoded words are paid
+ * once per column instead of once per point. Results (manifests
+ * included) are byte-identical to N independent run() calls with the
+ * same options — pinned by the differential and sweep suites.
+ *
+ * @p opts applies to every lane. Options that name output files
+ * (manifestPath, tracePath, samplePath, blackboxPath), wall-clock
+ * budgets, interval sampling, and trace verification are per-run
+ * concepts and raise ConfigError here; captureManifest/captureStats,
+ * maxInsts/warmupInsts, maxCycles and label are supported. If
+ * opts.trace is unset, the trace is recorded once internally.
+ *
+ * Any SimError aborts the whole column (deterministic: a caller
+ * falling back to per-point run() calls reproduces the same failure
+ * only on the offending point).
+ */
+std::vector<SimResult>
+runBatch(const prog::Program &program,
+         const std::vector<config::MachineConfig> &cfgs,
+         const RunOptions &opts = {});
 
 } // namespace ddsim::sim
 

@@ -5,6 +5,7 @@
 #include <new>
 #include <ostream>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "obs/manifest.hh"
@@ -54,6 +55,150 @@ SweepRunner::~SweepRunner()
     pool.wait();
 }
 
+void
+SweepRunner::runJobWithRetry(SweepJob job, Slot *slot, TraceCache *tc,
+                             const RetryPolicy &policy)
+{
+    // Bounded retry with exponential backoff. Only transiently
+    // classified failures retry; simulation is deterministic, so
+    // a deadlock or config error would just fail identically
+    // again, while an I/O hiccup or allocation failure may pass.
+    std::uint64_t backoff = policy.backoffMs;
+    for (int attempt = 1;; ++attempt) {
+        slot->attempts = attempt;
+        try {
+            if (tc) {
+                std::uint64_t cap =
+                    job.opts.maxInsts
+                        ? job.opts.maxInsts + job.opts.warmupInsts
+                        : 0;
+                job.opts.trace = tc->get(job.program, cap);
+            }
+            slot->result = run(*job.program, job.cfg, job.opts);
+            slot->error = nullptr;
+            return;
+        } catch (...) {
+            slot->error = std::current_exception();
+            slot->lastError = classifyError(slot->error);
+            if (!slot->lastError.transient ||
+                attempt >= policy.maxAttempts)
+                return;
+        }
+        if (backoff > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff));
+        backoff = std::min(backoff * 2, policy.maxBackoffMs);
+    }
+}
+
+namespace {
+
+/**
+ * Can this job join a batched column? runBatch() shares one
+ * RunOptions across the whole column, so per-run outputs and
+ * wall-clock budgets disqualify a job (it falls back to plain replay,
+ * which is bit-identical anyway).
+ */
+bool
+batchable(const SweepJob &job)
+{
+    const RunOptions &o = job.opts;
+    return o.engine == Engine::Batched && o.manifestPath.empty() &&
+           o.tracePath.empty() && o.samplePath.empty() &&
+           o.blackboxPath.empty() && o.sampleInterval == 0 &&
+           !o.verifyTrace && o.maxWallSeconds == 0.0;
+}
+
+/** Jobs with equal column keys share one runBatch() call. */
+struct ColumnKey
+{
+    const prog::Program *program;
+    const vm::RecordedTrace *trace;
+    std::uint64_t maxInsts;
+    std::uint64_t warmupInsts;
+    std::uint64_t maxCycles;
+    bool captureStats;
+    bool captureManifest;
+    bool canonicalManifest;
+    std::string label;
+
+    explicit ColumnKey(const SweepJob &job)
+        : program(job.program.get()), trace(job.opts.trace.get()),
+          maxInsts(job.opts.maxInsts),
+          warmupInsts(job.opts.warmupInsts),
+          maxCycles(job.opts.maxCycles),
+          captureStats(job.opts.captureStats),
+          captureManifest(job.opts.captureManifest),
+          canonicalManifest(job.opts.canonicalManifest),
+          label(job.opts.label)
+    {}
+
+    bool operator<(const ColumnKey &o) const
+    {
+        auto tie = [](const ColumnKey &k) {
+            return std::tie(k.program, k.trace, k.maxInsts,
+                            k.warmupInsts, k.maxCycles, k.captureStats,
+                            k.captureManifest, k.canonicalManifest,
+                            k.label);
+        };
+        return tie(*this) < tie(o);
+    }
+};
+
+} // namespace
+
+void
+SweepRunner::flushBatches()
+{
+    if (batchQueue.empty())
+        return;
+    std::map<ColumnKey, std::vector<PendingBatch>> columns;
+    for (PendingBatch &pb : batchQueue)
+        columns[ColumnKey(pb.job)].push_back(std::move(pb));
+    batchQueue.clear();
+
+    for (auto &[key, column] : columns) {
+        TraceCache *tc =
+            shareTraces && !column.front().job.opts.trace ? &traces
+                                                          : nullptr;
+        RetryPolicy policy = retryPolicy;
+        pool.submit([tc, policy, column = std::move(column)]() mutable {
+            std::shared_ptr<const prog::Program> program =
+                column.front().job.program;
+            RunOptions opts = column.front().job.opts;
+            std::vector<config::MachineConfig> cfgs;
+            cfgs.reserve(column.size());
+            for (const PendingBatch &pb : column)
+                cfgs.push_back(pb.job.cfg);
+            try {
+                if (tc) {
+                    std::uint64_t cap =
+                        opts.maxInsts
+                            ? opts.maxInsts + opts.warmupInsts
+                            : 0;
+                    opts.trace = tc->get(program, cap);
+                }
+                std::vector<SimResult> rs =
+                    runBatch(*program, cfgs, opts);
+                for (std::size_t i = 0; i < column.size(); ++i) {
+                    column[i].slot->result = std::move(rs[i]);
+                    column[i].slot->error = nullptr;
+                    column[i].slot->attempts = 1;
+                }
+                return;
+            } catch (...) {
+                // A failing column falls back to independent runs:
+                // only the genuinely bad point keeps failing (with
+                // the standard retry/quarantine treatment) and the
+                // healthy lanes still produce their results.
+            }
+            for (PendingBatch &pb : column)
+                runJobWithRetry(std::move(pb.job), pb.slot, tc,
+                                policy);
+        });
+    }
+}
+
 std::size_t
 SweepRunner::submit(SweepJob job)
 {
@@ -64,42 +209,19 @@ SweepRunner::submit(SweepJob job)
     // deque never relocates elements, so this pointer stays valid
     // while submit() grows the grid under the workers.
     Slot *slot = &slots.back();
+    if (batchable(job)) {
+        // Whole columns run as one trace pass; grouping happens at
+        // collect time, once the full grid is known.
+        batchQueue.push_back({std::move(job), slot});
+        return index;
+    }
     // Trace resolution runs on the worker, not here: the first job to
     // reach a program records its trace while workers on other
     // programs keep simulating.
     TraceCache *tc = shareTraces && !job.opts.trace ? &traces : nullptr;
     RetryPolicy policy = retryPolicy;
     pool.submit([slot, tc, policy, job = std::move(job)]() mutable {
-        // Bounded retry with exponential backoff. Only transiently
-        // classified failures retry; simulation is deterministic, so
-        // a deadlock or config error would just fail identically
-        // again, while an I/O hiccup or allocation failure may pass.
-        std::uint64_t backoff = policy.backoffMs;
-        for (int attempt = 1;; ++attempt) {
-            slot->attempts = attempt;
-            try {
-                if (tc) {
-                    std::uint64_t cap =
-                        job.opts.maxInsts
-                            ? job.opts.maxInsts + job.opts.warmupInsts
-                            : 0;
-                    job.opts.trace = tc->get(job.program, cap);
-                }
-                slot->result = run(*job.program, job.cfg, job.opts);
-                slot->error = nullptr;
-                return;
-            } catch (...) {
-                slot->error = std::current_exception();
-                slot->lastError = classifyError(slot->error);
-                if (!slot->lastError.transient ||
-                    attempt >= policy.maxAttempts)
-                    return;
-            }
-            if (backoff > 0)
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(backoff));
-            backoff = std::min(backoff * 2, policy.maxBackoffMs);
-        }
+        runJobWithRetry(std::move(job), slot, tc, policy);
     });
     return index;
 }
@@ -115,6 +237,7 @@ SweepRunner::submit(std::shared_ptr<const prog::Program> program,
 std::vector<SimResult>
 SweepRunner::collect()
 {
+    flushBatches();
     pool.wait();
     std::vector<SimResult> results;
     results.reserve(slots.size());
@@ -133,6 +256,7 @@ SweepRunner::collect()
 SweepOutcome
 SweepRunner::collectOutcome()
 {
+    flushBatches();
     pool.wait();
     SweepOutcome out;
     out.results.reserve(slots.size());
@@ -292,8 +416,49 @@ TraceCache::get(const std::shared_ptr<const prog::Program> &program,
         entry->pin = program;
         entry->trace = std::make_shared<const vm::RecordedTrace>(
             vm::RecordedTrace::record(*program, maxInsts));
+        entry->bytes =
+            entry->trace->wordCount() * sizeof(std::uint32_t);
     });
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        entry->lastUse = ++useClock;
+        if (!entry->counted) {
+            // First completion of this recording (a re-recorded
+            // evictee counts again — that is what recordings()
+            // observes).
+            entry->counted = true;
+            totalBytes += entry->bytes;
+            ++numRecorded;
+        }
+        evictLocked(entry.get());
+    }
     return entry->trace;
+}
+
+void
+TraceCache::evictLocked(const Entry *keep)
+{
+    if (byteBudget == 0)
+        return;
+    while (totalBytes > byteBudget) {
+        auto victim = cache.end();
+        for (auto it = cache.begin(); it != cache.end(); ++it) {
+            Entry *e = it->second.get();
+            // Only completed recordings carry counted bytes; never
+            // evict the entry being returned to the caller.
+            if (e == keep || !e->counted)
+                continue;
+            if (victim == cache.end() ||
+                e->lastUse < victim->second->lastUse)
+                victim = it;
+        }
+        if (victim == cache.end())
+            return; // Only the kept (possibly over-budget) trace left.
+        totalBytes -= victim->second->bytes;
+        // Jobs still replaying the evicted trace hold their own
+        // shared_ptr; only the cache reference goes away.
+        cache.erase(victim);
+    }
 }
 
 std::size_t
@@ -301,6 +466,28 @@ TraceCache::size() const
 {
     std::lock_guard<std::mutex> lock(mu);
     return cache.size();
+}
+
+std::size_t
+TraceCache::recordings() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return numRecorded;
+}
+
+void
+TraceCache::setByteBudget(std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    byteBudget = bytes;
+    evictLocked(nullptr);
+}
+
+std::size_t
+TraceCache::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return totalBytes;
 }
 
 std::shared_ptr<const prog::Program>

@@ -141,8 +141,27 @@ class TraceCache
     get(const std::shared_ptr<const prog::Program> &program,
         std::uint64_t maxInsts = 0);
 
-    /** Number of distinct traces recorded so far. */
+    /** Number of distinct traces resident right now. */
     std::size_t size() const;
+
+    /** Distinct traces recorded over the cache's lifetime (resident
+     *  or since evicted) — lets tests observe re-recording. */
+    std::size_t recordings() const;
+
+    /**
+     * Bound the resident recordings to @p bytes of encoded trace
+     * (0 = unlimited, the default). When an insertion pushes the
+     * total over the budget, least-recently-used traces are evicted —
+     * never the one just requested, so a single over-budget trace
+     * still works. Evicted traces stay alive for jobs still holding
+     * their shared_ptr; only the cache lets go, so a long farm run
+     * over many programs keeps bounded RSS at the cost of
+     * re-recording on a future touch.
+     */
+    void setByteBudget(std::size_t bytes);
+
+    /** Encoded bytes of all resident recordings. */
+    std::size_t residentBytes() const;
 
   private:
     struct Entry
@@ -154,12 +173,22 @@ class TraceCache
          * it) and its address un-reusable as a future cache key.
          */
         std::shared_ptr<const prog::Program> pin;
+        std::size_t bytes = 0;    ///< Set inside the call_once.
+        bool counted = false;     ///< Folded into totalBytes (under mu).
+        std::uint64_t lastUse = 0;
     };
 
     using Key = std::pair<const prog::Program *, std::uint64_t>;
 
+    /** Caller holds mu. Evict LRU entries until within budget. */
+    void evictLocked(const Entry *keep);
+
     mutable std::mutex mu;
     std::map<Key, std::shared_ptr<Entry>> cache;
+    std::size_t byteBudget = 0;   ///< 0 = unlimited.
+    std::size_t totalBytes = 0;
+    std::uint64_t useClock = 0;
+    std::size_t numRecorded = 0;
 };
 
 /**
@@ -232,6 +261,12 @@ class SweepRunner
      */
     void setTraceSharing(bool on) { shareTraces = on; }
 
+    /** Bound the shared trace cache (see TraceCache::setByteBudget). */
+    void setTraceCacheBudget(std::size_t bytes)
+    {
+        traces.setByteBudget(bytes);
+    }
+
   private:
     struct Slot
     {
@@ -241,8 +276,31 @@ class SweepRunner
         ErrorClass lastError;     ///< Last failure, kept across recovery.
     };
 
+    /** A submitted Engine::Batched job waiting to be grouped into a
+     *  column at collect time. */
+    struct PendingBatch
+    {
+        SweepJob job;
+        Slot *slot;
+    };
+
+    /** The per-job retry loop shared by the normal path and the
+     *  batch-failure fallback. Runs on a worker thread. */
+    static void runJobWithRetry(SweepJob job, Slot *slot,
+                                TraceCache *tc,
+                                const RetryPolicy &policy);
+
+    /**
+     * Group the pending Engine::Batched jobs into per-(program,
+     * options) columns and submit one runBatch task per column.
+     * Called by collect()/collectOutcome() once the grid is final —
+     * batching needs the whole column, which only exists then.
+     */
+    void flushBatches();
+
     ThreadPool pool;
     std::deque<Slot> slots; ///< deque: stable addresses across submit()
+    std::vector<PendingBatch> batchQueue;
     TraceCache traces;
     bool shareTraces = true;
     RetryPolicy retryPolicy;

@@ -310,6 +310,106 @@ TEST(Sweep, TraceSharingDoesNotChangeGridResults)
     }
 }
 
+TEST(Sweep, BatchedEngineMatchesPerPointResults)
+{
+    // The batched engine folds each program's column into one
+    // runBatch trace pass; every lane must stay bit-identical to the
+    // per-point serial reference, in submission order, for any worker
+    // count.
+    std::vector<SweepJob> jobs = determinismGrid();
+    std::vector<SimResult> serial;
+    for (const SweepJob &job : jobs)
+        serial.push_back(run(*job.program, job.cfg, job.opts));
+
+    for (unsigned workers : {1u, 4u}) {
+        SweepRunner sweep(workers);
+        for (SweepJob job : jobs) {
+            job.opts.engine = Engine::Batched;
+            sweep.submit(std::move(job));
+        }
+        std::vector<SimResult> batched = sweep.collect();
+        ASSERT_EQ(batched.size(), serial.size()) << workers;
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            SCOPED_TRACE("workers=" + std::to_string(workers) +
+                         " job=" + std::to_string(i));
+            expectIdentical(batched[i], serial[i]);
+        }
+    }
+}
+
+TEST(Sweep, TraceCacheByteBudgetEvictsLeastRecentlyUsed)
+{
+    auto program = sharedWorkload("li", 32);
+    auto bytesOf = [&program](std::uint64_t cap) {
+        TraceCache probe;
+        probe.get(program, cap);
+        return probe.residentBytes();
+    };
+    const std::size_t big = bytesOf(2000);
+    const std::size_t mid = bytesOf(1000);
+    ASSERT_GT(big, mid);
+
+    TraceCache cache;
+    cache.setByteBudget(big + mid);
+    auto t1 = cache.get(program, 2000);
+    auto t2 = cache.get(program, 1000);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_LE(cache.residentBytes(), big + mid);
+
+    // Touch t1, then insert a third trace that pushes the total over
+    // the budget: the LRU entry (t2) must go, never the one just
+    // requested, and t1 — recently used — must survive.
+    EXPECT_EQ(cache.get(program, 2000).get(), t1.get());
+    auto t3 = cache.get(program, 500);
+    EXPECT_LE(cache.residentBytes(), big + mid);
+    EXPECT_EQ(cache.recordings(), 3u);
+    EXPECT_EQ(cache.get(program, 2000).get(), t1.get());
+    EXPECT_EQ(cache.recordings(), 3u); // no re-record for t1
+
+    // The evicted trace stays alive for holders of its shared_ptr and
+    // a future touch re-records it.
+    EXPECT_EQ(t2->instCount(), 1000u);
+    auto t2again = cache.get(program, 1000);
+    EXPECT_NE(t2again.get(), t2.get());
+    EXPECT_EQ(cache.recordings(), 4u);
+    EXPECT_EQ(t2again->instCount(), 1000u);
+}
+
+TEST(Sweep, TraceCacheSingleOverBudgetTraceStillWorks)
+{
+    // A budget smaller than any one trace must degrade to "keep only
+    // the trace in hand", not fail.
+    auto program = sharedWorkload("li", 32);
+    TraceCache cache;
+    cache.setByteBudget(1);
+    auto t = cache.get(program, 1000);
+    ASSERT_TRUE(t);
+    EXPECT_EQ(t->instCount(), 1000u);
+    EXPECT_LE(cache.size(), 1u);
+}
+
+TEST(Sweep, TraceCacheBudgetDoesNotChangeGridResults)
+{
+    // A pathologically tight budget forces constant eviction and
+    // re-recording mid-sweep; results must stay bit-identical to the
+    // unbudgeted reference.
+    std::vector<SweepJob> jobs = determinismGrid();
+    std::vector<SimResult> serial;
+    for (const SweepJob &job : jobs)
+        serial.push_back(run(*job.program, job.cfg, job.opts));
+
+    SweepRunner sweep(4);
+    sweep.setTraceCacheBudget(1);
+    for (const SweepJob &job : jobs)
+        sweep.submit(job);
+    std::vector<SimResult> swept = sweep.collect();
+    ASSERT_EQ(swept.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("job=" + std::to_string(i));
+        expectIdentical(swept[i], serial[i]);
+    }
+}
+
 // ---- ThreadPool primitive ----
 
 TEST(ThreadPool, RunsEveryIndexExactlyOnce)

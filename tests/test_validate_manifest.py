@@ -111,6 +111,46 @@ class GridSpecChecks(unittest.TestCase):
         doc["jobs"][0]["annotate"] = "yolo"
         self.assertRejected(doc, "annotate policy")
 
+    def test_accepts_engines_and_sampled_plan(self):
+        doc = grid_doc()
+        doc["jobs"][0]["engine"] = "batched"
+        doc["jobs"][1]["engine"] = "sampled"
+        doc["jobs"][1]["sampling"] = {"period": 4096, "detail": 2560,
+                                      "warmup": 256}
+        self.assertEqual(vm.check_grid_spec(doc, "grid"), 3)
+
+    def test_rejects_unknown_engine(self):
+        doc = grid_doc()
+        doc["jobs"][0]["engine"] = "warp-drive"
+        self.assertRejected(doc, "unknown engine")
+
+    def test_rejects_sampled_without_plan(self):
+        doc = grid_doc()
+        doc["jobs"][0]["engine"] = "sampled"
+        self.assertRejected(doc, "without a")
+
+    def test_rejects_plan_on_exact_engine(self):
+        doc = grid_doc()
+        doc["jobs"][0]["engine"] = "batched"
+        doc["jobs"][0]["sampling"] = {"period": 4096, "detail": 2560,
+                                      "warmup": 256}
+        self.assertRejected(doc, "only 'sampled'")
+
+    def test_rejects_overlong_sampling_window(self):
+        doc = grid_doc()
+        doc["jobs"][0]["engine"] = "sampled"
+        doc["jobs"][0]["sampling"] = {"period": 1024, "detail": 1024,
+                                      "warmup": 1}
+        self.assertRejected(doc, "exceed period")
+
+    def test_rejects_sampled_with_whole_run_warmup(self):
+        doc = grid_doc()
+        doc["jobs"][0]["engine"] = "sampled"
+        doc["jobs"][0]["sampling"] = {"period": 4096, "detail": 2560,
+                                      "warmup": 256}
+        doc["jobs"][0]["warmup_insts"] = 100
+        self.assertRejected(doc, "whole-run warmup")
+
 
 class FarmManifestChecks(unittest.TestCase):
     def test_valid_farm_passes(self):

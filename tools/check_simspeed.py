@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare a fresh `bench_simspeed --json` measurement against the
+committed BENCH_simspeed.json baseline and fail on large regressions.
+
+Prints the full delta table, then exits 1 if any matched row's
+throughput fell more than --tolerance (default 0.25 = 25%) below the
+baseline. Rows are matched by (name, engine) for single runs and by
+engine for the Fig. 7 sweep; rows present on only one side are
+reported but never fail. A schema-1 document (fig7_sweep as a single
+object) is read as one "replay" sweep row, so the gate works across
+the schema bump.
+
+The tolerance is deliberately wide: shared CI runners are noisy, and
+the committed baseline is regenerated on a quiet machine. This gate
+catches real throughput cliffs — an accidental O(n^2), a disabled
+fast path — not scheduler jitter.
+
+Usage: check_simspeed.py <baseline.json> <fresh.json> [--tolerance=F]
+
+Stdlib only.
+"""
+
+import json
+import sys
+
+
+def sweep_rows(doc):
+    """fig7_sweep as {engine: row}, accepting both schemas."""
+    fs = doc.get("fig7_sweep")
+    if fs is None:
+        return {}
+    if isinstance(fs, dict):  # schema 1: one implicit replay row
+        return {"replay": fs}
+    return {row["engine"]: row for row in fs}
+
+
+def main(argv):
+    tolerance = 0.25
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            print(f"unknown option {arg!r}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(paths[0]) as f:
+        base = json.load(f)
+    with open(paths[1]) as f:
+        fresh = json.load(f)
+
+    failures = []
+
+    def compare(label, baseline, measured):
+        if baseline is None:
+            delta = "    new"
+        else:
+            delta = f"{(measured / baseline - 1) * 100:+6.1f}%"
+            if measured < baseline * (1 - tolerance):
+                failures.append(f"{label}: {measured:.3f} Minst/s is "
+                                f"more than {tolerance * 100:.0f}% "
+                                f"below the baseline {baseline:.3f}")
+        print(f"{label:38} {baseline or 0:9.3f} {measured:9.3f} "
+              f"{delta:>7}")
+
+    print(f'{"run":38} {"baseline":>9} {"fresh":>9} {"delta":>7}')
+    ref = {(s["name"], s["engine"]): s["minst_per_s"]
+           for s in base.get("single_runs", [])}
+    for s in fresh.get("single_runs", []):
+        key = (s["name"], s["engine"])
+        compare(f'{s["name"]}[{s["engine"]}]', ref.get(key),
+                s["minst_per_s"])
+
+    base_sweeps = sweep_rows(base)
+    for engine, row in sweep_rows(fresh).items():
+        b = base_sweeps.get(engine)
+        compare(f"fig7_sweep[{engine}]",
+                b["minst_per_s"] if b else None, row["minst_per_s"])
+
+    if failures:
+        for f in failures:
+            print(f"REGRESSION {f}", file=sys.stderr)
+        print(f"FAIL: {len(failures)} row(s) regressed beyond "
+              f"{tolerance * 100:.0f}%", file=sys.stderr)
+        return 1
+    print(f"OK: no row more than {tolerance * 100:.0f}% below "
+          f"baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

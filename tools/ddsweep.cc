@@ -31,6 +31,8 @@
  * Options shared by run/resume/worker/serial:
  *   --attempts=N --backoff-ms=N --max-backoff-ms=N   retry policy
  *   --cycle-budget=N --wall-budget=SECONDS           per-job guards
+ *   --trace-cache-mb=N   byte budget for the per-process recorded-
+ *     trace cache (LRU eviction; 0 = unlimited)
  *   --inject=SPEC[;SPEC...] --inject-seed=N          fault injection,
  *     SPEC = kind:workload:notation[:arg], kind one of transient,
  *     persistent, alloc, crash, drop-wakeup, corrupt-trace; empty
@@ -168,7 +170,7 @@ forwardedWorkerArgs(const config::CliArgs &args)
     std::vector<std::string> out;
     for (const char *key :
          {"attempts", "backoff-ms", "max-backoff-ms", "cycle-budget",
-          "wall-budget", "inject", "inject-seed"}) {
+          "wall-budget", "trace-cache-mb", "inject", "inject-seed"}) {
         if (args.has(key))
             out.push_back("--" + std::string(key) + "=" +
                           args.get(key));
@@ -281,6 +283,8 @@ cmdWorker(const config::CliArgs &args)
     opts.cycleBudget =
         static_cast<std::uint64_t>(args.getInt("cycle-budget", 0));
     opts.wallBudget = args.getDouble("wall-budget", 0.0);
+    opts.traceCacheBytes = static_cast<std::size_t>(
+        args.getInt("trace-cache-mb", 0)) << 20;
     opts.maxJobs =
         static_cast<std::size_t>(args.getInt("max-jobs", 0));
     opts.exitIfReparented =
@@ -317,9 +321,12 @@ cmdSerial(const config::CliArgs &args)
     std::uint64_t cycleBudget =
         static_cast<std::uint64_t>(args.getInt("cycle-budget", 0));
     double wallBudget = args.getDouble("wall-budget", 0.0);
+    std::size_t traceCacheBytes = static_cast<std::size_t>(
+        args.getInt("trace-cache-mb", 0)) << 20;
     args.rejectUnknown();
-    SweepOutcome out = farm::runSerial(spec, workers, retry,
-                                       cycleBudget, wallBudget, merged);
+    SweepOutcome out =
+        farm::runSerial(spec, workers, retry, cycleBudget, wallBudget,
+                        merged, traceCacheBytes);
     std::printf("serial: %zu runs (%zu quarantined) -> %s\n",
                 out.results.size(), out.numQuarantined,
                 merged.c_str());

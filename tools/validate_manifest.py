@@ -5,9 +5,10 @@ manifest, crash black box, or ddlint verdict export.
 Stdlib-only. Checks schema identifiers, required fields, and internal
 consistency (IPC = committed/cycles, per-stream counts are integers,
 stat tree shape, degraded-sweep job tables, black-box error reports,
-dense grid-spec job ids, farm shard provenance covering every job id
-exactly once, lint verdict enums and mix totals vs the per-program
-verdict arrays). Exits non-zero with a message on the first problem.
+dense grid-spec job ids, engine selectors and sampled-engine plans /
+error-bar blocks, farm shard provenance covering every job id exactly
+once, lint verdict enums and mix totals vs the per-program verdict
+arrays). Exits non-zero with a message on the first problem.
 
 Usage: validate_manifest.py <manifest.json> [more.json ...]
 """
@@ -27,6 +28,11 @@ JOB_STATUSES = ("ok", "recovered", "quarantined")
 VERDICTS = ("local", "nonlocal", "ambiguous")
 SEVERITIES = ("error", "warning", "note")
 ANNOTATE_POLICIES = ("safe", "speculative", "hybrid")
+# What a grid spec may request (batched lowers to replay per lane;
+# auto is the implicit default and never written).
+GRID_ENGINES = ("auto", "live", "replay", "batched", "sampled")
+# What a run manifest records actually drove the run.
+RUN_ENGINES = ("live", "replay", "sampled")
 
 
 class Invalid(Exception):
@@ -75,6 +81,13 @@ def check_run_manifest(doc, where):
                     "ports"):
             need(geom, key, int, f"{where}.run.config.{cache}")
     need(run, "wall_seconds", (int, float), f"{where}.run")
+    engine = None
+    opts = run.get("options")
+    if opts is not None:
+        engine = need(opts, "engine", str, f"{where}.run.options")
+        if engine not in RUN_ENGINES:
+            raise Invalid(f"{where}.run.options.engine: unknown "
+                          f"engine {engine!r}")
 
     res = need(doc, "result", dict, where)
     cycles = need(res, "cycles", int, f"{where}.result")
@@ -89,6 +102,32 @@ def check_run_manifest(doc, where):
         for key in ("loads", "stores"):
             if need(s, key, int, f"{where}.result.streams.{stream}") < 0:
                 raise Invalid(f"{where}: negative {stream}.{key}")
+
+    # The sampled engine's error-bar block: present exactly when the
+    # run records engine "sampled", with a self-consistent plan.
+    sampling = res.get("sampling")
+    if sampling is not None:
+        sw = f"{where}.result.sampling"
+        period = need(sampling, "period", int, sw)
+        detail = need(sampling, "detail", int, sw)
+        warmup = need(sampling, "warmup", int, sw)
+        if period < 1 or detail < 1:
+            raise Invalid(f"{sw}: period {period} / detail {detail} "
+                          f"must be >= 1")
+        if warmup + detail > period:
+            raise Invalid(f"{sw}: warmup {warmup} + detail {detail} "
+                          f"exceed period {period}")
+        if need(sampling, "windows", int, sw) < 0:
+            raise Invalid(f"{sw}: negative windows")
+        for key in ("detail_insts", "detail_cycles"):
+            if need(sampling, key, int, sw) < 0:
+                raise Invalid(f"{sw}: negative {key}")
+        if need(sampling, "ipc_ci95", (int, float), sw) < 0:
+            raise Invalid(f"{sw}: negative ipc_ci95")
+    if engine is not None and (engine == "sampled") != \
+            (sampling is not None):
+        raise Invalid(f"{where}: engine {engine!r} disagrees with the "
+                      f"presence of result.sampling")
 
     stats = doc.get("stats")
     if stats is not None:
@@ -195,6 +234,35 @@ def check_grid_spec(doc, where):
             if annotate not in ANNOTATE_POLICIES:
                 raise Invalid(f"{jw}: unknown annotate policy "
                               f"{annotate!r}")
+        # Optional engine selector; absent = auto. A sampled point
+        # must carry its plan (and no whole-run warmup); no other
+        # engine may.
+        engine = None
+        if "engine" in job:
+            engine = need(job, "engine", str, jw)
+            if engine not in GRID_ENGINES:
+                raise Invalid(f"{jw}: unknown engine {engine!r}")
+        if "sampling" in job:
+            if engine != "sampled":
+                raise Invalid(f"{jw}: sampling plan on engine "
+                              f"{engine!r} (only 'sampled' takes one)")
+            s = need(job, "sampling", dict, jw)
+            sjw = f"{jw}.sampling"
+            period = need(s, "period", int, sjw)
+            detail = need(s, "detail", int, sjw)
+            warmup = need(s, "warmup", int, sjw)
+            if period < 1 or detail < 1:
+                raise Invalid(f"{sjw}: period {period} / detail "
+                              f"{detail} must be >= 1")
+            if warmup + detail > period:
+                raise Invalid(f"{sjw}: warmup {warmup} + detail "
+                              f"{detail} exceed period {period}")
+        elif engine == "sampled":
+            raise Invalid(f"{jw}: engine 'sampled' without a "
+                          f"sampling plan")
+        if engine == "sampled" and job["warmup_insts"] != 0:
+            raise Invalid(f"{jw}: sampled engine combined with a "
+                          f"whole-run warmup")
         cfg = need(job, "config", dict, jw)
         if not need(cfg, "notation", str, f"{jw}.config"):
             raise Invalid(f"{jw}.config: empty notation")
