@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
 #include "sim/grid_spec.hh"
 #include "util/log.hh"
@@ -50,7 +51,9 @@ Options::Options(int argc, const char *const *argv)
     sampling.period = static_cast<std::uint64_t>(sp);
     sampling.detail = static_cast<std::uint64_t>(sd);
     sampling.warmup = static_cast<std::uint64_t>(swu);
-    if (sampling.warmup + sampling.detail > sampling.period)
+    // Subtraction form: the sum wraps for values near UINT64_MAX.
+    if (sampling.warmup > sampling.period ||
+        sampling.detail > sampling.period - sampling.warmup)
         fatal("--sample-warmup + --sample-detail must not exceed "
               "--sample-period");
 
@@ -60,6 +63,8 @@ Options::Options(int argc, const char *const *argv)
     jobs = static_cast<unsigned>(j);
 
     std::vector<std::string> names;
+    bool explicitSelection =
+        args.has("programs") || args.has("trace-in");
     if (args.has("programs")) {
         for (auto &n : split(args.get("programs"), ','))
             names.emplace_back(trim(n));
@@ -67,7 +72,7 @@ Options::Options(int argc, const char *const *argv)
         names = workloads::integerNames();
     } else if (args.getBool("fp")) {
         names = workloads::fpNames();
-    } else {
+    } else if (!explicitSelection) {
         for (const auto &w : workloads::all())
             names.push_back(w.name);
     }
@@ -77,11 +82,55 @@ Options::Options(int argc, const char *const *argv)
             fatal("unknown workload '%s'", n.c_str());
         programs.push_back(info);
     }
+
+    // External traces join the program list as pseudo-workloads. The
+    // vector is reserved exactly once so the WorkloadInfo objects
+    // (and the strings their name fields point into) never move.
+    if (args.has("trace-in")) {
+        if (engine == sim::Engine::Live)
+            fatal("--engine=live cannot run --trace-in inputs: an "
+                  "external trace has no functional semantics to "
+                  "execute");
+        std::vector<std::string> paths;
+        for (auto &p : split(args.get("trace-in"), ','))
+            paths.emplace_back(trim(p));
+        traceInputs.reserve(paths.size());
+        for (const std::string &path : paths) {
+            if (path.empty())
+                fatal("--trace-in: empty path in list");
+            TraceInput ti;
+            ti.path = path;
+            ti.trace = vm::ExternalTrace::loadCached(path);
+            ti.name = ti.trace->program().name();
+            ti.paper = "xtrace:" + ti.name;
+            traceInputs.push_back(std::move(ti));
+            // Fill info only once the strings have their final
+            // address (short strings move their SSO buffer with the
+            // object, which would dangle the c_str pointers).
+            TraceInput &t = traceInputs.back();
+            t.info = {t.name.c_str(), t.paper.c_str(),
+                      "external trace input", false, nullptr, 1};
+            programs.push_back(&t.info);
+        }
+    }
+}
+
+const TraceInput *
+Options::traceFor(const workloads::WorkloadInfo &info) const
+{
+    for (const TraceInput &ti : traceInputs)
+        if (&ti.info == &info)
+            return &ti;
+    return nullptr;
 }
 
 prog::Program
 buildProgram(const workloads::WorkloadInfo &info, const Options &opts)
 {
+    if (!info.factory)
+        fatal("program '%s' is an external trace input; its program "
+              "is embedded in the trace, not built from a factory",
+              info.name);
     workloads::WorkloadParams p;
     double scaled =
         static_cast<double>(info.defaultScale) * opts.scaleFactor;
@@ -93,6 +142,15 @@ std::shared_ptr<const prog::Program>
 buildProgramShared(const workloads::WorkloadInfo &info,
                    const Options &opts)
 {
+    // Trace inputs carry their own reconstructed program; handing it
+    // out here lets every bench treat them like registry workloads.
+    if (!info.factory) {
+        const TraceInput *ti = opts.traceFor(info);
+        if (!ti)
+            fatal("program '%s' has no factory and no backing trace",
+                  info.name);
+        return ti->trace->sharedProgram();
+    }
     static sim::ProgramCache cache;
     std::string key = std::string(info.name) + "@" +
                       std::to_string(opts.scaleFactor);
@@ -116,22 +174,41 @@ runGrid(const Options &opts, std::vector<sim::SweepJob> jobs,
         sim::GridSpec spec;
         spec.title = title;
         spec.jobs.reserve(jobs.size());
+        // Trace-backed jobs spool as trace_path points; map them by
+        // program identity (each ExternalTrace owns its program).
+        std::map<const prog::Program *, const TraceInput *> byProgram;
+        for (const TraceInput &ti : opts.traceInputs)
+            byProgram.emplace(&ti.trace->program(), &ti);
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             const sim::SweepJob &job = jobs[i];
-            const workloads::WorkloadInfo *info =
-                workloads::find(job.program->name());
-            if (!info)
-                fatal("--emit-grid: job %zu runs program '%s', which "
-                      "is not a registry workload",
-                      i, job.program->name().c_str());
             sim::GridJob g;
             g.id = i;
-            g.workload = info->name;
-            double scaled = static_cast<double>(info->defaultScale) *
-                            opts.scaleFactor;
-            g.scale =
-                scaled < 1.0 ? 1 : static_cast<std::uint64_t>(scaled);
-            g.seed = workloads::WorkloadParams{}.seed;
+            auto it = byProgram.find(job.program.get());
+            if (it != byProgram.end()) {
+                if (!job.annotate.empty())
+                    fatal("--emit-grid: job %zu annotates an external "
+                          "trace (hints are burned by the converter)",
+                          i);
+                g.workload = job.program->name();
+                g.scale = 1;
+                g.seed = 0;
+                g.tracePath = it->second->path;
+            } else {
+                const workloads::WorkloadInfo *info =
+                    workloads::find(job.program->name());
+                if (!info)
+                    fatal("--emit-grid: job %zu runs program '%s', "
+                          "which is not a registry workload",
+                          i, job.program->name().c_str());
+                g.workload = info->name;
+                double scaled =
+                    static_cast<double>(info->defaultScale) *
+                    opts.scaleFactor;
+                g.scale = scaled < 1.0
+                              ? 1
+                              : static_cast<std::uint64_t>(scaled);
+                g.seed = workloads::WorkloadParams{}.seed;
+            }
             g.maxInsts = job.opts.maxInsts;
             g.warmupInsts = job.opts.warmupInsts;
             g.annotate = job.annotate;
@@ -148,7 +225,19 @@ runGrid(const Options &opts, std::vector<sim::SweepJob> jobs,
         std::exit(0);
     }
 
+    // Jobs whose program came from a --trace-in input carry the
+    // decoded trace so the runner replays the recorded stream instead
+    // of tracing the reconstructed program.
+    std::map<const prog::Program *,
+             std::shared_ptr<const vm::ExternalTrace>>
+        traceByProgram;
+    for (const TraceInput &ti : opts.traceInputs)
+        traceByProgram.emplace(&ti.trace->program(), ti.trace);
+
     for (sim::SweepJob &job : jobs) {
+        auto it = traceByProgram.find(job.program.get());
+        if (it != traceByProgram.end())
+            job.opts.externalTrace = it->second;
         if (!opts.manifestPath.empty())
             job.opts.captureManifest = true;
         if (opts.cycleBudget != 0)

@@ -25,6 +25,12 @@
  *                    live, replay, batched (one trace pass per sweep
  *                    column, bit-identical) or sampled (SMARTS interval
  *                    sampling; IPC becomes an estimate with error bars)
+ *   --trace-in=a,b   ingest ddsim-xtrace-v1 files as additional
+ *                    programs: each trace joins the grid exactly like
+ *                    a registry workload (replay/batched/sampled
+ *                    engines, --emit-grid, manifests), driven by its
+ *                    recorded stream. Incompatible with --engine=live
+ *                    (a trace has nothing to execute functionally)
  *   --sample-period=<n> --sample-detail=<n> --sample-warmup=<n>
  *                    override the sampled engine's plan (defaults hold
  *                    every workload within 2% IPC error at --scale=1)
@@ -48,9 +54,26 @@
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
 #include "sim/table.hh"
+#include "vm/xtrace.hh"
 #include "workloads/common.hh"
 
 namespace ddsim::bench {
+
+/**
+ * One --trace-in input, presented to benches as a pseudo-workload:
+ * `info` joins Options::programs like any registry entry (its factory
+ * is null — buildProgramShared resolves it to the trace's embedded
+ * program instead), and runGrid stamps the decoded trace onto every
+ * job built from it.
+ */
+struct TraceInput
+{
+    std::string path;              ///< The xtrace file.
+    std::shared_ptr<const vm::ExternalTrace> trace;
+    std::string name;              ///< Stable storage for info.name.
+    std::string paper;             ///< Stable storage for info.paperName.
+    workloads::WorkloadInfo info;
+};
 
 /** Parsed harness options. */
 struct Options
@@ -74,9 +97,20 @@ struct Options
     /** Sampled-engine plan (--sample-*; used when engine == Sampled). */
     sim::SamplingPlan sampling;
     std::vector<const workloads::WorkloadInfo *> programs;
+    /**
+     * Decoded --trace-in inputs. Their `info` members are what the
+     * matching entries in `programs` point at, so the vector is fully
+     * reserved up front and never reallocates.
+     */
+    std::vector<TraceInput> traceInputs;
     config::CliArgs args;
 
     Options(int argc, const char *const *argv);
+
+    /** The TraceInput behind @p info, or nullptr for registry
+     *  workloads. */
+    const TraceInput *
+    traceFor(const workloads::WorkloadInfo &info) const;
 };
 
 /** Build one workload at the harness-selected length. */

@@ -1,7 +1,9 @@
 #include "config/cli.hh"
 
 #include <algorithm>
+#include <limits>
 
+#include "util/error.hh"
 #include "util/log.hh"
 #include "util/str.hh"
 
@@ -80,6 +82,36 @@ CliArgs::getDouble(const std::string &key, double def) const
         fatal("option --%s expects a number, got '%s'", key.c_str(),
               it->second.c_str());
     return v;
+}
+
+std::size_t
+CliArgs::getMbBytes(const std::string &key, std::size_t defBytes) const
+{
+    knownKeys.insert(key);
+    auto it = opts.find(key);
+    if (it == opts.end())
+        return defBytes;
+    std::int64_t mb;
+    if (!parseInt(it->second, mb))
+        raise(ConfigError(
+            key, format("option --%s expects an integer megabyte "
+                        "count, got '%s'",
+                        key.c_str(), it->second.c_str())));
+    if (mb < 0)
+        raise(ConfigError(
+            key,
+            format("option --%s: a megabyte budget cannot be "
+                   "negative (got %lld)",
+                   key.c_str(), static_cast<long long>(mb))));
+    constexpr std::uint64_t maxMb =
+        std::numeric_limits<std::size_t>::max() >> 20;
+    if (static_cast<std::uint64_t>(mb) > maxMb)
+        raise(ConfigError(
+            key, format("option --%s: %lld MB overflows the byte "
+                        "count (max %llu MB)",
+                        key.c_str(), static_cast<long long>(mb),
+                        static_cast<unsigned long long>(maxMb))));
+    return static_cast<std::size_t>(mb) << 20;
 }
 
 bool

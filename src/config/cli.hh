@@ -7,6 +7,7 @@
 #ifndef DDSIM_CONFIG_CLI_HH_
 #define DDSIM_CONFIG_CLI_HH_
 
+#include <cstddef>
 #include <map>
 #include <set>
 #include <string>
@@ -43,6 +44,16 @@ class CliArgs
     std::int64_t getInt(const std::string &key, std::int64_t def) const;
     double getDouble(const std::string &key, double def) const;
     bool getBool(const std::string &key, bool def = false) const;
+
+    /**
+     * Read a megabyte count and return it as bytes. The naive
+     * `getInt() << 20` both wraps a negative value around to an
+     * enormous budget and silently shift-overflows large ones; this
+     * accessor raises ConfigError (named after @p key) for a
+     * non-integer, negative, or overflowing value instead.
+     */
+    std::size_t getMbBytes(const std::string &key,
+                           std::size_t defBytes) const;
 
     /**
      * Register @p key as recognized without querying it (for options

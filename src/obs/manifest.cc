@@ -92,6 +92,18 @@ writeManifest(const ManifestInfo &info, std::ostream &os)
     w.field("max_cycles", info.maxCycles);
     w.field("max_wall_seconds", info.maxWallSeconds);
     w.endObject();
+    if (!info.traceSourceFormat.empty()) {
+        // Ingested-stream provenance: present only when the run
+        // replayed an external trace, so workload-driven manifests
+        // stay byte-identical to previous schema revisions.
+        w.key("trace_source");
+        w.beginObject();
+        w.field("format", info.traceSourceFormat);
+        w.field("path", info.traceSourcePath);
+        w.field("insts", info.traceSourceInsts);
+        w.field("hints_valid", info.traceSourceHints);
+        w.endObject();
+    }
     w.key("observability");
     w.beginObject();
     w.field("trace_path", info.tracePath);
@@ -131,7 +143,11 @@ writeManifest(const ManifestInfo &info, std::ostream &os)
         w.field("windows", info.samplingWindows);
         w.field("detail_insts", info.samplingDetailInsts);
         w.field("detail_cycles", info.samplingDetailCycles);
-        w.field("ipc_ci95", info.samplingIpcCi95);
+        // A confidence interval needs at least two windows; with one
+        // (or zero, for sub-window programs) the half-width would be
+        // a meaningless 0.0, so the field is omitted instead.
+        if (info.samplingWindows >= 2)
+            w.field("ipc_ci95", info.samplingIpcCi95);
         w.endObject();
     }
     w.endObject();

@@ -57,6 +57,21 @@ struct ManifestInfo
     std::uint64_t maxCycles = 0;     ///< Cycle budget (0 = unlimited).
     double maxWallSeconds = 0.0;     ///< Wall budget (0 = unlimited).
 
+    // ---- External-trace provenance ----
+    /**
+     * Where the instruction stream came from when it was ingested
+     * rather than generated: "xtrace" (a ddsim-xtrace-v1 file),
+     * "text" (converted from the public text trace format) or
+     * "workload" (recorded from a registry program and saved). Empty
+     * = the stream came from the named workload itself and the
+     * run.trace_source block is omitted, keeping every pre-existing
+     * manifest byte-identical.
+     */
+    std::string traceSourceFormat;
+    std::string traceSourcePath;     ///< File the trace was loaded from.
+    std::uint64_t traceSourceInsts = 0;   ///< Records in the trace.
+    bool traceSourceHints = false;   ///< Local hints burned into text?
+
     // ---- Active observability outputs ----
     std::string tracePath;           ///< Binary pipeline trace ("" = off).
     std::string samplePath;          ///< Interval sample dump ("" = off).

@@ -18,22 +18,42 @@
 #include "util/json_parse.hh"
 #include "util/log.hh"
 #include "util/subprocess.hh"
+#include "vm/xtrace.hh"
 
 namespace ddsim::sim::farm {
 
 namespace {
 
 /** Cache key under which workers and the serial reference share one
- *  built program per distinct (workload, scale, seed, annotate) —
- *  annotation rewrites hint bits, so differently-annotated jobs must
- *  not share a Program. */
+ *  built program per distinct (workload, scale, seed, annotate,
+ *  trace file) — annotation rewrites hint bits and an external trace
+ *  replaces the program wholesale, so such jobs must not share a
+ *  Program. */
 std::string
 programKey(const GridJob &job)
 {
-    return format("%s@%llu#%llu!%s", job.workload.c_str(),
+    return format("%s@%llu#%llu!%s|%s", job.workload.c_str(),
                   static_cast<unsigned long long>(job.scale),
                   static_cast<unsigned long long>(job.seed),
-                  job.annotate.c_str());
+                  job.annotate.c_str(), job.tracePath.c_str());
+}
+
+/**
+ * Resolve a grid job's program: the decoded external trace when the
+ * point names one (loadCached, so one worker process decodes each
+ * file once), the registry build otherwise. The ExternalTrace lands
+ * in @p xt for the caller to hang on its RunOptions.
+ */
+std::shared_ptr<const prog::Program>
+resolveJobProgram(const GridJob &job, ProgramCache &programs,
+                  std::shared_ptr<const vm::ExternalTrace> &xt)
+{
+    if (!job.tracePath.empty()) {
+        xt = vm::ExternalTrace::loadCached(job.tracePath);
+        return xt->sharedProgram();
+    }
+    return programs.get(programKey(job),
+                        [&] { return buildGridProgram(job); });
 }
 
 bool
@@ -466,14 +486,16 @@ runClaimedJob(const Spool &sp, const std::string &claimPath,
                   static_cast<unsigned long long>(job.id),
                   static_cast<unsigned long long>(id));
 
-        std::shared_ptr<const prog::Program> program = programs.get(
-            programKey(job), [&] { return buildGridProgram(job); });
+        std::shared_ptr<const vm::ExternalTrace> xt;
+        std::shared_ptr<const prog::Program> program =
+            resolveJobProgram(job, programs, xt);
 
         RunOptions ro;
         ro.maxInsts = job.maxInsts;
         ro.warmupInsts = job.warmupInsts;
         ro.engine = job.engine;
         ro.sampling = job.sampling;
+        ro.externalTrace = xt;
         ro.maxCycles = opts.cycleBudget;
         ro.maxWallSeconds = opts.wallBudget;
         ro.captureManifest = true;
@@ -488,10 +510,11 @@ runClaimedJob(const Spool &sp, const std::string &claimPath,
         for (int attempt = 1;; ++attempt) {
             rec.attempts = attempt;
             try {
-                ro.trace = traces.get(
-                    program, job.maxInsts
-                                 ? job.maxInsts + job.warmupInsts
-                                 : 0);
+                if (!xt)
+                    ro.trace = traces.get(
+                        program, job.maxInsts
+                                     ? job.maxInsts + job.warmupInsts
+                                     : 0);
                 result = run(*program, job.cfg, ro);
                 okRun = true;
                 rec.status = attempt > 1 ? JobStatus::Recovered
@@ -675,21 +698,23 @@ runWorker(const std::string &root, const WorkerOptions &opts)
         bool columnOk = false;
         if (column.size() > 1) {
             try {
+                std::shared_ptr<const vm::ExternalTrace> xt;
                 std::shared_ptr<const prog::Program> program =
-                    programs.get(programKey(lead), [&] {
-                        return buildGridProgram(lead);
-                    });
+                    resolveJobProgram(lead, programs, xt);
                 RunOptions ro;
                 ro.maxInsts = lead.maxInsts;
                 ro.warmupInsts = lead.warmupInsts;
                 ro.engine = Engine::Batched;
+                ro.externalTrace = xt;
                 ro.maxCycles = opts.cycleBudget;
                 ro.captureManifest = true;
                 ro.canonicalManifest = true;
-                ro.trace = traces.get(
-                    program, lead.maxInsts
-                                 ? lead.maxInsts + lead.warmupInsts
-                                 : 0);
+                if (!xt)
+                    ro.trace = traces.get(
+                        program,
+                        lead.maxInsts
+                            ? lead.maxInsts + lead.warmupInsts
+                            : 0);
                 std::vector<config::MachineConfig> cfgs;
                 cfgs.reserve(column.size());
                 for (const Claimed &c : column)
@@ -1016,13 +1041,15 @@ runSerial(const GridSpec &spec, unsigned workers,
         runner.setTraceCacheBudget(traceCacheBytes);
     ProgramCache programs;
     for (const GridJob &job : spec.jobs) {
-        std::shared_ptr<const prog::Program> program = programs.get(
-            programKey(job), [&] { return buildGridProgram(job); });
+        std::shared_ptr<const vm::ExternalTrace> xt;
+        std::shared_ptr<const prog::Program> program =
+            resolveJobProgram(job, programs, xt);
         RunOptions ro;
         ro.maxInsts = job.maxInsts;
         ro.warmupInsts = job.warmupInsts;
         ro.engine = job.engine;
         ro.sampling = job.sampling;
+        ro.externalTrace = xt;
         ro.maxCycles = cycleBudget;
         ro.maxWallSeconds = wallBudget;
         ro.captureManifest = true;

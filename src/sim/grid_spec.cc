@@ -123,6 +123,9 @@ writeGridJobJson(JsonWriter &w, const GridJob &job)
     // the static-partitioning pass existed stay byte-identical.
     if (!job.annotate.empty())
         w.field("annotate", job.annotate);
+    // Same rule for external-trace points.
+    if (!job.tracePath.empty())
+        w.field("trace_path", job.tracePath);
     // Same byte-compat rule for the engine selector and sampling
     // plan: Auto-engine points (all pre-engine specs) write neither.
     if (job.engine != Engine::Auto) {
@@ -155,6 +158,8 @@ gridJobFromJson(const JsonValue &v)
         v.at("warmup_insts", w).asUint(w + ".warmup_insts");
     if (const JsonValue *a = v.get("annotate"))
         job.annotate = a->asString(w + ".annotate");
+    if (const JsonValue *t = v.get("trace_path"))
+        job.tracePath = t->asString(w + ".trace_path");
     if (const JsonValue *e = v.get("engine"))
         job.engine = engineFromName(e->asString(w + ".engine"));
     if (const JsonValue *s = v.get("sampling")) {
@@ -182,22 +187,42 @@ GridSpec::validate() const
                   "dense and in order)",
                   title.c_str(), i,
                   static_cast<unsigned long long>(job.id));
-        if (!workloads::find(job.workload))
-            fatal("grid spec '%s': job %zu names unknown workload "
-                  "'%s'",
-                  title.c_str(), i, job.workload.c_str());
-        if (job.scale == 0)
-            fatal("grid spec '%s': job %zu has scale 0", title.c_str(),
-                  i);
+        if (job.tracePath.empty()) {
+            if (!workloads::find(job.workload))
+                fatal("grid spec '%s': job %zu names unknown workload "
+                      "'%s'",
+                      title.c_str(), i, job.workload.c_str());
+            if (job.scale == 0)
+                fatal("grid spec '%s': job %zu has scale 0",
+                      title.c_str(), i);
+        } else {
+            // External-trace point: the program comes from the file,
+            // so the workload name is display-only; hint rewriting
+            // happened at conversion time and cannot be re-run here,
+            // and the live engine has nothing to execute.
+            if (!job.annotate.empty())
+                fatal("grid spec '%s': job %zu combines trace_path "
+                      "with an annotate policy (hints are burned by "
+                      "the converter, not at rebuild time)",
+                      title.c_str(), i);
+            if (job.engine == Engine::Live)
+                fatal("grid spec '%s': job %zu demands the live "
+                      "engine for an external trace, which has no "
+                      "functional semantics to execute",
+                      title.c_str(), i);
+        }
         if (!job.annotate.empty() &&
             !analysis::hintPolicyFromName(job.annotate))
             fatal("grid spec '%s': job %zu names unknown annotate "
                   "policy '%s'",
                   title.c_str(), i, job.annotate.c_str());
         if (job.engine == Engine::Sampled) {
+            // Subtraction form: the sum wraps for plans near
+            // UINT64_MAX (same hazard runSampled guards against).
             if (job.sampling.detail == 0 || job.sampling.period == 0 ||
-                job.sampling.warmup + job.sampling.detail >
-                    job.sampling.period)
+                job.sampling.warmup > job.sampling.period ||
+                job.sampling.detail >
+                    job.sampling.period - job.sampling.warmup)
                 fatal("grid spec '%s': job %zu has an invalid "
                       "sampling plan (period %llu, detail %llu, "
                       "warmup %llu)",
@@ -274,6 +299,10 @@ GridSpec::fromFile(const std::string &path)
 prog::Program
 buildGridProgram(const GridJob &job)
 {
+    if (!job.tracePath.empty())
+        fatal("grid job %llu: an external-trace point has no program "
+              "to build (load its trace_path instead)",
+              static_cast<unsigned long long>(job.id));
     workloads::WorkloadParams p;
     p.scale = job.scale;
     p.seed = job.seed;

@@ -44,8 +44,19 @@ struct GridJob
     /** Dense job id; equals the job's index in GridSpec::jobs and the
      *  point's submission index in an in-process sweep. */
     std::uint64_t id = 0;
-    /** Workload registry short name ("li", "gcc", ...). */
+    /** Workload registry short name ("li", "gcc", ...). When
+     *  tracePath is set this is a display name only (the trace's
+     *  program name) and need not exist in the registry. */
     std::string workload;
+    /**
+     * Ingest this ddsim-xtrace-v1 file instead of building a registry
+     * workload ("" = none, the default — pre-existing specs stay
+     * byte-identical). The trace supplies the program, the dynamic
+     * stream, and the annotation verdicts; scale/seed are recorded
+     * for provenance but unused, and annotate must be empty (hints
+     * are burned at conversion time, not rebuild time).
+     */
+    std::string tracePath;
     /** Resolved WorkloadParams::scale (not a multiplier). */
     std::uint64_t scale = 1;
     /** WorkloadParams::seed. */

@@ -11,6 +11,7 @@
 #include "stats/formatter.hh"
 #include "util/log.hh"
 #include "vm/executor.hh"
+#include "vm/xtrace.hh"
 
 #include <algorithm>
 #include <chrono>
@@ -193,6 +194,56 @@ staticVerdictTable(const prog::Program &program)
     return table;
 }
 
+// vm cannot depend on core, so the annotation pass publishes
+// vm::XVerdict and the runner translates by numeric value. Pin the
+// mirror here, where both headers are visible.
+static_assert(static_cast<int>(vm::XVerdict::Ambiguous) ==
+                  static_cast<int>(core::StaticVerdict::Ambiguous) &&
+              static_cast<int>(vm::XVerdict::Local) ==
+                  static_cast<int>(core::StaticVerdict::Local) &&
+              static_cast<int>(vm::XVerdict::NonLocal) ==
+                  static_cast<int>(core::StaticVerdict::NonLocal),
+              "XVerdict must mirror StaticVerdict value-for-value");
+
+/**
+ * The ingested-stream counterpart of staticVerdictTable: the
+ * annotation pass ran once at ingest (over the real dynamic stream,
+ * which the ddlint analysis of the reconstructed text cannot see), so
+ * the table is a straight per-value translation.
+ */
+std::vector<core::StaticVerdict>
+externalVerdictTable(const vm::ExternalTrace &xt)
+{
+    const std::vector<vm::XVerdict> &xv = xt.verdicts();
+    std::vector<core::StaticVerdict> table(xv.size());
+    for (std::size_t i = 0; i < xv.size(); ++i)
+        table[i] = static_cast<core::StaticVerdict>(xv[i]);
+    return table;
+}
+
+/**
+ * Shared up-front validation for RunOptions::externalTrace. An
+ * external trace *is* the instruction stream, so it cannot coexist
+ * with an explicit replay trace, and there is nothing for the live
+ * engine to execute.
+ */
+void
+checkExternalOptions(const RunOptions &opts)
+{
+    if (!opts.externalTrace)
+        return;
+    if (opts.engine == Engine::Live)
+        raise(ConfigError("engine",
+                          "an external trace has no functional "
+                          "semantics to execute live; use the replay, "
+                          "batched or sampled engine"));
+    if (opts.trace)
+        raise(ConfigError("trace",
+                          "RunOptions::trace and externalTrace are "
+                          "mutually exclusive; the external trace "
+                          "supplies the replay stream itself"));
+}
+
 /** Copy the pipeline's counters into @p r (everything except
  *  cycles/committed/ipc, which the engine owns). */
 void
@@ -272,6 +323,12 @@ attachManifest(SimResult &r, const prog::Program &program,
         mi.lvaqStores = lvaq->storesTotal.value();
     }
     mi.wallSeconds = opts.canonicalManifest ? 0.0 : wallSeconds;
+    if (opts.externalTrace) {
+        mi.traceSourceFormat = opts.externalTrace->format();
+        mi.traceSourcePath = opts.externalTrace->path();
+        mi.traceSourceInsts = opts.externalTrace->instCount();
+        mi.traceSourceHints = opts.externalTrace->hintsValid();
+    }
     if (r.sampling.active) {
         mi.sampled = true;
         mi.samplingPeriod = r.sampling.period;
@@ -300,19 +357,23 @@ SimResult
 runExact(const prog::Program &program,
          const config::MachineConfig &cfg, const RunOptions &opts)
 {
+    checkExternalOptions(opts);
     robust::RunFaultPlan plan = probeFaults(program, cfg);
 
     cfg.validate();
 
     // The instruction stream: replay the shared recording when one is
     // supplied (or the engine demands one), otherwise execute
-    // functionally.
-    bool wantReplay = opts.engine == Engine::Replay ||
-                      opts.engine == Engine::Batched ||
-                      (opts.engine == Engine::Auto && opts.trace);
+    // functionally. An ingested external trace always replays.
+    bool wantReplay =
+        opts.engine == Engine::Replay ||
+        opts.engine == Engine::Batched || opts.externalTrace ||
+        (opts.engine == Engine::Auto && opts.trace);
     std::shared_ptr<const vm::RecordedTrace> trace;
     if (wantReplay) {
-        trace = opts.trace;
+        trace = opts.externalTrace
+                    ? vm::ExternalTrace::sharedTrace(opts.externalTrace)
+                    : opts.trace;
         if (trace) {
             if (&trace->program() != &program)
                 panic("RunOptions::trace was recorded from a "
@@ -337,7 +398,9 @@ runExact(const prog::Program &program,
 
     if (cfg.classifier == config::ClassifierKind::StaticHybrid)
         pipe.classifier().setStaticVerdicts(
-            staticVerdictTable(program));
+            opts.externalTrace
+                ? externalVerdictTable(*opts.externalTrace)
+                : staticVerdictTable(program));
 
     if (!opts.blackboxPath.empty())
         pipe.enableCommitLog(kBlackboxCommits);
@@ -453,7 +516,12 @@ runSampled(const prog::Program &program,
         raise(ConfigError("sampling",
                           "sampled engine needs a non-zero sampling "
                           "period and detail window"));
-    if (sp.warmup + sp.detail > sp.period)
+    // Checked as two subtraction-safe comparisons: the obvious
+    // `warmup + detail > period` wraps around for plans near
+    // UINT64_MAX and would wave an impossible plan through (the
+    // fast-forward length `period - warmup - detail` then underflows
+    // to an astronomically long skip).
+    if (sp.warmup > sp.period || sp.detail > sp.period - sp.warmup)
         raise(ConfigError(
             "sampling",
             format("sampling warmup (%llu) + detail (%llu) must fit "
@@ -472,19 +540,24 @@ runSampled(const prog::Program &program,
                           "run would cover only the detailed windows; "
                           "use an exact engine"));
 
+    checkExternalOptions(opts);
     robust::RunFaultPlan plan = probeFaults(program, cfg);
 
     cfg.validate();
 
+    std::shared_ptr<const vm::RecordedTrace> trace =
+        opts.externalTrace
+            ? vm::ExternalTrace::sharedTrace(opts.externalTrace)
+            : opts.trace;
     stats::Group root(nullptr, "");
     std::optional<vm::Executor> exec;
     std::optional<vm::TraceReplay> replay;
     vm::InstSource *src;
-    if (opts.trace) {
-        if (&opts.trace->program() != &program)
+    if (trace) {
+        if (&trace->program() != &program)
             panic("RunOptions::trace was recorded from a different "
                   "program");
-        src = &replay.emplace(*opts.trace);
+        src = &replay.emplace(*trace);
     } else {
         src = &exec.emplace(program);
     }
@@ -492,7 +565,9 @@ runSampled(const prog::Program &program,
 
     if (cfg.classifier == config::ClassifierKind::StaticHybrid)
         pipe.classifier().setStaticVerdicts(
-            staticVerdictTable(program));
+            opts.externalTrace
+                ? externalVerdictTable(*opts.externalTrace)
+                : staticVerdictTable(program));
 
     if (!opts.blackboxPath.empty())
         pipe.enableCommitLog(kBlackboxCommits);
@@ -649,7 +724,7 @@ runSampled(const prog::Program &program,
         r.statsText = stats::toText(root);
 
     attachManifest(r, program, cfg, opts, pipe, root, wallSeconds,
-                   static_cast<bool>(opts.trace), "sampled");
+                   static_cast<bool>(trace), "sampled");
     return r;
 }
 
@@ -707,10 +782,14 @@ runBatch(const prog::Program &program,
         }
     }
 
+    checkExternalOptions(opts);
     for (const config::MachineConfig &cfg : cfgs)
         cfg.validate();
 
-    std::shared_ptr<const vm::RecordedTrace> trace = opts.trace;
+    std::shared_ptr<const vm::RecordedTrace> trace =
+        opts.externalTrace
+            ? vm::ExternalTrace::sharedTrace(opts.externalTrace)
+            : opts.trace;
     std::uint64_t limit =
         opts.maxInsts ? opts.maxInsts + opts.warmupInsts : 0;
     if (trace) {
@@ -755,7 +834,10 @@ runBatch(const prog::Program &program,
         if (cfg.classifier == config::ClassifierKind::StaticHybrid) {
             // Analyze once per column, copy the table per lane.
             if (!haveVerdicts) {
-                verdicts = staticVerdictTable(program);
+                verdicts =
+                    opts.externalTrace
+                        ? externalVerdictTable(*opts.externalTrace)
+                        : staticVerdictTable(program);
                 haveVerdicts = true;
             }
             lane.pipe.classifier().setStaticVerdicts(

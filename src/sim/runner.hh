@@ -18,6 +18,7 @@
 #include "sim/result.hh"
 
 namespace ddsim::vm {
+class ExternalTrace;
 class RecordedTrace;
 }
 
@@ -109,6 +110,18 @@ struct RunOptions
      * of once per grid point.
      */
     std::shared_ptr<const vm::RecordedTrace> trace;
+    /**
+     * Run an ingested external trace (vm::ExternalTrace) instead of a
+     * registry workload. The runner derives everything from it: the
+     * program and replay trace (so `trace` must be unset), the
+     * static-classifier verdict table from the ingestion-time
+     * annotation pass (replacing the ddlint analysis, which would see
+     * only the reconstructed text), and a run.trace_source provenance
+     * block in the manifest. Engine::Live is a ConfigError — there is
+     * no functional semantics to execute, only the recorded stream;
+     * Auto resolves to replay. Batched and sampled work unchanged.
+     */
+    std::shared_ptr<const vm::ExternalTrace> externalTrace;
     /**
      * Execution engine (see Engine). Auto preserves the historical
      * behavior: replay when a trace is supplied, live otherwise.

@@ -158,9 +158,11 @@ SweepRunner::flushBatches()
     batchQueue.clear();
 
     for (auto &[key, column] : columns) {
-        TraceCache *tc =
-            shareTraces && !column.front().job.opts.trace ? &traces
-                                                          : nullptr;
+        TraceCache *tc = shareTraces &&
+                                 !column.front().job.opts.trace &&
+                                 !column.front().job.opts.externalTrace
+                             ? &traces
+                             : nullptr;
         RetryPolicy policy = retryPolicy;
         pool.submit([tc, policy, column = std::move(column)]() mutable {
             std::shared_ptr<const prog::Program> program =
@@ -217,8 +219,12 @@ SweepRunner::submit(SweepJob job)
     }
     // Trace resolution runs on the worker, not here: the first job to
     // reach a program records its trace while workers on other
-    // programs keep simulating.
-    TraceCache *tc = shareTraces && !job.opts.trace ? &traces : nullptr;
+    // programs keep simulating. External traces bring their own
+    // stream — recording their reconstructed program would be wrong.
+    TraceCache *tc = shareTraces && !job.opts.trace &&
+                             !job.opts.externalTrace
+                         ? &traces
+                         : nullptr;
     RetryPolicy policy = retryPolicy;
     pool.submit([slot, tc, policy, job = std::move(job)]() mutable {
         runJobWithRetry(std::move(job), slot, tc, policy);

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Converter from the common public text trace format to an
+ * ExternalTrace (and from there to ddsim-xtrace-v1 via save()).
+ *
+ * The input format is the whitespace-separated per-line form used by
+ * the trace-driven simulators this project draws on (one dynamic
+ * instruction per line, '#' comments and blank lines ignored):
+ *
+ *   <PC hex> <op_type> <dest> <src1> <src2> [<mem_addr hex>]
+ *
+ * op_type 0 = single-cycle ALU, 1 = long-latency ALU, 2 = memory
+ * (mem_addr required, forbidden otherwise); dest/src are register
+ * numbers, -1 = none; a memory record with dest >= 0 is a load, with
+ * dest == -1 a store.
+ *
+ * Reconstruction: the distinct PCs become a MISA text segment in
+ * ascending PC order. Per static PC the converter classifies control
+ * flow from the observed successor set — always-sequential records
+ * become ADD/MUL/LW/SW, a single constant non-sequential target a J,
+ * a {fall-through, target} pair a BNE, anything richer a JR whose
+ * per-record dynamic target rides the trace. Source registers are
+ * remapped into the MISA temporary range (never sp/fp/ra); memory
+ * addresses map into the simulated heap window, or into the stack
+ * window for addresses inside ConvertOptions::stack range, in which
+ * case the access's base register becomes fp so the sp-tracking
+ * annotation sees them as frame references. Base-register versions
+ * are re-synthesised from the reconstructed program's own writes.
+ *
+ * Malformed input of any kind (bad tokens, inconsistent re-use of a
+ * PC, a memory instruction that branches, truncated lines) raises
+ * TraceCorruptError carrying the byte offset of the offending input.
+ */
+
+#ifndef DDSIM_VM_CONVERT_HH_
+#define DDSIM_VM_CONVERT_HH_
+
+#include <memory>
+#include <string>
+
+#include "util/types.hh"
+#include "vm/xtrace.hh"
+
+namespace ddsim::vm {
+
+/** Knobs for the text-format converter. */
+struct ConvertOptions
+{
+    /** Program name recorded in the trace header. */
+    std::string name = "converted";
+    /**
+     * Burn the annotation pass's Local verdicts into the text's
+     * localHint bits (and mark the trace hintsValid), so the
+     * Annotation/Predictor classifiers work on the converted stream.
+     */
+    bool burnHints = true;
+    /**
+     * Source-address window to treat as the run-time stack: addresses
+     * in [stackLo, stackHi] land in ddsim's stack region (top-aligned
+     * at layout::StackBase), everything else in the heap window.
+     * stackHi == 0 disables the mapping (nothing is local).
+     */
+    Addr stackLo = 0;
+    Addr stackHi = 0;
+};
+
+/**
+ * Convert the text trace file at @p path. Raises IoError if the file
+ * cannot be read and TraceCorruptError (byte offset) on malformed
+ * content.
+ */
+std::shared_ptr<const ExternalTrace>
+convertTextTrace(const std::string &path,
+                 const ConvertOptions &opts = {});
+
+/**
+ * Convert an in-memory text trace image; @p path is used only for
+ * error reporting.
+ */
+std::shared_ptr<const ExternalTrace>
+convertTextTraceBuffer(const std::string &buf, const std::string &path,
+                       const ConvertOptions &opts = {});
+
+} // namespace ddsim::vm
+
+#endif // DDSIM_VM_CONVERT_HH_

@@ -117,6 +117,7 @@ class RecordedTrace
 
   private:
     friend class TraceReplay;
+    friend class ExternalTrace; ///< xtrace codec packs/unpacks words.
 
     static constexpr std::uint32_t TakenBit = 1u << 31;
     static constexpr std::uint32_t MemBit = 1u << 30;

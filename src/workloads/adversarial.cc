@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Adversarial workload generators: synthetic programs built to stress
+ * the decoupling machinery where the SPEC95-like suite is gentle —
+ * dependent pointer chases with no locality, recursion deep enough to
+ * overflow the LVC, frames too large for the 15-bit offset field
+ * (the paper's footnote 6), and alloca-style dynamically-sized frames
+ * that defeat static stack analysis. They register as first-class
+ * workloads (workloads::find / build / the benches' --programs=), but
+ * deliberately stay out of workloads::all() so the 12-workload
+ * differential baselines and figure benches are untouched.
+ */
+
+#include "workloads/workloads.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "isa/regs.hh"
+
+namespace ddsim::workloads {
+
+namespace reg = isa::reg;
+using prog::FrameSpec;
+using prog::Label;
+using prog::ProgramBuilder;
+
+prog::Program
+buildPtrChase(const WorkloadParams &p)
+{
+    ProgramBuilder b("ptrchase");
+    Rng rng(p.seed ^ 0xadc0ffeeull);
+
+    // A single-cycle random permutation over N heap nodes (Sattolo's
+    // algorithm), laid out as one absolute next-pointer per node. The
+    // footprint (16 KB) exceeds the LVC and thrashes L1 sets; every
+    // load is address-dependent on the previous one.
+    constexpr std::uint32_t N = 4096;
+    std::vector<std::uint32_t> perm(N);
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (std::uint32_t i = N - 1; i > 0; --i)
+        std::swap(perm[i], perm[rng.below(i)]);
+    std::vector<std::uint32_t> next(N);
+    for (std::uint32_t i = 0; i < N; ++i)
+        next[perm[i]] = perm[(i + 1) % N];
+
+    const Addr sentinel = b.dataWord(0);
+    const Addr base = sentinel + 4;
+    for (std::uint32_t i = 0; i < N; ++i)
+        b.dataWord(base + 4 * next[i]);
+
+    const std::uint64_t iters =
+        std::min<std::uint64_t>(p.scale * 256, 1u << 30);
+
+    b.la(reg::t0, base);
+    b.li(reg::s0, 0);
+    b.li(reg::s1, static_cast<std::int32_t>(iters));
+    Label loop = b.here("chase");
+    b.lw(reg::t0, 0, reg::t0);          // dependent heap chase
+    b.add(reg::s0, reg::s0, reg::t0);
+    b.xor_(reg::t4, reg::s0, reg::t0);  // cheap non-memory padding
+    b.srl(reg::t4, reg::t4, 3);
+    b.addi(reg::s1, reg::s1, -1);
+    b.bgtz(reg::s1, loop);
+    finishMain(b, reg::s0);
+    return b.finish();
+}
+
+prog::Program
+buildDeepRec(const WorkloadParams &p)
+{
+    ProgramBuilder b("deeprec");
+    const std::int32_t depth =
+        256 + static_cast<std::int32_t>(p.seed % 128);
+    const std::uint64_t outer = std::max<std::uint64_t>(p.scale, 1);
+
+    Label rec = b.newLabel("rec");
+
+    b.li(reg::s0, 0);
+    b.li(reg::s1, static_cast<std::int32_t>(
+                      std::min<std::uint64_t>(outer, 1u << 24)));
+    Label loop = b.here("outer");
+    b.li(reg::a0, depth);
+    b.call(rec);
+    b.add(reg::s0, reg::s0, reg::v0);
+    b.addi(reg::s1, reg::s1, -1);
+    b.bgtz(reg::s1, loop);
+    finishMain(b, reg::s0);
+
+    // rec(n): small frame, local spill/reload on both sides of the
+    // recursive call; depth * outer dynamic activations keep hundreds
+    // of live frames stacked, far past the LVC's reach.
+    const FrameSpec frame{4, {reg::s2}, true};
+    Label base = b.newLabel(), done = b.newLabel();
+    b.bind(rec);
+    b.prologue(frame);
+    b.storeLocal(reg::a0, 0);
+    b.move(reg::s2, reg::a0);
+    b.blez(reg::a0, base);
+    b.addi(reg::a0, reg::a0, -1);
+    b.call(rec);
+    b.loadLocal(reg::t0, 0);
+    b.add(reg::v0, reg::v0, reg::t0);
+    b.j(done);
+    b.bind(base);
+    b.li(reg::v0, 1);
+    b.bind(done);
+    b.storeLocal(reg::v0, 1);
+    b.loadLocal(reg::t1, 1);
+    b.add(reg::v0, reg::t1, reg::zero);
+    b.epilogue(frame);
+    return b.finish();
+}
+
+prog::Program
+buildHugeFrame(const WorkloadParams &p)
+{
+    ProgramBuilder b("hugeframe");
+    const std::uint64_t iters =
+        std::min<std::uint64_t>(std::max<std::uint64_t>(p.scale, 1) * 32,
+                                1u << 24);
+
+    Label big = b.newLabel("big");
+
+    b.li(reg::s0, 0);
+    b.li(reg::s1, static_cast<std::int32_t>(iters));
+    Label loop = b.here("outer");
+    b.call(big);
+    b.add(reg::s0, reg::s0, reg::v0);
+    b.addi(reg::s1, reg::s1, -1);
+    b.bgtz(reg::s1, loop);
+    finishMain(b, reg::s0);
+
+    // big(): a 24000-byte frame — far beyond both the LVC and the
+    // 15-bit memory offset field. Slots under 16 KB are addressed off
+    // sp with the compiler's local annotation; the rest go through a
+    // secondary base register (sp + 16000), reproducing the paper's
+    // footnote-6 spill idiom. The secondary-base accesses carry no
+    // hint, so only sp-tracking (runtime or ddlint-style) sees them
+    // as local.
+    constexpr std::int32_t FrameBytes = 24000;
+    b.bind(big);
+    b.addi(reg::sp, reg::sp, -FrameBytes);
+    b.addi(reg::t8, reg::sp, 16000);
+    b.li(reg::v0, 0);
+    for (int k = 0; k < 10; ++k) {
+        const std::int32_t nearOff = k * 1500;
+        b.sw(reg::s1, nearOff, reg::sp, /*local=*/true);
+        b.lw(reg::t0, nearOff, reg::sp, /*local=*/true);
+        b.add(reg::v0, reg::v0, reg::t0);
+    }
+    for (int k = 0; k < 10; ++k) {
+        const std::int32_t farOff = k * 760;
+        b.sw(reg::v0, farOff, reg::t8);
+        b.lw(reg::t1, farOff, reg::t8);
+        b.add(reg::v0, reg::v0, reg::t1);
+    }
+    b.addi(reg::sp, reg::sp, FrameBytes);
+    b.ret();
+    return b.finish();
+}
+
+prog::Program
+buildAllocaFrame(const WorkloadParams &p)
+{
+    ProgramBuilder b("allocaframe");
+    GenCtx g(b, p.seed ^ 0xa110caull);
+    const std::uint64_t iters =
+        std::min<std::uint64_t>(std::max<std::uint64_t>(p.scale, 1) * 128,
+                                1u << 26);
+
+    Label fn = b.newLabel("fn");
+
+    b.li(reg::s0, 0);
+    b.li(reg::s3,
+         static_cast<std::int32_t>(p.seed ^ 0x5eedf00d));
+    b.li(reg::s1, static_cast<std::int32_t>(iters));
+    Label loop = b.here("outer");
+    b.move(reg::a0, reg::s3);
+    b.call(fn);
+    g.lcgStep(reg::s3, reg::t9);
+    b.add(reg::s0, reg::s0, reg::v0);
+    b.addi(reg::s1, reg::s1, -1);
+    b.bgtz(reg::s1, loop);
+    finishMain(b, reg::s0);
+
+    // fn(x): allocate a runtime-variable 8..260 byte block straight
+    // off sp (alloca), touch it, free it. The frame size depends on
+    // the argument, so no static analysis can prove the sp offsets —
+    // only the runtime sp-tracking annotation classifies these
+    // accesses as local. None of the alloca accesses carry the
+    // compiler hint.
+    const FrameSpec frame{2, {}, true};
+    b.bind(fn);
+    b.prologue(frame);
+    b.andi(reg::t0, reg::a0, 0xFC);
+    b.addi(reg::t0, reg::t0, 8);
+    b.sub(reg::sp, reg::sp, reg::t0);  // dynamic frame
+    b.sw(reg::a0, 0, reg::sp);
+    b.sw(reg::t0, 4, reg::sp);
+    b.lw(reg::v0, 0, reg::sp);
+    b.lw(reg::t1, 4, reg::sp);
+    b.add(reg::v0, reg::v0, reg::t1);
+    b.add(reg::sp, reg::sp, reg::t0);  // free it
+    b.epilogue(frame);
+    return b.finish();
+}
+
+const std::vector<WorkloadInfo> &
+adversarial()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"ptrchase", "adv.ptrchase",
+         "dependent random pointer chase over a 16 KB heap cycle",
+         false, &buildPtrChase, 120},
+        {"deeprec", "adv.deeprec",
+         "deep recursion with small spill-heavy frames", false,
+         &buildDeepRec, 60},
+        {"hugeframe", "adv.hugeframe",
+         "24 KB frames addressed through a secondary base register",
+         false, &buildHugeFrame, 230},
+        {"allocaframe", "adv.allocaframe",
+         "alloca-style dynamically-sized frames off sp", false,
+         &buildAllocaFrame, 110},
+    };
+    return registry;
+}
+
+} // namespace ddsim::workloads

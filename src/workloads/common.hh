@@ -58,7 +58,17 @@ struct WorkloadInfo
 /** All twelve workloads, paper order (integer first, then FP). */
 const std::vector<WorkloadInfo> &all();
 
-/** Look up by short or paper name; nullptr if unknown. */
+/**
+ * The synthetic adversarial workloads (pointer-chase, deep recursion,
+ * huge frames, alloca-style dynamic frames). First-class for find()/
+ * build() and every bench's --programs=, but deliberately excluded
+ * from all() so the 12-workload baselines and figure benches keep
+ * their exact composition.
+ */
+const std::vector<WorkloadInfo> &adversarial();
+
+/** Look up by short or paper name (built-in or adversarial);
+ *  nullptr if unknown. */
 const WorkloadInfo *find(const std::string &name);
 
 /** Build by name; calls fatal() on an unknown name. */

@@ -47,6 +47,10 @@ find(const std::string &name)
         if (name == w.name || name == w.paperName)
             return &w;
     }
+    for (const WorkloadInfo &w : adversarial()) {
+        if (name == w.name || name == w.paperName)
+            return &w;
+    }
     return nullptr;
 }
 

@@ -23,6 +23,13 @@ prog::Program buildSwimLike(const WorkloadParams &p);
 prog::Program buildSu2corLike(const WorkloadParams &p);
 prog::Program buildMgridLike(const WorkloadParams &p);
 
+// Adversarial generators (workloads/adversarial.cc); registered via
+// workloads::adversarial(), not all().
+prog::Program buildPtrChase(const WorkloadParams &p);
+prog::Program buildDeepRec(const WorkloadParams &p);
+prog::Program buildHugeFrame(const WorkloadParams &p);
+prog::Program buildAllocaFrame(const WorkloadParams &p);
+
 } // namespace ddsim::workloads
 
 #endif // DDSIM_WORKLOADS_WORKLOADS_HH_

@@ -151,6 +151,29 @@ class GridSpecChecks(unittest.TestCase):
         doc["jobs"][0]["warmup_insts"] = 100
         self.assertRejected(doc, "whole-run warmup")
 
+    def test_accepts_trace_path_point(self):
+        doc = grid_doc()
+        doc["jobs"][0]["trace_path"] = "traces/sample.xt"
+        doc["jobs"][0]["engine"] = "replay"
+        self.assertEqual(vm.check_grid_spec(doc, "grid"), 3)
+
+    def test_rejects_empty_trace_path(self):
+        doc = grid_doc()
+        doc["jobs"][0]["trace_path"] = ""
+        self.assertRejected(doc, "empty trace_path")
+
+    def test_rejects_trace_path_with_annotate(self):
+        doc = grid_doc()
+        doc["jobs"][0]["trace_path"] = "traces/sample.xt"
+        doc["jobs"][0]["annotate"] = "safe"
+        self.assertRejected(doc, "annotate policy")
+
+    def test_rejects_trace_path_with_live_engine(self):
+        doc = grid_doc()
+        doc["jobs"][0]["trace_path"] = "traces/sample.xt"
+        doc["jobs"][0]["engine"] = "live"
+        self.assertRejected(doc, "live engine")
+
 
 class FarmManifestChecks(unittest.TestCase):
     def test_valid_farm_passes(self):
@@ -301,6 +324,94 @@ class LintDocumentChecks(unittest.TestCase):
         doc = lint_doc()
         doc["programs"][0]["diagnostics"][0]["severity"] = "fatal"
         self.assertRejected(doc, "unknown severity")
+
+
+def run_doc():
+    """A minimal valid ddsim-manifest-v1 run document."""
+    return {
+        "schema": vm.RUN_SCHEMA,
+        "generator": {"name": "ddsim", "version": "1", "git": "abc"},
+        "run": {
+            "workload": "li",
+            "config": {
+                "notation": "(2+0)",
+                "l1": {"size_bytes": 32768, "assoc": 4,
+                       "line_bytes": 32, "hit_latency": 1, "ports": 2},
+            },
+            "wall_seconds": 0.1,
+            "options": {"engine": "replay"},
+        },
+        "result": {
+            "cycles": 100, "committed": 150, "ipc": 1.5,
+            "streams": {"lsq": {"loads": 10, "stores": 5},
+                        "lvaq": {"loads": 20, "stores": 8}},
+        },
+    }
+
+
+class RunManifestChecks(unittest.TestCase):
+    """External-trace provenance and the sampled error-bar rule."""
+
+    def assertRejected(self, doc, fragment):
+        with self.assertRaises(vm.Invalid) as ctx:
+            vm.check_run_manifest(doc, "run")
+        self.assertIn(fragment, str(ctx.exception))
+
+    def test_minimal_run_passes(self):
+        vm.check_run_manifest(run_doc(), "run")
+
+    def test_accepts_trace_source(self):
+        doc = run_doc()
+        doc["run"]["trace_source"] = {
+            "format": "xtrace", "path": "/tmp/sample.xt",
+            "insts": 201, "hints_valid": True}
+        vm.check_run_manifest(doc, "run")
+
+    def test_rejects_unknown_trace_format(self):
+        doc = run_doc()
+        doc["run"]["trace_source"] = {
+            "format": "pcap", "path": "x", "insts": 1,
+            "hints_valid": False}
+        self.assertRejected(doc, "unknown format")
+
+    def test_rejects_empty_trace(self):
+        doc = run_doc()
+        doc["run"]["trace_source"] = {
+            "format": "xtrace", "path": "x", "insts": 0,
+            "hints_valid": False}
+        self.assertRejected(doc, "insts 0")
+
+    def test_rejects_live_engine_on_trace_run(self):
+        doc = run_doc()
+        doc["run"]["options"]["engine"] = "live"
+        doc["run"]["trace_source"] = {
+            "format": "xtrace", "path": "x", "insts": 1,
+            "hints_valid": False}
+        self.assertRejected(doc, "live engine")
+
+    def sampled_doc(self, windows, ci=None):
+        doc = run_doc()
+        doc["run"]["options"]["engine"] = "sampled"
+        doc["result"]["sampling"] = {
+            "period": 4096, "detail": 2560, "warmup": 256,
+            "windows": windows, "detail_insts": 100,
+            "detail_cycles": 80}
+        if ci is not None:
+            doc["result"]["sampling"]["ipc_ci95"] = ci
+        return doc
+
+    def test_accepts_multi_window_with_ci(self):
+        vm.check_run_manifest(self.sampled_doc(3, ci=0.05), "run")
+
+    def test_accepts_single_window_without_ci(self):
+        vm.check_run_manifest(self.sampled_doc(1), "run")
+
+    def test_rejects_single_window_with_ci(self):
+        self.assertRejected(self.sampled_doc(1, ci=0.05),
+                            "needs >= 2")
+
+    def test_rejects_multi_window_without_ci(self):
+        self.assertRejected(self.sampled_doc(2), "ipc_ci95")
 
 
 class SweepManifestChecks(unittest.TestCase):

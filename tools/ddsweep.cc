@@ -283,8 +283,7 @@ cmdWorker(const config::CliArgs &args)
     opts.cycleBudget =
         static_cast<std::uint64_t>(args.getInt("cycle-budget", 0));
     opts.wallBudget = args.getDouble("wall-budget", 0.0);
-    opts.traceCacheBytes = static_cast<std::size_t>(
-        args.getInt("trace-cache-mb", 0)) << 20;
+    opts.traceCacheBytes = args.getMbBytes("trace-cache-mb", 0);
     opts.maxJobs =
         static_cast<std::size_t>(args.getInt("max-jobs", 0));
     opts.exitIfReparented =
@@ -321,8 +320,8 @@ cmdSerial(const config::CliArgs &args)
     std::uint64_t cycleBudget =
         static_cast<std::uint64_t>(args.getInt("cycle-budget", 0));
     double wallBudget = args.getDouble("wall-budget", 0.0);
-    std::size_t traceCacheBytes = static_cast<std::size_t>(
-        args.getInt("trace-cache-mb", 0)) << 20;
+    std::size_t traceCacheBytes =
+        args.getMbBytes("trace-cache-mb", 0);
     args.rejectUnknown();
     SweepOutcome out =
         farm::runSerial(spec, workers, retry, cycleBudget, wallBudget,

@@ -33,6 +33,8 @@ ANNOTATE_POLICIES = ("safe", "speculative", "hybrid")
 GRID_ENGINES = ("auto", "live", "replay", "batched", "sampled")
 # What a run manifest records actually drove the run.
 RUN_ENGINES = ("live", "replay", "sampled")
+# Provenance tags an external-trace run may carry (see docs/TRACES.md).
+TRACE_FORMATS = ("xtrace", "text", "workload")
 
 
 class Invalid(Exception):
@@ -89,6 +91,22 @@ def check_run_manifest(doc, where):
             raise Invalid(f"{where}.run.options.engine: unknown "
                           f"engine {engine!r}")
 
+    # External-trace provenance: present only for runs driven by an
+    # ingested trace, which has nothing the live engine could execute.
+    trace_source = run.get("trace_source")
+    if trace_source is not None:
+        tw = f"{where}.run.trace_source"
+        fmt = need(trace_source, "format", str, tw)
+        if fmt not in TRACE_FORMATS:
+            raise Invalid(f"{tw}.format: unknown format {fmt!r}")
+        need(trace_source, "path", str, tw)
+        if need(trace_source, "insts", int, tw) < 1:
+            raise Invalid(f"{tw}: insts {trace_source['insts']} < 1")
+        need(trace_source, "hints_valid", bool, tw)
+        if engine == "live":
+            raise Invalid(f"{where}: live engine on an external-trace "
+                          f"run")
+
     res = need(doc, "result", dict, where)
     cycles = need(res, "cycles", int, f"{where}.result")
     committed = need(res, "committed", int, f"{where}.result")
@@ -117,13 +135,20 @@ def check_run_manifest(doc, where):
         if warmup + detail > period:
             raise Invalid(f"{sw}: warmup {warmup} + detail {detail} "
                           f"exceed period {period}")
-        if need(sampling, "windows", int, sw) < 0:
+        windows = need(sampling, "windows", int, sw)
+        if windows < 0:
             raise Invalid(f"{sw}: negative windows")
         for key in ("detail_insts", "detail_cycles"):
             if need(sampling, key, int, sw) < 0:
                 raise Invalid(f"{sw}: negative {key}")
-        if need(sampling, "ipc_ci95", (int, float), sw) < 0:
-            raise Invalid(f"{sw}: negative ipc_ci95")
+        # A confidence interval needs a sample variance, which needs
+        # at least two windows: ipc_ci95 is present exactly then.
+        if windows >= 2:
+            if need(sampling, "ipc_ci95", (int, float), sw) < 0:
+                raise Invalid(f"{sw}: negative ipc_ci95")
+        elif "ipc_ci95" in sampling:
+            raise Invalid(f"{sw}: ipc_ci95 with only {windows} "
+                          f"window(s) (needs >= 2 for a variance)")
     if engine is not None and (engine == "sampled") != \
             (sampling is not None):
         raise Invalid(f"{where}: engine {engine!r} disagrees with the "
@@ -234,6 +259,18 @@ def check_grid_spec(doc, where):
             if annotate not in ANNOTATE_POLICIES:
                 raise Invalid(f"{jw}: unknown annotate policy "
                               f"{annotate!r}")
+        # Optional external-trace point: the program comes from the
+        # file, hints were burned at conversion time, and there is
+        # nothing for the live engine to execute.
+        if "trace_path" in job:
+            if not need(job, "trace_path", str, jw):
+                raise Invalid(f"{jw}: empty trace_path")
+            if "annotate" in job:
+                raise Invalid(f"{jw}: trace_path combined with an "
+                              f"annotate policy")
+            if job.get("engine") == "live":
+                raise Invalid(f"{jw}: live engine on an "
+                              f"external-trace point")
         # Optional engine selector; absent = auto. A sampled point
         # must carry its plan (and no whole-run warmup); no other
         # engine may.
