@@ -114,6 +114,27 @@ CliArgs::getMbBytes(const std::string &key, std::size_t defBytes) const
     return static_cast<std::size_t>(mb) << 20;
 }
 
+double
+CliArgs::getSeconds(const std::string &key, double def) const
+{
+    knownKeys.insert(key);
+    auto it = opts.find(key);
+    if (it == opts.end())
+        return def;
+    double secs;
+    if (!parseDouble(it->second, secs))
+        raise(ConfigError(
+            key, format("option --%s expects a seconds value, got "
+                        "'%s'",
+                        key.c_str(), it->second.c_str())));
+    if (secs < 0)
+        raise(ConfigError(
+            key, format("option --%s: a duration cannot be negative "
+                        "(got %s)",
+                        key.c_str(), it->second.c_str())));
+    return secs;
+}
+
 bool
 CliArgs::getBool(const std::string &key, bool def) const
 {

@@ -56,6 +56,15 @@ class CliArgs
                            std::size_t defBytes) const;
 
     /**
+     * Read a non-negative seconds value (fractions allowed: lease and
+     * watchdog intervals are sub-second in tests). Raises ConfigError
+     * (named after @p key) for a non-numeric or negative value —
+     * getDouble()'s silent acceptance of "-3" would turn a typo into
+     * a lease that never expires.
+     */
+    double getSeconds(const std::string &key, double def) const;
+
+    /**
      * Register @p key as recognized without querying it (for options
      * only meaningful in branches the current invocation skipped).
      */

@@ -1,0 +1,208 @@
+#include "io/fault_fs.hh"
+
+#include "util/error.hh"
+#include "util/log.hh"
+
+namespace ddsim::io {
+
+const char *
+fsFaultKindName(FsFaultKind k)
+{
+    switch (k) {
+      case FsFaultKind::ShortWrite: return "short-write";
+      case FsFaultKind::Eio: return "eio";
+      case FsFaultKind::Enospc: return "enospc";
+      case FsFaultKind::CrashAtOp: return "crash-at-op";
+    }
+    return "?";
+}
+
+std::uint64_t
+FaultFs::mutatingOps() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_;
+}
+
+std::vector<std::string>
+FaultFs::journal() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return journal_;
+}
+
+bool
+FaultFs::crashed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_;
+}
+
+void
+FaultFs::checkAlive() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_)
+        throw SimulatedCrash("simulated crash: process is dead");
+}
+
+const FsFault *
+FaultFs::beforeMutation(const char *kind, const std::string &path)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (crashed_)
+        throw SimulatedCrash("simulated crash: process is dead");
+    ++ops_;
+    journal_.push_back(std::string(kind) + ":" + path);
+
+    FsFault *hit = nullptr;
+    for (FsFault &f : faults_) {
+        if (f.fired)
+            continue;
+        bool match = f.atOp != 0
+                         ? ops_ == f.atOp
+                         : f.pathContains.empty() ||
+                               path.find(f.pathContains) !=
+                                   std::string::npos;
+        if (!match)
+            continue;
+        f.fired = true;
+        hit = &f;
+        break;
+    }
+    if (!hit)
+        return nullptr;
+
+    std::uint64_t op = ops_;
+    switch (hit->kind) {
+      case FsFaultKind::CrashAtOp:
+        crashed_ = true;
+        lock.unlock();
+        throw SimulatedCrash(format("simulated crash at I/O op %llu "
+                                    "(%s:%s)",
+                                    static_cast<unsigned long long>(
+                                        op),
+                                    kind, path.c_str()));
+      case FsFaultKind::Eio:
+        lock.unlock();
+        raise(IoError(path, format("injected EIO on %s '%s' (op "
+                                   "%llu)",
+                                   kind, path.c_str(),
+                                   static_cast<unsigned long long>(
+                                       op))));
+      case FsFaultKind::Enospc:
+        lock.unlock();
+        raise(IoError(path, format("injected ENOSPC on %s '%s' (op "
+                                   "%llu)",
+                                   kind, path.c_str(),
+                                   static_cast<unsigned long long>(
+                                       op))));
+      case FsFaultKind::ShortWrite:
+        // Only writeBytes can tear a payload; elsewhere the fault
+        // degenerates to a plain I/O failure.
+        return hit;
+    }
+    return nullptr;
+}
+
+void
+FaultFs::writeBytes(const std::string &path, const std::string &bytes)
+{
+    const FsFault *f = beforeMutation("write", path);
+    if (f) {
+        // Persist a torn prefix — what a real short write leaves
+        // behind — then fail like the kernel would have.
+        inner_.writeBytes(path, bytes.substr(0, bytes.size() / 2));
+        raise(IoError(path,
+                      format("injected short write on '%s' (%zu of "
+                             "%zu bytes)",
+                             path.c_str(), bytes.size() / 2,
+                             bytes.size())));
+    }
+    inner_.writeBytes(path, bytes);
+}
+
+void
+FaultFs::syncFile(const std::string &path)
+{
+    if (beforeMutation("fsync", path))
+        raise(IoError(path, format("injected fault on fsync '%s'",
+                                   path.c_str())));
+    inner_.syncFile(path);
+}
+
+void
+FaultFs::syncDir(const std::string &dir)
+{
+    if (beforeMutation("fsyncdir", dir))
+        raise(IoError(dir, format("injected fault on fsyncdir '%s'",
+                                  dir.c_str())));
+    inner_.syncDir(dir);
+}
+
+bool
+FaultFs::renameFile(const std::string &src, const std::string &dst)
+{
+    if (beforeMutation("rename", src + "->" + dst))
+        raise(IoError(src, format("injected fault on rename '%s' -> "
+                                  "'%s'",
+                                  src.c_str(), dst.c_str())));
+    return inner_.renameFile(src, dst);
+}
+
+void
+FaultFs::removeFile(const std::string &path)
+{
+    if (beforeMutation("remove", path))
+        raise(IoError(path, format("injected fault on remove '%s'",
+                                   path.c_str())));
+    inner_.removeFile(path);
+}
+
+void
+FaultFs::makeDirs(const std::string &path)
+{
+    if (beforeMutation("mkdir", path))
+        raise(IoError(path, format("injected fault on mkdir '%s'",
+                                   path.c_str())));
+    inner_.makeDirs(path);
+}
+
+void
+FaultFs::touchFile(const std::string &path)
+{
+    if (beforeMutation("touch", path))
+        raise(IoError(path, format("injected fault on touch '%s'",
+                                   path.c_str())));
+    inner_.touchFile(path);
+}
+
+std::string
+FaultFs::readFile(const std::string &path)
+{
+    checkAlive();
+    return inner_.readFile(path);
+}
+
+std::vector<std::string>
+FaultFs::listDir(const std::string &dir)
+{
+    checkAlive();
+    return inner_.listDir(dir);
+}
+
+bool
+FaultFs::exists(const std::string &path)
+{
+    checkAlive();
+    return inner_.exists(path);
+}
+
+double
+FaultFs::fileAgeSeconds(const std::string &path)
+{
+    checkAlive();
+    return inner_.fileAgeSeconds(path);
+}
+
+} // namespace ddsim::io

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic fault injection at the filesystem boundary. FaultFs
+ * wraps another Vfs (normally io::realFs()) and counts every
+ * *mutating* primitive — writes, fsyncs, renames, removes, mkdirs,
+ * touches — in call order. Against that counter a test can schedule:
+ *
+ *  - ShortWrite: the targeted writeBytes persists only a prefix of
+ *    its payload, then raises IoError (transient) — a torn write the
+ *    atomic-rename discipline must keep invisible.
+ *  - Eio / Enospc: the targeted operation raises IoError without
+ *    touching the filesystem — a failed disk or a full one.
+ *  - CrashAtOp: the targeted operation never happens; SimulatedCrash
+ *    is thrown and the backend turns permanently dead (every later
+ *    call, reads included, rethrows). This is the primitive behind
+ *    systematic crash-point exploration: run once to count the ops,
+ *    then re-run crashing at op 1, 2, ..., N and prove each recovery
+ *    byte-identical.
+ *
+ * Determinism: single-threaded farm harnesses issue an identical
+ * operation sequence on every run (sorted directory listings, no
+ * heartbeat threads when leases are off), so "op N" names the same
+ * operation every time. The journal records each mutating op as
+ * "kind:path" for order assertions (e.g. fsync-before-rename).
+ */
+
+#ifndef DDSIM_IO_FAULT_FS_HH_
+#define DDSIM_IO_FAULT_FS_HH_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/vfs.hh"
+
+namespace ddsim::io {
+
+enum class FsFaultKind : std::uint8_t
+{
+    ShortWrite,
+    Eio,
+    Enospc,
+    CrashAtOp,
+};
+
+const char *fsFaultKindName(FsFaultKind k);
+
+/** One scheduled filesystem fault. */
+struct FsFault
+{
+    FsFaultKind kind = FsFaultKind::Eio;
+    /** 1-based mutating-op index to hit; 0 = match by path instead. */
+    std::uint64_t atOp = 0;
+    /** Path substring filter (used when atOp == 0; "" matches any
+     *  op, which with atOp == 0 means "the first mutating op"). */
+    std::string pathContains;
+    /** Each fault fires once, then disarms (CrashAtOp stays fatal
+     *  through the dead flag instead). */
+    bool fired = false;
+};
+
+class FaultFs final : public Vfs
+{
+  public:
+    explicit FaultFs(Vfs &inner) : inner_(inner) {}
+
+    void add(FsFault f) { faults_.push_back(std::move(f)); }
+
+    /** Mutating primitives issued so far (the crash-point domain). */
+    std::uint64_t mutatingOps() const;
+
+    /** "kind:path" per mutating op, in order. */
+    std::vector<std::string> journal() const;
+
+    /** Did a CrashAtOp fire? (Every op now rethrows.) */
+    bool crashed() const;
+
+    // Vfs --------------------------------------------------------
+    void writeBytes(const std::string &path,
+                    const std::string &bytes) override;
+    void syncFile(const std::string &path) override;
+    void syncDir(const std::string &dir) override;
+    bool renameFile(const std::string &src,
+                    const std::string &dst) override;
+    void removeFile(const std::string &path) override;
+    void makeDirs(const std::string &path) override;
+    void touchFile(const std::string &path) override;
+
+    std::string readFile(const std::string &path) override;
+    std::vector<std::string> listDir(const std::string &dir) override;
+    bool exists(const std::string &path) override;
+    double fileAgeSeconds(const std::string &path) override;
+
+  private:
+    /**
+     * Count one mutating op and decide its fate. Returns the matched
+     * fault kind, or nullptr when the op should proceed normally.
+     * Throws SimulatedCrash for CrashAtOp (after setting the dead
+     * flag) and IoError for Eio/Enospc; ShortWrite is returned to the
+     * caller (only writeBytes can act on it).
+     */
+    const FsFault *beforeMutation(const char *kind,
+                                  const std::string &path);
+
+    /** Reads do not count, but a dead backend rejects them too. */
+    void checkAlive() const;
+
+    Vfs &inner_;
+    mutable std::mutex mu_;
+    std::vector<FsFault> faults_;
+    std::vector<std::string> journal_;
+    std::uint64_t ops_ = 0;
+    bool crashed_ = false;
+};
+
+} // namespace ddsim::io
+
+#endif // DDSIM_IO_FAULT_FS_HH_

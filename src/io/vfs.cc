@@ -1,0 +1,247 @@
+#include "io/vfs.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/error.hh"
+#include "util/log.hh"
+
+namespace fs = std::filesystem;
+
+namespace ddsim::io {
+
+namespace {
+
+std::string
+dirOf(const std::string &path)
+{
+    std::string::size_type slash = path.rfind('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+class RealFs final : public Vfs
+{
+  public:
+    void writeBytes(const std::string &path,
+                    const std::string &bytes) override
+    {
+        int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+        if (fd < 0)
+            raise(IoError(path,
+                          format("cannot open '%s' for writing: %s",
+                                 path.c_str(),
+                                 std::strerror(errno))));
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            ssize_t n = ::write(fd, bytes.data() + off,
+                                bytes.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                int err = errno;
+                ::close(fd);
+                raise(IoError(path,
+                              format("write to '%s' failed: %s",
+                                     path.c_str(),
+                                     std::strerror(err))));
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        if (::close(fd) != 0)
+            raise(IoError(path, format("close of '%s' failed: %s",
+                                       path.c_str(),
+                                       std::strerror(errno))));
+    }
+
+    void syncFile(const std::string &path) override
+    {
+        int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0)
+            raise(IoError(path,
+                          format("cannot open '%s' to fsync: %s",
+                                 path.c_str(),
+                                 std::strerror(errno))));
+        int rc = ::fsync(fd);
+        int err = errno;
+        ::close(fd);
+        if (rc != 0)
+            raise(IoError(path, format("fsync of '%s' failed: %s",
+                                       path.c_str(),
+                                       std::strerror(err))));
+    }
+
+    void syncDir(const std::string &dir) override
+    {
+        // Best-effort: a filesystem without directory fsync (EINVAL/
+        // ENOTSUP) should not fail the write it is merely hardening.
+        int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+        if (fd < 0)
+            return;
+        ::fsync(fd);
+        ::close(fd);
+    }
+
+    bool renameFile(const std::string &src,
+                    const std::string &dst) override
+    {
+        if (std::rename(src.c_str(), dst.c_str()) == 0)
+            return true;
+        if (errno == ENOENT)
+            return false;
+        raise(IoError(src, format("cannot rename '%s' -> '%s': %s",
+                                  src.c_str(), dst.c_str(),
+                                  std::strerror(errno))));
+    }
+
+    void removeFile(const std::string &path) override
+    {
+        std::error_code ec;
+        fs::remove(path, ec);
+        if (ec)
+            warn("could not remove '%s': %s", path.c_str(),
+                 ec.message().c_str());
+    }
+
+    void makeDirs(const std::string &path) override
+    {
+        std::error_code ec;
+        fs::create_directories(path, ec);
+        if (ec)
+            raise(IoError(path,
+                          format("cannot create directory '%s': %s",
+                                 path.c_str(),
+                                 ec.message().c_str())));
+    }
+
+    void touchFile(const std::string &path) override
+    {
+        // nullptr times = "now"; a vanished claim is not an error
+        // (the worker released it between our scan and the touch).
+        if (::utimensat(AT_FDCWD, path.c_str(), nullptr, 0) != 0 &&
+            errno != ENOENT)
+            warn("could not touch '%s': %s", path.c_str(),
+                 std::strerror(errno));
+    }
+
+    std::string readFile(const std::string &path) override
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            raise(IoError(path,
+                          format("cannot open '%s' for reading",
+                                 path.c_str())));
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        if (in.bad())
+            raise(IoError(path, format("read error on '%s'",
+                                       path.c_str())));
+        return ss.str();
+    }
+
+    std::vector<std::string> listDir(const std::string &dir) override
+    {
+        std::error_code ec;
+        std::vector<std::string> names;
+        fs::directory_iterator it(dir, ec);
+        if (ec)
+            raise(IoError(dir,
+                          format("cannot list directory '%s': %s",
+                                 dir.c_str(),
+                                 ec.message().c_str())));
+        for (const fs::directory_entry &e : it) {
+            if (e.is_regular_file(ec))
+                names.push_back(e.path().filename().string());
+        }
+        std::sort(names.begin(), names.end());
+        return names;
+    }
+
+    bool exists(const std::string &path) override
+    {
+        std::error_code ec;
+        return fs::is_regular_file(path, ec);
+    }
+
+    double fileAgeSeconds(const std::string &path) override
+    {
+        struct stat st;
+        if (::stat(path.c_str(), &st) != 0)
+            return -1.0;
+        struct timespec now;
+        ::clock_gettime(CLOCK_REALTIME, &now);
+        return static_cast<double>(now.tv_sec - st.st_mtim.tv_sec) +
+               static_cast<double>(now.tv_nsec -
+                                   st.st_mtim.tv_nsec) *
+                   1e-9;
+    }
+};
+
+std::atomic<Vfs *> activeVfs{nullptr};
+
+} // namespace
+
+void
+Vfs::writeFileAtomic(const std::string &path,
+                     const std::string &bytes)
+{
+    const std::string tmp = path + ".tmp";
+    writeBytes(tmp, bytes);
+    commitFile(tmp, path);
+}
+
+void
+Vfs::commitFile(const std::string &tmp, const std::string &path)
+{
+    syncFile(tmp);
+    if (!renameFile(tmp, path))
+        raise(IoError(path,
+                      format("cannot publish '%s': temporary '%s' "
+                             "vanished",
+                             path.c_str(), tmp.c_str())));
+    syncDir(dirOf(path));
+}
+
+Vfs &
+realFs()
+{
+    static RealFs fs;
+    return fs;
+}
+
+Vfs &
+vfs()
+{
+    Vfs *v = activeVfs.load(std::memory_order_acquire);
+    return v ? *v : realFs();
+}
+
+ScopedVfs::ScopedVfs(Vfs &v)
+{
+    Vfs *expected = nullptr;
+    if (!activeVfs.compare_exchange_strong(expected, &v,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed))
+        panic("nested Vfs override scopes");
+}
+
+ScopedVfs::~ScopedVfs()
+{
+    activeVfs.store(nullptr, std::memory_order_release);
+}
+
+} // namespace ddsim::io

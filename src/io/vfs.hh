@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The I/O layer every durable artifact goes through: a small virtual
+ * filesystem interface (Vfs) with one concrete production backend
+ * (RealFs) and, in tests, a deterministic fault-injecting wrapper
+ * (io::FaultFs). Spool job files, claims, result records, manifests
+ * and black boxes are all written via io::vfs(), so a test can make
+ * any single write short, any rename fail with EIO, or the whole
+ * process "crash" at exactly the N-th mutating operation — and then
+ * prove that recovery yields byte-identical results.
+ *
+ * The interface is deliberately primitive-level: writeFileAtomic()
+ * and commitFile() are non-virtual compositions of the virtual
+ * primitives (writeBytes, syncFile, renameFile, syncDir), so a fault
+ * injector sees — and can target — every individual step of the
+ * write-temp / fsync-temp / rename / fsync-dir discipline.
+ *
+ * Durability contract: RealFs fsyncs the temporary file AND its
+ * directory before/after the rename, so "atomic" holds across power
+ * loss, not just process death. syncDir failures are ignored
+ * (filesystems without directory fsync); syncFile failures raise.
+ */
+
+#ifndef DDSIM_IO_VFS_HH_
+#define DDSIM_IO_VFS_HH_
+
+#include <exception>
+#include <string>
+#include <vector>
+
+namespace ddsim::io {
+
+/**
+ * Thrown by a fault-injecting backend to simulate the process dying
+ * at an I/O operation. Deliberately NOT a SimError: no retry or
+ * quarantine path may classify it as a job failure. Once thrown, the
+ * backend is "dead" — every later operation rethrows — so even a
+ * catch(...) between the crash point and the test harness cannot
+ * resurrect the run.
+ */
+class SimulatedCrash : public std::exception
+{
+  public:
+    explicit SimulatedCrash(std::string what) : what_(std::move(what))
+    {}
+
+    const char *what() const noexcept override
+    {
+        return what_.c_str();
+    }
+
+  private:
+    std::string what_;
+};
+
+class Vfs
+{
+  public:
+    virtual ~Vfs() = default;
+
+    // -- Mutating primitives (fault-injection points) -------------
+
+    /** Create/truncate @p path and write @p bytes; raises IoError. */
+    virtual void writeBytes(const std::string &path,
+                            const std::string &bytes) = 0;
+
+    /** fsync @p path's data and metadata; raises IoError. */
+    virtual void syncFile(const std::string &path) = 0;
+
+    /** fsync the directory @p dir (so a rename inside it is durable);
+     *  best-effort — unsupported filesystems are ignored. */
+    virtual void syncDir(const std::string &dir) = 0;
+
+    /**
+     * rename(2) @p src onto @p dst.
+     * @return true on success; false when @p src does not exist (the
+     * expected outcome for a lost claim race). Raises IoError on any
+     * other failure.
+     */
+    virtual bool renameFile(const std::string &src,
+                            const std::string &dst) = 0;
+
+    /** Delete @p path; missing files are not an error. */
+    virtual void removeFile(const std::string &path) = 0;
+
+    /** mkdir -p; raises IoError. */
+    virtual void makeDirs(const std::string &path) = 0;
+
+    /** Bump @p path's mtime to now (lease heartbeat); missing files
+     *  are ignored (the claim may have just been released). */
+    virtual void touchFile(const std::string &path) = 0;
+
+    // -- Reads ----------------------------------------------------
+
+    /** Whole-file read; raises IoError. */
+    virtual std::string readFile(const std::string &path) = 0;
+
+    /** Sorted names of the regular files in @p dir; raises IoError. */
+    virtual std::vector<std::string>
+    listDir(const std::string &dir) = 0;
+
+    virtual bool exists(const std::string &path) = 0;
+
+    /** Seconds since @p path's mtime, or a negative value when the
+     *  file is missing/unstattable. */
+    virtual double fileAgeSeconds(const std::string &path) = 0;
+
+    // -- Composed operations --------------------------------------
+
+    /**
+     * The full atomic-write discipline in one call: write
+     * "<path>.tmp", fsync it, rename onto @p path, fsync the
+     * directory. Each step is a separate primitive, individually
+     * fault-injectable.
+     */
+    void writeFileAtomic(const std::string &path,
+                         const std::string &bytes);
+
+    /**
+     * Durably publish an already-written temporary: fsync @p tmp,
+     * rename it onto @p path, fsync the directory. AtomicFile streams
+     * its bytes directly and commits through this.
+     */
+    void commitFile(const std::string &tmp, const std::string &path);
+};
+
+/** The process-wide production backend. */
+Vfs &realFs();
+
+/** The active backend: realFs() unless a ScopedVfs overrides it. */
+Vfs &vfs();
+
+/** RAII override of the active backend (tests). Nesting panics. */
+class ScopedVfs
+{
+  public:
+    explicit ScopedVfs(Vfs &v);
+    ~ScopedVfs();
+
+    ScopedVfs(const ScopedVfs &) = delete;
+    ScopedVfs &operator=(const ScopedVfs &) = delete;
+};
+
+} // namespace ddsim::io
+
+#endif // DDSIM_IO_VFS_HH_

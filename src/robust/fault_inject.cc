@@ -25,6 +25,7 @@ faultKindName(FaultKind k)
       case FaultKind::DropWakeup: return "drop-wakeup";
       case FaultKind::CorruptTrace: return "corrupt-trace";
       case FaultKind::JobCrash: return "job-crash";
+      case FaultKind::JobHang: return "job-hang";
     }
     return "?";
 }
@@ -66,6 +67,9 @@ FaultInjector::planFor(const std::string &workload,
             break;
           case FaultKind::JobCrash:
             plan.crashProcess = true;
+            break;
+          case FaultKind::JobHang:
+            plan.hangSeconds = s.arg;
             break;
         }
     }

@@ -34,6 +34,11 @@
  *                   and supervisor respawn/crash-quarantine logic
  *                   exist for. Never install this in a process whose
  *                   death you are not prepared to observe.
+ *  - JobHang:       run sleeps `arg` seconds at setup before doing
+ *                   any work — a worker that is alive (heartbeating)
+ *                   but making no progress. The farm supervisor's
+ *                   per-job wall-clock watchdog (--job-wall-secs)
+ *                   exists for exactly this shape.
  */
 
 #ifndef DDSIM_ROBUST_FAULT_INJECT_HH_
@@ -55,6 +60,7 @@ enum class FaultKind : std::uint8_t
     DropWakeup,
     CorruptTrace,
     JobCrash,
+    JobHang,
 };
 
 const char *faultKindName(FaultKind k);
@@ -68,6 +74,7 @@ struct FaultSpec
     /**
      * JobTransient: how many attempts fail before success (default 1).
      * DropWakeup: which wakeup event (1-based) to drop.
+     * JobHang: how many seconds the run sleeps before working.
      */
     std::uint64_t arg = 1;
 };
@@ -81,11 +88,13 @@ struct RunFaultPlan
     std::uint64_t dropWakeupAt = 0; ///< 0 = no wakeup dropped.
     bool corruptTrace = false;
     bool crashProcess = false;
+    std::uint64_t hangSeconds = 0; ///< 0 = no injected hang.
 
     bool any() const
     {
         return failTransient || failPersistent || allocFail ||
-               dropWakeupAt != 0 || corruptTrace || crashProcess;
+               dropWakeupAt != 0 || corruptTrace || crashProcess ||
+               hangSeconds != 0;
     }
 };
 

@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <ctime>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -11,8 +17,10 @@
 
 #include <unistd.h>
 
+#include "io/vfs.hh"
 #include "obs/version.hh"
 #include "util/atomic_file.hh"
+#include "util/crc32.hh"
 #include "util/file_claim.hh"
 #include "util/json.hh"
 #include "util/json_parse.hh"
@@ -96,7 +104,154 @@ jobStatusFromName(const std::string &name, const std::string &where)
     fatal("%s: unknown job status '%s'", where.c_str(), name.c_str());
 }
 
-/** Serialize and atomically write one ddsim-job-result-v1 record. */
+// ---------------------------------------------------------------------
+// CRC32 sealing
+//
+// Checksummed wrappers share one layout: the wrapper object opens
+// with "schema", then a "crc32" field holding an 8-hex-char seal,
+// then the payload object ("job" in spec files, "record" in result
+// records) as the final member. The seal covers exactly the payload
+// object's bytes, so it can be computed after serialization and
+// patched over a fixed-width placeholder without re-serializing —
+// and verified by any reader (including the Python validator, via
+// binascii.crc32) from the raw text alone.
+// ---------------------------------------------------------------------
+
+constexpr const char *kCrcPlaceholder = "00000000";
+constexpr const char *kCrcMarker = "\"crc32\": \"";
+
+/** Byte range [begin, end) of the payload object "<key>": {...}. */
+bool
+crcPayloadRange(const std::string &text, const char *key,
+                std::size_t &begin, std::size_t &end)
+{
+    const std::string marker = std::string("\"") + key + "\": ";
+    const std::string::size_type pos = text.find(marker);
+    if (pos == std::string::npos)
+        return false;
+    begin = pos + marker.size();
+    if (begin >= text.size() || text[begin] != '{')
+        return false;
+    // The payload is the wrapper's last member: its closing brace is
+    // the second-to-last '}' in the document.
+    const std::string::size_type outer = text.rfind('}');
+    if (outer == std::string::npos || outer == 0)
+        return false;
+    const std::string::size_type inner = text.rfind('}', outer - 1);
+    if (inner == std::string::npos || inner < begin)
+        return false;
+    end = inner + 1;
+    return true;
+}
+
+/** Patch the placeholder "crc32" field with the payload's CRC32. */
+std::string
+sealCrc(std::string text, const char *payloadKey)
+{
+    std::size_t begin = 0, end = 0;
+    if (!crcPayloadRange(text, payloadKey, begin, end))
+        panic("sealCrc: no '%s' payload in artifact", payloadKey);
+    const std::string::size_type pos = text.find(kCrcMarker);
+    if (pos == std::string::npos)
+        panic("sealCrc: artifact has no crc32 placeholder");
+    // Note "\"crc32\": \"" cannot match the manifest_crc32 field (its
+    // key is preceded by '_', not '"'), so find() is the seal.
+    text.replace(pos + std::strlen(kCrcMarker), 8,
+                 crc32Hex(crc32(std::string_view(text).substr(
+                     begin, end - begin))));
+    return text;
+}
+
+/** Does @p text carry @p schema and a CRC32 seal matching its
+ *  payload? False on any damage — truncation, bit flips, a torn
+ *  write, the wrong schema generation. */
+bool
+artifactIntact(const std::string &text, const char *payloadKey,
+               const char *schema)
+{
+    if (text.find(std::string("\"schema\": \"") + schema + "\"") ==
+        std::string::npos)
+        return false;
+    std::size_t begin = 0, end = 0;
+    if (!crcPayloadRange(text, payloadKey, begin, end))
+        return false;
+    const std::string::size_type pos = text.find(kCrcMarker);
+    if (pos == std::string::npos)
+        return false;
+    const std::string::size_type at = pos + std::strlen(kCrcMarker);
+    if (at + 8 > text.size())
+        return false;
+    return text.compare(at, 8,
+                        crc32Hex(crc32(std::string_view(text).substr(
+                            begin, end - begin)))) == 0;
+}
+
+/** The sealed CRC a wrapper document embeds ("00000000" if none). */
+std::string
+embeddedCrc(const std::string &text)
+{
+    const std::string::size_type pos = text.find(kCrcMarker);
+    if (pos == std::string::npos ||
+        pos + std::strlen(kCrcMarker) + 8 > text.size())
+        return kCrcPlaceholder;
+    return text.substr(pos + std::strlen(kCrcMarker), 8);
+}
+
+// ---------------------------------------------------------------------
+// Artifact writers and verified readers
+// ---------------------------------------------------------------------
+
+/** Serialize one CRC-sealed ddsim-job-v2 spec document. */
+std::string
+renderJobFile(const GridJob &job)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("schema", kJobSchema);
+        w.field("crc32", kCrcPlaceholder);
+        w.key("job");
+        writeGridJobJson(w, job);
+        w.endObject();
+    }
+    os << '\n';
+    return sealCrc(os.str(), "job");
+}
+
+void
+writeJobFile(const Spool &sp, const GridJob &job, int shard)
+{
+    writeFileTextAtomic(sp.jobsDir() + "/" +
+                            Spool::jobFileName(job.id, shard),
+                        renderJobFile(job));
+}
+
+/**
+ * Parse and verify one spooled job spec.
+ * @throws CorruptArtifactError on schema/CRC damage or an id clash.
+ */
+GridJob
+parseJobSpecText(const std::string &text, const std::string &where,
+                 std::uint64_t expectId)
+{
+    if (!artifactIntact(text, "job", kJobSchema))
+        throw CorruptArtifactError(
+            where, format("job spec '%s' failed its schema/CRC32 "
+                          "check",
+                          where.c_str()));
+    GridJob job = gridJobFromJson(parseJson(text).at("job", "job spec"));
+    if (job.id != expectId)
+        throw CorruptArtifactError(
+            where,
+            format("'%s' holds id %llu but is spooled as job %llu",
+                   where.c_str(),
+                   static_cast<unsigned long long>(job.id),
+                   static_cast<unsigned long long>(expectId)));
+    return job;
+}
+
+/** Serialize and atomically write one ddsim-job-result-v2 record. */
 void
 writeJobRecord(const Spool &sp, const JobRecord &rec)
 {
@@ -105,6 +260,9 @@ writeJobRecord(const Spool &sp, const JobRecord &rec)
         JsonWriter w(os);
         w.beginObject();
         w.field("schema", kJobResultSchema);
+        w.field("crc32", kCrcPlaceholder);
+        w.key("record");
+        w.beginObject();
         w.field("id", rec.id);
         w.field("status", jobStatusName(rec.status));
         w.field("attempts", static_cast<std::uint64_t>(rec.attempts));
@@ -122,12 +280,44 @@ writeJobRecord(const Spool &sp, const JobRecord &rec)
         w.field("worker", rec.worker);
         w.field("shard", rec.shard);
         w.field("wall_seconds", rec.wallSeconds);
+        if (rec.manifestCrc.empty()) {
+            w.key("manifest_crc32");
+            w.valueNull();
+        } else {
+            w.field("manifest_crc32", rec.manifestCrc);
+        }
+        w.endObject();
         w.endObject();
     }
     os << '\n';
     writeFileTextAtomic(
         sp.resultsDir() + "/" + Spool::resultFileName(rec.id),
-        os.str());
+        sealCrc(os.str(), "record"));
+}
+
+/** Serialize one ddsim-claim-v1 lease document. @p jobCrc is the
+ *  sealed CRC of the spec this claim replaced (provenance only — the
+ *  spec itself is always recoverable from grid.json). */
+std::string
+renderClaimDoc(const SpoolEntry &e, const std::string &worker,
+               const std::string &jobCrc)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("schema", kClaimSchema);
+        w.field("id", e.id);
+        w.field("shard", e.shard);
+        w.field("worker", worker);
+        w.field("pid", static_cast<std::int64_t>(::getpid()));
+        w.field("acquired_unix",
+                static_cast<std::uint64_t>(std::time(nullptr)));
+        w.field("job_crc32", jobCrc);
+        w.endObject();
+    }
+    os << '\n';
+    return os.str();
 }
 
 /** Number of grid points in the spool, without a full spec parse. */
@@ -136,6 +326,122 @@ spoolNumJobs(const Spool &sp)
 {
     JsonValue doc = parseJsonFile(sp.gridPath());
     return doc.at("num_jobs", "grid").asUint("grid.num_jobs");
+}
+
+/** Does the manifest file match the CRC its record promised? Fills
+ *  @p bytes with the manifest text when it does. */
+bool
+manifestMatchesRecord(const Spool &sp, const JobRecord &rec,
+                      std::string &bytes)
+{
+    const std::string path =
+        sp.resultsDir() + "/" + Spool::manifestFileName(rec.id);
+    if (!fileExists(path))
+        return false;
+    bytes = readFileText(path);
+    return crc32Hex(crc32(bytes)) == rec.manifestCrc;
+}
+
+/** Move one artifact into corrupt/ (never deleted: the damaged bytes
+ *  are the evidence). */
+void
+quarantineArtifact(const Spool &sp, const std::string &dir,
+                   const std::string &name, const char *what)
+{
+    ensureDir(sp.corruptDir());
+    const std::string dst = sp.corruptDir() + "/" + name;
+    removeFileIfExists(dst);
+    if (claimFile(dir + "/" + name, dst))
+        warn("spool '%s': quarantined corrupt %s '%s' into corrupt/",
+             sp.root.c_str(), what, name.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Worker-side liveness machinery
+// ---------------------------------------------------------------------
+
+/** Refreshes the mtime of every held claim at a quarter of the lease
+ *  interval, so a live worker's lease never expires. Touches go
+ *  through io::vfs() but are absorbed on failure — a heartbeat must
+ *  never take the worker down. */
+class HeartbeatThread
+{
+  public:
+    explicit HeartbeatThread(double leaseSecs)
+        : interval_(leaseSecs / 4.0)
+    {
+        if (leaseSecs > 0)
+            thread_ = std::thread([this] { loop(); });
+    }
+
+    ~HeartbeatThread()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> g(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+    void hold(const std::string &path)
+    {
+        if (!thread_.joinable())
+            return;
+        std::lock_guard<std::mutex> g(mutex_);
+        held_.insert(path);
+    }
+
+    void release(const std::string &path)
+    {
+        if (!thread_.joinable())
+            return;
+        std::lock_guard<std::mutex> g(mutex_);
+        held_.erase(path);
+    }
+
+  private:
+    void loop()
+    {
+        std::unique_lock<std::mutex> lk(mutex_);
+        while (!stop_) {
+            cv_.wait_for(lk, std::chrono::duration<double>(interval_),
+                         [this] { return stop_; });
+            if (stop_)
+                break;
+            for (const std::string &path : held_) {
+                try {
+                    io::vfs().touchFile(path);
+                } catch (...) {
+                    // Including SimulatedCrash: the main thread hits
+                    // the dead flag itself on its next I/O op.
+                }
+            }
+        }
+    }
+
+    double interval_;
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::set<std::string> held_;
+};
+
+/** SIGTERM sets this; the worker loop drains at the next claim
+ *  boundary. sig_atomic_t + no locking: handler-safe by fiat. */
+volatile std::sig_atomic_t g_drainRequested = 0;
+
+void
+installDrainHandler()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = +[](int) { g_drainRequested = 1; };
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGTERM, &sa, nullptr);
 }
 
 } // namespace
@@ -257,16 +563,6 @@ spoolGrid(const GridSpec &spec, const std::string &root, int numShards)
     // independent of the assignment.
     std::map<std::string, int> columnShard;
     for (const GridJob &job : spec.jobs) {
-        std::ostringstream os;
-        {
-            JsonWriter w(os);
-            w.beginObject();
-            w.field("schema", kJobSchema);
-            w.key("job");
-            writeGridJobJson(w, job);
-            w.endObject();
-        }
-        os << '\n';
         int shard;
         if (job.engine == Engine::Batched) {
             auto [it, inserted] = columnShard.try_emplace(
@@ -278,30 +574,31 @@ spoolGrid(const GridSpec &spec, const std::string &root, int numShards)
             shard = static_cast<int>(
                 job.id % static_cast<std::uint64_t>(numShards));
         }
-        writeFileTextAtomic(sp.jobsDir() + "/" +
-                                Spool::jobFileName(job.id, shard),
-                            os.str());
+        writeJobFile(sp, job, shard);
     }
 }
 
 JobRecord
 jobRecordFromFile(const std::string &path)
 {
-    JsonValue doc = parseJsonFile(path);
+    const std::string text = readFileText(path);
+    if (!artifactIntact(text, "record", kJobResultSchema))
+        throw CorruptArtifactError(
+            path, format("result record '%s' failed its schema/CRC32 "
+                         "check",
+                         path.c_str()));
+
+    JsonValue doc = parseJson(text);
     const std::string w = "job result";
-    const std::string &schema =
-        doc.at("schema", w).asString(w + ".schema");
-    if (schema != kJobResultSchema)
-        fatal("'%s': schema is '%s', expected '%s'", path.c_str(),
-              schema.c_str(), kJobResultSchema);
+    const JsonValue &r = doc.at("record", w);
 
     JobRecord rec;
-    rec.id = doc.at("id", w).asUint(w + ".id");
+    rec.id = r.at("id", w).asUint(w + ".id");
     rec.status = jobStatusFromName(
-        doc.at("status", w).asString(w + ".status"), path);
+        r.at("status", w).asString(w + ".status"), path);
     rec.attempts = static_cast<int>(
-        doc.at("attempts", w).asInt(w + ".attempts"));
-    const JsonValue &err = doc.at("error", w);
+        r.at("attempts", w).asInt(w + ".attempts"));
+    const JsonValue &err = r.at("error", w);
     if (err.kind != JsonValue::Kind::Null) {
         rec.error.kind = err.at("kind", w).asString(w + ".error.kind");
         rec.error.message =
@@ -309,16 +606,24 @@ jobRecordFromFile(const std::string &path)
         rec.error.transient =
             err.at("transient", w).asBool(w + ".error.transient");
     }
-    rec.worker = doc.at("worker", w).asString(w + ".worker");
+    rec.worker = r.at("worker", w).asString(w + ".worker");
     rec.shard =
-        static_cast<int>(doc.at("shard", w).asInt(w + ".shard"));
+        static_cast<int>(r.at("shard", w).asInt(w + ".shard"));
     rec.wallSeconds =
-        doc.at("wall_seconds", w).asDouble(w + ".wall_seconds");
+        r.at("wall_seconds", w).asDouble(w + ".wall_seconds");
+    const JsonValue &mc = r.at("manifest_crc32", w);
+    if (mc.kind != JsonValue::Kind::Null)
+        rec.manifestCrc = mc.asString(w + ".manifest_crc32");
 
     if (rec.status == JobStatus::Quarantined &&
         rec.error.kind.empty())
         fatal("'%s': quarantined result carries no error",
               path.c_str());
+    if (rec.status != JobStatus::Quarantined &&
+        rec.manifestCrc.empty())
+        throw CorruptArtifactError(
+            path, format("'%s' carries no manifest checksum",
+                         path.c_str()));
     return rec;
 }
 
@@ -344,16 +649,47 @@ scanSpool(const std::string &root)
         maxShard = std::max(maxShard, e.shard);
         // A claim whose result already landed is just an unlink the
         // dead worker never got to — not an in-flight job.
-        if (!fileExists(sp.resultsDir() + "/" +
-                        Spool::resultFileName(e.id)))
-            ++st.claimed;
+        if (fileExists(sp.resultsDir() + "/" +
+                       Spool::resultFileName(e.id)))
+            continue;
+        ++st.claimed;
+
+        ClaimInfo ci;
+        ci.id = e.id;
+        ci.shard = e.shard;
+        ci.worker = e.worker;
+        const std::string claimPath = sp.claimsDir() + "/" + name;
+        ci.heartbeatAge = io::vfs().fileAgeSeconds(claimPath);
+        try {
+            JsonValue doc = parseJson(readFileText(claimPath));
+            const std::string w = "claim";
+            if (doc.at("schema", w).asString(w + ".schema") ==
+                kClaimSchema) {
+                ci.pid = static_cast<pid_t>(
+                    doc.at("pid", w).asInt(w + ".pid"));
+                ci.jobAge = std::difftime(
+                    std::time(nullptr),
+                    static_cast<std::time_t>(
+                        doc.at("acquired_unix", w)
+                            .asUint(w + ".acquired_unix")));
+            }
+        } catch (...) {
+            // Pre-lease window (the claim still holds the job spec)
+            // or a vanished file: heartbeat age is all we know.
+        }
+        st.leases.push_back(std::move(ci));
     }
     for (const std::string &name : listDir(sp.resultsDir())) {
         std::uint64_t id;
         if (!parseResultName(name, id))
             continue;
-        JobRecord rec =
-            jobRecordFromFile(sp.resultsDir() + "/" + name);
+        JobRecord rec;
+        try {
+            rec = jobRecordFromFile(sp.resultsDir() + "/" + name);
+        } catch (const CorruptArtifactError &) {
+            ++st.corrupt;
+            continue;
+        }
         maxShard = std::max(maxShard, rec.shard);
         switch (rec.status) {
           case JobStatus::Ok: ++st.ok; break;
@@ -366,9 +702,70 @@ scanSpool(const std::string &root)
 }
 
 std::size_t
+verifySpoolIntegrity(const std::string &root)
+{
+    Spool sp(root);
+    std::size_t quarantined = 0;
+
+    for (const std::string &name : listDir(sp.resultsDir())) {
+        std::uint64_t id;
+        if (!parseResultName(name, id))
+            continue;
+        JobRecord rec;
+        try {
+            rec = jobRecordFromFile(sp.resultsDir() + "/" + name);
+        } catch (const CorruptArtifactError &) {
+            quarantineArtifact(sp, sp.resultsDir(), name,
+                               "result record");
+            // The sibling manifest is unprovable without its record.
+            const std::string mname = Spool::manifestFileName(id);
+            if (fileExists(sp.resultsDir() + "/" + mname))
+                quarantineArtifact(sp, sp.resultsDir(), mname,
+                                   "unprovable manifest");
+            ++quarantined;
+            continue;
+        }
+        if (rec.status == JobStatus::Quarantined)
+            continue; // No manifest to check.
+        std::string bytes;
+        if (!manifestMatchesRecord(sp, rec, bytes)) {
+            const std::string mname = Spool::manifestFileName(id);
+            if (fileExists(sp.resultsDir() + "/" + mname))
+                quarantineArtifact(sp, sp.resultsDir(), mname,
+                                   "manifest");
+            quarantineArtifact(sp, sp.resultsDir(), name,
+                               "record (manifest missing/mismatched)");
+            ++quarantined;
+        }
+    }
+
+    for (const std::string &name : listDir(sp.jobsDir())) {
+        SpoolEntry e;
+        if (!parseSpoolName(name, e) || !e.worker.empty())
+            continue;
+        const std::string path = sp.jobsDir() + "/" + name;
+        try {
+            parseJobSpecText(readFileText(path), path, e.id);
+        } catch (const CorruptArtifactError &) {
+            quarantineArtifact(sp, sp.jobsDir(), name, "job spec");
+            ++quarantined;
+        }
+    }
+    return quarantined;
+}
+
+std::size_t
 requeueIncomplete(const std::string &root, bool retryQuarantined)
 {
     Spool sp(root);
+    // First pass: quarantine anything damaged, so the rebuild below
+    // sees corrupt results as missing and re-queues those points.
+    std::size_t corrupt = verifySpoolIntegrity(root);
+    if (corrupt)
+        warn("spool '%s': %zu corrupt artifact(s) quarantined; their "
+             "points will re-run",
+             root.c_str(), corrupt);
+
     GridSpec grid = GridSpec::fromFile(sp.gridPath());
 
     std::set<std::uint64_t> pendingIds;
@@ -419,37 +816,19 @@ requeueIncomplete(const std::string &root, bool retryQuarantined)
         if (pendingIds.count(job.id))
             continue; // Already queued; nothing was lost.
 
-        auto it = claims.find(job.id);
-        if (it != claims.end()) {
-            // A dead worker stranded it; rename restores the original
-            // spec file (the claim IS the job file, moved).
-            if (claimFile(sp.claimsDir() + "/" + claimNames[job.id],
-                          sp.jobsDir() + "/" +
-                              Spool::jobFileName(job.id,
-                                                 it->second.shard))) {
-                ++requeued;
-                continue;
-            }
-        }
-
-        // No job file, no claim (or the rename lost an impossible
-        // race): rebuild the spec file from grid.json, the source of
-        // truth.
-        std::ostringstream os;
-        {
-            JsonWriter w(os);
-            w.beginObject();
-            w.field("schema", kJobSchema);
-            w.key("job");
-            writeGridJobJson(w, job);
-            w.endObject();
-        }
-        os << '\n';
+        // Stranded claim or no trace at all: either way the spec file
+        // is rebuilt from grid.json, the source of truth — a claim
+        // holds a lease document, not the spec, so there is nothing
+        // to rename back. Keep the claim's shard tag when one exists.
         int shard = static_cast<int>(
             job.id % static_cast<std::uint64_t>(shards));
-        writeFileTextAtomic(sp.jobsDir() + "/" +
-                                Spool::jobFileName(job.id, shard),
-                            os.str());
+        auto it = claims.find(job.id);
+        if (it != claims.end()) {
+            shard = it->second.shard;
+            removeFileIfExists(sp.claimsDir() + "/" +
+                               claimNames[job.id]);
+        }
+        writeJobFile(sp, job, shard);
         ++requeued;
     }
     return requeued;
@@ -458,34 +837,19 @@ requeueIncomplete(const std::string &root, bool retryQuarantined)
 namespace {
 
 /**
- * Run one claimed job spec through sim::run with bounded retry.
- * Fills @p rec (status/attempts/error) and, on success, @p result.
- * Never throws: any failure — unparsable spec, unknown workload,
+ * Run one resolved job through sim::run with bounded retry. Fills
+ * @p rec (status/attempts/error) and, on success, @p result. Never
+ * throws (except a SimulatedCrash, which must keep propagating —
+ * a dead process runs nothing): any failure — unknown workload,
  * simulation error — becomes a quarantined record.
  */
 void
-runClaimedJob(const Spool &sp, const std::string &claimPath,
-              std::uint64_t id, const WorkerOptions &opts,
-              ProgramCache &programs, TraceCache &traces,
-              JobRecord &rec, SimResult &result, bool &okRun)
+runJob(const Spool &sp, const GridJob &job, const WorkerOptions &opts,
+       ProgramCache &programs, TraceCache &traces, JobRecord &rec,
+       SimResult &result, bool &okRun)
 {
     okRun = false;
     try {
-        JsonValue doc = parseJsonFile(claimPath);
-        const std::string w = "job spec";
-        const std::string &schema =
-            doc.at("schema", w).asString(w + ".schema");
-        if (schema != kJobSchema)
-            fatal("'%s': schema is '%s', expected '%s'",
-                  claimPath.c_str(), schema.c_str(), kJobSchema);
-        GridJob job = gridJobFromJson(doc.at("job", w));
-        if (job.id != id)
-            fatal("'%s': spec holds id %llu but is spooled as job "
-                  "%llu",
-                  claimPath.c_str(),
-                  static_cast<unsigned long long>(job.id),
-                  static_cast<unsigned long long>(id));
-
         std::shared_ptr<const vm::ExternalTrace> xt;
         std::shared_ptr<const prog::Program> program =
             resolveJobProgram(job, programs, xt);
@@ -501,7 +865,7 @@ runClaimedJob(const Spool &sp, const std::string &claimPath,
         ro.captureManifest = true;
         ro.canonicalManifest = true;
         ro.blackboxPath =
-            sp.blackboxDir() + "/" + Spool::blackboxFileName(id);
+            sp.blackboxDir() + "/" + Spool::blackboxFileName(job.id);
 
         // The same bounded retry SweepRunner applies on its worker
         // threads: transient failures back off and re-run; anything
@@ -520,6 +884,8 @@ runClaimedJob(const Spool &sp, const std::string &claimPath,
                 rec.status = attempt > 1 ? JobStatus::Recovered
                                          : JobStatus::Ok;
                 return;
+            } catch (const io::SimulatedCrash &) {
+                throw;
             } catch (...) {
                 rec.error = classifyError(std::current_exception());
                 if (!rec.error.transient ||
@@ -533,8 +899,10 @@ runClaimedJob(const Spool &sp, const std::string &claimPath,
                     std::chrono::milliseconds(backoff));
             backoff = std::min(backoff * 2, opts.retry.maxBackoffMs);
         }
+    } catch (const io::SimulatedCrash &) {
+        throw;
     } catch (...) {
-        // Spec-level trouble (bad JSON, unknown workload, id clash):
+        // Program-level trouble (unknown workload, unreadable trace):
         // quarantine the point rather than kill the worker.
         rec.error = classifyError(std::current_exception());
         rec.status = JobStatus::Quarantined;
@@ -552,12 +920,33 @@ runWorker(const std::string &root, const WorkerOptions &opts)
                           format("invalid worker id '%s'",
                                  opts.workerId.c_str())));
 
+    if (opts.gracefulDrain) {
+        g_drainRequested = 0;
+        installDrainHandler();
+    }
+
     Spool sp(root);
     ProgramCache programs;
     TraceCache traces;
     if (opts.traceCacheBytes)
         traces.setByteBudget(opts.traceCacheBytes);
     std::size_t completed = 0;
+    HeartbeatThread heartbeat(opts.leaseSecs);
+    bool stallPending = opts.stallAfterFirstClaim;
+
+    // grid.json is only parsed if a claimed spec fails verification —
+    // the happy path never touches it.
+    std::optional<GridSpec> gridCache;
+    auto jobFromGrid = [&](std::uint64_t id) -> const GridJob & {
+        if (!gridCache)
+            gridCache.emplace(GridSpec::fromFile(sp.gridPath()));
+        if (id >= gridCache->jobs.size())
+            fatal("spool '%s': job id %llu is outside the grid "
+                  "(%zu points)",
+                  sp.root.c_str(), static_cast<unsigned long long>(id),
+                  gridCache->jobs.size());
+        return gridCache->jobs[id];
+    };
 
     /** Persist one finished point: manifest before result (a result
      *  record's existence implies its manifest is readable, whatever
@@ -568,18 +957,53 @@ runWorker(const std::string &root, const WorkerOptions &opts)
         rec.wallSeconds = wallSeconds;
         const std::string manifestPath =
             sp.resultsDir() + "/" + Spool::manifestFileName(e.id);
-        if (okRun)
+        if (okRun) {
+            rec.manifestCrc = crc32Hex(crc32(result.manifestJson));
             writeFileTextAtomic(manifestPath, result.manifestJson);
-        else
+        } else {
+            rec.manifestCrc.clear();
             removeFileIfExists(manifestPath);
+        }
         writeJobRecord(sp, rec);
+        heartbeat.release(cp);
         removeFileIfExists(cp);
         ++completed;
     };
 
-    /** The ordinary per-point path (also the batch-failure
-     *  fallback). */
-    auto runOne = [&](const SpoolEntry &e, const std::string &cp) {
+    /** Claim one pending job file and convert the claim into a lease
+     *  document (pid + acquisition time, mtime refreshed by the
+     *  heartbeat). The spec text read back from the claim lands in
+     *  @p specText. */
+    auto acquire = [&](const SpoolEntry &e, const std::string &jobName,
+                       std::string &claimPath,
+                       std::string &specText) -> bool {
+        claimPath = sp.claimsDir() + "/" +
+                    Spool::claimFileName(e.id, e.shard, opts.workerId);
+        if (!claimFile(sp.jobsDir() + "/" + jobName, claimPath))
+            return false; // Another worker won the rename.
+        specText = readFileText(claimPath);
+        writeFileTextAtomic(
+            claimPath,
+            renderClaimDoc(e, opts.workerId, embeddedCrc(specText)));
+        heartbeat.hold(claimPath);
+        if (stallPending) {
+            // Simulate a wedged worker: stop (not die) holding the
+            // lease. Only SIGKILL from the supervisor ends this.
+            stallPending = false;
+            warn("worker %s: stalling on job %llu (SIGSTOP self)",
+                 opts.workerId.c_str(),
+                 static_cast<unsigned long long>(e.id));
+            ::kill(::getpid(), SIGSTOP);
+        }
+        return true;
+    };
+
+    /** The ordinary per-point path (also the batch-failure fallback).
+     *  @p parsed skips re-verification when the caller already holds
+     *  the verified spec. */
+    auto runOne = [&](const SpoolEntry &e, const std::string &cp,
+                      const GridJob *parsed,
+                      const std::string &specText) {
         JobRecord rec;
         rec.id = e.id;
         rec.shard = e.shard;
@@ -587,8 +1011,34 @@ runWorker(const std::string &root, const WorkerOptions &opts)
         SimResult result;
         bool okRun = false;
         auto t0 = std::chrono::steady_clock::now();
-        runClaimedJob(sp, cp, e.id, opts, programs, traces, rec,
-                      result, okRun);
+        try {
+            GridJob job;
+            if (parsed) {
+                job = *parsed;
+            } else {
+                try {
+                    job = parseJobSpecText(specText, cp, e.id);
+                } catch (const CorruptArtifactError &err) {
+                    // The claimed copy is damaged, but grid.json
+                    // still holds the truth: rebuild and run, don't
+                    // quarantine a healthy point.
+                    warn("worker %s: %s; rebuilding job %llu from "
+                         "grid.json",
+                         opts.workerId.c_str(), err.what(),
+                         static_cast<unsigned long long>(e.id));
+                    job = jobFromGrid(e.id);
+                }
+            }
+            runJob(sp, job, opts, programs, traces, rec, result,
+                   okRun);
+        } catch (const io::SimulatedCrash &) {
+            throw;
+        } catch (...) {
+            // grid.json unreadable or the id out of range: quarantine
+            // the point rather than kill the worker.
+            rec.error = classifyError(std::current_exception());
+            rec.status = JobStatus::Quarantined;
+        }
         persist(e, cp, rec, result, okRun,
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
@@ -601,6 +1051,12 @@ runWorker(const std::string &root, const WorkerOptions &opts)
         if (opts.exitIfReparented &&
             getppid() != opts.exitIfReparented)
             break; // Supervisor died; stop claiming new work.
+        if (opts.gracefulDrain && g_drainRequested) {
+            inform("worker %s: SIGTERM received; drained cleanly "
+                   "after %zu job(s)",
+                   opts.workerId.c_str(), completed);
+            break;
+        }
 
         // Pick a candidate: own shard first, then steal from any.
         std::vector<std::string> names = listDir(sp.jobsDir());
@@ -623,34 +1079,29 @@ runWorker(const std::string &root, const WorkerOptions &opts)
         if (!pick)
             break; // Spool drained (or everything is claimed).
 
-        const std::string claimPath =
-            sp.claimsDir() + "/" +
-            Spool::claimFileName(picked.id, picked.shard,
-                                 opts.workerId);
-        if (!claimFile(sp.jobsDir() + "/" + *pick, claimPath))
-            continue; // Another worker won the rename; re-scan.
+        std::string claimPath, specText;
+        if (!acquire(picked, *pick, claimPath, specText))
+            continue; // Lost the race; re-scan.
 
         // Column batching: a Batched lead job pulls its whole column
         // into one runBatch pass. Wall-budgeted runs stay per-point
         // (runBatch refuses wall clocks — they are per-run concepts).
         GridJob lead;
+        bool leadValid = false;
         bool leadBatched = false;
         if (opts.wallBudget == 0.0) {
             try {
-                JsonValue doc = parseJsonFile(claimPath);
-                const std::string w = "job spec";
-                if (doc.at("schema", w).asString(w + ".schema") ==
-                    kJobSchema) {
-                    lead = gridJobFromJson(doc.at("job", w));
-                    leadBatched = lead.id == picked.id &&
-                                  lead.engine == Engine::Batched;
-                }
-            } catch (...) {
-                // Unparsable spec: the per-point path quarantines it.
+                lead = parseJobSpecText(specText, claimPath,
+                                        picked.id);
+                leadValid = true;
+                leadBatched = lead.engine == Engine::Batched;
+            } catch (const CorruptArtifactError &) {
+                // runOne's rebuild path handles it per-point.
             }
         }
         if (!leadBatched) {
-            runOne(picked, claimPath);
+            runOne(picked, claimPath, leadValid ? &lead : nullptr,
+                   specText);
             continue;
         }
 
@@ -667,30 +1118,29 @@ runWorker(const std::string &root, const WorkerOptions &opts)
         for (const std::string &name : listDir(sp.jobsDir())) {
             if (column.size() >= allow && allow > 0)
                 break;
+            if (opts.gracefulDrain && g_drainRequested)
+                break; // Drain with what we already hold.
             SpoolEntry e;
             if (!parseSpoolName(name, e) || !e.worker.empty())
                 continue;
             GridJob cand;
             try {
-                JsonValue doc =
-                    parseJsonFile(sp.jobsDir() + "/" + name);
-                const std::string w = "job spec";
-                if (doc.at("schema", w).asString(w + ".schema") !=
-                    kJobSchema)
-                    continue;
-                cand = gridJobFromJson(doc.at("job", w));
+                cand = parseJobSpecText(
+                    readFileText(sp.jobsDir() + "/" + name),
+                    sp.jobsDir() + "/" + name, e.id);
+            } catch (const io::SimulatedCrash &) {
+                throw;
             } catch (...) {
-                continue; // Claimed/removed mid-scan, or malformed.
+                continue; // Claimed/removed mid-scan, or damaged —
+                          // the per-point path deals with it later.
             }
-            if (cand.id != e.id || cand.engine != Engine::Batched ||
+            if (cand.engine != Engine::Batched ||
                 programKey(cand) != programKey(lead) ||
                 cand.maxInsts != lead.maxInsts ||
                 cand.warmupInsts != lead.warmupInsts)
                 continue;
-            const std::string cp =
-                sp.claimsDir() + "/" +
-                Spool::claimFileName(e.id, e.shard, opts.workerId);
-            if (!claimFile(sp.jobsDir() + "/" + name, cp))
+            std::string cp, ctext;
+            if (!acquire(e, name, cp, ctext))
                 continue; // Another worker won this point.
             column.push_back({e, cp, cand});
         }
@@ -737,6 +1187,8 @@ runWorker(const std::string &root, const WorkerOptions &opts)
                             true, wall);
                 }
                 columnOk = true;
+            } catch (const io::SimulatedCrash &) {
+                throw;
             } catch (...) {
                 // Fall back point-by-point below: a batch aborts on
                 // the first error, so re-running each claim alone
@@ -747,7 +1199,7 @@ runWorker(const std::string &root, const WorkerOptions &opts)
         }
         if (!columnOk)
             for (const Claimed &c : column)
-                runOne(c.e, c.path);
+                runOne(c.e, c.path, &c.job, "");
     }
     return completed;
 }
@@ -766,6 +1218,17 @@ mergeSpool(const std::string &root, const std::string &mergedPath,
     records.reserve(grid.jobs.size());
 
     std::size_t missing = 0;
+    std::size_t corrupt = 0;
+    auto quarantineResult = [&](std::uint64_t id, const char *what) {
+        const std::string rname = Spool::resultFileName(id);
+        const std::string mname = Spool::manifestFileName(id);
+        if (fileExists(sp.resultsDir() + "/" + rname))
+            quarantineArtifact(sp, sp.resultsDir(), rname, what);
+        if (fileExists(sp.resultsDir() + "/" + mname))
+            quarantineArtifact(sp, sp.resultsDir(), mname, what);
+        ++corrupt;
+    };
+
     for (const GridJob &job : grid.jobs) {
         const std::string resultPath =
             sp.resultsDir() + "/" + Spool::resultFileName(job.id);
@@ -773,7 +1236,13 @@ mergeSpool(const std::string &root, const std::string &mergedPath,
             ++missing;
             continue;
         }
-        JobRecord rec = jobRecordFromFile(resultPath);
+        JobRecord rec;
+        try {
+            rec = jobRecordFromFile(resultPath);
+        } catch (const CorruptArtifactError &) {
+            quarantineResult(job.id, "result record");
+            continue;
+        }
         if (rec.id != job.id)
             fatal("'%s' holds id %llu", resultPath.c_str(),
                   static_cast<unsigned long long>(rec.id));
@@ -793,15 +1262,27 @@ mergeSpool(const std::string &root, const std::string &mergedPath,
             SimResult r;
             // The raw bytes the worker captured — never re-parsed,
             // never re-serialized, so the merged document is
-            // byte-identical to an in-process sweep's by construction.
-            r.manifestJson = readFileText(
-                sp.resultsDir() + "/" +
-                Spool::manifestFileName(job.id));
+            // byte-identical to an in-process sweep's by
+            // construction. CRC-verified first: damaged bytes are
+            // quarantined, never spliced.
+            std::string bytes;
+            if (!manifestMatchesRecord(sp, rec, bytes)) {
+                quarantineResult(job.id, "manifest");
+                continue;
+            }
+            r.manifestJson = std::move(bytes);
             out.results.push_back(std::move(r));
         }
         out.jobs.push_back(std::move(jo));
         records.push_back(std::move(rec));
     }
+    if (corrupt)
+        raise(CorruptArtifactError(
+            root,
+            format("merge of '%s' found %zu corrupt artifact(s); "
+                   "they were moved to corrupt/ — resume the spool "
+                   "to re-run those points",
+                   root.c_str(), corrupt)));
     if (missing)
         fatal("spool '%s' is incomplete: %zu of %zu points have no "
               "result (resume it first)",
@@ -890,8 +1371,9 @@ superviseFarm(const std::string &root, const SupervisorOptions &opts)
         raise(ConfigError("farm", "supervisor has no worker binary"));
 
     Spool sp(root);
+    GridSpec grid = GridSpec::fromFile(sp.gridPath());
     // Claims can only belong to dead workers at this point — we have
-    // not spawned any yet. Fold them back in.
+    // not spawned any yet. Verify artifacts and fold claims back in.
     requeueIncomplete(root, false);
     SpoolStatus st = scanSpool(root);
     if (st.complete())
@@ -918,10 +1400,53 @@ superviseFarm(const std::string &root, const SupervisorOptions &opts)
             format("--shard=%d", shard),
             format("--parent=%d", static_cast<int>(getpid())),
         };
+        if (opts.leaseSecs > 0)
+            argv.push_back(
+                format("--lease-secs=%g", opts.leaseSecs));
         argv.insert(argv.end(), opts.workerArgs.begin(),
                     opts.workerArgs.end());
         alive.push_back({spawnProcess(argv), worker, shard});
         ++spawned;
+    };
+
+    auto rebuildJobFile = [&](std::uint64_t id, int shard) {
+        if (id >= grid.jobs.size()) {
+            warn("farm: stray claim names job %llu, outside the grid "
+                 "(%zu points); dropping it",
+                 static_cast<unsigned long long>(id),
+                 grid.jobs.size());
+            return;
+        }
+        writeJobFile(sp, grid.jobs[id], shard);
+    };
+
+    /** SIGKILL one of our own workers by name; never signals a pid we
+     *  did not spawn. The poll loop reaps the corpse. */
+    auto killWorker = [&](const std::string &worker) {
+        for (const Live &l : alive)
+            if (l.worker == worker) {
+                killProcess(l.pid, SIGKILL);
+                return true;
+            }
+        return false;
+    };
+
+    /** Write a quarantined placeholder record for a point the lease
+     *  machinery gave up on, and drop its claim. */
+    auto quarantinePoint = [&](const SpoolEntry &e, int attempts,
+                               const std::string &claimPath,
+                               const std::string &message) {
+        JobRecord rec;
+        rec.id = e.id;
+        rec.status = JobStatus::Quarantined;
+        rec.attempts = std::max(attempts, 1);
+        rec.error = {"hung", message, false};
+        rec.worker = e.worker;
+        rec.shard = e.shard;
+        removeFileIfExists(sp.resultsDir() + "/" +
+                           Spool::manifestFileName(e.id));
+        writeJobRecord(sp, rec);
+        removeFileIfExists(claimPath);
     };
 
     // Requeue what a dead worker left in claims/; a point that keeps
@@ -963,9 +1488,87 @@ superviseFarm(const std::string &root, const SupervisorOptions &opts)
                 writeJobRecord(sp, rec);
                 removeFileIfExists(claimPath);
             } else {
-                claimFile(claimPath,
-                          sp.jobsDir() + "/" +
-                              Spool::jobFileName(e.id, e.shard));
+                removeFileIfExists(claimPath);
+                rebuildJobFile(e.id, e.shard);
+            }
+        }
+    };
+
+    /** Lease expiry + per-job wall-clock watchdog: a claim whose
+     *  heartbeat went stale marks a wedged worker (kill + reclaim,
+     *  quarantine after repeated losses); a claim older than the job
+     *  wall budget marks a hung job (kill + quarantine now). */
+    auto superviseLeases = [&] {
+        if (opts.leaseSecs <= 0 && opts.jobWallSecs <= 0)
+            return;
+        for (const std::string &name : listDir(sp.claimsDir())) {
+            SpoolEntry e;
+            if (!parseSpoolName(name, e) || e.worker.empty())
+                continue;
+            const std::string claimPath =
+                sp.claimsDir() + "/" + name;
+            if (fileExists(sp.resultsDir() + "/" +
+                           Spool::resultFileName(e.id)))
+                continue; // Persisted; the unlink is imminent.
+            double heartbeatAge =
+                io::vfs().fileAgeSeconds(claimPath);
+            if (heartbeatAge < 0)
+                continue; // Claim vanished mid-scan.
+
+            double jobAge = -1;
+            try {
+                JsonValue doc = parseJson(readFileText(claimPath));
+                const std::string w = "claim";
+                if (doc.at("schema", w).asString(w + ".schema") ==
+                    kClaimSchema)
+                    jobAge = std::difftime(
+                        std::time(nullptr),
+                        static_cast<std::time_t>(
+                            doc.at("acquired_unix", w)
+                                .asUint(w + ".acquired_unix")));
+            } catch (...) {
+                // Pre-lease window or vanished file: only the
+                // heartbeat age is known.
+            }
+
+            if (opts.jobWallSecs > 0 && jobAge > opts.jobWallSecs) {
+                warn("farm: job %llu has held its claim %.1fs "
+                     "(> --job-wall-secs=%.1f); quarantining it and "
+                     "killing worker %s",
+                     static_cast<unsigned long long>(e.id), jobAge,
+                     opts.jobWallSecs, e.worker.c_str());
+                killWorker(e.worker);
+                quarantinePoint(
+                    e, crashCounts[e.id] + 1, claimPath,
+                    format("job exceeded the per-job wall clock "
+                           "(ran %.1fs, budget %.1fs); worker %s was "
+                           "SIGKILLed",
+                           jobAge, opts.jobWallSecs,
+                           e.worker.c_str()));
+                continue;
+            }
+
+            if (opts.leaseSecs > 0 && heartbeatAge > opts.leaseSecs) {
+                int losses = ++crashCounts[e.id];
+                warn("farm: lease on job %llu went stale (heartbeat "
+                     "%.1fs old > --lease-secs=%.1f); killing worker "
+                     "%s and %s",
+                     static_cast<unsigned long long>(e.id),
+                     heartbeatAge, opts.leaseSecs, e.worker.c_str(),
+                     losses >= opts.crashQuarantineAfter
+                         ? "quarantining the point"
+                         : "reclaiming the point");
+                killWorker(e.worker);
+                if (losses >= opts.crashQuarantineAfter) {
+                    quarantinePoint(
+                        e, losses, claimPath,
+                        format("lease went stale %d time(s); the "
+                               "point hangs its workers",
+                               losses));
+                } else {
+                    removeFileIfExists(claimPath);
+                    rebuildJobFile(e.id, e.shard);
+                }
             }
         }
     };
@@ -979,6 +1582,7 @@ superviseFarm(const std::string &root, const SupervisorOptions &opts)
         for (int i = 0; i < batch; ++i)
             spawnOne(i % st.shards);
 
+        int idleTicks = 0;
         while (!alive.empty()) {
             bool reaped = false;
             for (std::size_t i = 0; i < alive.size();) {
@@ -1008,9 +1612,16 @@ superviseFarm(const std::string &root, const SupervisorOptions &opts)
                          opts.respawnLimit);
                 }
             }
-            if (!reaped)
+            if (!reaped) {
+                // Sweep leases at ~5 Hz, not every 10 ms tick: stat +
+                // read per claim is cheap but not free.
+                if (++idleTicks >= 20) {
+                    idleTicks = 0;
+                    superviseLeases();
+                }
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(10));
+            }
         }
 
         // Post-mortem: no worker is alive, so every remaining claim

@@ -11,10 +11,11 @@
  *   <spool>/
  *     grid.json                        the full ddsim-grid-v1 spec
  *     jobs/job-000012.s003.json        pending point 12, shard 3
- *     claims/job-000012.s003.w1.json   claimed by worker "w1"
- *     results/job-000012.json          ddsim-job-result-v1 record
+ *     claims/job-000012.s003.w1.json   lease doc held by worker "w1"
+ *     results/job-000012.json          ddsim-job-result-v2 record
  *     results/job-000012.manifest.json raw per-run manifest bytes
  *     blackbox/job-000012.json         crash report of a failed attempt
+ *     corrupt/...                      quarantined damaged artifacts
  *
  * Sharding is a locality hint, not a partition: each worker prefers
  * job files carrying its shard tag and *steals* from any other shard
@@ -23,22 +24,42 @@
  * concurrently and can never be lost: it exists in exactly one of
  * jobs/, claims/ or (by id) results/ at any instant.
  *
+ * Leases: immediately after the claim rename, the worker overwrites
+ * the claim file with a ddsim-claim-v1 lease document (worker id,
+ * pid, acquisition time) and refreshes its mtime from a heartbeat
+ * thread while the job runs. The supervisor reads heartbeat age as
+ * liveness: a claim whose mtime goes stale past the lease interval
+ * belongs to a wedged worker — the worker is SIGKILLed and the point
+ * reclaimed — and a claim older than the per-job wall budget marks a
+ * truly hung job, which is quarantined rather than rerun forever.
+ *
+ * Integrity: spooled job specs and result records carry a CRC32 seal
+ * over their payload, and each result records the CRC32 of its
+ * manifest bytes. Artifacts are verified at claim, resume and merge
+ * time; anything damaged is moved to corrupt/ and its grid point
+ * re-run from grid.json (the source of truth), never spliced into a
+ * merged manifest.
+ *
  * Crash isolation: workers are separate processes. A job that
  * segfaults kills only its worker; the supervisor observes the
  * signaled exit, requeues the dead worker's claims, respawns a
  * replacement, and — after a bounded number of crashes at the same
  * point — quarantines that job with a "crash" error instead of
- * retrying forever.
+ * retrying forever. Workers asked to stop (SIGTERM) drain
+ * gracefully: the in-flight point completes and persists, no claim
+ * is stranded, and the process exits cleanly.
  *
- * Resume: every artifact is written atomically, so an interrupted
- * farm (SIGKILL, power loss) leaves a spool from which
- * requeueIncomplete() re-derives exactly the missing and (optionally)
- * quarantined points; re-running those and merging yields a sweep
- * manifest byte-identical to an uninterrupted run. Jobs request
- * canonical manifests (RunOptions::canonicalManifest), so the merged
- * document is also byte-identical to a single-process SweepRunner
- * reference over the same grid — the farm is, observably, just a
- * faster SweepRunner that survives crashes.
+ * Resume: every artifact is written atomically through io::vfs()
+ * (write, fsync, rename, directory fsync — each step
+ * fault-injectable), so an interrupted farm (SIGKILL, power loss,
+ * any I/O op) leaves a spool from which requeueIncomplete()
+ * re-derives exactly the missing and (optionally) quarantined
+ * points; re-running those and merging yields a sweep manifest
+ * byte-identical to an uninterrupted run. Jobs request canonical
+ * manifests (RunOptions::canonicalManifest), so the merged document
+ * is also byte-identical to a single-process SweepRunner reference
+ * over the same grid — the farm is, observably, just a faster
+ * SweepRunner that survives crashes.
  */
 
 #ifndef DDSIM_SIM_FARM_HH_
@@ -55,10 +76,13 @@
 
 namespace ddsim::sim::farm {
 
-/** Schema stamped on spooled per-job spec files. */
-inline constexpr const char *kJobSchema = "ddsim-job-v1";
-/** Schema stamped on per-job result records. */
-inline constexpr const char *kJobResultSchema = "ddsim-job-result-v1";
+/** Schema stamped on spooled per-job spec files (v2: CRC32 seal). */
+inline constexpr const char *kJobSchema = "ddsim-job-v2";
+/** Schema stamped on per-job result records (v2: CRC32 seal over the
+ *  record payload plus the CRC32 of the captured manifest bytes). */
+inline constexpr const char *kJobResultSchema = "ddsim-job-result-v2";
+/** Schema stamped on the lease document a worker leaves in claims/. */
+inline constexpr const char *kClaimSchema = "ddsim-claim-v1";
 /** Schema stamped on the merged farm (shard-provenance) manifest. */
 inline constexpr const char *kFarmManifestSchema =
     "ddsim-farm-manifest-v1";
@@ -75,6 +99,8 @@ struct Spool
     std::string claimsDir() const { return root + "/claims"; }
     std::string resultsDir() const { return root + "/results"; }
     std::string blackboxDir() const { return root + "/blackbox"; }
+    /** Quarantine for artifacts that failed CRC verification. */
+    std::string corruptDir() const { return root + "/corrupt"; }
 
     /** "job-000012.s003.json" */
     static std::string jobFileName(std::uint64_t id, int shard);
@@ -108,7 +134,7 @@ bool parseSpoolName(const std::string &name, SpoolEntry &out);
 void spoolGrid(const GridSpec &spec, const std::string &root,
                int numShards);
 
-/** One parsed ddsim-job-result-v1 record. */
+/** One parsed ddsim-job-result-v2 record. */
 struct JobRecord
 {
     std::uint64_t id = 0;
@@ -118,9 +144,27 @@ struct JobRecord
     std::string worker;     ///< Who produced the result.
     int shard = 0;          ///< The spool shard the job came from.
     double wallSeconds = 0; ///< Worker-side wall clock (provenance).
+    /** CRC32 (8 hex chars) of the sibling manifest file's bytes;
+     *  empty for quarantined points, which have no manifest. */
+    std::string manifestCrc;
 };
 
+/**
+ * Parse one result record, verifying its schema and CRC32 seal.
+ * @throws CorruptArtifactError when the file fails verification.
+ */
 JobRecord jobRecordFromFile(const std::string &path);
+
+/** One in-flight claim, as a spool scan saw it. */
+struct ClaimInfo
+{
+    std::uint64_t id = 0;
+    int shard = 0;
+    std::string worker;
+    pid_t pid = 0;            ///< 0 until the lease document lands.
+    double heartbeatAge = -1; ///< Claim mtime age in seconds (-1 n/a).
+    double jobAge = -1;       ///< Seconds since acquisition (-1 n/a).
+};
 
 /** What a spool scan found. */
 struct SpoolStatus
@@ -131,13 +175,27 @@ struct SpoolStatus
     std::size_t ok = 0;
     std::size_t recovered = 0;
     std::size_t quarantined = 0;
+    /** Results whose record or manifest failed CRC verification. */
+    std::size_t corrupt = 0;
     int shards = 1;              ///< Distinct shard tags spooled.
+    /** Lease state per in-flight claim (ddsweep status shows it). */
+    std::vector<ClaimInfo> leases;
 
     std::size_t done() const { return ok + recovered + quarantined; }
     bool complete() const { return done() == total; }
 };
 
 SpoolStatus scanSpool(const std::string &root);
+
+/**
+ * Verify every checksummed artifact in the spool: result records
+ * against their CRC32 seal, manifests against the CRC32 their record
+ * promised, pending job specs against theirs. Damaged artifacts are
+ * moved to corrupt/ (so the point re-runs on resume) and counted.
+ * Run only while no worker is active.
+ * @return the number of artifacts quarantined.
+ */
+std::size_t verifySpoolIntegrity(const std::string &root);
 
 /**
  * Resume bookkeeping (run only while no worker is active): every grid
@@ -169,6 +227,20 @@ struct WorkerOptions
     /** Exit before the next claim if our parent is no longer this
      *  pid (the supervisor died); 0 disables the check. */
     pid_t exitIfReparented = 0;
+    /** Lease interval the supervisor enforces. When > 0, a heartbeat
+     *  thread refreshes the mtime of every held claim at a quarter of
+     *  this period so the lease never goes stale while the worker is
+     *  alive. 0 = no heartbeat (single-process and test use). */
+    double leaseSecs = 0.0;
+    /** Install a SIGTERM handler that finishes the in-flight point,
+     *  persists its result, and exits cleanly instead of dying with a
+     *  stranded claim. Only the ddsweep worker entry point sets this —
+     *  library embedders keep their own signal disposition. */
+    bool gracefulDrain = false;
+    /** Test hook: SIGSTOP ourselves right after writing the first
+     *  lease document, simulating a wedged (not dead) worker whose
+     *  heartbeat stops. The lease-expiry smoke test uses this. */
+    bool stallAfterFirstClaim = false;
 };
 
 /**
@@ -201,7 +273,10 @@ std::size_t runWorker(const std::string &root,
  * single-process SweepRunner::collectOutcome over the same grid would
  * produce, and (b) @p farmManifestPath — a ddsim-farm-manifest-v1
  * document recording shard/worker provenance per job (empty path =
- * skip). Raises FatalError when any grid point lacks a result.
+ * skip). Every record and manifest is CRC-verified before splicing;
+ * damaged artifacts are moved to corrupt/ and CorruptArtifactError
+ * raised (resume the spool to re-run those points). Raises FatalError
+ * when any grid point lacks a result.
  */
 void mergeSpool(const std::string &root, const std::string &mergedPath,
                 const std::string &farmManifestPath);
@@ -216,6 +291,17 @@ struct SupervisorOptions
     int respawnLimit = 8;
     /** Crashes at one grid point before it is crash-quarantined. */
     int crashQuarantineAfter = 2;
+    /** Lease interval: a claim whose heartbeat mtime is older than
+     *  this belongs to a wedged worker — the worker is SIGKILLed and
+     *  the point reclaimed (crash-quarantined after
+     *  crashQuarantineAfter losses). 0 disables lease expiry. Workers
+     *  must be passed the same value (--lease-secs) so they heartbeat
+     *  faster than the supervisor expires. */
+    double leaseSecs = 0.0;
+    /** Per-job wall-clock watchdog: a claim held longer than this is
+     *  a hung job — the worker is SIGKILLed and the point quarantined
+     *  with a "hung" error. 0 disables the watchdog. */
+    double jobWallSecs = 0.0;
     /** Extra argv forwarded verbatim to every worker (budgets,
      *  fault-injection flags, ...). */
     std::vector<std::string> workerArgs;

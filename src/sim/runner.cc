@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <new>
 #include <optional>
+#include <thread>
 
 namespace ddsim::sim {
 
@@ -169,6 +170,18 @@ probeFaults(const prog::Program &program,
         // way a real segfaulting job would. Only the farm supervisor's
         // process isolation can contain it.
         std::abort();
+    if (plan.hangSeconds) {
+        // A live-but-stuck job: the process keeps running (and
+        // heartbeating, in a farm worker) while the run makes no
+        // progress. Sleep in short slices so the injected hang stays
+        // interruptible by process-level signals only, like a real
+        // wedged computation.
+        auto until = std::chrono::steady_clock::now() +
+                     std::chrono::seconds(plan.hangSeconds);
+        while (std::chrono::steady_clock::now() < until)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+    }
     return plan;
 }
 
@@ -772,7 +785,7 @@ runBatch(const prog::Program &program,
                 inj->planFor(program.name(), cfg.notation());
             if (plan.failTransient || plan.failPersistent ||
                 plan.allocFail || plan.crashProcess ||
-                plan.dropWakeupAt != 0)
+                plan.dropWakeupAt != 0 || plan.hangSeconds != 0)
                 raise(IoError(
                     program.name(),
                     format("fault injection active for '%s'; batched "

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "io/vfs.hh"
 #include "util/error.hh"
 #include "util/log.hh"
 
@@ -38,10 +39,18 @@ AtomicFile::commit()
         raise(IoError(path_, format("write to '%s' failed (disk full?)",
                                     tmp_.c_str())));
     }
-    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    // fsync the temporary and its directory around the rename (via
+    // the active Vfs, so faults are injectable): atomicity must hold
+    // across power loss, not just process death.
+    try {
+        io::vfs().commitFile(tmp_, path_);
+    } catch (const io::SimulatedCrash &) {
+        // A simulated crash leaves the disk exactly as a dead process
+        // would — torn temporary included.
+        throw;
+    } catch (...) {
         std::remove(tmp_.c_str());
-        raise(IoError(path_, format("cannot rename '%s' to '%s'",
-                                    tmp_.c_str(), path_.c_str())));
+        throw;
     }
 }
 

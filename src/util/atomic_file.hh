@@ -1,10 +1,12 @@
 /**
  * @file
- * Crash-safe file output: write to "<path>.tmp", then rename onto the
- * final path on commit(). A run killed mid-write (SIGKILL, OOM, power)
- * can leave a stale .tmp behind but never a torn manifest, sample dump
- * or trace under the real name — readers either see the complete old
- * file, the complete new file, or nothing.
+ * Crash-safe file output: write to "<path>.tmp", then fsync it and
+ * rename onto the final path on commit() (the rename and directory
+ * fsync route through io::vfs(), so tests can fault-inject every
+ * step). A run killed mid-write (SIGKILL, OOM, power) can leave a
+ * stale .tmp behind but never a torn manifest, sample dump or trace
+ * under the real name — readers either see the complete old file, the
+ * complete new file, or nothing.
  *
  * Every observability writer (run/sweep manifests, interval samples,
  * pipeline traces, black-box reports) goes through this class.

@@ -1,0 +1,46 @@
+#include "util/crc32.hh"
+
+#include <array>
+
+#include "util/log.hh"
+
+namespace ddsim {
+
+namespace {
+
+/** The reflected-polynomial table, computed once at first use. */
+const std::array<std::uint32_t, 256> &
+table()
+{
+    static const std::array<std::uint32_t, 256> t = [] {
+        std::array<std::uint32_t, 256> out{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            out[i] = c;
+        }
+        return out;
+    }();
+    return t;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = table()[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+std::string
+crc32Hex(std::uint32_t crc)
+{
+    return format("%08x", crc);
+}
+
+} // namespace ddsim

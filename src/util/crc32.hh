@@ -1,0 +1,34 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, the zlib/PNG polynomial) for spool-artifact
+ * checksums. The exact variant matters: Python's binascii.crc32
+ * computes the same function, so tools/validate_manifest.py can
+ * verify every checksummed artifact without a C++ helper.
+ */
+
+#ifndef DDSIM_UTIL_CRC32_HH_
+#define DDSIM_UTIL_CRC32_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ddsim {
+
+/** CRC-32 of @p n bytes at @p data (init 0xffffffff, reflected,
+ *  final xor — identical to zlib's crc32() and binascii.crc32). */
+std::uint32_t crc32(const void *data, std::size_t n);
+
+inline std::uint32_t
+crc32(std::string_view bytes)
+{
+    return crc32(bytes.data(), bytes.size());
+}
+
+/** The fixed-width lowercase hex form artifacts embed ("89abcdef"). */
+std::string crc32Hex(std::uint32_t crc);
+
+} // namespace ddsim
+
+#endif // DDSIM_UTIL_CRC32_HH_

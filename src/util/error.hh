@@ -11,6 +11,7 @@
  *    |   |- ConfigError            bad MachineConfig field (names it)
  *    |   |- ProgramError           malformed program / assembly
  *    |   |- IoError                file unreadable/unwritable (transient)
+ *    |   |- CorruptArtifactError   checksummed spool artifact damaged
  *    |   `- TraceCorruptError      corrupt ddtrace input, byte offset
  *    |- PanicError                 thrown by panic(): a ddsim bug
  *    |- DeadlockError              pipeline made no forward progress
@@ -127,6 +128,26 @@ class IoError : public FatalError
     }
 
     bool transient() const override { return true; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** A checksummed on-disk artifact (spooled job spec, result record,
+ *  captured manifest bytes) failed verification: the CRC32 the writer
+ *  sealed in no longer matches the payload. Never transient — the
+ *  artifact must be quarantined and its grid point re-run, not
+ *  retried in place. */
+class CorruptArtifactError : public FatalError
+{
+  public:
+    CorruptArtifactError(std::string path, const std::string &msg)
+        : FatalError("corrupt-artifact", msg), path_(std::move(path))
+    {
+        addContext("path", path_);
+    }
 
     const std::string &path() const { return path_; }
 

@@ -1,102 +1,53 @@
 #include "util/file_claim.hh"
 
-#include <algorithm>
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
-
-#include "util/atomic_file.hh"
-#include "util/error.hh"
-#include "util/log.hh"
-
-namespace fs = std::filesystem;
+#include "io/vfs.hh"
 
 namespace ddsim {
+
+// Thin forwarding onto the active io::Vfs backend, so every spool
+// primitive — claims, scans, artifact writes — is fault-injectable
+// through io::FaultFs while production code keeps these short names.
 
 bool
 claimFile(const std::string &src, const std::string &dst)
 {
-    // std::filesystem::rename throws on every failure; the ENOENT
-    // race is the expected outcome for claim losers, so use rename(2)
-    // directly and fold that case into `false`.
-    if (std::rename(src.c_str(), dst.c_str()) == 0)
-        return true;
-    if (errno == ENOENT)
-        return false;
-    raise(IoError(src, format("cannot claim '%s' -> '%s': %s",
-                              src.c_str(), dst.c_str(),
-                              std::strerror(errno))));
+    return io::vfs().renameFile(src, dst);
 }
 
 void
 ensureDir(const std::string &path)
 {
-    std::error_code ec;
-    fs::create_directories(path, ec);
-    if (ec)
-        raise(IoError(path, format("cannot create directory '%s': %s",
-                                   path.c_str(),
-                                   ec.message().c_str())));
+    io::vfs().makeDirs(path);
 }
 
 std::vector<std::string>
 listDir(const std::string &dir)
 {
-    std::error_code ec;
-    std::vector<std::string> names;
-    fs::directory_iterator it(dir, ec);
-    if (ec)
-        raise(IoError(dir, format("cannot list directory '%s': %s",
-                                  dir.c_str(), ec.message().c_str())));
-    for (const fs::directory_entry &e : it) {
-        if (e.is_regular_file(ec))
-            names.push_back(e.path().filename().string());
-    }
-    std::sort(names.begin(), names.end());
-    return names;
+    return io::vfs().listDir(dir);
 }
 
 bool
 fileExists(const std::string &path)
 {
-    std::error_code ec;
-    return fs::is_regular_file(path, ec);
+    return io::vfs().exists(path);
 }
 
 void
 removeFileIfExists(const std::string &path)
 {
-    std::error_code ec;
-    fs::remove(path, ec);
-    if (ec)
-        warn("could not remove '%s': %s", path.c_str(),
-             ec.message().c_str());
+    io::vfs().removeFile(path);
 }
 
 std::string
 readFileText(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        raise(IoError(path, format("cannot open '%s' for reading",
-                                   path.c_str())));
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    if (in.bad())
-        raise(IoError(path,
-                      format("read error on '%s'", path.c_str())));
-    return ss.str();
+    return io::vfs().readFile(path);
 }
 
 void
 writeFileTextAtomic(const std::string &path, const std::string &text)
 {
-    AtomicFile file(path, /*binary=*/true);
-    file.stream() << text;
-    file.commit();
+    io::vfs().writeFileAtomic(path, text);
 }
 
 } // namespace ddsim

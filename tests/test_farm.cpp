@@ -15,6 +15,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -531,6 +533,105 @@ TEST(Farm, RetryQuarantinedRerunsQuarantinedPoints)
 }
 
 // ---------------------------------------------------------------------
+// Artifact integrity: checksummed spool files
+// ---------------------------------------------------------------------
+
+TEST(Farm, MergeQuarantinesACorruptResultManifest)
+{
+    QuietGuard quiet;
+    std::string root = freshDir("corrupt_manifest");
+    farm::spoolGrid(smallGrid(), root, 1);
+    farm::WorkerOptions wo;
+    EXPECT_EQ(farm::runWorker(root, wo), smallGrid().jobs.size());
+
+    farm::Spool sp(root);
+    std::string mpath =
+        sp.resultsDir() + "/" + farm::Spool::manifestFileName(1);
+    std::string bytes = slurp(mpath);
+    bytes[bytes.size() / 2] ^= 0x01; // one flipped bit, anywhere
+    spit(mpath, bytes);
+
+    // The record's manifest_crc32 no longer matches, so the merge
+    // refuses to splice: the pair is quarantined instead of a
+    // silently-wrong merged document being produced.
+    EXPECT_THROW(farm::mergeSpool(root, root + "/merged.json", ""),
+                 CorruptArtifactError);
+    EXPECT_FALSE(fileExists(mpath));
+    EXPECT_FALSE(listDir(sp.corruptDir()).empty());
+
+    // Resume re-runs exactly that point and converges on the
+    // reference bytes.
+    EXPECT_EQ(farm::requeueIncomplete(root, false), 1u);
+    farm::WorkerOptions wo2;
+    wo2.workerId = "w1";
+    EXPECT_EQ(farm::runWorker(root, wo2), 1u);
+    std::string merged = root + "/merged.json";
+    farm::mergeSpool(root, merged, "");
+    EXPECT_EQ(slurp(merged), referenceManifest());
+}
+
+TEST(Farm, MergeQuarantinesACorruptResultRecord)
+{
+    QuietGuard quiet;
+    std::string root = freshDir("corrupt_record");
+    farm::spoolGrid(smallGrid(), root, 1);
+    farm::WorkerOptions wo;
+    EXPECT_EQ(farm::runWorker(root, wo), smallGrid().jobs.size());
+
+    farm::Spool sp(root);
+    std::string rpath =
+        sp.resultsDir() + "/" + farm::Spool::resultFileName(2);
+    std::string text = slurp(rpath);
+    auto pos = text.find("\"worker\": \"w0\"");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 14, "\"worker\": \"wX\"");
+    spit(rpath, text);
+
+    // The seal covers the whole payload, so even a "plausible" edit
+    // is caught at read time, at scan time, and at merge time.
+    EXPECT_THROW(farm::jobRecordFromFile(rpath),
+                 CorruptArtifactError);
+    EXPECT_EQ(farm::scanSpool(root).corrupt, 1u);
+    EXPECT_THROW(farm::mergeSpool(root, root + "/merged.json", ""),
+                 CorruptArtifactError);
+    EXPECT_FALSE(fileExists(rpath));
+
+    EXPECT_EQ(farm::requeueIncomplete(root, false), 1u);
+    farm::WorkerOptions wo2;
+    wo2.workerId = "w1";
+    EXPECT_EQ(farm::runWorker(root, wo2), 1u);
+    std::string merged = root + "/merged.json";
+    farm::mergeSpool(root, merged, "");
+    EXPECT_EQ(slurp(merged), referenceManifest());
+}
+
+TEST(Farm, WorkerRebuildsACorruptJobSpecFromTheGrid)
+{
+    QuietGuard quiet;
+    std::string root = freshDir("corrupt_spec");
+    farm::spoolGrid(smallGrid(), root, 1);
+
+    farm::Spool sp(root);
+    std::string jpath =
+        sp.jobsDir() + "/" + farm::Spool::jobFileName(0, 0);
+    std::string text = slurp(jpath);
+    auto pos = text.find("\"workload\": \"li\"");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 16, "\"workload\": \"xx\"");
+    spit(jpath, text);
+
+    // The claimed spec fails its CRC, so the worker falls back to
+    // grid.json — the source of truth — instead of running (or
+    // crashing on) damaged parameters. Every point still completes
+    // and the merged bytes are unaffected.
+    farm::WorkerOptions wo;
+    EXPECT_EQ(farm::runWorker(root, wo), smallGrid().jobs.size());
+    std::string merged = root + "/merged.json";
+    farm::mergeSpool(root, merged, "");
+    EXPECT_EQ(slurp(merged), referenceManifest());
+}
+
+// ---------------------------------------------------------------------
 // Quarantined placeholders are visibly degraded downstream
 // ---------------------------------------------------------------------
 
@@ -621,6 +722,102 @@ TEST(Supervisor, CrashIsolationQuarantinesTheKillerJob)
     const auto &runs = doc.at("runs", "sweep").asArray("runs");
     EXPECT_TRUE(runs[0].isNull());
     EXPECT_FALSE(runs[2].isNull());
+}
+
+TEST(Supervisor, SigtermDrainsTheWorkerCleanly)
+{
+    QuietGuard quiet;
+    std::string root = freshDir("drain");
+    farm::spoolGrid(smallGrid(), root, 1);
+
+    // The injected hang keeps the worker inside its first li point
+    // for ~2s, guaranteeing the SIGTERM lands mid-job. Drain
+    // semantics: finish that point, persist it, release the claim,
+    // exit 0.
+    pid_t pid = spawnProcess({DDSIM_DDSWEEP, "worker",
+                              "--spool=" + root, "--worker=w0",
+                              "--inject=hang:li::2"});
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    killProcess(pid, SIGTERM);
+    ProcessExit ex = waitProcess(pid);
+    EXPECT_TRUE(ex.ok()) << ex.describe();
+
+    // No stranded claim, no torn artifact: whatever completed is
+    // durable, the rest is still queued for a successor.
+    farm::Spool sp(root);
+    EXPECT_TRUE(listDir(sp.claimsDir()).empty());
+    EXPECT_EQ(farm::requeueIncomplete(root, false), 0u);
+
+    farm::WorkerOptions wo;
+    wo.workerId = "w1";
+    farm::runWorker(root, wo);
+    std::string merged = root + "/merged.json";
+    farm::mergeSpool(root, merged, "");
+    EXPECT_EQ(slurp(merged), referenceManifest());
+}
+
+TEST(Supervisor, StalledWorkerLosesItsLeaseAndThePointCompletes)
+{
+    QuietGuard quiet;
+    std::string root = freshDir("stall");
+    farm::spoolGrid(smallGrid(), root, 2);
+
+    // w0 SIGSTOPs itself after its first claim: its heartbeat
+    // freezes, the lease goes stale, and the supervisor must SIGKILL
+    // it and hand the point to another worker. Nothing may end up
+    // quarantined — a wedged worker is not a bad point.
+    farm::SupervisorOptions sup;
+    sup.exePath = DDSIM_DDSWEEP;
+    sup.workers = 2;
+    sup.leaseSecs = 1.0;
+    sup.workerArgs = {"--stall-worker=w0"};
+
+    farm::SpoolStatus st = farm::superviseFarm(root, sup);
+    EXPECT_TRUE(st.complete());
+    EXPECT_EQ(st.quarantined, 0u);
+    EXPECT_EQ(st.ok, smallGrid().jobs.size());
+
+    std::string merged = root + "/merged.json";
+    farm::mergeSpool(root, merged, root + "/farm.json");
+    EXPECT_EQ(slurp(merged), referenceManifest());
+
+    // Provenance: the stalled w0 completed nothing; other workers
+    // picked up its share.
+    JsonValue fdoc = parseJsonFile(root + "/farm.json");
+    for (const JsonValue &sh :
+         fdoc.at("shards", "farm").asArray("shards"))
+        for (const JsonValue &job :
+             sh.at("jobs", "shard").asArray("jobs"))
+            EXPECT_NE(job.at("worker", "job").asString("worker"),
+                      "w0");
+}
+
+TEST(Supervisor, HungJobIsQuarantinedByTheWallClockWatchdog)
+{
+    QuietGuard quiet;
+    std::string root = freshDir("hung");
+    farm::spoolGrid(smallGrid(), root, 2);
+
+    // Every li attempt sleeps for 600s — far past the per-job wall
+    // clock. The watchdog must SIGKILL the holding workers and
+    // quarantine exactly the li points; the compress points complete.
+    farm::SupervisorOptions sup;
+    sup.exePath = DDSIM_DDSWEEP;
+    sup.workers = 2;
+    sup.jobWallSecs = 1.5;
+    sup.workerArgs = {"--inject=hang:li::600"};
+
+    farm::SpoolStatus st = farm::superviseFarm(root, sup);
+    EXPECT_TRUE(st.complete());
+    EXPECT_EQ(st.quarantined, 2u);
+    EXPECT_EQ(st.ok, 2u);
+
+    farm::Spool sp(root);
+    farm::JobRecord rec = farm::jobRecordFromFile(
+        sp.resultsDir() + "/" + farm::Spool::resultFileName(0));
+    EXPECT_EQ(rec.status, JobStatus::Quarantined);
+    EXPECT_EQ(rec.error.kind, "hung");
+    EXPECT_FALSE(rec.error.transient);
 }
 
 #endif // DDSIM_DDSWEEP

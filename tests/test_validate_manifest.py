@@ -8,9 +8,12 @@ non-dense grid ids, inconsistent counts, statuses without errors.
 Stdlib only; run directly or via ctest.
 """
 
+import binascii
 import copy
 import importlib.util
+import json
 import os
+import tempfile
 import unittest
 
 _TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -452,6 +455,168 @@ class SweepManifestChecks(unittest.TestCase):
         doc["runs"][1] = {"schema": "x"}
         with self.assertRaises(vm.Invalid):
             vm.check_sweep_manifest(doc, "sweep")
+
+
+def sealed(schema, payload_key, payload):
+    """Render a CRC-sealed spool artifact the way the C++ writer does:
+    wrapper {schema, crc32, <payload_key>: {...}} with the payload
+    last, seal patched in over the raw text. Returns (doc, raw)."""
+    doc = {"schema": schema, "crc32": "00000000", payload_key: payload}
+    raw = json.dumps(doc, indent=2)
+    body = vm.crc_payload(raw, payload_key, "fixture")
+    crc = f"{binascii.crc32(body.encode()) & 0xffffffff:08x}"
+    raw = raw.replace('"crc32": "00000000"', f'"crc32": "{crc}"', 1)
+    return json.loads(raw), raw
+
+
+def result_record(status="ok", mcrc="deadbeef"):
+    rec = {"id": 2, "status": status, "attempts": 1, "error": None,
+           "worker": "w0", "shard": 0, "wall_seconds": 0.5,
+           "manifest_crc32": mcrc}
+    if status != "ok":
+        rec["attempts"] = 3
+        rec["error"] = {"kind": "hung", "message": "watchdog",
+                        "transient": False}
+    return rec
+
+
+class SpooledJobChecks(unittest.TestCase):
+    """CRC-sealed ddsim-job-v2 spool artifacts."""
+
+    def job(self):
+        return grid_doc()["jobs"][0]
+
+    def test_valid_sealed_job_passes(self):
+        doc, raw = sealed(vm.JOB_SCHEMA, "job", self.job())
+        vm.check_job_v2(doc, raw, "job")
+
+    def test_rejects_tampered_payload(self):
+        doc, raw = sealed(vm.JOB_SCHEMA, "job", self.job())
+        raw = raw.replace('"workload": "li"', '"workload": "xx"')
+        with self.assertRaises(vm.Invalid) as ctx:
+            vm.check_job_v2(json.loads(raw), raw, "job")
+        self.assertIn("crc32 seal", str(ctx.exception))
+
+    def test_rejects_tampered_seal(self):
+        doc, raw = sealed(vm.JOB_SCHEMA, "job", self.job())
+        raw = raw.replace(f'"crc32": "{doc["crc32"]}"',
+                          '"crc32": "00000000"')
+        with self.assertRaises(vm.Invalid) as ctx:
+            vm.check_job_v2(json.loads(raw), raw, "job")
+        self.assertIn("corrupt", str(ctx.exception))
+
+    def test_rejects_bad_grid_job_even_when_sealed(self):
+        job = self.job()
+        job["scale"] = 0
+        doc, raw = sealed(vm.JOB_SCHEMA, "job", job)
+        with self.assertRaises(vm.Invalid) as ctx:
+            vm.check_job_v2(doc, raw, "job")
+        self.assertIn("scale", str(ctx.exception))
+
+
+class SpooledResultChecks(unittest.TestCase):
+    """CRC-sealed ddsim-job-result-v2 records and their sibling
+    manifest hash."""
+
+    def test_valid_sealed_record_passes(self):
+        doc, raw = sealed(vm.JOB_RESULT_SCHEMA, "record",
+                          result_record())
+        vm.check_job_result_v2(doc, raw, "result")
+
+    def test_rejects_tampered_record(self):
+        doc, raw = sealed(vm.JOB_RESULT_SCHEMA, "record",
+                          result_record())
+        raw = raw.replace('"worker": "w0"', '"worker": "wX"')
+        with self.assertRaises(vm.Invalid) as ctx:
+            vm.check_job_result_v2(json.loads(raw), raw, "result")
+        self.assertIn("crc32 seal", str(ctx.exception))
+
+    def test_rejects_quarantined_record_with_manifest_crc(self):
+        doc, raw = sealed(vm.JOB_RESULT_SCHEMA, "record",
+                          result_record(status="quarantined"))
+        with self.assertRaises(vm.Invalid) as ctx:
+            vm.check_job_result_v2(doc, raw, "result")
+        self.assertIn("promises a", str(ctx.exception))
+
+    def test_accepts_quarantined_record_without_manifest(self):
+        doc, raw = sealed(vm.JOB_RESULT_SCHEMA, "record",
+                          result_record(status="quarantined",
+                                        mcrc=None))
+        vm.check_job_result_v2(doc, raw, "result")
+
+    def test_rejects_non_hex_manifest_crc(self):
+        doc, raw = sealed(vm.JOB_RESULT_SCHEMA, "record",
+                          result_record(mcrc="NOTAHEX!"))
+        with self.assertRaises(vm.Invalid) as ctx:
+            vm.check_job_result_v2(doc, raw, "result")
+        self.assertIn("8 hex", str(ctx.exception))
+
+    def test_sibling_manifest_hash_is_verified(self):
+        manifest = b'{"schema": "x", "result": 1}\n'
+        mcrc = f"{binascii.crc32(manifest) & 0xffffffff:08x}"
+        doc, raw = sealed(vm.JOB_RESULT_SCHEMA, "record",
+                          result_record(mcrc=mcrc))
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "job-000002.json")
+            with open(path, "w") as f:
+                f.write(raw)
+            with open(os.path.join(d, "job-000002.manifest.json"),
+                      "wb") as f:
+                f.write(manifest)
+            vm.check_job_result_v2(doc, raw, "result", path=path)
+
+            # One flipped byte in the manifest and the record's
+            # promise no longer holds.
+            with open(os.path.join(d, "job-000002.manifest.json"),
+                      "wb") as f:
+                f.write(manifest[:-2] + b"2\n")
+            with self.assertRaises(vm.Invalid) as ctx:
+                vm.check_job_result_v2(doc, raw, "result", path=path)
+            self.assertIn("manifest is corrupt", str(ctx.exception))
+
+    def test_missing_sibling_is_tolerated(self):
+        doc, raw = sealed(vm.JOB_RESULT_SCHEMA, "record",
+                          result_record())
+        vm.check_job_result_v2(doc, raw, "result",
+                               path="/nonexistent/job-000002.json")
+
+
+class ClaimChecks(unittest.TestCase):
+    """ddsim-claim-v1 lease documents."""
+
+    def claim(self):
+        return {"schema": vm.CLAIM_SCHEMA, "id": 1, "shard": 0,
+                "worker": "w0", "pid": 4242,
+                "acquired_unix": 1754500000,
+                "job_crc32": "0badf00d"}
+
+    def assertRejected(self, doc, fragment):
+        with self.assertRaises(vm.Invalid) as ctx:
+            vm.check_claim_v1(doc, "claim")
+        self.assertIn(fragment, str(ctx.exception))
+
+    def test_valid_claim_passes(self):
+        vm.check_claim_v1(self.claim(), "claim")
+
+    def test_rejects_zero_pid(self):
+        doc = self.claim()
+        doc["pid"] = 0
+        self.assertRejected(doc, "pid")
+
+    def test_rejects_empty_worker(self):
+        doc = self.claim()
+        doc["worker"] = ""
+        self.assertRejected(doc, "empty worker")
+
+    def test_rejects_non_hex_job_crc(self):
+        doc = self.claim()
+        doc["job_crc32"] = "0badf00dz"
+        self.assertRejected(doc, "8 hex")
+
+    def test_rejects_negative_acquired_time(self):
+        doc = self.claim()
+        doc["acquired_unix"] = -1
+        self.assertRejected(doc, "acquired_unix")
 
 
 if __name__ == "__main__":

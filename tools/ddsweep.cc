@@ -17,16 +17,23 @@
  *            Requeue incomplete/stranded points of an interrupted
  *            spool, supervise, and merge.
  *   worker   --spool=DIR --worker=ID [--shard=K] [--parent=PID]
- *            [--max-jobs=N]
+ *            [--max-jobs=N] [--lease-secs=S]
  *            Internal: one claim-run loop (the supervisor spawns
- *            these; invoke directly only in tests).
+ *            these; invoke directly only in tests). Workers heartbeat
+ *            their claims when --lease-secs > 0 and drain gracefully
+ *            on SIGTERM: the in-flight point completes and persists,
+ *            then the process exits 0 with no claim stranded.
  *   merge    --spool=DIR [--merged=F] [--farm=F]
- *            Merge a complete spool without running anything.
+ *            Merge a complete spool without running anything. Every
+ *            record and manifest is CRC-verified first; corrupt
+ *            artifacts are quarantined into <spool>/corrupt and the
+ *            merge refuses to splice them (resume re-runs them).
  *   serial   --grid=F --merged=F [--workers=N]
  *            In-process SweepRunner reference over the same grid: the
  *            document `run` must reproduce byte-for-byte.
  *   status   --spool=DIR
- *            Print progress; exit 0 when complete, 3 when not.
+ *            Print progress plus, per in-flight claim, lease age and
+ *            heartbeat freshness; exit 0 when complete, 3 when not.
  *
  * Options shared by run/resume/worker/serial:
  *   --attempts=N --backoff-ms=N --max-backoff-ms=N   retry policy
@@ -35,11 +42,18 @@
  *     trace cache (LRU eviction; 0 = unlimited)
  *   --inject=SPEC[;SPEC...] --inject-seed=N          fault injection,
  *     SPEC = kind:workload:notation[:arg], kind one of transient,
- *     persistent, alloc, crash, drop-wakeup, corrupt-trace; empty
- *     workload/notation match any.
+ *     persistent, alloc, crash, hang, drop-wakeup, corrupt-trace;
+ *     empty workload/notation match any.
  * run/resume additionally: --merged=F --farm=F --respawn-limit=N
- *   --crash-quarantine-after=N (and they forward the shared options
- *   to every worker they spawn).
+ *   --crash-quarantine-after=N
+ *   --lease-secs=S    claims whose heartbeat goes stale past S are
+ *     reclaimed from the (SIGKILLed) wedged worker; default 300, 0
+ *     disables. Forwarded to workers as their heartbeat interval.
+ *   --job-wall-secs=S quarantine (error kind "hung") any job holding
+ *     its claim longer than S; default 0 = no per-job watchdog.
+ *   --stall-worker=ID test hook: the named worker SIGSTOPs itself
+ *     after its first claim (lease-expiry smoke).
+ *   (They forward the shared options to every worker they spawn.)
  */
 
 #include <cstdio>
@@ -53,6 +67,7 @@
 #include "robust/fault_inject.hh"
 #include "sim/farm.hh"
 #include "sim/grid_spec.hh"
+#include "util/error.hh"
 #include "util/file_claim.hh"
 #include "util/log.hh"
 #include "util/str.hh"
@@ -91,12 +106,15 @@ faultKindFromToken(const std::string &token)
         return FaultKind::AllocFail;
     if (token == "crash")
         return FaultKind::JobCrash;
+    if (token == "hang")
+        return FaultKind::JobHang;
     if (token == "drop-wakeup")
         return FaultKind::DropWakeup;
     if (token == "corrupt-trace")
         return FaultKind::CorruptTrace;
     fatal("--inject: unknown fault kind '%s' (expected transient, "
-          "persistent, alloc, crash, drop-wakeup or corrupt-trace)",
+          "persistent, alloc, crash, hang, drop-wakeup or "
+          "corrupt-trace)",
           token.c_str());
 }
 
@@ -170,7 +188,8 @@ forwardedWorkerArgs(const config::CliArgs &args)
     std::vector<std::string> out;
     for (const char *key :
          {"attempts", "backoff-ms", "max-backoff-ms", "cycle-budget",
-          "wall-budget", "trace-cache-mb", "inject", "inject-seed"}) {
+          "wall-budget", "trace-cache-mb", "inject", "inject-seed",
+          "stall-worker"}) {
         if (args.has(key))
             out.push_back("--" + std::string(key) + "=" +
                           args.get(key));
@@ -182,9 +201,32 @@ void
 printStatus(const farm::SpoolStatus &st)
 {
     std::printf("points: total=%zu done=%zu (ok=%zu recovered=%zu "
-                "quarantined=%zu) pending=%zu claimed=%zu shards=%d\n",
+                "quarantined=%zu) pending=%zu claimed=%zu corrupt=%zu "
+                "shards=%d\n",
                 st.total, st.done(), st.ok, st.recovered,
-                st.quarantined, st.pending, st.claimed, st.shards);
+                st.quarantined, st.pending, st.claimed, st.corrupt,
+                st.shards);
+}
+
+/** One line per in-flight claim: who holds the lease and how fresh
+ *  its heartbeat is — the first thing to read when a farm stalls. */
+void
+printLeases(const farm::SpoolStatus &st)
+{
+    for (const farm::ClaimInfo &ci : st.leases) {
+        std::printf("claim: job=%llu shard=%d worker=%s",
+                    static_cast<unsigned long long>(ci.id), ci.shard,
+                    ci.worker.c_str());
+        if (ci.pid)
+            std::printf(" pid=%d", static_cast<int>(ci.pid));
+        if (ci.heartbeatAge >= 0)
+            std::printf(" heartbeat=%.1fs", ci.heartbeatAge);
+        else
+            std::printf(" heartbeat=?");
+        if (ci.jobAge >= 0)
+            std::printf(" lease-age=%.1fs", ci.jobAge);
+        std::printf("\n");
+    }
 }
 
 /** Everything run/resume consult, queried up front so rejectUnknown()
@@ -207,18 +249,35 @@ farmPlanFromArgs(const config::CliArgs &args, const char *argv0,
         static_cast<int>(args.getInt("respawn-limit", 8));
     plan.sup.crashQuarantineAfter = static_cast<int>(
         args.getInt("crash-quarantine-after", 2));
+    plan.sup.leaseSecs = args.getSeconds("lease-secs", 300.0);
+    plan.sup.jobWallSecs = args.getSeconds("job-wall-secs", 0.0);
     plan.sup.workerArgs = forwardedWorkerArgs(args);
     plan.merged = args.get("merged", spool + "/merged.json");
     plan.farmDoc = args.get("farm", spool + "/farm.json");
     return plan;
 }
 
-/** Supervise an already-prepared spool, then merge and report. */
+/** Supervise an already-prepared spool, then merge and report. If the
+ *  merge quarantines corrupt artifacts, requeue and run once more —
+ *  corruption is supposed to be re-run, not fatal — but give up after
+ *  a few rounds rather than loop on a disk that keeps eating bytes. */
 int
 superviseAndMerge(const FarmPlan &plan, const std::string &spool)
 {
     farm::SpoolStatus st = farm::superviseFarm(spool, plan.sup);
-    farm::mergeSpool(spool, plan.merged, plan.farmDoc);
+    for (int round = 0;; ++round) {
+        try {
+            farm::mergeSpool(spool, plan.merged, plan.farmDoc);
+            break;
+        } catch (const CorruptArtifactError &e) {
+            if (round >= 2)
+                throw;
+            warn("%s; re-running the quarantined points (round %d)",
+                 e.what(), round + 1);
+            farm::requeueIncomplete(spool, false);
+            st = farm::superviseFarm(spool, plan.sup);
+        }
+    }
 
     printStatus(st);
     std::printf("merged: %s\nfarm: %s\n", plan.merged.c_str(),
@@ -288,6 +347,11 @@ cmdWorker(const config::CliArgs &args)
         static_cast<std::size_t>(args.getInt("max-jobs", 0));
     opts.exitIfReparented =
         static_cast<pid_t>(args.getInt("parent", 0));
+    opts.leaseSecs = args.getSeconds("lease-secs", 0.0);
+    opts.gracefulDrain = true;
+    opts.stallAfterFirstClaim =
+        !args.get("stall-worker").empty() &&
+        args.get("stall-worker") == opts.workerId;
     args.rejectUnknown();
     std::size_t done = farm::runWorker(spool, opts);
     std::printf("worker %s: completed %zu jobs\n",
@@ -340,6 +404,7 @@ cmdStatus(const config::CliArgs &args)
     farm::SpoolStatus st = farm::scanSpool(spool);
     std::printf("spool: %s\n", spool.c_str());
     printStatus(st);
+    printLeases(st);
     std::printf("complete: %s\n", st.complete() ? "yes" : "no");
     return st.complete() ? 0 : 3;
 }

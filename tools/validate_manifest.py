@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
 """Validate a ddsim run manifest, sweep manifest, grid spec, farm
-manifest, crash black box, or ddlint verdict export.
+manifest, spooled job spec / result record / claim lease, crash black
+box, or ddlint verdict export.
 
 Stdlib-only. Checks schema identifiers, required fields, and internal
 consistency (IPC = committed/cycles, per-stream counts are integers,
@@ -8,11 +9,16 @@ stat tree shape, degraded-sweep job tables, black-box error reports,
 dense grid-spec job ids, engine selectors and sampled-engine plans /
 error-bar blocks, farm shard provenance covering every job id exactly
 once, lint verdict enums and mix totals vs the per-program verdict
-arrays). Exits non-zero with a message on the first problem.
+arrays). CRC-sealed spool artifacts (ddsim-job-v2,
+ddsim-job-result-v2) additionally have their seal recomputed from the
+raw bytes, so a bit flip anywhere in the payload is flagged even when
+the damaged document still parses as JSON. Exits non-zero with a
+message on the first problem.
 
 Usage: validate_manifest.py <manifest.json> [more.json ...]
 """
 
+import binascii
 import json
 import sys
 
@@ -23,6 +29,9 @@ BLACKBOX_SCHEMA = "ddsim-blackbox-v1"
 GRID_SCHEMA = "ddsim-grid-v1"
 FARM_SCHEMA = "ddsim-farm-manifest-v1"
 LINT_SCHEMA = "ddsim-lint-v1"
+JOB_SCHEMA = "ddsim-job-v2"
+JOB_RESULT_SCHEMA = "ddsim-job-result-v2"
+CLAIM_SCHEMA = "ddsim-claim-v1"
 
 JOB_STATUSES = ("ok", "recovered", "quarantined")
 VERDICTS = ("local", "nonlocal", "ambiguous")
@@ -229,6 +238,75 @@ def check_sweep_manifest(doc, where):
     return checked
 
 
+def check_grid_job(job, jw, expect_id=None):
+    """One grid-job object, as embedded in a ddsim-grid-v1 spec or a
+    spooled ddsim-job-v2 document."""
+    jid = need(job, "id", int, jw)
+    if expect_id is not None and jid != expect_id:
+        raise Invalid(f"{jw}: id {jid} != position {expect_id} "
+                      f"(ids must be dense and ordered)")
+    if jid < 0:
+        raise Invalid(f"{jw}: negative id")
+    if not need(job, "workload", str, jw):
+        raise Invalid(f"{jw}: empty workload")
+    if need(job, "scale", int, jw) < 1:
+        raise Invalid(f"{jw}: scale {job['scale']} < 1")
+    need(job, "seed", int, jw)
+    for key in ("max_insts", "warmup_insts"):
+        if need(job, key, int, jw) < 0:
+            raise Invalid(f"{jw}: negative {key}")
+    # Optional static-partitioning pass; absent = stock program.
+    if "annotate" in job:
+        annotate = need(job, "annotate", str, jw)
+        if annotate not in ANNOTATE_POLICIES:
+            raise Invalid(f"{jw}: unknown annotate policy "
+                          f"{annotate!r}")
+    # Optional external-trace point: the program comes from the
+    # file, hints were burned at conversion time, and there is
+    # nothing for the live engine to execute.
+    if "trace_path" in job:
+        if not need(job, "trace_path", str, jw):
+            raise Invalid(f"{jw}: empty trace_path")
+        if "annotate" in job:
+            raise Invalid(f"{jw}: trace_path combined with an "
+                          f"annotate policy")
+        if job.get("engine") == "live":
+            raise Invalid(f"{jw}: live engine on an "
+                          f"external-trace point")
+    # Optional engine selector; absent = auto. A sampled point
+    # must carry its plan (and no whole-run warmup); no other
+    # engine may.
+    engine = None
+    if "engine" in job:
+        engine = need(job, "engine", str, jw)
+        if engine not in GRID_ENGINES:
+            raise Invalid(f"{jw}: unknown engine {engine!r}")
+    if "sampling" in job:
+        if engine != "sampled":
+            raise Invalid(f"{jw}: sampling plan on engine "
+                          f"{engine!r} (only 'sampled' takes one)")
+        s = need(job, "sampling", dict, jw)
+        sjw = f"{jw}.sampling"
+        period = need(s, "period", int, sjw)
+        detail = need(s, "detail", int, sjw)
+        warmup = need(s, "warmup", int, sjw)
+        if period < 1 or detail < 1:
+            raise Invalid(f"{sjw}: period {period} / detail "
+                          f"{detail} must be >= 1")
+        if warmup + detail > period:
+            raise Invalid(f"{sjw}: warmup {warmup} + detail "
+                          f"{detail} exceed period {period}")
+    elif engine == "sampled":
+        raise Invalid(f"{jw}: engine 'sampled' without a "
+                      f"sampling plan")
+    if engine == "sampled" and job["warmup_insts"] != 0:
+        raise Invalid(f"{jw}: sampled engine combined with a "
+                      f"whole-run warmup")
+    cfg = need(job, "config", dict, jw)
+    if not need(cfg, "notation", str, f"{jw}.config"):
+        raise Invalid(f"{jw}.config: empty notation")
+
+
 def check_grid_spec(doc, where):
     """A ddsim-grid-v1 spec: dense ids 0..n-1 in order, each job
     carrying a workload, resolved generator parameters, and a machine
@@ -241,69 +319,123 @@ def check_grid_spec(doc, where):
         raise Invalid(f"{where}: num_jobs {doc['num_jobs']} != "
                       f"len(jobs) {len(jobs)}")
     for i, job in enumerate(jobs):
-        jw = f"{where}.jobs[{i}]"
-        if need(job, "id", int, jw) != i:
-            raise Invalid(f"{jw}: id {job['id']} != position {i} "
-                          f"(ids must be dense and ordered)")
-        if not need(job, "workload", str, jw):
-            raise Invalid(f"{jw}: empty workload")
-        if need(job, "scale", int, jw) < 1:
-            raise Invalid(f"{jw}: scale {job['scale']} < 1")
-        need(job, "seed", int, jw)
-        for key in ("max_insts", "warmup_insts"):
-            if need(job, key, int, jw) < 0:
-                raise Invalid(f"{jw}: negative {key}")
-        # Optional static-partitioning pass; absent = stock program.
-        if "annotate" in job:
-            annotate = need(job, "annotate", str, jw)
-            if annotate not in ANNOTATE_POLICIES:
-                raise Invalid(f"{jw}: unknown annotate policy "
-                              f"{annotate!r}")
-        # Optional external-trace point: the program comes from the
-        # file, hints were burned at conversion time, and there is
-        # nothing for the live engine to execute.
-        if "trace_path" in job:
-            if not need(job, "trace_path", str, jw):
-                raise Invalid(f"{jw}: empty trace_path")
-            if "annotate" in job:
-                raise Invalid(f"{jw}: trace_path combined with an "
-                              f"annotate policy")
-            if job.get("engine") == "live":
-                raise Invalid(f"{jw}: live engine on an "
-                              f"external-trace point")
-        # Optional engine selector; absent = auto. A sampled point
-        # must carry its plan (and no whole-run warmup); no other
-        # engine may.
-        engine = None
-        if "engine" in job:
-            engine = need(job, "engine", str, jw)
-            if engine not in GRID_ENGINES:
-                raise Invalid(f"{jw}: unknown engine {engine!r}")
-        if "sampling" in job:
-            if engine != "sampled":
-                raise Invalid(f"{jw}: sampling plan on engine "
-                              f"{engine!r} (only 'sampled' takes one)")
-            s = need(job, "sampling", dict, jw)
-            sjw = f"{jw}.sampling"
-            period = need(s, "period", int, sjw)
-            detail = need(s, "detail", int, sjw)
-            warmup = need(s, "warmup", int, sjw)
-            if period < 1 or detail < 1:
-                raise Invalid(f"{sjw}: period {period} / detail "
-                              f"{detail} must be >= 1")
-            if warmup + detail > period:
-                raise Invalid(f"{sjw}: warmup {warmup} + detail "
-                              f"{detail} exceed period {period}")
-        elif engine == "sampled":
-            raise Invalid(f"{jw}: engine 'sampled' without a "
-                          f"sampling plan")
-        if engine == "sampled" and job["warmup_insts"] != 0:
-            raise Invalid(f"{jw}: sampled engine combined with a "
-                          f"whole-run warmup")
-        cfg = need(job, "config", dict, jw)
-        if not need(cfg, "notation", str, f"{jw}.config"):
-            raise Invalid(f"{jw}.config: empty notation")
+        check_grid_job(job, f"{where}.jobs[{i}]", expect_id=i)
     return len(jobs)
+
+
+def crc_payload(raw, payload_key, where):
+    """Byte range of the '"<key>": {...}' payload, mirroring the C++
+    writer: the payload is the wrapper's last member, so its closing
+    brace is the second-to-last '}' of the document."""
+    marker = f'"{payload_key}": '
+    pos = raw.find(marker)
+    if pos < 0:
+        raise Invalid(f"{where}: no {payload_key!r} payload")
+    begin = pos + len(marker)
+    if begin >= len(raw) or raw[begin] != "{":
+        raise Invalid(f"{where}: {payload_key!r} payload is not an "
+                      f"object")
+    outer = raw.rfind("}")
+    inner = raw.rfind("}", 0, outer) if outer > 0 else -1
+    if inner < begin:
+        raise Invalid(f"{where}: truncated {payload_key!r} payload")
+    return raw[begin:inner + 1]
+
+
+def check_crc_seal(raw, payload_key, where):
+    """Recompute the artifact's CRC32 seal from its raw bytes. The
+    first '"crc32": "' in the document is the seal (the record's
+    manifest_crc32 key cannot match: it is preceded by '_')."""
+    payload = crc_payload(raw, payload_key, where)
+    marker = '"crc32": "'
+    pos = raw.find(marker)
+    if pos < 0 or pos + len(marker) + 8 > len(raw):
+        raise Invalid(f"{where}: no crc32 seal")
+    stated = raw[pos + len(marker):pos + len(marker) + 8]
+    actual = f"{binascii.crc32(payload.encode()) & 0xffffffff:08x}"
+    if stated != actual:
+        raise Invalid(f"{where}: crc32 seal {stated!r} does not match "
+                      f"the payload ({actual!r}) — the artifact is "
+                      f"corrupt")
+
+
+def is_crc_hex(value):
+    return (isinstance(value, str) and len(value) == 8
+            and all(c in "0123456789abcdef" for c in value))
+
+
+def check_job_v2(doc, raw, where):
+    """A spooled ddsim-job-v2 spec: a CRC-sealed grid job."""
+    check_crc_seal(raw, "job", where)
+    check_grid_job(need(doc, "job", dict, where), f"{where}.job")
+
+
+def check_job_result_v2(doc, raw, where, path=None):
+    """A spooled ddsim-job-result-v2 record: CRC-sealed bookkeeping
+    for one executed point, carrying the CRC its sibling manifest must
+    hash to. When the sibling is on disk next to @p path, its bytes
+    are verified too."""
+    check_crc_seal(raw, "record", where)
+    rec = need(doc, "record", dict, where)
+    rw = f"{where}.record"
+    if need(rec, "id", int, rw) < 0:
+        raise Invalid(f"{rw}: negative id")
+    status = need(rec, "status", str, rw)
+    if status not in JOB_STATUSES:
+        raise Invalid(f"{rw}: unknown status {status!r}")
+    if need(rec, "attempts", int, rw) < 1:
+        raise Invalid(f"{rw}: attempts {rec['attempts']} < 1")
+    err = need(rec, "error", (dict, type(None)), rw)
+    if status == "ok":
+        if err is not None:
+            raise Invalid(f"{rw}: ok record carries an error")
+    elif err is None:
+        raise Invalid(f"{rw}: {status} record without an error")
+    else:
+        check_error(err, f"{rw}.error")
+    if not need(rec, "worker", str, rw):
+        raise Invalid(f"{rw}: empty worker")
+    need(rec, "shard", int, rw)
+    need(rec, "wall_seconds", (int, float), rw)
+    mcrc = need(rec, "manifest_crc32", (str, type(None)), rw)
+    if status == "quarantined":
+        if mcrc is not None:
+            raise Invalid(f"{rw}: quarantined record promises a "
+                          f"manifest")
+    elif not is_crc_hex(mcrc):
+        raise Invalid(f"{rw}: manifest_crc32 {mcrc!r} is not 8 hex "
+                      f"digits")
+    if mcrc is not None and path is not None \
+            and path.endswith(".json"):
+        sibling = path[:-len(".json")] + ".manifest.json"
+        try:
+            with open(sibling, "rb") as f:
+                bytes_ = f.read()
+        except OSError:
+            return  # validated standalone; the spool may be elsewhere
+        actual = f"{binascii.crc32(bytes_) & 0xffffffff:08x}"
+        if actual != mcrc:
+            raise Invalid(f"{rw}: sibling manifest {sibling!r} hashes "
+                          f"to {actual!r}, record promises {mcrc!r} "
+                          f"(manifest is corrupt)")
+
+
+def check_claim_v1(doc, where):
+    """A ddsim-claim-v1 lease document (lives in claims/ while a
+    worker holds the point)."""
+    if need(doc, "id", int, where) < 0:
+        raise Invalid(f"{where}: negative id")
+    if need(doc, "shard", int, where) < 0:
+        raise Invalid(f"{where}: negative shard")
+    if not need(doc, "worker", str, where):
+        raise Invalid(f"{where}: empty worker")
+    if need(doc, "pid", int, where) < 1:
+        raise Invalid(f"{where}: pid {doc['pid']} < 1")
+    if need(doc, "acquired_unix", int, where) < 0:
+        raise Invalid(f"{where}: negative acquired_unix")
+    if not is_crc_hex(need(doc, "job_crc32", str, where)):
+        raise Invalid(f"{where}: job_crc32 {doc['job_crc32']!r} is "
+                      f"not 8 hex digits")
 
 
 def check_farm_manifest(doc, where):
@@ -520,7 +652,8 @@ def main(argv):
     for path in argv[1:]:
         try:
             with open(path) as f:
-                doc = json.load(f)
+                raw = f.read()
+            doc = json.loads(raw)
         except (OSError, json.JSONDecodeError) as e:
             print(f"{path}: {e}", file=sys.stderr)
             return 1
@@ -552,6 +685,21 @@ def main(argv):
                 n = check_lint_document(doc, "lint")
                 print(f"{path}: OK (lint export, {n} programs, "
                       f"{doc['summary']['errors']} error(s))")
+            elif schema == JOB_SCHEMA:
+                check_job_v2(doc, raw, "job")
+                print(f"{path}: OK (spooled job {doc['job']['id']}, "
+                      f"workload {doc['job']['workload']!r}, "
+                      f"CRC seal verified)")
+            elif schema == JOB_RESULT_SCHEMA:
+                check_job_result_v2(doc, raw, "result", path)
+                print(f"{path}: OK (result record for job "
+                      f"{doc['record']['id']}, status "
+                      f"{doc['record']['status']!r}, CRC seal "
+                      f"verified)")
+            elif schema == CLAIM_SCHEMA:
+                check_claim_v1(doc, "claim")
+                print(f"{path}: OK (claim on job {doc['id']} held by "
+                      f"{doc['worker']!r}, pid {doc['pid']})")
             else:
                 raise Invalid(f"unknown schema {schema!r}")
         except Invalid as e:
